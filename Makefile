@@ -1,0 +1,36 @@
+# EF-dedup build targets. Everything is stdlib-only Go.
+
+GO ?= go
+
+.PHONY: all build test race bench figures figures-quick vet cover clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+cover:
+	$(GO) test -cover ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every figure of the paper's evaluation at full size.
+figures:
+	$(GO) run ./cmd/efdedup-bench -fig all -out results_full.txt
+
+# CI-sized figures (seconds).
+figures-quick:
+	$(GO) run ./cmd/efdedup-bench -fig all -quick
+
+clean:
+	$(GO) clean ./...

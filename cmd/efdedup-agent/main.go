@@ -1,0 +1,138 @@
+// Command efdedup-agent runs the Dedup Agent on one edge node: it chunks
+// the given files, deduplicates them against the configured index and
+// ships unique chunks to the central cloud.
+//
+// Ring mode (EF-dedup proper) deduplicates against the D2-ring's
+// distributed index:
+//
+//	efdedup-agent -mode ring -cloud cloud:7080 \
+//	    -ring kv0:7070,kv1:7070,kv2:7070 -local kv0:7070 data/*.bin
+//
+// Cloud-assisted mode probes the cloud's global index instead:
+//
+//	efdedup-agent -mode cloud-assisted -cloud cloud:7080 data/*.bin
+//
+// Cloud-only mode ships raw data:
+//
+//	efdedup-agent -mode cloud-only -cloud cloud:7080 data/*.bin
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"efdedup/internal/agent"
+	"efdedup/internal/chunk"
+	"efdedup/internal/cloudstore"
+	"efdedup/internal/kvstore"
+	"efdedup/internal/transport"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func parseMode(s string) (agent.Mode, error) {
+	switch s {
+	case "ring":
+		return agent.ModeRing, nil
+	case "cloud-assisted":
+		return agent.ModeCloudAssisted, nil
+	case "cloud-only":
+		return agent.ModeCloudOnly, nil
+	default:
+		return 0, fmt.Errorf("unknown mode %q (want ring, cloud-assisted or cloud-only)", s)
+	}
+}
+
+func run() error {
+	var (
+		modeFlag  = flag.String("mode", "ring", "dedup strategy: ring | cloud-assisted | cloud-only")
+		cloudAddr = flag.String("cloud", "127.0.0.1:7080", "central cloud store address")
+		ringList  = flag.String("ring", "", "comma-separated D2-ring index node addresses (ring mode)")
+		localAddr = flag.String("local", "", "this node's index address, preferred for lookups (ring mode)")
+		name      = flag.String("name", "agent", "agent name recorded in manifests")
+		chunkSize = flag.Int("chunk-size", chunk.DefaultFixedSize, "fixed chunk size in bytes")
+		cdc       = flag.Bool("cdc", false, "use content-defined (gear) chunking instead of fixed")
+		rf        = flag.Int("rf", 2, "index replication factor γ (ring mode)")
+		timeout   = flag.Duration("timeout", 10*time.Minute, "overall processing deadline")
+	)
+	flag.Parse()
+	if flag.NArg() == 0 {
+		return fmt.Errorf("no input files; usage: efdedup-agent [flags] file...")
+	}
+	mode, err := parseMode(*modeFlag)
+	if err != nil {
+		return err
+	}
+
+	var chunker chunk.Chunker
+	if *cdc {
+		chunker = chunk.NewDefaultGearChunker()
+	} else {
+		fc, err := chunk.NewFixedChunker(*chunkSize)
+		if err != nil {
+			return err
+		}
+		chunker = fc
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+
+	nw := transport.TCPNetwork{}
+	cloud, err := cloudstore.Dial(ctx, nw, *cloudAddr)
+	if err != nil {
+		return err
+	}
+	defer cloud.Close()
+
+	cfg := agent.Config{Name: *name, Mode: mode, Chunker: chunker, Cloud: cloud}
+	if mode == agent.ModeRing {
+		members := strings.Split(*ringList, ",")
+		if len(members) == 0 || members[0] == "" {
+			return fmt.Errorf("ring mode needs -ring with at least one index address")
+		}
+		idx, err := kvstore.NewCluster(kvstore.ClusterConfig{
+			Members:           members,
+			ReplicationFactor: *rf,
+			LocalAddr:         *localAddr,
+			Network:           nw,
+		})
+		if err != nil {
+			return err
+		}
+		defer idx.Close()
+		cfg.Index = idx
+	}
+	a, err := agent.New(cfg)
+	if err != nil {
+		return err
+	}
+
+	for _, path := range flag.Args() {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		rep, err := a.ProcessStream(ctx, path, f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("process %s: %w", path, err)
+		}
+		log.Printf("%s: %d bytes, %d chunks, %d dup, %d uploaded (%d bytes), ratio %.2f, %.1f MB/s",
+			path, rep.InputBytes, rep.InputChunks, rep.DuplicateChunks,
+			rep.UploadedChunks, rep.UploadedBytes, rep.DedupRatio(), rep.Throughput()/1e6)
+	}
+	tot := a.Totals()
+	log.Printf("total: %d bytes in, %d uploaded, overall ratio %.2f",
+		tot.InputBytes, tot.UploadedBytes, tot.DedupRatio())
+	return nil
+}

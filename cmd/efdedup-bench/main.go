@@ -1,0 +1,76 @@
+// Command efdedup-bench regenerates the paper's evaluation figures: the
+// estimation-accuracy plots (Fig. 2, 3), the testbed throughput and
+// dedup-ratio comparisons (Fig. 5a-c), the network/storage trade-off
+// (Fig. 6a-c) and the large-scale simulations (Fig. 7a-b).
+//
+// Usage:
+//
+//	efdedup-bench -fig all            # every figure, paper dimensions
+//	efdedup-bench -fig fig5a -quick   # one figure, CI-sized
+//	efdedup-bench -fig all -out results.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"time"
+
+	"efdedup/internal/experiments"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	var (
+		fig     = flag.String("fig", "all", "figure ID (fig2, fig3, fig5a..fig7b) or 'all'")
+		quick   = flag.Bool("quick", false, "shrink experiments to seconds (CI scale)")
+		seed    = flag.Int64("seed", 1, "workload/scenario seed")
+		outPath = flag.String("out", "", "also write results to this file")
+		verbose = flag.Bool("v", true, "log per-point progress to stderr")
+	)
+	flag.Parse()
+
+	cfg := experiments.Config{Quick: *quick, Seed: *seed}
+	if *verbose {
+		cfg.Log = os.Stderr
+	}
+
+	var out io.Writer = os.Stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = io.MultiWriter(os.Stdout, f)
+	}
+
+	start := time.Now()
+	var figs []*experiments.Figure
+	if *fig == "all" {
+		all, err := experiments.All(cfg)
+		if err != nil {
+			return err
+		}
+		figs = all
+	} else {
+		one, err := experiments.Run(*fig, cfg)
+		if err != nil {
+			return err
+		}
+		figs = []*experiments.Figure{one}
+	}
+	for _, f := range figs {
+		fmt.Fprintln(out, f.Format())
+	}
+	fmt.Fprintf(out, "regenerated %d figure(s) in %v (quick=%v, seed=%d)\n",
+		len(figs), time.Since(start).Round(time.Millisecond), *quick, *seed)
+	return nil
+}

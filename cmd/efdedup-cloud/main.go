@@ -1,0 +1,79 @@
+// Command efdedup-cloud runs the central cloud store: a content-addressed
+// chunk store with a global dedup index and file-manifest catalog, serving
+// EF-dedup agents (unique-chunk uploads), cloud-assisted agents (index
+// probes) and cloud-only agents (raw uploads deduplicated server-side).
+//
+// Usage:
+//
+//	efdedup-cloud -listen 0.0.0.0:7080 [-chunk-size 8192]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"efdedup/internal/chunk"
+	"efdedup/internal/cloudstore"
+	"efdedup/internal/transport"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	var (
+		listen    = flag.String("listen", "127.0.0.1:7080", "address to serve the cloud protocol on")
+		chunkSize = flag.Int("chunk-size", chunk.DefaultFixedSize, "server-side chunk size for raw (cloud-only) uploads")
+		dataDir   = flag.String("dir", "", "persist chunks and manifests under this directory (survives restarts)")
+		statsEach = flag.Duration("stats-interval", time.Minute, "how often to log store statistics (0 disables)")
+	)
+	flag.Parse()
+
+	chunker, err := chunk.NewFixedChunker(*chunkSize)
+	if err != nil {
+		return err
+	}
+	srv, err := cloudstore.NewServer(cloudstore.Config{Chunker: chunker, Dir: *dataDir})
+	if err != nil {
+		return err
+	}
+	l, err := transport.TCPNetwork{}.Listen(*listen)
+	if err != nil {
+		return fmt.Errorf("listen %s: %w", *listen, err)
+	}
+	srv.Serve(l)
+	log.Printf("efdedup-cloud serving on %s (chunk-size=%d, dir=%q)", l.Addr(), *chunkSize, *dataDir)
+
+	stop := make(chan struct{})
+	if *statsEach > 0 {
+		go func() {
+			ticker := time.NewTicker(*statsEach)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-ticker.C:
+					s := srv.Stats()
+					log.Printf("stats: unique=%d chunks / %d bytes, logical=%d bytes, raw-uploads=%d, manifests=%d",
+						s.UniqueChunks, s.UniqueBytes, s.LogicalBytes, s.RawUploads, s.Manifests)
+				case <-stop:
+					return
+				}
+			}
+		}()
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	close(stop)
+	log.Printf("shutting down: %+v", srv.Stats())
+	return srv.Close()
+}

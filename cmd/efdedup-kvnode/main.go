@@ -1,0 +1,78 @@
+// Command efdedup-kvnode runs one storage replica of a D2-ring's
+// deduplication index — the per-edge-node daemon of the EF-dedup
+// prototype (the role a Cassandra node plays in the paper).
+//
+// Usage:
+//
+//	efdedup-kvnode -listen 0.0.0.0:7070 [-wal /var/lib/efdedup/index.wal]
+//
+// The daemon serves the kv.* RPC protocol until interrupted. With -wal it
+// persists every write to an append-only log and replays it on restart.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"efdedup/internal/gossip"
+	"efdedup/internal/kvstore"
+	"efdedup/internal/transport"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	var (
+		listen      = flag.String("listen", "127.0.0.1:7070", "address to serve the index protocol on")
+		wal         = flag.String("wal", "", "optional write-ahead log path for durability across restarts")
+		gossipAddr  = flag.String("gossip", "", "optional gossip listen address (enables membership dissemination)")
+		gossipSeeds = flag.String("gossip-seeds", "", "comma-separated gossip addresses of existing ring members")
+	)
+	flag.Parse()
+
+	node, err := kvstore.NewNode(kvstore.NodeConfig{WALPath: *wal})
+	if err != nil {
+		return err
+	}
+	l, err := transport.TCPNetwork{}.Listen(*listen)
+	if err != nil {
+		return fmt.Errorf("listen %s: %w", *listen, err)
+	}
+	node.Serve(l)
+	log.Printf("efdedup-kvnode serving on %s (wal=%q)", l.Addr(), *wal)
+
+	if *gossipAddr != "" {
+		var seeds []string
+		for _, s := range strings.Split(*gossipSeeds, ",") {
+			if s = strings.TrimSpace(s); s != "" {
+				seeds = append(seeds, s)
+			}
+		}
+		g, err := gossip.Start(gossip.Config{
+			Addr:    *gossipAddr,
+			Network: transport.TCPNetwork{},
+			Seeds:   seeds,
+		})
+		if err != nil {
+			node.Close()
+			return err
+		}
+		defer g.Stop()
+		log.Printf("gossiping on %s (seeds=%v)", *gossipAddr, seeds)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Printf("shutting down: %+v", node.Stats())
+	return node.Close()
+}

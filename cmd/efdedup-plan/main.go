@@ -1,0 +1,208 @@
+// Command efdedup-plan runs the full EF-dedup planning pipeline on
+// sampled data: measure ground-truth dedup ratios across the sampled
+// sources, fit the chunk-pool model (Algorithm 1), assemble the SNOD2
+// instance, and partition the nodes into D2-rings (SMART). The plan is
+// printed as JSON, ready to drive agent deployment.
+//
+// Sample layout: one subdirectory per edge node, named by its numeric ID,
+// each containing sample files from that node's data flow:
+//
+//	samples/
+//	  0/a.bin 0/b.bin
+//	  1/a.bin ...
+//
+// Usage:
+//
+//	efdedup-plan -samples ./samples -rings 4 -alpha 0.1 \
+//	    [-costs costs.json] [-rates 100,100,50] [-chunk-size 8192]
+//
+// costs.json holds the pairwise lookup cost matrix ν_ij (e.g. RTT in
+// milliseconds): [[0,5],[5,0]]. Without it, a uniform matrix is used.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"efdedup/internal/chunk"
+	"efdedup/internal/core"
+	"efdedup/internal/estimate"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// loadSamples reads the per-node sample directories.
+func loadSamples(dir string) (map[int][][]byte, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	samples := make(map[int][][]byte)
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		id, err := strconv.Atoi(e.Name())
+		if err != nil {
+			return nil, fmt.Errorf("sample directory %q is not a numeric node ID", e.Name())
+		}
+		files, err := os.ReadDir(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return nil, err
+		}
+		for _, f := range files {
+			if f.IsDir() {
+				continue
+			}
+			data, err := os.ReadFile(filepath.Join(dir, e.Name(), f.Name()))
+			if err != nil {
+				return nil, err
+			}
+			samples[id] = append(samples[id], data)
+		}
+		if len(samples[id]) == 0 {
+			return nil, fmt.Errorf("node %d has no sample files", id)
+		}
+	}
+	if len(samples) == 0 {
+		return nil, fmt.Errorf("no node sample directories under %s", dir)
+	}
+	return samples, nil
+}
+
+// planOutput is the JSON shape printed on success.
+type planOutput struct {
+	Rings        [][]int     `json:"rings"`
+	StorageCost  float64     `json:"storageCost"`
+	NetworkCost  float64     `json:"networkCost"`
+	Aggregate    float64     `json:"aggregateCost"`
+	PoolSizes    []float64   `json:"poolSizes"`
+	Sources      []int       `json:"sources"`
+	Probs        [][]float64 `json:"characteristicVectors"`
+	FitMSE       float64     `json:"fitMSE"`
+	FitSweeps    int         `json:"fitSweeps"`
+	FitMeanError float64     `json:"fitMeanRelativeError"`
+}
+
+func run() error {
+	var (
+		samplesDir = flag.String("samples", "", "directory of per-node sample files (required)")
+		rings      = flag.Int("rings", 4, "maximum number of D2-rings M")
+		alpha      = flag.Float64("alpha", 0.1, "network/storage trade-off α")
+		gamma      = flag.Float64("gamma", 2, "index replication factor γ")
+		window     = flag.Float64("T", 60, "deduplication window T in seconds")
+		pools      = flag.Int("pools", 3, "chunk-pool model order K")
+		chunkSize  = flag.Int("chunk-size", chunk.DefaultFixedSize, "chunk size in bytes")
+		costsPath  = flag.String("costs", "", "JSON pairwise lookup-cost matrix ν (node-ID indexed)")
+		ratesFlag  = flag.String("rates", "", "comma-separated per-node chunk rates (default: derived from samples)")
+	)
+	flag.Parse()
+	if *samplesDir == "" {
+		return fmt.Errorf("need -samples; run with -h for usage")
+	}
+
+	samples, err := loadSamples(*samplesDir)
+	if err != nil {
+		return err
+	}
+	ids := make([]int, 0, len(samples))
+	for id := range samples {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	n := ids[len(ids)-1] + 1
+
+	// Network costs: explicit matrix or uniform 1.0 between distinct nodes.
+	cost := make([][]float64, n)
+	for i := range cost {
+		cost[i] = make([]float64, n)
+		for j := range cost[i] {
+			if i != j {
+				cost[i][j] = 1
+			}
+		}
+	}
+	if *costsPath != "" {
+		raw, err := os.ReadFile(*costsPath)
+		if err != nil {
+			return err
+		}
+		if err := json.Unmarshal(raw, &cost); err != nil {
+			return fmt.Errorf("parse %s: %w", *costsPath, err)
+		}
+	}
+
+	chunker, err := chunk.NewFixedChunker(*chunkSize)
+	if err != nil {
+		return err
+	}
+
+	// Rates: explicit, or each node's sampled chunk count per window.
+	rates := make([]float64, len(ids))
+	if *ratesFlag != "" {
+		parts := strings.Split(*ratesFlag, ",")
+		if len(parts) != len(ids) {
+			return fmt.Errorf("-rates has %d entries for %d nodes", len(parts), len(ids))
+		}
+		for i, p := range parts {
+			r, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+			if err != nil {
+				return fmt.Errorf("parse rate %q: %w", p, err)
+			}
+			rates[i] = r
+		}
+	} else {
+		for i, id := range ids {
+			total := 0
+			for _, f := range samples[id] {
+				total += (len(f) + *chunkSize - 1) / *chunkSize
+			}
+			rates[i] = float64(total) / *window
+		}
+	}
+
+	plan, err := core.MakePlan(core.PlanInput{
+		Samples: samples,
+		Chunker: chunker,
+		Rates:   rates,
+		NetCost: cost,
+		T:       *window,
+		Gamma:   *gamma,
+		Alpha:   *alpha,
+		Rings:   *rings,
+		Pools:   *pools,
+		FitConfig: estimate.Config{
+			MSEThreshold: 0.01,
+		},
+	})
+	if err != nil {
+		return err
+	}
+
+	out := planOutput{
+		Rings:        plan.Rings,
+		StorageCost:  plan.Cost.Storage,
+		NetworkCost:  plan.Cost.Network,
+		Aggregate:    plan.Cost.Aggregate,
+		PoolSizes:    plan.Estimate.PoolSizes,
+		Sources:      plan.GroundTruth.Sources,
+		Probs:        plan.Estimate.Probs,
+		FitMSE:       plan.Estimate.MSE,
+		FitSweeps:    plan.Estimate.Iterations,
+		FitMeanError: plan.Estimate.MeanRelativeError(plan.GroundTruth),
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

@@ -1,0 +1,80 @@
+package efdedup
+
+import (
+	"efdedup/internal/experiments"
+	"efdedup/internal/sim"
+	"efdedup/internal/workload"
+)
+
+// Dataset produces deterministic per-source file contents; the built-in
+// datasets stand in for the paper's IoT workloads.
+type Dataset = workload.Dataset
+
+// Built-in dataset constructors.
+var (
+	// NewAccelDataset mirrors the paper's first dataset: walking
+	// accelerometer traces from correlated participants.
+	NewAccelDataset = workload.DefaultAccelDataset
+	// NewVideoDataset mirrors the paper's second dataset: stationary
+	// traffic-camera frame sequences.
+	NewVideoDataset = workload.DefaultVideoDataset
+	// NewVMImageDataset synthesizes the VM/system-backup workload the
+	// paper's introduction motivates: layered images with OS-family and
+	// application-pool sharing plus backup-chain mutations.
+	NewVMImageDataset = workload.DefaultVMImageDataset
+)
+
+// NewPoolDataset emits streams straight from a chunk-pool System, so
+// measured dedup matches Theorem 1 predictions.
+func NewPoolDataset(sys *System, chunkSize, chunksPerFile int, seed int64) (Dataset, error) {
+	return workload.NewPoolDataset(sys, chunkSize, chunksPerFile, seed)
+}
+
+// Simulation types (paper Sec. V-C).
+type (
+	// SimScenario parameterizes a large-scale synthetic deployment.
+	SimScenario = sim.ScenarioConfig
+	// SimAlgoCost is one partitioner's cost on a scenario.
+	SimAlgoCost = sim.AlgoCost
+)
+
+// NewSimScenario mirrors the Sec. V-C setup for a node count and α.
+func NewSimScenario(nodes int, alpha float64, seed int64) SimScenario {
+	return sim.DefaultScenario(nodes, alpha, seed)
+}
+
+// BuildSimSystem materializes a scenario as a SNOD2 System.
+func BuildSimSystem(cfg SimScenario) (*System, error) { return sim.Build(cfg) }
+
+// CompareOnSystem evaluates several partitioners on one system.
+func CompareOnSystem(sys *System, algos []Partitioner, rings int) ([]SimAlgoCost, error) {
+	return sim.Compare(sys, algos, rings)
+}
+
+// Experiment types: the drivers that regenerate every figure of the
+// paper's evaluation.
+type (
+	// ExperimentConfig scales and seeds the drivers.
+	ExperimentConfig = experiments.Config
+	// Figure is one reproduced evaluation artifact.
+	Figure = experiments.Figure
+)
+
+// RunExperiment regenerates one figure by ID ("fig2".."fig7b").
+func RunExperiment(id string, cfg ExperimentConfig) (*Figure, error) {
+	return experiments.Run(id, cfg)
+}
+
+// RunAllExperiments regenerates every figure in paper order.
+func RunAllExperiments(cfg ExperimentConfig) ([]*Figure, error) {
+	return experiments.All(cfg)
+}
+
+// ExperimentIDs lists the available figure IDs in paper order.
+func ExperimentIDs() []string {
+	var ids []string
+	for _, e := range experiments.Registry() {
+		ids = append(ids, e.ID)
+	}
+	return ids
+}

@@ -1,0 +1,65 @@
+package efdedup
+
+import (
+	"efdedup/internal/chunk"
+	"efdedup/internal/cloudstore"
+	"efdedup/internal/erasure"
+	"efdedup/internal/estimate"
+)
+
+// This file exposes the library's implementations of the paper's
+// future-work directions (Sec. VII): erasure-coded chunk storage and
+// MinHash/LSH similarity estimation. (Variable-size chunking, the third
+// direction, is NewContentDefinedChunker in runtime.go.)
+
+// Erasure coding (paper: "apply erasure code to store data replicas").
+type (
+	// ErasureCodec Reed-Solomon-encodes chunks into k data + m parity
+	// shards; any k shards reconstruct.
+	ErasureCodec = erasure.Codec
+	// ShardedChunkStore spreads erasure-coded chunks over virtual disks
+	// with failure injection and repair.
+	ShardedChunkStore = cloudstore.ShardedStore
+)
+
+// NewErasureCodec builds an RS(k, m) codec.
+func NewErasureCodec(dataShards, parityShards int) (*ErasureCodec, error) {
+	return erasure.New(dataShards, parityShards)
+}
+
+// NewShardedChunkStore builds an erasure-coded chunk store over
+// dataShards+parityShards virtual disks.
+func NewShardedChunkStore(dataShards, parityShards int) (*ShardedChunkStore, error) {
+	return cloudstore.NewShardedStore(dataShards, parityShards)
+}
+
+// MinHash similarity (paper: "improve ... estimation through techniques
+// like locality sensitive hashing").
+type (
+	// MinHashSignature sketches a chunk set in k slots; matching-slot
+	// fraction estimates Jaccard similarity.
+	MinHashSignature = estimate.Signature
+)
+
+// DefaultMinHashSize is the default sketch size (standard error ≈ 1/√k).
+const DefaultMinHashSize = estimate.DefaultSignatureSize
+
+// SketchChunks sketches a chunk-ID set.
+func SketchChunks(ids []ChunkID, k int) (*MinHashSignature, error) {
+	converted := make([]chunk.ID, len(ids))
+	copy(converted, ids)
+	return estimate.NewSignature(converted, k)
+}
+
+// SketchStream chunks data and sketches its chunk-ID set.
+func SketchStream(data []byte, chunker Chunker, k int) (*MinHashSignature, error) {
+	return estimate.SketchStream(data, chunker, k)
+}
+
+// SimilarityMatrix computes pairwise estimated Jaccard similarity of the
+// sampled sources in one pass per source — the cheap alternative to
+// Algorithm 1's exponential subset measurement for large edge fleets.
+// It returns the sorted source IDs and the matrix indexed by them.
+func SimilarityMatrix(samples map[int][][]byte, chunker Chunker, k int) ([]int, [][]float64, error) {
+	return estimate.SimilarityMatrix(samples, chunker, k)
+}

@@ -1,0 +1,3 @@
+module efdedup
+
+go 1.23

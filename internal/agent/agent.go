@@ -1,0 +1,404 @@
+// Package agent implements the EF-dedup Dedup Agent (paper Sec. IV): the
+// per-edge-node pipeline that splits incoming data into chunks, hashes
+// them, consults a deduplication index, and ships only unique chunks to
+// the central cloud.
+//
+// The agent runs in one of three modes, matching the paper's comparison:
+//
+//   - ModeRing (EF-dedup/SMART): the index is the D2-ring's distributed
+//     KV store; lookups mostly stay inside the edge; unique chunks are
+//     uploaded to the cloud.
+//   - ModeCloudAssisted: no edge index; chunk hashes are probed against
+//     the cloud's global index over the WAN, and misses are uploaded.
+//   - ModeCloudOnly: raw data is shipped to the cloud unmodified; the
+//     cloud chunks and deduplicates server-side.
+package agent
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"efdedup/internal/chunk"
+	"efdedup/internal/cloudstore"
+	"efdedup/internal/kvstore"
+)
+
+// Mode selects the deduplication strategy.
+type Mode int
+
+// Operating modes.
+const (
+	ModeRing Mode = iota + 1
+	ModeCloudAssisted
+	ModeCloudOnly
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case ModeRing:
+		return "ring"
+	case ModeCloudAssisted:
+		return "cloud-assisted"
+	case ModeCloudOnly:
+		return "cloud-only"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Default pipeline batch sizes. Lookups are batched but still issued as
+// chunks are produced, so index latency stays on the critical path (the
+// effect Fig. 5(b) measures). Uploads batch more aggressively since they
+// are bandwidth- rather than latency-bound.
+const (
+	DefaultLookupBatch = 32
+	DefaultUploadBatch = 64
+)
+
+// Config assembles an agent.
+type Config struct {
+	// Name identifies the agent (used in manifests).
+	Name string
+	// Mode selects the strategy; required.
+	Mode Mode
+	// Chunker splits input; defaults to an 8 KiB fixed chunker.
+	Chunker chunk.Chunker
+	// Index is the D2-ring index; required in ModeRing.
+	Index *kvstore.Cluster
+	// Cloud is the central store client; required in every mode.
+	Cloud *cloudstore.Client
+	// LookupBatch is the number of chunk hashes per index lookup RPC.
+	LookupBatch int
+	// UploadBatch is the number of chunks per cloud upload RPC.
+	UploadBatch int
+}
+
+// Report summarizes one processed stream.
+type Report struct {
+	// Name of the stream.
+	Name string
+	// InputBytes and InputChunks describe the pre-dedup stream.
+	InputBytes  int64
+	InputChunks int64
+	// DuplicateChunks were suppressed at the edge (or, for cloud-only,
+	// by the cloud).
+	DuplicateChunks int64
+	// UploadedChunks/UploadedBytes is what crossed the WAN as chunk
+	// payloads. Cloud-only mode uploads all InputBytes.
+	UploadedChunks int64
+	UploadedBytes  int64
+	// Duration is wall-clock processing time.
+	Duration time.Duration
+}
+
+// Throughput returns the client-observed dedup throughput in bytes/second
+// (the paper's "amount of input data deduplicated within a timeframe").
+func (r Report) Throughput() float64 {
+	if r.Duration <= 0 {
+		return 0
+	}
+	return float64(r.InputBytes) / r.Duration.Seconds()
+}
+
+// DedupRatio returns input bytes over uploaded bytes (∞-safe: returns 1
+// for empty input, and input/1 when nothing was uploaded).
+func (r Report) DedupRatio() float64 {
+	if r.InputBytes == 0 {
+		return 1
+	}
+	if r.UploadedBytes == 0 {
+		return float64(r.InputBytes)
+	}
+	return float64(r.InputBytes) / float64(r.UploadedBytes)
+}
+
+// Agent is a single edge node's dedup pipeline. Safe for sequential use;
+// create one agent per concurrent stream.
+type Agent struct {
+	cfg Config
+
+	total Report // cumulative across streams
+}
+
+// New validates cfg and returns an agent.
+func New(cfg Config) (*Agent, error) {
+	switch cfg.Mode {
+	case ModeRing:
+		if cfg.Index == nil {
+			return nil, errors.New("agent: ring mode needs an index cluster")
+		}
+	case ModeCloudAssisted, ModeCloudOnly:
+	default:
+		return nil, fmt.Errorf("agent: unknown mode %d", int(cfg.Mode))
+	}
+	if cfg.Cloud == nil {
+		return nil, errors.New("agent: cloud client required")
+	}
+	if cfg.Chunker == nil {
+		fc, err := chunk.NewFixedChunker(chunk.DefaultFixedSize)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Chunker = fc
+	}
+	if cfg.LookupBatch <= 0 {
+		cfg.LookupBatch = DefaultLookupBatch
+	}
+	if cfg.UploadBatch <= 0 {
+		cfg.UploadBatch = DefaultUploadBatch
+	}
+	return &Agent{cfg: cfg}, nil
+}
+
+// Mode returns the agent's operating mode.
+func (a *Agent) Mode() Mode { return a.cfg.Mode }
+
+// Totals returns cumulative counters across all processed streams.
+func (a *Agent) Totals() Report { return a.total }
+
+// ProcessBytes deduplicates an in-memory stream. See ProcessStream.
+func (a *Agent) ProcessBytes(ctx context.Context, name string, data []byte) (Report, error) {
+	return a.ProcessStream(ctx, name, bytes.NewReader(data))
+}
+
+// ProcessStream deduplicates r under the agent's mode, records a manifest
+// named after the stream and returns per-stream statistics. In ring and
+// cloud-assisted mode the stream is processed incrementally: memory stays
+// bounded by the in-flight lookup and upload batches regardless of stream
+// size. Cloud-only mode buffers the stream (it is shipped in one raw
+// upload, mirroring the paper's strategy of sending data unmodified).
+func (a *Agent) ProcessStream(ctx context.Context, name string, r io.Reader) (Report, error) {
+	start := time.Now()
+
+	if a.cfg.Mode == ModeCloudOnly {
+		data, err := io.ReadAll(r)
+		if err != nil {
+			return Report{}, fmt.Errorf("agent: read stream %s: %w", name, err)
+		}
+		rep := Report{Name: name}
+		stored, err := a.cfg.Cloud.UploadRaw(ctx, name, data)
+		if err != nil {
+			return rep, fmt.Errorf("agent: raw upload %s: %w", name, err)
+		}
+		rep.InputBytes = int64(len(data))
+		rep.UploadedBytes = int64(len(data)) // all bytes cross the WAN
+		rep.UploadedChunks = int64(stored)
+		rep.Duration = time.Since(start)
+		a.accumulate(rep)
+		return rep, nil
+	}
+
+	p := a.newPipeline(ctx, name)
+	err := a.cfg.Chunker.Split(r, p.add)
+	if err == nil {
+		err = p.flushLookups()
+	}
+	rep, finishErr := p.finish(err)
+	if finishErr != nil {
+		return rep, finishErr
+	}
+	if err := a.cfg.Cloud.PutManifest(ctx, name, p.manifest); err != nil {
+		return rep, fmt.Errorf("agent: manifest %s: %w", name, err)
+	}
+	rep.Duration = time.Since(start)
+	a.accumulate(rep)
+	return rep, nil
+}
+
+// pipeline is the per-stream dedup state machine: it accumulates chunks
+// into lookup batches, suppresses intra-stream duplicates, queues unique
+// chunks onto an asynchronous upload worker (so WAN transfers overlap
+// index lookups) and registers fresh hashes in the ring index off the
+// critical path. A bounded queue and semaphore cap in-flight data.
+type pipeline struct {
+	a   *Agent
+	ctx context.Context
+
+	rep      Report
+	manifest []chunk.ID
+	seen     map[chunk.ID]bool
+
+	lookupBuf     []chunk.Chunk
+	pendingUpload []chunk.Chunk
+
+	uploads   chan []chunk.Chunk
+	uploadErr chan error
+
+	indexWG  sync.WaitGroup
+	indexMu  sync.Mutex
+	indexErr error
+	indexSem chan struct{}
+}
+
+func (a *Agent) newPipeline(ctx context.Context, name string) *pipeline {
+	p := &pipeline{
+		a:         a,
+		ctx:       ctx,
+		rep:       Report{Name: name},
+		seen:      make(map[chunk.ID]bool),
+		uploads:   make(chan []chunk.Chunk, 4),
+		uploadErr: make(chan error, 1),
+		indexSem:  make(chan struct{}, 4),
+	}
+	go func() {
+		defer close(p.uploadErr)
+		for batch := range p.uploads {
+			if _, err := a.cfg.Cloud.BatchUpload(ctx, batch); err != nil {
+				p.uploadErr <- fmt.Errorf("agent: upload batch: %w", err)
+				// Drain remaining batches so the producer never blocks.
+				for range p.uploads {
+				}
+				return
+			}
+		}
+	}()
+	return p
+}
+
+// add receives one chunk from the chunker, in stream order.
+func (p *pipeline) add(c chunk.Chunk) error {
+	p.manifest = append(p.manifest, c.ID)
+	p.rep.InputBytes += int64(len(c.Data))
+	p.rep.InputChunks++
+	if p.seen[c.ID] {
+		p.rep.DuplicateChunks++
+		return nil
+	}
+	p.seen[c.ID] = true
+	p.lookupBuf = append(p.lookupBuf, c)
+	if len(p.lookupBuf) >= p.a.cfg.LookupBatch {
+		return p.flushLookups()
+	}
+	return nil
+}
+
+// flushLookups resolves the buffered chunks against the index and routes
+// the fresh ones to the uploader and (in ring mode) the ring index.
+func (p *pipeline) flushLookups() error {
+	if len(p.lookupBuf) == 0 {
+		return nil
+	}
+	batch := p.lookupBuf
+	p.lookupBuf = nil
+	known, err := p.a.lookup(p.ctx, batch)
+	if err != nil {
+		return err
+	}
+	var freshIDs [][]byte
+	for i, c := range batch {
+		if known[i] {
+			p.rep.DuplicateChunks++
+			continue
+		}
+		freshIDs = append(freshIDs, c.ID[:])
+		p.pendingUpload = append(p.pendingUpload, c)
+		if len(p.pendingUpload) >= p.a.cfg.UploadBatch {
+			p.queueUpload()
+		}
+	}
+	// Register the fresh hashes in the ring index so peers see them; our
+	// own later batches are covered by the local seen set, so the insert
+	// can proceed off the critical path.
+	if p.a.cfg.Mode == ModeRing && len(freshIDs) > 0 {
+		values := make([][]byte, len(freshIDs))
+		for i := range values {
+			values[i] = []byte(p.a.cfg.Name)
+		}
+		p.indexSem <- struct{}{}
+		p.indexWG.Add(1)
+		go func(keys, values [][]byte) {
+			defer p.indexWG.Done()
+			defer func() { <-p.indexSem }()
+			if err := p.a.cfg.Index.BatchPut(p.ctx, keys, values); err != nil {
+				p.indexMu.Lock()
+				if p.indexErr == nil {
+					p.indexErr = fmt.Errorf("agent: index insert: %w", err)
+				}
+				p.indexMu.Unlock()
+			}
+		}(freshIDs, values)
+	}
+	return nil
+}
+
+// queueUpload hands the pending chunks to the asynchronous uploader.
+func (p *pipeline) queueUpload() {
+	if len(p.pendingUpload) == 0 {
+		return
+	}
+	batch := make([]chunk.Chunk, len(p.pendingUpload))
+	copy(batch, p.pendingUpload)
+	p.uploads <- batch
+	for _, c := range p.pendingUpload {
+		p.rep.UploadedChunks++
+		p.rep.UploadedBytes += int64(len(c.Data))
+	}
+	p.pendingUpload = p.pendingUpload[:0]
+}
+
+// finish drains the pipeline and reports the first error among the given
+// stream error, upload failures and index failures.
+func (p *pipeline) finish(streamErr error) (Report, error) {
+	if streamErr == nil {
+		p.queueUpload()
+	}
+	close(p.uploads)
+	uploadFailure := <-p.uploadErr
+	p.indexWG.Wait()
+	p.indexMu.Lock()
+	indexFailure := p.indexErr
+	p.indexMu.Unlock()
+	switch {
+	case streamErr != nil:
+		return p.rep, streamErr
+	case uploadFailure != nil:
+		return p.rep, uploadFailure
+	case indexFailure != nil:
+		return p.rep, indexFailure
+	}
+	return p.rep, nil
+}
+
+// lookup answers which chunks in the batch are already indexed.
+func (a *Agent) lookup(ctx context.Context, batch []chunk.Chunk) ([]bool, error) {
+	switch a.cfg.Mode {
+	case ModeRing:
+		keys := make([][]byte, len(batch))
+		for i, c := range batch {
+			id := c.ID
+			keys[i] = id[:]
+		}
+		known, err := a.cfg.Index.BatchHas(ctx, keys)
+		if err != nil {
+			return nil, fmt.Errorf("agent: ring lookup: %w", err)
+		}
+		return known, nil
+	case ModeCloudAssisted:
+		ids := make([]chunk.ID, len(batch))
+		for i, c := range batch {
+			ids[i] = c.ID
+		}
+		known, err := a.cfg.Cloud.BatchHas(ctx, ids)
+		if err != nil {
+			return nil, fmt.Errorf("agent: cloud lookup: %w", err)
+		}
+		return known, nil
+	default:
+		return nil, fmt.Errorf("agent: lookup in mode %s", a.cfg.Mode)
+	}
+}
+
+func (a *Agent) accumulate(rep Report) {
+	a.total.InputBytes += rep.InputBytes
+	a.total.InputChunks += rep.InputChunks
+	a.total.DuplicateChunks += rep.DuplicateChunks
+	a.total.UploadedChunks += rep.UploadedChunks
+	a.total.UploadedBytes += rep.UploadedBytes
+	a.total.Duration += rep.Duration
+}

@@ -1,0 +1,128 @@
+package agent
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"efdedup/internal/cloudstore"
+	"efdedup/internal/kvstore"
+	"efdedup/internal/transport"
+)
+
+// deadCloudClient returns a client whose server is already gone.
+func deadCloudClient(t *testing.T) *cloudstore.Client {
+	t.Helper()
+	nw := transport.NewMemNetwork()
+	srv, err := cloudstore.NewServer(cloudstore.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := nw.Listen("cloud")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Serve(l)
+	cl, err := cloudstore.Dial(context.Background(), nw, "cloud")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cl.Close() })
+	srv.Close()
+	return cl
+}
+
+// TestUploadFailureSurfacesAndDrains: with the cloud gone, the async
+// uploader must report the failure and the pipeline must terminate
+// instead of blocking on its queue.
+func TestUploadFailureSurfacesAndDrains(t *testing.T) {
+	a, err := New(Config{
+		Name:  "doomed",
+		Mode:  ModeCloudAssisted,
+		Cloud: deadCloudClient(t),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := duplicatedData(1, 256*1024)
+	done := make(chan error, 1)
+	go func() {
+		_, err := a.ProcessBytes(context.Background(), "f", data)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("processing succeeded against a dead cloud")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("pipeline hung on a dead cloud")
+	}
+}
+
+// TestIndexFailureSurfaces: ring mode with every index node dead must
+// fail the stream with an index/lookup error.
+func TestIndexFailureSurfaces(t *testing.T) {
+	tb := newTestbed(t, 1)
+	idx, err := kvstore.NewCluster(kvstore.ClusterConfig{
+		Members:     []string{"kv-gone"},
+		Network:     tb.nw,
+		CallTimeout: 200 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { idx.Close() })
+	a, err := New(Config{
+		Name:  "no-index",
+		Mode:  ModeRing,
+		Index: idx,
+		Cloud: tb.cloudClient(t),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = a.ProcessBytes(context.Background(), "f", duplicatedData(2, 64*1024))
+	if err == nil {
+		t.Fatal("processing succeeded without a reachable index")
+	}
+	if !strings.Contains(err.Error(), "lookup") && !strings.Contains(err.Error(), "index") {
+		t.Fatalf("unexpected error kind: %v", err)
+	}
+}
+
+// TestContextCancellationStopsProcessing: a cancelled context aborts the
+// stream promptly.
+func TestContextCancellationStopsProcessing(t *testing.T) {
+	tb := newTestbed(t, 3)
+	a := ringAgent(t, tb, "cancelled", 0)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := a.ProcessBytes(ctx, "f", duplicatedData(3, 256*1024))
+	if err == nil {
+		t.Fatal("processing succeeded with a cancelled context")
+	}
+}
+
+// TestEmptyStream: zero-byte input is a valid no-op stream.
+func TestEmptyStream(t *testing.T) {
+	tb := newTestbed(t, 3)
+	a := ringAgent(t, tb, "empty", 0)
+	rep, err := a.ProcessBytes(context.Background(), "empty-file", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.InputBytes != 0 || rep.UploadedBytes != 0 {
+		t.Fatalf("empty stream produced bytes: %+v", rep)
+	}
+	// Its manifest restores to an empty stream.
+	cl := tb.cloudClient(t)
+	got, err := cl.Restore(context.Background(), "empty-file")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("restored %d bytes for empty stream", len(got))
+	}
+}

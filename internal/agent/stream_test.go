@@ -1,0 +1,124 @@
+package agent
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"testing"
+)
+
+// repeatingReader yields size bytes of a repeating pattern without ever
+// materializing them, so streaming tests can push data much larger than
+// any buffer the agent is allowed to hold.
+type repeatingReader struct {
+	pattern []byte
+	remain  int64
+	off     int
+}
+
+func (r *repeatingReader) Read(p []byte) (int, error) {
+	if r.remain <= 0 {
+		return 0, io.EOF
+	}
+	n := 0
+	for n < len(p) && r.remain > 0 {
+		c := copy(p[n:], r.pattern[r.off:])
+		if int64(c) > r.remain {
+			c = int(r.remain)
+		}
+		n += c
+		r.remain -= int64(c)
+		r.off = (r.off + c) % len(r.pattern)
+	}
+	return n, nil
+}
+
+// TestProcessStreamIncremental pushes a 16 MiB highly-redundant stream
+// through a ring agent from a reader (never materialized as one slice)
+// and checks the pipeline deduplicates it down to the pattern size.
+func TestProcessStreamIncremental(t *testing.T) {
+	tb := newTestbed(t, 3)
+	a := ringAgent(t, tb, "streamer", 0)
+
+	pattern := make([]byte, 64*1024) // 8 distinct chunks at the 8 KiB default
+	for i := 0; i+8 <= len(pattern); i += 8 {
+		binary.LittleEndian.PutUint64(pattern[i:], uint64(i)*0x9E3779B97F4A7C15)
+	}
+	const total = 16 << 20
+	r := &repeatingReader{pattern: pattern, remain: total}
+
+	rep, err := a.ProcessStream(t.Context(), "big-stream", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.InputBytes != total {
+		t.Fatalf("InputBytes = %d, want %d", rep.InputBytes, total)
+	}
+	if rep.UploadedBytes != int64(len(pattern)) {
+		t.Fatalf("UploadedBytes = %d, want %d (one pattern's worth)", rep.UploadedBytes, len(pattern))
+	}
+	if got := rep.DedupRatio(); got < 250 {
+		t.Fatalf("DedupRatio = %.0f, want >= 250 on a repeating stream", got)
+	}
+	// The cloud holds exactly the pattern.
+	if st := tb.cloud.Stats(); st.UniqueBytes != int64(len(pattern)) {
+		t.Fatalf("cloud UniqueBytes = %d, want %d", st.UniqueBytes, len(pattern))
+	}
+}
+
+// failingReader errors mid-stream.
+type failingReader struct {
+	data []byte
+	off  int
+}
+
+var errStreamBroke = errors.New("stream broke")
+
+func (r *failingReader) Read(p []byte) (int, error) {
+	if r.off >= len(r.data) {
+		return 0, errStreamBroke
+	}
+	n := copy(p, r.data[r.off:])
+	r.off += n
+	return n, nil
+}
+
+// TestProcessStreamReadFailure: a mid-stream read error must surface and
+// must not wedge the pipeline's background workers.
+func TestProcessStreamReadFailure(t *testing.T) {
+	tb := newTestbed(t, 3)
+	a := ringAgent(t, tb, "broken", 0)
+	data := bytes.Repeat([]byte{1, 2, 3, 4}, 64*1024)
+	_, err := a.ProcessStream(t.Context(), "broken-stream", &failingReader{data: data})
+	if err == nil {
+		t.Fatal("mid-stream failure not reported")
+	}
+	// The agent must remain usable afterwards.
+	rep, err := a.ProcessBytes(t.Context(), "after", data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.InputBytes != int64(len(data)) {
+		t.Fatalf("agent wedged after stream failure: %+v", rep)
+	}
+}
+
+// TestProcessStreamManifestOrder verifies the manifest preserves stream
+// order including duplicate chunks, so restore reproduces the stream.
+func TestProcessStreamManifestOrder(t *testing.T) {
+	tb := newTestbed(t, 3)
+	a := ringAgent(t, tb, "order", 0)
+	half := duplicatedData(5, 64*1024)
+	if _, err := a.ProcessBytes(t.Context(), "ordered", half); err != nil {
+		t.Fatal(err)
+	}
+	cl := tb.cloudClient(t)
+	got, err := cl.Restore(t.Context(), "ordered")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, half) {
+		t.Fatal("restored stream differs (manifest order broken)")
+	}
+}

@@ -1,0 +1,88 @@
+package chunk
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchData(n int) []byte {
+	rng := rand.New(rand.NewSource(1))
+	b := make([]byte, n)
+	rng.Read(b)
+	return b
+}
+
+func BenchmarkFixedChunker(b *testing.B) {
+	data := benchData(4 << 20)
+	c, err := NewFixedChunker(8192)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SplitBytes(c, data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGearChunker(b *testing.B) {
+	data := benchData(4 << 20)
+	c := NewDefaultGearChunker()
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SplitBytes(c, data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkChunkerShiftAblation quantifies the design choice behind CDC
+// (the paper's variable-size-chunking future work): chunk-ID survival
+// after a 7-byte prefix insertion, reported as a custom metric.
+func BenchmarkChunkerShiftAblation(b *testing.B) {
+	data := benchData(1 << 20)
+	shifted := append(benchData(7), data...)
+	chunkers := map[string]Chunker{
+		"fixed8k": mustFixedB(b, 8192),
+		"gear":    NewDefaultGearChunker(),
+	}
+	for name, c := range chunkers {
+		b.Run(name, func(b *testing.B) {
+			var survival float64
+			for i := 0; i < b.N; i++ {
+				orig, err := SplitBytes(c, data)
+				if err != nil {
+					b.Fatal(err)
+				}
+				ids := make(map[ID]bool, len(orig))
+				for _, ck := range orig {
+					ids[ck.ID] = true
+				}
+				moved, err := SplitBytes(c, shifted)
+				if err != nil {
+					b.Fatal(err)
+				}
+				kept := 0
+				for _, ck := range moved {
+					if ids[ck.ID] {
+						kept++
+					}
+				}
+				survival = float64(kept) / float64(len(orig)) * 100
+			}
+			b.ReportMetric(survival, "id-survival-%")
+		})
+	}
+}
+
+func mustFixedB(b *testing.B, size int) *FixedChunker {
+	b.Helper()
+	c, err := NewFixedChunker(size)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return c
+}

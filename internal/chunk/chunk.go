@@ -1,0 +1,120 @@
+// Package chunk provides the chunking substrate of the EF-dedup Dedup
+// Agent: splitting byte streams into chunks and naming each chunk by the
+// SHA-256 of its content.
+//
+// Two chunker families are provided:
+//
+//   - FixedChunker: equal-size chunks, matching the paper's duperemove-based
+//     prototype and the equal-size-chunk assumption of the analytic model.
+//   - GearChunker: content-defined chunking (CDC) using a gear hash — the
+//     paper's "variable-size chunking" future-work extension. Boundaries are
+//     chosen by content, so insertions shift at most the neighbouring chunks.
+package chunk
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+)
+
+// IDSize is the byte length of a chunk identifier.
+const IDSize = sha256.Size
+
+// ID is a content-derived chunk identifier (SHA-256 of the chunk bytes).
+type ID [IDSize]byte
+
+// Sum returns the identifier of the given chunk content.
+func Sum(data []byte) ID { return sha256.Sum256(data) }
+
+// String returns the hexadecimal form of the identifier.
+func (id ID) String() string { return hex.EncodeToString(id[:]) }
+
+// ParseID decodes a 64-character hexadecimal chunk identifier.
+func ParseID(s string) (ID, error) {
+	var id ID
+	if len(s) != 2*IDSize {
+		return id, fmt.Errorf("chunk: ID %q has length %d, want %d", s, len(s), 2*IDSize)
+	}
+	b, err := hex.DecodeString(s)
+	if err != nil {
+		return id, fmt.Errorf("chunk: parse ID: %w", err)
+	}
+	copy(id[:], b)
+	return id, nil
+}
+
+// Chunk is one unit of deduplication: a contiguous byte range of the input
+// plus its content identifier.
+type Chunk struct {
+	// ID is the SHA-256 of Data.
+	ID ID
+	// Offset is the byte offset of the chunk in the original stream.
+	Offset int64
+	// Data is the chunk payload. Chunkers hand out freshly allocated
+	// slices; callers own them.
+	Data []byte
+}
+
+// Len returns the payload size in bytes.
+func (c Chunk) Len() int { return len(c.Data) }
+
+// Chunker splits a stream into chunks.
+type Chunker interface {
+	// Split reads r to EOF and invokes emit for every chunk in stream
+	// order. It stops early and returns the callback's error if emit
+	// fails. The final chunk may be shorter than the target size.
+	Split(r io.Reader, emit func(Chunk) error) error
+}
+
+// SplitBytes is a convenience helper that splits an in-memory buffer and
+// returns the chunk list.
+func SplitBytes(c Chunker, data []byte) ([]Chunk, error) {
+	var out []Chunk
+	err := c.Split(bytesReader(data), func(ch Chunk) error {
+		out = append(out, ch)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// bytesReader avoids importing bytes just for one constructor.
+type byteSliceReader struct {
+	data []byte
+	off  int
+}
+
+func bytesReader(b []byte) io.Reader { return &byteSliceReader{data: b} }
+
+func (r *byteSliceReader) Read(p []byte) (int, error) {
+	if r.off >= len(r.data) {
+		return 0, io.EOF
+	}
+	n := copy(p, r.data[r.off:])
+	r.off += n
+	return n, nil
+}
+
+// Reassemble concatenates chunks back into the original stream and verifies
+// both the offsets and the content IDs. It is used by tests and by the
+// restore path of the cloud store.
+func Reassemble(chunks []Chunk) ([]byte, error) {
+	var total int64
+	for i, c := range chunks {
+		if c.Offset != total {
+			return nil, fmt.Errorf("chunk: chunk %d at offset %d, want %d", i, c.Offset, total)
+		}
+		if Sum(c.Data) != c.ID {
+			return nil, fmt.Errorf("chunk: chunk %d content does not match its ID", i)
+		}
+		total += int64(len(c.Data))
+	}
+	out := make([]byte, 0, total)
+	for _, c := range chunks {
+		out = append(out, c.Data...)
+	}
+	return out, nil
+}

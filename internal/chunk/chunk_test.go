@@ -1,0 +1,317 @@
+package chunk
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSumDeterministic(t *testing.T) {
+	a := Sum([]byte("hello"))
+	b := Sum([]byte("hello"))
+	c := Sum([]byte("hellp"))
+	if a != b {
+		t.Error("identical content produced different IDs")
+	}
+	if a == c {
+		t.Error("different content produced identical IDs")
+	}
+}
+
+func TestIDStringRoundTrip(t *testing.T) {
+	id := Sum([]byte("round trip"))
+	parsed, err := ParseID(id.String())
+	if err != nil {
+		t.Fatalf("ParseID: %v", err)
+	}
+	if parsed != id {
+		t.Fatalf("ParseID(%q) = %v, want %v", id.String(), parsed, id)
+	}
+}
+
+func TestParseIDErrors(t *testing.T) {
+	if _, err := ParseID("abc"); err == nil {
+		t.Error("short ID accepted")
+	}
+	bad := string(make([]byte, 2*IDSize))
+	if _, err := ParseID(bad); err == nil {
+		t.Error("non-hex ID accepted")
+	}
+}
+
+func TestFixedChunkerSizes(t *testing.T) {
+	f, err := NewFixedChunker(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Size() != 10 {
+		t.Fatalf("Size = %d, want 10", f.Size())
+	}
+	data := make([]byte, 35)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	chunks, err := SplitBytes(f, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantLens := []int{10, 10, 10, 5}
+	if len(chunks) != len(wantLens) {
+		t.Fatalf("got %d chunks, want %d", len(chunks), len(wantLens))
+	}
+	var off int64
+	for i, c := range chunks {
+		if c.Len() != wantLens[i] {
+			t.Errorf("chunk %d len = %d, want %d", i, c.Len(), wantLens[i])
+		}
+		if c.Offset != off {
+			t.Errorf("chunk %d offset = %d, want %d", i, c.Offset, off)
+		}
+		if Sum(c.Data) != c.ID {
+			t.Errorf("chunk %d ID mismatch", i)
+		}
+		off += int64(c.Len())
+	}
+}
+
+func TestFixedChunkerEmptyInput(t *testing.T) {
+	f, _ := NewFixedChunker(8)
+	chunks, err := SplitBytes(f, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chunks) != 0 {
+		t.Fatalf("got %d chunks for empty input, want 0", len(chunks))
+	}
+}
+
+func TestFixedChunkerRejectsBadSize(t *testing.T) {
+	for _, size := range []int{0, -1} {
+		if _, err := NewFixedChunker(size); err == nil {
+			t.Errorf("NewFixedChunker(%d) accepted", size)
+		}
+	}
+}
+
+func TestFixedChunkerEmitErrorStops(t *testing.T) {
+	f, _ := NewFixedChunker(4)
+	wantErr := errors.New("stop")
+	calls := 0
+	err := f.Split(bytes.NewReader(make([]byte, 100)), func(Chunk) error {
+		calls++
+		return wantErr
+	})
+	if !errors.Is(err, wantErr) {
+		t.Fatalf("Split error = %v, want %v", err, wantErr)
+	}
+	if calls != 1 {
+		t.Fatalf("emit called %d times after error, want 1", calls)
+	}
+}
+
+func TestGearChunkerGeometryValidation(t *testing.T) {
+	tests := []struct{ min, target, max int }{
+		{0, 8, 16},
+		{8, 4, 16},   // target < min
+		{4, 8, 7},    // max < target
+		{4, 12, 100}, // target not a power of two
+	}
+	for _, tt := range tests {
+		if _, err := NewGearChunker(tt.min, tt.target, tt.max); err == nil {
+			t.Errorf("NewGearChunker(%d,%d,%d) accepted", tt.min, tt.target, tt.max)
+		}
+	}
+}
+
+func randomBytes(rng *rand.Rand, n int) []byte {
+	b := make([]byte, n)
+	rng.Read(b)
+	return b
+}
+
+func TestGearChunkerBounds(t *testing.T) {
+	g := NewDefaultGearChunker()
+	rng := rand.New(rand.NewSource(1))
+	data := randomBytes(rng, 1<<20)
+	chunks, err := SplitBytes(g, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chunks) < 2 {
+		t.Fatalf("got %d chunks for 1 MiB input", len(chunks))
+	}
+	for i, c := range chunks[:len(chunks)-1] {
+		if c.Len() < DefaultGearMin || c.Len() > DefaultGearMax {
+			t.Errorf("chunk %d size %d outside [%d,%d]", i, c.Len(), DefaultGearMin, DefaultGearMax)
+		}
+	}
+	// Average chunk size should be within 3x of the target either way.
+	avg := float64(len(data)) / float64(len(chunks))
+	if avg < DefaultGearTarget/3 || avg > DefaultGearTarget*3 {
+		t.Errorf("average chunk size %.0f too far from target %d", avg, DefaultGearTarget)
+	}
+}
+
+// TestGearChunkerShiftResilience verifies the CDC property: after inserting
+// bytes near the front, most chunk IDs are preserved, whereas fixed-size
+// chunking loses almost all of them.
+func TestGearChunkerShiftResilience(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	data := randomBytes(rng, 1<<19)
+	shifted := append(append([]byte{}, randomBytes(rng, 7)...), data...)
+
+	idSet := func(cs []Chunk) map[ID]bool {
+		m := make(map[ID]bool, len(cs))
+		for _, c := range cs {
+			m[c.ID] = true
+		}
+		return m
+	}
+	overlap := func(c Chunker) float64 {
+		a, err := SplitBytes(c, data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := SplitBytes(c, shifted)
+		if err != nil {
+			t.Fatal(err)
+		}
+		as, shared := idSet(a), 0
+		for _, cb := range b {
+			if as[cb.ID] {
+				shared++
+			}
+		}
+		return float64(shared) / float64(len(a))
+	}
+
+	gear := overlap(NewDefaultGearChunker())
+	fixed8k, _ := NewFixedChunker(8 * 1024)
+	fixed := overlap(fixed8k)
+
+	if gear < 0.9 {
+		t.Errorf("gear chunker preserved only %.1f%% of chunks after shift", gear*100)
+	}
+	if fixed > 0.1 {
+		t.Errorf("fixed chunker unexpectedly preserved %.1f%% after shift", fixed*100)
+	}
+}
+
+func TestReassembleRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	data := randomBytes(rng, 200000)
+	for name, c := range map[string]Chunker{
+		"fixed": mustFixed(t, 4096),
+		"gear":  NewDefaultGearChunker(),
+	} {
+		chunks, err := SplitBytes(c, data)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		back, err := Reassemble(chunks)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !bytes.Equal(back, data) {
+			t.Fatalf("%s: reassembled stream differs from input", name)
+		}
+	}
+}
+
+func TestReassembleDetectsCorruption(t *testing.T) {
+	f := mustFixed(t, 16)
+	chunks, err := SplitBytes(f, []byte("some content that spans multiple chunks here"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt payload without updating the ID.
+	chunks[1].Data[0] ^= 0xFF
+	if _, err := Reassemble(chunks); err == nil {
+		t.Error("corrupted chunk not detected")
+	}
+	chunks[1].Data[0] ^= 0xFF
+	// Break offsets.
+	chunks[1].Offset += 3
+	if _, err := Reassemble(chunks); err == nil {
+		t.Error("offset gap not detected")
+	}
+}
+
+func mustFixed(t *testing.T, size int) *FixedChunker {
+	t.Helper()
+	f, err := NewFixedChunker(size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// TestPropertyChunkersPreserveContent: for any input, splitting and
+// reassembling is the identity, for both chunkers.
+func TestPropertyChunkersPreserveContent(t *testing.T) {
+	gear := NewDefaultGearChunker()
+	fixed := mustFixed(t, 512)
+	f := func(data []byte) bool {
+		for _, c := range []Chunker{gear, fixed} {
+			chunks, err := SplitBytes(c, data)
+			if err != nil {
+				return false
+			}
+			back, err := Reassemble(chunks)
+			if err != nil {
+				return false
+			}
+			if !bytes.Equal(back, data) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyFixedChunkCount: chunk count is ceil(len/size).
+func TestPropertyFixedChunkCount(t *testing.T) {
+	f := func(raw []byte, sizeSeed uint8) bool {
+		size := int(sizeSeed)%100 + 1
+		c, err := NewFixedChunker(size)
+		if err != nil {
+			return false
+		}
+		chunks, err := SplitBytes(c, raw)
+		if err != nil {
+			return false
+		}
+		want := (len(raw) + size - 1) / size
+		return len(chunks) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGearDeterminism: the same input always yields the same chunk IDs.
+func TestGearDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	data := randomBytes(rng, 1<<18)
+	a, err := SplitBytes(NewDefaultGearChunker(), data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SplitBytes(NewDefaultGearChunker(), data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("chunk counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].ID != b[i].ID {
+			t.Fatalf("chunk %d differs between runs", i)
+		}
+	}
+}

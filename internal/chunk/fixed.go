@@ -1,0 +1,55 @@
+package chunk
+
+import (
+	"fmt"
+	"io"
+)
+
+// DefaultFixedSize is the default fixed chunk size: 8 KiB, mirroring the
+// duperemove-style prototype in the paper.
+const DefaultFixedSize = 8 * 1024
+
+// FixedChunker splits a stream into equal-size chunks (the last chunk may
+// be shorter). The zero value is not usable; construct with NewFixedChunker.
+type FixedChunker struct {
+	size int
+}
+
+var _ Chunker = (*FixedChunker)(nil)
+
+// NewFixedChunker returns a chunker producing size-byte chunks. size must
+// be positive.
+func NewFixedChunker(size int) (*FixedChunker, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("chunk: fixed chunk size %d must be positive", size)
+	}
+	return &FixedChunker{size: size}, nil
+}
+
+// Size returns the configured chunk size.
+func (f *FixedChunker) Size() int { return f.size }
+
+// Split implements Chunker.
+func (f *FixedChunker) Split(r io.Reader, emit func(Chunk) error) error {
+	var offset int64
+	for {
+		buf := make([]byte, f.size)
+		n, err := io.ReadFull(r, buf)
+		if n > 0 {
+			data := buf[:n]
+			c := Chunk{ID: Sum(data), Offset: offset, Data: data}
+			if cbErr := emit(c); cbErr != nil {
+				return cbErr
+			}
+			offset += int64(n)
+		}
+		switch err {
+		case nil:
+			continue
+		case io.EOF, io.ErrUnexpectedEOF:
+			return nil
+		default:
+			return fmt.Errorf("chunk: read input: %w", err)
+		}
+	}
+}

@@ -1,0 +1,117 @@
+package chunk
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// Default gear-chunker geometry: 2 KiB minimum, 8 KiB target, 64 KiB
+// maximum chunk size.
+const (
+	DefaultGearMin    = 2 * 1024
+	DefaultGearTarget = 8 * 1024
+	DefaultGearMax    = 64 * 1024
+)
+
+// GearChunker is a content-defined chunker based on a gear rolling hash
+// (as in FastCDC). A boundary is declared whenever the rolling hash has its
+// top maskBits bits clear, yielding chunks of ~target bytes on average.
+// Because boundaries depend only on a 64-byte window of content, inserting
+// or deleting bytes disturbs only nearby chunk boundaries — the key
+// property that lets variable-size chunking find more duplicates than
+// fixed-size chunking on shifted data.
+type GearChunker struct {
+	min, target, max int
+	mask             uint64
+	table            [256]uint64
+}
+
+var _ Chunker = (*GearChunker)(nil)
+
+// NewGearChunker returns a CDC chunker with the given minimum, average
+// (power of two) and maximum chunk sizes.
+func NewGearChunker(min, target, max int) (*GearChunker, error) {
+	if min <= 0 || target < min || max < target {
+		return nil, fmt.Errorf("chunk: invalid gear geometry min=%d target=%d max=%d", min, target, max)
+	}
+	if target&(target-1) != 0 {
+		return nil, fmt.Errorf("chunk: gear target size %d must be a power of two", target)
+	}
+	g := &GearChunker{min: min, target: target, max: max}
+	// Boundary when the top log2(target) bits are zero: probability
+	// 1/target per byte → expected chunk length ≈ target.
+	bits := 0
+	for t := target; t > 1; t >>= 1 {
+		bits++
+	}
+	g.mask = ^uint64(0) << (64 - bits)
+	g.table = gearTable()
+	return g, nil
+}
+
+// NewDefaultGearChunker returns a chunker with the default 2K/8K/64K
+// geometry.
+func NewDefaultGearChunker() *GearChunker {
+	g, err := NewGearChunker(DefaultGearMin, DefaultGearTarget, DefaultGearMax)
+	if err != nil {
+		panic(err) // unreachable: constants are valid
+	}
+	return g
+}
+
+// gearTable derives 256 pseudo-random gear values from SplitMix64 so the
+// chunker is fully deterministic across runs and platforms.
+func gearTable() [256]uint64 {
+	var t [256]uint64
+	state := uint64(0x9E3779B97F4A7C15)
+	for i := range t {
+		state += 0x9E3779B97F4A7C15
+		z := state
+		z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+		z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+		t[i] = z ^ (z >> 31)
+	}
+	return t
+}
+
+// Split implements Chunker.
+func (g *GearChunker) Split(r io.Reader, emit func(Chunk) error) error {
+	br := bufio.NewReaderSize(r, 64*1024)
+	var (
+		offset int64
+		buf    = make([]byte, 0, g.max)
+		hash   uint64
+	)
+	flush := func() error {
+		if len(buf) == 0 {
+			return nil
+		}
+		data := make([]byte, len(buf))
+		copy(data, buf)
+		c := Chunk{ID: Sum(data), Offset: offset, Data: data}
+		offset += int64(len(data))
+		buf = buf[:0]
+		hash = 0
+		return emit(c)
+	}
+	for {
+		b, err := br.ReadByte()
+		if err == io.EOF {
+			if fErr := flush(); fErr != nil {
+				return fErr
+			}
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("chunk: read input: %w", err)
+		}
+		buf = append(buf, b)
+		hash = (hash << 1) + g.table[b]
+		if len(buf) >= g.min && hash&g.mask == 0 || len(buf) >= g.max {
+			if fErr := flush(); fErr != nil {
+				return fErr
+			}
+		}
+	}
+}

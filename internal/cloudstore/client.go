@@ -1,0 +1,194 @@
+package cloudstore
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+
+	"efdedup/internal/chunk"
+	"efdedup/internal/transport"
+)
+
+// Dialer is the dial half of a transport network.
+type Dialer interface {
+	Dial(ctx context.Context, addr string) (net.Conn, error)
+}
+
+// Client talks to a cloud store over one multiplexed connection.
+type Client struct {
+	addr   string
+	dialer Dialer
+	rpc    *transport.Client
+}
+
+// Dial connects to the cloud store at addr.
+func Dial(ctx context.Context, d Dialer, addr string) (*Client, error) {
+	conn, err := d.Dial(ctx, addr)
+	if err != nil {
+		return nil, fmt.Errorf("cloudstore: dial %s: %w", addr, err)
+	}
+	return &Client{addr: addr, dialer: d, rpc: transport.NewClient(conn)}, nil
+}
+
+// Close releases the connection.
+func (c *Client) Close() error { return c.rpc.Close() }
+
+// Upload stores one chunk, returning whether the cloud had not seen it.
+func (c *Client) Upload(ctx context.Context, ck chunk.Chunk) (fresh bool, err error) {
+	body := make([]byte, 0, chunk.IDSize+len(ck.Data))
+	body = append(body, ck.ID[:]...)
+	body = append(body, ck.Data...)
+	resp, err := c.rpc.Call(ctx, methodUpload, body)
+	if err != nil {
+		return false, err
+	}
+	return len(resp) == 1 && resp[0] == 1, nil
+}
+
+// BatchUpload stores many chunks in one RPC and returns how many were new.
+func (c *Client) BatchUpload(ctx context.Context, chunks []chunk.Chunk) (stored int, err error) {
+	body := binary.BigEndian.AppendUint32(nil, uint32(len(chunks)))
+	for _, ck := range chunks {
+		body = append(body, ck.ID[:]...)
+		body = binary.BigEndian.AppendUint32(body, uint32(len(ck.Data)))
+		body = append(body, ck.Data...)
+	}
+	resp, err := c.rpc.Call(ctx, methodBatchUpload, body)
+	if err != nil {
+		return 0, err
+	}
+	if len(resp) != 4 {
+		return 0, errors.New("cloudstore: malformed batch upload response")
+	}
+	return int(binary.BigEndian.Uint32(resp)), nil
+}
+
+// BatchHas asks the cloud's global index which of the given chunk IDs it
+// already stores (the cloud-assisted lookup path).
+func (c *Client) BatchHas(ctx context.Context, ids []chunk.ID) ([]bool, error) {
+	body := binary.BigEndian.AppendUint32(nil, uint32(len(ids)))
+	for _, id := range ids {
+		body = append(body, id[:]...)
+	}
+	resp, err := c.rpc.Call(ctx, methodBatchHas, body)
+	if err != nil {
+		return nil, err
+	}
+	if len(resp) != len(ids) {
+		return nil, errors.New("cloudstore: malformed has response")
+	}
+	out := make([]bool, len(ids))
+	for i, b := range resp {
+		out[i] = b == 1
+	}
+	return out, nil
+}
+
+// UploadRaw ships an entire stream to the cloud (cloud-only mode); the
+// server chunks and deduplicates it and records a manifest under name.
+func (c *Client) UploadRaw(ctx context.Context, name string, data []byte) (storedChunks int, err error) {
+	if len(name) > 65535 {
+		return 0, errors.New("cloudstore: name too long")
+	}
+	body := binary.BigEndian.AppendUint16(nil, uint16(len(name)))
+	body = append(body, name...)
+	body = append(body, data...)
+	resp, err := c.rpc.Call(ctx, methodUploadRaw, body)
+	if err != nil {
+		return 0, err
+	}
+	if len(resp) != 4 {
+		return 0, errors.New("cloudstore: malformed raw upload response")
+	}
+	return int(binary.BigEndian.Uint32(resp)), nil
+}
+
+// GetChunk fetches one chunk's payload.
+func (c *Client) GetChunk(ctx context.Context, id chunk.ID) ([]byte, error) {
+	resp, err := c.rpc.Call(ctx, methodGetChunk, id[:])
+	if err != nil {
+		if isRemoteNotFound(err) {
+			return nil, ErrNotFound
+		}
+		return nil, err
+	}
+	return resp, nil
+}
+
+// PutManifest records the chunk sequence of a named file.
+func (c *Client) PutManifest(ctx context.Context, name string, ids []chunk.ID) error {
+	if len(name) > 65535 {
+		return errors.New("cloudstore: name too long")
+	}
+	body := binary.BigEndian.AppendUint16(nil, uint16(len(name)))
+	body = append(body, name...)
+	for _, id := range ids {
+		body = append(body, id[:]...)
+	}
+	_, err := c.rpc.Call(ctx, methodPutManifest, body)
+	return err
+}
+
+// GetManifest returns the chunk sequence of a named file.
+func (c *Client) GetManifest(ctx context.Context, name string) ([]chunk.ID, error) {
+	resp, err := c.rpc.Call(ctx, methodGetManifest, []byte(name))
+	if err != nil {
+		if isRemoteNotFound(err) {
+			return nil, ErrNotFound
+		}
+		return nil, err
+	}
+	if len(resp)%chunk.IDSize != 0 {
+		return nil, errors.New("cloudstore: malformed manifest response")
+	}
+	ids := make([]chunk.ID, len(resp)/chunk.IDSize)
+	for i := range ids {
+		copy(ids[i][:], resp[i*chunk.IDSize:])
+	}
+	return ids, nil
+}
+
+// Restore downloads and reassembles a named file, verifying every chunk.
+func (c *Client) Restore(ctx context.Context, name string) ([]byte, error) {
+	ids, err := c.GetManifest(ctx, name)
+	if err != nil {
+		return nil, err
+	}
+	var out []byte
+	for i, id := range ids {
+		data, err := c.GetChunk(ctx, id)
+		if err != nil {
+			return nil, fmt.Errorf("cloudstore: restore %s chunk %d: %w", name, i, err)
+		}
+		if chunk.Sum(data) != id {
+			return nil, fmt.Errorf("cloudstore: restore %s chunk %d corrupt", name, i)
+		}
+		out = append(out, data...)
+	}
+	return out, nil
+}
+
+// FetchStats retrieves the server's counters.
+func (c *Client) FetchStats(ctx context.Context) (Stats, error) {
+	resp, err := c.rpc.Call(ctx, methodStats, nil)
+	if err != nil {
+		return Stats{}, err
+	}
+	if len(resp) != 40 {
+		return Stats{}, errors.New("cloudstore: malformed stats response")
+	}
+	return Stats{
+		UniqueChunks: int64(binary.BigEndian.Uint64(resp[0:])),
+		UniqueBytes:  int64(binary.BigEndian.Uint64(resp[8:])),
+		LogicalBytes: int64(binary.BigEndian.Uint64(resp[16:])),
+		RawUploads:   int64(binary.BigEndian.Uint64(resp[24:])),
+		Manifests:    int64(binary.BigEndian.Uint64(resp[32:])),
+	}, nil
+}
+
+func isRemoteNotFound(err error) bool {
+	var remote *transport.RemoteError
+	return errors.As(err, &remote) && remote.Msg == ErrNotFound.Error()
+}

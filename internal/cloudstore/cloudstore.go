@@ -1,0 +1,377 @@
+// Package cloudstore implements the central cloud of EF-dedup: a
+// content-addressed chunk store with a global deduplication index and a
+// file-manifest catalog, served over the transport RPC protocol.
+//
+// Three client roles use it (paper Sec. V-A):
+//
+//   - EF-dedup agents upload only the chunks their D2-ring identified as
+//     unique (Upload / BatchUpload);
+//   - Cloud-assisted agents keep no edge index: they probe the cloud's
+//     global index (BatchHas) and upload misses;
+//   - Cloud-only agents ship raw data (UploadRaw); the cloud chunks and
+//     deduplicates server-side.
+//
+// Manifests map a file name to its chunk sequence so any stored stream can
+// be restored and verified end to end.
+package cloudstore
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"efdedup/internal/chunk"
+	"efdedup/internal/transport"
+)
+
+// RPC method names served by the cloud store.
+const (
+	methodUpload      = "cloud.upload"
+	methodBatchUpload = "cloud.batchupload"
+	methodBatchHas    = "cloud.batchhas"
+	methodUploadRaw   = "cloud.uploadraw"
+	methodGetChunk    = "cloud.getchunk"
+	methodPutManifest = "cloud.putmanifest"
+	methodGetManifest = "cloud.getmanifest"
+	methodStats       = "cloud.stats"
+)
+
+// ErrNotFound is returned for missing chunks or manifests.
+var ErrNotFound = errors.New("cloudstore: not found")
+
+// Stats summarizes what the cloud has seen and stored.
+type Stats struct {
+	// UniqueChunks and UniqueBytes describe the deduplicated store.
+	UniqueChunks int64
+	UniqueBytes  int64
+	// LogicalBytes counts all payload bytes clients asked the cloud to
+	// store (before deduplication), including raw uploads.
+	LogicalBytes int64
+	// RawUploads counts UploadRaw calls (cloud-only clients).
+	RawUploads int64
+	// Manifests counts stored file manifests.
+	Manifests int64
+}
+
+// Server is the central cloud store.
+type Server struct {
+	chunker chunk.Chunker
+
+	mu        sync.RWMutex
+	chunks    map[chunk.ID][]byte // in-memory payloads (nil values when disk-backed)
+	manifests map[string][]chunk.ID
+	disk      *DiskStore // nil for the in-memory store
+	stats     Stats
+
+	rpc      *transport.Server
+	listener net.Listener
+}
+
+// Config configures the cloud store.
+type Config struct {
+	// Chunker is used to split raw (cloud-only) uploads. Defaults to an
+	// 8 KiB fixed chunker, matching the edge agents.
+	Chunker chunk.Chunker
+	// Dir, when set, persists chunks and manifests under this directory
+	// (content-addressed files with atomic writes); the server rebuilds
+	// its index from disk on startup. Empty keeps everything in memory.
+	Dir string
+}
+
+// NewServer builds an empty cloud store.
+func NewServer(cfg Config) (*Server, error) {
+	c := cfg.Chunker
+	if c == nil {
+		fc, err := chunk.NewFixedChunker(chunk.DefaultFixedSize)
+		if err != nil {
+			return nil, err
+		}
+		c = fc
+	}
+	s := &Server{
+		chunker:   c,
+		chunks:    make(map[chunk.ID][]byte),
+		manifests: make(map[string][]chunk.ID),
+		rpc:       transport.NewServer(),
+	}
+	if cfg.Dir != "" {
+		disk, err := NewDiskStore(cfg.Dir)
+		if err != nil {
+			return nil, err
+		}
+		s.disk = disk
+		// Rebuild the index and counters from what is already on disk.
+		index, err := disk.LoadIndex()
+		if err != nil {
+			return nil, fmt.Errorf("cloudstore: rebuild index: %w", err)
+		}
+		for id, size := range index {
+			s.chunks[id] = nil // presence marker; payload stays on disk
+			s.stats.UniqueChunks++
+			s.stats.UniqueBytes += size
+		}
+		names, err := disk.ManifestNames()
+		if err != nil {
+			return nil, fmt.Errorf("cloudstore: list manifests: %w", err)
+		}
+		for _, name := range names {
+			ids, err := disk.GetManifest(name)
+			if err != nil {
+				return nil, err
+			}
+			s.manifests[name] = ids
+			s.stats.Manifests++
+		}
+	}
+	s.rpc.Handle(methodUpload, s.handleUpload)
+	s.rpc.Handle(methodBatchUpload, s.handleBatchUpload)
+	s.rpc.Handle(methodBatchHas, s.handleBatchHas)
+	s.rpc.Handle(methodUploadRaw, s.handleUploadRaw)
+	s.rpc.Handle(methodGetChunk, s.handleGetChunk)
+	s.rpc.Handle(methodPutManifest, s.handlePutManifest)
+	s.rpc.Handle(methodGetManifest, s.handleGetManifest)
+	s.rpc.Handle(methodStats, s.handleStats)
+	return s, nil
+}
+
+// Serve starts accepting connections on l in the background.
+func (s *Server) Serve(l net.Listener) {
+	s.listener = l
+	go s.rpc.Serve(l) //nolint:errcheck // returns on Close
+}
+
+// Addr returns the listen address, or "" before Serve.
+func (s *Server) Addr() string {
+	if s.listener == nil {
+		return ""
+	}
+	return s.listener.Addr().String()
+}
+
+// Close stops the server.
+func (s *Server) Close() error { return s.rpc.Close() }
+
+// Stats returns a snapshot of the store's counters.
+func (s *Server) Stats() Stats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.stats
+}
+
+// storeChunk inserts data under its ID, returning whether it was new.
+func (s *Server) storeChunk(id chunk.ID, data []byte) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats.LogicalBytes += int64(len(data))
+	if _, ok := s.chunks[id]; ok {
+		return false
+	}
+	if s.disk != nil {
+		if err := s.disk.PutChunk(id, data); err != nil {
+			// Persistence failure: do not record the chunk as stored.
+			return false
+		}
+		s.chunks[id] = nil
+	} else {
+		cp := make([]byte, len(data))
+		copy(cp, data)
+		s.chunks[id] = cp
+	}
+	s.stats.UniqueChunks++
+	s.stats.UniqueBytes += int64(len(data))
+	return true
+}
+
+// --- handlers ----------------------------------------------------------
+
+// upload body: 32-byte ID | payload. Verifies content addressing.
+func (s *Server) handleUpload(body []byte) ([]byte, error) {
+	if len(body) < chunk.IDSize {
+		return nil, errors.New("cloudstore: short upload")
+	}
+	var id chunk.ID
+	copy(id[:], body[:chunk.IDSize])
+	data := body[chunk.IDSize:]
+	if chunk.Sum(data) != id {
+		return nil, errors.New("cloudstore: chunk content does not match its ID")
+	}
+	fresh := s.storeChunk(id, data)
+	if fresh {
+		return []byte{1}, nil
+	}
+	return []byte{0}, nil
+}
+
+// batch upload body: u32 count | (32-byte ID | u32 len | payload)*.
+func (s *Server) handleBatchUpload(body []byte) ([]byte, error) {
+	if len(body) < 4 {
+		return nil, errors.New("cloudstore: truncated batch upload")
+	}
+	count := binary.BigEndian.Uint32(body)
+	src := body[4:]
+	stored := uint32(0)
+	for i := uint32(0); i < count; i++ {
+		if len(src) < chunk.IDSize+4 {
+			return nil, fmt.Errorf("cloudstore: truncated batch record %d", i)
+		}
+		var id chunk.ID
+		copy(id[:], src[:chunk.IDSize])
+		n := binary.BigEndian.Uint32(src[chunk.IDSize:])
+		src = src[chunk.IDSize+4:]
+		if uint32(len(src)) < n {
+			return nil, fmt.Errorf("cloudstore: truncated batch payload %d", i)
+		}
+		data := src[:n]
+		src = src[n:]
+		if chunk.Sum(data) != id {
+			return nil, fmt.Errorf("cloudstore: batch record %d content mismatch", i)
+		}
+		if s.storeChunk(id, data) {
+			stored++
+		}
+	}
+	return binary.BigEndian.AppendUint32(nil, stored), nil
+}
+
+// batchhas body: u32 count | (32-byte ID)*; response: one byte per ID.
+func (s *Server) handleBatchHas(body []byte) ([]byte, error) {
+	if len(body) < 4 {
+		return nil, errors.New("cloudstore: truncated has request")
+	}
+	count := binary.BigEndian.Uint32(body)
+	src := body[4:]
+	// 64-bit math: count*IDSize overflows uint32 for hostile counts.
+	if uint64(len(src)) < uint64(count)*chunk.IDSize {
+		return nil, errors.New("cloudstore: truncated ID list")
+	}
+	out := make([]byte, count)
+	s.mu.RLock()
+	for i := uint32(0); i < count; i++ {
+		var id chunk.ID
+		copy(id[:], src[i*chunk.IDSize:])
+		if _, ok := s.chunks[id]; ok {
+			out[i] = 1
+		}
+	}
+	s.mu.RUnlock()
+	return out, nil
+}
+
+// uploadraw body: u16 name length | name | payload. The server chunks and
+// deduplicates; the response is u32 unique-chunks-stored.
+func (s *Server) handleUploadRaw(body []byte) ([]byte, error) {
+	if len(body) < 2 {
+		return nil, errors.New("cloudstore: truncated raw upload")
+	}
+	nameLen := int(binary.BigEndian.Uint16(body))
+	if len(body) < 2+nameLen {
+		return nil, errors.New("cloudstore: truncated raw upload name")
+	}
+	name := string(body[2 : 2+nameLen])
+	payload := body[2+nameLen:]
+
+	var ids []chunk.ID
+	stored := uint32(0)
+	chunks, err := chunk.SplitBytes(s.chunker, payload)
+	if err != nil {
+		return nil, err
+	}
+	for _, c := range chunks {
+		if s.storeChunk(c.ID, c.Data) {
+			stored++
+		}
+		ids = append(ids, c.ID)
+	}
+	s.mu.Lock()
+	s.stats.RawUploads++
+	if name != "" {
+		if _, ok := s.manifests[name]; !ok {
+			s.stats.Manifests++
+		}
+		s.manifests[name] = ids
+	}
+	s.mu.Unlock()
+	if s.disk != nil && name != "" {
+		if err := s.disk.PutManifest(name, ids); err != nil {
+			return nil, err
+		}
+	}
+	return binary.BigEndian.AppendUint32(nil, stored), nil
+}
+
+func (s *Server) handleGetChunk(body []byte) ([]byte, error) {
+	if len(body) != chunk.IDSize {
+		return nil, errors.New("cloudstore: bad chunk ID length")
+	}
+	var id chunk.ID
+	copy(id[:], body)
+	s.mu.RLock()
+	data, ok := s.chunks[id]
+	s.mu.RUnlock()
+	if !ok {
+		return nil, ErrNotFound
+	}
+	if data == nil && s.disk != nil {
+		return s.disk.GetChunk(id)
+	}
+	return data, nil
+}
+
+// putmanifest body: u16 name length | name | (32-byte ID)*.
+func (s *Server) handlePutManifest(body []byte) ([]byte, error) {
+	if len(body) < 2 {
+		return nil, errors.New("cloudstore: truncated manifest")
+	}
+	nameLen := int(binary.BigEndian.Uint16(body))
+	if len(body) < 2+nameLen {
+		return nil, errors.New("cloudstore: truncated manifest name")
+	}
+	name := string(body[2 : 2+nameLen])
+	rest := body[2+nameLen:]
+	if len(rest)%chunk.IDSize != 0 {
+		return nil, errors.New("cloudstore: manifest ID list misaligned")
+	}
+	ids := make([]chunk.ID, len(rest)/chunk.IDSize)
+	for i := range ids {
+		copy(ids[i][:], rest[i*chunk.IDSize:])
+	}
+	s.mu.Lock()
+	if _, ok := s.manifests[name]; !ok {
+		s.stats.Manifests++
+	}
+	s.manifests[name] = ids
+	s.mu.Unlock()
+	if s.disk != nil {
+		if err := s.disk.PutManifest(name, ids); err != nil {
+			return nil, err
+		}
+	}
+	return nil, nil
+}
+
+func (s *Server) handleGetManifest(body []byte) ([]byte, error) {
+	s.mu.RLock()
+	ids, ok := s.manifests[string(body)]
+	s.mu.RUnlock()
+	if !ok {
+		return nil, ErrNotFound
+	}
+	out := make([]byte, 0, len(ids)*chunk.IDSize)
+	for _, id := range ids {
+		out = append(out, id[:]...)
+	}
+	return out, nil
+}
+
+func (s *Server) handleStats([]byte) ([]byte, error) {
+	st := s.Stats()
+	out := make([]byte, 0, 40)
+	out = binary.BigEndian.AppendUint64(out, uint64(st.UniqueChunks))
+	out = binary.BigEndian.AppendUint64(out, uint64(st.UniqueBytes))
+	out = binary.BigEndian.AppendUint64(out, uint64(st.LogicalBytes))
+	out = binary.BigEndian.AppendUint64(out, uint64(st.RawUploads))
+	out = binary.BigEndian.AppendUint64(out, uint64(st.Manifests))
+	return out, nil
+}

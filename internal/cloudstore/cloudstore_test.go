@@ -1,0 +1,237 @@
+package cloudstore
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"efdedup/internal/chunk"
+	"efdedup/internal/transport"
+)
+
+// startCloud runs a cloud store on a fresh memory network and returns a
+// connected client.
+func startCloud(t *testing.T, cfg Config) (*Client, *Server) {
+	t.Helper()
+	nw := transport.NewMemNetwork()
+	srv, err := NewServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := nw.Listen("cloud")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Serve(l)
+	t.Cleanup(func() { srv.Close() })
+	cl, err := Dial(context.Background(), nw, "cloud")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cl.Close() })
+	return cl, srv
+}
+
+func mkChunk(data string) chunk.Chunk {
+	b := []byte(data)
+	return chunk.Chunk{ID: chunk.Sum(b), Data: b}
+}
+
+func TestUploadDeduplicates(t *testing.T) {
+	cl, srv := startCloud(t, Config{})
+	ctx := context.Background()
+
+	fresh, err := cl.Upload(ctx, mkChunk("hello"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fresh {
+		t.Fatal("first upload reported duplicate")
+	}
+	fresh, err = cl.Upload(ctx, mkChunk("hello"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh {
+		t.Fatal("duplicate upload reported fresh")
+	}
+	st := srv.Stats()
+	if st.UniqueChunks != 1 {
+		t.Fatalf("UniqueChunks = %d, want 1", st.UniqueChunks)
+	}
+	if st.LogicalBytes != 10 {
+		t.Fatalf("LogicalBytes = %d, want 10 (two 5-byte uploads)", st.LogicalBytes)
+	}
+	if st.UniqueBytes != 5 {
+		t.Fatalf("UniqueBytes = %d, want 5", st.UniqueBytes)
+	}
+}
+
+func TestUploadRejectsCorruptChunk(t *testing.T) {
+	cl, _ := startCloud(t, Config{})
+	bad := mkChunk("data")
+	bad.Data = []byte("DATA") // ID no longer matches
+	if _, err := cl.Upload(context.Background(), bad); err == nil {
+		t.Fatal("corrupt chunk accepted")
+	}
+}
+
+func TestBatchUploadAndHas(t *testing.T) {
+	cl, _ := startCloud(t, Config{})
+	ctx := context.Background()
+
+	chunks := []chunk.Chunk{mkChunk("a"), mkChunk("b"), mkChunk("a")}
+	stored, err := cl.BatchUpload(ctx, chunks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stored != 2 {
+		t.Fatalf("BatchUpload stored %d, want 2 (one in-batch duplicate)", stored)
+	}
+
+	has, err := cl.BatchHas(ctx, []chunk.ID{
+		chunk.Sum([]byte("a")), chunk.Sum([]byte("c")), chunk.Sum([]byte("b")),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []bool{true, false, true}
+	for i := range want {
+		if has[i] != want[i] {
+			t.Errorf("BatchHas[%d] = %v, want %v", i, has[i], want[i])
+		}
+	}
+}
+
+func TestUploadRawDeduplicatesServerSide(t *testing.T) {
+	cl, srv := startCloud(t, Config{})
+	ctx := context.Background()
+
+	// Two copies of the same content: the second raw upload stores 0 new
+	// chunks.
+	data := bytes.Repeat([]byte("0123456789abcdef"), 4096) // 64 KiB
+	n1, err := cl.UploadRaw(ctx, "file1", data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n2, err := cl.UploadRaw(ctx, "file2", data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n1 == 0 {
+		t.Fatal("first raw upload stored nothing")
+	}
+	if n2 != 0 {
+		t.Fatalf("second identical raw upload stored %d chunks, want 0", n2)
+	}
+	st := srv.Stats()
+	if st.RawUploads != 2 {
+		t.Fatalf("RawUploads = %d, want 2", st.RawUploads)
+	}
+	if st.LogicalBytes != int64(2*len(data)) {
+		t.Fatalf("LogicalBytes = %d, want %d", st.LogicalBytes, 2*len(data))
+	}
+
+	// Both manifests restore to the original content.
+	for _, name := range []string{"file1", "file2"} {
+		got, err := cl.Restore(ctx, name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("restore %s differs from original", name)
+		}
+	}
+}
+
+func TestManifestRoundTrip(t *testing.T) {
+	cl, _ := startCloud(t, Config{})
+	ctx := context.Background()
+
+	c1, c2 := mkChunk("part one "), mkChunk("part two")
+	if _, err := cl.BatchUpload(ctx, []chunk.Chunk{c1, c2}); err != nil {
+		t.Fatal(err)
+	}
+	ids := []chunk.ID{c1.ID, c2.ID, c1.ID}
+	if err := cl.PutManifest(ctx, "doc", ids); err != nil {
+		t.Fatal(err)
+	}
+	got, err := cl.GetManifest(ctx, "doc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != c1.ID || got[1] != c2.ID || got[2] != c1.ID {
+		t.Fatalf("GetManifest = %v", got)
+	}
+	restored, err := cl.Restore(ctx, "doc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(restored) != "part one part twopart one " {
+		t.Fatalf("Restore = %q", restored)
+	}
+}
+
+func TestGetMissing(t *testing.T) {
+	cl, _ := startCloud(t, Config{})
+	ctx := context.Background()
+	if _, err := cl.GetChunk(ctx, chunk.Sum([]byte("nope"))); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("GetChunk(missing) = %v, want ErrNotFound", err)
+	}
+	if _, err := cl.GetManifest(ctx, "nope"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("GetManifest(missing) = %v, want ErrNotFound", err)
+	}
+}
+
+func TestFetchStats(t *testing.T) {
+	cl, _ := startCloud(t, Config{})
+	ctx := context.Background()
+	if _, err := cl.Upload(ctx, mkChunk("x")); err != nil {
+		t.Fatal(err)
+	}
+	st, err := cl.FetchStats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.UniqueChunks != 1 || st.UniqueBytes != 1 {
+		t.Fatalf("FetchStats = %+v", st)
+	}
+}
+
+// TestEndToEndChunkedFileIdentity uploads a chunked stream the way an
+// agent would and verifies bit-exact restore.
+func TestEndToEndChunkedFileIdentity(t *testing.T) {
+	cl, _ := startCloud(t, Config{})
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(9))
+	data := make([]byte, 300000)
+	rng.Read(data)
+
+	chunker, err := chunk.NewFixedChunker(4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chunks, err := chunk.SplitBytes(chunker, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := make([]chunk.ID, len(chunks))
+	for i, c := range chunks {
+		ids[i] = c.ID
+	}
+	if _, err := cl.BatchUpload(ctx, chunks); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.PutManifest(ctx, "blob", ids); err != nil {
+		t.Fatal(err)
+	}
+	got, err := cl.Restore(ctx, "blob")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("restored stream differs")
+	}
+}

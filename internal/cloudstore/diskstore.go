@@ -1,0 +1,191 @@
+package cloudstore
+
+import (
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"efdedup/internal/chunk"
+)
+
+// DiskStore persists chunks and manifests under a directory, making the
+// central store durable across restarts:
+//
+//	<root>/chunks/ab/abcdef....chunk   (content-addressed, fan-out by
+//	                                    the first ID byte)
+//	<root>/manifests/<escaped name>    (sequence of 32-byte chunk IDs)
+//
+// Writes go through a temp file + rename, so a crash never leaves a
+// half-written object visible. The Server uses it when Config.Dir is set;
+// chunks stay on disk and only the index (which IDs exist) is held in
+// memory.
+type DiskStore struct {
+	root string
+	mu   sync.Mutex // serializes manifest writes; chunk writes are idempotent
+}
+
+// NewDiskStore creates (if needed) the directory layout under root.
+func NewDiskStore(root string) (*DiskStore, error) {
+	if root == "" {
+		return nil, errors.New("cloudstore: empty disk store root")
+	}
+	for _, dir := range []string{root, filepath.Join(root, "chunks"), filepath.Join(root, "manifests")} {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("cloudstore: create %s: %w", dir, err)
+		}
+	}
+	return &DiskStore{root: root}, nil
+}
+
+// chunkPath returns the fan-out path of a chunk ID.
+func (d *DiskStore) chunkPath(id chunk.ID) string {
+	hexID := id.String()
+	return filepath.Join(d.root, "chunks", hexID[:2], hexID+".chunk")
+}
+
+// escapeName makes a manifest name filesystem-safe.
+func escapeName(name string) string {
+	return strings.NewReplacer("/", "%2F", "\\", "%5C", ":", "%3A").Replace(name)
+}
+
+func (d *DiskStore) manifestPath(name string) string {
+	return filepath.Join(d.root, "manifests", escapeName(name))
+}
+
+// writeAtomic writes data to path via a temp file and rename.
+func writeAtomic(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(dir, ".tmp-*")
+	if err != nil {
+		return err
+	}
+	name := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(name)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(name)
+		return err
+	}
+	return os.Rename(name, path)
+}
+
+// PutChunk stores one chunk; storing an existing chunk is a cheap no-op.
+func (d *DiskStore) PutChunk(id chunk.ID, data []byte) error {
+	path := d.chunkPath(id)
+	if _, err := os.Stat(path); err == nil {
+		return nil
+	}
+	return writeAtomic(path, data)
+}
+
+// GetChunk reads one chunk, verifying its content address.
+func (d *DiskStore) GetChunk(id chunk.ID) ([]byte, error) {
+	data, err := os.ReadFile(d.chunkPath(id))
+	if os.IsNotExist(err) {
+		return nil, ErrNotFound
+	}
+	if err != nil {
+		return nil, err
+	}
+	if chunk.Sum(data) != id {
+		return nil, fmt.Errorf("cloudstore: chunk %s corrupt on disk", id)
+	}
+	return data, nil
+}
+
+// HasChunk reports whether a chunk exists on disk.
+func (d *DiskStore) HasChunk(id chunk.ID) bool {
+	_, err := os.Stat(d.chunkPath(id))
+	return err == nil
+}
+
+// PutManifest stores a file's chunk sequence.
+func (d *DiskStore) PutManifest(name string, ids []chunk.ID) error {
+	buf := make([]byte, 0, len(ids)*chunk.IDSize)
+	for _, id := range ids {
+		buf = append(buf, id[:]...)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return writeAtomic(d.manifestPath(name), buf)
+}
+
+// GetManifest reads a file's chunk sequence.
+func (d *DiskStore) GetManifest(name string) ([]chunk.ID, error) {
+	data, err := os.ReadFile(d.manifestPath(name))
+	if os.IsNotExist(err) {
+		return nil, ErrNotFound
+	}
+	if err != nil {
+		return nil, err
+	}
+	if len(data)%chunk.IDSize != 0 {
+		return nil, fmt.Errorf("cloudstore: manifest %q corrupt on disk", name)
+	}
+	ids := make([]chunk.ID, len(data)/chunk.IDSize)
+	for i := range ids {
+		copy(ids[i][:], data[i*chunk.IDSize:])
+	}
+	return ids, nil
+}
+
+// LoadIndex walks the chunk directory and returns every stored chunk ID
+// with its size — used by the Server to rebuild its in-memory index and
+// statistics on restart.
+func (d *DiskStore) LoadIndex() (map[chunk.ID]int64, error) {
+	out := make(map[chunk.ID]int64)
+	chunksDir := filepath.Join(d.root, "chunks")
+	err := filepath.WalkDir(chunksDir, func(path string, entry os.DirEntry, err error) error {
+		if err != nil || entry.IsDir() {
+			return err
+		}
+		base := filepath.Base(path)
+		if !strings.HasSuffix(base, ".chunk") {
+			return nil
+		}
+		hexID := strings.TrimSuffix(base, ".chunk")
+		raw, err := hex.DecodeString(hexID)
+		if err != nil || len(raw) != chunk.IDSize {
+			return nil // foreign file; ignore
+		}
+		info, err := entry.Info()
+		if err != nil {
+			return err
+		}
+		var id chunk.ID
+		copy(id[:], raw)
+		out[id] = info.Size()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ManifestNames lists stored manifest names.
+func (d *DiskStore) ManifestNames() ([]string, error) {
+	entries, err := os.ReadDir(filepath.Join(d.root, "manifests"))
+	if err != nil {
+		return nil, err
+	}
+	unescape := strings.NewReplacer("%2F", "/", "%5C", "\\", "%3A", ":")
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if e.IsDir() || strings.HasPrefix(e.Name(), ".tmp-") {
+			continue
+		}
+		names = append(names, unescape.Replace(e.Name()))
+	}
+	return names, nil
+}

@@ -1,0 +1,206 @@
+package cloudstore
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"efdedup/internal/chunk"
+	"efdedup/internal/transport"
+)
+
+func TestDiskStoreChunkRoundTrip(t *testing.T) {
+	d, err := NewDiskStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, data := mkPayload(1, 5000)
+	if d.HasChunk(id) {
+		t.Fatal("chunk present before put")
+	}
+	if err := d.PutChunk(id, data); err != nil {
+		t.Fatal(err)
+	}
+	if !d.HasChunk(id) {
+		t.Fatal("chunk missing after put")
+	}
+	got, err := d.GetChunk(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("chunk corrupted")
+	}
+	// Idempotent put.
+	if err := d.PutChunk(id, data); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDiskStoreDetectsOnDiskCorruption(t *testing.T) {
+	root := t.TempDir()
+	d, err := NewDiskStore(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, data := mkPayload(2, 100)
+	if err := d.PutChunk(id, data); err != nil {
+		t.Fatal(err)
+	}
+	// Flip a byte on disk.
+	path := d.chunkPath(id)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[0] ^= 0xFF
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.GetChunk(id); err == nil {
+		t.Fatal("corrupt chunk read back without error")
+	}
+}
+
+func TestDiskStoreManifests(t *testing.T) {
+	d, err := NewDiskStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := []chunk.ID{chunk.Sum([]byte("a")), chunk.Sum([]byte("b"))}
+	// Names with path separators must be escaped safely.
+	name := "edge-0/file:1\\x"
+	if err := d.PutManifest(name, ids); err != nil {
+		t.Fatal(err)
+	}
+	got, err := d.GetManifest(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != ids[0] || got[1] != ids[1] {
+		t.Fatalf("manifest round trip: %v", got)
+	}
+	names, err := d.ManifestNames()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 1 || names[0] != name {
+		t.Fatalf("ManifestNames = %v", names)
+	}
+	if _, err := d.GetManifest("missing"); err != ErrNotFound {
+		t.Fatalf("GetManifest(missing) = %v", err)
+	}
+}
+
+func TestDiskStoreLoadIndex(t *testing.T) {
+	root := t.TempDir()
+	d, err := NewDiskStore(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want int64
+	for i := 0; i < 5; i++ {
+		id, data := mkPayload(int64(10+i), 100+i)
+		if err := d.PutChunk(id, data); err != nil {
+			t.Fatal(err)
+		}
+		want += int64(len(data))
+	}
+	// A stray file must be ignored, not break the walk.
+	if err := os.WriteFile(filepath.Join(root, "chunks", "README"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	idx, err := d.LoadIndex()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(idx) != 5 {
+		t.Fatalf("LoadIndex found %d chunks, want 5", len(idx))
+	}
+	var got int64
+	for _, size := range idx {
+		got += size
+	}
+	if got != want {
+		t.Fatalf("LoadIndex total %d bytes, want %d", got, want)
+	}
+}
+
+// TestServerDiskPersistenceAcrossRestart uploads through the RPC surface,
+// restarts the server on the same directory and verifies the index, the
+// stats and the data all survive.
+func TestServerDiskPersistenceAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	nw := transport.NewMemNetwork()
+
+	srv, err := NewServer(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := nw.Listen("cloud")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Serve(l)
+	cl, err := Dial(context.Background(), nw, "cloud")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	data := bytes.Repeat([]byte("persist me 0123456789"), 2000)
+	if _, err := cl.UploadRaw(ctx, "durable-file", data); err != nil {
+		t.Fatal(err)
+	}
+	statsBefore := srv.Stats()
+	cl.Close()
+	srv.Close()
+
+	// Restart on the same directory.
+	srv2, err := NewServer(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw2 := transport.NewMemNetwork()
+	l2, err := nw2.Listen("cloud")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv2.Serve(l2)
+	defer srv2.Close()
+	cl2, err := Dial(context.Background(), nw2, "cloud")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl2.Close()
+
+	st := srv2.Stats()
+	if st.UniqueChunks != statsBefore.UniqueChunks || st.UniqueBytes != statsBefore.UniqueBytes {
+		t.Fatalf("restart lost index: %+v vs %+v", st, statsBefore)
+	}
+	if st.Manifests != 1 {
+		t.Fatalf("restart lost manifests: %+v", st)
+	}
+	got, err := cl2.Restore(ctx, "durable-file")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("restored data differs after restart")
+	}
+	// Re-uploading known content stores nothing new.
+	stored, err := cl2.UploadRaw(ctx, "durable-file-2", data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stored != 0 {
+		t.Fatalf("re-upload after restart stored %d chunks, want 0", stored)
+	}
+}
+
+func TestNewDiskStoreValidation(t *testing.T) {
+	if _, err := NewDiskStore(""); err == nil {
+		t.Fatal("empty root accepted")
+	}
+}

@@ -1,0 +1,34 @@
+package cloudstore
+
+import "testing"
+
+// FuzzHandlers throws arbitrary request bodies at every cloud-store RPC
+// handler: none may panic, regardless of input.
+func FuzzHandlers(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 1})
+	f.Add(make([]byte, 40))
+	id, data := mkPayload(1, 64)
+	valid := append(append([]byte{}, id[:]...), data...)
+	f.Add(valid)
+	f.Fuzz(func(t *testing.T, body []byte) {
+		srv, err := NewServer(Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer srv.Close()
+		handlers := []func([]byte) ([]byte, error){
+			srv.handleUpload,
+			srv.handleBatchUpload,
+			srv.handleBatchHas,
+			srv.handleUploadRaw,
+			srv.handleGetChunk,
+			srv.handlePutManifest,
+			srv.handleGetManifest,
+			srv.handleStats,
+		}
+		for _, h := range handlers {
+			_, _ = h(body) // must not panic
+		}
+	})
+}

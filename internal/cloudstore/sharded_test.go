@@ -1,0 +1,155 @@
+package cloudstore
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"efdedup/internal/chunk"
+)
+
+func mkPayload(seed int64, n int) (chunk.ID, []byte) {
+	rng := rand.New(rand.NewSource(seed))
+	data := make([]byte, n)
+	rng.Read(data)
+	return chunk.Sum(data), data
+}
+
+func TestShardedStoreRoundTrip(t *testing.T) {
+	s, err := NewShardedStore(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Disks() != 6 || s.Overhead() != 1.5 {
+		t.Fatalf("geometry wrong: %d disks, %.2f overhead", s.Disks(), s.Overhead())
+	}
+	id, data := mkPayload(1, 10000)
+	if err := s.Put(id, data); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Has(id) || s.Len() != 1 {
+		t.Fatal("chunk not recorded")
+	}
+	got, err := s.Get(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("round trip differs")
+	}
+	// Idempotent put.
+	if err := s.Put(id, data); err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 1 {
+		t.Fatal("duplicate put stored twice")
+	}
+}
+
+func TestShardedStoreRejectsCorruptPut(t *testing.T) {
+	s, _ := NewShardedStore(3, 1)
+	id, data := mkPayload(2, 100)
+	data[0] ^= 0xFF
+	if err := s.Put(id, data); err == nil {
+		t.Fatal("corrupt chunk accepted")
+	}
+}
+
+func TestShardedStoreSurvivesDiskFailures(t *testing.T) {
+	s, err := NewShardedStore(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ids []chunk.ID
+	var datas [][]byte
+	for i := 0; i < 20; i++ {
+		id, data := mkPayload(int64(10+i), 3000+i*7)
+		ids = append(ids, id)
+		datas = append(datas, data)
+		if err := s.Put(id, data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Lose two disks (= parity count): everything must still read.
+	if err := s.FailDisk(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.FailDisk(4); err != nil {
+		t.Fatal(err)
+	}
+	for i, id := range ids {
+		got, err := s.Get(id)
+		if err != nil {
+			t.Fatalf("chunk %d after 2 failures: %v", i, err)
+		}
+		if !bytes.Equal(got, datas[i]) {
+			t.Fatalf("chunk %d corrupted after failures", i)
+		}
+	}
+	// A third failure exceeds parity: reads must fail loudly.
+	if err := s.FailDisk(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get(ids[0]); err == nil {
+		t.Fatal("read succeeded with more failures than parity")
+	}
+}
+
+func TestShardedStoreRepair(t *testing.T) {
+	s, err := NewShardedStore(3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, data := mkPayload(3, 5000)
+	if err := s.Put(id, data); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.FailDisk(2); err != nil {
+		t.Fatal(err)
+	}
+	// Repair rebuilds the lost shards from survivors.
+	if err := s.ReviveDisk(2); err != nil {
+		t.Fatal(err)
+	}
+	// Now lose two OTHER disks; the repaired disk must carry its weight.
+	if err := s.FailDisk(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.FailDisk(1); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Get(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("repaired shard did not reconstruct correctly")
+	}
+}
+
+func TestShardedStorePutNeedsQuorumOfDisks(t *testing.T) {
+	s, err := NewShardedStore(3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.FailDisk(0)
+	s.FailDisk(1) // 2 up < k=3
+	id, data := mkPayload(4, 100)
+	if err := s.Put(id, data); err == nil {
+		t.Fatal("put accepted with too few disks")
+	}
+	if err := s.FailDisk(99); err == nil {
+		t.Fatal("out-of-range disk accepted")
+	}
+	if err := s.ReviveDisk(-1); err == nil {
+		t.Fatal("out-of-range revive accepted")
+	}
+}
+
+func TestShardedStoreGetMissing(t *testing.T) {
+	s, _ := NewShardedStore(2, 1)
+	id, _ := mkPayload(5, 10)
+	if _, err := s.Get(id); err != ErrNotFound {
+		t.Fatalf("Get(missing) = %v, want ErrNotFound", err)
+	}
+}

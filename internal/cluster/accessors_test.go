@@ -1,0 +1,70 @@
+package cluster
+
+import (
+	"context"
+	"testing"
+
+	"efdedup/internal/agent"
+)
+
+func TestClusterAccessors(t *testing.T) {
+	c := smallCluster(t)
+	if got := c.NodeCount(); got != 4 {
+		t.Errorf("NodeCount = %d, want 4", got)
+	}
+	sites := c.Sites()
+	if len(sites) != 4 || sites[0] != "siteA" || sites[3] != "siteB" {
+		t.Errorf("Sites = %v", sites)
+	}
+	if c.Topology() == nil {
+		t.Error("Topology() returned nil")
+	}
+	if st := c.CloudStats(); st.UniqueChunks != 0 {
+		t.Errorf("fresh cloud has %d chunks", st.UniqueChunks)
+	}
+	if err := c.KillNode(-1); err == nil {
+		t.Error("KillNode(-1) accepted")
+	}
+	if err := c.KillNode(99); err == nil {
+		t.Error("KillNode(99) accepted")
+	}
+}
+
+// TestRunResultMetricsZeroSafe covers the divide-by-zero guards.
+func TestRunResultMetricsZeroSafe(t *testing.T) {
+	var r RunResult
+	if r.AggregateThroughput() != 0 || r.PerNodeThroughput() != 0 {
+		t.Error("zero result produced non-zero throughput")
+	}
+	if r.DedupRatio() != 1 {
+		t.Errorf("zero result DedupRatio = %v, want 1", r.DedupRatio())
+	}
+	r.Mode = agent.ModeCloudOnly
+	r.InputBytes = 10
+	if r.DedupRatio() != 1 {
+		t.Errorf("cloud-only with zero stored DedupRatio = %v, want 1", r.DedupRatio())
+	}
+}
+
+// TestReapplyPartitionReplacesAgents: ApplyPartition can be called again
+// with a different mode on a live cluster.
+func TestReapplyPartitionReplacesAgents(t *testing.T) {
+	c := smallCluster(t)
+	d := testDataset(t)
+	if err := c.ApplyPartition([][]int{{0, 1}, {2, 3}}, agent.ModeRing); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Run(context.Background(), d.File, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.ApplyPartition(nil, agent.ModeCloudAssisted); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Run(context.Background(), func(n, i int) []byte { return d.File(n, i+1) }, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mode != agent.ModeCloudAssisted {
+		t.Fatalf("Mode = %v after reapply", res.Mode)
+	}
+}

@@ -1,0 +1,51 @@
+package cluster
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"efdedup/internal/agent"
+	"efdedup/internal/netem"
+	"efdedup/internal/workload"
+)
+
+// BenchmarkEndToEndDedup measures the full testbed path: chunk → ring
+// lookup → index insert → cloud upload, for a 4-node 2-ring deployment,
+// reporting effective MB/s of input processed.
+func BenchmarkEndToEndDedup(b *testing.B) {
+	d := workload.DefaultVideoDataset(7)
+	d.Cameras = 4
+	d.SitesShared = 2
+	d.FrameBlocks = 16
+	d.BlockSize = 2048
+	d.FramesPerFile = 4
+
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		c, err := New(Config{
+			Nodes: []NodeSpec{
+				{Name: "e0", Site: "a"}, {Name: "e1", Site: "a"},
+				{Name: "e2", Site: "b"}, {Name: "e3", Site: "b"},
+			},
+			ChunkSize: 2048,
+			EdgeLink:  netem.Link{Delay: 500 * time.Microsecond, Bandwidth: 1e9},
+			WANLink:   netem.Link{Delay: 2 * time.Millisecond, Bandwidth: 1e8},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := c.ApplyPartition([][]int{{0, 2}, {1, 3}}, agent.ModeRing); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		res, err := c.Run(context.Background(), d.File, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		b.SetBytes(res.InputBytes)
+		c.Close()
+		b.StartTimer()
+	}
+}

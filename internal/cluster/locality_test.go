@@ -1,0 +1,53 @@
+package cluster
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"efdedup/internal/agent"
+)
+
+// TestRemoteLookupFractionMatchesModel validates the V(P) model term
+// empirically: with hashes spread uniformly over a ring of size |P| at
+// replication factor γ, the measured remote-lookup fraction must track
+// 1 - γ/|P|.
+func TestRemoteLookupFractionMatchesModel(t *testing.T) {
+	d := testDataset(t)
+	for _, tc := range []struct {
+		name  string
+		rings [][]int
+		size  float64
+	}{
+		{"size-2", [][]int{{0, 2}, {1, 3}}, 2},
+		{"size-4", [][]int{{0, 1, 2, 3}}, 4},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			c := smallCluster(t) // RF = 2 by default
+			if err := c.ApplyPartition(tc.rings, agent.ModeRing); err != nil {
+				t.Fatal(err)
+			}
+			res, err := c.Run(context.Background(), d.File, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := 1 - 2.0/tc.size // γ=2
+			got := res.RemoteLookupFraction()
+			if math.Abs(got-want) > 0.15 {
+				t.Errorf("remote lookup fraction %.3f, model predicts %.3f (|P|=%v, γ=2)",
+					got, want, tc.size)
+			}
+			if res.LocalLookups+res.RemoteLookups == 0 {
+				t.Error("no lookups counted")
+			}
+		})
+	}
+}
+
+// TestRemoteLookupFractionZeroSafe covers the no-lookup path.
+func TestRemoteLookupFractionZeroSafe(t *testing.T) {
+	var r RunResult
+	if r.RemoteLookupFraction() != 0 {
+		t.Fatal("zero lookups produced non-zero fraction")
+	}
+}

@@ -1,0 +1,75 @@
+package cluster
+
+import (
+	"context"
+	"testing"
+
+	"efdedup/internal/agent"
+	"efdedup/internal/chunk"
+)
+
+// oracleUniqueChunks computes the exact unique chunk set of a workload in
+// process — the ground truth any correct dedup deployment must converge
+// to at the content-addressed cloud.
+func oracleUniqueChunks(t *testing.T, file FileFunc, nodes, files, chunkSize int) (int64, int64) {
+	t.Helper()
+	chunker, err := chunk.NewFixedChunker(chunkSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[chunk.ID]int)
+	var bytes int64
+	for n := 0; n < nodes; n++ {
+		for f := 0; f < files; f++ {
+			chunks, err := chunk.SplitBytes(chunker, file(n, f))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, c := range chunks {
+				if seen[c.ID] == 0 {
+					bytes += int64(len(c.Data))
+				}
+				seen[c.ID]++
+			}
+		}
+	}
+	return int64(len(seen)), bytes
+}
+
+// TestCloudConvergesToOracleAcrossModes: whatever the strategy and
+// whatever races occur between concurrent agents, the content-addressed
+// cloud must end up with exactly the oracle's unique chunk set.
+func TestCloudConvergesToOracleAcrossModes(t *testing.T) {
+	d := testDataset(t)
+	const files = 2
+	wantChunks, wantBytes := oracleUniqueChunks(t, d.File, 4, files, 2048)
+
+	for _, tc := range []struct {
+		name  string
+		mode  agent.Mode
+		rings [][]int
+	}{
+		{"ring-pairs", agent.ModeRing, [][]int{{0, 2}, {1, 3}}},
+		{"ring-single", agent.ModeRing, [][]int{{0, 1, 2, 3}}},
+		{"ring-singletons", agent.ModeRing, [][]int{{0}, {1}, {2}, {3}}},
+		{"cloud-assisted", agent.ModeCloudAssisted, nil},
+		{"cloud-only", agent.ModeCloudOnly, nil},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			c := smallCluster(t)
+			if err := c.ApplyPartition(tc.rings, tc.mode); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := c.Run(context.Background(), d.File, files); err != nil {
+				t.Fatal(err)
+			}
+			st := c.CloudStats()
+			if st.UniqueChunks != wantChunks {
+				t.Errorf("cloud has %d unique chunks, oracle says %d", st.UniqueChunks, wantChunks)
+			}
+			if st.UniqueBytes != wantBytes {
+				t.Errorf("cloud has %d unique bytes, oracle says %d", st.UniqueBytes, wantBytes)
+			}
+		})
+	}
+}

@@ -1,0 +1,123 @@
+// Package core is the EF-dedup control plane: it chains the paper's
+// pipeline end to end — sample the sources, estimate chunk-pool
+// characteristic vectors (Algorithm 1), assemble the SNOD2 instance, and
+// partition the edge nodes into D2-rings (Algorithm 2 / SMART) — producing
+// a deployment Plan that the cluster harness (or the standalone daemons)
+// can apply.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"efdedup/internal/chunk"
+	"efdedup/internal/estimate"
+	"efdedup/internal/model"
+	"efdedup/internal/partition"
+)
+
+// PlanInput gathers everything the planner needs.
+type PlanInput struct {
+	// Samples maps each edge node ID to sampled file contents from its
+	// data flow. Node IDs must be 0..len(NetCost)-1.
+	Samples map[int][][]byte
+	// Chunker must match what the Dedup Agents deploy; defaults to an
+	// 8 KiB fixed chunker.
+	Chunker chunk.Chunker
+	// Rates are per-node chunk rates (chunks/s), indexed by the sorted
+	// node IDs of Samples.
+	Rates []float64
+	// NetCost is the pairwise lookup cost matrix ν_ij.
+	NetCost [][]float64
+	// T is the deduplication window (s); Gamma the index replication
+	// factor; Alpha the network/storage trade-off.
+	T, Gamma, Alpha float64
+	// Rings is the maximum number of D2-rings M.
+	Rings int
+	// Pools is the model order K for estimation; defaults to 3 (the
+	// paper's validated choice).
+	Pools int
+	// Algorithm defaults to the SMART portfolio solver.
+	Algorithm partition.Algorithm
+	// Warm optionally seeds estimation with a previous plan's fit (the
+	// paper's time-varying warm start).
+	Warm *estimate.Estimate
+	// FitConfig overrides estimation knobs other than K and Warm.
+	FitConfig estimate.Config
+}
+
+// Plan is a complete EF-dedup deployment decision.
+type Plan struct {
+	// Estimate is the fitted chunk-pool model.
+	Estimate *estimate.Estimate
+	// GroundTruth holds the measured sample dedup ratios the fit used.
+	GroundTruth *estimate.GroundTruth
+	// System is the assembled SNOD2 instance.
+	System *model.System
+	// Rings is the chosen partition: each entry lists node IDs (not
+	// source indices) of one D2-ring.
+	Rings [][]int
+	// Cost is the analytic SNOD2 cost of the partition.
+	Cost model.PartitionCost
+}
+
+// MakePlan runs the full pipeline.
+func MakePlan(in PlanInput) (*Plan, error) {
+	if len(in.Samples) == 0 {
+		return nil, errors.New("core: no samples")
+	}
+	if in.Rings <= 0 {
+		return nil, fmt.Errorf("core: ring count %d must be positive", in.Rings)
+	}
+	chunker := in.Chunker
+	if chunker == nil {
+		fc, err := chunk.NewFixedChunker(chunk.DefaultFixedSize)
+		if err != nil {
+			return nil, err
+		}
+		chunker = fc
+	}
+	pools := in.Pools
+	if pools <= 0 {
+		pools = 3
+	}
+	algo := in.Algorithm
+	if algo == nil {
+		algo = partition.Portfolio{}
+	}
+
+	gt, err := estimate.Measure(in.Samples, chunker)
+	if err != nil {
+		return nil, fmt.Errorf("core: measure samples: %w", err)
+	}
+	fitCfg := in.FitConfig
+	fitCfg.K = pools
+	fitCfg.Warm = in.Warm
+	est, err := estimate.Fit(gt, fitCfg)
+	if err != nil {
+		return nil, fmt.Errorf("core: fit model: %w", err)
+	}
+	sys, err := est.System(gt, in.Rates, in.T, in.Gamma, in.Alpha, in.NetCost)
+	if err != nil {
+		return nil, fmt.Errorf("core: assemble system: %w", err)
+	}
+	ringIdx, cost, err := partition.Evaluate(algo, sys, in.Rings)
+	if err != nil {
+		return nil, fmt.Errorf("core: partition: %w", err)
+	}
+	// Translate source indices back to node IDs.
+	rings := make([][]int, len(ringIdx))
+	for r, ring := range ringIdx {
+		rings[r] = make([]int, len(ring))
+		for i, idx := range ring {
+			rings[r][i] = gt.Sources[idx]
+		}
+	}
+	return &Plan{
+		Estimate:    est,
+		GroundTruth: gt,
+		System:      sys,
+		Rings:       rings,
+		Cost:        cost,
+	}, nil
+}

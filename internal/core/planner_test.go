@@ -1,0 +1,151 @@
+package core
+
+import (
+	"testing"
+
+	"efdedup/internal/chunk"
+	"efdedup/internal/model"
+	"efdedup/internal/partition"
+	"efdedup/internal/workload"
+)
+
+// planSamples builds samples for 4 nodes from a known pool system: nodes
+// {0,1} share one distribution and {2,3} another.
+func planSamples(t *testing.T, chunkSize int) (map[int][][]byte, *model.System) {
+	t.Helper()
+	sys := &model.System{
+		PoolSizes: []float64{400, 400},
+		Sources: []model.Source{
+			{ID: 0, Rate: 1, Probs: []float64{0.85, 0.05}},
+			{ID: 1, Rate: 1, Probs: []float64{0.85, 0.05}},
+			{ID: 2, Rate: 1, Probs: []float64{0.05, 0.85}},
+			{ID: 3, Rate: 1, Probs: []float64{0.05, 0.85}},
+		},
+		T:     1,
+		Gamma: 1,
+	}
+	d, err := workload.NewPoolDataset(sys, chunkSize, 300, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples := make(map[int][][]byte)
+	for s := 0; s < 4; s++ {
+		samples[s] = [][]byte{d.File(s, 0), d.File(s, 1)}
+	}
+	return samples, sys
+}
+
+func uniformCost(n int, cross float64) [][]float64 {
+	out := make([][]float64, n)
+	for i := range out {
+		out[i] = make([]float64, n)
+		for j := range out[i] {
+			if i != j {
+				out[i][j] = cross
+			}
+		}
+	}
+	return out
+}
+
+func TestMakePlanValidation(t *testing.T) {
+	if _, err := MakePlan(PlanInput{Rings: 2}); err == nil {
+		t.Error("no samples accepted")
+	}
+	samples, _ := planSamples(t, 512)
+	if _, err := MakePlan(PlanInput{Samples: samples, Rings: 0}); err == nil {
+		t.Error("zero rings accepted")
+	}
+	if _, err := MakePlan(PlanInput{
+		Samples: samples, Rings: 2,
+		Rates: []float64{1}, // wrong length
+		T:     60, Gamma: 2, Alpha: 0.1,
+		NetCost: uniformCost(4, 1),
+	}); err == nil {
+		t.Error("rate length mismatch accepted")
+	}
+}
+
+func TestMakePlanEndToEnd(t *testing.T) {
+	const chunkSize = 512
+	samples, _ := planSamples(t, chunkSize)
+	chunker, err := chunk.NewFixedChunker(chunkSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Network geography agrees with the content clusters: {0,1} and
+	// {2,3} are each co-located, cross-pair links are expensive. A
+	// moderate α makes the two-ring content/site split optimal (one big
+	// ring would pay the cross links, singletons would forgo the
+	// intra-pair dedup).
+	netCost := uniformCost(4, 0.2)
+	netCost[0][1], netCost[1][0] = 0.001, 0.001
+	netCost[2][3], netCost[3][2] = 0.001, 0.001
+	plan, err := MakePlan(PlanInput{
+		Samples: samples,
+		Chunker: chunker,
+		Rates:   []float64{10, 10, 10, 10},
+		NetCost: netCost,
+		T:       60, Gamma: 1, Alpha: 2,
+		Rings: 2,
+		Pools: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plan.System.Validate(); err != nil {
+		t.Fatalf("plan system invalid: %v", err)
+	}
+	if plan.Cost.Aggregate <= 0 {
+		t.Error("non-positive plan cost")
+	}
+	ringOf := map[int]int{}
+	for r, ring := range plan.Rings {
+		for _, id := range ring {
+			ringOf[id] = r
+		}
+	}
+	if len(ringOf) != 4 {
+		t.Fatalf("plan covers %d nodes, want 4: %v", len(ringOf), plan.Rings)
+	}
+	if ringOf[0] != ringOf[1] || ringOf[2] != ringOf[3] || ringOf[0] == ringOf[2] {
+		t.Errorf("plan %v did not recover content clusters {0,1},{2,3}", plan.Rings)
+	}
+	// Estimation quality must carry the paper's < 4% figure on
+	// model-generated data.
+	if e := plan.Estimate.MeanRelativeError(plan.GroundTruth); e > 0.05 {
+		t.Errorf("plan estimation error %.2f%%, want < 5%%", e*100)
+	}
+}
+
+func TestMakePlanWarmStart(t *testing.T) {
+	const chunkSize = 512
+	samples, _ := planSamples(t, chunkSize)
+	chunker, err := chunk.NewFixedChunker(chunkSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := PlanInput{
+		Samples: samples,
+		Chunker: chunker,
+		Rates:   []float64{10, 10, 10, 10},
+		NetCost: uniformCost(4, 0.005),
+		T:       60, Gamma: 2, Alpha: 0.001,
+		Rings:     2,
+		Pools:     3,
+		Algorithm: partition.SmartGreedy{},
+	}
+	first, err := MakePlan(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in.Warm = first.Estimate
+	second, err := MakePlan(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Estimate.Iterations > first.Estimate.Iterations {
+		t.Errorf("warm-started plan took %d sweeps, cold %d",
+			second.Estimate.Iterations, first.Estimate.Iterations)
+	}
+}

@@ -1,0 +1,307 @@
+// Package erasure implements Reed-Solomon erasure coding over GF(2⁸) —
+// the paper's future-work direction "to make the data more reliable and
+// save more storage space, we intend to apply erasure code to store data
+// replicas" (Sec. VII, refs [28][29]).
+//
+// A Codec splits a chunk into k data shards and computes m parity shards;
+// any k of the k+m shards reconstruct the chunk. Compared with the
+// paper's replication-factor-γ copies, erasure coding stores
+// (k+m)/k× the data instead of γ× for comparable loss tolerance.
+//
+// The implementation is a systematic Vandermonde Reed-Solomon code:
+// encoding multiplies the data by rows of a Vandermonde-derived matrix;
+// decoding inverts the surviving rows. Everything is stdlib-only.
+package erasure
+
+import (
+	"errors"
+	"fmt"
+)
+
+// GF(2⁸) arithmetic with the AES polynomial x⁸+x⁴+x³+x+1 (0x11B).
+const fieldPoly = 0x11B
+
+// gfTables holds exp/log tables for fast multiplication.
+type gfTables struct {
+	exp [512]byte
+	log [256]byte
+}
+
+// newGFTables builds the exp/log tables over generator 3 (0x03). Note 2
+// is NOT a generator of the AES field (its multiplicative order is 51),
+// so the tables must step by x·3 = (x<<1) ⊕ x.
+func newGFTables() *gfTables {
+	t := &gfTables{}
+	x := 1
+	for i := 0; i < 255; i++ {
+		t.exp[i] = byte(x)
+		t.log[x] = byte(i)
+		x = (x << 1) ^ x // multiply by the generator 3
+		if x&0x100 != 0 {
+			x ^= fieldPoly
+		}
+	}
+	for i := 255; i < 512; i++ {
+		t.exp[i] = t.exp[i-255]
+	}
+	return t
+}
+
+var tables = newGFTables()
+
+// gfMul multiplies in GF(2⁸).
+func gfMul(a, b byte) byte {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	return tables.exp[int(tables.log[a])+int(tables.log[b])]
+}
+
+// gfDiv divides in GF(2⁸); b must be non-zero.
+func gfDiv(a, b byte) byte {
+	if a == 0 {
+		return 0
+	}
+	return tables.exp[int(tables.log[a])+255-int(tables.log[b])]
+}
+
+// gfInv inverts in GF(2⁸); a must be non-zero.
+func gfInv(a byte) byte { return tables.exp[255-int(tables.log[a])] }
+
+// gfPow raises a to the n-th power.
+func gfPow(a byte, n int) byte {
+	if n == 0 {
+		return 1
+	}
+	if a == 0 {
+		return 0
+	}
+	return tables.exp[(int(tables.log[a])*n)%255]
+}
+
+// Codec encodes chunks into k data + m parity shards.
+type Codec struct {
+	k, m int
+	// encodeMatrix is (k+m)×k: identity on top (systematic), parity rows
+	// below.
+	encodeMatrix [][]byte
+}
+
+// New builds a codec with k data shards and m parity shards. k+m must not
+// exceed 255 (distinct non-zero field points).
+func New(k, m int) (*Codec, error) {
+	if k <= 0 || m < 0 {
+		return nil, fmt.Errorf("erasure: k=%d, m=%d must be positive", k, m)
+	}
+	if k+m > 255 {
+		return nil, fmt.Errorf("erasure: k+m=%d exceeds field size", k+m)
+	}
+	// Build a (k+m)×k Vandermonde matrix, then normalize its top k×k
+	// block to the identity (systematic form) by column operations.
+	rows := k + m
+	vm := make([][]byte, rows)
+	for r := 0; r < rows; r++ {
+		vm[r] = make([]byte, k)
+		for c := 0; c < k; c++ {
+			vm[r][c] = gfPow(byte(r+1), c)
+		}
+	}
+	// Gaussian elimination on the top block, applying the same column
+	// operations to all rows. The Vandermonde top block is invertible
+	// because the evaluation points are distinct.
+	for col := 0; col < k; col++ {
+		// Find pivot in row=col of the top block.
+		if vm[col][col] == 0 {
+			// Swap with a later column that has a non-zero entry.
+			swapped := false
+			for c2 := col + 1; c2 < k; c2++ {
+				if vm[col][c2] != 0 {
+					for r := 0; r < rows; r++ {
+						vm[r][col], vm[r][c2] = vm[r][c2], vm[r][col]
+					}
+					swapped = true
+					break
+				}
+			}
+			if !swapped {
+				return nil, errors.New("erasure: singular Vandermonde block (unreachable)")
+			}
+		}
+		inv := gfInv(vm[col][col])
+		// Scale the column so the pivot is 1.
+		for r := 0; r < rows; r++ {
+			vm[r][col] = gfMul(vm[r][col], inv)
+		}
+		// Eliminate the pivot row's other entries.
+		for c2 := 0; c2 < k; c2++ {
+			if c2 == col || vm[col][c2] == 0 {
+				continue
+			}
+			factor := vm[col][c2]
+			for r := 0; r < rows; r++ {
+				vm[r][c2] ^= gfMul(factor, vm[r][col])
+			}
+		}
+	}
+	return &Codec{k: k, m: m, encodeMatrix: vm}, nil
+}
+
+// DataShards returns k.
+func (c *Codec) DataShards() int { return c.k }
+
+// ParityShards returns m.
+func (c *Codec) ParityShards() int { return c.m }
+
+// Split encodes data into k+m shards. The chunk is padded to a multiple of
+// k; the original length must be carried out of band (Join takes it).
+func (c *Codec) Split(data []byte) ([][]byte, error) {
+	if len(data) == 0 {
+		return nil, errors.New("erasure: empty input")
+	}
+	shardLen := (len(data) + c.k - 1) / c.k
+	shards := make([][]byte, c.k+c.m)
+	for i := 0; i < c.k; i++ {
+		shards[i] = make([]byte, shardLen)
+		start := i * shardLen
+		if start < len(data) {
+			end := start + shardLen
+			if end > len(data) {
+				end = len(data)
+			}
+			copy(shards[i], data[start:end])
+		}
+	}
+	for p := 0; p < c.m; p++ {
+		row := c.encodeMatrix[c.k+p]
+		shard := make([]byte, shardLen)
+		for i := 0; i < c.k; i++ {
+			coef := row[i]
+			if coef == 0 {
+				continue
+			}
+			src := shards[i]
+			for b := 0; b < shardLen; b++ {
+				shard[b] ^= gfMul(coef, src[b])
+			}
+		}
+		shards[c.k+p] = shard
+	}
+	return shards, nil
+}
+
+// Join reconstructs the original chunk of the given length from any k
+// surviving shards. shards must have length k+m with missing entries nil;
+// all present shards must have equal length.
+func (c *Codec) Join(shards [][]byte, length int) ([]byte, error) {
+	if len(shards) != c.k+c.m {
+		return nil, fmt.Errorf("erasure: got %d shards, want %d", len(shards), c.k+c.m)
+	}
+	if length <= 0 {
+		return nil, errors.New("erasure: non-positive length")
+	}
+	// Collect k surviving shards and their encode-matrix rows.
+	var rows [][]byte
+	var data [][]byte
+	shardLen := -1
+	for i, s := range shards {
+		if s == nil {
+			continue
+		}
+		if shardLen == -1 {
+			shardLen = len(s)
+		} else if len(s) != shardLen {
+			return nil, errors.New("erasure: shard length mismatch")
+		}
+		if len(rows) < c.k {
+			rows = append(rows, c.encodeMatrix[i])
+			data = append(data, s)
+		}
+	}
+	if len(rows) < c.k {
+		return nil, fmt.Errorf("erasure: only %d of %d required shards survive", len(rows), c.k)
+	}
+	if shardLen*c.k < length {
+		return nil, fmt.Errorf("erasure: shards cover %d bytes, need %d", shardLen*c.k, length)
+	}
+	// Invert the k×k matrix of surviving rows.
+	inv, err := invertMatrix(rows, c.k)
+	if err != nil {
+		return nil, err
+	}
+	// dataShard[i] = Σ_j inv[i][j]·survivor[j].
+	out := make([]byte, 0, length)
+	buf := make([]byte, shardLen)
+	for i := 0; i < c.k && len(out) < length; i++ {
+		for b := range buf {
+			buf[b] = 0
+		}
+		for j := 0; j < c.k; j++ {
+			coef := inv[i][j]
+			if coef == 0 {
+				continue
+			}
+			src := data[j]
+			for b := 0; b < shardLen; b++ {
+				buf[b] ^= gfMul(coef, src[b])
+			}
+		}
+		need := length - len(out)
+		if need > shardLen {
+			need = shardLen
+		}
+		out = append(out, buf[:need]...)
+	}
+	return out, nil
+}
+
+// invertMatrix returns the inverse of the k×k matrix given as row slices.
+func invertMatrix(rows [][]byte, k int) ([][]byte, error) {
+	// Build augmented [A | I].
+	aug := make([][]byte, k)
+	for i := 0; i < k; i++ {
+		aug[i] = make([]byte, 2*k)
+		copy(aug[i], rows[i][:k])
+		aug[i][k+i] = 1
+	}
+	for col := 0; col < k; col++ {
+		// Pivot.
+		pivot := -1
+		for r := col; r < k; r++ {
+			if aug[r][col] != 0 {
+				pivot = r
+				break
+			}
+		}
+		if pivot < 0 {
+			return nil, errors.New("erasure: singular survivor matrix")
+		}
+		aug[col], aug[pivot] = aug[pivot], aug[col]
+		inv := gfInv(aug[col][col])
+		for c2 := 0; c2 < 2*k; c2++ {
+			aug[col][c2] = gfMul(aug[col][c2], inv)
+		}
+		for r := 0; r < k; r++ {
+			if r == col || aug[r][col] == 0 {
+				continue
+			}
+			factor := aug[r][col]
+			for c2 := 0; c2 < 2*k; c2++ {
+				aug[r][c2] ^= gfMul(factor, aug[col][c2])
+			}
+		}
+	}
+	out := make([][]byte, k)
+	for i := range out {
+		out[i] = aug[i][k:]
+	}
+	return out, nil
+}
+
+// Overhead returns the storage expansion factor (k+m)/k, for comparing
+// against replication's γ.
+func (c *Codec) Overhead() float64 {
+	return float64(c.k+c.m) / float64(c.k)
+}
+
+// gfDivUsed keeps gfDiv referenced for completeness of the field API.
+var _ = gfDiv

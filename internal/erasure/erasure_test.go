@@ -1,0 +1,187 @@
+package erasure
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, 2); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := New(3, -1); err == nil {
+		t.Error("negative m accepted")
+	}
+	if _, err := New(200, 100); err == nil {
+		t.Error("k+m > 255 accepted")
+	}
+}
+
+func TestGFFieldAxioms(t *testing.T) {
+	// Multiplicative inverses and associativity on sampled triples.
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 500; trial++ {
+		a := byte(rng.Intn(255) + 1)
+		b := byte(rng.Intn(255) + 1)
+		c := byte(rng.Intn(256))
+		if gfMul(a, gfInv(a)) != 1 {
+			t.Fatalf("a·a⁻¹ ≠ 1 for a=%d", a)
+		}
+		if gfDiv(gfMul(a, b), b) != a {
+			t.Fatalf("(a·b)/b ≠ a for a=%d b=%d", a, b)
+		}
+		if gfMul(gfMul(a, b), c) != gfMul(a, gfMul(b, c)) {
+			t.Fatalf("associativity fails for %d,%d,%d", a, b, c)
+		}
+		// Distributivity over XOR (field addition).
+		if gfMul(a, b^c) != gfMul(a, b)^gfMul(a, c) {
+			t.Fatalf("distributivity fails for %d,%d,%d", a, b, c)
+		}
+	}
+	if gfPow(3, 0) != 1 || gfPow(0, 5) != 0 {
+		t.Error("gfPow edge cases wrong")
+	}
+}
+
+func TestSplitJoinRoundTrip(t *testing.T) {
+	codec, err := New(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	for _, size := range []int{1, 7, 64, 1000, 8192, 10001} {
+		data := make([]byte, size)
+		rng.Read(data)
+		shards, err := codec.Split(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(shards) != 6 {
+			t.Fatalf("got %d shards, want 6", len(shards))
+		}
+		back, err := codec.Join(shards, size)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(back, data) {
+			t.Fatalf("size %d: full-shard reconstruction differs", size)
+		}
+	}
+}
+
+// TestReconstructionFromAnyKShards drops every possible loss pattern of up
+// to m shards and verifies recovery.
+func TestReconstructionFromAnyKShards(t *testing.T) {
+	const k, m = 4, 2
+	codec, err := New(k, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	data := make([]byte, 5000)
+	rng.Read(data)
+	shards, err := codec.Split(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := k + m
+	// Every pair of lost shards.
+	for a := 0; a < total; a++ {
+		for b := a + 1; b < total; b++ {
+			damaged := make([][]byte, total)
+			for i := range shards {
+				if i != a && i != b {
+					damaged[i] = shards[i]
+				}
+			}
+			back, err := codec.Join(damaged, len(data))
+			if err != nil {
+				t.Fatalf("lose {%d,%d}: %v", a, b, err)
+			}
+			if !bytes.Equal(back, data) {
+				t.Fatalf("lose {%d,%d}: reconstruction differs", a, b)
+			}
+		}
+	}
+}
+
+func TestTooManyLosses(t *testing.T) {
+	codec, err := New(3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := []byte("some chunk content to protect")
+	shards, err := codec.Split(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shards[0], shards[1], shards[2] = nil, nil, nil // 3 losses > m=2
+	if _, err := codec.Join(shards, len(data)); err == nil {
+		t.Fatal("reconstruction succeeded with too few shards")
+	}
+}
+
+func TestJoinValidation(t *testing.T) {
+	codec, err := New(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := codec.Join(make([][]byte, 2), 10); err == nil {
+		t.Error("wrong shard count accepted")
+	}
+	shards, _ := codec.Split([]byte("abcdef"))
+	if _, err := codec.Join(shards, 0); err == nil {
+		t.Error("zero length accepted")
+	}
+	shards[1] = shards[1][:1] // length mismatch
+	if _, err := codec.Join(shards, 6); err == nil {
+		t.Error("mismatched shard lengths accepted")
+	}
+}
+
+func TestOverheadVsReplication(t *testing.T) {
+	// RS(4,2) tolerates 2 losses at 1.5x storage; replication needs 3x.
+	codec, err := New(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := codec.Overhead(); got != 1.5 {
+		t.Fatalf("Overhead = %v, want 1.5", got)
+	}
+	if codec.DataShards() != 4 || codec.ParityShards() != 2 {
+		t.Fatal("shard counts wrong")
+	}
+}
+
+// TestPropertyRoundTripWithRandomLosses fuzzes sizes and loss patterns.
+func TestPropertyRoundTripWithRandomLosses(t *testing.T) {
+	codec, err := New(5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		size := 1 + rng.Intn(4000)
+		data := make([]byte, size)
+		rng.Read(data)
+		shards, err := codec.Split(data)
+		if err != nil {
+			return false
+		}
+		// Drop up to m random shards.
+		losses := rng.Intn(codec.ParityShards() + 1)
+		for l := 0; l < losses; l++ {
+			shards[rng.Intn(len(shards))] = nil
+		}
+		back, err := codec.Join(shards, size)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(back, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,38 @@
+package estimate
+
+import (
+	"errors"
+	"math"
+)
+
+// FitAuto searches over the model order K as well — Algorithm 1's full
+// output is "the number of chunk pools K_t, the size of chunk pools and
+// characteristic vectors". Candidate orders 1..maxK are fitted and scored
+// by MSE with a small complexity penalty (an AIC-flavoured term), so a
+// larger K must buy a real error reduction to win. The winner's K is
+// available as len(Estimate.PoolSizes).
+func FitAuto(gt *GroundTruth, maxK int, cfg Config) (*Estimate, error) {
+	if maxK <= 0 {
+		return nil, errors.New("estimate: maxK must be positive")
+	}
+	var best *Estimate
+	bestScore := math.Inf(1)
+	n := float64(len(gt.Subsets))
+	for k := 1; k <= maxK; k++ {
+		c := cfg
+		c.K = k
+		c.Warm = nil // warm starts cannot cross model orders
+		est, err := Fit(gt, c)
+		if err != nil {
+			return nil, err
+		}
+		// Parameters: K pool sizes + K probabilities per source.
+		params := float64(k * (1 + len(gt.Sources)))
+		score := n*math.Log(est.MSE+1e-12) + 2*params
+		if score < bestScore {
+			bestScore = score
+			best = est
+		}
+	}
+	return best, nil
+}

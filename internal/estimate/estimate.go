@@ -1,0 +1,320 @@
+// Package estimate implements Algorithm 1 of EF-dedup (Sec. III-A):
+// fitting the chunk-pool model — number of pools K, pool sizes s_k and
+// per-source characteristic vectors P_i — to ground-truth deduplication
+// ratios measured on sampled files.
+//
+// The procedure is exactly the paper's: measure the real dedup ratio of
+// every subset of the sampled sources with a standard chunk-level
+// deduplicator, then search model parameters minimizing the mean squared
+// error between Theorem 1's analytic ratio and the measurements, stopping
+// when the MSE falls below a threshold. Instead of the paper's full grid
+// sweep (which scans pool sizes up to 200,000 in steps of 100), the search
+// uses coordinate descent over a multiplicative size grid and an additive
+// probability grid, which converges to the same fits orders of magnitude
+// faster and supports the paper's warm start across time steps ("begin
+// with previous characteristic vectors ... ends extremely quickly").
+package estimate
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"efdedup/internal/chunk"
+	"efdedup/internal/model"
+)
+
+// GroundTruth holds measured dedup statistics for source subsets.
+type GroundTruth struct {
+	// Sources lists the sampled source identifiers, in the order probs
+	// are returned.
+	Sources []int
+	// Chunks[i] is the total chunk count of source i's samples (the
+	// model's R_i·T).
+	Chunks []float64
+	// Subsets enumerates the measured source subsets, as index lists
+	// into Sources.
+	Subsets [][]int
+	// Ratios[j] is the measured dedup ratio of Subsets[j].
+	Ratios []float64
+}
+
+// Measure chunk-deduplicates every subset of the given sources' sample
+// files and records the real dedup ratios. samples maps a source ID to its
+// sampled file contents. The subset lattice is exponential in the number
+// of sources; Measure refuses more than 8 sources.
+func Measure(samples map[int][][]byte, chunker chunk.Chunker) (*GroundTruth, error) {
+	if len(samples) == 0 {
+		return nil, errors.New("estimate: no samples")
+	}
+	if len(samples) > 8 {
+		return nil, fmt.Errorf("estimate: %d sources exceed the 8-source subset-lattice limit", len(samples))
+	}
+	gt := &GroundTruth{}
+	for id := range samples {
+		gt.Sources = append(gt.Sources, id)
+	}
+	// Deterministic order.
+	for i := 0; i < len(gt.Sources); i++ {
+		for j := i + 1; j < len(gt.Sources); j++ {
+			if gt.Sources[j] < gt.Sources[i] {
+				gt.Sources[i], gt.Sources[j] = gt.Sources[j], gt.Sources[i]
+			}
+		}
+	}
+
+	// Pre-chunk every source once.
+	perSource := make([][]chunk.ID, len(gt.Sources))
+	gt.Chunks = make([]float64, len(gt.Sources))
+	for i, id := range gt.Sources {
+		for _, file := range samples[id] {
+			chunks, err := chunk.SplitBytes(chunker, file)
+			if err != nil {
+				return nil, fmt.Errorf("estimate: chunk source %d: %w", id, err)
+			}
+			for _, c := range chunks {
+				perSource[i] = append(perSource[i], c.ID)
+			}
+		}
+		gt.Chunks[i] = float64(len(perSource[i]))
+		if len(perSource[i]) == 0 {
+			return nil, fmt.Errorf("estimate: source %d has no chunks", id)
+		}
+	}
+
+	n := len(gt.Sources)
+	for mask := 1; mask < 1<<n; mask++ {
+		var subset []int
+		seen := make(map[chunk.ID]bool)
+		total := 0
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) == 0 {
+				continue
+			}
+			subset = append(subset, i)
+			for _, id := range perSource[i] {
+				total++
+				seen[id] = true
+			}
+		}
+		gt.Subsets = append(gt.Subsets, subset)
+		gt.Ratios = append(gt.Ratios, float64(total)/float64(len(seen)))
+	}
+	return gt, nil
+}
+
+// Estimate is a fitted chunk-pool model.
+type Estimate struct {
+	// PoolSizes are the fitted s_k.
+	PoolSizes []float64
+	// Probs[i] is the characteristic vector of GroundTruth source i (in
+	// GroundTruth.Sources order).
+	Probs [][]float64
+	// MSE is the final mean squared error against the ground truth
+	// ratios.
+	MSE float64
+	// Iterations counts coordinate-descent sweeps performed.
+	Iterations int
+}
+
+// Config tunes the fit.
+type Config struct {
+	// K is the number of chunk pools (the paper validates with K=3).
+	K int
+	// MSEThreshold stops the search early, per Algorithm 1. Zero means
+	// run until convergence or MaxSweeps.
+	MSEThreshold float64
+	// MaxSweeps bounds coordinate-descent sweeps; defaults to 60.
+	MaxSweeps int
+	// SizeFactors is the multiplicative search grid for pool sizes;
+	// defaults to {0.25, 0.5, 0.8, 1.25, 2, 4}.
+	SizeFactors []float64
+	// ProbSteps is the additive search grid for probabilities; defaults
+	// to {±0.3, ±0.1, ±0.03, ±0.01}.
+	ProbSteps []float64
+	// Warm optionally seeds the search with a previous fit (the paper's
+	// cross-time warm start). Pool count must match K.
+	Warm *Estimate
+}
+
+// systemFor assembles the model system a candidate parameterization
+// implies, with R_i·T equal to the measured chunk counts.
+func systemFor(gt *GroundTruth, sizes []float64, probs [][]float64) *model.System {
+	srcs := make([]model.Source, len(gt.Sources))
+	for i := range srcs {
+		srcs[i] = model.Source{ID: i, Rate: gt.Chunks[i], Probs: probs[i]}
+	}
+	return &model.System{
+		PoolSizes: sizes,
+		Sources:   srcs,
+		T:         1,
+		Gamma:     1,
+	}
+}
+
+// mse evaluates the fit error over all measured subsets.
+func mse(gt *GroundTruth, sizes []float64, probs [][]float64) float64 {
+	sys := systemFor(gt, sizes, probs)
+	sum := 0.0
+	for j, subset := range gt.Subsets {
+		diff := sys.DedupRatio(subset) - gt.Ratios[j]
+		sum += diff * diff
+	}
+	return sum / float64(len(gt.Subsets))
+}
+
+// Fit runs Algorithm 1's parameter search against measured ground truth.
+func Fit(gt *GroundTruth, cfg Config) (*Estimate, error) {
+	if gt == nil || len(gt.Sources) == 0 || len(gt.Subsets) == 0 {
+		return nil, errors.New("estimate: empty ground truth")
+	}
+	if cfg.K <= 0 {
+		return nil, fmt.Errorf("estimate: pool count K=%d must be positive", cfg.K)
+	}
+	if cfg.MaxSweeps <= 0 {
+		cfg.MaxSweeps = 60
+	}
+	if len(cfg.SizeFactors) == 0 {
+		cfg.SizeFactors = []float64{0.25, 0.5, 0.8, 1.25, 2, 4}
+	}
+	if len(cfg.ProbSteps) == 0 {
+		cfg.ProbSteps = []float64{-0.3, -0.1, -0.03, -0.01, 0.01, 0.03, 0.1, 0.3}
+	}
+
+	n := len(gt.Sources)
+	sizes := make([]float64, cfg.K)
+	probs := make([][]float64, n)
+	if cfg.Warm != nil {
+		if len(cfg.Warm.PoolSizes) != cfg.K || len(cfg.Warm.Probs) != n {
+			return nil, errors.New("estimate: warm start shape mismatch")
+		}
+		copy(sizes, cfg.Warm.PoolSizes)
+		for i := range probs {
+			probs[i] = append([]float64(nil), cfg.Warm.Probs[i]...)
+		}
+	} else {
+		// Neutral start: pools sized near the per-source unique counts,
+		// staggered per pool; probability mass spread evenly with some
+		// head-room left for unique noise.
+		meanChunks := 0.0
+		for _, c := range gt.Chunks {
+			meanChunks += c
+		}
+		meanChunks /= float64(n)
+		for k := range sizes {
+			sizes[k] = meanChunks * float64(k+1)
+		}
+		for i := range probs {
+			probs[i] = make([]float64, cfg.K)
+			for k := range probs[i] {
+				probs[i][k] = 0.8 / float64(cfg.K)
+			}
+		}
+	}
+
+	best := mse(gt, sizes, probs)
+	est := &Estimate{}
+	for sweep := 0; sweep < cfg.MaxSweeps; sweep++ {
+		est.Iterations = sweep + 1
+		improved := false
+
+		// Pool sizes: multiplicative moves.
+		for k := range sizes {
+			orig := sizes[k]
+			bestSize := orig
+			for _, f := range cfg.SizeFactors {
+				cand := orig * f
+				if cand < 1 {
+					cand = 1
+				}
+				sizes[k] = cand
+				if m := mse(gt, sizes, probs); m < best-1e-12 {
+					best, bestSize, improved = m, cand, true
+				}
+			}
+			sizes[k] = bestSize
+		}
+
+		// Probabilities: additive moves under the simplex constraint.
+		for i := range probs {
+			for k := range probs[i] {
+				orig := probs[i][k]
+				bestP := orig
+				for _, step := range cfg.ProbSteps {
+					cand := orig + step
+					if cand < 0 || cand > 1 {
+						continue
+					}
+					sum := cand
+					for kk, p := range probs[i] {
+						if kk != k {
+							sum += p
+						}
+					}
+					if sum > 1 {
+						continue
+					}
+					probs[i][k] = cand
+					if m := mse(gt, sizes, probs); m < best-1e-12 {
+						best, bestP, improved = m, cand, true
+					}
+				}
+				probs[i][k] = bestP
+			}
+		}
+
+		if cfg.MSEThreshold > 0 && best <= cfg.MSEThreshold {
+			break
+		}
+		if !improved {
+			break
+		}
+	}
+	est.PoolSizes = sizes
+	est.Probs = probs
+	est.MSE = best
+	return est, nil
+}
+
+// PredictRatio returns the fitted model's dedup ratio for a subset of the
+// ground-truth sources (indices into GroundTruth.Sources).
+func (e *Estimate) PredictRatio(gt *GroundTruth, subset []int) float64 {
+	return systemFor(gt, e.PoolSizes, e.Probs).DedupRatio(subset)
+}
+
+// MeanRelativeError reports the fit's average |predicted-measured|/measured
+// over all ground-truth subsets — the "<4%" metric of Fig. 2/3.
+func (e *Estimate) MeanRelativeError(gt *GroundTruth) float64 {
+	sum := 0.0
+	for j, subset := range gt.Subsets {
+		pred := e.PredictRatio(gt, subset)
+		sum += math.Abs(pred-gt.Ratios[j]) / gt.Ratios[j]
+	}
+	return sum / float64(len(gt.Subsets))
+}
+
+// System assembles a full SNOD2 system from the fit plus deployment
+// parameters: per-source data rates (chunks/s), window, replication
+// factor, trade-off and network costs. Source IDs are taken from the
+// ground truth.
+func (e *Estimate) System(gt *GroundTruth, rates []float64, T, gamma, alpha float64, netCost [][]float64) (*model.System, error) {
+	if len(rates) != len(gt.Sources) {
+		return nil, fmt.Errorf("estimate: %d rates for %d sources", len(rates), len(gt.Sources))
+	}
+	srcs := make([]model.Source, len(gt.Sources))
+	for i := range srcs {
+		srcs[i] = model.Source{ID: gt.Sources[i], Rate: rates[i], Probs: e.Probs[i]}
+	}
+	sys := &model.System{
+		PoolSizes: e.PoolSizes,
+		Sources:   srcs,
+		T:         T,
+		Gamma:     gamma,
+		Alpha:     alpha,
+		NetCost:   netCost,
+	}
+	if err := sys.Validate(); err != nil {
+		return nil, err
+	}
+	return sys, nil
+}

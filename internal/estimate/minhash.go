@@ -1,0 +1,152 @@
+package estimate
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"efdedup/internal/chunk"
+)
+
+// This file implements the paper's future-work direction "improve the
+// performance of our source estimation algorithm through techniques like
+// locality sensitive hashing" (Sec. VII, ref [27]).
+//
+// A MinHash signature summarizes a source's chunk set in k machine words;
+// the fraction of matching signature slots estimates the Jaccard
+// similarity of two sources' chunk sets without comparing the sets
+// themselves. Where Algorithm 1's exact ground truth costs a full
+// chunk-level dedup of every source subset (exponential in sources),
+// MinHash costs one pass per source and O(k) per pair — making
+// similarity-driven partitioning feasible for hundreds of edge nodes.
+
+// DefaultSignatureSize is the default number of MinHash slots; the
+// standard error of the Jaccard estimate is ~1/√k ≈ 5.6% at k=320.
+const DefaultSignatureSize = 320
+
+// Signature is a MinHash sketch of a chunk set.
+type Signature struct {
+	slots []uint64
+}
+
+// slotHash derives the i-th hash of a chunk ID by mixing the ID with the
+// slot index (one-permutation-per-slot MinHash).
+func slotHash(id chunk.ID, slot int) uint64 {
+	x := binary.BigEndian.Uint64(id[:8]) ^ (uint64(slot)*0x9E3779B97F4A7C15 + 0x1234567)
+	x ^= binary.BigEndian.Uint64(id[8:16])
+	// SplitMix64 finalizer.
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// NewSignature sketches the given chunk IDs with k slots.
+func NewSignature(ids []chunk.ID, k int) (*Signature, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("estimate: signature size %d must be positive", k)
+	}
+	if len(ids) == 0 {
+		return nil, errors.New("estimate: cannot sketch an empty chunk set")
+	}
+	// Deduplicate IDs first: MinHash sketches sets, not multisets.
+	seen := make(map[chunk.ID]bool, len(ids))
+	slots := make([]uint64, k)
+	for i := range slots {
+		slots[i] = math.MaxUint64
+	}
+	for _, id := range ids {
+		if seen[id] {
+			continue
+		}
+		seen[id] = true
+		for s := 0; s < k; s++ {
+			if h := slotHash(id, s); h < slots[s] {
+				slots[s] = h
+			}
+		}
+	}
+	return &Signature{slots: slots}, nil
+}
+
+// SketchStream chunks data and sketches the resulting chunk-ID set.
+func SketchStream(data []byte, chunker chunk.Chunker, k int) (*Signature, error) {
+	chunks, err := chunk.SplitBytes(chunker, data)
+	if err != nil {
+		return nil, err
+	}
+	ids := make([]chunk.ID, len(chunks))
+	for i, c := range chunks {
+		ids[i] = c.ID
+	}
+	return NewSignature(ids, k)
+}
+
+// Jaccard estimates the Jaccard similarity |A∩B| / |A∪B| from two
+// signatures of equal size.
+func (s *Signature) Jaccard(other *Signature) (float64, error) {
+	if other == nil || len(s.slots) != len(other.slots) {
+		return 0, errors.New("estimate: signature size mismatch")
+	}
+	match := 0
+	for i := range s.slots {
+		if s.slots[i] == other.slots[i] {
+			match++
+		}
+	}
+	return float64(match) / float64(len(s.slots)), nil
+}
+
+// Size returns the number of slots.
+func (s *Signature) Size() int { return len(s.slots) }
+
+// SimilarityMatrix computes the pairwise estimated Jaccard similarity of
+// per-source sample sets in one pass per source. samples maps source ID to
+// sample file contents; the result is indexed by the sorted source IDs
+// (returned alongside).
+func SimilarityMatrix(samples map[int][][]byte, chunker chunk.Chunker, k int) ([]int, [][]float64, error) {
+	if len(samples) == 0 {
+		return nil, nil, errors.New("estimate: no samples")
+	}
+	ids := make([]int, 0, len(samples))
+	for id := range samples {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+
+	sigs := make([]*Signature, len(ids))
+	for i, id := range ids {
+		var chunkIDs []chunk.ID
+		for _, file := range samples[id] {
+			chunks, err := chunk.SplitBytes(chunker, file)
+			if err != nil {
+				return nil, nil, fmt.Errorf("estimate: sketch source %d: %w", id, err)
+			}
+			for _, c := range chunks {
+				chunkIDs = append(chunkIDs, c.ID)
+			}
+		}
+		sig, err := NewSignature(chunkIDs, k)
+		if err != nil {
+			return nil, nil, fmt.Errorf("estimate: sketch source %d: %w", id, err)
+		}
+		sigs[i] = sig
+	}
+
+	sim := make([][]float64, len(ids))
+	for i := range sim {
+		sim[i] = make([]float64, len(ids))
+		sim[i][i] = 1
+	}
+	for i := 0; i < len(ids); i++ {
+		for j := i + 1; j < len(ids); j++ {
+			v, err := sigs[i].Jaccard(sigs[j])
+			if err != nil {
+				return nil, nil, err
+			}
+			sim[i][j], sim[j][i] = v, v
+		}
+	}
+	return ids, sim, nil
+}

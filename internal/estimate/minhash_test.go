@@ -1,0 +1,298 @@
+package estimate
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"efdedup/internal/chunk"
+	"efdedup/internal/workload"
+)
+
+// randomIDs builds n distinct chunk IDs.
+func randomIDs(seed int64, n int) []chunk.ID {
+	rng := rand.New(rand.NewSource(seed))
+	ids := make([]chunk.ID, n)
+	for i := range ids {
+		var buf [16]byte
+		rng.Read(buf[:])
+		ids[i] = chunk.Sum(buf[:])
+	}
+	return ids
+}
+
+func TestNewSignatureValidation(t *testing.T) {
+	if _, err := NewSignature(randomIDs(1, 5), 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := NewSignature(nil, 8); err == nil {
+		t.Error("empty set accepted")
+	}
+}
+
+func TestJaccardIdenticalSets(t *testing.T) {
+	ids := randomIDs(2, 300)
+	a, err := NewSignature(ids, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewSignature(ids, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := a.Jaccard(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim != 1 {
+		t.Fatalf("identical sets estimate %v, want 1", sim)
+	}
+}
+
+func TestJaccardDisjointSets(t *testing.T) {
+	a, _ := NewSignature(randomIDs(3, 300), 128)
+	b, _ := NewSignature(randomIDs(4, 300), 128)
+	sim, err := a.Jaccard(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim > 0.05 {
+		t.Fatalf("disjoint sets estimate %v, want ≈ 0", sim)
+	}
+}
+
+func TestJaccardSizeMismatch(t *testing.T) {
+	a, _ := NewSignature(randomIDs(5, 10), 64)
+	b, _ := NewSignature(randomIDs(5, 10), 32)
+	if _, err := a.Jaccard(b); err == nil {
+		t.Fatal("size mismatch accepted")
+	}
+	if _, err := a.Jaccard(nil); err == nil {
+		t.Fatal("nil signature accepted")
+	}
+}
+
+// TestJaccardAccuracy checks the estimator against exact Jaccard across a
+// range of true overlaps, within the ~1/√k standard error.
+func TestJaccardAccuracy(t *testing.T) {
+	const k = DefaultSignatureSize
+	tolerance := 3.5 / math.Sqrt(k) // ≈3.5 sigma
+	base := randomIDs(6, 1000)
+	fresh := randomIDs(7, 1000)
+	for _, overlap := range []int{0, 200, 500, 800, 1000} {
+		setA := base
+		setB := append(append([]chunk.ID{}, base[:overlap]...), fresh[:1000-overlap]...)
+		trueJ := float64(overlap) / float64(2000-overlap)
+
+		a, err := NewSignature(setA, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := NewSignature(setB, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := a.Jaccard(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-trueJ) > tolerance {
+			t.Errorf("overlap %d: estimate %.3f, true %.3f (tolerance %.3f)",
+				overlap, got, trueJ, tolerance)
+		}
+	}
+}
+
+func TestSignatureDuplicatesIgnored(t *testing.T) {
+	ids := randomIDs(8, 100)
+	doubled := append(append([]chunk.ID{}, ids...), ids...)
+	a, _ := NewSignature(ids, 64)
+	b, _ := NewSignature(doubled, 64)
+	sim, err := a.Jaccard(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim != 1 {
+		t.Fatalf("multiset duplicates changed the sketch: %v", sim)
+	}
+}
+
+func TestSketchStream(t *testing.T) {
+	chunker, err := chunk.NewFixedChunker(512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	data := make([]byte, 100000)
+	rng.Read(data)
+	sig, err := SketchStream(data, chunker, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sig.Size() != 64 {
+		t.Fatalf("Size = %d", sig.Size())
+	}
+	// The same stream sketches identically.
+	sig2, err := SketchStream(data, chunker, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim, _ := sig.Jaccard(sig2); sim != 1 {
+		t.Fatal("same stream sketched differently")
+	}
+}
+
+// TestSimilarityMatrixRecoversStructure: sources drawn from the same pool
+// must score far higher than sources from disjoint pools, using the pool
+// dataset as ground truth.
+func TestSimilarityMatrixRecoversStructure(t *testing.T) {
+	sys := twoSourceSystem()
+	// Add a third source identical in distribution to source 0.
+	sys.Sources = append(sys.Sources, sys.Sources[0])
+	sys.Sources[2].ID = 2
+	d, err := workload.NewPoolDataset(sys, 512, 400, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples := map[int][][]byte{
+		0: {d.File(0, 0), d.File(0, 1)},
+		1: {d.File(1, 0), d.File(1, 1)},
+		2: {d.File(2, 0), d.File(2, 1)},
+	}
+	chunker, err := chunk.NewFixedChunker(512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids, sim, err := SimilarityMatrix(samples, chunker, DefaultSignatureSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 3 || ids[0] != 0 || ids[2] != 2 {
+		t.Fatalf("ids = %v", ids)
+	}
+	for i := range sim {
+		if sim[i][i] != 1 {
+			t.Errorf("diagonal [%d] = %v", i, sim[i][i])
+		}
+	}
+	// Sources 0 and 2 share a distribution; 0 and 1 differ.
+	if sim[0][2] <= sim[0][1] {
+		t.Errorf("same-distribution similarity %.3f not above cross %.3f", sim[0][2], sim[0][1])
+	}
+	if sim[0][2] != sim[2][0] {
+		t.Error("matrix not symmetric")
+	}
+}
+
+func TestSimilarityMatrixValidation(t *testing.T) {
+	chunker, _ := chunk.NewFixedChunker(512)
+	if _, _, err := SimilarityMatrix(nil, chunker, 16); err == nil {
+		t.Error("empty samples accepted")
+	}
+	if _, _, err := SimilarityMatrix(map[int][][]byte{0: {}}, chunker, 16); err == nil {
+		t.Error("empty source accepted")
+	}
+}
+
+// TestMinHashVsExactOnDataset cross-checks the estimator against exact
+// Jaccard on accel workload chunk sets.
+func TestMinHashVsExactOnDataset(t *testing.T) {
+	d := workload.DefaultAccelDataset(17)
+	d.SegmentsPerFile = 400
+	chunker, err := chunk.NewFixedChunker(d.SegmentBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idsOf := func(src int) []chunk.ID {
+		chunks, err := chunk.SplitBytes(chunker, d.File(src, 0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make([]chunk.ID, len(chunks))
+		for i, c := range chunks {
+			out[i] = c.ID
+		}
+		return out
+	}
+	exactJaccard := func(a, b []chunk.ID) float64 {
+		set := map[chunk.ID]bool{}
+		for _, id := range a {
+			set[id] = true
+		}
+		bset := map[chunk.ID]bool{}
+		inter := map[chunk.ID]bool{}
+		for _, id := range b {
+			bset[id] = true
+			if set[id] {
+				inter[id] = true
+			}
+		}
+		union := len(bset)
+		for id := range set {
+			if !bset[id] {
+				union++
+			}
+		}
+		return float64(len(inter)) / float64(union)
+	}
+	a, b := idsOf(0), idsOf(1)
+	sa, err := NewSignature(a, DefaultSignatureSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := NewSignature(b, DefaultSignatureSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := sa.Jaccard(sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := exactJaccard(a, b)
+	if math.Abs(est-exact) > 3.5/math.Sqrt(DefaultSignatureSize) {
+		t.Fatalf("estimate %.3f vs exact %.3f", est, exact)
+	}
+}
+
+func BenchmarkMinHashSketch(b *testing.B) {
+	ids := randomIDs(1, 2000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := NewSignature(ids, DefaultSignatureSize); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimilarityVsExactAblation contrasts MinHash pairwise similarity
+// with the exact subset measurement Algorithm 1 uses — the speedup the
+// paper's LSH future work targets.
+func BenchmarkSimilarityVsExactAblation(b *testing.B) {
+	sys := twoSourceSystem()
+	d, err := workload.NewPoolDataset(sys, 512, 400, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	samples := map[int][][]byte{
+		0: {d.File(0, 0)},
+		1: {d.File(1, 0)},
+	}
+	chunker, err := chunk.NewFixedChunker(512)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("minhash", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := SimilarityMatrix(samples, chunker, DefaultSignatureSize); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("exact-subsets", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := Measure(samples, chunker); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,227 @@
+package estimate
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"efdedup/internal/chunk"
+	"efdedup/internal/model"
+)
+
+// PairCombo is one (file from source A, file from source B) measurement of
+// Fig. 2: the paper crosses 6 sample files of source 1 with 6 of source 2
+// and measures the real dedup ratio of every combination.
+type PairCombo struct {
+	// FileA and FileB index into the sampled file lists.
+	FileA, FileB int
+	// ChunksA and ChunksB are the chunk counts of the two files (the
+	// model's R·T for this combination).
+	ChunksA, ChunksB float64
+	// Ratio is the measured dedup ratio of the union of the two files.
+	Ratio float64
+}
+
+// PairGroundTruth holds the full combination grid for two sources.
+type PairGroundTruth struct {
+	Combos []PairCombo
+}
+
+// MeasurePairs chunk-deduplicates every (fileA, fileB) combination, the
+// ground-truth procedure behind Fig. 2.
+func MeasurePairs(filesA, filesB [][]byte, chunker chunk.Chunker) (*PairGroundTruth, error) {
+	if len(filesA) == 0 || len(filesB) == 0 {
+		return nil, errors.New("estimate: both sources need sample files")
+	}
+	chunkIDs := func(files [][]byte) ([][]chunk.ID, error) {
+		out := make([][]chunk.ID, len(files))
+		for i, f := range files {
+			chunks, err := chunk.SplitBytes(chunker, f)
+			if err != nil {
+				return nil, err
+			}
+			if len(chunks) == 0 {
+				return nil, fmt.Errorf("estimate: sample file %d has no chunks", i)
+			}
+			for _, c := range chunks {
+				out[i] = append(out[i], c.ID)
+			}
+		}
+		return out, nil
+	}
+	idsA, err := chunkIDs(filesA)
+	if err != nil {
+		return nil, err
+	}
+	idsB, err := chunkIDs(filesB)
+	if err != nil {
+		return nil, err
+	}
+	gt := &PairGroundTruth{}
+	for a, la := range idsA {
+		for b, lb := range idsB {
+			seen := make(map[chunk.ID]bool, len(la)+len(lb))
+			for _, id := range la {
+				seen[id] = true
+			}
+			for _, id := range lb {
+				seen[id] = true
+			}
+			gt.Combos = append(gt.Combos, PairCombo{
+				FileA: a, FileB: b,
+				ChunksA: float64(len(la)), ChunksB: float64(len(lb)),
+				Ratio: float64(len(la)+len(lb)) / float64(len(seen)),
+			})
+		}
+	}
+	return gt, nil
+}
+
+// PairEstimate is a fitted two-source chunk-pool model.
+type PairEstimate struct {
+	// PoolSizes are the fitted s_k.
+	PoolSizes []float64
+	// ProbsA and ProbsB are the two characteristic vectors.
+	ProbsA, ProbsB []float64
+	// MSE is the final mean squared error over all combinations.
+	MSE float64
+	// Iterations counts coordinate-descent sweeps.
+	Iterations int
+}
+
+// predict returns the model ratio for one combination.
+func (e *PairEstimate) predict(c PairCombo) float64 {
+	sys := &model.System{
+		PoolSizes: e.PoolSizes,
+		Sources: []model.Source{
+			{ID: 0, Rate: c.ChunksA, Probs: e.ProbsA},
+			{ID: 1, Rate: c.ChunksB, Probs: e.ProbsB},
+		},
+		T:     1,
+		Gamma: 1,
+	}
+	return sys.DedupRatio([]int{0, 1})
+}
+
+// PredictRatio returns the fitted model's ratio for a combination.
+func (e *PairEstimate) PredictRatio(c PairCombo) float64 { return e.predict(c) }
+
+// MSEAgainst evaluates the fit over a combination grid.
+func (e *PairEstimate) MSEAgainst(gt *PairGroundTruth) float64 {
+	sum := 0.0
+	for _, c := range gt.Combos {
+		d := e.predict(c) - c.Ratio
+		sum += d * d
+	}
+	return sum / float64(len(gt.Combos))
+}
+
+// MeanRelativeError is Fig. 2's "<4%" metric over the combination grid.
+func (e *PairEstimate) MeanRelativeError(gt *PairGroundTruth) float64 {
+	sum := 0.0
+	for _, c := range gt.Combos {
+		sum += math.Abs(e.predict(c)-c.Ratio) / c.Ratio
+	}
+	return sum / float64(len(gt.Combos))
+}
+
+// FitPairs fits a K-pool model to a pair combination grid, optionally warm
+// starting from a previous time step's estimate (Fig. 3).
+func FitPairs(gt *PairGroundTruth, cfg Config, warm *PairEstimate) (*PairEstimate, error) {
+	if gt == nil || len(gt.Combos) == 0 {
+		return nil, errors.New("estimate: empty pair ground truth")
+	}
+	if cfg.K <= 0 {
+		return nil, fmt.Errorf("estimate: pool count K=%d must be positive", cfg.K)
+	}
+	if cfg.MaxSweeps <= 0 {
+		cfg.MaxSweeps = 60
+	}
+	if len(cfg.SizeFactors) == 0 {
+		cfg.SizeFactors = []float64{0.25, 0.5, 0.8, 1.25, 2, 4}
+	}
+	if len(cfg.ProbSteps) == 0 {
+		cfg.ProbSteps = []float64{-0.3, -0.1, -0.03, -0.01, 0.01, 0.03, 0.1, 0.3}
+	}
+
+	est := &PairEstimate{}
+	if warm != nil {
+		if len(warm.PoolSizes) != cfg.K {
+			return nil, errors.New("estimate: warm start pool count mismatch")
+		}
+		est.PoolSizes = append([]float64(nil), warm.PoolSizes...)
+		est.ProbsA = append([]float64(nil), warm.ProbsA...)
+		est.ProbsB = append([]float64(nil), warm.ProbsB...)
+	} else {
+		mean := 0.0
+		for _, c := range gt.Combos {
+			mean += c.ChunksA + c.ChunksB
+		}
+		mean /= float64(2 * len(gt.Combos))
+		est.PoolSizes = make([]float64, cfg.K)
+		for k := range est.PoolSizes {
+			est.PoolSizes[k] = mean * float64(k+1)
+		}
+		est.ProbsA = make([]float64, cfg.K)
+		est.ProbsB = make([]float64, cfg.K)
+		for k := 0; k < cfg.K; k++ {
+			est.ProbsA[k] = 0.8 / float64(cfg.K)
+			est.ProbsB[k] = 0.8 / float64(cfg.K)
+		}
+	}
+
+	best := est.MSEAgainst(gt)
+	for sweep := 0; sweep < cfg.MaxSweeps; sweep++ {
+		est.Iterations = sweep + 1
+		improved := false
+		for k := range est.PoolSizes {
+			orig := est.PoolSizes[k]
+			bestSize := orig
+			for _, f := range cfg.SizeFactors {
+				cand := orig * f
+				if cand < 1 {
+					cand = 1
+				}
+				est.PoolSizes[k] = cand
+				if m := est.MSEAgainst(gt); m < best-1e-12 {
+					best, bestSize, improved = m, cand, true
+				}
+			}
+			est.PoolSizes[k] = bestSize
+		}
+		for _, probs := range [][]float64{est.ProbsA, est.ProbsB} {
+			for k := range probs {
+				orig := probs[k]
+				bestP := orig
+				for _, step := range cfg.ProbSteps {
+					cand := orig + step
+					if cand < 0 || cand > 1 {
+						continue
+					}
+					sum := cand
+					for kk, p := range probs {
+						if kk != k {
+							sum += p
+						}
+					}
+					if sum > 1 {
+						continue
+					}
+					probs[k] = cand
+					if m := est.MSEAgainst(gt); m < best-1e-12 {
+						best, bestP, improved = m, cand, true
+					}
+				}
+				probs[k] = bestP
+			}
+		}
+		if cfg.MSEThreshold > 0 && best <= cfg.MSEThreshold {
+			break
+		}
+		if !improved {
+			break
+		}
+	}
+	est.MSE = best
+	return est, nil
+}

@@ -1,0 +1,115 @@
+package estimate
+
+import (
+	"testing"
+
+	"efdedup/internal/workload"
+)
+
+func TestMeasurePairsValidation(t *testing.T) {
+	c := sampleChunker(t, 256)
+	if _, err := MeasurePairs(nil, [][]byte{{1}}, c); err == nil {
+		t.Error("empty source A accepted")
+	}
+	if _, err := MeasurePairs([][]byte{{}}, [][]byte{{1}}, c); err == nil {
+		t.Error("empty file accepted")
+	}
+}
+
+func TestMeasurePairsGrid(t *testing.T) {
+	c := sampleChunker(t, 4)
+	filesA := [][]byte{[]byte("aaaabbbb"), []byte("bbbbcccc")}
+	filesB := [][]byte{[]byte("aaaadddd")}
+	gt, err := MeasurePairs(filesA, filesB, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gt.Combos) != 2 {
+		t.Fatalf("got %d combos, want 2", len(gt.Combos))
+	}
+	// Combo (0,0): chunks {aaaa,bbbb} ∪ {aaaa,dddd} = 3 unique of 4.
+	if got, want := gt.Combos[0].Ratio, 4.0/3.0; got != want {
+		t.Errorf("combo(0,0) ratio = %v, want %v", got, want)
+	}
+	// Combo (1,0): {bbbb,cccc} ∪ {aaaa,dddd} = 4 unique of 4.
+	if got, want := gt.Combos[1].Ratio, 1.0; got != want {
+		t.Errorf("combo(1,0) ratio = %v, want %v", got, want)
+	}
+}
+
+// TestFitPairsOnPoolData reproduces the Fig. 2 criterion on model-true
+// data: MSE < 0.3 and mean relative error < 4%.
+func TestFitPairsOnPoolData(t *testing.T) {
+	sys := twoSourceSystem()
+	const chunkSize = 256
+	d, err := workload.NewPoolDataset(sys, chunkSize, 400, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var filesA, filesB [][]byte
+	for f := 0; f < 4; f++ {
+		filesA = append(filesA, d.File(0, f))
+		filesB = append(filesB, d.File(1, f))
+	}
+	gt, err := MeasurePairs(filesA, filesB, sampleChunker(t, chunkSize))
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := FitPairs(gt, Config{K: 3}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.MSE > 0.3 {
+		t.Errorf("MSE = %v, paper requires < 0.3", est.MSE)
+	}
+	if e := est.MeanRelativeError(gt); e > 0.04 {
+		t.Errorf("mean relative error %.2f%%, paper requires < 4%%", e*100)
+	}
+}
+
+// TestFitPairsWarmStart reproduces Fig. 3: later time points converge in
+// fewer sweeps when seeded with the previous estimate.
+func TestFitPairsWarmStart(t *testing.T) {
+	sys := twoSourceSystem()
+	const chunkSize = 256
+	mkGT := func(seed int64) *PairGroundTruth {
+		d, err := workload.NewPoolDataset(sys, chunkSize, 400, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var fa, fb [][]byte
+		for f := 0; f < 3; f++ {
+			fa = append(fa, d.File(0, f))
+			fb = append(fb, d.File(1, f))
+		}
+		gt, err := MeasurePairs(fa, fb, sampleChunker(t, chunkSize))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return gt
+	}
+	cold, err := FitPairs(mkGT(101), Config{K: 3}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := FitPairs(mkGT(102), Config{K: 3, MSEThreshold: cold.MSE * 2}, cold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Iterations >= cold.Iterations {
+		t.Errorf("warm start took %d sweeps, cold %d", warm.Iterations, cold.Iterations)
+	}
+	if _, err := FitPairs(mkGT(103), Config{K: 2}, cold); err == nil {
+		t.Error("warm start with mismatched K accepted")
+	}
+}
+
+func TestFitPairsValidation(t *testing.T) {
+	if _, err := FitPairs(nil, Config{K: 2}, nil); err == nil {
+		t.Error("nil ground truth accepted")
+	}
+	gt := &PairGroundTruth{Combos: []PairCombo{{ChunksA: 10, ChunksB: 10, Ratio: 1.5}}}
+	if _, err := FitPairs(gt, Config{K: 0}, nil); err == nil {
+		t.Error("K=0 accepted")
+	}
+}

@@ -1,0 +1,102 @@
+// Package experiments regenerates every table and figure of the EF-dedup
+// evaluation (Sec. V): estimation accuracy (Fig. 2, 3), testbed throughput
+// and dedup-ratio comparisons against cloud-based strategies (Fig. 5),
+// the network/storage trade-off (Fig. 6), and large-scale simulations
+// (Fig. 7). Each driver returns a Figure holding the same series the paper
+// plots; absolute numbers differ from the paper's testbed, but the shapes
+// (who wins, by what factor, where crossovers fall) are the reproduction
+// target.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Series is one plotted line: Y[i] measured at X[i].
+type Series struct {
+	// Name labels the line (algorithm/strategy).
+	Name string
+	// X and Y are the data points, aligned by index.
+	X []float64
+	// Y holds the measured values.
+	Y []float64
+}
+
+// Figure is one reproduced evaluation artifact.
+type Figure struct {
+	// ID matches the paper's numbering, e.g. "fig5a".
+	ID string
+	// Title describes the experiment.
+	Title string
+	// XLabel and YLabel name the axes.
+	XLabel, YLabel string
+	// Series holds the plotted lines.
+	Series []Series
+	// Notes records headline observations (e.g. measured improvement
+	// percentages) for EXPERIMENTS.md.
+	Notes []string
+}
+
+// Format renders the figure as an aligned text table, one row per X value
+// and one column per series.
+func (f *Figure) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", f.ID, f.Title)
+
+	// Collect the union of X values in first-seen order.
+	var xs []float64
+	seen := make(map[float64]bool)
+	for _, s := range f.Series {
+		for _, x := range s.X {
+			if !seen[x] {
+				seen[x] = true
+				xs = append(xs, x)
+			}
+		}
+	}
+	// Header.
+	fmt.Fprintf(&b, "%-16s", f.XLabel)
+	for _, s := range f.Series {
+		fmt.Fprintf(&b, " %20s", s.Name)
+	}
+	b.WriteString("\n")
+	// Rows.
+	for _, x := range xs {
+		fmt.Fprintf(&b, "%-16.4g", x)
+		for _, s := range f.Series {
+			val, ok := s.at(x)
+			if !ok {
+				fmt.Fprintf(&b, " %20s", "-")
+				continue
+			}
+			fmt.Fprintf(&b, " %20.4g", val)
+		}
+		b.WriteString("\n")
+	}
+	fmt.Fprintf(&b, "(y: %s)\n", f.YLabel)
+	for _, n := range f.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// at returns the series value at x.
+func (s Series) at(x float64) (float64, bool) {
+	for i, sx := range s.X {
+		if sx == x {
+			return s.Y[i], true
+		}
+	}
+	return 0, false
+}
+
+// Get returns the named series, or nil.
+func (f *Figure) Get(name string) *Series {
+	for i := range f.Series {
+		if f.Series[i].Name == name {
+			return &f.Series[i]
+		}
+	}
+	return nil
+}

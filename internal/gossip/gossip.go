@@ -1,0 +1,363 @@
+// Package gossip implements heartbeat anti-entropy membership — the role
+// Cassandra's gossiper plays for the paper's D2-ring key-value store.
+//
+// Every node keeps a table mapping peer address → (heartbeat counter,
+// local last-update time). Each interval a node increments its own
+// heartbeat and exchanges tables with one random live peer (push-pull);
+// merged entries keep the highest heartbeat. A peer whose heartbeat has
+// not advanced within SuspectAfter is Suspect, within DeadAfter is Dead;
+// dead entries are eventually forgotten. The protocol needs no central
+// coordinator, spreads membership in O(log N) rounds, and keeps working
+// through node failures and partitions — matching the paper's claim that
+// ring membership changes are "a seamless operation".
+package gossip
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"efdedup/internal/transport"
+)
+
+// methodExchange is the push-pull RPC.
+const methodExchange = "gossip.exchange"
+
+// Status of a peer as judged by the local failure detector.
+type Status int
+
+// Peer liveness states.
+const (
+	Alive Status = iota + 1
+	Suspect
+	Dead
+)
+
+// String implements fmt.Stringer.
+func (s Status) String() string {
+	switch s {
+	case Alive:
+		return "alive"
+	case Suspect:
+		return "suspect"
+	case Dead:
+		return "dead"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// Member is one row of the membership view.
+type Member struct {
+	// Addr is the peer's gossip address.
+	Addr string
+	// Heartbeat is the highest counter seen for the peer.
+	Heartbeat uint64
+	// Status is the local liveness judgement.
+	Status Status
+}
+
+// Network is the transport slice gossip needs.
+type Network interface {
+	Listen(addr string) (net.Listener, error)
+	Dial(ctx context.Context, addr string) (net.Conn, error)
+}
+
+// Config assembles a gossip node.
+type Config struct {
+	// Addr is this node's gossip listen address.
+	Addr string
+	// Network provides connectivity.
+	Network Network
+	// Seeds are peers contacted on startup (any subset suffices; the
+	// rest is learned).
+	Seeds []string
+	// Interval between gossip rounds; defaults to 200 ms.
+	Interval time.Duration
+	// SuspectAfter and DeadAfter are how long a peer's heartbeat may
+	// stall before it is suspected / declared dead. Defaults: 5 and 15
+	// intervals.
+	SuspectAfter time.Duration
+	DeadAfter    time.Duration
+	// Seed seeds peer selection (0 = time-based).
+	Seed int64
+}
+
+type entry struct {
+	heartbeat uint64
+	updated   time.Time
+}
+
+// Node is a running gossiper.
+type Node struct {
+	cfg Config
+
+	mu    sync.Mutex
+	table map[string]entry
+
+	server   *transport.Server
+	listener net.Listener
+	clients  map[string]*transport.Client
+	rng      *rand.Rand
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// Start launches a gossip node: it binds the address, merges the seed
+// list and begins gossiping.
+func Start(cfg Config) (*Node, error) {
+	if cfg.Addr == "" {
+		return nil, errors.New("gossip: empty address")
+	}
+	if cfg.Network == nil {
+		return nil, errors.New("gossip: nil network")
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = 200 * time.Millisecond
+	}
+	if cfg.SuspectAfter <= 0 {
+		cfg.SuspectAfter = 5 * cfg.Interval
+	}
+	if cfg.DeadAfter <= 0 {
+		cfg.DeadAfter = 15 * cfg.Interval
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	n := &Node{
+		cfg:     cfg,
+		table:   map[string]entry{cfg.Addr: {heartbeat: 1, updated: time.Now()}},
+		clients: make(map[string]*transport.Client),
+		rng:     rand.New(rand.NewSource(seed)),
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	for _, s := range cfg.Seeds {
+		if s != cfg.Addr {
+			n.table[s] = entry{heartbeat: 0, updated: time.Now()}
+		}
+	}
+	n.server = transport.NewServer()
+	n.server.Handle(methodExchange, n.handleExchange)
+	l, err := cfg.Network.Listen(cfg.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("gossip: listen %s: %w", cfg.Addr, err)
+	}
+	n.listener = l
+	go n.server.Serve(l) //nolint:errcheck // returns on Close
+	go n.loop()
+	return n, nil
+}
+
+// Stop shuts the gossiper down. It is idempotent.
+func (n *Node) Stop() {
+	n.stopOnce.Do(func() {
+		close(n.stop)
+		<-n.done
+		n.server.Close()
+		n.mu.Lock()
+		for addr, cl := range n.clients {
+			cl.Close()
+			delete(n.clients, addr)
+		}
+		n.mu.Unlock()
+	})
+}
+
+// Addr returns the node's gossip address.
+func (n *Node) Addr() string { return n.cfg.Addr }
+
+// Members returns the current view, sorted by address.
+func (n *Node) Members() []Member {
+	now := time.Now()
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]Member, 0, len(n.table))
+	for addr, e := range n.table {
+		out = append(out, Member{Addr: addr, Heartbeat: e.heartbeat, Status: n.statusLocked(addr, e, now)})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Addr < out[j].Addr })
+	return out
+}
+
+// Alive returns the addresses currently judged alive (including self).
+func (n *Node) Alive() []string {
+	var out []string
+	for _, m := range n.Members() {
+		if m.Status == Alive {
+			out = append(out, m.Addr)
+		}
+	}
+	return out
+}
+
+// IsAlive reports the local judgement of one address.
+func (n *Node) IsAlive(addr string) bool {
+	now := time.Now()
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	e, ok := n.table[addr]
+	return ok && n.statusLocked(addr, e, now) == Alive
+}
+
+func (n *Node) statusLocked(addr string, e entry, now time.Time) Status {
+	if addr == n.cfg.Addr {
+		return Alive
+	}
+	age := now.Sub(e.updated)
+	switch {
+	case e.heartbeat == 0 && age > n.cfg.SuspectAfter:
+		// Seed we never heard from.
+		return Suspect
+	case age > n.cfg.DeadAfter:
+		return Dead
+	case age > n.cfg.SuspectAfter:
+		return Suspect
+	default:
+		return Alive
+	}
+}
+
+// loop is the gossip round driver.
+func (n *Node) loop() {
+	defer close(n.done)
+	ticker := time.NewTicker(n.cfg.Interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			n.round()
+		case <-n.stop:
+			return
+		}
+	}
+}
+
+// round bumps our heartbeat and push-pulls with one random peer.
+func (n *Node) round() {
+	n.mu.Lock()
+	self := n.table[n.cfg.Addr]
+	self.heartbeat++
+	self.updated = time.Now()
+	n.table[n.cfg.Addr] = self
+
+	// Candidate peers: everyone not judged dead, excluding self.
+	now := time.Now()
+	var peers []string
+	for addr, e := range n.table {
+		if addr == n.cfg.Addr {
+			continue
+		}
+		if n.statusLocked(addr, e, now) != Dead {
+			peers = append(peers, addr)
+		}
+	}
+	sort.Strings(peers) // deterministic order under a fixed rng seed
+	n.mu.Unlock()
+	if len(peers) == 0 {
+		return
+	}
+	target := peers[n.rng.Intn(len(peers))]
+
+	ctx, cancel := context.WithTimeout(context.Background(), n.cfg.Interval)
+	defer cancel()
+	resp, err := n.call(ctx, target, n.encodeTable())
+	if err != nil {
+		return // the failure detector handles persistent silence
+	}
+	n.mergeTable(resp)
+}
+
+// call sends one exchange RPC, redialing on broken connections.
+func (n *Node) call(ctx context.Context, addr string, body []byte) ([]byte, error) {
+	n.mu.Lock()
+	cl := n.clients[addr]
+	n.mu.Unlock()
+	if cl == nil {
+		conn, err := n.cfg.Network.Dial(ctx, addr)
+		if err != nil {
+			return nil, err
+		}
+		cl = transport.NewClient(conn)
+		n.mu.Lock()
+		if existing := n.clients[addr]; existing != nil {
+			go cl.Close()
+			cl = existing
+		} else {
+			n.clients[addr] = cl
+		}
+		n.mu.Unlock()
+	}
+	resp, err := cl.Call(ctx, methodExchange, body)
+	if err != nil {
+		n.mu.Lock()
+		if n.clients[addr] == cl {
+			delete(n.clients, addr)
+		}
+		n.mu.Unlock()
+		cl.Close()
+		return nil, err
+	}
+	return resp, nil
+}
+
+// handleExchange merges the caller's table and answers with ours.
+func (n *Node) handleExchange(body []byte) ([]byte, error) {
+	n.mergeTable(body)
+	return n.encodeTable(), nil
+}
+
+// encodeTable serializes addr→heartbeat pairs.
+func (n *Node) encodeTable() []byte {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := binary.BigEndian.AppendUint32(nil, uint32(len(n.table)))
+	for addr, e := range n.table {
+		out = binary.BigEndian.AppendUint32(out, uint32(len(addr)))
+		out = append(out, addr...)
+		out = binary.BigEndian.AppendUint64(out, e.heartbeat)
+	}
+	return out
+}
+
+// mergeTable folds a received table into ours: higher heartbeats win and
+// refresh the local timestamp.
+func (n *Node) mergeTable(body []byte) {
+	if len(body) < 4 {
+		return
+	}
+	count := binary.BigEndian.Uint32(body)
+	src := body[4:]
+	now := time.Now()
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for i := uint32(0); i < count; i++ {
+		if len(src) < 4 {
+			return
+		}
+		al := binary.BigEndian.Uint32(src)
+		src = src[4:]
+		if uint32(len(src)) < al+8 {
+			return
+		}
+		addr := string(src[:al])
+		hb := binary.BigEndian.Uint64(src[al : al+8])
+		src = src[al+8:]
+		if addr == n.cfg.Addr {
+			continue // we are the authority on ourselves
+		}
+		e, ok := n.table[addr]
+		if !ok || hb > e.heartbeat {
+			n.table[addr] = entry{heartbeat: hb, updated: now}
+		}
+	}
+}

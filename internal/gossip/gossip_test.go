@@ -1,0 +1,216 @@
+package gossip
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"efdedup/internal/transport"
+)
+
+// startCluster spins n gossipers on one memory fabric; node 0 is the only
+// seed everyone else knows.
+func startCluster(t *testing.T, nw *transport.MemNetwork, n int) []*Node {
+	t.Helper()
+	nodes := make([]*Node, n)
+	for i := 0; i < n; i++ {
+		var seeds []string
+		if i > 0 {
+			seeds = []string{"g-0"}
+		}
+		node, err := Start(Config{
+			Addr:     fmt.Sprintf("g-%d", i),
+			Network:  nw,
+			Seeds:    seeds,
+			Interval: 20 * time.Millisecond,
+			Seed:     int64(i + 1),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(node.Stop)
+		nodes[i] = node
+	}
+	return nodes
+}
+
+// waitFor polls until cond holds or the deadline expires.
+func waitFor(t *testing.T, d time.Duration, cond func() bool, msg string) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatal(msg)
+}
+
+func TestStartValidation(t *testing.T) {
+	nw := transport.NewMemNetwork()
+	if _, err := Start(Config{Network: nw}); err == nil {
+		t.Error("empty address accepted")
+	}
+	if _, err := Start(Config{Addr: "x"}); err == nil {
+		t.Error("nil network accepted")
+	}
+	// Address collision surfaces as a listen error.
+	n1, err := Start(Config{Addr: "dup", Network: nw, Interval: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n1.Stop()
+	if _, err := Start(Config{Addr: "dup", Network: nw, Interval: time.Hour}); err == nil {
+		t.Error("duplicate address accepted")
+	}
+}
+
+// TestMembershipConverges: every node learns every other through a single
+// seed.
+func TestMembershipConverges(t *testing.T) {
+	nw := transport.NewMemNetwork()
+	nodes := startCluster(t, nw, 6)
+	waitFor(t, 5*time.Second, func() bool {
+		for _, n := range nodes {
+			if len(n.Alive()) != 6 {
+				return false
+			}
+		}
+		return true
+	}, "membership did not converge to 6 alive on every node")
+
+	// Views agree on the address set.
+	want := fmt.Sprint(nodes[0].Alive())
+	for _, n := range nodes[1:] {
+		if got := fmt.Sprint(n.Alive()); got != want {
+			t.Fatalf("views diverge: %s vs %s", got, want)
+		}
+	}
+}
+
+// TestFailureDetection: a stopped node is suspected and then declared
+// dead on the survivors.
+func TestFailureDetection(t *testing.T) {
+	nw := transport.NewMemNetwork()
+	nodes := startCluster(t, nw, 4)
+	waitFor(t, 5*time.Second, func() bool {
+		return len(nodes[0].Alive()) == 4
+	}, "initial convergence failed")
+
+	victim := nodes[3].Addr()
+	nodes[3].Stop()
+
+	waitFor(t, 5*time.Second, func() bool {
+		return !nodes[0].IsAlive(victim) && !nodes[1].IsAlive(victim)
+	}, "stopped node still judged alive")
+
+	// Eventually the victim is Dead (not merely Suspect).
+	waitFor(t, 5*time.Second, func() bool {
+		for _, m := range nodes[0].Members() {
+			if m.Addr == victim {
+				return m.Status == Dead
+			}
+		}
+		return false
+	}, "stopped node never declared dead")
+}
+
+// TestRejoinAfterFailure: a node that comes back (same address, fresh
+// heartbeats) is judged alive again.
+func TestRejoinAfterFailure(t *testing.T) {
+	nw := transport.NewMemNetwork()
+	nodes := startCluster(t, nw, 3)
+	waitFor(t, 5*time.Second, func() bool {
+		return len(nodes[0].Alive()) == 3
+	}, "initial convergence failed")
+
+	victim := nodes[2]
+	addr := victim.Addr()
+	victim.Stop()
+	waitFor(t, 5*time.Second, func() bool {
+		return !nodes[0].IsAlive(addr)
+	}, "failure not detected")
+
+	revived, err := Start(Config{
+		Addr:     addr,
+		Network:  nw,
+		Seeds:    []string{"g-0"},
+		Interval: 20 * time.Millisecond,
+		Seed:     99,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(revived.Stop)
+	waitFor(t, 5*time.Second, func() bool {
+		return nodes[0].IsAlive(addr) && nodes[1].IsAlive(addr)
+	}, "revived node not re-detected as alive")
+}
+
+func TestStatusString(t *testing.T) {
+	if Alive.String() != "alive" || Suspect.String() != "suspect" || Dead.String() != "dead" {
+		t.Fatal("status strings wrong")
+	}
+}
+
+func TestMergeTableIgnoresGarbage(t *testing.T) {
+	nw := transport.NewMemNetwork()
+	n, err := Start(Config{Addr: "solo", Network: nw, Interval: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Stop()
+	n.mergeTable(nil)
+	n.mergeTable([]byte{0, 0})
+	n.mergeTable([]byte{0, 0, 0, 5, 0, 0, 0, 99}) // truncated entry
+	if len(n.Members()) != 1 {
+		t.Fatalf("garbage mutated the table: %v", n.Members())
+	}
+}
+
+// BenchmarkConvergence measures how long a fresh cluster takes to reach a
+// complete membership view through one seed.
+func BenchmarkConvergence(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		nw := transport.NewMemNetwork()
+		const n = 8
+		nodes := make([]*Node, n)
+		for j := 0; j < n; j++ {
+			var seeds []string
+			if j > 0 {
+				seeds = []string{"g-0"}
+			}
+			node, err := Start(Config{
+				Addr:     fmt.Sprintf("g-%d", j),
+				Network:  nw,
+				Seeds:    seeds,
+				Interval: 5 * time.Millisecond,
+				Seed:     int64(j + 1),
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			nodes[j] = node
+		}
+		start := time.Now()
+		deadline := start.Add(10 * time.Second)
+		for time.Now().Before(deadline) {
+			all := true
+			for _, node := range nodes {
+				if len(node.Alive()) != n {
+					all = false
+					break
+				}
+			}
+			if all {
+				break
+			}
+			time.Sleep(time.Millisecond)
+		}
+		b.ReportMetric(float64(time.Since(start).Milliseconds()), "converge-ms")
+		for _, node := range nodes {
+			node.Stop()
+		}
+	}
+}

@@ -1,0 +1,63 @@
+package hashring
+
+import (
+	"fmt"
+	"testing"
+)
+
+func benchRing(b *testing.B, nodes, vnodes int) *Ring {
+	b.Helper()
+	r, err := New(vnodes)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < nodes; i++ {
+		r.Add(fmt.Sprintf("node-%02d", i))
+	}
+	return r
+}
+
+func BenchmarkLookup(b *testing.B) {
+	r := benchRing(b, 20, DefaultVirtualNodes)
+	key := []byte("some-chunk-hash-0123456789abcdef")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Lookup(key, 2)
+	}
+}
+
+func BenchmarkAddRemove(b *testing.B) {
+	r := benchRing(b, 20, DefaultVirtualNodes)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Add("churner")
+		r.Remove("churner")
+	}
+}
+
+// BenchmarkVnodeBalanceAblation reports load imbalance (max/mean keys per
+// node) for different virtual-node counts — the knob trading memory for
+// placement smoothness.
+func BenchmarkVnodeBalanceAblation(b *testing.B) {
+	for _, vn := range []int{8, 32, 128, 512} {
+		b.Run(fmt.Sprintf("vnodes=%d", vn), func(b *testing.B) {
+			var imbalance float64
+			for i := 0; i < b.N; i++ {
+				r := benchRing(b, 10, vn)
+				counts := map[string]int{}
+				const keys = 10000
+				for k := 0; k < keys; k++ {
+					counts[r.Owner([]byte(fmt.Sprintf("key-%d", k)))]++
+				}
+				max := 0
+				for _, c := range counts {
+					if c > max {
+						max = c
+					}
+				}
+				imbalance = float64(max) / (keys / 10.0)
+			}
+			b.ReportMetric(imbalance, "max/mean")
+		})
+	}
+}

@@ -1,0 +1,199 @@
+package hashring
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func newRing(t *testing.T, nodes ...string) *Ring {
+	t.Helper()
+	r, err := New(DefaultVirtualNodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range nodes {
+		r.Add(n)
+	}
+	return r
+}
+
+func TestNewRejectsBadVnodes(t *testing.T) {
+	for _, v := range []int{0, -5} {
+		if _, err := New(v); err == nil {
+			t.Errorf("New(%d) accepted", v)
+		}
+	}
+}
+
+func TestEmptyRingLookup(t *testing.T) {
+	r := newRing(t)
+	if got := r.Lookup([]byte("k"), 2); got != nil {
+		t.Fatalf("Lookup on empty ring = %v, want nil", got)
+	}
+	if got := r.Owner([]byte("k")); got != "" {
+		t.Fatalf("Owner on empty ring = %q, want empty", got)
+	}
+}
+
+func TestLookupDistinctReplicas(t *testing.T) {
+	r := newRing(t, "a", "b", "c", "d")
+	for i := 0; i < 100; i++ {
+		key := []byte(fmt.Sprintf("key-%d", i))
+		got := r.Lookup(key, 3)
+		if len(got) != 3 {
+			t.Fatalf("Lookup returned %d nodes, want 3", len(got))
+		}
+		seen := map[string]bool{}
+		for _, n := range got {
+			if seen[n] {
+				t.Fatalf("replica list %v contains duplicates", got)
+			}
+			seen[n] = true
+		}
+	}
+}
+
+func TestLookupClampsToMembership(t *testing.T) {
+	r := newRing(t, "a", "b")
+	got := r.Lookup([]byte("k"), 5)
+	if len(got) != 2 {
+		t.Fatalf("Lookup(5) on 2-node ring returned %d nodes, want 2", len(got))
+	}
+	if got := r.Lookup([]byte("k"), 0); got != nil {
+		t.Fatalf("Lookup(0) = %v, want nil", got)
+	}
+}
+
+func TestAddRemoveIdempotent(t *testing.T) {
+	r := newRing(t, "a")
+	r.Add("a")
+	if r.Len() != 1 {
+		t.Fatalf("Len = %d after double add, want 1", r.Len())
+	}
+	r.Remove("missing")
+	if r.Len() != 1 {
+		t.Fatalf("Len = %d after removing unknown node, want 1", r.Len())
+	}
+	r.Remove("a")
+	if r.Len() != 0 {
+		t.Fatalf("Len = %d after remove, want 0", r.Len())
+	}
+	if got := r.Lookup([]byte("k"), 1); got != nil {
+		t.Fatalf("Lookup after removing all = %v", got)
+	}
+}
+
+func TestDeterministicPlacement(t *testing.T) {
+	r1 := newRing(t, "a", "b", "c")
+	r2 := newRing(t, "c", "a", "b") // insertion order must not matter
+	for i := 0; i < 200; i++ {
+		key := []byte(fmt.Sprintf("key-%d", i))
+		g1 := r1.Lookup(key, 2)
+		g2 := r2.Lookup(key, 2)
+		if len(g1) != len(g2) {
+			t.Fatalf("lookup lengths differ: %v vs %v", g1, g2)
+		}
+		for j := range g1 {
+			if g1[j] != g2[j] {
+				t.Fatalf("placement depends on insertion order: %v vs %v", g1, g2)
+			}
+		}
+	}
+}
+
+func TestLoadBalance(t *testing.T) {
+	r := newRing(t, "a", "b", "c", "d", "e")
+	counts := map[string]int{}
+	const keys = 20000
+	for i := 0; i < keys; i++ {
+		counts[r.Owner([]byte(fmt.Sprintf("key-%d", i)))]++
+	}
+	want := keys / 5
+	for node, c := range counts {
+		if c < want/2 || c > want*2 {
+			t.Errorf("node %s owns %d keys, want within [%d,%d]", node, c, want/2, want*2)
+		}
+	}
+}
+
+// TestMinimalMovement verifies the consistent-hashing contract: removing
+// one of N nodes relocates roughly 1/N of the keys and never moves a key
+// whose owner survives.
+func TestMinimalMovement(t *testing.T) {
+	nodes := []string{"a", "b", "c", "d", "e", "f", "g", "h", "i", "j"}
+	r := newRing(t, nodes...)
+	const keys = 5000
+	before := make([]string, keys)
+	for i := range before {
+		before[i] = r.Owner([]byte(fmt.Sprintf("key-%d", i)))
+	}
+	r.Remove("c")
+	moved := 0
+	for i := range before {
+		after := r.Owner([]byte(fmt.Sprintf("key-%d", i)))
+		if after != before[i] {
+			if before[i] != "c" {
+				t.Fatalf("key %d moved from surviving node %s to %s", i, before[i], after)
+			}
+			moved++
+		}
+	}
+	frac := float64(moved) / keys
+	if frac < 0.03 || frac > 0.25 {
+		t.Errorf("removal moved %.1f%% of keys, want ≈10%%", frac*100)
+	}
+}
+
+// TestPropertyLookupStableUnderUnrelatedChanges: adding a node never
+// changes the relative order of surviving replicas for a key.
+func TestPropertyPrimaryStaysWithinReplicaSet(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r, err := New(64)
+		if err != nil {
+			return false
+		}
+		n := 3 + rng.Intn(6)
+		for i := 0; i < n; i++ {
+			r.Add(fmt.Sprintf("node-%d", i))
+		}
+		key := make([]byte, 16)
+		rng.Read(key)
+		primaryBefore := r.Owner(key)
+		replicas := r.Lookup(key, 3)
+		// Add an unrelated node; the old primary must remain inside the
+		// new top-3 replica set or be displaced only by the new node.
+		r.Add("newcomer")
+		after := r.Lookup(key, 3)
+		found := false
+		for _, x := range after {
+			if x == primaryBefore || x == "newcomer" {
+				found = true
+			}
+		}
+		_ = replicas
+		return found
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	r := newRing(t, "a", "b", "c")
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 500; i++ {
+			r.Add(fmt.Sprintf("n%d", i%7))
+			r.Remove(fmt.Sprintf("n%d", (i+3)%7))
+		}
+	}()
+	for i := 0; i < 500; i++ {
+		r.Lookup([]byte(fmt.Sprintf("key-%d", i)), 2)
+		r.Nodes()
+	}
+	<-done
+}

@@ -1,0 +1,717 @@
+package kvstore
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"efdedup/internal/hashring"
+	"efdedup/internal/transport"
+)
+
+// Consistency selects how many replica acknowledgements an operation
+// needs.
+type Consistency int
+
+// Consistency levels, mirroring Cassandra's ONE / QUORUM / ALL.
+const (
+	One Consistency = iota + 1
+	Quorum
+	All
+)
+
+// required returns the number of acknowledgements needed out of n
+// replicas.
+func (c Consistency) required(n int) int {
+	switch c {
+	case One:
+		return 1
+	case All:
+		return n
+	default:
+		return n/2 + 1
+	}
+}
+
+// String implements fmt.Stringer.
+func (c Consistency) String() string {
+	switch c {
+	case One:
+		return "ONE"
+	case Quorum:
+		return "QUORUM"
+	case All:
+		return "ALL"
+	default:
+		return fmt.Sprintf("Consistency(%d)", int(c))
+	}
+}
+
+// Dialer is the slice of transport.Network the cluster needs.
+type Dialer interface {
+	Dial(ctx context.Context, addr string) (net.Conn, error)
+}
+
+// ClusterConfig configures a coordinator for one D2-ring's index.
+type ClusterConfig struct {
+	// Members are the storage node addresses of the ring.
+	Members []string
+	// ReplicationFactor is γ: how many nodes hold each key. Defaults
+	// to 2 (the paper's choice); clamped to len(Members).
+	ReplicationFactor int
+	// ReadConsistency and WriteConsistency default to One, matching
+	// the eventual-consistency deployment in the paper.
+	ReadConsistency  Consistency
+	WriteConsistency Consistency
+	// LocalAddr, when set to one of Members, is preferred for lookups
+	// whose replica set contains it — the "consult its local Cassandra
+	// node" behaviour.
+	LocalAddr string
+	// Network provides connectivity (possibly netem-shaped).
+	Network Dialer
+	// VirtualNodes per member on the hash ring; defaults to
+	// hashring.DefaultVirtualNodes.
+	VirtualNodes int
+	// HeartbeatInterval enables background failure detection when
+	// positive.
+	HeartbeatInterval time.Duration
+	// Membership optionally supplies an external liveness view (e.g. a
+	// gossip node). When set, a peer judged not-alive is skipped the same
+	// way the built-in ping detector's down set is.
+	Membership LivenessView
+	// CallTimeout bounds each RPC; defaults to 5s.
+	CallTimeout time.Duration
+}
+
+// LivenessView answers liveness queries for cluster members; the gossip
+// package's Node satisfies it.
+type LivenessView interface {
+	IsAlive(addr string) bool
+}
+
+// ErrNoQuorum is returned when too few replicas acknowledged an operation.
+var ErrNoQuorum = errors.New("kvstore: not enough replicas responded")
+
+// Cluster is a client-side coordinator over the ring's storage nodes.
+// It is safe for concurrent use.
+type Cluster struct {
+	cfg  ClusterConfig
+	ring *hashring.Ring
+
+	versionCounter atomic.Uint64
+
+	mu      sync.Mutex
+	clients map[string]*transport.Client
+	down    map[string]bool
+	hints   map[string][]hint
+
+	stopHealth chan struct{}
+	healthDone chan struct{}
+
+	remoteLookups atomic.Int64
+	localLookups  atomic.Int64
+}
+
+type hint struct {
+	key []byte
+	e   Entry
+}
+
+// NewCluster validates cfg and builds a coordinator.
+func NewCluster(cfg ClusterConfig) (*Cluster, error) {
+	if len(cfg.Members) == 0 {
+		return nil, errors.New("kvstore: cluster needs at least one member")
+	}
+	if cfg.Network == nil {
+		return nil, errors.New("kvstore: cluster needs a network")
+	}
+	if cfg.ReplicationFactor <= 0 {
+		cfg.ReplicationFactor = 2
+	}
+	if cfg.ReplicationFactor > len(cfg.Members) {
+		cfg.ReplicationFactor = len(cfg.Members)
+	}
+	if cfg.ReadConsistency == 0 {
+		cfg.ReadConsistency = One
+	}
+	if cfg.WriteConsistency == 0 {
+		cfg.WriteConsistency = One
+	}
+	if cfg.VirtualNodes == 0 {
+		cfg.VirtualNodes = hashring.DefaultVirtualNodes
+	}
+	if cfg.CallTimeout == 0 {
+		cfg.CallTimeout = 5 * time.Second
+	}
+	ring, err := hashring.New(cfg.VirtualNodes)
+	if err != nil {
+		return nil, err
+	}
+	seen := make(map[string]bool, len(cfg.Members))
+	for _, m := range cfg.Members {
+		if seen[m] {
+			return nil, fmt.Errorf("kvstore: duplicate member %q", m)
+		}
+		seen[m] = true
+		ring.Add(m)
+	}
+	if cfg.LocalAddr != "" && !seen[cfg.LocalAddr] {
+		return nil, fmt.Errorf("kvstore: local address %q is not a member", cfg.LocalAddr)
+	}
+	c := &Cluster{
+		cfg:     cfg,
+		ring:    ring,
+		clients: make(map[string]*transport.Client),
+		down:    make(map[string]bool),
+		hints:   make(map[string][]hint),
+	}
+	c.versionCounter.Store(uint64(time.Now().UnixNano()))
+	if cfg.HeartbeatInterval > 0 {
+		c.stopHealth = make(chan struct{})
+		c.healthDone = make(chan struct{})
+		go c.healthLoop()
+	}
+	return c, nil
+}
+
+// Close tears down connections and stops the health loop.
+func (c *Cluster) Close() error {
+	if c.stopHealth != nil {
+		close(c.stopHealth)
+		<-c.healthDone
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for addr, cl := range c.clients {
+		cl.Close()
+		delete(c.clients, addr)
+	}
+	return nil
+}
+
+// nextVersion returns a monotonically increasing write version.
+func (c *Cluster) nextVersion() uint64 { return c.versionCounter.Add(1) }
+
+// client returns (dialing lazily) the connection to addr.
+func (c *Cluster) client(ctx context.Context, addr string) (*transport.Client, error) {
+	c.mu.Lock()
+	if cl, ok := c.clients[addr]; ok {
+		c.mu.Unlock()
+		return cl, nil
+	}
+	c.mu.Unlock()
+	conn, err := c.cfg.Network.Dial(ctx, addr)
+	if err != nil {
+		return nil, fmt.Errorf("kvstore: dial %s: %w", addr, err)
+	}
+	cl := transport.NewClient(conn)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if existing, ok := c.clients[addr]; ok {
+		// Lost the race; keep the established one.
+		go cl.Close()
+		return existing, nil
+	}
+	c.clients[addr] = cl
+	return cl, nil
+}
+
+// dropClient discards a broken connection so the next call redials.
+func (c *Cluster) dropClient(addr string, cl *transport.Client) {
+	c.mu.Lock()
+	if c.clients[addr] == cl {
+		delete(c.clients, addr)
+	}
+	c.mu.Unlock()
+	cl.Close()
+}
+
+// call performs one RPC against addr with the configured timeout. Remote
+// application errors (like ErrNotFound) do not tear down the connection;
+// transport failures do.
+func (c *Cluster) call(ctx context.Context, addr, method string, body []byte) ([]byte, error) {
+	cl, err := c.client(ctx, addr)
+	if err != nil {
+		return nil, err
+	}
+	cctx, cancel := context.WithTimeout(ctx, c.cfg.CallTimeout)
+	defer cancel()
+	resp, err := cl.Call(cctx, method, body)
+	if err != nil {
+		var remote *transport.RemoteError
+		if !errors.As(err, &remote) {
+			c.dropClient(addr, cl)
+		}
+		return nil, err
+	}
+	return resp, nil
+}
+
+// replicas returns the replica set for key in preference order: the local
+// member first when it is in the set.
+func (c *Cluster) replicas(key []byte) []string {
+	reps := c.ring.Lookup(key, c.cfg.ReplicationFactor)
+	c.mu.Lock()
+	local := c.cfg.LocalAddr
+	c.mu.Unlock()
+	if local == "" {
+		return reps
+	}
+	for i, r := range reps {
+		if r == local && i != 0 {
+			reps[0], reps[i] = reps[i], reps[0]
+			break
+		}
+	}
+	return reps
+}
+
+// isDown reports the failure detector's opinion of addr, folding in the
+// external membership view when configured.
+func (c *Cluster) isDown(addr string) bool {
+	if c.cfg.Membership != nil && !c.cfg.Membership.IsAlive(addr) {
+		return true
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.down[addr]
+}
+
+// Put replicates key=value to γ nodes and waits for the configured write
+// consistency. Unreachable replicas receive hints replayed when they
+// recover.
+func (c *Cluster) Put(ctx context.Context, key, value []byte) error {
+	e := Entry{Value: value, Version: c.nextVersion()}
+	return c.putEntry(ctx, key, e)
+}
+
+func (c *Cluster) putEntry(ctx context.Context, key []byte, e Entry) error {
+	reps := c.replicas(key)
+	need := c.cfg.WriteConsistency.required(len(reps))
+	body := encodeEntry(nil, key, e)
+
+	type result struct {
+		addr string
+		err  error
+	}
+	results := make(chan result, len(reps))
+	for _, addr := range reps {
+		go func(addr string) {
+			_, err := c.call(ctx, addr, methodPut, body)
+			results <- result{addr: addr, err: err}
+		}(addr)
+	}
+	acks := 0
+	var firstErr error
+	for range reps {
+		r := <-results
+		if r.err == nil {
+			acks++
+			continue
+		}
+		if firstErr == nil {
+			firstErr = r.err
+		}
+		c.storeHint(r.addr, key, e)
+	}
+	if acks >= need {
+		return nil
+	}
+	return fmt.Errorf("%w: %d/%d acks at %s: %v", ErrNoQuorum, acks, need,
+		c.cfg.WriteConsistency, firstErr)
+}
+
+// Get reads key at the configured read consistency, resolving conflicts by
+// highest version and repairing stale replicas in the background.
+func (c *Cluster) Get(ctx context.Context, key []byte) ([]byte, error) {
+	reps := c.replicas(key)
+	need := c.cfg.ReadConsistency.required(len(reps))
+
+	type reply struct {
+		addr  string
+		entry Entry
+		found bool
+		err   error
+	}
+	replies := make([]reply, 0, len(reps))
+	// Contact replicas in preference order until enough answered.
+	for _, addr := range reps {
+		if c.isDown(addr) && len(reps) > need {
+			continue
+		}
+		resp, err := c.call(ctx, addr, methodGet, key)
+		switch {
+		case err == nil && len(resp) >= 8:
+			replies = append(replies, reply{
+				addr:  addr,
+				entry: Entry{Version: binary.BigEndian.Uint64(resp), Value: resp[8:]},
+				found: true,
+			})
+		case isNotFound(err):
+			replies = append(replies, reply{addr: addr})
+		default:
+			replies = append(replies, reply{addr: addr, err: err})
+		}
+		answered := 0
+		found := false
+		for _, r := range replies {
+			if r.err == nil {
+				answered++
+				if r.found {
+					found = true
+				}
+			}
+		}
+		// A NotFound from one replica is not authoritative while other
+		// replicas remain (it may simply not have received the key yet,
+		// e.g. right after a membership change); keep probing until a
+		// value turns up or every replica has answered.
+		if answered >= need && found {
+			break
+		}
+	}
+
+	answered := 0
+	best := reply{}
+	for _, r := range replies {
+		if r.err != nil {
+			continue
+		}
+		answered++
+		if r.found && (!best.found || r.entry.Version > best.entry.Version) {
+			best = r
+		}
+	}
+	if answered < need {
+		return nil, fmt.Errorf("%w: %d/%d replies at %s", ErrNoQuorum, answered, need, c.cfg.ReadConsistency)
+	}
+	if !best.found {
+		return nil, ErrNotFound
+	}
+	// Read repair: push the winning entry to replicas that returned an
+	// older or missing value.
+	for _, r := range replies {
+		if r.err != nil || r.addr == best.addr {
+			continue
+		}
+		if !r.found || r.entry.Version < best.entry.Version {
+			addr, e := r.addr, best.entry
+			go func() {
+				body := encodeEntry(nil, key, e)
+				_, _ = c.call(context.Background(), addr, methodPut, body)
+			}()
+		}
+	}
+	return best.entry.Value, nil
+}
+
+func isNotFound(err error) bool {
+	var remote *transport.RemoteError
+	return errors.As(err, &remote) && remote.Msg == ErrNotFound.Error()
+}
+
+// PutIfAbsent stores key=value when no replica in preference order already
+// has it, returning whether the key existed. The check-and-set is atomic
+// on the first reachable replica; remaining replicas are updated
+// asynchronously — exactly the semantics a dedup index needs, where a
+// rare double-store is harmless.
+func (c *Cluster) PutIfAbsent(ctx context.Context, key, value []byte) (existed bool, err error) {
+	e := Entry{Value: value, Version: c.nextVersion()}
+	body := encodeEntry(nil, key, e)
+	reps := c.replicas(key)
+	var firstErr error
+	for i, addr := range reps {
+		resp, callErr := c.call(ctx, addr, methodPutNX, body)
+		if callErr != nil {
+			if firstErr == nil {
+				firstErr = callErr
+			}
+			continue
+		}
+		existed = len(resp) == 1 && resp[0] == 1
+		// Propagate to the remaining replicas asynchronously.
+		for _, other := range append(reps[:i:i], reps[i+1:]...) {
+			other := other
+			go func() {
+				if _, err := c.call(context.Background(), other, methodPut, body); err != nil {
+					c.storeHint(other, key, e)
+				}
+			}()
+		}
+		return existed, nil
+	}
+	return false, fmt.Errorf("kvstore: put-if-absent: no replica reachable: %w", firstErr)
+}
+
+// Has reports whether key is present on any preferred replica (ONE-style
+// membership probe).
+func (c *Cluster) Has(ctx context.Context, key []byte) (bool, error) {
+	found, err := c.BatchHas(ctx, [][]byte{key})
+	if err != nil {
+		return false, err
+	}
+	return found[0], nil
+}
+
+// BatchHas answers membership for many keys with one RPC per contacted
+// node: the dedup hot path. Keys are grouped by their preferred replica
+// (local node when possible, otherwise the primary); failed nodes fall
+// back to the next replica.
+func (c *Cluster) BatchHas(ctx context.Context, keys [][]byte) ([]bool, error) {
+	out := make([]bool, len(keys))
+	// Group key indices by target replica, with per-key fallback lists.
+	groups := make(map[string][]int)
+	fallbacks := make([][]string, len(keys))
+	for i, key := range keys {
+		reps := c.replicas(key)
+		if len(reps) == 0 {
+			return nil, errors.New("kvstore: empty ring")
+		}
+		target := reps[0]
+		if c.isDown(target) && len(reps) > 1 {
+			target = reps[1]
+		}
+		groups[target] = append(groups[target], i)
+		fallbacks[i] = reps
+	}
+	// Issue all per-target probes concurrently: a batch's latency is one
+	// round trip to the slowest replica, not the sum over replicas.
+	var wg sync.WaitGroup
+	errs := make([]error, 1)
+	var errMu sync.Mutex
+	c.mu.Lock()
+	localAddr := c.cfg.LocalAddr
+	c.mu.Unlock()
+	for addr, idxs := range groups {
+		if addr == localAddr {
+			c.localLookups.Add(int64(len(idxs)))
+		} else {
+			c.remoteLookups.Add(int64(len(idxs)))
+		}
+		wg.Add(1)
+		go func(addr string, idxs []int) {
+			defer wg.Done()
+			sub := make([][]byte, len(idxs))
+			for j, i := range idxs {
+				sub[j] = keys[i]
+			}
+			resp, err := c.call(ctx, addr, methodBatchHas, encodeKeyList(sub))
+			if err == nil && len(resp) == len(idxs) {
+				for j, i := range idxs {
+					out[i] = resp[j] == 1
+				}
+				return
+			}
+			// Per-key fallback through the remaining replicas.
+			for _, i := range idxs {
+				ok, ferr := c.hasWithFallback(ctx, keys[i], fallbacks[i], addr)
+				if ferr != nil {
+					errMu.Lock()
+					if errs[0] == nil {
+						errs[0] = ferr
+					}
+					errMu.Unlock()
+					return
+				}
+				out[i] = ok
+			}
+		}(addr, idxs)
+	}
+	wg.Wait()
+	if errs[0] != nil {
+		return nil, errs[0]
+	}
+	return out, nil
+}
+
+func (c *Cluster) hasWithFallback(ctx context.Context, key []byte, reps []string, failed string) (bool, error) {
+	var firstErr error
+	for _, addr := range reps {
+		if addr == failed {
+			continue
+		}
+		resp, err := c.call(ctx, addr, methodBatchHas, encodeKeyList([][]byte{key}))
+		if err == nil && len(resp) == 1 {
+			return resp[0] == 1, nil
+		}
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+	if firstErr == nil {
+		firstErr = fmt.Errorf("kvstore: all replicas unreachable")
+	}
+	return false, firstErr
+}
+
+// BatchPut stores many key/value pairs, grouping records per replica so a
+// ring write costs O(replica nodes) RPCs instead of O(keys). The batch
+// succeeds when every key reached at least the configured write
+// consistency; replicas that were unreachable receive hints.
+func (c *Cluster) BatchPut(ctx context.Context, keys, values [][]byte) error {
+	if len(keys) != len(values) {
+		return fmt.Errorf("kvstore: %d keys but %d values", len(keys), len(values))
+	}
+	type record struct {
+		idx int
+		key []byte
+		e   Entry
+	}
+	groups := make(map[string][]record)
+	needed := make([]int, len(keys))
+	acks := make([]int, len(keys))
+	for i, key := range keys {
+		e := Entry{Value: values[i], Version: c.nextVersion()}
+		reps := c.replicas(key)
+		needed[i] = c.cfg.WriteConsistency.required(len(reps))
+		for _, addr := range reps {
+			groups[addr] = append(groups[addr], record{idx: i, key: key, e: e})
+		}
+	}
+	// Replica writes go out concurrently; acks are tallied per key.
+	var (
+		wg       sync.WaitGroup
+		tallyMu  sync.Mutex
+		firstErr error
+	)
+	for addr, recs := range groups {
+		wg.Add(1)
+		go func(addr string, recs []record) {
+			defer wg.Done()
+			body := binary.BigEndian.AppendUint32(nil, uint32(len(recs)))
+			for _, r := range recs {
+				body = encodeEntry(body, r.key, r.e)
+			}
+			if _, err := c.call(ctx, addr, methodBatchPut, body); err != nil {
+				for _, r := range recs {
+					c.storeHint(addr, r.key, r.e)
+				}
+				tallyMu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				tallyMu.Unlock()
+				return
+			}
+			tallyMu.Lock()
+			for _, r := range recs {
+				acks[r.idx]++
+			}
+			tallyMu.Unlock()
+		}(addr, recs)
+	}
+	wg.Wait()
+	for i, got := range acks {
+		if got < needed[i] {
+			return fmt.Errorf("%w: key %d got %d/%d acks at %s: %v",
+				ErrNoQuorum, i, got, needed[i], c.cfg.WriteConsistency, firstErr)
+		}
+	}
+	return nil
+}
+
+// LookupStats reports how many membership probes stayed local vs crossed
+// the network — the measurable form of the paper's V(P) remote-lookup
+// fraction.
+func (c *Cluster) LookupStats() (local, remote int64) {
+	return c.localLookups.Load(), c.remoteLookups.Load()
+}
+
+// MemberStats fetches operation counters from every member.
+func (c *Cluster) MemberStats(ctx context.Context) (map[string]NodeStats, error) {
+	members := c.Members()
+	out := make(map[string]NodeStats, len(members))
+	for _, addr := range members {
+		resp, err := c.call(ctx, addr, methodStats, nil)
+		if err != nil {
+			return nil, err
+		}
+		s, err := decodeStats(resp)
+		if err != nil {
+			return nil, err
+		}
+		out[addr] = s
+	}
+	return out, nil
+}
+
+// Members returns the current member addresses.
+func (c *Cluster) Members() []string {
+	c.mu.Lock()
+	out := make([]string, len(c.cfg.Members))
+	copy(out, c.cfg.Members)
+	c.mu.Unlock()
+	sort.Strings(out)
+	return out
+}
+
+// --- health & hints ----------------------------------------------------
+
+// storeHint queues an entry for later delivery to an unreachable replica.
+func (c *Cluster) storeHint(addr string, key []byte, e Entry) {
+	k := make([]byte, len(key))
+	copy(k, key)
+	c.mu.Lock()
+	c.hints[addr] = append(c.hints[addr], hint{key: k, e: e})
+	c.down[addr] = true
+	c.mu.Unlock()
+}
+
+// healthLoop pings members, updating the down set and replaying hints to
+// recovered nodes.
+func (c *Cluster) healthLoop() {
+	defer close(c.healthDone)
+	ticker := time.NewTicker(c.cfg.HeartbeatInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			c.checkMembers()
+		case <-c.stopHealth:
+			return
+		}
+	}
+}
+
+func (c *Cluster) checkMembers() {
+	for _, addr := range c.Members() {
+		ctx, cancel := context.WithTimeout(context.Background(), c.cfg.HeartbeatInterval)
+		_, err := c.call(ctx, addr, methodPing, nil)
+		cancel()
+		c.mu.Lock()
+		wasDown := c.down[addr]
+		c.down[addr] = err != nil
+		var replay []hint
+		if err == nil && wasDown && len(c.hints[addr]) > 0 {
+			replay = c.hints[addr]
+			delete(c.hints, addr)
+		}
+		c.mu.Unlock()
+		for _, h := range replay {
+			body := encodeEntry(nil, h.key, h.e)
+			ctx, cancel := context.WithTimeout(context.Background(), c.cfg.CallTimeout)
+			if _, err := c.call(ctx, addr, methodPut, body); err != nil {
+				c.storeHint(addr, h.key, h.e)
+			}
+			cancel()
+		}
+	}
+}
+
+// PendingHints reports queued hint counts per unreachable member (for
+// tests and observability).
+func (c *Cluster) PendingHints() map[string]int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]int, len(c.hints))
+	for addr, hs := range c.hints {
+		out[addr] = len(hs)
+	}
+	return out
+}

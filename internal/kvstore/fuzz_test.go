@@ -1,0 +1,70 @@
+package kvstore
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeEntry: garbage must never panic; valid decodes must round
+// trip.
+func FuzzDecodeEntry(f *testing.F) {
+	f.Add(encodeEntry(nil, []byte("key"), Entry{Value: []byte("val"), Version: 9}))
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 200}) // length prefix beyond payload
+	f.Fuzz(func(t *testing.T, data []byte) {
+		key, e, rest, err := decodeEntry(data)
+		if err != nil {
+			return
+		}
+		re := encodeEntry(nil, key, e)
+		k2, e2, rest2, err := decodeEntry(re)
+		if err != nil || !bytes.Equal(k2, key) || e2.Version != e.Version || !bytes.Equal(e2.Value, e.Value) {
+			t.Fatalf("decode/encode not idempotent")
+		}
+		if len(rest2) != 0 {
+			t.Fatalf("re-encoded entry left %d trailing bytes", len(rest2))
+		}
+		_ = rest
+	})
+}
+
+// FuzzDecodeKeyList: panic-free and round-trip consistent.
+func FuzzDecodeKeyList(f *testing.F) {
+	f.Add(encodeKeyList([][]byte{[]byte("a"), []byte("bb")}))
+	f.Add([]byte{0, 0, 0, 3})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		keys, err := decodeKeyList(data)
+		if err != nil {
+			return
+		}
+		re := encodeKeyList(keys)
+		keys2, err := decodeKeyList(re)
+		if err != nil || len(keys2) != len(keys) {
+			t.Fatalf("round trip failed")
+		}
+		for i := range keys {
+			if !bytes.Equal(keys[i], keys2[i]) {
+				t.Fatalf("key %d corrupted", i)
+			}
+		}
+	})
+}
+
+// FuzzDecodeScan: the scan-response parser must be panic-free.
+func FuzzDecodeScan(f *testing.F) {
+	payload := encodeEntry(nil, []byte("k"), Entry{Value: []byte("v"), Version: 1})
+	valid := append([]byte{0, 0, 0, 1}, payload...)
+	f.Add(valid)
+	f.Add([]byte{0, 0, 0, 9})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		entries, err := decodeScan(data)
+		if err != nil {
+			return
+		}
+		for _, e := range entries {
+			if e.key == nil && len(e.e.Value) > 0 {
+				t.Fatal("entry with nil key but payload")
+			}
+		}
+	})
+}

@@ -1,0 +1,8 @@
+package kvstore
+
+import "os"
+
+// Small file helpers for WAL corruption tests.
+
+func readFile(path string) ([]byte, error)     { return os.ReadFile(path) }
+func writeFile(path string, data []byte) error { return os.WriteFile(path, data, 0o644) }

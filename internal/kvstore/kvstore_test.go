@@ -1,0 +1,612 @@
+package kvstore
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"efdedup/internal/transport"
+)
+
+// testRing spins up n storage nodes on a fresh memory network and returns
+// their addresses plus a cleanup-registered node list.
+func testRing(t *testing.T, nw *transport.MemNetwork, n int) []string {
+	t.Helper()
+	addrs := make([]string, n)
+	for i := 0; i < n; i++ {
+		node, err := NewNode(NodeConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		addr := fmt.Sprintf("kv-%d", i)
+		l, err := nw.Listen(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		node.Serve(l)
+		t.Cleanup(func() { node.Close() })
+		addrs[i] = addr
+	}
+	return addrs
+}
+
+func testCluster(t *testing.T, nw *transport.MemNetwork, cfg ClusterConfig) *Cluster {
+	t.Helper()
+	cfg.Network = nw
+	c, err := NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func TestClusterConfigValidation(t *testing.T) {
+	nw := transport.NewMemNetwork()
+	if _, err := NewCluster(ClusterConfig{Network: nw}); err == nil {
+		t.Error("empty member list accepted")
+	}
+	if _, err := NewCluster(ClusterConfig{Members: []string{"a"}}); err == nil {
+		t.Error("nil network accepted")
+	}
+	if _, err := NewCluster(ClusterConfig{Members: []string{"a", "a"}, Network: nw}); err == nil {
+		t.Error("duplicate members accepted")
+	}
+	if _, err := NewCluster(ClusterConfig{Members: []string{"a"}, LocalAddr: "b", Network: nw}); err == nil {
+		t.Error("non-member local address accepted")
+	}
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	nw := transport.NewMemNetwork()
+	addrs := testRing(t, nw, 3)
+	c := testCluster(t, nw, ClusterConfig{Members: addrs, ReplicationFactor: 2})
+
+	ctx := context.Background()
+	if err := c.Put(ctx, []byte("k1"), []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Get(ctx, []byte("k1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "v1" {
+		t.Fatalf("Get = %q, want v1", got)
+	}
+	if _, err := c.Get(ctx, []byte("missing")); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get(missing) = %v, want ErrNotFound", err)
+	}
+}
+
+func TestPutOverwriteLastWriteWins(t *testing.T) {
+	nw := transport.NewMemNetwork()
+	addrs := testRing(t, nw, 3)
+	c := testCluster(t, nw, ClusterConfig{Members: addrs, ReplicationFactor: 3, WriteConsistency: All, ReadConsistency: All})
+
+	ctx := context.Background()
+	key := []byte("k")
+	if err := c.Put(ctx, key, []byte("old")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put(ctx, key, []byte("new")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Get(ctx, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "new" {
+		t.Fatalf("Get after overwrite = %q, want new", got)
+	}
+}
+
+func TestReplicationSurvivesNodeLoss(t *testing.T) {
+	nw := transport.NewMemNetwork()
+	n := 4
+	nodes := make([]*Node, n)
+	addrs := make([]string, n)
+	for i := 0; i < n; i++ {
+		node, err := NewNode(NodeConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		addr := fmt.Sprintf("kv-%d", i)
+		l, err := nw.Listen(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		node.Serve(l)
+		nodes[i], addrs[i] = node, addr
+	}
+	defer func() {
+		for _, nd := range nodes {
+			nd.Close()
+		}
+	}()
+
+	c := testCluster(t, nw, ClusterConfig{Members: addrs, ReplicationFactor: 2, WriteConsistency: All})
+	ctx := context.Background()
+
+	keys := make([][]byte, 50)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("key-%03d", i))
+		if err := c.Put(ctx, keys[i], []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Kill one node: with RF=2 and writes at ALL, every key must still be
+	// readable at ONE through its surviving replica.
+	nodes[2].Close()
+	for _, k := range keys {
+		if _, err := c.Get(ctx, k); err != nil {
+			t.Fatalf("Get(%s) after node loss: %v", k, err)
+		}
+	}
+}
+
+func TestPutIfAbsent(t *testing.T) {
+	nw := transport.NewMemNetwork()
+	addrs := testRing(t, nw, 3)
+	c := testCluster(t, nw, ClusterConfig{Members: addrs, ReplicationFactor: 2})
+
+	ctx := context.Background()
+	existed, err := c.PutIfAbsent(ctx, []byte("k"), []byte("v"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if existed {
+		t.Fatal("first PutIfAbsent reported existing key")
+	}
+	existed, err = c.PutIfAbsent(ctx, []byte("k"), []byte("other"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !existed {
+		t.Fatal("second PutIfAbsent missed existing key")
+	}
+	got, err := c.Get(ctx, []byte("k"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "v" {
+		t.Fatalf("PutIfAbsent overwrote value: %q", got)
+	}
+}
+
+func TestBatchHasAndBatchPut(t *testing.T) {
+	nw := transport.NewMemNetwork()
+	addrs := testRing(t, nw, 3)
+	c := testCluster(t, nw, ClusterConfig{Members: addrs, ReplicationFactor: 2, LocalAddr: addrs[0]})
+
+	ctx := context.Background()
+	var keys, values [][]byte
+	for i := 0; i < 40; i++ {
+		keys = append(keys, []byte(fmt.Sprintf("key-%02d", i)))
+		values = append(values, []byte(fmt.Sprintf("val-%02d", i)))
+	}
+	if err := c.BatchPut(ctx, keys[:20], values[:20]); err != nil {
+		t.Fatal(err)
+	}
+	found, err := c.BatchHas(ctx, keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, ok := range found {
+		if want := i < 20; ok != want {
+			t.Errorf("key %d presence = %v, want %v", i, ok, want)
+		}
+	}
+	local, remote := c.LookupStats()
+	if local+remote != int64(len(keys)) {
+		t.Errorf("lookup stats %d+%d, want %d total", local, remote, len(keys))
+	}
+	if local == 0 {
+		t.Error("no lookups went to the local node despite LocalAddr preference")
+	}
+}
+
+func TestBatchPutLengthMismatch(t *testing.T) {
+	nw := transport.NewMemNetwork()
+	addrs := testRing(t, nw, 1)
+	c := testCluster(t, nw, ClusterConfig{Members: addrs})
+	if err := c.BatchPut(context.Background(), [][]byte{[]byte("a")}, nil); err == nil {
+		t.Fatal("mismatched lengths accepted")
+	}
+}
+
+func TestBatchHasFallbackOnNodeFailure(t *testing.T) {
+	nw := transport.NewMemNetwork()
+	n := 3
+	nodes := make([]*Node, n)
+	addrs := make([]string, n)
+	for i := 0; i < n; i++ {
+		node, err := NewNode(NodeConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		addr := fmt.Sprintf("kv-%d", i)
+		l, err := nw.Listen(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		node.Serve(l)
+		nodes[i], addrs[i] = node, addr
+	}
+	defer func() {
+		for _, nd := range nodes {
+			nd.Close()
+		}
+	}()
+	c := testCluster(t, nw, ClusterConfig{Members: addrs, ReplicationFactor: 2, WriteConsistency: All})
+
+	ctx := context.Background()
+	var keys [][]byte
+	for i := 0; i < 30; i++ {
+		k := []byte(fmt.Sprintf("key-%02d", i))
+		keys = append(keys, k)
+		if err := c.Put(ctx, k, []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	nodes[1].Close()
+	found, err := c.BatchHas(ctx, keys)
+	if err != nil {
+		t.Fatalf("BatchHas with dead node: %v", err)
+	}
+	for i, ok := range found {
+		if !ok {
+			t.Errorf("key %d reported missing after failover", i)
+		}
+	}
+}
+
+func TestWriteQuorumFailure(t *testing.T) {
+	nw := transport.NewMemNetwork()
+	node, err := NewNode(NodeConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := nw.Listen("kv-0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	node.Serve(l)
+
+	c := testCluster(t, nw, ClusterConfig{
+		Members:           []string{"kv-0", "kv-1"}, // kv-1 never exists
+		ReplicationFactor: 2,
+		WriteConsistency:  All,
+		CallTimeout:       200 * time.Millisecond,
+	})
+	err = c.Put(context.Background(), []byte("k"), []byte("v"))
+	if !errors.Is(err, ErrNoQuorum) {
+		t.Fatalf("Put = %v, want ErrNoQuorum", err)
+	}
+	if hints := c.PendingHints(); hints["kv-1"] == 0 {
+		t.Error("no hint queued for the unreachable replica")
+	}
+	node.Close()
+}
+
+func TestHintedHandoffReplaysOnRecovery(t *testing.T) {
+	nw := transport.NewMemNetwork()
+	// Start both replicas, then take kv-1 down before the write.
+	nodeA, err := NewNode(NodeConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lA, err := nw.Listen("kv-0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodeA.Serve(lA)
+	defer nodeA.Close()
+
+	c := testCluster(t, nw, ClusterConfig{
+		Members:           []string{"kv-0", "kv-1"},
+		ReplicationFactor: 2,
+		WriteConsistency:  One,
+		HeartbeatInterval: 30 * time.Millisecond,
+		CallTimeout:       200 * time.Millisecond,
+	})
+	ctx := context.Background()
+	if err := c.Put(ctx, []byte("k"), []byte("v")); err != nil {
+		t.Fatalf("Put at ONE with one replica down: %v", err)
+	}
+	if hints := c.PendingHints(); hints["kv-1"] == 0 {
+		t.Fatal("no hint stored for the down replica")
+	}
+
+	// Bring kv-1 up; the health loop should replay the hint.
+	nodeB, err := NewNode(NodeConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lB, err := nw.Listen("kv-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodeB.Serve(lB)
+	defer nodeB.Close()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if nodeB.Len() == 1 {
+			return // hint delivered
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatal("hint never replayed to recovered node")
+}
+
+func TestReadRepairConvergesReplicas(t *testing.T) {
+	nw := transport.NewMemNetwork()
+	n := 3
+	nodes := make([]*Node, n)
+	addrs := make([]string, n)
+	for i := 0; i < n; i++ {
+		node, err := NewNode(NodeConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		addr := fmt.Sprintf("kv-%d", i)
+		l, err := nw.Listen(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		node.Serve(l)
+		nodes[i], addrs[i] = node, addr
+	}
+	defer func() {
+		for _, nd := range nodes {
+			nd.Close()
+		}
+	}()
+	c := testCluster(t, nw, ClusterConfig{
+		Members: addrs, ReplicationFactor: 3,
+		WriteConsistency: One, ReadConsistency: All,
+	})
+	ctx := context.Background()
+	key := []byte("repair-me")
+
+	// Seed divergence: write directly to one node with a newer version.
+	if err := c.Put(ctx, key, []byte("stale")); err != nil {
+		t.Fatal(err)
+	}
+	newer := Entry{Value: []byte("fresh"), Version: c.nextVersion()}
+	for _, nd := range nodes[:1] {
+		nd.applyPut(key, newer)
+	}
+
+	got, err := c.Get(ctx, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "fresh" {
+		t.Fatalf("Get = %q, want fresh (highest version wins)", got)
+	}
+	// Read repair is async; wait for propagation.
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		repaired := 0
+		for _, nd := range nodes {
+			if e, ok := nd.localGet(key); ok && bytes.Equal(e.Value, []byte("fresh")) {
+				repaired++
+			}
+		}
+		if repaired == n {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatal("read repair did not converge all replicas")
+}
+
+func TestNodeStatsCounting(t *testing.T) {
+	nw := transport.NewMemNetwork()
+	addrs := testRing(t, nw, 1)
+	c := testCluster(t, nw, ClusterConfig{Members: addrs, ReplicationFactor: 1})
+	ctx := context.Background()
+
+	if err := c.Put(ctx, []byte("a"), []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Get(ctx, []byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Get(ctx, []byte("b")); !errors.Is(err, ErrNotFound) {
+		t.Fatal(err)
+	}
+	stats, err := c.MemberStats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := stats[addrs[0]]
+	if s.Puts != 1 || s.Gets != 2 || s.Hits != 1 || s.Misses != 1 || s.Entries != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestWALPersistence(t *testing.T) {
+	dir := t.TempDir()
+	walPath := filepath.Join(dir, "node.wal")
+
+	nw := transport.NewMemNetwork()
+	node, err := NewNode(NodeConfig{WALPath: walPath})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := nw.Listen("kv-0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	node.Serve(l)
+	c := testCluster(t, nw, ClusterConfig{Members: []string{"kv-0"}, ReplicationFactor: 1})
+	ctx := context.Background()
+	for i := 0; i < 10; i++ {
+		if err := c.Put(ctx, []byte(fmt.Sprintf("k%d", i)), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	node.Close()
+
+	// Restart from the WAL.
+	node2, err := NewNode(NodeConfig{WALPath: walPath})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node2.Close()
+	if node2.Len() != 10 {
+		t.Fatalf("restarted node has %d entries, want 10", node2.Len())
+	}
+}
+
+func TestWALStopsAtCorruption(t *testing.T) {
+	dir := t.TempDir()
+	walPath := filepath.Join(dir, "node.wal")
+	w, err := OpenWAL(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := w.Append([]byte(fmt.Sprintf("k%d", i)), Entry{Value: []byte("v"), Version: uint64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	// Append garbage: replay must keep the 5 intact records and stop.
+	if err := w.Append([]byte("k5"), Entry{Value: []byte("v")}); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	// Truncate the last record to simulate a torn write.
+	// (Open the file and chop a few bytes.)
+	data, err := readFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := writeFile(walPath, data[:len(data)-3]); err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	if err := ReplayWAL(walPath, func([]byte, Entry) { count++ }); err != nil {
+		t.Fatal(err)
+	}
+	if count != 5 {
+		t.Fatalf("replayed %d records, want 5", count)
+	}
+}
+
+func TestReplayMissingWAL(t *testing.T) {
+	if err := ReplayWAL(filepath.Join(t.TempDir(), "nope.wal"), func([]byte, Entry) {
+		t.Fatal("callback invoked for missing file")
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConsistencyRequired(t *testing.T) {
+	tests := []struct {
+		c    Consistency
+		n    int
+		want int
+	}{
+		{One, 3, 1},
+		{Quorum, 3, 2},
+		{Quorum, 4, 3},
+		{Quorum, 1, 1},
+		{All, 3, 3},
+	}
+	for _, tt := range tests {
+		if got := tt.c.required(tt.n); got != tt.want {
+			t.Errorf("%s.required(%d) = %d, want %d", tt.c, tt.n, got, tt.want)
+		}
+	}
+	if One.String() != "ONE" || Quorum.String() != "QUORUM" || All.String() != "ALL" {
+		t.Error("Consistency.String mismatch")
+	}
+}
+
+// TestPropertyQuorumReadYourWrites: with R+W > N, a read after a write
+// always sees the written value, for random key/value pairs.
+func TestPropertyQuorumReadYourWrites(t *testing.T) {
+	nw := transport.NewMemNetwork()
+	addrs := testRing(t, nw, 3)
+	c := testCluster(t, nw, ClusterConfig{
+		Members: addrs, ReplicationFactor: 3,
+		ReadConsistency: Quorum, WriteConsistency: Quorum,
+	})
+	ctx := context.Background()
+	f := func(key, value []byte) bool {
+		if len(key) == 0 {
+			return true
+		}
+		if err := c.Put(ctx, key, value); err != nil {
+			return false
+		}
+		got, err := c.Get(ctx, key)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(got, value)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyEntryCodecRoundTrip fuzzes the wire codec.
+func TestPropertyEntryCodecRoundTrip(t *testing.T) {
+	f := func(key, value []byte, version uint64) bool {
+		enc := encodeEntry(nil, key, Entry{Value: value, Version: version})
+		k, e, rest, err := decodeEntry(enc)
+		if err != nil || len(rest) != 0 {
+			return false
+		}
+		return bytes.Equal(k, key) && bytes.Equal(e.Value, value) && e.Version == version
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKeyListCodecRoundTrip(t *testing.T) {
+	f := func(keys [][]byte) bool {
+		dec, err := decodeKeyList(encodeKeyList(keys))
+		if err != nil {
+			return false
+		}
+		if len(dec) != len(keys) {
+			return false
+		}
+		for i := range keys {
+			if !bytes.Equal(dec[i], keys[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeRejectsTruncated(t *testing.T) {
+	if _, _, _, err := decodeEntry([]byte{0, 0}); err == nil {
+		t.Error("truncated entry decoded")
+	}
+	if _, err := decodeKeyList([]byte{0}); err == nil {
+		t.Error("truncated key list decoded")
+	}
+	if _, err := decodeStats([]byte{1, 2}); err == nil {
+		t.Error("short stats decoded")
+	}
+}

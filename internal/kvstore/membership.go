@@ -1,0 +1,125 @@
+package kvstore
+
+import (
+	"context"
+	"fmt"
+)
+
+// Membership changes. The paper highlights that with a Cassandra-style
+// ring "adding and removing nodes to the cluster is a seamless
+// operation"; this file implements that for the coordinator: membership
+// updates adjust the consistent-hash ring, and Rebalance re-replicates
+// every key to its current replica set so placement invariants hold again
+// after churn.
+
+// AddMember joins a new storage node to the ring. Keys are not moved
+// until Rebalance runs; until then reads fall back through the old
+// replicas (lookup fallback), so the operation is non-disruptive.
+func (c *Cluster) AddMember(addr string) error {
+	if addr == "" {
+		return fmt.Errorf("kvstore: empty member address")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, m := range c.cfg.Members {
+		if m == addr {
+			return fmt.Errorf("kvstore: member %q already present", addr)
+		}
+	}
+	c.cfg.Members = append(c.cfg.Members, addr)
+	c.ring.Add(addr)
+	return nil
+}
+
+// RemoveMember leaves a node out of the ring (e.g. decommissioning).
+// Keys it exclusively held remain reachable only if replication placed
+// copies elsewhere; run Rebalance afterwards to restore full replication.
+func (c *Cluster) RemoveMember(addr string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	found := -1
+	for i, m := range c.cfg.Members {
+		if m == addr {
+			found = i
+			break
+		}
+	}
+	if found < 0 {
+		return fmt.Errorf("kvstore: member %q not found", addr)
+	}
+	if len(c.cfg.Members) == 1 {
+		return fmt.Errorf("kvstore: cannot remove the last member")
+	}
+	c.cfg.Members = append(c.cfg.Members[:found], c.cfg.Members[found+1:]...)
+	c.ring.Remove(addr)
+	if cl, ok := c.clients[addr]; ok {
+		delete(c.clients, addr)
+		go cl.Close()
+	}
+	delete(c.down, addr)
+	if c.cfg.LocalAddr == addr {
+		c.cfg.LocalAddr = ""
+	}
+	return nil
+}
+
+// Rebalance scans every reachable member and re-replicates each key to
+// its current replica set, restoring placement after membership changes.
+// Entries keep their versions, so last-write-wins semantics are
+// preserved and re-running Rebalance is idempotent.
+func (c *Cluster) Rebalance(ctx context.Context) error {
+	members := c.Members()
+
+	seen := make(map[string]uint64) // key -> newest version already pushed
+	for _, addr := range members {
+		resp, err := c.call(ctx, addr, methodScan, nil)
+		if err != nil {
+			// An unreachable member's data is covered by its replicas'
+			// scans; skip it.
+			continue
+		}
+		entries, err := decodeScan(resp)
+		if err != nil {
+			return fmt.Errorf("kvstore: rebalance scan %s: %w", addr, err)
+		}
+		for _, kv := range entries {
+			if v, ok := seen[string(kv.key)]; ok && v >= kv.e.Version {
+				continue
+			}
+			seen[string(kv.key)] = kv.e.Version
+			if err := c.putEntry(ctx, kv.key, kv.e); err != nil {
+				return fmt.Errorf("kvstore: rebalance key: %w", err)
+			}
+		}
+	}
+	return nil
+}
+
+type scannedEntry struct {
+	key []byte
+	e   Entry
+}
+
+// decodeScan parses a kv.scan response.
+func decodeScan(body []byte) ([]scannedEntry, error) {
+	if len(body) < 4 {
+		return nil, fmt.Errorf("kvstore: truncated scan response")
+	}
+	count := int(uint32(body[0])<<24 | uint32(body[1])<<16 | uint32(body[2])<<8 | uint32(body[3]))
+	src := body[4:]
+	// Each record costs at least 16 bytes (two length prefixes + version);
+	// reject counts the payload cannot hold before allocating.
+	if count > len(src)/16+1 {
+		return nil, fmt.Errorf("kvstore: scan count %d exceeds payload", count)
+	}
+	out := make([]scannedEntry, 0, count)
+	for i := 0; i < count; i++ {
+		key, e, rest, err := decodeEntry(src)
+		if err != nil {
+			return nil, fmt.Errorf("kvstore: scan record %d: %w", i, err)
+		}
+		out = append(out, scannedEntry{key: key, e: e})
+		src = rest
+	}
+	return out, nil
+}

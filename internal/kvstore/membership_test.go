@@ -1,0 +1,162 @@
+package kvstore
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"efdedup/internal/transport"
+)
+
+// addNode spins one extra storage node on the network.
+func addNode(t *testing.T, nw *transport.MemNetwork, addr string) *Node {
+	t.Helper()
+	node, err := NewNode(NodeConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := nw.Listen(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	node.Serve(l)
+	t.Cleanup(func() { node.Close() })
+	return node
+}
+
+func TestAddMemberValidation(t *testing.T) {
+	nw := transport.NewMemNetwork()
+	addrs := testRing(t, nw, 2)
+	c := testCluster(t, nw, ClusterConfig{Members: addrs})
+	if err := c.AddMember(""); err == nil {
+		t.Error("empty address accepted")
+	}
+	if err := c.AddMember(addrs[0]); err == nil {
+		t.Error("duplicate member accepted")
+	}
+}
+
+func TestRemoveMemberValidation(t *testing.T) {
+	nw := transport.NewMemNetwork()
+	addrs := testRing(t, nw, 1)
+	c := testCluster(t, nw, ClusterConfig{Members: addrs})
+	if err := c.RemoveMember("missing"); err == nil {
+		t.Error("unknown member accepted")
+	}
+	if err := c.RemoveMember(addrs[0]); err == nil {
+		t.Error("removing last member accepted")
+	}
+}
+
+// TestAddMemberAndRebalance grows the ring and verifies the new node ends
+// up holding its share of the keys.
+func TestAddMemberAndRebalance(t *testing.T) {
+	nw := transport.NewMemNetwork()
+	addrs := testRing(t, nw, 3)
+	c := testCluster(t, nw, ClusterConfig{
+		Members: addrs, ReplicationFactor: 2, WriteConsistency: All,
+	})
+	ctx := context.Background()
+	const keys = 200
+	for i := 0; i < keys; i++ {
+		if err := c.Put(ctx, []byte(fmt.Sprintf("key-%03d", i)), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	newNode := addNode(t, nw, "kv-new")
+	if err := c.AddMember("kv-new"); err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Members()) != 4 {
+		t.Fatalf("members = %v", c.Members())
+	}
+	// Reads keep working before any data movement (fallback replicas).
+	for i := 0; i < keys; i += 20 {
+		if _, err := c.Get(ctx, []byte(fmt.Sprintf("key-%03d", i))); err != nil {
+			t.Fatalf("read during membership change: %v", err)
+		}
+	}
+	if err := c.Rebalance(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// With RF=2 over 4 nodes, the new node should own ≈ keys/2 entries.
+	if got := newNode.Len(); got < keys/5 {
+		t.Errorf("new node holds %d keys after rebalance, want a meaningful share", got)
+	}
+	// All keys still readable.
+	for i := 0; i < keys; i++ {
+		if _, err := c.Get(ctx, []byte(fmt.Sprintf("key-%03d", i))); err != nil {
+			t.Fatalf("key %d lost after rebalance: %v", i, err)
+		}
+	}
+}
+
+// TestRemoveMemberAndRebalance decommissions a node and verifies
+// replication is restored on the survivors.
+func TestRemoveMemberAndRebalance(t *testing.T) {
+	nw := transport.NewMemNetwork()
+	n := 4
+	nodes := make([]*Node, n)
+	addrs := make([]string, n)
+	for i := 0; i < n; i++ {
+		addr := fmt.Sprintf("kv-%d", i)
+		nodes[i] = addNode(t, nw, addr)
+		addrs[i] = addr
+	}
+	c := testCluster(t, nw, ClusterConfig{
+		Members: addrs, ReplicationFactor: 2, WriteConsistency: All,
+	})
+	ctx := context.Background()
+	const keys = 200
+	for i := 0; i < keys; i++ {
+		if err := c.Put(ctx, []byte(fmt.Sprintf("key-%03d", i)), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Decommission node 2: remove from ring, rebalance, then kill it.
+	if err := c.RemoveMember(addrs[2]); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Rebalance(ctx); err != nil {
+		t.Fatal(err)
+	}
+	nodes[2].Close()
+	for i := 0; i < keys; i++ {
+		if _, err := c.Get(ctx, []byte(fmt.Sprintf("key-%03d", i))); err != nil {
+			t.Fatalf("key %d unreadable after decommission: %v", i, err)
+		}
+	}
+}
+
+func TestRebalanceIdempotent(t *testing.T) {
+	nw := transport.NewMemNetwork()
+	addrs := testRing(t, nw, 3)
+	c := testCluster(t, nw, ClusterConfig{Members: addrs, ReplicationFactor: 2})
+	ctx := context.Background()
+	for i := 0; i < 50; i++ {
+		if err := c.Put(ctx, []byte(fmt.Sprintf("k%d", i)), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Rebalance(ctx); err != nil {
+		t.Fatal(err)
+	}
+	stats1, err := c.MemberStats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Rebalance(ctx); err != nil {
+		t.Fatal(err)
+	}
+	stats2, err := c.MemberStats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for addr := range stats1 {
+		if stats1[addr].Entries != stats2[addr].Entries {
+			t.Errorf("%s entry count changed on idempotent rebalance: %d -> %d",
+				addr, stats1[addr].Entries, stats2[addr].Entries)
+		}
+	}
+}

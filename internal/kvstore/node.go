@@ -1,0 +1,296 @@
+package kvstore
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"efdedup/internal/transport"
+)
+
+// RPC method names served by a storage node.
+const (
+	methodGet      = "kv.get"
+	methodPut      = "kv.put"
+	methodPutNX    = "kv.putnx"
+	methodBatchHas = "kv.batchhas"
+	methodBatchPut = "kv.batchput"
+	methodScan     = "kv.scan"
+	methodPing     = "kv.ping"
+	methodStats    = "kv.stats"
+)
+
+// NodeStats counts operations served by a storage node.
+type NodeStats struct {
+	Gets    int64
+	Puts    int64
+	Hits    int64
+	Misses  int64
+	Entries int64
+}
+
+// NodeConfig configures a storage node.
+type NodeConfig struct {
+	// WALPath enables the write-ahead log when non-empty. The node
+	// replays the log on startup.
+	WALPath string
+}
+
+// Node is one storage replica of the dedup index. It serves the kv.*
+// methods over the transport protocol.
+type Node struct {
+	mu    sync.RWMutex
+	table map[string]Entry
+
+	wal *WAL
+
+	gets, puts, hits, misses atomic.Int64
+
+	server   *transport.Server
+	listener net.Listener
+	serveErr chan error
+}
+
+// NewNode creates a storage node, replaying the WAL when configured.
+func NewNode(cfg NodeConfig) (*Node, error) {
+	n := &Node{
+		table:    make(map[string]Entry),
+		serveErr: make(chan error, 1),
+	}
+	if cfg.WALPath != "" {
+		if err := ReplayWAL(cfg.WALPath, func(key []byte, e Entry) {
+			n.applyPut(key, e)
+		}); err != nil {
+			return nil, err
+		}
+		wal, err := OpenWAL(cfg.WALPath)
+		if err != nil {
+			return nil, err
+		}
+		n.wal = wal
+	}
+	n.server = transport.NewServer()
+	n.server.Handle(methodGet, n.handleGet)
+	n.server.Handle(methodPut, n.handlePut)
+	n.server.Handle(methodPutNX, n.handlePutNX)
+	n.server.Handle(methodBatchHas, n.handleBatchHas)
+	n.server.Handle(methodBatchPut, n.handleBatchPut)
+	n.server.Handle(methodScan, n.handleScan)
+	n.server.Handle(methodPing, func([]byte) ([]byte, error) { return []byte("pong"), nil })
+	n.server.Handle(methodStats, n.handleStats)
+	return n, nil
+}
+
+// Serve starts accepting connections on l in a background goroutine and
+// returns immediately.
+func (n *Node) Serve(l net.Listener) {
+	n.listener = l
+	go func() {
+		n.serveErr <- n.server.Serve(l)
+	}()
+}
+
+// Addr returns the listen address, or "" before Serve.
+func (n *Node) Addr() string {
+	if n.listener == nil {
+		return ""
+	}
+	return n.listener.Addr().String()
+}
+
+// Close stops serving and closes the WAL.
+func (n *Node) Close() error {
+	err := n.server.Close()
+	if n.wal != nil {
+		if werr := n.wal.Close(); err == nil {
+			err = werr
+		}
+	}
+	return err
+}
+
+// Stats returns a snapshot of operation counters.
+func (n *Node) Stats() NodeStats {
+	n.mu.RLock()
+	entries := int64(len(n.table))
+	n.mu.RUnlock()
+	return NodeStats{
+		Gets:    n.gets.Load(),
+		Puts:    n.puts.Load(),
+		Hits:    n.hits.Load(),
+		Misses:  n.misses.Load(),
+		Entries: entries,
+	}
+}
+
+// Len returns the number of stored entries.
+func (n *Node) Len() int {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return len(n.table)
+}
+
+// applyPut installs an entry under last-write-wins and reports whether it
+// replaced the stored version.
+func (n *Node) applyPut(key []byte, e Entry) bool {
+	k := string(key)
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if old, ok := n.table[k]; ok && old.Version >= e.Version {
+		return false
+	}
+	n.table[k] = e
+	return true
+}
+
+// localGet reads an entry from the table.
+func (n *Node) localGet(key []byte) (Entry, bool) {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	e, ok := n.table[string(key)]
+	return e, ok
+}
+
+// --- handlers ----------------------------------------------------------
+
+func (n *Node) handleGet(body []byte) ([]byte, error) {
+	n.gets.Add(1)
+	e, ok := n.localGet(body)
+	if !ok {
+		n.misses.Add(1)
+		return nil, ErrNotFound
+	}
+	n.hits.Add(1)
+	out := binary.BigEndian.AppendUint64(nil, e.Version)
+	return append(out, e.Value...), nil
+}
+
+func (n *Node) handlePut(body []byte) ([]byte, error) {
+	n.puts.Add(1)
+	key, e, _, err := decodeEntry(body)
+	if err != nil {
+		return nil, err
+	}
+	if n.wal != nil {
+		if err := n.wal.Append(key, e); err != nil {
+			return nil, err
+		}
+	}
+	n.applyPut(key, e)
+	return nil, nil
+}
+
+// handlePutNX stores the entry only when the key is absent, returning a
+// single byte: 1 when the key already existed, 0 when stored.
+func (n *Node) handlePutNX(body []byte) ([]byte, error) {
+	n.puts.Add(1)
+	key, e, _, err := decodeEntry(body)
+	if err != nil {
+		return nil, err
+	}
+	k := string(key)
+	n.mu.Lock()
+	_, exists := n.table[k]
+	if !exists {
+		n.table[k] = e
+	}
+	n.mu.Unlock()
+	if exists {
+		return []byte{1}, nil
+	}
+	if n.wal != nil {
+		if err := n.wal.Append(key, e); err != nil {
+			return nil, err
+		}
+	}
+	return []byte{0}, nil
+}
+
+// handleBatchHas answers membership for a key list with one byte per key.
+func (n *Node) handleBatchHas(body []byte) ([]byte, error) {
+	keys, err := decodeKeyList(body)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, len(keys))
+	n.mu.RLock()
+	for i, k := range keys {
+		if _, ok := n.table[string(k)]; ok {
+			out[i] = 1
+		}
+	}
+	n.mu.RUnlock()
+	n.gets.Add(int64(len(keys)))
+	for _, b := range out {
+		if b == 1 {
+			n.hits.Add(1)
+		} else {
+			n.misses.Add(1)
+		}
+	}
+	return out, nil
+}
+
+// handleBatchPut stores a count-prefixed sequence of key+entry records.
+func (n *Node) handleBatchPut(body []byte) ([]byte, error) {
+	if len(body) < 4 {
+		return nil, errors.New("kvstore: truncated batch")
+	}
+	count := binary.BigEndian.Uint32(body)
+	src := body[4:]
+	for i := uint32(0); i < count; i++ {
+		key, e, rest, err := decodeEntry(src)
+		if err != nil {
+			return nil, fmt.Errorf("kvstore: batch record %d: %w", i, err)
+		}
+		if n.wal != nil {
+			if err := n.wal.Append(key, e); err != nil {
+				return nil, err
+			}
+		}
+		n.applyPut(key, e)
+		src = rest
+	}
+	n.puts.Add(int64(count))
+	return nil, nil
+}
+
+// handleScan returns every entry as a count-prefixed record sequence.
+// The dedup index is small (hashes only), so a full snapshot is fine; a
+// production system would paginate.
+func (n *Node) handleScan([]byte) ([]byte, error) {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	out := binary.BigEndian.AppendUint32(nil, uint32(len(n.table)))
+	for k, e := range n.table {
+		out = encodeEntry(out, []byte(k), e)
+	}
+	return out, nil
+}
+
+func (n *Node) handleStats([]byte) ([]byte, error) {
+	s := n.Stats()
+	out := make([]byte, 0, 40)
+	out = binary.BigEndian.AppendUint64(out, uint64(s.Gets))
+	out = binary.BigEndian.AppendUint64(out, uint64(s.Puts))
+	out = binary.BigEndian.AppendUint64(out, uint64(s.Hits))
+	out = binary.BigEndian.AppendUint64(out, uint64(s.Misses))
+	out = binary.BigEndian.AppendUint64(out, uint64(s.Entries))
+	return out, nil
+}
+
+func decodeStats(body []byte) (NodeStats, error) {
+	if len(body) != 40 {
+		return NodeStats{}, fmt.Errorf("kvstore: stats payload of %d bytes, want 40", len(body))
+	}
+	return NodeStats{
+		Gets:    int64(binary.BigEndian.Uint64(body[0:])),
+		Puts:    int64(binary.BigEndian.Uint64(body[8:])),
+		Hits:    int64(binary.BigEndian.Uint64(body[16:])),
+		Misses:  int64(binary.BigEndian.Uint64(body[24:])),
+		Entries: int64(binary.BigEndian.Uint64(body[32:])),
+	}, nil
+}

@@ -1,0 +1,116 @@
+// Package kvstore implements the distributed key-value store that holds
+// each D2-ring's deduplication index — the role Cassandra plays in the
+// EF-dedup prototype (paper Sec. IV).
+//
+// The store is composed of:
+//
+//   - Node: one storage replica (in-memory table, optional write-ahead
+//     log) exposed over the transport RPC protocol;
+//   - Cluster: a client-side coordinator that places keys with consistent
+//     hashing, replicates writes to γ nodes, reads at a configurable
+//     consistency level (ONE / QUORUM / ALL), performs read repair and
+//     hinted handoff, and keeps per-peer health with heartbeats.
+//
+// Conflicts resolve by last-write-wins on a (version, coordinator) pair.
+// This matches the needs of a dedup index: values are tiny chunk-metadata
+// records, false negatives only cost a redundant upload, and false
+// positives cannot happen because chunk IDs are content hashes.
+package kvstore
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// ErrNotFound is returned by reads of missing keys.
+var ErrNotFound = errors.New("kvstore: key not found")
+
+// Entry is one stored record.
+type Entry struct {
+	// Value is the payload.
+	Value []byte
+	// Version orders concurrent writes (last-write-wins). Coordinators
+	// derive it from wall-clock nanoseconds plus a tie-breaking counter.
+	Version uint64
+}
+
+// --- wire helpers -----------------------------------------------------
+
+// appendBytes appends a u32 length prefix plus the data.
+func appendBytes(dst, b []byte) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(b)))
+	return append(dst, b...)
+}
+
+// readBytes consumes one length-prefixed blob.
+func readBytes(src []byte) (val, rest []byte, err error) {
+	if len(src) < 4 {
+		return nil, nil, errors.New("kvstore: truncated length prefix")
+	}
+	n := binary.BigEndian.Uint32(src)
+	if uint32(len(src)-4) < n {
+		return nil, nil, fmt.Errorf("kvstore: blob of %d bytes exceeds remaining %d", n, len(src)-4)
+	}
+	return src[4 : 4+n], src[4+n:], nil
+}
+
+// encodeEntry serializes key+entry for put requests and scan streams.
+func encodeEntry(dst []byte, key []byte, e Entry) []byte {
+	dst = appendBytes(dst, key)
+	dst = binary.BigEndian.AppendUint64(dst, e.Version)
+	dst = appendBytes(dst, e.Value)
+	return dst
+}
+
+// decodeEntry consumes one encoded key+entry.
+func decodeEntry(src []byte) (key []byte, e Entry, rest []byte, err error) {
+	key, src, err = readBytes(src)
+	if err != nil {
+		return nil, Entry{}, nil, err
+	}
+	if len(src) < 8 {
+		return nil, Entry{}, nil, errors.New("kvstore: truncated version")
+	}
+	e.Version = binary.BigEndian.Uint64(src)
+	e.Value, rest, err = readBytes(src[8:])
+	if err != nil {
+		return nil, Entry{}, nil, err
+	}
+	return key, e, rest, nil
+}
+
+// encodeKeyList serializes a count-prefixed list of keys.
+func encodeKeyList(keys [][]byte) []byte {
+	out := binary.BigEndian.AppendUint32(nil, uint32(len(keys)))
+	for _, k := range keys {
+		out = appendBytes(out, k)
+	}
+	return out
+}
+
+// decodeKeyList parses a count-prefixed list of keys.
+func decodeKeyList(src []byte) ([][]byte, error) {
+	if len(src) < 4 {
+		return nil, errors.New("kvstore: truncated key list")
+	}
+	n := binary.BigEndian.Uint32(src)
+	src = src[4:]
+	// Each key costs at least a 4-byte length prefix; a count that could
+	// not possibly fit the remaining bytes is corrupt (and must not drive
+	// the allocation below).
+	if uint64(n) > uint64(len(src))/4+1 {
+		return nil, fmt.Errorf("kvstore: key list count %d exceeds payload", n)
+	}
+	keys := make([][]byte, 0, n)
+	for i := uint32(0); i < n; i++ {
+		var k []byte
+		var err error
+		k, src, err = readBytes(src)
+		if err != nil {
+			return nil, err
+		}
+		keys = append(keys, k)
+	}
+	return keys, nil
+}

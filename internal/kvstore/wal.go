@@ -1,0 +1,108 @@
+package kvstore
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+)
+
+// WAL is a minimal append-only write-ahead log giving a storage node
+// durability across restarts. Each record is
+//
+//	u32 length | u32 crc32(payload) | payload
+//
+// where payload is an encoded key+entry. Replay stops at the first torn or
+// corrupt record, which is the correct crash-recovery behaviour for an
+// append-only file.
+type WAL struct {
+	mu   sync.Mutex
+	f    *os.File
+	w    *bufio.Writer
+	path string
+}
+
+// OpenWAL opens (creating if needed) the log at path for appending.
+func OpenWAL(path string) (*WAL, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("kvstore: open wal: %w", err)
+	}
+	return &WAL{f: f, w: bufio.NewWriter(f), path: path}, nil
+}
+
+// Append durably records one key+entry. It buffers; call Sync for a hard
+// flush.
+func (w *WAL) Append(key []byte, e Entry) error {
+	payload := encodeEntry(nil, key, e)
+	var hdr [8]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(len(payload)))
+	binary.BigEndian.PutUint32(hdr[4:], crc32.ChecksumIEEE(payload))
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if _, err := w.w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("kvstore: wal append: %w", err)
+	}
+	if _, err := w.w.Write(payload); err != nil {
+		return fmt.Errorf("kvstore: wal append: %w", err)
+	}
+	return nil
+}
+
+// Sync flushes buffered records to the OS.
+func (w *WAL) Sync() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := w.w.Flush(); err != nil {
+		return err
+	}
+	return w.f.Sync()
+}
+
+// Close flushes and closes the file.
+func (w *WAL) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := w.w.Flush(); err != nil {
+		w.f.Close()
+		return err
+	}
+	return w.f.Close()
+}
+
+// ReplayWAL streams every intact record of the log at path into apply.
+// A missing file is not an error (fresh node).
+func ReplayWAL(path string, apply func(key []byte, e Entry)) error {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("kvstore: replay wal: %w", err)
+	}
+	defer f.Close()
+	r := bufio.NewReader(f)
+	for {
+		var hdr [8]byte
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			return nil // EOF or torn header: stop replay
+		}
+		n := binary.BigEndian.Uint32(hdr[:4])
+		want := binary.BigEndian.Uint32(hdr[4:])
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			return nil // torn record
+		}
+		if crc32.ChecksumIEEE(payload) != want {
+			return nil // corrupt record: stop replay
+		}
+		key, e, _, err := decodeEntry(payload)
+		if err != nil {
+			return nil
+		}
+		apply(key, e)
+	}
+}

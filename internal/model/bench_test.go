@@ -1,0 +1,92 @@
+package model
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func benchSystem(n int) *System {
+	rng := rand.New(rand.NewSource(1))
+	return randomSystem(rng, n)
+}
+
+func BenchmarkUniqueChunksDirect(b *testing.B) {
+	sys := benchSystem(50)
+	set := make([]int, 50)
+	for i := range set {
+		set[i] = i
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys.UniqueChunks(set)
+	}
+}
+
+func BenchmarkRingStateIncrementalAdd(b *testing.B) {
+	sys := benchSystem(50)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ring := NewRingState(sys)
+		for v := 0; v < 50; v++ {
+			ring.Add(v)
+		}
+	}
+}
+
+// BenchmarkGreedyDeltaAblation compares the O(K) incremental AddDelta
+// against recomputing the ring cost from scratch — the design choice that
+// makes the SMART greedy O(N²·M·K) instead of O(N³·M·K).
+func BenchmarkGreedyDeltaAblation(b *testing.B) {
+	sys := benchSystem(40)
+	ring := NewRingState(sys)
+	for v := 0; v < 20; v++ {
+		ring.Add(v)
+	}
+	members := ring.Members()
+	b.Run("incremental", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ring.AddDelta(25)
+		}
+	})
+	b.Run("recompute", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			with := append(append([]int{}, members...), 25)
+			_ = sys.RingCost(with) - sys.RingCost(members)
+		}
+	})
+}
+
+// BenchmarkLogSpaceAblation compares the numerically-stable Expm1/Log1p
+// evaluation against the naive product form, and reports the naive form's
+// relative error on a large-pool instance (where it collapses to zero
+// precision).
+func BenchmarkLogSpaceAblation(b *testing.B) {
+	sys := &System{
+		PoolSizes: []float64{1e12},
+		Sources:   []Source{{ID: 0, Rate: 100, Probs: []float64{1}}},
+		T:         10,
+		Gamma:     1,
+	}
+	set := []int{0}
+	naive := func() float64 {
+		src := sys.Sources[0]
+		g := math.Pow(1-src.Probs[0]/sys.PoolSizes[0], src.Rate*sys.T)
+		return sys.PoolSizes[0] * (1 - g)
+	}
+	b.Run("stable", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sys.UniqueChunks(set)
+		}
+	})
+	b.Run("naive", func(b *testing.B) {
+		var got float64
+		for i := 0; i < b.N; i++ {
+			got = naive()
+		}
+		want := sys.UniqueChunks(set)
+		if want > 0 {
+			b.ReportMetric(math.Abs(got-want)/want*100, "rel-err-%")
+		}
+	})
+}

@@ -1,0 +1,388 @@
+package model
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// twoPoolSystem builds a small two-source system used across tests.
+func twoPoolSystem() *System {
+	return &System{
+		PoolSizes: []float64{1000, 500},
+		Sources: []Source{
+			{ID: 0, Rate: 10, Probs: []float64{0.6, 0.4}},
+			{ID: 1, Rate: 20, Probs: []float64{0.5, 0.3}},
+		},
+		T:     100,
+		Gamma: 1,
+		Alpha: 0.1,
+		NetCost: [][]float64{
+			{0, 2},
+			{2, 0},
+		},
+	}
+}
+
+func TestValidateAcceptsGoodSystem(t *testing.T) {
+	if err := twoPoolSystem().Validate(); err != nil {
+		t.Fatalf("Validate() = %v, want nil", err)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	tests := []struct {
+		name   string
+		mutate func(*System)
+	}{
+		{"no sources", func(s *System) { s.Sources = nil }},
+		{"zero window", func(s *System) { s.T = 0 }},
+		{"negative gamma", func(s *System) { s.Gamma = -1 }},
+		{"negative alpha", func(s *System) { s.Alpha = -0.5 }},
+		{"zero pool", func(s *System) { s.PoolSizes[0] = 0 }},
+		{"negative rate", func(s *System) { s.Sources[0].Rate = -3 }},
+		{"probs length mismatch", func(s *System) { s.Sources[0].Probs = []float64{1} }},
+		{"prob above one", func(s *System) { s.Sources[0].Probs[0] = 1.5 }},
+		{"prob below zero", func(s *System) { s.Sources[0].Probs[0] = -0.1 }},
+		{"probs sum above one", func(s *System) {
+			s.Sources[0].Probs = []float64{0.9, 0.9}
+		}},
+		{"duplicate IDs", func(s *System) { s.Sources[1].ID = 0 }},
+		{"ID outside matrix", func(s *System) { s.Sources[1].ID = 7 }},
+		{"ragged matrix", func(s *System) { s.NetCost[0] = []float64{0} }},
+		{"negative cost", func(s *System) { s.NetCost[0][1] = -1 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			sys := twoPoolSystem()
+			tt.mutate(sys)
+			if err := sys.Validate(); err == nil {
+				t.Fatalf("Validate() accepted invalid system")
+			}
+		})
+	}
+}
+
+func TestValidateNilSystem(t *testing.T) {
+	var sys *System
+	if err := sys.Validate(); err == nil {
+		t.Fatal("Validate() accepted nil system")
+	}
+}
+
+// TestUniqueChunksSingleSourceClosedForm checks the direct Theorem 1
+// expectation for one source against an independent computation.
+func TestUniqueChunksSingleSourceClosedForm(t *testing.T) {
+	sys := twoPoolSystem()
+	got := sys.UniqueChunks([]int{0})
+
+	src := sys.Sources[0]
+	want := 0.0
+	for k, s := range sys.PoolSizes {
+		g := math.Pow(1-src.Probs[k]/s, src.Rate*sys.T)
+		want += s * (1 - g)
+	}
+	if math.Abs(got-want) > 1e-9*want {
+		t.Fatalf("UniqueChunks = %v, want %v", got, want)
+	}
+}
+
+// TestUniqueChunksMonteCarlo validates Theorem 1 against a direct
+// simulation of the generative process.
+func TestUniqueChunksMonteCarlo(t *testing.T) {
+	sys := &System{
+		PoolSizes: []float64{200, 100},
+		Sources: []Source{
+			{ID: 0, Rate: 3, Probs: []float64{0.7, 0.3}},
+			{ID: 1, Rate: 5, Probs: []float64{0.2, 0.8}},
+		},
+		T:     50,
+		Gamma: 1,
+	}
+	want := sys.UniqueChunks([]int{0, 1})
+
+	rng := rand.New(rand.NewSource(42))
+	const trials = 400
+	total := 0.0
+	for trial := 0; trial < trials; trial++ {
+		seen := make(map[[2]int]bool)
+		for _, src := range sys.Sources {
+			n := int(src.Rate * sys.T)
+			for c := 0; c < n; c++ {
+				u := rng.Float64()
+				pool := -1
+				acc := 0.0
+				for k, p := range src.Probs {
+					acc += p
+					if u < acc {
+						pool = k
+						break
+					}
+				}
+				if pool < 0 {
+					continue // unique-noise mass (none here)
+				}
+				chunk := rng.Intn(int(sys.PoolSizes[pool]))
+				seen[[2]int{pool, chunk}] = true
+			}
+		}
+		total += float64(len(seen))
+	}
+	got := total / trials
+	if math.Abs(got-want)/want > 0.02 {
+		t.Fatalf("Monte Carlo unique chunks = %v, model says %v (>2%% apart)", got, want)
+	}
+}
+
+func TestDedupRatioEdgeCases(t *testing.T) {
+	sys := twoPoolSystem()
+	if got := sys.DedupRatio(nil); got != 1 {
+		t.Errorf("DedupRatio(empty) = %v, want 1", got)
+	}
+	if got := sys.DedupRatio([]int{0}); got < 1 {
+		t.Errorf("DedupRatio(single) = %v, want >= 1", got)
+	}
+}
+
+// TestDedupRatioImprovesWithCorrelatedSources checks that clustering two
+// identical-distribution sources yields a strictly better ratio than each
+// alone, while independent pools do not help.
+func TestDedupRatioImprovesWithCorrelatedSources(t *testing.T) {
+	sys := &System{
+		PoolSizes: []float64{100, 100},
+		Sources: []Source{
+			{ID: 0, Rate: 10, Probs: []float64{1, 0}},
+			{ID: 1, Rate: 10, Probs: []float64{1, 0}},
+			{ID: 2, Rate: 10, Probs: []float64{0, 1}},
+		},
+		T:     100,
+		Gamma: 1,
+	}
+	solo := sys.DedupRatio([]int{0})
+	pair := sys.DedupRatio([]int{0, 1})
+	if pair <= solo {
+		t.Errorf("correlated pair ratio %v not better than solo %v", pair, solo)
+	}
+	// Sources 0 and 2 share nothing: the combined unique chunks must be
+	// (nearly) the sum of individual unique chunks.
+	sum := sys.UniqueChunks([]int{0}) + sys.UniqueChunks([]int{2})
+	joint := sys.UniqueChunks([]int{0, 2})
+	if math.Abs(sum-joint) > 1e-9*sum {
+		t.Errorf("disjoint-pool union = %v, want %v", joint, sum)
+	}
+}
+
+func TestNetworkCostProperties(t *testing.T) {
+	sys := twoPoolSystem()
+	if got := sys.NetworkCost([]int{0}); got != 0 {
+		t.Errorf("NetworkCost(singleton) = %v, want 0", got)
+	}
+	// γ = ring size → every lookup is local.
+	sys.Gamma = 2
+	if got := sys.NetworkCost([]int{0, 1}); got != 0 {
+		t.Errorf("NetworkCost with γ=|P| = %v, want 0", got)
+	}
+	// γ exceeding ring size must clamp, not go negative.
+	sys.Gamma = 5
+	if got := sys.NetworkCost([]int{0, 1}); got != 0 {
+		t.Errorf("NetworkCost with γ>|P| = %v, want 0", got)
+	}
+	sys.Gamma = 1
+	// Hand-computed: remote = 1-1/2 = 0.5, each of the two members pays
+	// R_i·T·0.5·ν/1.
+	want := 10*100*0.5*2.0 + 20*100*0.5*2.0
+	if got := sys.NetworkCost([]int{0, 1}); math.Abs(got-want) > 1e-9 {
+		t.Errorf("NetworkCost = %v, want %v", got, want)
+	}
+}
+
+func TestCostAggregatesRings(t *testing.T) {
+	sys := twoPoolSystem()
+	c := sys.Cost([][]int{{0}, {1}, {}})
+	wantStorage := sys.UniqueChunks([]int{0}) + sys.UniqueChunks([]int{1})
+	if math.Abs(c.Storage-wantStorage) > 1e-9 {
+		t.Errorf("Storage = %v, want %v", c.Storage, wantStorage)
+	}
+	if c.Network != 0 {
+		t.Errorf("Network = %v, want 0 for singleton rings", c.Network)
+	}
+	if math.Abs(c.Aggregate-(c.Storage+sys.Alpha*c.Network)) > 1e-9 {
+		t.Errorf("Aggregate = %v, want Storage+α·Network", c.Aggregate)
+	}
+}
+
+func TestValidatePartition(t *testing.T) {
+	sys := twoPoolSystem()
+	if err := sys.ValidatePartition([][]int{{0}, {1}}); err != nil {
+		t.Errorf("valid partition rejected: %v", err)
+	}
+	if err := sys.ValidatePartition([][]int{{0}}); err == nil {
+		t.Error("partition missing a source accepted")
+	}
+	if err := sys.ValidatePartition([][]int{{0, 1}, {1}}); err == nil {
+		t.Error("overlapping partition accepted")
+	}
+	if err := sys.ValidatePartition([][]int{{0, 5}}); err == nil {
+		t.Error("out-of-range index accepted")
+	}
+}
+
+// TestLogSpaceStability exercises pool sizes and windows where the naive
+// product would underflow to 0 and the naive power would round to 1.
+func TestLogSpaceStability(t *testing.T) {
+	sys := &System{
+		PoolSizes: []float64{1e9},
+		Sources: []Source{
+			{ID: 0, Rate: 1e6, Probs: []float64{1}},
+		},
+		T:     1e4,
+		Gamma: 1,
+	}
+	// R·T = 1e10 draws over a pool of 1e9: essentially all chunks seen.
+	u := sys.UniqueChunks([]int{0})
+	if u < 0.99e9 || u > 1e9 {
+		t.Fatalf("UniqueChunks = %v, want ≈ 1e9 (pool exhausted)", u)
+	}
+
+	// Tiny draw probability: naive (1-p/s)^RT is fine, but make sure the
+	// log-space result matches expectation u ≈ R·T for RT << s.
+	sys2 := &System{
+		PoolSizes: []float64{1e15},
+		Sources:   []Source{{ID: 0, Rate: 10, Probs: []float64{1}}},
+		T:         10,
+		Gamma:     1,
+	}
+	u2 := sys2.UniqueChunks([]int{0})
+	if math.Abs(u2-100) > 0.01 {
+		t.Fatalf("UniqueChunks tiny-draw = %v, want ≈ 100", u2)
+	}
+}
+
+func TestUniqueProbContributesLinearly(t *testing.T) {
+	sys := &System{
+		PoolSizes: []float64{100},
+		Sources: []Source{
+			{ID: 0, Rate: 10, Probs: []float64{0.5}}, // deficit 0.5 → unique
+		},
+		T:     10,
+		Gamma: 1,
+	}
+	u := sys.UniqueChunks([]int{0})
+	// 50 unique-noise chunks plus pool expectation.
+	pool := 100 * (1 - math.Pow(1-0.5/100, 100))
+	if math.Abs(u-(50+pool)) > 1e-9 {
+		t.Fatalf("UniqueChunks = %v, want %v", u, 50+pool)
+	}
+}
+
+// randomSystem builds a randomized but valid system for property tests.
+func randomSystem(rng *rand.Rand, n int) *System {
+	k := 1 + rng.Intn(4)
+	pools := make([]float64, k)
+	for i := range pools {
+		pools[i] = 100 + rng.Float64()*10000
+	}
+	cost := make([][]float64, n)
+	for i := range cost {
+		cost[i] = make([]float64, n)
+		for j := range cost[i] {
+			if i != j {
+				cost[i][j] = rng.Float64() * 10
+			}
+		}
+	}
+	srcs := make([]Source, n)
+	for i := range srcs {
+		probs := make([]float64, k)
+		rem := 1.0
+		for p := range probs {
+			probs[p] = rem * rng.Float64()
+			rem -= probs[p]
+		}
+		srcs[i] = Source{ID: i, Rate: 1 + rng.Float64()*50, Probs: probs}
+	}
+	return &System{
+		PoolSizes: pools,
+		Sources:   srcs,
+		T:         1 + rng.Float64()*100,
+		Gamma:     float64(1 + rng.Intn(3)),
+		Alpha:     rng.Float64(),
+		NetCost:   cost,
+	}
+}
+
+// TestPropertyUniqueChunksSubadditive: merging two rings never stores more
+// than the two rings separately, and never less than the larger of the two.
+func TestPropertyUniqueChunksSubadditive(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 4 + r.Intn(6)
+		sys := randomSystem(r, n)
+		cut := 1 + r.Intn(n-1)
+		a := make([]int, 0, cut)
+		b := make([]int, 0, n-cut)
+		for i := 0; i < n; i++ {
+			if i < cut {
+				a = append(a, i)
+			} else {
+				b = append(b, i)
+			}
+		}
+		all := append(append([]int{}, a...), b...)
+		ua, ub, uall := sys.UniqueChunks(a), sys.UniqueChunks(b), sys.UniqueChunks(all)
+		return uall <= ua+ub+1e-6 && uall >= math.Max(ua, ub)-1e-6
+	}
+	cfg := &quick.Config{MaxCount: 60, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyDedupRatioAtLeastOne: Ω ≥ 1 always.
+func TestPropertyDedupRatioAtLeastOne(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(8)
+		sys := randomSystem(r, n)
+		set := make([]int, 0, n)
+		for i := 0; i < n; i++ {
+			if r.Intn(2) == 0 {
+				set = append(set, i)
+			}
+		}
+		return sys.DedupRatio(set) >= 1-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyNetworkCostScalesWithAlphaFreeTerms: V is non-negative and
+// grows when every pairwise cost doubles.
+func TestPropertyNetworkCostMonotoneInCosts(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 3 + r.Intn(6)
+		sys := randomSystem(r, n)
+		set := make([]int, n)
+		for i := range set {
+			set[i] = i
+		}
+		v1 := sys.NetworkCost(set)
+		if v1 < 0 {
+			return false
+		}
+		for i := range sys.NetCost {
+			for j := range sys.NetCost[i] {
+				sys.NetCost[i][j] *= 2
+			}
+		}
+		v2 := sys.NetworkCost(set)
+		return v2 >= v1-1e-9 && math.Abs(v2-2*v1) < 1e-6*(1+v1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

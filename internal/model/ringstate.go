@@ -1,0 +1,203 @@
+package model
+
+import "math"
+
+// RingState incrementally tracks the cost terms of one D2-ring so that
+// greedy partitioners can evaluate U(P ∪ {v}) + α·V(P ∪ {v}) in O(K + |P|)
+// instead of recomputing the whole ring in O(K·|P| + |P|²).
+//
+// A RingState is bound to the System it was created from and must not be
+// used after the System's sources, pools or cost matrix change.
+type RingState struct {
+	sys     *System
+	members []int // indices into sys.Sources
+
+	// logMissSum[k] = Σ_{i∈P} log g_ik.
+	logMissSum []float64
+	// uniquePrivate = Σ_{i∈P} uniqueProb_i·R_i·T.
+	uniquePrivate float64
+	// pairSum = Σ_{i∈P} R_i·T · Σ_{j∈P, j≠i} ν_ij.
+	pairSum float64
+	// rateT = Σ R_i·T, cached for dedup-ratio queries.
+	rateT float64
+}
+
+// NewRingState returns an empty ring bound to sys.
+func NewRingState(sys *System) *RingState {
+	return &RingState{
+		sys:        sys,
+		logMissSum: make([]float64, len(sys.PoolSizes)),
+	}
+}
+
+// Len returns the number of member sources.
+func (r *RingState) Len() int { return len(r.members) }
+
+// Members returns a copy of the member index list.
+func (r *RingState) Members() []int {
+	out := make([]int, len(r.members))
+	copy(out, r.members)
+	return out
+}
+
+// Clone returns an independent copy of the ring state.
+func (r *RingState) Clone() *RingState {
+	c := &RingState{
+		sys:           r.sys,
+		members:       append([]int(nil), r.members...),
+		logMissSum:    append([]float64(nil), r.logMissSum...),
+		uniquePrivate: r.uniquePrivate,
+		pairSum:       r.pairSum,
+		rateT:         r.rateT,
+	}
+	return c
+}
+
+// Storage returns U(P) for the current membership.
+func (r *RingState) Storage() float64 {
+	u := r.uniquePrivate
+	for k, ls := range r.logMissSum {
+		u += r.sys.PoolSizes[k] * (-math.Expm1(ls))
+	}
+	return u
+}
+
+// Network returns V(P) for the current membership.
+func (r *RingState) Network() float64 {
+	n := len(r.members)
+	if n < 2 {
+		return 0
+	}
+	remote := r.sys.remoteFraction(n)
+	if remote == 0 {
+		return 0
+	}
+	return remote * r.pairSum / float64(n-1)
+}
+
+// Cost returns U(P) + α·V(P).
+func (r *RingState) Cost() float64 {
+	return r.Storage() + r.sys.Alpha*r.Network()
+}
+
+// DedupRatio returns Ω(P) of the current membership (1 when empty).
+func (r *RingState) DedupRatio() float64 {
+	if len(r.members) == 0 {
+		return 1
+	}
+	u := r.Storage()
+	if u <= 0 {
+		return 1
+	}
+	return r.rateT / u
+}
+
+// AddDelta returns Cost(P ∪ {idx}) - Cost(P) without mutating the ring.
+func (r *RingState) AddDelta(idx int) float64 {
+	dU, dV := r.DeltaParts(idx)
+	return dU + r.sys.Alpha*dV
+}
+
+// DeltaParts returns the separate storage and network cost increments of
+// adding source idx, without mutating the ring. Partition variants that
+// ignore one term (the paper's Network-only and Dedup-only baselines)
+// combine these with their own weights.
+func (r *RingState) DeltaParts(idx int) (dStorage, dNetwork float64) {
+	u, v := r.costPartsWith(idx)
+	return u - r.Storage(), v - r.Network()
+}
+
+// costPartsWith returns U(P ∪ {idx}) and V(P ∪ {idx}) without mutating
+// the ring.
+func (r *RingState) costPartsWith(idx int) (u, v float64) {
+	sys := r.sys
+	src := sys.Sources[idx]
+
+	u = r.uniquePrivate + src.UniqueProb()*src.Rate*sys.T
+	for k, ls := range r.logMissSum {
+		u += sys.PoolSizes[k] * (-math.Expm1(ls + sys.logMiss(src, k)))
+	}
+
+	n := len(r.members) + 1
+	if n >= 2 && sys.NetCost != nil {
+		pair := r.pairSum
+		for _, j := range r.members {
+			peer := sys.Sources[j]
+			pair += src.Rate*sys.T*sys.NetCost[src.ID][peer.ID] +
+				peer.Rate*sys.T*sys.NetCost[peer.ID][src.ID]
+		}
+		if remote := sys.remoteFraction(n); remote > 0 {
+			v = remote * pair / float64(n-1)
+		}
+	}
+	return u, v
+}
+
+// Add places source idx into the ring.
+func (r *RingState) Add(idx int) {
+	sys := r.sys
+	src := sys.Sources[idx]
+	for k := range r.logMissSum {
+		r.logMissSum[k] += sys.logMiss(src, k)
+	}
+	r.uniquePrivate += src.UniqueProb() * src.Rate * sys.T
+	if sys.NetCost != nil {
+		for _, j := range r.members {
+			peer := sys.Sources[j]
+			r.pairSum += src.Rate*sys.T*sys.NetCost[src.ID][peer.ID] +
+				peer.Rate*sys.T*sys.NetCost[peer.ID][src.ID]
+		}
+	}
+	r.rateT += src.Rate * sys.T
+	r.members = append(r.members, idx)
+}
+
+// Remove takes source idx out of the ring. It reports whether the source
+// was a member. Removal inverts the incremental sums exactly (they are
+// plain additions), so long move sequences stay numerically consistent.
+func (r *RingState) Remove(idx int) bool {
+	pos := -1
+	for i, m := range r.members {
+		if m == idx {
+			pos = i
+			break
+		}
+	}
+	if pos < 0 {
+		return false
+	}
+	sys := r.sys
+	src := sys.Sources[idx]
+	r.members[pos] = r.members[len(r.members)-1]
+	r.members = r.members[:len(r.members)-1]
+	for k := range r.logMissSum {
+		r.logMissSum[k] -= sys.logMiss(src, k)
+	}
+	r.uniquePrivate -= src.UniqueProb() * src.Rate * sys.T
+	if sys.NetCost != nil {
+		for _, j := range r.members {
+			peer := sys.Sources[j]
+			r.pairSum -= src.Rate*sys.T*sys.NetCost[src.ID][peer.ID] +
+				peer.Rate*sys.T*sys.NetCost[peer.ID][src.ID]
+		}
+	}
+	r.rateT -= src.Rate * sys.T
+	if len(r.members) == 0 {
+		// Snap accumulated floating error back to a clean empty state.
+		for k := range r.logMissSum {
+			r.logMissSum[k] = 0
+		}
+		r.uniquePrivate, r.pairSum, r.rateT = 0, 0, 0
+	}
+	return true
+}
+
+// Merge returns a new ring state representing the union of r and other.
+// Both inputs are left unchanged. Membership must be disjoint.
+func (r *RingState) Merge(other *RingState) *RingState {
+	m := r.Clone()
+	for _, idx := range other.members {
+		m.Add(idx)
+	}
+	return m
+}

@@ -1,0 +1,113 @@
+package model
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestRingStateMatchesDirectEvaluation grows a ring node by node and checks
+// every incremental quantity against the direct System computations.
+func TestRingStateMatchesDirectEvaluation(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	sys := randomSystem(rng, 8)
+	ring := NewRingState(sys)
+	var set []int
+	for i := 0; i < 8; i++ {
+		// AddDelta must equal cost(set+{i}) - cost(set).
+		before := sys.RingCost(set)
+		after := sys.RingCost(append(append([]int{}, set...), i))
+		delta := ring.AddDelta(i)
+		if math.Abs(delta-(after-before)) > 1e-6*(1+math.Abs(after)) {
+			t.Fatalf("step %d: AddDelta = %v, want %v", i, delta, after-before)
+		}
+		ring.Add(i)
+		set = append(set, i)
+
+		if got, want := ring.Storage(), sys.UniqueChunks(set); math.Abs(got-want) > 1e-6*(1+want) {
+			t.Fatalf("step %d: Storage = %v, want %v", i, got, want)
+		}
+		if got, want := ring.Network(), sys.NetworkCost(set); math.Abs(got-want) > 1e-6*(1+want) {
+			t.Fatalf("step %d: Network = %v, want %v", i, got, want)
+		}
+		if got, want := ring.DedupRatio(), sys.DedupRatio(set); math.Abs(got-want) > 1e-9*(1+want) {
+			t.Fatalf("step %d: DedupRatio = %v, want %v", i, got, want)
+		}
+		if ring.Len() != len(set) {
+			t.Fatalf("step %d: Len = %d, want %d", i, ring.Len(), len(set))
+		}
+	}
+}
+
+func TestRingStateCloneIsIndependent(t *testing.T) {
+	sys := twoPoolSystem()
+	ring := NewRingState(sys)
+	ring.Add(0)
+	clone := ring.Clone()
+	clone.Add(1)
+	if ring.Len() != 1 {
+		t.Fatalf("original ring mutated by clone: Len = %d", ring.Len())
+	}
+	if clone.Len() != 2 {
+		t.Fatalf("clone Len = %d, want 2", clone.Len())
+	}
+	if got, want := ring.Storage(), sys.UniqueChunks([]int{0}); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("original Storage changed: %v want %v", got, want)
+	}
+}
+
+func TestRingStateMergeEqualsUnion(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	sys := randomSystem(rng, 6)
+	a, b := NewRingState(sys), NewRingState(sys)
+	for i := 0; i < 3; i++ {
+		a.Add(i)
+	}
+	for i := 3; i < 6; i++ {
+		b.Add(i)
+	}
+	m := a.Merge(b)
+	union := []int{0, 1, 2, 3, 4, 5}
+	if got, want := m.Cost(), sys.RingCost(union); math.Abs(got-want) > 1e-6*(1+want) {
+		t.Fatalf("Merge cost = %v, want %v", got, want)
+	}
+	// Merge must not mutate inputs.
+	if a.Len() != 3 || b.Len() != 3 {
+		t.Fatalf("Merge mutated inputs: %d, %d", a.Len(), b.Len())
+	}
+}
+
+func TestRingStateMembersCopy(t *testing.T) {
+	sys := twoPoolSystem()
+	ring := NewRingState(sys)
+	ring.Add(0)
+	mem := ring.Members()
+	mem[0] = 99
+	if ring.Members()[0] != 0 {
+		t.Fatal("Members() exposed internal slice")
+	}
+}
+
+// TestPropertyRingStateConsistency fuzzes random add sequences.
+func TestPropertyRingStateConsistency(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 3 + r.Intn(7)
+		sys := randomSystem(r, n)
+		ring := NewRingState(sys)
+		perm := r.Perm(n)
+		take := 1 + r.Intn(n)
+		var set []int
+		for _, idx := range perm[:take] {
+			ring.Add(idx)
+			set = append(set, idx)
+		}
+		want := sys.RingCost(set)
+		got := ring.Cost()
+		return math.Abs(got-want) <= 1e-6*(1+math.Abs(want))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,103 @@
+package partition
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"efdedup/internal/model"
+)
+
+func benchSystem(b *testing.B, n int) *model.System {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	return structuredSystem(rng, n, 10, 5, 0.1)
+}
+
+// BenchmarkSolvers times every SNOD2 solver on the same instance and
+// reports its solution quality relative to the SMART portfolio — the
+// speed/quality ablation behind choosing Portfolio as the default.
+func BenchmarkSolvers(b *testing.B) {
+	sys := benchSystem(b, 40)
+	const m = 8
+	_, ref, err := Evaluate(Portfolio{}, sys, m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	solvers := []Algorithm{
+		SmartGreedy{},
+		SmartSequential{},
+		EqualSize{},
+		Matching{},
+		Refined{Base: SmartGreedy{}},
+		Portfolio{},
+		RandomBalanced{Seed: 1},
+	}
+	for _, s := range solvers {
+		b.Run(s.Name(), func(b *testing.B) {
+			var cost model.PartitionCost
+			for i := 0; i < b.N; i++ {
+				_, cost, err = Evaluate(s, sys, m)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(cost.Aggregate/ref.Aggregate, "x-vs-portfolio")
+		})
+	}
+}
+
+// BenchmarkSmartGreedyScale measures the greedy's O(N²M) growth.
+func BenchmarkSmartGreedyScale(b *testing.B) {
+	for _, n := range []int{20, 60, 120} {
+		sys := benchSystem(b, n)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := (SmartGreedy{}).Partition(sys, 10); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkMatchingTheta sweeps the matcher's θ: larger θ merges more per
+// round (fewer rounds, coarser choices).
+func BenchmarkMatchingTheta(b *testing.B) {
+	sys := benchSystem(b, 40)
+	for _, theta := range []float64{0.25, 0.5, 0.9} {
+		b.Run(fmt.Sprintf("theta=%.2f", theta), func(b *testing.B) {
+			var cost model.PartitionCost
+			for i := 0; i < b.N; i++ {
+				var err error
+				_, cost, err = Evaluate(Matching{Theta: theta}, sys, 8)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(cost.Aggregate, "aggregate")
+		})
+	}
+}
+
+// BenchmarkGammaAblation sweeps the replication factor γ in the cost
+// model: higher γ keeps more lookups local (lower V) at higher storage
+// fan-out in the real store.
+func BenchmarkGammaAblation(b *testing.B) {
+	for _, gamma := range []float64{1, 2, 3} {
+		rng := rand.New(rand.NewSource(1))
+		sys := structuredSystem(rng, 40, 10, 5, 0.1)
+		sys.Gamma = gamma
+		b.Run(fmt.Sprintf("gamma=%.0f", gamma), func(b *testing.B) {
+			var cost model.PartitionCost
+			for i := 0; i < b.N; i++ {
+				var err error
+				_, cost, err = Evaluate(SmartGreedy{}, sys, 8)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(cost.Network, "V")
+		})
+	}
+}

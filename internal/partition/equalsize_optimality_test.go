@@ -1,0 +1,191 @@
+package partition
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"efdedup/internal/model"
+)
+
+// equalPartitions enumerates all partitions of n elements into m groups of
+// exactly n/m, up to group order.
+func equalPartitions(n, m int) [][][]int {
+	size := n / m
+	var out [][][]int
+	items := make([]int, n)
+	for i := range items {
+		items[i] = i
+	}
+	var recurse func(remaining []int, acc [][]int)
+	recurse = func(remaining []int, acc [][]int) {
+		if len(remaining) == 0 {
+			cp := make([][]int, len(acc))
+			for i, g := range acc {
+				cp[i] = append([]int(nil), g...)
+			}
+			out = append(out, cp)
+			return
+		}
+		// Anchor the smallest remaining element to kill group-order
+		// symmetry, then choose its size-1 companions.
+		first := remaining[0]
+		rest := remaining[1:]
+		var choose func(start, k int, picked []int)
+		choose = func(start, k int, picked []int) {
+			if k == 0 {
+				group := append([]int{first}, picked...)
+				var next []int
+				used := make(map[int]bool, len(group))
+				for _, g := range group {
+					used[g] = true
+				}
+				for _, r := range rest {
+					if !used[r] {
+						next = append(next, r)
+					}
+				}
+				recurse(next, append(acc, group))
+				return
+			}
+			for i := start; i <= len(rest)-k; i++ {
+				picked = append(picked, rest[i])
+				choose(i+1, k-1, picked)
+				picked = picked[:len(picked)-1]
+			}
+		}
+		choose(0, size-1, nil)
+	}
+	recurse(items, nil)
+	return out
+}
+
+// twoPoolRandomSystem builds a random K=2 system (the regime where the
+// paper claims the equal-size greedy is optimal).
+func twoPoolRandomSystem(rng *rand.Rand, n int) *model.System {
+	cost := make([][]float64, n)
+	for i := range cost {
+		cost[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			c := rng.Float64() * 10
+			cost[i][j], cost[j][i] = c, c
+		}
+	}
+	srcs := make([]model.Source, n)
+	for i := range srcs {
+		p := rng.Float64() * 0.9
+		srcs[i] = model.Source{ID: i, Rate: 5 + rng.Float64()*20, Probs: []float64{p, 0.9 - p}}
+	}
+	return &model.System{
+		PoolSizes: []float64{800 + rng.Float64()*800, 800 + rng.Float64()*800},
+		Sources:   srcs,
+		T:         20,
+		Gamma:     1,
+		Alpha:     rng.Float64() * 0.2,
+		NetCost:   cost,
+	}
+}
+
+// TestEqualSizeNearOptimalForTwoPools probes the paper's Sec. III claim
+// that the equal-size greedy is "proven optimal when K = 2", by exhaustive
+// comparison on small instances.
+//
+// Reproduction finding: the claim does NOT hold for arbitrary K=2
+// instances — with random rates the literal greedy lands within a few
+// percent of the enumerated optimum but misses it, both with and without
+// network costs, so the paper's proof must rest on additional unstated
+// assumptions (e.g. identical rates). What we can assert, and do here, is
+// the empirical bound: within 6% of optimal at α=0 and within 12% in
+// general on these instances, with the local-search polish never making
+// things worse. EXPERIMENTS.md records this deviation.
+func TestEqualSizeNearOptimalForTwoPools(t *testing.T) {
+	const n, m = 6, 2
+	parts := equalPartitions(n, m)
+
+	optimum := func(sys *model.System) float64 {
+		best := math.Inf(1)
+		for _, p := range parts {
+			if c := sys.Cost(p).Aggregate; c < best {
+				best = c
+			}
+		}
+		return best
+	}
+
+	// Regime A: storage-only (α=0), where the paper's optimality proof
+	// plausibly lives. The greedy must be essentially exact.
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 8; trial++ {
+		sys := twoPoolRandomSystem(rng, n)
+		sys.Alpha = 0
+		best := optimum(sys)
+		_, greedy, err := Evaluate(EqualSize{}, sys, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if greedy.Aggregate < best-1e-6 {
+			t.Fatalf("greedy beat exhaustive optimum: enumeration is wrong")
+		}
+		if greedy.Aggregate > best*1.06 {
+			t.Errorf("α=0 trial %d: greedy %.2f vs optimum %.2f (>6%% gap)",
+				trial, greedy.Aggregate, best)
+		}
+	}
+
+	// Regime B: general K=2 with network costs. Bounded gap; local search
+	// recovers most of it.
+	var worstGreedy, worstRefined float64 = 1, 1
+	for trial := 0; trial < 8; trial++ {
+		sys := twoPoolRandomSystem(rng, n)
+		best := optimum(sys)
+		_, greedy, err := Evaluate(EqualSize{}, sys, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, refined, err := Evaluate(Refined{Base: EqualSize{}}, sys, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Note: Refined may legally beat the equal-size optimum by using
+		// unequal rings; clamp ratios at 1 for the gap statistic.
+		if r := greedy.Aggregate / best; r > worstGreedy {
+			worstGreedy = r
+		}
+		if r := refined.Aggregate / best; r > worstRefined {
+			worstRefined = r
+		}
+	}
+	if worstGreedy > 1.12 {
+		t.Errorf("general K=2: greedy gap %.3f, want <= 1.12", worstGreedy)
+	}
+	if worstRefined > worstGreedy+1e-9 {
+		t.Errorf("local search worsened the gap: %.3f vs %.3f", worstRefined, worstGreedy)
+	}
+}
+
+func TestEqualPartitionsEnumeration(t *testing.T) {
+	// 6 elements into 2 groups of 3: C(5,2) = 10 partitions.
+	parts := equalPartitions(6, 2)
+	if len(parts) != 10 {
+		t.Fatalf("enumerated %d partitions, want 10", len(parts))
+	}
+	for _, p := range parts {
+		seen := map[int]bool{}
+		for _, g := range p {
+			if len(g) != 3 {
+				t.Fatalf("group size %d, want 3", len(g))
+			}
+			for _, v := range g {
+				if seen[v] {
+					t.Fatal("duplicate element across groups")
+				}
+				seen[v] = true
+			}
+		}
+		if len(seen) != 6 {
+			t.Fatal("partition does not cover all elements")
+		}
+	}
+}

@@ -1,0 +1,109 @@
+package partition
+
+import (
+	"testing"
+
+	"efdedup/internal/model"
+)
+
+// figure1System encodes the paper's Fig. 1 scenario: five edge nodes in
+// two edge clouds ({1,2,3} and {4,5}, 0-indexed {0,1,2} and {3,4}), where
+// content similarity crosses the clouds — nodes {0,2,4} share one chunk
+// pool and {1,3} another. Partitioning by content alone maximizes dedup
+// but pays the expensive inter-cloud link; partitioning by cloud alone
+// wastes storage.
+func figure1System(alpha float64) *model.System {
+	const cheap, expensive = 1.0, 30.0
+	site := []int{0, 0, 0, 1, 1}
+	n := 5
+	cost := make([][]float64, n)
+	for i := range cost {
+		cost[i] = make([]float64, n)
+		for j := range cost[i] {
+			if i == j {
+				continue
+			}
+			if site[i] == site[j] {
+				cost[i][j] = cheap
+			} else {
+				cost[i][j] = expensive
+			}
+		}
+	}
+	// Content groups {0,2,4} and {1,3}.
+	group := []int{0, 1, 0, 1, 0}
+	srcs := make([]model.Source, n)
+	for i := range srcs {
+		probs := make([]float64, 2)
+		probs[group[i]] = 0.9
+		srcs[i] = model.Source{ID: i, Rate: 50, Probs: probs}
+	}
+	return &model.System{
+		PoolSizes: []float64{600, 600},
+		Sources:   srcs,
+		T:         10,
+		Gamma:     1,
+		Alpha:     alpha,
+		NetCost:   cost,
+	}
+}
+
+// TestFigure1Tension reproduces the worked example of the paper's Fig. 1:
+// the storage-optimal and network-optimal partitions differ, and SMART
+// tracks the trade-off as α moves.
+func TestFigure1Tension(t *testing.T) {
+	// The two canonical partitions of the figure.
+	contentSplit := [][]int{{0, 2, 4}, {1, 3}} // "16 unique chunks", crosses clouds
+	cloudSplit := [][]int{{0, 1, 2}, {3, 4}}   // minimal network, "21 unique chunks"
+
+	sys := figure1System(0.1)
+	cContent := sys.Cost(contentSplit)
+	cCloud := sys.Cost(cloudSplit)
+
+	// The figure's premise: content split stores less but networks more.
+	if cContent.Storage >= cCloud.Storage {
+		t.Fatalf("content split stores %.0f >= cloud split %.0f — premise broken",
+			cContent.Storage, cCloud.Storage)
+	}
+	if cContent.Network <= cCloud.Network {
+		t.Fatalf("content split networks %.1f <= cloud split %.1f — premise broken",
+			cContent.Network, cCloud.Network)
+	}
+
+	// Storage-dominated regime: SMART must recover the content split.
+	rings, _, err := Evaluate(Portfolio{}, figure1System(0.0001), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameRing(rings, 0, 2) || !sameRing(rings, 0, 4) || !sameRing(rings, 1, 3) {
+		t.Errorf("α→0: got %v, want content grouping {0,2,4},{1,3}", rings)
+	}
+
+	// Network-dominated regime: SMART must not pay the inter-cloud link.
+	rings, cost, err := Evaluate(Portfolio{}, figure1System(100), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sysHi := figure1System(100)
+	if cost.Network > sysHi.Cost(cloudSplit).Network+1e-6 {
+		t.Errorf("α→∞: SMART pays network %.2f, cloud split pays %.2f: %v",
+			cost.Network, sysHi.Cost(cloudSplit).Network, rings)
+	}
+
+	// Middle regime: SMART's aggregate beats BOTH canonical extremes or
+	// matches the better one — the figure's "optimal partitioning must
+	// account for both" claim.
+	mid := figure1System(0.5)
+	_, smartCost, err := Evaluate(Portfolio{}, mid, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bestCanonical := mid.Cost(contentSplit).Aggregate
+	if c := mid.Cost(cloudSplit).Aggregate; c < bestCanonical {
+		bestCanonical = c
+	}
+	if smartCost.Aggregate > bestCanonical*1.001 {
+		t.Errorf("middle α: SMART %.1f worse than best canonical split %.1f",
+			smartCost.Aggregate, bestCanonical)
+	}
+}

@@ -1,0 +1,124 @@
+package partition
+
+import (
+	"math"
+	"sort"
+
+	"efdedup/internal/model"
+)
+
+// GroupPack is a coarse-grained SNOD2 seed: it clusters sources by their
+// dominant chunk pool (sources sharing a dominant pool are the ones whose
+// joint deduplication saves the most storage), then greedily packs whole
+// clusters into rings by minimum weighted cost increment.
+//
+// Packing at cluster granularity fixes the failure mode of node-level
+// greedy seeds on content-structured instances: a single-node local search
+// cannot discover that two whole clusters should swap rings, but the
+// packer chooses cluster combinations directly — trading storage
+// (clusters stay intact) against network cost (clusters placed with
+// low-latency companions). It is used as one of the Portfolio seeds and
+// is a useful standalone heuristic when K is moderate.
+type GroupPack struct {
+	// Obj defaults to FullObjective.
+	Obj Objective
+}
+
+var _ Algorithm = GroupPack{}
+
+// Name implements Algorithm.
+func (GroupPack) Name() string { return "group-pack" }
+
+// dominantPool returns the index of the source's largest probability, or
+// -1 for an all-zero vector.
+func dominantPool(src model.Source) int {
+	best, bestIdx := 0.0, -1
+	for k, p := range src.Probs {
+		if p > best {
+			best, bestIdx = p, k
+		}
+	}
+	return bestIdx
+}
+
+// Partition implements Algorithm.
+func (g GroupPack) Partition(sys *model.System, m int) ([][]int, error) {
+	m, err := validate(sys, m)
+	if err != nil {
+		return nil, err
+	}
+	obj := g.Obj
+	if obj == (Objective{}) {
+		obj = FullObjective
+	}
+
+	// Cluster sources by dominant pool; noise-only sources go solo.
+	clusters := make(map[int][]int)
+	var units [][]int
+	for i, src := range sys.Sources {
+		k := dominantPool(src)
+		if k < 0 {
+			units = append(units, []int{i})
+			continue
+		}
+		clusters[k] = append(clusters[k], i)
+	}
+	keys := make([]int, 0, len(clusters))
+	for k := range clusters {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	for _, k := range keys {
+		units = append(units, clusters[k])
+	}
+	// Place large units first: they constrain the solution most.
+	sort.SliceStable(units, func(i, j int) bool { return len(units[i]) > len(units[j]) })
+
+	rings := make([]*model.RingState, m)
+	for i := range rings {
+		rings[i] = model.NewRingState(sys)
+	}
+	// unitDelta evaluates the weighted cost increment of adding a whole
+	// unit to a ring.
+	unitDelta := func(ring *model.RingState, unit []int) float64 {
+		before := obj.StorageWeight*ring.Storage() + obj.NetworkWeight*sys.Alpha*ring.Network()
+		probe := ring.Clone()
+		for _, v := range unit {
+			probe.Add(v)
+		}
+		after := obj.StorageWeight*probe.Storage() + obj.NetworkWeight*sys.Alpha*probe.Network()
+		return after - before
+	}
+	remaining := units
+	for len(remaining) > 0 {
+		bestDelta := math.Inf(1)
+		bestUnit, bestRing := -1, -1
+		sawEmpty := false
+		for r, ring := range rings {
+			if ring.Len() == 0 {
+				if sawEmpty {
+					continue
+				}
+				sawEmpty = true
+			}
+			for u, unit := range remaining {
+				if d := unitDelta(rings[r], unit); d < bestDelta {
+					bestDelta, bestUnit, bestRing = d, u, r
+				}
+			}
+			_ = ring
+		}
+		for _, v := range remaining[bestUnit] {
+			rings[bestRing].Add(v)
+		}
+		remaining[bestUnit] = remaining[len(remaining)-1]
+		remaining = remaining[:len(remaining)-1]
+	}
+	out := make([][]int, 0, m)
+	for _, r := range rings {
+		if r.Len() > 0 {
+			out = append(out, r.Members())
+		}
+	}
+	return out, nil
+}

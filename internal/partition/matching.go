@@ -1,0 +1,105 @@
+package partition
+
+import (
+	"math"
+	"sort"
+
+	"efdedup/internal/model"
+)
+
+// Matching is the hierarchical minimum-weight-matching accelerator of
+// Sec. III-C: starting from singleton partitions, each round computes
+// pairwise merge weights, keeps the Theta fraction of cheapest disjoint
+// matches, and merges them — reducing the partition count geometrically
+// until at most m rings remain. Weight of a pair is the aggregate cost of
+// the merged ring, U(P_a ∪ P_b) + α·V(P_a ∪ P_b), as the paper defines.
+type Matching struct {
+	// Theta ∈ (0,1] is the fraction of candidate matches preserved per
+	// round; defaults to 0.5.
+	Theta float64
+}
+
+var _ Algorithm = Matching{}
+
+// Name implements Algorithm.
+func (Matching) Name() string { return "matching" }
+
+// Partition implements Algorithm.
+func (g Matching) Partition(sys *model.System, m int) ([][]int, error) {
+	m, err := validate(sys, m)
+	if err != nil {
+		return nil, err
+	}
+	theta := g.Theta
+	if theta <= 0 || theta > 1 {
+		theta = 0.5
+	}
+	parts := make([]*model.RingState, len(sys.Sources))
+	for i := range parts {
+		parts[i] = model.NewRingState(sys)
+		parts[i].Add(i)
+	}
+	for len(parts) > m {
+		type cand struct {
+			a, b   int
+			weight float64
+		}
+		cands := make([]cand, 0, len(parts)*(len(parts)-1)/2)
+		for a := 0; a < len(parts); a++ {
+			for b := a + 1; b < len(parts); b++ {
+				merged := parts[a].Merge(parts[b])
+				cands = append(cands, cand{a: a, b: b, weight: merged.Cost()})
+			}
+		}
+		sort.Slice(cands, func(i, j int) bool { return cands[i].weight < cands[j].weight })
+
+		// Keep at most θ·⌊P/2⌋ disjoint matches (at least one, and never
+		// past the target ring count).
+		limit := int(theta * float64(len(parts)/2))
+		if limit < 1 {
+			limit = 1
+		}
+		if over := len(parts) - m; limit > over {
+			limit = over
+		}
+		used := make([]bool, len(parts))
+		var merged []*model.RingState
+		taken := 0
+		for _, c := range cands {
+			if taken >= limit {
+				break
+			}
+			if used[c.a] || used[c.b] {
+				continue
+			}
+			used[c.a], used[c.b] = true, true
+			merged = append(merged, parts[c.a].Merge(parts[c.b]))
+			taken++
+		}
+		for i, p := range parts {
+			if !used[i] {
+				merged = append(merged, p)
+			}
+		}
+		parts = merged
+	}
+	out := make([][]int, len(parts))
+	for i, p := range parts {
+		out[i] = p.Members()
+	}
+	return out, nil
+}
+
+// MatchingRounds estimates the number of rounds the matcher needs for n
+// partitions reduced by factor (1-θ/2) per round down to m — the
+// o(log(N/M)) convergence claim of Sec. III-C, exposed for tests.
+func MatchingRounds(n, m int, theta float64) int {
+	if theta <= 0 || theta > 1 {
+		theta = 0.5
+	}
+	if n <= m {
+		return 0
+	}
+	shrink := 1 - theta/2
+	return int(math.Ceil(math.Log(float64(m)/float64(n)) / math.Log(shrink)))
+}

@@ -1,0 +1,554 @@
+package partition
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"efdedup/internal/model"
+)
+
+// fourNodeSystem builds the canonical tension of Fig. 1: two content
+// groups {0,2} and {1,3} (pool A vs pool B) crossing two sites {0,1} and
+// {2,3} with expensive inter-site links.
+func fourNodeSystem(alpha float64) *model.System {
+	cross := 100.0
+	local := 1.0
+	cost := [][]float64{
+		{0, local, cross, cross},
+		{local, 0, cross, cross},
+		{cross, cross, 0, local},
+		{cross, cross, local, 0},
+	}
+	return &model.System{
+		PoolSizes: []float64{2000, 2000},
+		Sources: []model.Source{
+			{ID: 0, Rate: 10, Probs: []float64{1, 0}},
+			{ID: 1, Rate: 10, Probs: []float64{0, 1}},
+			{ID: 2, Rate: 10, Probs: []float64{1, 0}},
+			{ID: 3, Rate: 10, Probs: []float64{0, 1}},
+		},
+		T:       100,
+		Gamma:   1,
+		Alpha:   alpha,
+		NetCost: cost,
+	}
+}
+
+// ringOf finds which ring contains v.
+func ringOf(rings [][]int, v int) int {
+	for i, r := range rings {
+		for _, x := range r {
+			if x == v {
+				return i
+			}
+		}
+	}
+	return -1
+}
+
+func sameRing(rings [][]int, a, b int) bool {
+	ra := ringOf(rings, a)
+	return ra >= 0 && ra == ringOf(rings, b)
+}
+
+func randomSystem(rng *rand.Rand, n int) *model.System {
+	k := 2 + rng.Intn(3)
+	pools := make([]float64, k)
+	for i := range pools {
+		pools[i] = 500 + rng.Float64()*5000
+	}
+	cost := make([][]float64, n)
+	for i := range cost {
+		cost[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			c := rng.Float64() * 20
+			cost[i][j], cost[j][i] = c, c
+		}
+	}
+	srcs := make([]model.Source, n)
+	for i := range srcs {
+		probs := make([]float64, k)
+		rem := 1.0
+		for p := range probs {
+			probs[p] = rem * rng.Float64()
+			rem -= probs[p]
+		}
+		srcs[i] = model.Source{ID: i, Rate: 1 + rng.Float64()*20, Probs: probs}
+	}
+	return &model.System{
+		PoolSizes: pools,
+		Sources:   srcs,
+		T:         10 + rng.Float64()*50,
+		Gamma:     1 + float64(rng.Intn(2)),
+		Alpha:     rng.Float64() * 0.5,
+		NetCost:   cost,
+	}
+}
+
+func allAlgorithms() []Algorithm {
+	return []Algorithm{
+		SmartGreedy{},
+		SmartSequential{},
+		EqualSize{},
+		Matching{},
+		SmartGreedy{Obj: NetworkOnlyObjective},
+		SmartGreedy{Obj: DedupOnlyObjective},
+		RandomBalanced{Seed: 42},
+		Portfolio{},
+		Refined{Base: SmartGreedy{}},
+	}
+}
+
+func TestAlgorithmsProduceValidPartitions(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	sys := randomSystem(rng, 9)
+	for _, algo := range allAlgorithms() {
+		t.Run(algo.Name(), func(t *testing.T) {
+			rings, err := algo.Partition(sys, 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := sys.ValidatePartition(rings); err != nil {
+				t.Fatal(err)
+			}
+			if len(rings) > 3 {
+				t.Fatalf("%d rings, want <= 3", len(rings))
+			}
+		})
+	}
+}
+
+func TestValidateRejectsBadInput(t *testing.T) {
+	sys := fourNodeSystem(0.1)
+	if _, err := (SmartGreedy{}).Partition(sys, 0); err == nil {
+		t.Error("m=0 accepted")
+	}
+	bad := fourNodeSystem(0.1)
+	bad.T = 0
+	if _, err := (SmartGreedy{}).Partition(bad, 2); err == nil {
+		t.Error("invalid system accepted")
+	}
+}
+
+// TestSmartRespectsAlphaTradeoff: with α=0 SMART must group by content
+// similarity; with huge α it must group by site locality.
+func TestSmartRespectsAlphaTradeoff(t *testing.T) {
+	// Storage-dominated: correlated pairs {0,2} and {1,3} share a ring.
+	sys := fourNodeSystem(0)
+	rings, err := SmartGreedy{}.Partition(sys, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameRing(rings, 0, 2) || !sameRing(rings, 1, 3) {
+		t.Errorf("α=0: got %v, want content grouping {0,2},{1,3}", rings)
+	}
+
+	// Network-dominated: site-local pairs {0,1} and {2,3} share a ring.
+	sys = fourNodeSystem(1000)
+	rings, err = SmartGreedy{}.Partition(sys, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameRing(rings, 0, 1) || !sameRing(rings, 2, 3) {
+		t.Errorf("α→∞: got %v, want site grouping {0,1},{2,3}", rings)
+	}
+}
+
+// TestBaselinesIgnoreTheirTerm: the Network-only baseline must pick the
+// site grouping and Dedup-only the content grouping, regardless of α.
+func TestBaselinesIgnoreTheirTerm(t *testing.T) {
+	sys := fourNodeSystem(0.1)
+
+	rings, err := SmartGreedy{Obj: NetworkOnlyObjective}.Partition(sys, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Singleton rings have zero network cost, so network-only greedy may
+	// leave fewer than two non-trivial rings; what it must never do is
+	// pay the cross-site link.
+	cost := sys.Cost(rings)
+	if cost.Network > 10*1000*2 { // any cross-site pairing would exceed this
+		t.Errorf("network-only paid network cost %v with rings %v", cost.Network, rings)
+	}
+
+	rings, err = SmartGreedy{Obj: DedupOnlyObjective}.Partition(sys, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameRing(rings, 0, 2) || !sameRing(rings, 1, 3) {
+		t.Errorf("dedup-only: got %v, want content grouping", rings)
+	}
+}
+
+// structuredSystem mirrors the paper's evaluation setting: geo sites with
+// cheap intra-site links and expensive inter-site links, plus content
+// clusters assigned orthogonally to geography (Sec. V-B's "10 geographical
+// groups" layout).
+func structuredSystem(rng *rand.Rand, n, sites, contentGroups int, alpha float64) *model.System {
+	pools := make([]float64, contentGroups)
+	for i := range pools {
+		pools[i] = 3000
+	}
+	cost := make([][]float64, n)
+	for i := range cost {
+		cost[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			if i%sites == j%sites {
+				cost[i][j] = 1
+			} else {
+				cost[i][j] = 20
+			}
+		}
+	}
+	srcs := make([]model.Source, n)
+	for i := range srcs {
+		g := rng.Intn(contentGroups)
+		probs := make([]float64, contentGroups)
+		for p := range probs {
+			if p == g {
+				probs[p] = 0.8
+			} else {
+				probs[p] = 0.2 / float64(contentGroups-1)
+			}
+		}
+		srcs[i] = model.Source{ID: i, Rate: 5 + rng.Float64()*10, Probs: probs}
+	}
+	return &model.System{
+		PoolSizes: pools, Sources: srcs,
+		T: 60, Gamma: 2, Alpha: alpha, NetCost: cost,
+	}
+}
+
+// TestSmartBeatsBaselinesOnStructuredInstances reproduces the paper's
+// central claim (Fig. 6(c), Fig. 7): on geo/content-structured instances
+// with a middle α, SMART's aggregate cost beats both single-minded
+// baselines. All three run with the same local-search polish, each under
+// its own objective, so the comparison isolates the objective choice.
+func TestSmartBeatsBaselinesOnStructuredInstances(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	const trials = 10
+	var sumNet, sumDedup float64
+	for trial := 0; trial < trials; trial++ {
+		sys := structuredSystem(rng, 20, 5, 3, 0.1)
+		_, smart, err := Evaluate(Portfolio{}, sys, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, netOnly, err := Evaluate(Refined{
+			Base: SmartGreedy{Obj: NetworkOnlyObjective}, Obj: NetworkOnlyObjective,
+		}, sys, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, dedupOnly, err := Evaluate(Refined{
+			Base: SmartGreedy{Obj: DedupOnlyObjective}, Obj: DedupOnlyObjective,
+		}, sys, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if smart.Aggregate > netOnly.Aggregate*1.05 {
+			t.Errorf("trial %d: SMART %v lost to network-only %v", trial, smart.Aggregate, netOnly.Aggregate)
+		}
+		if smart.Aggregate > dedupOnly.Aggregate*1.05 {
+			t.Errorf("trial %d: SMART %v lost to dedup-only %v", trial, smart.Aggregate, dedupOnly.Aggregate)
+		}
+		sumNet += netOnly.Aggregate / smart.Aggregate
+		sumDedup += dedupOnly.Aggregate / smart.Aggregate
+	}
+	// The paper reports baselines paying 1.26-1.31x SMART's cost; require
+	// a clear average margin in the same direction.
+	if avg := sumNet / trials; avg < 1.1 {
+		t.Errorf("network-only/SMART average ratio %.3f, want >= 1.1", avg)
+	}
+	if avg := sumDedup / trials; avg < 1.1 {
+		t.Errorf("dedup-only/SMART average ratio %.3f, want >= 1.1", avg)
+	}
+}
+
+func TestSmartNearOptimalOnSmallInstances(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	worstGreedy, worstRefined := 1.0, 1.0
+	for trial := 0; trial < 10; trial++ {
+		sys := randomSystem(rng, 7)
+		_, smart, err := Evaluate(SmartGreedy{}, sys, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, refined, err := Evaluate(Refined{Base: SmartGreedy{}}, sys, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, opt, err := Evaluate(BruteForce{}, sys, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if smart.Aggregate < opt.Aggregate-1e-6 || refined.Aggregate < opt.Aggregate-1e-6 {
+			t.Fatalf("heuristic beat 'optimal' %v: brute force is wrong", opt.Aggregate)
+		}
+		if r := smart.Aggregate / opt.Aggregate; r > worstGreedy {
+			worstGreedy = r
+		}
+		if r := refined.Aggregate / opt.Aggregate; r > worstRefined {
+			worstRefined = r
+		}
+	}
+	if worstGreedy > 1.5 {
+		t.Errorf("greedy optimality gap %.3f, want <= 1.5 on small random instances", worstGreedy)
+	}
+	if worstRefined > 1.3 {
+		t.Errorf("refined optimality gap %.3f, want <= 1.3", worstRefined)
+	}
+	if worstRefined > worstGreedy+1e-9 {
+		t.Errorf("local search worsened the worst case: %.3f vs %.3f", worstRefined, worstGreedy)
+	}
+}
+
+// TestRefinementNeverWorsens: Refined(X) costs at most X for any base.
+func TestRefinementNeverWorsens(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 8; trial++ {
+		sys := randomSystem(rng, 9)
+		for _, base := range []Algorithm{SmartGreedy{}, RandomBalanced{Seed: int64(trial)}} {
+			_, plain, err := Evaluate(base, sys, 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, polished, err := Evaluate(Refined{Base: base}, sys, 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if polished.Aggregate > plain.Aggregate*(1+1e-9) {
+				t.Errorf("%s: refinement worsened %v -> %v", base.Name(), plain.Aggregate, polished.Aggregate)
+			}
+		}
+	}
+}
+
+func TestEqualSizeCapacity(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	sys := randomSystem(rng, 10)
+	rings, err := EqualSize{}.Partition(sys, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.ValidatePartition(rings); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rings {
+		if len(r) > 4 { // ceil(10/3)
+			t.Fatalf("ring of size %d exceeds capacity 4", len(r))
+		}
+	}
+}
+
+func TestMatchingReachesTargetCount(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	sys := randomSystem(rng, 12)
+	for _, m := range []int{1, 2, 5, 12} {
+		rings, err := Matching{}.Partition(sys, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sys.ValidatePartition(rings); err != nil {
+			t.Fatal(err)
+		}
+		if len(rings) != m {
+			t.Errorf("matching produced %d rings for m=%d", len(rings), m)
+		}
+	}
+}
+
+func TestMatchingQualityComparableToGreedy(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 5; trial++ {
+		sys := randomSystem(rng, 12)
+		_, mc, err := Evaluate(Matching{}, sys, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, gc, err := Evaluate(SmartGreedy{}, sys, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mc.Aggregate > gc.Aggregate*1.5 {
+			t.Errorf("matching cost %v vs greedy %v (> 1.5x)", mc.Aggregate, gc.Aggregate)
+		}
+	}
+}
+
+func TestMatchingRounds(t *testing.T) {
+	if r := MatchingRounds(16, 16, 0.5); r != 0 {
+		t.Errorf("no reduction needed but %d rounds", r)
+	}
+	r := MatchingRounds(512, 16, 0.5)
+	if r <= 0 || r > 30 {
+		t.Errorf("rounds = %d for 512→16, want small positive (log-convergence)", r)
+	}
+}
+
+func TestRandomBalancedDeterministicAndBalanced(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	sys := randomSystem(rng, 11)
+	a1, err := RandomBalanced{Seed: 7}.Partition(sys, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := RandomBalanced{Seed: 7}.Partition(sys, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, s2 := sortRings(a1), sortRings(a2)
+	for i := range s1 {
+		if len(s1[i]) != len(s2[i]) {
+			t.Fatal("same seed produced different partitions")
+		}
+		for j := range s1[i] {
+			if s1[i][j] != s2[i][j] {
+				t.Fatal("same seed produced different partitions")
+			}
+		}
+	}
+	min, max := len(sys.Sources), 0
+	for _, r := range a1 {
+		if len(r) < min {
+			min = len(r)
+		}
+		if len(r) > max {
+			max = len(r)
+		}
+	}
+	if max-min > 1 {
+		t.Errorf("imbalanced random partition: sizes %d..%d", min, max)
+	}
+}
+
+func TestBruteForceRefusesLargeInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	sys := randomSystem(rng, BruteForceLimit+1)
+	if _, err := (BruteForce{}).Partition(sys, 3); err == nil {
+		t.Fatal("oversized brute force accepted")
+	}
+}
+
+// TestReductionMatchesKCut validates Theorem 2 executably: the SNOD2
+// objective of the reduced instance differs from the k-cut objective by a
+// partition-independent constant.
+func TestReductionMatchesKCut(t *testing.T) {
+	g := Graph{
+		Vertices: 5,
+		Edges: []Edge{
+			{A: 0, B: 1, Weight: 3},
+			{A: 1, B: 2, Weight: 5},
+			{A: 2, B: 3, Weight: 2},
+			{A: 3, B: 4, Weight: 7},
+			{A: 0, B: 4, Weight: 1},
+			{A: 1, B: 3, Weight: 4},
+		},
+	}
+	sys, err := ReduceKCut(g, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	partitions := [][][]int{
+		{{0, 1, 2, 3, 4}},
+		{{0, 1}, {2, 3, 4}},
+		{{0}, {1}, {2}, {3}, {4}},
+		{{0, 2, 4}, {1, 3}},
+		{{0, 1, 2}, {3}, {4}},
+	}
+	base := sys.Cost(partitions[0]).Aggregate - g.KCutObjective(partitions[0])
+	for _, p := range partitions[1:] {
+		diff := sys.Cost(p).Aggregate - g.KCutObjective(p)
+		if math.Abs(diff-base) > 1e-6*(1+math.Abs(base)) {
+			t.Errorf("partition %v: SNOD2-KCut offset %v, want constant %v", p, diff, base)
+		}
+	}
+	// And therefore the SNOD2 optimum is a minimum k-cut.
+	rings, err := BruteForce{}.Partition(sys, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bestCut := math.Inf(1)
+	for _, p := range partitions {
+		if len(p) <= 2 {
+			if c := g.KCutObjective(p); c < bestCut {
+				bestCut = c
+			}
+		}
+	}
+	if got := g.KCutObjective(rings); got > bestCut+1e-9 {
+		t.Errorf("SNOD2 optimum has cut %v, sampled best 2-partition has %v", got, bestCut)
+	}
+}
+
+func TestReduceKCutValidation(t *testing.T) {
+	g := Graph{Vertices: 2, Edges: []Edge{{A: 0, B: 1, Weight: 1}}}
+	if _, err := ReduceKCut(g, 0); err == nil {
+		t.Error("c=0 accepted")
+	}
+	if _, err := ReduceKCut(g, 1); err == nil {
+		t.Error("c=1 accepted")
+	}
+	if _, err := ReduceKCut(Graph{Vertices: 0}, 0.5); err == nil {
+		t.Error("empty graph accepted")
+	}
+	bad := Graph{Vertices: 2, Edges: []Edge{{A: 0, B: 5, Weight: 1}}}
+	if _, err := ReduceKCut(bad, 0.5); err == nil {
+		t.Error("out-of-range edge accepted")
+	}
+	neg := Graph{Vertices: 2, Edges: []Edge{{A: 0, B: 1, Weight: -1}}}
+	if _, err := ReduceKCut(neg, 0.5); err == nil {
+		t.Error("negative weight accepted")
+	}
+}
+
+// TestPropertyPartitionersAlwaysValid fuzzes every algorithm with random
+// systems and ring counts.
+func TestPropertyPartitionersAlwaysValid(t *testing.T) {
+	algos := allAlgorithms()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(8)
+		m := 1 + rng.Intn(n)
+		sys := randomSystem(rng, n)
+		for _, algo := range algos {
+			rings, err := algo.Partition(sys, m)
+			if err != nil {
+				return false
+			}
+			if sys.ValidatePartition(rings) != nil {
+				return false
+			}
+			if len(rings) > m {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSingleRingMatchesGlobalDedup: m=1 must put everything together.
+func TestSingleRingMatchesGlobalDedup(t *testing.T) {
+	sys := fourNodeSystem(0.1)
+	for _, algo := range allAlgorithms() {
+		rings, err := algo.Partition(sys, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", algo.Name(), err)
+		}
+		if len(rings) != 1 || len(rings[0]) != 4 {
+			t.Errorf("%s: m=1 produced %v", algo.Name(), rings)
+		}
+	}
+}

@@ -1,0 +1,72 @@
+package partition
+
+import (
+	"math"
+
+	"efdedup/internal/model"
+)
+
+// Portfolio is the production SMART solver: it seeds the local search from
+// several greedy runs — the full-objective greedy plus the two
+// single-term greedies, whose solutions bracket the network/storage
+// trade-off — refines each under the full SNOD2 objective, and returns
+// the cheapest result. Multi-start costs a constant factor and removes the
+// poor local optima a single greedy pass can fall into.
+type Portfolio struct {
+	// Seeds default to SmartGreedy under the full, network-only and
+	// dedup-only objectives plus the matching heuristic.
+	Seeds []Algorithm
+	// MaxPasses is forwarded to the local search.
+	MaxPasses int
+}
+
+var _ Algorithm = Portfolio{}
+
+// Name implements Algorithm.
+func (Portfolio) Name() string { return "smart-portfolio" }
+
+// Partition implements Algorithm.
+func (p Portfolio) Partition(sys *model.System, m int) ([][]int, error) {
+	m, err := validate(sys, m)
+	if err != nil {
+		return nil, err
+	}
+	seeds := p.Seeds
+	if len(seeds) == 0 {
+		seeds = []Algorithm{
+			SmartGreedy{},
+			SmartGreedy{Obj: NetworkOnlyObjective},
+			SmartGreedy{Obj: DedupOnlyObjective},
+			Matching{},
+			// EqualSize always opens the full ring budget, giving the
+			// local search a granular seed that single-node moves can
+			// polish; greedy seeds often collapse into few large rings
+			// that moves alone cannot split.
+			EqualSize{},
+			// GroupPack places whole content clusters, which single-node
+			// moves cannot rearrange once merged.
+			GroupPack{},
+		}
+	}
+	best := math.Inf(1)
+	var bestRings [][]int
+	var firstErr error
+	for _, seed := range seeds {
+		refined := Refined{Base: seed, MaxPasses: p.MaxPasses}
+		rings, err := refined.Partition(sys, m)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		if c := sys.Cost(rings).Aggregate; c < best {
+			best = c
+			bestRings = rings
+		}
+	}
+	if bestRings == nil {
+		return nil, firstErr
+	}
+	return bestRings, nil
+}

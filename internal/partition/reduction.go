@@ -1,0 +1,124 @@
+package partition
+
+import (
+	"fmt"
+	"math"
+
+	"efdedup/internal/model"
+)
+
+// Graph is an undirected weighted graph used by the Theorem 2 reduction.
+type Graph struct {
+	// Vertices is the vertex count; vertices are 0..Vertices-1.
+	Vertices int
+	// Edges lists undirected weighted edges.
+	Edges []Edge
+}
+
+// Edge is one undirected weighted edge.
+type Edge struct {
+	A, B   int
+	Weight float64
+}
+
+// KCutObjective evaluates the minimum-k-cut objective of a partition: the
+// summed weight of edges whose endpoints land in different parts.
+func (g Graph) KCutObjective(rings [][]int) float64 {
+	part := make(map[int]int)
+	for p, ring := range rings {
+		for _, v := range ring {
+			part[v] = p
+		}
+	}
+	cut := 0.0
+	for _, e := range g.Edges {
+		if part[e.A] != part[e.B] {
+			cut += e.Weight
+		}
+	}
+	return cut
+}
+
+// ReduceKCut builds the SNOD2 instance of the Theorem 2 NP-hardness proof
+// from a graph: one chunk pool per edge with size w/(1-c)², characteristic
+// probabilities placed so that every incident (source, pool) miss
+// probability g equals exactly c, and zero network cost. For any two
+// partitions R1, R2 of the vertices,
+//
+//	SNOD2(R1) - SNOD2(R2) = KCut(R1) - KCut(R2),
+//
+// i.e. the SNOD2 objective equals the k-cut objective plus a
+// partition-independent constant — so solving this SNOD2 instance solves
+// minimum k-cut, proving SNOD2 NP-hard.
+func ReduceKCut(g Graph, c float64) (*model.System, error) {
+	if c <= 0 || c >= 1 {
+		return nil, fmt.Errorf("partition: reduction constant c=%v must be in (0,1)", c)
+	}
+	if g.Vertices <= 0 {
+		return nil, fmt.Errorf("partition: graph needs vertices")
+	}
+	for _, e := range g.Edges {
+		if e.A < 0 || e.A >= g.Vertices || e.B < 0 || e.B >= g.Vertices || e.A == e.B {
+			return nil, fmt.Errorf("partition: bad edge %+v", e)
+		}
+		if e.Weight <= 0 {
+			return nil, fmt.Errorf("partition: edge %+v needs positive weight", e)
+		}
+	}
+
+	k := len(g.Edges)
+	pools := make([]float64, k)
+	for i, e := range g.Edges {
+		pools[i] = e.Weight / ((1 - c) * (1 - c))
+	}
+
+	// Choose a uniform per-pool draw fraction ε = p/s such that
+	// (1-ε)^(R·T) = c for every incident (source, pool) pair, with R=1
+	// and a common T. ε must keep every source's probability vector sum
+	// ≤ 1: Σ_incident p = ε·Σ_incident s ≤ 1.
+	maxIncident := 0.0
+	for v := 0; v < g.Vertices; v++ {
+		sum := 0.0
+		for i, e := range g.Edges {
+			if e.A == v || e.B == v {
+				sum += pools[i]
+			}
+		}
+		if sum > maxIncident {
+			maxIncident = sum
+		}
+	}
+	if maxIncident == 0 {
+		return nil, fmt.Errorf("partition: graph has no edges")
+	}
+	eps := 1 / maxIncident
+	if eps > 0.5 {
+		eps = 0.5 // keep log1p well-conditioned
+	}
+	T := math.Log(c) / math.Log1p(-eps)
+
+	sources := make([]model.Source, g.Vertices)
+	cost := make([][]float64, g.Vertices)
+	for v := range sources {
+		probs := make([]float64, k)
+		for i, e := range g.Edges {
+			if e.A == v || e.B == v {
+				probs[i] = eps * pools[i]
+			}
+		}
+		sources[v] = model.Source{ID: v, Rate: 1, Probs: probs}
+		cost[v] = make([]float64, g.Vertices)
+	}
+	sys := &model.System{
+		PoolSizes: pools,
+		Sources:   sources,
+		T:         T,
+		Gamma:     1,
+		Alpha:     0, // the reduction uses zero network cost
+		NetCost:   cost,
+	}
+	if err := sys.Validate(); err != nil {
+		return nil, fmt.Errorf("partition: reduction produced invalid system: %w", err)
+	}
+	return sys, nil
+}

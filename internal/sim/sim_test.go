@@ -1,0 +1,121 @@
+package sim
+
+import (
+	"testing"
+
+	"efdedup/internal/partition"
+)
+
+func TestBuildValidation(t *testing.T) {
+	if _, err := Build(ScenarioConfig{}); err == nil {
+		t.Error("zero config accepted")
+	}
+	bad := DefaultScenario(10, 0.001, 1)
+	bad.GroupProb = 0.9
+	bad.UniqueProb = 0.3
+	if _, err := Build(bad); err == nil {
+		t.Error("probability mass > 1 accepted")
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	a, err := Build(DefaultScenario(20, 0.001, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Build(DefaultScenario(20, 0.001, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Sources {
+		if a.Sources[i].Rate != b.Sources[i].Rate {
+			t.Fatal("same seed produced different rates")
+		}
+	}
+	if a.NetCost[3][7] != b.NetCost[3][7] {
+		t.Fatal("same seed produced different latencies")
+	}
+	c, err := Build(DefaultScenario(20, 0.001, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NetCost[3][7] == c.NetCost[3][7] {
+		t.Fatal("different seeds produced identical latencies")
+	}
+}
+
+func TestBuildScenarioShape(t *testing.T) {
+	cfg := DefaultScenario(50, 0.001, 3)
+	sys, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sys.Sources) != 50 {
+		t.Fatalf("%d sources, want 50", len(sys.Sources))
+	}
+	for i, src := range sys.Sources {
+		if src.Rate < cfg.RateMin || src.Rate > cfg.RateMax {
+			t.Errorf("source %d rate %v outside [%v,%v]", i, src.Rate, cfg.RateMin, cfg.RateMax)
+		}
+	}
+	for i := range sys.NetCost {
+		for j := range sys.NetCost[i] {
+			if sys.NetCost[i][j] < 0 || sys.NetCost[i][j] > cfg.MaxLatency {
+				t.Fatalf("latency [%d][%d]=%v outside [0,%v]", i, j, sys.NetCost[i][j], cfg.MaxLatency)
+			}
+			if sys.NetCost[i][j] != sys.NetCost[j][i] {
+				t.Fatal("latency matrix not symmetric")
+			}
+		}
+	}
+}
+
+func TestCompareEvaluatesAllAlgorithms(t *testing.T) {
+	sys, err := Build(DefaultScenario(30, 0.001, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	algos := []partition.Algorithm{
+		partition.SmartGreedy{},
+		partition.SmartGreedy{Obj: partition.NetworkOnlyObjective},
+		partition.SmartGreedy{Obj: partition.DedupOnlyObjective},
+	}
+	results, err := Compare(sys, algos, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("%d results, want 3", len(results))
+	}
+	for _, r := range results {
+		if r.Cost.Aggregate <= 0 {
+			t.Errorf("%s: non-positive aggregate cost", r.Algorithm)
+		}
+		if r.Rings < 1 || r.Rings > 5 {
+			t.Errorf("%s: %d rings", r.Algorithm, r.Rings)
+		}
+	}
+}
+
+// TestSimShapeSmartWins is the Fig. 7(a) shape at a reduced scale: SMART
+// (portfolio) has lower aggregate cost than both baselines.
+func TestSimShapeSmartWins(t *testing.T) {
+	sys, err := Build(DefaultScenario(60, 0.001, 11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := Compare(sys, []partition.Algorithm{
+		partition.Portfolio{},
+		partition.Refined{Base: partition.SmartGreedy{Obj: partition.NetworkOnlyObjective}, Obj: partition.NetworkOnlyObjective},
+		partition.Refined{Base: partition.SmartGreedy{Obj: partition.DedupOnlyObjective}, Obj: partition.DedupOnlyObjective},
+	}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	smart := results[0].Cost.Aggregate
+	for _, r := range results[1:] {
+		if smart > r.Cost.Aggregate*1.01 {
+			t.Errorf("SMART %v not below %s %v", smart, r.Algorithm, r.Cost.Aggregate)
+		}
+	}
+}

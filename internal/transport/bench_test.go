@@ -1,0 +1,72 @@
+package transport
+
+import (
+	"context"
+	"sync"
+	"testing"
+)
+
+func benchServer(b *testing.B) (*Client, func()) {
+	b.Helper()
+	nw := NewMemNetwork()
+	s := NewServer()
+	s.Handle("echo", func(body []byte) ([]byte, error) { return body, nil })
+	l, err := nw.Listen("srv")
+	if err != nil {
+		b.Fatal(err)
+	}
+	go s.Serve(l) //nolint:errcheck
+	conn, err := nw.Dial(context.Background(), "srv")
+	if err != nil {
+		b.Fatal(err)
+	}
+	c := NewClient(conn)
+	return c, func() { c.Close(); s.Close() }
+}
+
+func BenchmarkCallRoundTrip(b *testing.B) {
+	c, cleanup := benchServer(b)
+	defer cleanup()
+	body := make([]byte, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Call(context.Background(), "echo", body); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCallPipelined(b *testing.B) {
+	c, cleanup := benchServer(b)
+	defer cleanup()
+	body := make([]byte, 64)
+	const inflight = 16
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, inflight)
+	for i := 0; i < b.N; i++ {
+		sem <- struct{}{}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			if _, err := c.Call(context.Background(), "echo", body); err != nil {
+				b.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func BenchmarkCallLargePayload(b *testing.B) {
+	c, cleanup := benchServer(b)
+	defer cleanup()
+	body := make([]byte, 256*1024)
+	b.SetBytes(int64(len(body)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Call(context.Background(), "echo", body); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,420 @@
+// Package transport is the RPC substrate shared by the EF-dedup services
+// (distributed KV store, central cloud store, dedup agents).
+//
+// It provides:
+//
+//   - a length-prefixed binary frame protocol with request multiplexing,
+//     so many in-flight requests share one connection (essential when
+//     per-link latency is emulated);
+//   - Server, dispatching frames to registered method handlers;
+//   - Client, a connection with concurrent Call support;
+//   - Network, an abstraction over how bytes move: real TCP
+//     (TCPNetwork) or an in-process memory fabric (MemNetwork) so whole
+//     clusters can run inside one test binary.
+package transport
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// MaxFrameSize bounds a single frame (1 GiB) to catch protocol corruption
+// before it turns into an enormous allocation.
+const MaxFrameSize = 1 << 30
+
+// frame types.
+const (
+	frameRequest  = 1
+	frameResponse = 2
+)
+
+// status codes carried on response frames.
+const (
+	statusOK    = 0
+	statusError = 1
+)
+
+// ErrClientClosed is returned by Call after Close.
+var ErrClientClosed = errors.New("transport: client closed")
+
+// RemoteError is an application error returned by the remote handler, as
+// opposed to a transport failure.
+type RemoteError struct {
+	Method string
+	Msg    string
+}
+
+func (e *RemoteError) Error() string {
+	return fmt.Sprintf("transport: remote %s: %s", e.Method, e.Msg)
+}
+
+// writeFrame writes one length-prefixed frame. Callers must serialize.
+func writeFrame(w io.Writer, payload []byte) error {
+	if len(payload) > MaxFrameSize {
+		return fmt.Errorf("transport: frame of %d bytes exceeds limit", len(payload))
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// readFrame reads one length-prefixed frame.
+func readFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrameSize {
+		return nil, fmt.Errorf("transport: frame of %d bytes exceeds limit", n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, err
+	}
+	return payload, nil
+}
+
+// request payload layout:
+//
+//	u8  frameRequest
+//	u64 request id
+//	u8  method length
+//	... method bytes
+//	... body
+//
+// response payload layout:
+//
+//	u8  frameResponse
+//	u64 request id
+//	u8  status
+//	u32 error length (when status != OK)
+//	... error bytes
+//	... body
+func encodeRequest(id uint64, method string, body []byte) ([]byte, error) {
+	if len(method) > 255 {
+		return nil, fmt.Errorf("transport: method name %q too long", method)
+	}
+	buf := make([]byte, 0, 10+len(method)+len(body))
+	buf = append(buf, frameRequest)
+	buf = binary.BigEndian.AppendUint64(buf, id)
+	buf = append(buf, byte(len(method)))
+	buf = append(buf, method...)
+	buf = append(buf, body...)
+	return buf, nil
+}
+
+func decodeRequest(p []byte) (id uint64, method string, body []byte, err error) {
+	if len(p) < 10 || p[0] != frameRequest {
+		return 0, "", nil, errors.New("transport: malformed request frame")
+	}
+	id = binary.BigEndian.Uint64(p[1:9])
+	ml := int(p[9])
+	if len(p) < 10+ml {
+		return 0, "", nil, errors.New("transport: truncated request frame")
+	}
+	return id, string(p[10 : 10+ml]), p[10+ml:], nil
+}
+
+func encodeResponse(id uint64, body []byte, remoteErr string) []byte {
+	buf := make([]byte, 0, 14+len(remoteErr)+len(body))
+	buf = append(buf, frameResponse)
+	buf = binary.BigEndian.AppendUint64(buf, id)
+	if remoteErr != "" {
+		buf = append(buf, statusError)
+		buf = binary.BigEndian.AppendUint32(buf, uint32(len(remoteErr)))
+		buf = append(buf, remoteErr...)
+		return buf
+	}
+	buf = append(buf, statusOK)
+	buf = append(buf, body...)
+	return buf
+}
+
+func decodeResponse(p []byte) (id uint64, body []byte, remoteErr string, err error) {
+	if len(p) < 10 || p[0] != frameResponse {
+		return 0, nil, "", errors.New("transport: malformed response frame")
+	}
+	id = binary.BigEndian.Uint64(p[1:9])
+	switch p[9] {
+	case statusOK:
+		return id, p[10:], "", nil
+	case statusError:
+		if len(p) < 14 {
+			return 0, nil, "", errors.New("transport: truncated error frame")
+		}
+		el := int(binary.BigEndian.Uint32(p[10:14]))
+		if len(p) < 14+el {
+			return 0, nil, "", errors.New("transport: truncated error frame")
+		}
+		return id, nil, string(p[14 : 14+el]), nil
+	default:
+		return 0, nil, "", fmt.Errorf("transport: unknown status %d", p[9])
+	}
+}
+
+// HandlerFunc processes one request body and returns a response body.
+type HandlerFunc func(body []byte) ([]byte, error)
+
+// Server dispatches framed requests to registered handlers.
+type Server struct {
+	mu       sync.Mutex
+	handlers map[string]HandlerFunc
+	listener net.Listener
+	conns    map[net.Conn]struct{}
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+// NewServer returns a Server with no handlers registered.
+func NewServer() *Server {
+	return &Server{
+		handlers: make(map[string]HandlerFunc),
+		conns:    make(map[net.Conn]struct{}),
+	}
+}
+
+// Handle registers fn for the given method name. Registration must happen
+// before Serve; later registrations are still picked up but not synchronized
+// with in-flight dispatches of the same name.
+func (s *Server) Handle(method string, fn HandlerFunc) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.handlers[method] = fn
+}
+
+// Serve accepts connections from l until Close is called. It always returns
+// a non-nil error; after Close it returns net.ErrClosed.
+func (s *Server) Serve(l net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return net.ErrClosed
+	}
+	s.listener = l
+	s.mu.Unlock()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return err
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return net.ErrClosed
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	var writeMu sync.Mutex
+	var pending sync.WaitGroup
+	defer pending.Wait()
+	for {
+		payload, err := readFrame(conn)
+		if err != nil {
+			return
+		}
+		id, method, body, err := decodeRequest(payload)
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		fn := s.handlers[method]
+		s.mu.Unlock()
+		pending.Add(1)
+		go func() {
+			defer pending.Done()
+			var respBody []byte
+			var errMsg string
+			if fn == nil {
+				errMsg = fmt.Sprintf("unknown method %q", method)
+			} else if respBody, err = fn(body); err != nil {
+				errMsg = err.Error()
+				respBody = nil
+			}
+			writeMu.Lock()
+			defer writeMu.Unlock()
+			// A write failure means the peer is gone; the read loop
+			// will terminate on its own.
+			_ = writeFrame(conn, encodeResponse(id, respBody, errMsg))
+		}()
+	}
+}
+
+// Close stops accepting, closes every connection and waits for in-flight
+// handlers to finish.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	l := s.listener
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	if l != nil {
+		l.Close()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	s.wg.Wait()
+	return nil
+}
+
+// Client issues concurrent framed requests over a single connection.
+type Client struct {
+	conn    net.Conn
+	writeMu sync.Mutex
+
+	mu      sync.Mutex
+	nextID  uint64
+	pending map[uint64]chan response
+	err     error // terminal error, set once the read loop dies
+	done    chan struct{}
+}
+
+type response struct {
+	body      []byte
+	remoteErr string
+}
+
+// NewClient wraps an established connection. The client owns the
+// connection and closes it on Close.
+func NewClient(conn net.Conn) *Client {
+	c := &Client{
+		conn:    conn,
+		pending: make(map[uint64]chan response),
+		done:    make(chan struct{}),
+	}
+	go c.readLoop()
+	return c
+}
+
+func (c *Client) readLoop() {
+	var err error
+	for {
+		var payload []byte
+		payload, err = readFrame(c.conn)
+		if err != nil {
+			break
+		}
+		id, body, remoteErr, decErr := decodeResponse(payload)
+		if decErr != nil {
+			err = decErr
+			break
+		}
+		c.mu.Lock()
+		ch := c.pending[id]
+		delete(c.pending, id)
+		c.mu.Unlock()
+		if ch != nil {
+			ch <- response{body: body, remoteErr: remoteErr}
+		}
+	}
+	c.mu.Lock()
+	if c.err == nil {
+		c.err = err
+	}
+	for id, ch := range c.pending {
+		delete(c.pending, id)
+		close(ch)
+	}
+	c.mu.Unlock()
+	close(c.done)
+}
+
+// Call sends one request and waits for its response, the context, or
+// connection failure — whichever comes first. It is safe for concurrent
+// use.
+func (c *Client) Call(ctx context.Context, method string, body []byte) ([]byte, error) {
+	ch := make(chan response, 1)
+	c.mu.Lock()
+	if c.err != nil {
+		err := c.err
+		c.mu.Unlock()
+		return nil, err
+	}
+	c.nextID++
+	id := c.nextID
+	c.pending[id] = ch
+	c.mu.Unlock()
+
+	req, err := encodeRequest(id, method, body)
+	if err != nil {
+		c.abandon(id)
+		return nil, err
+	}
+	c.writeMu.Lock()
+	err = writeFrame(c.conn, req)
+	c.writeMu.Unlock()
+	if err != nil {
+		c.abandon(id)
+		return nil, fmt.Errorf("transport: send %s: %w", method, err)
+	}
+
+	select {
+	case resp, ok := <-ch:
+		if !ok {
+			c.mu.Lock()
+			err := c.err
+			c.mu.Unlock()
+			if err == nil {
+				err = ErrClientClosed
+			}
+			return nil, fmt.Errorf("transport: %s: connection lost: %w", method, err)
+		}
+		if resp.remoteErr != "" {
+			return nil, &RemoteError{Method: method, Msg: resp.remoteErr}
+		}
+		return resp.body, nil
+	case <-ctx.Done():
+		c.abandon(id)
+		return nil, ctx.Err()
+	}
+}
+
+// abandon forgets a pending request (response, if any, is dropped).
+func (c *Client) abandon(id uint64) {
+	c.mu.Lock()
+	delete(c.pending, id)
+	c.mu.Unlock()
+}
+
+// Close tears down the connection and fails all pending calls.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.err == nil {
+		c.err = ErrClientClosed
+	}
+	c.mu.Unlock()
+	err := c.conn.Close()
+	<-c.done
+	return err
+}

@@ -1,0 +1,124 @@
+package workload
+
+// VMImageDataset synthesizes VM/system backup images — the paper's other
+// motivating edge workload ("VM/system backup ... car multimedia system
+// images", Sec. I-II, with dedup ratios of 76-84 % reported for such
+// data). An image is a stack of block-aligned layers:
+//
+//   - a base OS layer shared by every node running the same OS family
+//     (pool C_1/C_2 in the paper's Windows/Linux example);
+//   - application layers drawn from a common package pool (the paper's
+//     "chunks shared by the two systems due to common applications");
+//   - an instance-specific layer (configuration, logs) that never
+//     repeats.
+//
+// Successive backups (file indices) of one node mutate a small fraction
+// of blocks, so intra-node backup chains deduplicate heavily — the
+// classic backup workload shape.
+type VMImageDataset struct {
+	// Nodes is the number of edge nodes (VMs).
+	Nodes int
+	// OSFamilies is how many distinct base images exist; node i runs
+	// family i % OSFamilies.
+	OSFamilies int
+	// BaseBlocks is the base layer size in blocks.
+	BaseBlocks int
+	// AppPool is the number of distinct application blocks in the shared
+	// package pool; AppBlocks of them appear in each image.
+	AppPool   int
+	AppBlocks int
+	// InstanceBlocks is the per-image unique layer size.
+	InstanceBlocks int
+	// BlockSize is the block (and natural chunk) size in bytes.
+	BlockSize int
+	// MutateFrac is the fraction of base+app blocks a successive backup
+	// overwrites with fresh content.
+	MutateFrac float64
+	// Seed decorrelates dataset instances.
+	Seed int64
+}
+
+var _ Dataset = (*VMImageDataset)(nil)
+
+// DefaultVMImageDataset mirrors a small fleet: two OS families, a shared
+// package pool, ~4 MiB images.
+func DefaultVMImageDataset(seed int64) *VMImageDataset {
+	return &VMImageDataset{
+		Nodes:          8,
+		OSFamilies:     2,
+		BaseBlocks:     192,
+		AppPool:        512,
+		AppBlocks:      48,
+		InstanceBlocks: 16,
+		BlockSize:      4096,
+		MutateFrac:     0.03,
+		Seed:           seed,
+	}
+}
+
+// Name implements Dataset.
+func (d *VMImageDataset) Name() string { return "vm-image" }
+
+// Sources implements Dataset.
+func (d *VMImageDataset) Sources() int { return d.Nodes }
+
+// baseBlock materializes block b of an OS family's base image.
+func (d *VMImageDataset) baseBlock(family, b int) []byte {
+	buf := make([]byte, d.BlockSize)
+	fillRandom(buf, seedFor(uint64(d.Seed)^xOSBase, family+1, b))
+	return buf
+}
+
+// appBlock materializes element idx of the shared application pool.
+func (d *VMImageDataset) appBlock(idx int) []byte {
+	buf := make([]byte, d.BlockSize)
+	fillRandom(buf, seedFor(uint64(d.Seed)^0xA99B10C, idx))
+	return buf
+}
+
+// File implements Dataset: the index-th backup image of node source.
+func (d *VMImageDataset) File(source, index int) []byte {
+	family := source % d.OSFamilies
+	// The node's application selection is stable across backups.
+	appState := seedFor(uint64(d.Seed)^0x4151, source+1)
+	apps := make([]int, d.AppBlocks)
+	for i := range apps {
+		apps[i] = int(splitmix64(&appState) % uint64(d.AppPool))
+	}
+	// Mutations accumulate per backup index: backup k mutates blocks
+	// chosen from a per-(source,index) stream, so consecutive backups
+	// share all but MutateFrac of their content.
+	totalShared := d.BaseBlocks + d.AppBlocks
+	mutated := make(map[int]uint64) // block position -> content seed
+	for k := 1; k <= index; k++ {
+		mutState := seedFor(uint64(d.Seed)^0x3177A, source+1, k)
+		count := int(float64(totalShared) * d.MutateFrac)
+		for m := 0; m < count; m++ {
+			pos := int(splitmix64(&mutState) % uint64(totalShared))
+			mutated[pos] = seedFor(uint64(d.Seed)^0xDE1, source+1, k, pos)
+		}
+	}
+
+	out := make([]byte, 0, (totalShared+d.InstanceBlocks)*d.BlockSize)
+	for pos := 0; pos < totalShared; pos++ {
+		if seed, ok := mutated[pos]; ok {
+			blk := make([]byte, d.BlockSize)
+			fillRandom(blk, seed)
+			out = append(out, blk...)
+			continue
+		}
+		if pos < d.BaseBlocks {
+			out = append(out, d.baseBlock(family, pos)...)
+		} else {
+			out = append(out, d.appBlock(apps[pos-d.BaseBlocks])...)
+		}
+	}
+	// Instance-unique tail (never repeats across nodes or backups).
+	tail := make([]byte, d.InstanceBlocks*d.BlockSize)
+	fillRandom(tail, seedFor(uint64(d.Seed)^0x7A11, source+1, index+1))
+	out = append(out, tail...)
+	return out
+}
+
+// xOSBase tags base-layer seeds in the mixing above.
+const xOSBase = 0x05BA5E

@@ -1,0 +1,58 @@
+package workload
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestVMImageDeterministic(t *testing.T) {
+	d := DefaultVMImageDataset(3)
+	a := d.File(0, 0)
+	b := d.File(0, 0)
+	if !bytes.Equal(a, b) {
+		t.Fatal("same (source,index) differs")
+	}
+	if bytes.Equal(a, d.File(0, 1)) {
+		t.Fatal("successive backups identical (mutations missing)")
+	}
+	wantLen := (d.BaseBlocks + d.AppBlocks + d.InstanceBlocks) * d.BlockSize
+	if len(a) != wantLen {
+		t.Fatalf("image size %d, want %d", len(a), wantLen)
+	}
+	if d.Name() != "vm-image" || d.Sources() != d.Nodes {
+		t.Fatal("metadata wrong")
+	}
+}
+
+// TestVMImageBackupChainDedup: consecutive backups of one node share all
+// but the mutated fraction — the paper's 76-84% reduction regime.
+func TestVMImageBackupChainDedup(t *testing.T) {
+	d := DefaultVMImageDataset(5)
+	var streams [][]byte
+	for k := 0; k < 4; k++ {
+		streams = append(streams, d.File(0, k))
+	}
+	total, unique := measureDedupRatio(t, streams, d.BlockSize)
+	ratio := float64(total) / float64(unique)
+	if ratio < 2.5 {
+		t.Errorf("backup chain dedup ratio %.2f, want >= 2.5", ratio)
+	}
+}
+
+// TestVMImageOSFamilySharing: same-family nodes share the base layer;
+// different families share only the app pool.
+func TestVMImageOSFamilySharing(t *testing.T) {
+	d := DefaultVMImageDataset(7)
+	// Nodes 0 and 2 share family 0; node 1 is family 1.
+	_, uniqSame := measureDedupRatio(t, [][]byte{d.File(0, 0), d.File(2, 0)}, d.BlockSize)
+	_, uniqDiff := measureDedupRatio(t, [][]byte{d.File(0, 0), d.File(1, 0)}, d.BlockSize)
+	if uniqSame >= uniqDiff {
+		t.Errorf("same-family union %d blocks >= cross-family %d: base layer not shared", uniqSame, uniqDiff)
+	}
+	// Cross-family must still share some app blocks.
+	_, uniqSolo0 := measureDedupRatio(t, [][]byte{d.File(0, 0)}, d.BlockSize)
+	_, uniqSolo1 := measureDedupRatio(t, [][]byte{d.File(1, 0)}, d.BlockSize)
+	if uniqDiff >= uniqSolo0+uniqSolo1 {
+		t.Error("no cross-family app-pool sharing")
+	}
+}

@@ -1,0 +1,227 @@
+package workload
+
+import (
+	"bytes"
+	"testing"
+
+	"efdedup/internal/chunk"
+	"efdedup/internal/model"
+)
+
+func poolSystem() *model.System {
+	return &model.System{
+		PoolSizes: []float64{300, 150},
+		Sources: []model.Source{
+			{ID: 0, Rate: 10, Probs: []float64{0.6, 0.3}}, // 0.1 unique
+			{ID: 1, Rate: 10, Probs: []float64{0.6, 0.3}},
+			{ID: 2, Rate: 10, Probs: []float64{0.1, 0.8}},
+		},
+		T:     10,
+		Gamma: 1,
+	}
+}
+
+// measureDedupRatio chunks the given byte streams with the given size and
+// returns total/unique chunk counts.
+func measureDedupRatio(t *testing.T, streams [][]byte, chunkSize int) (total, unique int) {
+	t.Helper()
+	chunker, err := chunk.NewFixedChunker(chunkSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[chunk.ID]bool)
+	for _, s := range streams {
+		chunks, err := chunk.SplitBytes(chunker, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, c := range chunks {
+			total++
+			if !seen[c.ID] {
+				seen[c.ID] = true
+				unique++
+			}
+		}
+	}
+	return total, unique
+}
+
+func TestDatasetsDeterministic(t *testing.T) {
+	sys := poolSystem()
+	pd, err := NewPoolDataset(sys, 1024, 50, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	datasets := []Dataset{
+		pd,
+		DefaultAccelDataset(7),
+		DefaultVideoDataset(7),
+	}
+	for _, d := range datasets {
+		t.Run(d.Name(), func(t *testing.T) {
+			a := d.File(0, 0)
+			b := d.File(0, 0)
+			if !bytes.Equal(a, b) {
+				t.Fatal("same (source,index) produced different content")
+			}
+			c := d.File(0, 1)
+			if bytes.Equal(a, c) {
+				t.Fatal("different file indexes produced identical content")
+			}
+			if d.Sources() <= 0 {
+				t.Fatal("no sources")
+			}
+			if len(a) == 0 {
+				t.Fatal("empty file")
+			}
+		})
+	}
+}
+
+func TestNewPoolDatasetValidation(t *testing.T) {
+	sys := poolSystem()
+	if _, err := NewPoolDataset(sys, 0, 10, 1); err == nil {
+		t.Error("zero chunk size accepted")
+	}
+	if _, err := NewPoolDataset(sys, 10, 0, 1); err == nil {
+		t.Error("zero chunks/file accepted")
+	}
+	bad := poolSystem()
+	bad.T = -1
+	if _, err := NewPoolDataset(bad, 10, 10, 1); err == nil {
+		t.Error("invalid system accepted")
+	}
+}
+
+// TestPoolDatasetMatchesTheorem1 is the linchpin: measured unique chunks
+// on generated data must match the analytic model within Monte Carlo
+// noise, which is what makes testbed experiments comparable to model
+// predictions.
+func TestPoolDatasetMatchesTheorem1(t *testing.T) {
+	sys := poolSystem()
+	const chunkSize = 512
+	chunksPerFile := int(sys.Sources[0].Rate * sys.T) // R·T chunks per window
+	d, err := NewPoolDataset(sys, chunkSize, chunksPerFile, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// One "window" per source: file index 0.
+	for _, set := range [][]int{{0}, {0, 1}, {0, 2}, {0, 1, 2}} {
+		var streams [][]byte
+		for _, s := range set {
+			streams = append(streams, d.File(s, 0))
+		}
+		_, unique := measureDedupRatio(t, streams, chunkSize)
+		want := sys.UniqueChunks(set)
+		diff := (float64(unique) - want) / want
+		if diff < -0.12 || diff > 0.12 {
+			t.Errorf("set %v: measured %d unique chunks, model predicts %.1f (%.1f%% off)",
+				set, unique, want, diff*100)
+		}
+	}
+}
+
+// TestPoolDatasetCorrelationStructure: identically-distributed sources
+// share many chunks; near-disjoint sources share few.
+func TestPoolDatasetCorrelationStructure(t *testing.T) {
+	sys := poolSystem()
+	d, err := NewPoolDataset(sys, 512, 200, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	overlap := func(a, b int) float64 {
+		chunker, _ := chunk.NewFixedChunker(512)
+		seen := make(map[chunk.ID]bool)
+		ca, _ := chunk.SplitBytes(chunker, d.File(a, 0))
+		for _, c := range ca {
+			seen[c.ID] = true
+		}
+		cb, _ := chunk.SplitBytes(chunker, d.File(b, 0))
+		shared := 0
+		for _, c := range cb {
+			if seen[c.ID] {
+				shared++
+			}
+		}
+		return float64(shared) / float64(len(cb))
+	}
+	same := overlap(0, 1)      // identical characteristic vectors
+	different := overlap(0, 2) // near-disjoint vectors
+	if same <= different {
+		t.Errorf("correlated overlap %.3f not above uncorrelated %.3f", same, different)
+	}
+	if same < 0.2 {
+		t.Errorf("correlated sources share only %.1f%% of chunks", same*100)
+	}
+}
+
+func TestAccelDatasetRedundancyStructure(t *testing.T) {
+	d := DefaultAccelDataset(11)
+	// Within one source, motif reuse must produce substantial dedup.
+	f1, f2 := d.File(0, 0), d.File(0, 1)
+	total, unique := measureDedupRatio(t, [][]byte{f1, f2}, d.SegmentBytes)
+	ratio := float64(total) / float64(unique)
+	if ratio < 1.3 {
+		t.Errorf("accel intra-source dedup ratio %.2f, want >= 1.3 (motif reuse)", ratio)
+	}
+
+	// Cross-participant: shared motif pool yields some but less overlap.
+	_, uniqueAcross := measureDedupRatio(t, [][]byte{d.File(0, 0), d.File(1, 0)}, d.SegmentBytes)
+	_, uniqueSolo0 := measureDedupRatio(t, [][]byte{d.File(0, 0)}, d.SegmentBytes)
+	_, uniqueSolo1 := measureDedupRatio(t, [][]byte{d.File(1, 0)}, d.SegmentBytes)
+	if uniqueAcross >= uniqueSolo0+uniqueSolo1 {
+		t.Error("no cross-participant redundancy despite shared motif pool")
+	}
+}
+
+func TestVideoDatasetRedundancyStructure(t *testing.T) {
+	d := DefaultVideoDataset(13)
+	// Consecutive frames share the background: strong intra-file dedup.
+	total, unique := measureDedupRatio(t, [][]byte{d.File(0, 0)}, d.BlockSize)
+	ratio := float64(total) / float64(unique)
+	if ratio < 3 {
+		t.Errorf("video intra-file dedup ratio %.2f, want >= 3 (static background)", ratio)
+	}
+
+	// Cameras 0 and 2 share scene 0; cameras 0 and 1 do not.
+	_, uniqSameScene := measureDedupRatio(t, [][]byte{d.File(0, 0), d.File(2, 0)}, d.BlockSize)
+	_, uniqDiffScene := measureDedupRatio(t, [][]byte{d.File(0, 0), d.File(1, 0)}, d.BlockSize)
+	if uniqSameScene >= uniqDiffScene {
+		t.Errorf("same-scene union %d unique blocks, different-scene %d: expected scene sharing to help",
+			uniqSameScene, uniqDiffScene)
+	}
+}
+
+func TestAccelGaitFrequencyInBand(t *testing.T) {
+	d := DefaultAccelDataset(3)
+	for p := 0; p < d.Participants; p++ {
+		f := d.gaitFreq(p)
+		if f < 1.92 || f > 2.8 {
+			t.Errorf("participant %d gait frequency %.3f outside the paper's 1.92-2.8 Hz band", p, f)
+		}
+	}
+}
+
+func TestFillRandomDeterministicAndCovering(t *testing.T) {
+	a := make([]byte, 37) // odd length exercises the tail path
+	b := make([]byte, 37)
+	fillRandom(a, 5)
+	fillRandom(b, 5)
+	if !bytes.Equal(a, b) {
+		t.Fatal("fillRandom not deterministic")
+	}
+	fillRandom(b, 6)
+	if bytes.Equal(a, b) {
+		t.Fatal("different seeds produced identical bytes")
+	}
+	allZero := true
+	for _, x := range a[30:] {
+		if x != 0 {
+			allZero = false
+		}
+	}
+	if allZero {
+		t.Fatal("tail bytes left unfilled")
+	}
+}
