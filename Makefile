@@ -2,9 +2,16 @@
 
 GO ?= go
 
-.PHONY: all build test race bench figures figures-quick vet cover clean
+.PHONY: all build test race race-core bench figures figures-quick vet cover ci clean
 
 all: build test
+
+# What CI runs (.github/workflows/ci.yml).
+ci: build vet test race-core
+
+# Race-detect the resilience-critical packages only (fast enough for CI).
+race-core:
+	$(GO) test -race ./internal/transport ./internal/kvstore ./internal/agent ./internal/faultnet ./internal/gossip ./internal/retrypolicy
 
 build:
 	$(GO) build ./...

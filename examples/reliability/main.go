@@ -12,8 +12,11 @@
 //     (Sec. VII future work).
 //
 // This example kills an index replica mid-run, grows the ring and
-// rebalances, then stores chunks in an RS(4,2) sharded store and destroys
-// two disks — everything keeps working.
+// rebalances, stores chunks in an RS(4,2) sharded store and destroys two
+// disks, then partitions a ring-mode agent from its entire index through
+// the chaos fabric — everything keeps working: the agent downgrades to
+// cloud-assisted lookups, recovers when the partition heals, and the
+// backup restores byte-identical.
 //
 //	go run ./examples/reliability
 package main
@@ -23,6 +26,8 @@ import (
 	"context"
 	"fmt"
 	"log"
+	"math/rand"
+	"time"
 
 	"efdedup"
 	"efdedup/internal/kvstore"
@@ -156,7 +161,124 @@ func run() error {
 		}
 		rebuilt = append(rebuilt, chunkData...)
 	}
-	fmt.Printf("   destroyed 2/6 disks; restored %d bytes intact=%v at %.2fx storage (replication γ=3 would cost 3x)\n",
+	fmt.Printf("   destroyed 2/6 disks; restored %d bytes intact=%v at %.2fx storage (replication γ=3 would cost 3x)\n\n",
 		len(rebuilt), bytes.Equal(rebuilt, payload), store.Overhead())
+
+	// --- 4. Chaos: partition the agent from its ring mid-backup. --------
+	fmt.Println("4) scripted partition vs agent graceful degradation")
+	return chaosStage(ctx)
+}
+
+// chaosStage runs a fresh ring-mode deployment through a scripted
+// partition: the agent loses its whole index mid-run, downgrades to
+// cloud-assisted lookups, and recovers once the fabric heals.
+func chaosStage(ctx context.Context) error {
+	mem := transport.NewMemNetwork()
+	fab := efdedup.NewChaosFabric(efdedup.ChaosConfig{Seed: 42})
+	defer fab.Close()
+	ringNW := fab.NetworkFor("ring", mem)
+	cloudNW := fab.NetworkFor("cloud", mem)
+	edgeNW := fab.NetworkFor("edge", mem)
+
+	cloudSrv, err := efdedup.NewCloudServer(efdedup.CloudServerConfig{})
+	if err != nil {
+		return err
+	}
+	defer cloudSrv.Close()
+	l, err := cloudNW.Listen("cloud")
+	if err != nil {
+		return err
+	}
+	cloudSrv.Serve(l)
+
+	var members []string
+	for i := 0; i < 3; i++ {
+		node, err := efdedup.NewIndexNode(efdedup.IndexNodeConfig{})
+		if err != nil {
+			return err
+		}
+		defer node.Close()
+		addr := fmt.Sprintf("ring-kv-%d", i)
+		lk, err := ringNW.Listen(addr)
+		if err != nil {
+			return err
+		}
+		node.Serve(lk)
+		members = append(members, addr)
+	}
+
+	idx, err := efdedup.NewIndexCluster(efdedup.IndexClusterConfig{
+		Members:           members,
+		ReplicationFactor: 2,
+		Network:           edgeNW,
+		CallTimeout:       100 * time.Millisecond,
+		Retry:             efdedup.RetryPolicy{MaxAttempts: 2, BaseDelay: 5 * time.Millisecond, Seed: 1},
+		Breaker:           efdedup.BreakerConfig{FailureThreshold: 3, OpenFor: 50 * time.Millisecond},
+	})
+	if err != nil {
+		return err
+	}
+	defer idx.Close()
+
+	cloud, err := efdedup.DialCloudWithPolicy(ctx, edgeNW, "cloud",
+		efdedup.RetryPolicy{MaxAttempts: 3}, efdedup.BreakerConfig{})
+	if err != nil {
+		return err
+	}
+	defer cloud.Close()
+
+	a, err := efdedup.NewAgent(efdedup.AgentConfig{
+		Name:  "edge-agent",
+		Mode:  efdedup.ModeRing,
+		Index: idx,
+		Cloud: cloud,
+	})
+	if err != nil {
+		return err
+	}
+
+	data := make([]byte, 256*1024)
+	rand.New(rand.NewSource(7)).Read(data)
+
+	if _, err := a.ProcessBytes(ctx, "healthy", data); err != nil {
+		return err
+	}
+	fmt.Printf("   healthy stream processed; degraded=%v\n", a.Degraded())
+
+	// Script the outage: cut edge↔ring now, heal in 300ms.
+	fab.PartitionBoth("edge", "ring")
+	fab.Schedule(300*time.Millisecond, func(f *efdedup.ChaosFabric) { f.HealAll() })
+
+	rep, err := a.ProcessBytes(ctx, "mid-partition", data[:128*1024])
+	if err != nil {
+		return fmt.Errorf("stream aborted under partition: %w", err)
+	}
+	fmt.Printf("   partitioned stream survived: downgrades=%d degraded-lookups=%d (breakers: %v)\n",
+		rep.Downgrades, rep.DegradedLookups, breakerSummary(idx.BreakerStates()))
+
+	// Process follow-up streams until the agent walks back up the ladder.
+	for i := 0; a.Degraded() && i < 100; i++ {
+		time.Sleep(20 * time.Millisecond)
+		if _, err := a.ProcessBytes(ctx, fmt.Sprintf("probe-%d", i), data[:16*1024]); err != nil {
+			return err
+		}
+	}
+	tot := a.Totals()
+	fmt.Printf("   healed: degraded=%v downgrades=%d recoveries=%d\n", a.Degraded(), tot.Downgrades, tot.Recoveries)
+
+	restored, err := cloud.Restore(ctx, "mid-partition")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("   mid-partition backup restores intact=%v\n", bytes.Equal(restored, data[:128*1024]))
 	return nil
+}
+
+// breakerSummary counts breaker states across the ring's addresses.
+func breakerSummary(states map[string]efdedup.BreakerState) map[efdedup.BreakerState]int {
+	out := make(map[efdedup.BreakerState]int)
+	for _, s := range states {
+		out[s]++
+	}
+	return out
 }

@@ -23,6 +23,8 @@ import (
 	"sync"
 	"time"
 
+	"sync/atomic"
+
 	"efdedup/internal/chunk"
 	"efdedup/internal/cloudstore"
 	"efdedup/internal/kvstore"
@@ -77,6 +79,11 @@ type Config struct {
 	LookupBatch int
 	// UploadBatch is the number of chunks per cloud upload RPC.
 	UploadBatch int
+	// StrictRing disables graceful degradation in ModeRing: ring index
+	// failures abort the stream instead of downgrading to cloud-assisted
+	// lookups. By default a ring outage costs dedup efficiency, never the
+	// backup — the cloud re-deduplicates whatever the edge over-sends.
+	StrictRing bool
 }
 
 // Report summarizes one processed stream.
@@ -95,6 +102,16 @@ type Report struct {
 	UploadedBytes  int64
 	// Duration is wall-clock processing time.
 	Duration time.Duration
+
+	// Degradation telemetry (ModeRing only). Downgrades counts ring →
+	// cloud-assisted transitions, Recoveries the reverse. DegradedLookups
+	// is how many chunk lookups were answered without the ring index.
+	// IndexInsertFailures counts fresh hashes the ring refused to record
+	// (peers will re-upload those chunks; correctness is unaffected).
+	Downgrades          int64
+	Recoveries          int64
+	DegradedLookups     int64
+	IndexInsertFailures int64
 }
 
 // Throughput returns the client-observed dedup throughput in bytes/second
@@ -124,6 +141,9 @@ type Agent struct {
 	cfg Config
 
 	total Report // cumulative across streams
+
+	mu       sync.Mutex
+	degraded bool // ring lookups currently downgraded
 }
 
 // New validates cfg and returns an agent.
@@ -158,6 +178,34 @@ func New(cfg Config) (*Agent, error) {
 
 // Mode returns the agent's operating mode.
 func (a *Agent) Mode() Mode { return a.cfg.Mode }
+
+// Degraded reports whether ring lookups are currently downgraded to the
+// cloud-assisted path.
+func (a *Agent) Degraded() bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.degraded
+}
+
+// noteDowngrade flips the agent into degraded mode, reporting whether
+// this call was the transition.
+func (a *Agent) noteDowngrade() bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	was := a.degraded
+	a.degraded = true
+	return !was
+}
+
+// noteRecovery flips the agent back to ring lookups, reporting whether
+// this call was the transition.
+func (a *Agent) noteRecovery() bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	was := a.degraded
+	a.degraded = false
+	return was
+}
 
 // Totals returns cumulative counters across all processed streams.
 func (a *Agent) Totals() Report { return a.total }
@@ -230,10 +278,11 @@ type pipeline struct {
 	uploads   chan []chunk.Chunk
 	uploadErr chan error
 
-	indexWG  sync.WaitGroup
-	indexMu  sync.Mutex
-	indexErr error
-	indexSem chan struct{}
+	indexWG          sync.WaitGroup
+	indexMu          sync.Mutex
+	indexErr         error
+	indexSem         chan struct{}
+	indexInsertFails atomic.Int64
 }
 
 func (a *Agent) newPipeline(ctx context.Context, name string) *pipeline {
@@ -286,7 +335,7 @@ func (p *pipeline) flushLookups() error {
 	}
 	batch := p.lookupBuf
 	p.lookupBuf = nil
-	known, err := p.a.lookup(p.ctx, batch)
+	known, err := p.lookup(batch)
 	if err != nil {
 		return err
 	}
@@ -316,11 +365,19 @@ func (p *pipeline) flushLookups() error {
 			defer p.indexWG.Done()
 			defer func() { <-p.indexSem }()
 			if err := p.a.cfg.Index.BatchPut(p.ctx, keys, values); err != nil {
-				p.indexMu.Lock()
-				if p.indexErr == nil {
-					p.indexErr = fmt.Errorf("agent: index insert: %w", err)
+				// A missed insert only costs future dedup hits (peers
+				// re-upload those chunks), so in degraded-tolerant mode
+				// it is counted, not fatal. Cancellation stays fatal so
+				// aborted streams abort.
+				if p.a.cfg.StrictRing || p.ctx.Err() != nil {
+					p.indexMu.Lock()
+					if p.indexErr == nil {
+						p.indexErr = fmt.Errorf("agent: index insert: %w", err)
+					}
+					p.indexMu.Unlock()
+				} else {
+					p.indexInsertFails.Add(int64(len(keys)))
 				}
-				p.indexMu.Unlock()
 			}
 		}(freshIDs, values)
 	}
@@ -351,6 +408,7 @@ func (p *pipeline) finish(streamErr error) (Report, error) {
 	close(p.uploads)
 	uploadFailure := <-p.uploadErr
 	p.indexWG.Wait()
+	p.rep.IndexInsertFailures = p.indexInsertFails.Load()
 	p.indexMu.Lock()
 	indexFailure := p.indexErr
 	p.indexMu.Unlock()
@@ -366,7 +424,16 @@ func (p *pipeline) finish(streamErr error) (Report, error) {
 }
 
 // lookup answers which chunks in the batch are already indexed.
-func (a *Agent) lookup(ctx context.Context, batch []chunk.Chunk) ([]bool, error) {
+//
+// In ModeRing (without StrictRing) it walks a downgrade ladder instead of
+// failing the stream: ring index → cloud-assisted lookup → assume-fresh.
+// Every rung preserves correctness — a chunk wrongly treated as fresh is
+// re-deduplicated by the cloud's own index on upload — so ring outages
+// cost WAN bytes, never data. The ring is still tried first on every
+// batch: while its breakers are open those attempts fail fast, and the
+// first one that succeeds after an outage is the recovery transition.
+func (p *pipeline) lookup(batch []chunk.Chunk) ([]bool, error) {
+	a := p.a
 	switch a.cfg.Mode {
 	case ModeRing:
 		keys := make([][]byte, len(batch))
@@ -374,21 +441,41 @@ func (a *Agent) lookup(ctx context.Context, batch []chunk.Chunk) ([]bool, error)
 			id := c.ID
 			keys[i] = id[:]
 		}
-		known, err := a.cfg.Index.BatchHas(ctx, keys)
-		if err != nil {
+		known, err := a.cfg.Index.BatchHas(p.ctx, keys)
+		if err == nil {
+			if a.noteRecovery() {
+				p.rep.Recoveries++
+			}
+			return known, nil
+		}
+		if p.ctx.Err() != nil || a.cfg.StrictRing {
 			return nil, fmt.Errorf("agent: ring lookup: %w", err)
 		}
-		return known, nil
+		if a.noteDowngrade() {
+			p.rep.Downgrades++
+		}
+		p.rep.DegradedLookups += int64(len(batch))
+		fallthrough
 	case ModeCloudAssisted:
 		ids := make([]chunk.ID, len(batch))
 		for i, c := range batch {
 			ids[i] = c.ID
 		}
-		known, err := a.cfg.Cloud.BatchHas(ctx, ids)
-		if err != nil {
+		known, err := a.cfg.Cloud.BatchHas(p.ctx, ids)
+		if err == nil {
+			return known, nil
+		}
+		if a.cfg.Mode == ModeCloudAssisted {
+			// The cloud is this mode's only index; nothing to fall back to
+			// but the uploader, which needs the same cloud anyway.
 			return nil, fmt.Errorf("agent: cloud lookup: %w", err)
 		}
-		return known, nil
+		if p.ctx.Err() != nil {
+			return nil, fmt.Errorf("agent: cloud lookup: %w", err)
+		}
+		// Bottom rung: assume every chunk fresh and let the cloud's own
+		// index dedup on upload (ModeCloudOnly semantics per batch).
+		return make([]bool, len(batch)), nil
 	default:
 		return nil, fmt.Errorf("agent: lookup in mode %s", a.cfg.Mode)
 	}
@@ -401,4 +488,8 @@ func (a *Agent) accumulate(rep Report) {
 	a.total.UploadedChunks += rep.UploadedChunks
 	a.total.UploadedBytes += rep.UploadedBytes
 	a.total.Duration += rep.Duration
+	a.total.Downgrades += rep.Downgrades
+	a.total.Recoveries += rep.Recoveries
+	a.total.DegradedLookups += rep.DegradedLookups
+	a.total.IndexInsertFailures += rep.IndexInsertFailures
 }

@@ -1,6 +1,7 @@
 package agent
 
 import (
+	"bytes"
 	"context"
 	"strings"
 	"testing"
@@ -61,10 +62,9 @@ func TestUploadFailureSurfacesAndDrains(t *testing.T) {
 	}
 }
 
-// TestIndexFailureSurfaces: ring mode with every index node dead must
-// fail the stream with an index/lookup error.
-func TestIndexFailureSurfaces(t *testing.T) {
-	tb := newTestbed(t, 1)
+// deadRingIndex is a cluster whose only member never existed.
+func deadRingIndex(t *testing.T, tb *testbed) *kvstore.Cluster {
+	t.Helper()
 	idx, err := kvstore.NewCluster(kvstore.ClusterConfig{
 		Members:     []string{"kv-gone"},
 		Network:     tb.nw,
@@ -74,18 +74,61 @@ func TestIndexFailureSurfaces(t *testing.T) {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { idx.Close() })
+	return idx
+}
+
+// TestIndexFailureDowngradesToCloud: ring mode with every index node dead
+// degrades to cloud-assisted lookups instead of failing the stream, and
+// records the downgrade in the report.
+func TestIndexFailureDowngradesToCloud(t *testing.T) {
+	tb := newTestbed(t, 1)
 	a, err := New(Config{
 		Name:  "no-index",
 		Mode:  ModeRing,
-		Index: idx,
+		Index: deadRingIndex(t, tb),
 		Cloud: tb.cloudClient(t),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := a.ProcessBytes(context.Background(), "f", duplicatedData(2, 64*1024))
+	if err != nil {
+		t.Fatalf("degraded processing failed: %v", err)
+	}
+	if rep.Downgrades == 0 || rep.DegradedLookups == 0 {
+		t.Fatalf("downgrade not recorded: %+v", rep)
+	}
+	if !a.Degraded() {
+		t.Fatal("agent not marked degraded after ring outage")
+	}
+	// The backup is still restorable despite the dead index.
+	got, err := tb.cloudClient(t).Restore(context.Background(), "f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, duplicatedData(2, 64*1024)) {
+		t.Fatal("degraded-mode restore is not byte-identical")
+	}
+}
+
+// TestIndexFailureSurfacesWhenStrict: StrictRing restores the old
+// behaviour — every index node dead fails the stream with an index/lookup
+// error.
+func TestIndexFailureSurfacesWhenStrict(t *testing.T) {
+	tb := newTestbed(t, 1)
+	a, err := New(Config{
+		Name:       "no-index",
+		Mode:       ModeRing,
+		Index:      deadRingIndex(t, tb),
+		Cloud:      tb.cloudClient(t),
+		StrictRing: true,
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
 	_, err = a.ProcessBytes(context.Background(), "f", duplicatedData(2, 64*1024))
 	if err == nil {
-		t.Fatal("processing succeeded without a reachable index")
+		t.Fatal("strict processing succeeded without a reachable index")
 	}
 	if !strings.Contains(err.Error(), "lookup") && !strings.Contains(err.Error(), "index") {
 		t.Fatalf("unexpected error kind: %v", err)

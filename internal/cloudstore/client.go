@@ -6,8 +6,10 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"sync"
 
 	"efdedup/internal/chunk"
+	"efdedup/internal/retrypolicy"
 	"efdedup/internal/transport"
 )
 
@@ -16,31 +18,129 @@ type Dialer interface {
 	Dial(ctx context.Context, addr string) (net.Conn, error)
 }
 
-// Client talks to a cloud store over one multiplexed connection.
+// Client talks to a cloud store over one multiplexed connection. Transport
+// failures are retried under a policy and redial the connection, so a WAN
+// blip does not surface to the agent; a circuit breaker fails fast while
+// the cloud stays unreachable.
 type Client struct {
-	addr   string
-	dialer Dialer
-	rpc    *transport.Client
+	addr    string
+	dialer  Dialer
+	retrier *retrypolicy.Retrier
+	breaker *retrypolicy.Breaker
+
+	mu  sync.Mutex
+	rpc *transport.Client // nil after a transport failure until redial
 }
 
-// Dial connects to the cloud store at addr.
+// Dial connects to the cloud store at addr with the default retry policy
+// and breaker.
 func Dial(ctx context.Context, d Dialer, addr string) (*Client, error) {
-	conn, err := d.Dial(ctx, addr)
-	if err != nil {
-		return nil, fmt.Errorf("cloudstore: dial %s: %w", addr, err)
-	}
-	return &Client{addr: addr, dialer: d, rpc: transport.NewClient(conn)}, nil
+	return DialWithPolicy(ctx, d, addr, retrypolicy.Policy{}, retrypolicy.BreakerConfig{})
 }
+
+// DialWithPolicy connects with an explicit retry policy and breaker
+// configuration. The initial dial is eager — callers learn about a
+// persistently unreachable cloud immediately — but runs under the same
+// retry policy as every later RPC, so a transient refusal at startup is
+// absorbed rather than fatal. Later redials happen lazily per attempt.
+func DialWithPolicy(ctx context.Context, d Dialer, addr string, p retrypolicy.Policy, b retrypolicy.BreakerConfig) (*Client, error) {
+	c := &Client{
+		addr:    addr,
+		dialer:  d,
+		retrier: retrypolicy.New(p),
+		breaker: retrypolicy.NewBreaker(b),
+	}
+	err := c.retrier.Do(ctx, c.breaker, nil, transport.Retryable,
+		func(actx context.Context) error {
+			_, err := c.conn(actx)
+			return err
+		})
+	if err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Breaker exposes the client's circuit breaker state (for stats and the
+// agent's recovery probing).
+func (c *Client) Breaker() *retrypolicy.Breaker { return c.breaker }
 
 // Close releases the connection.
-func (c *Client) Close() error { return c.rpc.Close() }
+func (c *Client) Close() error {
+	c.mu.Lock()
+	rpc := c.rpc
+	c.rpc = nil
+	c.mu.Unlock()
+	if rpc == nil {
+		return nil
+	}
+	return rpc.Close()
+}
+
+// conn returns the live connection, redialing if the last one was dropped.
+func (c *Client) conn(ctx context.Context) (*transport.Client, error) {
+	c.mu.Lock()
+	rpc := c.rpc
+	c.mu.Unlock()
+	if rpc != nil {
+		return rpc, nil
+	}
+	raw, err := c.dialer.Dial(ctx, c.addr)
+	if err != nil {
+		return nil, fmt.Errorf("cloudstore: dial %s: %w", c.addr, err)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.rpc != nil { // lost a redial race; keep the winner
+		raw.Close()
+		return c.rpc, nil
+	}
+	c.rpc = transport.NewClient(raw)
+	return c.rpc, nil
+}
+
+// drop discards a failed connection so the next attempt redials. Only the
+// exact connection that failed is dropped, so a concurrent redial's fresh
+// connection survives.
+func (c *Client) drop(rpc *transport.Client) {
+	c.mu.Lock()
+	if c.rpc == rpc {
+		c.rpc = nil
+	}
+	c.mu.Unlock()
+	rpc.Close()
+}
+
+// call issues one RPC under the retry policy and breaker. Application
+// errors (RemoteError) return immediately; transport failures drop the
+// connection and retry over a fresh dial.
+func (c *Client) call(ctx context.Context, method string, body []byte) ([]byte, error) {
+	var resp []byte
+	err := c.retrier.Do(ctx, c.breaker, nil, transport.Retryable,
+		func(actx context.Context) error {
+			rpc, err := c.conn(actx)
+			if err != nil {
+				return err
+			}
+			r, err := rpc.Call(actx, method, body)
+			if err != nil {
+				if !transport.IsRemoteError(err) {
+					c.drop(rpc)
+				}
+				return err
+			}
+			resp = r
+			return nil
+		})
+	return resp, err
+}
 
 // Upload stores one chunk, returning whether the cloud had not seen it.
 func (c *Client) Upload(ctx context.Context, ck chunk.Chunk) (fresh bool, err error) {
 	body := make([]byte, 0, chunk.IDSize+len(ck.Data))
 	body = append(body, ck.ID[:]...)
 	body = append(body, ck.Data...)
-	resp, err := c.rpc.Call(ctx, methodUpload, body)
+	resp, err := c.call(ctx, methodUpload, body)
 	if err != nil {
 		return false, err
 	}
@@ -55,7 +155,7 @@ func (c *Client) BatchUpload(ctx context.Context, chunks []chunk.Chunk) (stored 
 		body = binary.BigEndian.AppendUint32(body, uint32(len(ck.Data)))
 		body = append(body, ck.Data...)
 	}
-	resp, err := c.rpc.Call(ctx, methodBatchUpload, body)
+	resp, err := c.call(ctx, methodBatchUpload, body)
 	if err != nil {
 		return 0, err
 	}
@@ -72,7 +172,7 @@ func (c *Client) BatchHas(ctx context.Context, ids []chunk.ID) ([]bool, error) {
 	for _, id := range ids {
 		body = append(body, id[:]...)
 	}
-	resp, err := c.rpc.Call(ctx, methodBatchHas, body)
+	resp, err := c.call(ctx, methodBatchHas, body)
 	if err != nil {
 		return nil, err
 	}
@@ -95,7 +195,7 @@ func (c *Client) UploadRaw(ctx context.Context, name string, data []byte) (store
 	body := binary.BigEndian.AppendUint16(nil, uint16(len(name)))
 	body = append(body, name...)
 	body = append(body, data...)
-	resp, err := c.rpc.Call(ctx, methodUploadRaw, body)
+	resp, err := c.call(ctx, methodUploadRaw, body)
 	if err != nil {
 		return 0, err
 	}
@@ -107,7 +207,7 @@ func (c *Client) UploadRaw(ctx context.Context, name string, data []byte) (store
 
 // GetChunk fetches one chunk's payload.
 func (c *Client) GetChunk(ctx context.Context, id chunk.ID) ([]byte, error) {
-	resp, err := c.rpc.Call(ctx, methodGetChunk, id[:])
+	resp, err := c.call(ctx, methodGetChunk, id[:])
 	if err != nil {
 		if isRemoteNotFound(err) {
 			return nil, ErrNotFound
@@ -127,13 +227,13 @@ func (c *Client) PutManifest(ctx context.Context, name string, ids []chunk.ID) e
 	for _, id := range ids {
 		body = append(body, id[:]...)
 	}
-	_, err := c.rpc.Call(ctx, methodPutManifest, body)
+	_, err := c.call(ctx, methodPutManifest, body)
 	return err
 }
 
 // GetManifest returns the chunk sequence of a named file.
 func (c *Client) GetManifest(ctx context.Context, name string) ([]chunk.ID, error) {
-	resp, err := c.rpc.Call(ctx, methodGetManifest, []byte(name))
+	resp, err := c.call(ctx, methodGetManifest, []byte(name))
 	if err != nil {
 		if isRemoteNotFound(err) {
 			return nil, ErrNotFound
@@ -172,7 +272,7 @@ func (c *Client) Restore(ctx context.Context, name string) ([]byte, error) {
 
 // FetchStats retrieves the server's counters.
 func (c *Client) FetchStats(ctx context.Context) (Stats, error) {
-	resp, err := c.rpc.Call(ctx, methodStats, nil)
+	resp, err := c.call(ctx, methodStats, nil)
 	if err != nil {
 		return Stats{}, err
 	}

@@ -23,6 +23,7 @@ import (
 	"sync"
 	"time"
 
+	"efdedup/internal/retrypolicy"
 	"efdedup/internal/transport"
 )
 
@@ -105,6 +106,7 @@ type Node struct {
 	listener net.Listener
 	clients  map[string]*transport.Client
 	rng      *rand.Rand
+	breakers *retrypolicy.BreakerSet
 
 	stopOnce sync.Once
 	stop     chan struct{}
@@ -138,8 +140,15 @@ func Start(cfg Config) (*Node, error) {
 		table:   map[string]entry{cfg.Addr: {heartbeat: 1, updated: time.Now()}},
 		clients: make(map[string]*transport.Client),
 		rng:     rand.New(rand.NewSource(seed)),
-		stop:    make(chan struct{}),
-		done:    make(chan struct{}),
+		// Per-peer breakers keep rounds from burning on a downed peer:
+		// while a breaker is open the peer is skipped during target
+		// selection, then probed again after a few intervals.
+		breakers: retrypolicy.NewBreakerSet(retrypolicy.BreakerConfig{
+			FailureThreshold: 3,
+			OpenFor:          4 * cfg.Interval,
+		}),
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
 	}
 	for _, s := range cfg.Seeds {
 		if s != cfg.Addr {
@@ -250,14 +259,16 @@ func (n *Node) round() {
 	self.updated = time.Now()
 	n.table[n.cfg.Addr] = self
 
-	// Candidate peers: everyone not judged dead, excluding self.
+	// Candidate peers: everyone not judged dead, excluding self and
+	// peers behind an open breaker (they rejoin the pool once the
+	// breaker's cool-down makes it half-open).
 	now := time.Now()
 	var peers []string
 	for addr, e := range n.table {
 		if addr == n.cfg.Addr {
 			continue
 		}
-		if n.statusLocked(addr, e, now) != Dead {
+		if n.statusLocked(addr, e, now) != Dead && n.breakers.For(addr).State() != retrypolicy.Open {
 			peers = append(peers, addr)
 		}
 	}
@@ -271,9 +282,12 @@ func (n *Node) round() {
 	ctx, cancel := context.WithTimeout(context.Background(), n.cfg.Interval)
 	defer cancel()
 	resp, err := n.call(ctx, target, n.encodeTable())
+	br := n.breakers.For(target)
 	if err != nil {
+		br.Failure()
 		return // the failure detector handles persistent silence
 	}
+	br.Success()
 	n.mergeTable(resp)
 }
 

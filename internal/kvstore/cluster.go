@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"efdedup/internal/hashring"
+	"efdedup/internal/retrypolicy"
 	"efdedup/internal/transport"
 )
 
@@ -85,8 +86,24 @@ type ClusterConfig struct {
 	// gossip node). When set, a peer judged not-alive is skipped the same
 	// way the built-in ping detector's down set is.
 	Membership LivenessView
-	// CallTimeout bounds each RPC; defaults to 5s.
+	// CallTimeout bounds each RPC attempt; defaults to 5s.
 	CallTimeout time.Duration
+	// PingTimeout bounds each health-probe ping; defaults to the smaller
+	// of HeartbeatInterval and 1s.
+	PingTimeout time.Duration
+	// Retry tunes the per-RPC retry/backoff schedule (transient faults
+	// are absorbed below the consistency layer instead of surfacing as
+	// ErrNoQuorum). Zero fields take retrypolicy defaults; the
+	// per-attempt timeout is CallTimeout.
+	Retry retrypolicy.Policy
+	// Breaker tunes the per-address circuit breaker.
+	Breaker retrypolicy.BreakerConfig
+	// DisableRetry forces single-attempt RPCs (the pre-resilience
+	// behaviour); the circuit breaker still observes outcomes.
+	DisableRetry bool
+	// RetryBudget caps retry amplification across the whole coordinator;
+	// nil gets a default bucket (256 tokens, successes refill 0.5).
+	RetryBudget *retrypolicy.Budget
 }
 
 // LivenessView answers liveness queries for cluster members; the gossip
@@ -103,6 +120,10 @@ var ErrNoQuorum = errors.New("kvstore: not enough replicas responded")
 type Cluster struct {
 	cfg  ClusterConfig
 	ring *hashring.Ring
+
+	retrier  *retrypolicy.Retrier
+	breakers *retrypolicy.BreakerSet
+	budget   *retrypolicy.Budget
 
 	versionCounter atomic.Uint64
 
@@ -149,6 +170,21 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	if cfg.CallTimeout == 0 {
 		cfg.CallTimeout = 5 * time.Second
 	}
+	if cfg.PingTimeout == 0 {
+		cfg.PingTimeout = time.Second
+		if cfg.HeartbeatInterval > 0 && cfg.HeartbeatInterval < cfg.PingTimeout {
+			cfg.PingTimeout = cfg.HeartbeatInterval
+		}
+	}
+	if cfg.Retry.AttemptTimeout == 0 {
+		cfg.Retry.AttemptTimeout = cfg.CallTimeout
+	}
+	if cfg.DisableRetry {
+		cfg.Retry.MaxAttempts = 1
+	}
+	if cfg.RetryBudget == nil {
+		cfg.RetryBudget = retrypolicy.NewBudget(256, 0.5)
+	}
 	ring, err := hashring.New(cfg.VirtualNodes)
 	if err != nil {
 		return nil, err
@@ -165,11 +201,14 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		return nil, fmt.Errorf("kvstore: local address %q is not a member", cfg.LocalAddr)
 	}
 	c := &Cluster{
-		cfg:     cfg,
-		ring:    ring,
-		clients: make(map[string]*transport.Client),
-		down:    make(map[string]bool),
-		hints:   make(map[string][]hint),
+		cfg:      cfg,
+		ring:     ring,
+		retrier:  retrypolicy.New(cfg.Retry),
+		breakers: retrypolicy.NewBreakerSet(cfg.Breaker),
+		budget:   cfg.RetryBudget,
+		clients:  make(map[string]*transport.Client),
+		down:     make(map[string]bool),
+		hints:    make(map[string][]hint),
 	}
 	c.versionCounter.Store(uint64(time.Now().UnixNano()))
 	if cfg.HeartbeatInterval > 0 {
@@ -232,25 +271,48 @@ func (c *Cluster) dropClient(addr string, cl *transport.Client) {
 	cl.Close()
 }
 
-// call performs one RPC against addr with the configured timeout. Remote
-// application errors (like ErrNotFound) do not tear down the connection;
-// transport failures do.
+// call performs one RPC against addr under the retry policy and the
+// address's circuit breaker: transient transport failures are retried
+// with jittered backoff (within the retry budget) and every attempt is
+// bounded by CallTimeout. Remote application errors (like ErrNotFound)
+// do not tear down the connection, are never retried and count as
+// breaker successes; transport failures drop the connection so the next
+// attempt redials.
 func (c *Cluster) call(ctx context.Context, addr, method string, body []byte) ([]byte, error) {
+	var resp []byte
+	err := c.retrier.Do(ctx, c.breakers.For(addr), c.budget, transport.Retryable,
+		func(actx context.Context) error {
+			r, err := c.callAttempt(actx, addr, method, body)
+			if err != nil {
+				return err
+			}
+			resp = r
+			return nil
+		})
+	return resp, err
+}
+
+// callAttempt performs a single un-retried RPC attempt against addr.
+// The caller is responsible for bounding ctx.
+func (c *Cluster) callAttempt(ctx context.Context, addr, method string, body []byte) ([]byte, error) {
 	cl, err := c.client(ctx, addr)
 	if err != nil {
 		return nil, err
 	}
-	cctx, cancel := context.WithTimeout(ctx, c.cfg.CallTimeout)
-	defer cancel()
-	resp, err := cl.Call(cctx, method, body)
+	resp, err := cl.Call(ctx, method, body)
 	if err != nil {
-		var remote *transport.RemoteError
-		if !errors.As(err, &remote) {
+		if !transport.IsRemoteError(err) {
 			c.dropClient(addr, cl)
 		}
 		return nil, err
 	}
 	return resp, nil
+}
+
+// BreakerStates snapshots every member's circuit-breaker state (for
+// observability and tests).
+func (c *Cluster) BreakerStates() map[string]retrypolicy.BreakerState {
+	return c.breakers.States()
 }
 
 // replicas returns the replica set for key in preference order: the local
@@ -679,27 +741,72 @@ func (c *Cluster) healthLoop() {
 	}
 }
 
+// checkMembers probes every member concurrently under PingTimeout — the
+// sweep's latency is one probe round trip, not the sum over dead members
+// — records breaker outcomes (a successful ping closes an open breaker,
+// restoring fast recovery), updates the down set and replays queued
+// hints to recovered nodes.
 func (c *Cluster) checkMembers() {
+	var wg sync.WaitGroup
 	for _, addr := range c.Members() {
-		ctx, cancel := context.WithTimeout(context.Background(), c.cfg.HeartbeatInterval)
-		_, err := c.call(ctx, addr, methodPing, nil)
-		cancel()
-		c.mu.Lock()
-		wasDown := c.down[addr]
-		c.down[addr] = err != nil
-		var replay []hint
-		if err == nil && wasDown && len(c.hints[addr]) > 0 {
-			replay = c.hints[addr]
-			delete(c.hints, addr)
-		}
-		c.mu.Unlock()
-		for _, h := range replay {
-			body := encodeEntry(nil, h.key, h.e)
-			ctx, cancel := context.WithTimeout(context.Background(), c.cfg.CallTimeout)
-			if _, err := c.call(ctx, addr, methodPut, body); err != nil {
-				c.storeHint(addr, h.key, h.e)
-			}
+		wg.Add(1)
+		go func(addr string) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), c.cfg.PingTimeout)
+			_, err := c.callAttempt(ctx, addr, methodPing, nil)
 			cancel()
+			br := c.breakers.For(addr)
+			if err != nil {
+				br.Failure()
+			} else {
+				br.Success()
+			}
+			c.mu.Lock()
+			wasDown := c.down[addr]
+			c.down[addr] = err != nil
+			var replay []hint
+			if err == nil && wasDown && len(c.hints[addr]) > 0 {
+				replay = c.hints[addr]
+				delete(c.hints, addr)
+			}
+			c.mu.Unlock()
+			if len(replay) > 0 {
+				c.replayHints(addr, replay)
+			}
+		}(addr)
+	}
+	wg.Wait()
+}
+
+// hintReplayBatch is how many queued hints ride in one kv.batchput RPC.
+const hintReplayBatch = 128
+
+// replayHints delivers queued hints in kv.batchput batches (one RPC per
+// batch instead of one per hint), stopping on the first failure and
+// re-queueing everything undelivered — a node that flaps mid-replay
+// keeps its remaining hints and the next recovery resumes from there.
+// Entries carry versions and nodes apply last-write-wins, so replay
+// order and double delivery are both harmless.
+func (c *Cluster) replayHints(addr string, hints []hint) {
+	for start := 0; start < len(hints); start += hintReplayBatch {
+		end := start + hintReplayBatch
+		if end > len(hints) {
+			end = len(hints)
+		}
+		batch := hints[start:end]
+		body := binary.BigEndian.AppendUint32(nil, uint32(len(batch)))
+		for _, h := range batch {
+			body = encodeEntry(body, h.key, h.e)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), c.cfg.CallTimeout)
+		_, err := c.callAttempt(ctx, addr, methodBatchPut, body)
+		cancel()
+		if err != nil {
+			c.mu.Lock()
+			c.down[addr] = true
+			c.hints[addr] = append(hints[start:], c.hints[addr]...)
+			c.mu.Unlock()
+			return
 		}
 	}
 }

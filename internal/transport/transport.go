@@ -53,6 +53,20 @@ func (e *RemoteError) Error() string {
 	return fmt.Sprintf("transport: remote %s: %s", e.Method, e.Msg)
 }
 
+// IsRemoteError reports whether err is (or wraps) an application-level
+// RemoteError. Retry layers use this to classify failures: a remote error
+// proves the transport worked and must not be retried or counted against
+// a peer's circuit breaker.
+func IsRemoteError(err error) bool {
+	var remote *RemoteError
+	return errors.As(err, &remote)
+}
+
+// Retryable is the standard retry classifier for transport calls:
+// everything except an application-level RemoteError (dial failures,
+// resets, timeouts, lost connections) is worth retrying.
+func Retryable(err error) bool { return !IsRemoteError(err) }
+
 // writeFrame writes one length-prefixed frame. Callers must serialize.
 func writeFrame(w io.Writer, payload []byte) error {
 	if len(payload) > MaxFrameSize {

@@ -8,8 +8,10 @@ import (
 	"efdedup/internal/chunk"
 	"efdedup/internal/cloudstore"
 	"efdedup/internal/cluster"
+	"efdedup/internal/faultnet"
 	"efdedup/internal/kvstore"
 	"efdedup/internal/netem"
+	"efdedup/internal/retrypolicy"
 )
 
 // Chunker splits byte streams into content-addressed chunks.
@@ -125,6 +127,35 @@ type (
 // NewTopology builds a topology with a fallback link for unspecified site
 // pairs.
 func NewTopology(fallback Link) *Topology { return netem.NewTopology(fallback) }
+
+// Resilience types: the retry/backoff/circuit-breaker layer under every
+// RPC path and the chaos fabric that exercises it.
+type (
+	// RetryPolicy tunes capped exponential backoff with jitter.
+	RetryPolicy = retrypolicy.Policy
+	// BreakerConfig tunes the per-address circuit breaker.
+	BreakerConfig = retrypolicy.BreakerConfig
+	// BreakerState is closed / open / half-open.
+	BreakerState = retrypolicy.BreakerState
+	// ChaosFabric injects scripted partitions and seeded stochastic
+	// faults into any Listen/Dial network.
+	ChaosFabric = faultnet.Fabric
+	// ChaosConfig tunes the fabric's stochastic injectors.
+	ChaosConfig = faultnet.Config
+)
+
+// ErrChaosInjected marks every failure a ChaosFabric fabricates.
+var ErrChaosInjected = faultnet.ErrInjected
+
+// NewChaosFabric builds an empty chaos fabric; wrap networks with
+// NetworkFor and script faults with Partition/Schedule.
+func NewChaosFabric(cfg ChaosConfig) *ChaosFabric { return faultnet.NewFabric(cfg) }
+
+// DialCloudWithPolicy connects a cloud client with explicit retry and
+// breaker settings.
+func DialCloudWithPolicy(ctx context.Context, d Dialer, addr string, p RetryPolicy, b BreakerConfig) (*CloudClient, error) {
+	return cloudstore.DialWithPolicy(ctx, d, addr, p, b)
+}
 
 // Testbed types: the in-process deployment harness (the stand-in for the
 // paper's OpenStack + EC2 testbed).
