@@ -30,6 +30,7 @@ import (
 	"efdedup/internal/chunk"
 	"efdedup/internal/cloudstore"
 	"efdedup/internal/kvstore"
+	"efdedup/internal/metrics"
 	"efdedup/internal/transport"
 )
 
@@ -62,7 +63,9 @@ func run() error {
 		chunkSize = flag.Int("chunk-size", chunk.DefaultFixedSize, "fixed chunk size in bytes")
 		cdc       = flag.Bool("cdc", false, "use content-defined (gear) chunking instead of fixed")
 		rf        = flag.Int("rf", 2, "index replication factor γ (ring mode)")
-		timeout   = flag.Duration("timeout", 10*time.Minute, "overall processing deadline")
+		timeout     = flag.Duration("timeout", 10*time.Minute, "overall processing deadline")
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics and /debug/pprof/ on this address (empty disables)")
+		breakdown   = flag.Bool("breakdown", false, "print the per-stage latency breakdown after processing")
 	)
 	flag.Parse()
 	if flag.NArg() == 0 {
@@ -71,6 +74,13 @@ func run() error {
 	mode, err := parseMode(*modeFlag)
 	if err != nil {
 		return err
+	}
+
+	if *metricsAddr != "" {
+		go func() {
+			log.Printf("metrics server stopped: %v", metrics.ListenAndServe(*metricsAddr, metrics.Default()))
+		}()
+		log.Printf("metrics on http://%s/metrics (pprof under /debug/pprof/)", *metricsAddr)
 	}
 
 	var chunker chunk.Chunker
@@ -134,5 +144,9 @@ func run() error {
 	tot := a.Totals()
 	log.Printf("total: %d bytes in, %d uploaded, overall ratio %.2f",
 		tot.InputBytes, tot.UploadedBytes, tot.DedupRatio())
+	if *breakdown {
+		fmt.Println("\nper-stage breakdown:")
+		metrics.Default().WriteBreakdown(os.Stdout)
+	}
 	return nil
 }

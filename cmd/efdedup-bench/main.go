@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"efdedup/internal/experiments"
+	"efdedup/internal/metrics"
 )
 
 func main() {
@@ -33,9 +34,17 @@ func run() error {
 		quick   = flag.Bool("quick", false, "shrink experiments to seconds (CI scale)")
 		seed    = flag.Int64("seed", 1, "workload/scenario seed")
 		outPath = flag.String("out", "", "also write results to this file")
-		verbose = flag.Bool("v", true, "log per-point progress to stderr")
+		verbose     = flag.Bool("v", true, "log per-point progress to stderr")
+		breakdown   = flag.Bool("breakdown", true, "append the per-stage latency breakdown from the metrics registry")
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics and /debug/pprof/ on this address while the bench runs")
 	)
 	flag.Parse()
+
+	if *metricsAddr != "" {
+		go func() {
+			log.Printf("metrics server stopped: %v", metrics.ListenAndServe(*metricsAddr, metrics.Default()))
+		}()
+	}
 
 	cfg := experiments.Config{Quick: *quick, Seed: *seed}
 	if *verbose {
@@ -69,6 +78,14 @@ func run() error {
 	}
 	for _, f := range figs {
 		fmt.Fprintln(out, f.Format())
+	}
+	if *breakdown {
+		// Every agent, kv node, cloud store and gossiper the experiments
+		// spun up recorded into the process-global registry; this is the
+		// run's own Fig. 5-style per-stage latency profile.
+		fmt.Fprintln(out, "per-stage breakdown (process-wide metrics registry):")
+		metrics.Default().WriteBreakdown(out)
+		fmt.Fprintln(out)
 	}
 	fmt.Fprintf(out, "regenerated %d figure(s) in %v (quick=%v, seed=%d)\n",
 		len(figs), time.Since(start).Round(time.Millisecond), *quick, *seed)

@@ -19,6 +19,7 @@ import (
 
 	"efdedup/internal/chunk"
 	"efdedup/internal/cloudstore"
+	"efdedup/internal/metrics"
 	"efdedup/internal/transport"
 )
 
@@ -33,9 +34,17 @@ func run() error {
 		listen    = flag.String("listen", "127.0.0.1:7080", "address to serve the cloud protocol on")
 		chunkSize = flag.Int("chunk-size", chunk.DefaultFixedSize, "server-side chunk size for raw (cloud-only) uploads")
 		dataDir   = flag.String("dir", "", "persist chunks and manifests under this directory (survives restarts)")
-		statsEach = flag.Duration("stats-interval", time.Minute, "how often to log store statistics (0 disables)")
+		statsEach   = flag.Duration("stats-interval", time.Minute, "how often to log store statistics (0 disables)")
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics and /debug/pprof/ on this address (empty disables)")
 	)
 	flag.Parse()
+
+	if *metricsAddr != "" {
+		go func() {
+			log.Printf("metrics server stopped: %v", metrics.ListenAndServe(*metricsAddr, metrics.Default()))
+		}()
+		log.Printf("metrics on http://%s/metrics (pprof under /debug/pprof/)", *metricsAddr)
+	}
 
 	chunker, err := chunk.NewFixedChunker(*chunkSize)
 	if err != nil {

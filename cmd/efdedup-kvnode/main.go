@@ -21,6 +21,7 @@ import (
 
 	"efdedup/internal/gossip"
 	"efdedup/internal/kvstore"
+	"efdedup/internal/metrics"
 	"efdedup/internal/transport"
 )
 
@@ -36,8 +37,16 @@ func run() error {
 		wal         = flag.String("wal", "", "optional write-ahead log path for durability across restarts")
 		gossipAddr  = flag.String("gossip", "", "optional gossip listen address (enables membership dissemination)")
 		gossipSeeds = flag.String("gossip-seeds", "", "comma-separated gossip addresses of existing ring members")
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics and /debug/pprof/ on this address (empty disables)")
 	)
 	flag.Parse()
+
+	if *metricsAddr != "" {
+		go func() {
+			log.Printf("metrics server stopped: %v", metrics.ListenAndServe(*metricsAddr, metrics.Default()))
+		}()
+		log.Printf("metrics on http://%s/metrics (pprof under /debug/pprof/)", *metricsAddr)
+	}
 
 	node, err := kvstore.NewNode(kvstore.NodeConfig{WALPath: *wal})
 	if err != nil {

@@ -28,6 +28,7 @@ import (
 	"efdedup/internal/chunk"
 	"efdedup/internal/cloudstore"
 	"efdedup/internal/kvstore"
+	"efdedup/internal/metrics"
 )
 
 // Mode selects the deduplication strategy.
@@ -139,6 +140,7 @@ func (r Report) DedupRatio() float64 {
 // create one agent per concurrent stream.
 type Agent struct {
 	cfg Config
+	met *agentMetrics
 
 	total Report // cumulative across streams
 
@@ -173,7 +175,18 @@ func New(cfg Config) (*Agent, error) {
 	if cfg.UploadBatch <= 0 {
 		cfg.UploadBatch = DefaultUploadBatch
 	}
-	return &Agent{cfg: cfg}, nil
+	a := &Agent{cfg: cfg, met: newAgentMetrics(cfg.Mode)}
+	gaugeName := cfg.Name
+	if gaugeName == "" {
+		gaugeName = cfg.Mode.String()
+	}
+	metrics.Default().GaugeFunc("agent_degraded", func() float64 {
+		if a.Degraded() {
+			return 1
+		}
+		return 0
+	}, "agent", gaugeName)
+	return a, nil
 }
 
 // Mode returns the agent's operating mode.
@@ -230,7 +243,9 @@ func (a *Agent) ProcessStream(ctx context.Context, name string, r io.Reader) (Re
 			return Report{}, fmt.Errorf("agent: read stream %s: %w", name, err)
 		}
 		rep := Report{Name: name}
+		sp := metrics.StartTimer(a.met.uploadLat)
 		stored, err := a.cfg.Cloud.UploadRaw(ctx, name, data)
+		sp.End()
 		if err != nil {
 			return rep, fmt.Errorf("agent: raw upload %s: %w", name, err)
 		}
@@ -238,6 +253,9 @@ func (a *Agent) ProcessStream(ctx context.Context, name string, r io.Reader) (Re
 		rep.UploadedBytes = int64(len(data)) // all bytes cross the WAN
 		rep.UploadedChunks = int64(stored)
 		rep.Duration = time.Since(start)
+		a.met.uploadedChunks.Add(rep.UploadedChunks)
+		a.met.uploadedBytes.Add(rep.UploadedBytes)
+		a.met.streamLat.ObserveDuration(rep.Duration)
 		a.accumulate(rep)
 		return rep, nil
 	}
@@ -249,12 +267,20 @@ func (a *Agent) ProcessStream(ctx context.Context, name string, r io.Reader) (Re
 	}
 	rep, finishErr := p.finish(err)
 	if finishErr != nil {
+		// The manifest is only recorded below, after every chunk it
+		// references was durably uploaded; an aborted stream therefore
+		// leaves no manifest behind, so a restore can never reference
+		// chunks the cloud lacks.
 		return rep, finishErr
 	}
-	if err := a.cfg.Cloud.PutManifest(ctx, name, p.manifest); err != nil {
+	msp := metrics.StartTimer(a.met.manifestLat)
+	err = a.cfg.Cloud.PutManifest(ctx, name, p.manifest)
+	msp.End()
+	if err != nil {
 		return rep, fmt.Errorf("agent: manifest %s: %w", name, err)
 	}
 	rep.Duration = time.Since(start)
+	a.met.streamLat.ObserveDuration(rep.Duration)
 	a.accumulate(rep)
 	return rep, nil
 }
@@ -271,12 +297,20 @@ type pipeline struct {
 	rep      Report
 	manifest []chunk.ID
 	seen     map[chunk.ID]bool
+	lastAdd  time.Time
 
 	lookupBuf     []chunk.Chunk
 	pendingUpload []chunk.Chunk
 
 	uploads   chan []chunk.Chunk
 	uploadErr chan error
+
+	// Written by the uploader goroutine, read by finish() after the
+	// uploader exits: only chunks the cloud acknowledged are counted, so
+	// Report.Uploaded* matches the store's contents even when a stream
+	// aborts mid-upload.
+	uploadedChunks atomic.Int64
+	uploadedBytes  atomic.Int64
 
 	indexWG          sync.WaitGroup
 	indexMu          sync.Mutex
@@ -291,6 +325,7 @@ func (a *Agent) newPipeline(ctx context.Context, name string) *pipeline {
 		ctx:       ctx,
 		rep:       Report{Name: name},
 		seen:      make(map[chunk.ID]bool),
+		lastAdd:   time.Now(),
 		uploads:   make(chan []chunk.Chunk, 4),
 		uploadErr: make(chan error, 1),
 		indexSem:  make(chan struct{}, 4),
@@ -298,25 +333,102 @@ func (a *Agent) newPipeline(ctx context.Context, name string) *pipeline {
 	go func() {
 		defer close(p.uploadErr)
 		for batch := range p.uploads {
-			if _, err := a.cfg.Cloud.BatchUpload(ctx, batch); err != nil {
+			sp := metrics.StartTimer(a.met.uploadLat)
+			_, err := a.cfg.Cloud.BatchUpload(ctx, batch)
+			sp.End()
+			if err != nil {
 				p.uploadErr <- fmt.Errorf("agent: upload batch: %w", err)
 				// Drain remaining batches so the producer never blocks.
+				// Dropped batches are deliberately not counted: they
+				// never reached the cloud.
 				for range p.uploads {
 				}
 				return
+			}
+			var batchBytes int64
+			for _, c := range batch {
+				batchBytes += int64(len(c.Data))
+			}
+			p.uploadedChunks.Add(int64(len(batch)))
+			p.uploadedBytes.Add(batchBytes)
+			a.met.uploadedChunks.Add(int64(len(batch)))
+			a.met.uploadedBytes.Add(batchBytes)
+			a.met.uploadBatch.Observe(int64(len(batch)))
+			// Only now — with the batch durable in the cloud — are its
+			// hashes registered in the ring index. Registering at lookup
+			// time (the old behaviour) could advertise chunks that a
+			// mid-stream abort never uploaded, making peers skip uploads
+			// for data the cloud does not hold.
+			if a.cfg.Mode == ModeRing {
+				p.registerFresh(batch)
 			}
 		}
 	}()
 	return p
 }
 
+// registerFresh records the batch's hashes in the ring index, off the
+// critical path (our own later batches are covered by the local seen
+// set). Called from the uploader goroutine strictly after the batch was
+// acknowledged by the cloud, preserving the invariant that the index
+// never references a chunk the cloud lacks.
+func (p *pipeline) registerFresh(batch []chunk.Chunk) {
+	keys := make([][]byte, len(batch))
+	values := make([][]byte, len(batch))
+	for i, c := range batch {
+		id := c.ID
+		keys[i] = id[:]
+		values[i] = []byte(p.a.cfg.Name)
+	}
+	p.indexSem <- struct{}{}
+	p.indexWG.Add(1)
+	go func() {
+		defer p.indexWG.Done()
+		defer func() { <-p.indexSem }()
+		sp := metrics.StartTimer(p.a.met.insertLat)
+		err := p.a.cfg.Index.BatchPut(p.ctx, keys, values)
+		sp.End()
+		if err == nil {
+			return
+		}
+		// A missed insert only costs future dedup hits (peers re-upload
+		// those chunks), so in degraded-tolerant mode it is counted, not
+		// fatal. Cancellation stays fatal so aborted streams abort.
+		if p.a.cfg.StrictRing || p.ctx.Err() != nil {
+			p.indexMu.Lock()
+			if p.indexErr == nil {
+				p.indexErr = fmt.Errorf("agent: index insert: %w", err)
+			}
+			p.indexMu.Unlock()
+			return
+		}
+		// A partial write names exactly the under-replicated keys; only
+		// those count as failures. Anything else loses the whole batch.
+		failed := int64(len(keys))
+		var partial *kvstore.PartialWriteError
+		if errors.As(err, &partial) {
+			failed = int64(len(partial.FailedKeys))
+		}
+		p.indexInsertFails.Add(failed)
+		p.a.met.insertFails.Add(failed)
+	}()
+}
+
 // add receives one chunk from the chunker, in stream order.
 func (p *pipeline) add(c chunk.Chunk) error {
+	// Time since the previous add returned is what the chunker spent
+	// reading, splitting and hashing this chunk (lookup flushes happen
+	// inside add, so they are excluded).
+	p.a.met.chunkProduce.ObserveDuration(time.Since(p.lastAdd))
+	defer func() { p.lastAdd = time.Now() }()
+	p.a.met.chunkBytes.Observe(int64(len(c.Data)))
+
 	p.manifest = append(p.manifest, c.ID)
 	p.rep.InputBytes += int64(len(c.Data))
 	p.rep.InputChunks++
 	if p.seen[c.ID] {
 		p.rep.DuplicateChunks++
+		p.a.met.dupChunks.Inc()
 		return nil
 	}
 	p.seen[c.ID] = true
@@ -335,56 +447,34 @@ func (p *pipeline) flushLookups() error {
 	}
 	batch := p.lookupBuf
 	p.lookupBuf = nil
+	sp := metrics.StartTimer(p.a.met.lookupLat)
 	known, err := p.lookup(batch)
+	sp.End()
+	p.a.met.lookupBatch.Observe(int64(len(batch)))
 	if err != nil {
 		return err
 	}
-	var freshIDs [][]byte
 	for i, c := range batch {
 		if known[i] {
 			p.rep.DuplicateChunks++
+			p.a.met.dupChunks.Inc()
 			continue
 		}
-		freshIDs = append(freshIDs, c.ID[:])
 		p.pendingUpload = append(p.pendingUpload, c)
 		if len(p.pendingUpload) >= p.a.cfg.UploadBatch {
 			p.queueUpload()
 		}
 	}
-	// Register the fresh hashes in the ring index so peers see them; our
-	// own later batches are covered by the local seen set, so the insert
-	// can proceed off the critical path.
-	if p.a.cfg.Mode == ModeRing && len(freshIDs) > 0 {
-		values := make([][]byte, len(freshIDs))
-		for i := range values {
-			values[i] = []byte(p.a.cfg.Name)
-		}
-		p.indexSem <- struct{}{}
-		p.indexWG.Add(1)
-		go func(keys, values [][]byte) {
-			defer p.indexWG.Done()
-			defer func() { <-p.indexSem }()
-			if err := p.a.cfg.Index.BatchPut(p.ctx, keys, values); err != nil {
-				// A missed insert only costs future dedup hits (peers
-				// re-upload those chunks), so in degraded-tolerant mode
-				// it is counted, not fatal. Cancellation stays fatal so
-				// aborted streams abort.
-				if p.a.cfg.StrictRing || p.ctx.Err() != nil {
-					p.indexMu.Lock()
-					if p.indexErr == nil {
-						p.indexErr = fmt.Errorf("agent: index insert: %w", err)
-					}
-					p.indexMu.Unlock()
-				} else {
-					p.indexInsertFails.Add(int64(len(keys)))
-				}
-			}
-		}(freshIDs, values)
-	}
+	// Fresh hashes are registered in the ring index by the uploader, once
+	// their batch is durable in the cloud (see registerFresh).
 	return nil
 }
 
 // queueUpload hands the pending chunks to the asynchronous uploader.
+// Upload accounting happens in the uploader itself, on acknowledgement —
+// counting here (the old behaviour) credited chunks that a failed or
+// aborted upload never delivered, so Report could claim more than the
+// cloud held.
 func (p *pipeline) queueUpload() {
 	if len(p.pendingUpload) == 0 {
 		return
@@ -392,10 +482,6 @@ func (p *pipeline) queueUpload() {
 	batch := make([]chunk.Chunk, len(p.pendingUpload))
 	copy(batch, p.pendingUpload)
 	p.uploads <- batch
-	for _, c := range p.pendingUpload {
-		p.rep.UploadedChunks++
-		p.rep.UploadedBytes += int64(len(c.Data))
-	}
 	p.pendingUpload = p.pendingUpload[:0]
 }
 
@@ -408,6 +494,8 @@ func (p *pipeline) finish(streamErr error) (Report, error) {
 	close(p.uploads)
 	uploadFailure := <-p.uploadErr
 	p.indexWG.Wait()
+	p.rep.UploadedChunks = p.uploadedChunks.Load()
+	p.rep.UploadedBytes = p.uploadedBytes.Load()
 	p.rep.IndexInsertFailures = p.indexInsertFails.Load()
 	p.indexMu.Lock()
 	indexFailure := p.indexErr
@@ -445,6 +533,7 @@ func (p *pipeline) lookup(batch []chunk.Chunk) ([]bool, error) {
 		if err == nil {
 			if a.noteRecovery() {
 				p.rep.Recoveries++
+				a.met.recoveries.Inc()
 			}
 			return known, nil
 		}
@@ -453,8 +542,10 @@ func (p *pipeline) lookup(batch []chunk.Chunk) ([]bool, error) {
 		}
 		if a.noteDowngrade() {
 			p.rep.Downgrades++
+			a.met.downgrades.Inc()
 		}
 		p.rep.DegradedLookups += int64(len(batch))
+		a.met.degradedLookups.Add(int64(len(batch)))
 		fallthrough
 	case ModeCloudAssisted:
 		ids := make([]chunk.ID, len(batch))

@@ -1,0 +1,52 @@
+package agent
+
+import "efdedup/internal/metrics"
+
+// agentMetrics pre-resolves the pipeline's series once per agent so the
+// per-chunk hot path records without registry lookups. Every series
+// carries a mode label, matching the paper's per-strategy comparison
+// (Fig. 5): the same stage costs different amounts under ring,
+// cloud-assisted and cloud-only dedup, and the breakdown should show it.
+type agentMetrics struct {
+	chunkProduce *metrics.Histogram // read+split+hash time per chunk
+	chunkBytes   *metrics.Histogram // chunk payload sizes
+	lookupLat    *metrics.Histogram // index lookup RPC latency per batch
+	lookupBatch  *metrics.Histogram // chunks per lookup batch
+	uploadLat    *metrics.Histogram // cloud upload RPC latency per batch
+	uploadBatch  *metrics.Histogram // chunks per upload batch
+	insertLat    *metrics.Histogram // ring index insert latency per batch
+	manifestLat  *metrics.Histogram // manifest put latency per stream
+	streamLat    *metrics.Histogram // end-to-end stream latency
+
+	uploadedChunks  *metrics.Counter
+	uploadedBytes   *metrics.Counter
+	dupChunks       *metrics.Counter
+	degradedLookups *metrics.Counter
+	downgrades      *metrics.Counter
+	recoveries      *metrics.Counter
+	insertFails     *metrics.Counter
+}
+
+func newAgentMetrics(mode Mode) *agentMetrics {
+	reg := metrics.Default()
+	m := mode.String()
+	return &agentMetrics{
+		chunkProduce: reg.DurationHistogram("agent_chunk_produce_seconds", "mode", m),
+		chunkBytes:   reg.Histogram("agent_chunk_bytes", "mode", m),
+		lookupLat:    reg.DurationHistogram("agent_lookup_seconds", "mode", m),
+		lookupBatch:  reg.Histogram("agent_lookup_batch_chunks", "mode", m),
+		uploadLat:    reg.DurationHistogram("agent_upload_seconds", "mode", m),
+		uploadBatch:  reg.Histogram("agent_upload_batch_chunks", "mode", m),
+		insertLat:    reg.DurationHistogram("agent_index_insert_seconds", "mode", m),
+		manifestLat:  reg.DurationHistogram("agent_manifest_put_seconds", "mode", m),
+		streamLat:    reg.DurationHistogram("agent_stream_seconds", "mode", m),
+
+		uploadedChunks:  reg.Counter("agent_uploaded_chunks_total", "mode", m),
+		uploadedBytes:   reg.Counter("agent_uploaded_bytes_total", "mode", m),
+		dupChunks:       reg.Counter("agent_duplicate_chunks_total", "mode", m),
+		degradedLookups: reg.Counter("agent_degraded_lookups_total", "mode", m),
+		downgrades:      reg.Counter("agent_downgrades_total", "mode", m),
+		recoveries:      reg.Counter("agent_recoveries_total", "mode", m),
+		insertFails:     reg.Counter("agent_index_insert_failures_total", "mode", m),
+	}
+}

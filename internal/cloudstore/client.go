@@ -9,9 +9,18 @@ import (
 	"sync"
 
 	"efdedup/internal/chunk"
+	"efdedup/internal/metrics"
 	"efdedup/internal/retrypolicy"
 	"efdedup/internal/transport"
 )
+
+// clientMethods are the RPCs a cloud client issues; their latency and
+// failure series are pre-resolved per client so the hot path records
+// without a registry lookup.
+var clientMethods = []string{
+	methodUpload, methodBatchUpload, methodBatchHas, methodUploadRaw,
+	methodGetChunk, methodPutManifest, methodGetManifest, methodStats,
+}
 
 // Dialer is the dial half of a transport network.
 type Dialer interface {
@@ -27,6 +36,9 @@ type Client struct {
 	dialer  Dialer
 	retrier *retrypolicy.Retrier
 	breaker *retrypolicy.Breaker
+
+	rpcLat   map[string]*metrics.Histogram
+	rpcFails map[string]*metrics.Counter
 
 	mu  sync.Mutex
 	rpc *transport.Client // nil after a transport failure until redial
@@ -44,12 +56,22 @@ func Dial(ctx context.Context, d Dialer, addr string) (*Client, error) {
 // retry policy as every later RPC, so a transient refusal at startup is
 // absorbed rather than fatal. Later redials happen lazily per attempt.
 func DialWithPolicy(ctx context.Context, d Dialer, addr string, p retrypolicy.Policy, b retrypolicy.BreakerConfig) (*Client, error) {
+	reg := metrics.Default()
 	c := &Client{
-		addr:    addr,
-		dialer:  d,
-		retrier: retrypolicy.New(p),
-		breaker: retrypolicy.NewBreaker(b),
+		addr:     addr,
+		dialer:   d,
+		retrier:  retrypolicy.New(p),
+		breaker:  retrypolicy.NewBreaker(b),
+		rpcLat:   make(map[string]*metrics.Histogram, len(clientMethods)),
+		rpcFails: make(map[string]*metrics.Counter, len(clientMethods)),
 	}
+	for _, m := range clientMethods {
+		c.rpcLat[m] = reg.DurationHistogram("cloud_client_rpc_seconds", "method", m)
+		c.rpcFails[m] = reg.Counter("cloud_client_rpc_failures_total", "method", m)
+	}
+	reg.GaugeFunc("cloud_client_breaker_state", func() float64 {
+		return float64(c.breaker.State())
+	}, "addr", addr)
 	err := c.retrier.Do(ctx, c.breaker, nil, transport.Retryable,
 		func(actx context.Context) error {
 			_, err := c.conn(actx)
@@ -115,6 +137,7 @@ func (c *Client) drop(rpc *transport.Client) {
 // errors (RemoteError) return immediately; transport failures drop the
 // connection and retry over a fresh dial.
 func (c *Client) call(ctx context.Context, method string, body []byte) ([]byte, error) {
+	sp := metrics.StartTimer(c.rpcLat[method])
 	var resp []byte
 	err := c.retrier.Do(ctx, c.breaker, nil, transport.Retryable,
 		func(actx context.Context) error {
@@ -132,6 +155,10 @@ func (c *Client) call(ctx context.Context, method string, body []byte) ([]byte, 
 			resp = r
 			return nil
 		})
+	sp.End()
+	if err != nil && !transport.IsRemoteError(err) {
+		c.rpcFails[method].Inc()
+	}
 	return resp, err
 }
 

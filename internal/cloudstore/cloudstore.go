@@ -23,6 +23,7 @@ import (
 	"sync"
 
 	"efdedup/internal/chunk"
+	"efdedup/internal/metrics"
 	"efdedup/internal/transport"
 )
 
@@ -125,15 +126,42 @@ func NewServer(cfg Config) (*Server, error) {
 			s.stats.Manifests++
 		}
 	}
-	s.rpc.Handle(methodUpload, s.handleUpload)
-	s.rpc.Handle(methodBatchUpload, s.handleBatchUpload)
-	s.rpc.Handle(methodBatchHas, s.handleBatchHas)
-	s.rpc.Handle(methodUploadRaw, s.handleUploadRaw)
-	s.rpc.Handle(methodGetChunk, s.handleGetChunk)
-	s.rpc.Handle(methodPutManifest, s.handlePutManifest)
-	s.rpc.Handle(methodGetManifest, s.handleGetManifest)
-	s.rpc.Handle(methodStats, s.handleStats)
+	s.handle(methodUpload, s.handleUpload)
+	s.handle(methodBatchUpload, s.handleBatchUpload)
+	s.handle(methodBatchHas, s.handleBatchHas)
+	s.handle(methodUploadRaw, s.handleUploadRaw)
+	s.handle(methodGetChunk, s.handleGetChunk)
+	s.handle(methodPutManifest, s.handlePutManifest)
+	s.handle(methodGetManifest, s.handleGetManifest)
+	s.handle(methodStats, s.handleStats)
+	reg := metrics.Default()
+	reg.GaugeFunc("cloud_server_unique_chunks", func() float64 {
+		return float64(s.Stats().UniqueChunks)
+	})
+	reg.GaugeFunc("cloud_server_unique_bytes", func() float64 {
+		return float64(s.Stats().UniqueBytes)
+	})
+	reg.GaugeFunc("cloud_server_manifests", func() float64 {
+		return float64(s.Stats().Manifests)
+	})
 	return s, nil
+}
+
+// handle registers a handler wrapped with serve-latency and failure
+// instrumentation (the cloud half of the upload path Fig. 5a measures).
+func (s *Server) handle(method string, h func([]byte) ([]byte, error)) {
+	reg := metrics.Default()
+	hist := reg.DurationHistogram("cloud_server_rpc_seconds", "method", method)
+	fails := reg.Counter("cloud_server_rpc_failures_total", "method", method)
+	s.rpc.Handle(method, func(body []byte) ([]byte, error) {
+		sp := metrics.StartTimer(hist)
+		resp, err := h(body)
+		sp.End()
+		if err != nil && !errors.Is(err, ErrNotFound) {
+			fails.Inc()
+		}
+		return resp, err
+	})
 }
 
 // Serve starts accepting connections on l in the background.

@@ -33,6 +33,8 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"efdedup/internal/metrics"
 )
 
 // ErrInjected marks every failure this package fabricates, so tests and
@@ -78,6 +80,10 @@ type Fabric struct {
 	conns    map[*faultConn]bool // open dialed connections
 	timers   map[*time.Timer]bool
 	closed   bool
+
+	// injected counts fabricated faults per kind, so a chaos run's
+	// metrics dump shows how much adversity the workload actually faced.
+	injected map[string]*metrics.Counter
 }
 
 // NewFabric builds an empty fabric.
@@ -89,6 +95,13 @@ func NewFabric(cfg Config) *Fabric {
 	if cfg.StallProb > 0 && cfg.StallFor <= 0 {
 		cfg.StallFor = 20 * time.Millisecond
 	}
+	reg := metrics.Default()
+	injected := make(map[string]*metrics.Counter)
+	for _, kind := range []string{
+		kindDialCut, kindDialRefused, kindReset, kindStall, kindPartitionReset,
+	} {
+		injected[kind] = reg.Counter("faultnet_injected_total", "kind", kind)
+	}
 	return &Fabric{
 		cfg:      cfg,
 		rng:      rand.New(rand.NewSource(seed)),
@@ -97,8 +110,18 @@ func NewFabric(cfg Config) *Fabric {
 		cutNodes: make(map[string]bool),
 		conns:    make(map[*faultConn]bool),
 		timers:   make(map[*time.Timer]bool),
+		injected: injected,
 	}
 }
+
+// Injected-fault kinds, the label values of faultnet_injected_total.
+const (
+	kindDialCut        = "dial-cut"        // dial refused by a scripted cut
+	kindDialRefused    = "dial-refused"    // stochastic dial refusal
+	kindReset          = "reset"           // stochastic mid-stream reset
+	kindStall          = "stall"           // transient write stall
+	kindPartitionReset = "partition-reset" // established conn killed by a cut
+)
 
 // Register maps a listen address to a site (normally done by Listen; use
 // this for services bound outside a fabric view).
@@ -223,6 +246,7 @@ func (f *Fabric) matchingLocked(match func(*faultConn) bool) []*faultConn {
 
 func kill(conns []*faultConn) {
 	for _, c := range conns {
+		c.f.injected[kindPartitionReset].Inc()
 		c.breakWith(fmt.Errorf("%w: connection reset by partition", ErrInjected))
 	}
 }
@@ -301,9 +325,11 @@ func (n *Network) Listen(addr string) (net.Listener, error) {
 // partition resets and the configured stochastic faults.
 func (n *Network) Dial(ctx context.Context, addr string) (net.Conn, error) {
 	if n.f.refused(n.site, addr) {
+		n.f.injected[kindDialCut].Inc()
 		return nil, fmt.Errorf("%w: dial %q: partitioned from %q", ErrInjected, addr, n.site)
 	}
 	if p := n.f.cfg.DialFailProb; p > 0 && n.f.roll() < p {
+		n.f.injected[kindDialRefused].Inc()
 		return nil, fmt.Errorf("%w: dial %q: connection refused", ErrInjected, addr)
 	}
 	conn, err := n.inner.Dial(ctx, addr)
@@ -363,11 +389,13 @@ func (c *faultConn) Write(p []byte) (int, error) {
 	}
 	cfg := c.f.cfg
 	if cfg.ResetProb > 0 && c.f.roll() < cfg.ResetProb {
+		c.f.injected[kindReset].Inc()
 		err := fmt.Errorf("%w: connection reset mid-stream", ErrInjected)
 		c.breakWith(err)
 		return 0, err
 	}
 	if cfg.StallProb > 0 && c.f.roll() < cfg.StallProb {
+		c.f.injected[kindStall].Inc()
 		time.Sleep(cfg.StallFor)
 	}
 	return c.Conn.Write(p)

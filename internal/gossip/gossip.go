@@ -23,6 +23,7 @@ import (
 	"sync"
 	"time"
 
+	"efdedup/internal/metrics"
 	"efdedup/internal/retrypolicy"
 	"efdedup/internal/transport"
 )
@@ -108,6 +109,10 @@ type Node struct {
 	rng      *rand.Rand
 	breakers *retrypolicy.BreakerSet
 
+	rounds        *metrics.Counter
+	exchangeFails *metrics.Counter
+	merges        *metrics.Counter
+
 	stopOnce sync.Once
 	stop     chan struct{}
 	done     chan struct{}
@@ -150,6 +155,13 @@ func Start(cfg Config) (*Node, error) {
 		stop: make(chan struct{}),
 		done: make(chan struct{}),
 	}
+	reg := metrics.Default()
+	n.rounds = reg.Counter("gossip_rounds_total", "addr", cfg.Addr)
+	n.exchangeFails = reg.Counter("gossip_exchange_failures_total", "addr", cfg.Addr)
+	n.merges = reg.Counter("gossip_merges_total", "addr", cfg.Addr)
+	reg.GaugeFunc("gossip_alive_peers", func() float64 {
+		return float64(len(n.Alive()))
+	}, "addr", cfg.Addr)
 	for _, s := range cfg.Seeds {
 		if s != cfg.Addr {
 			n.table[s] = entry{heartbeat: 0, updated: time.Now()}
@@ -253,6 +265,7 @@ func (n *Node) loop() {
 
 // round bumps our heartbeat and push-pulls with one random peer.
 func (n *Node) round() {
+	n.rounds.Inc()
 	n.mu.Lock()
 	self := n.table[n.cfg.Addr]
 	self.heartbeat++
@@ -285,6 +298,7 @@ func (n *Node) round() {
 	br := n.breakers.For(target)
 	if err != nil {
 		br.Failure()
+		n.exchangeFails.Inc()
 		return // the failure detector handles persistent silence
 	}
 	br.Success()
@@ -372,6 +386,7 @@ func (n *Node) mergeTable(body []byte) {
 		e, ok := n.table[addr]
 		if !ok || hb > e.heartbeat {
 			n.table[addr] = entry{heartbeat: hb, updated: now}
+			n.merges.Inc()
 		}
 	}
 }

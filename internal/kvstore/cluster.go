@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"efdedup/internal/hashring"
+	"efdedup/internal/metrics"
 	"efdedup/internal/retrypolicy"
 	"efdedup/internal/transport"
 )
@@ -104,6 +105,10 @@ type ClusterConfig struct {
 	// RetryBudget caps retry amplification across the whole coordinator;
 	// nil gets a default bucket (256 tokens, successes refill 0.5).
 	RetryBudget *retrypolicy.Budget
+	// Metrics receives the coordinator's instrumentation (per-method RPC
+	// latency histograms, breaker-state gauges, lookup/hint counters).
+	// Nil records into metrics.Default().
+	Metrics *metrics.Registry
 }
 
 // LivenessView answers liveness queries for cluster members; the gossip
@@ -137,6 +142,42 @@ type Cluster struct {
 
 	remoteLookups atomic.Int64
 	localLookups  atomic.Int64
+
+	met clusterMetrics
+}
+
+// clusterMetrics pre-resolves the coordinator's instruments so the hot
+// path pays one map lookup at construction time, not per call.
+type clusterMetrics struct {
+	rpc      map[string]*metrics.Histogram // per-method latency (seconds)
+	rpcFails map[string]*metrics.Counter   // per-method failed calls
+	local    *metrics.Counter              // lookups answered by the local node
+	remote   *metrics.Counter              // lookups that crossed the network
+	hints    *metrics.Counter              // hinted writes queued
+	replays  *metrics.Counter              // hinted writes replayed
+}
+
+// clientMethods are the RPC methods a coordinator issues (kv.ping is
+// covered too: health probes ride the same path).
+var clientMethods = []string{
+	methodGet, methodPut, methodPutNX, methodBatchHas, methodBatchPut,
+	methodScan, methodPing, methodStats,
+}
+
+func newClusterMetrics(reg *metrics.Registry) clusterMetrics {
+	m := clusterMetrics{
+		rpc:      make(map[string]*metrics.Histogram, len(clientMethods)),
+		rpcFails: make(map[string]*metrics.Counter, len(clientMethods)),
+		local:    reg.Counter("kvstore_client_lookups_local_total"),
+		remote:   reg.Counter("kvstore_client_lookups_remote_total"),
+		hints:    reg.Counter("kvstore_client_hints_queued_total"),
+		replays:  reg.Counter("kvstore_client_hints_replayed_total"),
+	}
+	for _, method := range clientMethods {
+		m.rpc[method] = reg.DurationHistogram("kvstore_client_rpc_seconds", "method", method)
+		m.rpcFails[method] = reg.Counter("kvstore_client_rpc_failures_total", "method", method)
+	}
+	return m
 }
 
 type hint struct {
@@ -200,6 +241,10 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	if cfg.LocalAddr != "" && !seen[cfg.LocalAddr] {
 		return nil, fmt.Errorf("kvstore: local address %q is not a member", cfg.LocalAddr)
 	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = metrics.Default()
+	}
 	c := &Cluster{
 		cfg:      cfg,
 		ring:     ring,
@@ -209,6 +254,21 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		clients:  make(map[string]*transport.Client),
 		down:     make(map[string]bool),
 		hints:    make(map[string][]hint),
+		met:      newClusterMetrics(reg),
+	}
+	// Per-member live gauges. Registration replaces any previous cluster's
+	// callback under the same series, so a recreated coordinator (common
+	// in tests; daemons build exactly one) reports its own state.
+	for _, addr := range cfg.Members {
+		addr := addr
+		reg.GaugeFunc("kvstore_breaker_state", func() float64 {
+			return float64(c.breakers.For(addr).State())
+		}, "addr", addr)
+		reg.GaugeFunc("kvstore_pending_hints", func() float64 {
+			c.mu.Lock()
+			defer c.mu.Unlock()
+			return float64(len(c.hints[addr]))
+		}, "addr", addr)
 	}
 	c.versionCounter.Store(uint64(time.Now().UnixNano()))
 	if cfg.HeartbeatInterval > 0 {
@@ -279,6 +339,7 @@ func (c *Cluster) dropClient(addr string, cl *transport.Client) {
 // breaker successes; transport failures drop the connection so the next
 // attempt redials.
 func (c *Cluster) call(ctx context.Context, addr, method string, body []byte) ([]byte, error) {
+	sp := metrics.StartTimer(c.met.rpc[method])
 	var resp []byte
 	err := c.retrier.Do(ctx, c.breakers.For(addr), c.budget, transport.Retryable,
 		func(actx context.Context) error {
@@ -289,6 +350,10 @@ func (c *Cluster) call(ctx context.Context, addr, method string, body []byte) ([
 			resp = r
 			return nil
 		})
+	sp.End()
+	if err != nil && !transport.IsRemoteError(err) {
+		c.met.rpcFails[method].Inc()
+	}
 	return resp, err
 }
 
@@ -553,8 +618,10 @@ func (c *Cluster) BatchHas(ctx context.Context, keys [][]byte) ([]bool, error) {
 	for addr, idxs := range groups {
 		if addr == localAddr {
 			c.localLookups.Add(int64(len(idxs)))
+			c.met.local.Add(int64(len(idxs)))
 		} else {
 			c.remoteLookups.Add(int64(len(idxs)))
+			c.met.remote.Add(int64(len(idxs)))
 		}
 		wg.Add(1)
 		go func(addr string, idxs []int) {
@@ -612,10 +679,41 @@ func (c *Cluster) hasWithFallback(ctx context.Context, key []byte, reps []string
 	return false, firstErr
 }
 
+// PartialWriteError reports a batch write that was only partially
+// durable: some keys reached their write-consistency target, others did
+// not. Because BatchPut groups records per replica, a single failed
+// replica call under-replicates only that replica's key subset — the
+// rest of the batch IS applied. Callers that account per key (the
+// agent's IndexInsertFailures) must count len(FailedKeys), not the whole
+// batch.
+//
+// It wraps ErrNoQuorum, so errors.Is(err, ErrNoQuorum) keeps working.
+type PartialWriteError struct {
+	// FailedKeys are the keys that missed their consistency target, in
+	// batch order (aliases of the caller's slices, not copies).
+	FailedKeys [][]byte
+	// Total is the batch size the failed keys came from.
+	Total int
+	// Cause is the first underlying replica error.
+	Cause error
+}
+
+// Error implements error.
+func (e *PartialWriteError) Error() string {
+	return fmt.Sprintf("kvstore: batch put: %d/%d keys under-replicated: %v",
+		len(e.FailedKeys), e.Total, e.Cause)
+}
+
+// Unwrap exposes both the quorum sentinel and the replica cause.
+func (e *PartialWriteError) Unwrap() []error { return []error{ErrNoQuorum, e.Cause} }
+
 // BatchPut stores many key/value pairs, grouping records per replica so a
 // ring write costs O(replica nodes) RPCs instead of O(keys). The batch
 // succeeds when every key reached at least the configured write
-// consistency; replicas that were unreachable receive hints.
+// consistency; replicas that were unreachable receive hints. A failure is
+// a *PartialWriteError naming exactly which keys missed their target —
+// the others are durably applied, so callers must not treat the whole
+// batch as lost.
 func (c *Cluster) BatchPut(ctx context.Context, keys, values [][]byte) error {
 	if len(keys) != len(values) {
 		return fmt.Errorf("kvstore: %d keys but %d values", len(keys), len(values))
@@ -669,11 +767,14 @@ func (c *Cluster) BatchPut(ctx context.Context, keys, values [][]byte) error {
 		}(addr, recs)
 	}
 	wg.Wait()
+	var failed [][]byte
 	for i, got := range acks {
 		if got < needed[i] {
-			return fmt.Errorf("%w: key %d got %d/%d acks at %s: %v",
-				ErrNoQuorum, i, got, needed[i], c.cfg.WriteConsistency, firstErr)
+			failed = append(failed, keys[i])
 		}
+	}
+	if len(failed) > 0 {
+		return &PartialWriteError{FailedKeys: failed, Total: len(keys), Cause: firstErr}
 	}
 	return nil
 }
@@ -723,6 +824,7 @@ func (c *Cluster) storeHint(addr string, key []byte, e Entry) {
 	c.hints[addr] = append(c.hints[addr], hint{key: k, e: e})
 	c.down[addr] = true
 	c.mu.Unlock()
+	c.met.hints.Inc()
 }
 
 // healthLoop pings members, updating the down set and replaying hints to
@@ -808,6 +910,7 @@ func (c *Cluster) replayHints(addr string, hints []hint) {
 			c.mu.Unlock()
 			return
 		}
+		c.met.replays.Add(int64(len(batch)))
 	}
 }
 

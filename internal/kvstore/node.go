@@ -8,6 +8,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"efdedup/internal/metrics"
 	"efdedup/internal/transport"
 )
 
@@ -37,6 +38,9 @@ type NodeConfig struct {
 	// WALPath enables the write-ahead log when non-empty. The node
 	// replays the log on startup.
 	WALPath string
+	// Metrics receives per-method serve-latency histograms and the
+	// entries gauge. Nil records into metrics.Default().
+	Metrics *metrics.Registry
 }
 
 // Node is one storage replica of the dedup index. It serves the kv.*
@@ -49,6 +53,7 @@ type Node struct {
 
 	gets, puts, hits, misses atomic.Int64
 
+	reg      *metrics.Registry
 	server   *transport.Server
 	listener net.Listener
 	serveErr chan error
@@ -72,22 +77,47 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 		}
 		n.wal = wal
 	}
+	n.reg = cfg.Metrics
+	if n.reg == nil {
+		n.reg = metrics.Default()
+	}
 	n.server = transport.NewServer()
-	n.server.Handle(methodGet, n.handleGet)
-	n.server.Handle(methodPut, n.handlePut)
-	n.server.Handle(methodPutNX, n.handlePutNX)
-	n.server.Handle(methodBatchHas, n.handleBatchHas)
-	n.server.Handle(methodBatchPut, n.handleBatchPut)
-	n.server.Handle(methodScan, n.handleScan)
-	n.server.Handle(methodPing, func([]byte) ([]byte, error) { return []byte("pong"), nil })
-	n.server.Handle(methodStats, n.handleStats)
+	n.handle(methodGet, n.handleGet)
+	n.handle(methodPut, n.handlePut)
+	n.handle(methodPutNX, n.handlePutNX)
+	n.handle(methodBatchHas, n.handleBatchHas)
+	n.handle(methodBatchPut, n.handleBatchPut)
+	n.handle(methodScan, n.handleScan)
+	n.handle(methodPing, func([]byte) ([]byte, error) { return []byte("pong"), nil })
+	n.handle(methodStats, n.handleStats)
 	return n, nil
+}
+
+// handle registers a handler wrapped with serve-latency and failure
+// instrumentation — the server half of the paper's lookup-overhead V(P)
+// measurement (Fig. 5b): how long an index RPC spends inside the node,
+// as opposed to on the WAN.
+func (n *Node) handle(method string, h func([]byte) ([]byte, error)) {
+	hist := n.reg.DurationHistogram("kvstore_node_rpc_seconds", "method", method)
+	fails := n.reg.Counter("kvstore_node_rpc_failures_total", "method", method)
+	n.server.Handle(method, func(body []byte) ([]byte, error) {
+		sp := metrics.StartTimer(hist)
+		resp, err := h(body)
+		sp.End()
+		if err != nil && !errors.Is(err, ErrNotFound) {
+			fails.Inc()
+		}
+		return resp, err
+	})
 }
 
 // Serve starts accepting connections on l in a background goroutine and
 // returns immediately.
 func (n *Node) Serve(l net.Listener) {
 	n.listener = l
+	n.reg.GaugeFunc("kvstore_node_entries", func() float64 {
+		return float64(n.Len())
+	}, "addr", l.Addr().String())
 	go func() {
 		n.serveErr <- n.server.Serve(l)
 	}()

@@ -1,0 +1,234 @@
+package metrics
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram bucket layout: log-linear ("HDR-lite"), the same shape the Go
+// runtime uses for its scheduler latency histograms. Values below 2^subBits
+// get exact unit buckets; above that, each power-of-two octave is split
+// into 2^subBits linear sub-buckets, giving a worst-case relative
+// quantile error of 2^-subBits (≈6% at subBits=4) over the full int64
+// range with a fixed ~8 KiB of counters and lock-free recording.
+const (
+	subBits    = 4
+	subBuckets = 1 << subBits // 16
+	// numBuckets covers values up to 2^63-1: 16 exact unit buckets plus
+	// 16 sub-buckets for each octave 4..62.
+	numBuckets = subBuckets + (63-subBits)*subBuckets
+)
+
+// Histogram records int64 observations into log-linear buckets. It is
+// lock-free on the record path and safe for concurrent use. The zero
+// value is NOT usable; obtain instances from a Registry.
+type Histogram struct {
+	// scale multiplies raw observed values on export: 1 for plain value
+	// histograms, 1e-9 for duration histograms recording nanoseconds and
+	// exporting seconds.
+	scale float64
+
+	count   atomic.Int64
+	sum     atomic.Int64
+	min     atomic.Int64
+	max     atomic.Int64
+	buckets [numBuckets]atomic.Int64
+}
+
+func newHistogram(scale float64) *Histogram {
+	h := &Histogram{scale: scale}
+	h.min.Store(math.MaxInt64)
+	h.max.Store(math.MinInt64)
+	return h
+}
+
+// bucketIndex maps a non-negative value to its bucket.
+func bucketIndex(v int64) int {
+	if v < 0 {
+		v = 0
+	}
+	u := uint64(v)
+	if u < subBuckets {
+		return int(u)
+	}
+	e := bits.Len64(u) - 1 // e >= subBits
+	sub := int((u >> (uint(e) - subBits)) & (subBuckets - 1))
+	return subBuckets + (e-subBits)*subBuckets + sub
+}
+
+// bucketUpper returns the inclusive upper bound of bucket i (unscaled).
+func bucketUpper(i int) float64 {
+	if i < subBuckets {
+		return float64(i)
+	}
+	oct := (i-subBuckets)/subBuckets + subBits
+	sub := (i - subBuckets) % subBuckets
+	width := math.Exp2(float64(oct - subBits))
+	return math.Exp2(float64(oct)) + float64(sub+1)*width - 1
+}
+
+// Observe records one value. Negative values clamp to zero.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	h.buckets[bucketIndex(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.min.Load()
+		if v >= cur || h.min.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+}
+
+// ObserveDuration records a duration (use with DurationHistogram).
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(int64(d)) }
+
+// Since records the elapsed time from start to now.
+func (h *Histogram) Since(start time.Time) { h.ObserveDuration(time.Since(start)) }
+
+// Scale returns the export multiplier (1 for value histograms, 1e-9 for
+// duration histograms).
+func (h *Histogram) Scale() float64 { return h.scale }
+
+// HistSnapshot is a consistent-enough point-in-time view of a histogram.
+// All float fields are scaled (seconds for duration histograms).
+type HistSnapshot struct {
+	Count              int64
+	Sum                float64
+	Min, Max, Mean     float64
+	P50, P90, P95, P99 float64
+	// Buckets holds (upper bound, cumulative count) pairs for every
+	// non-empty bucket, in increasing bound order (Prometheus shape).
+	Buckets []BucketCount
+}
+
+// BucketCount is one cumulative histogram bucket.
+type BucketCount struct {
+	Upper      float64 // scaled inclusive upper bound
+	Cumulative int64
+}
+
+// Snapshot reads the histogram. Concurrent observations may tear between
+// fields (count vs sum), which is acceptable for monitoring output.
+func (h *Histogram) Snapshot() HistSnapshot {
+	if h == nil {
+		return HistSnapshot{}
+	}
+	var counts [numBuckets]int64
+	var total int64
+	for i := range h.buckets {
+		c := h.buckets[i].Load()
+		counts[i] = c
+		total += c
+	}
+	s := HistSnapshot{Count: total, Sum: float64(h.sum.Load()) * h.scale}
+	if total == 0 {
+		return s
+	}
+	s.Min = float64(h.min.Load()) * h.scale
+	s.Max = float64(h.max.Load()) * h.scale
+	s.Mean = s.Sum / float64(total)
+	var cum int64
+	q := []struct {
+		q   float64
+		dst *float64
+	}{{0.50, &s.P50}, {0.90, &s.P90}, {0.95, &s.P95}, {0.99, &s.P99}}
+	qi := 0
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		cum += c
+		s.Buckets = append(s.Buckets, BucketCount{Upper: bucketUpper(i) * h.scale, Cumulative: cum})
+		for qi < len(q) && float64(cum) >= q[qi].q*float64(total) {
+			*q[qi].dst = bucketUpper(i) * h.scale
+			qi++
+		}
+	}
+	// Clamp quantile estimates to the observed range: bucket upper bounds
+	// can exceed the true max within the last octave.
+	for _, e := range q {
+		if *e.dst > s.Max {
+			*e.dst = s.Max
+		}
+		if *e.dst < s.Min {
+			*e.dst = s.Min
+		}
+	}
+	return s
+}
+
+// Quantile returns the q-quantile estimate (scaled), 0 when empty.
+func (h *Histogram) Quantile(qv float64) float64 {
+	snap := h.Snapshot()
+	if snap.Count == 0 {
+		return 0
+	}
+	switch {
+	case qv <= 0:
+		return snap.Min
+	case qv >= 1:
+		return snap.Max
+	}
+	target := qv * float64(snap.Count)
+	for _, b := range snap.Buckets {
+		if float64(b.Cumulative) >= target {
+			v := b.Upper
+			if v > snap.Max {
+				v = snap.Max
+			}
+			if v < snap.Min {
+				v = snap.Min
+			}
+			return v
+		}
+	}
+	return snap.Max
+}
+
+// Span times one region of code into a duration histogram:
+//
+//	sp := metrics.StartTimer(h)
+//	defer sp.End()
+//
+// Span is a value type; starting one allocates nothing.
+type Span struct {
+	h     *Histogram
+	start time.Time
+}
+
+// StartTimer opens a span recording into h on End.
+func StartTimer(h *Histogram) Span {
+	return Span{h: h, start: time.Now()}
+}
+
+// StartSpan opens a span recording into the named duration histogram of r.
+// Hot paths should pre-resolve the histogram and use StartTimer instead.
+func (r *Registry) StartSpan(name string, labels ...string) Span {
+	return StartTimer(r.DurationHistogram(name, labels...))
+}
+
+// End closes the span, records its duration and returns it. End on a
+// zero Span is a no-op.
+func (s Span) End() time.Duration {
+	if s.h == nil {
+		return 0
+	}
+	d := time.Since(s.start)
+	s.h.ObserveDuration(d)
+	return d
+}

@@ -1,0 +1,127 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestBucketIndexMonotonicAndBounded(t *testing.T) {
+	prev := -1
+	for _, v := range []int64{0, 1, 2, 15, 16, 17, 31, 32, 33, 63, 64, 100,
+		1000, 1 << 20, 1 << 40, 1 << 62, math.MaxInt64} {
+		i := bucketIndex(v)
+		if i < prev {
+			t.Errorf("bucketIndex(%d) = %d < previous %d (not monotone)", v, i, prev)
+		}
+		if i < 0 || i >= numBuckets {
+			t.Fatalf("bucketIndex(%d) = %d out of [0,%d)", v, i, numBuckets)
+		}
+		prev = i
+	}
+	if bucketIndex(-5) != 0 {
+		t.Error("negative values must clamp to bucket 0")
+	}
+}
+
+func TestBucketUpperCoversValue(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 10000; i++ {
+		v := rng.Int63()
+		idx := bucketIndex(v)
+		upper := bucketUpper(idx)
+		if float64(v) > upper {
+			t.Fatalf("value %d above its bucket upper bound %g (bucket %d)", v, upper, idx)
+		}
+		if idx > 0 {
+			below := bucketUpper(idx - 1)
+			if float64(v) <= below {
+				t.Fatalf("value %d not above previous bucket bound %g (bucket %d)", v, below, idx)
+			}
+		}
+	}
+}
+
+func TestHistogramExactSmallValues(t *testing.T) {
+	h := newHistogram(1)
+	for v := int64(0); v < 16; v++ {
+		h.Observe(v)
+	}
+	snap := h.Snapshot()
+	if snap.Count != 16 {
+		t.Fatalf("count = %d, want 16", snap.Count)
+	}
+	if snap.Min != 0 || snap.Max != 15 {
+		t.Errorf("min/max = %g/%g, want 0/15", snap.Min, snap.Max)
+	}
+	if snap.Sum != 120 {
+		t.Errorf("sum = %g, want 120", snap.Sum)
+	}
+	if snap.P50 < 7 || snap.P50 > 8 {
+		t.Errorf("p50 = %g, want ≈7.5", snap.P50)
+	}
+}
+
+func TestHistogramQuantileAccuracy(t *testing.T) {
+	// Log-linear buckets with 16 sub-buckets guarantee ≤ ~6.25% relative
+	// error; check against a uniform distribution.
+	h := newHistogram(1)
+	const n = 100000
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < n; i++ {
+		h.Observe(int64(rng.Intn(1_000_000)))
+	}
+	for _, q := range []float64{0.5, 0.9, 0.95, 0.99} {
+		got := h.Quantile(q)
+		want := q * 1_000_000
+		if rel := math.Abs(got-want) / want; rel > 0.10 {
+			t.Errorf("q%.0f = %g, want ≈%g (rel err %.3f)", q*100, got, want, rel)
+		}
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := newHistogram(1)
+	snap := h.Snapshot()
+	if snap.Count != 0 || snap.Sum != 0 || len(snap.Buckets) != 0 {
+		t.Errorf("empty snapshot not zero: %+v", snap)
+	}
+	if h.Quantile(0.5) != 0 {
+		t.Error("empty quantile not 0")
+	}
+}
+
+func TestDurationHistogramScalesToSeconds(t *testing.T) {
+	r := NewRegistry()
+	h := r.DurationHistogram("lat_seconds")
+	h.ObserveDuration(250 * time.Millisecond)
+	snap := h.Snapshot()
+	if snap.Count != 1 {
+		t.Fatalf("count = %d", snap.Count)
+	}
+	if snap.Max < 0.24 || snap.Max > 0.26 {
+		t.Errorf("max = %gs, want ≈0.25s", snap.Max)
+	}
+	if snap.Sum < 0.24 || snap.Sum > 0.26 {
+		t.Errorf("sum = %gs, want ≈0.25s", snap.Sum)
+	}
+}
+
+func TestHistogramCumulativeBuckets(t *testing.T) {
+	h := newHistogram(1)
+	for _, v := range []int64{1, 1, 5, 100, 100, 100} {
+		h.Observe(v)
+	}
+	snap := h.Snapshot()
+	var last int64
+	for _, b := range snap.Buckets {
+		if b.Cumulative <= last {
+			t.Errorf("bucket counts not strictly cumulative: %+v", snap.Buckets)
+		}
+		last = b.Cumulative
+	}
+	if last != snap.Count {
+		t.Errorf("final cumulative %d != count %d", last, snap.Count)
+	}
+}

@@ -1,0 +1,225 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"strings"
+	"time"
+)
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4): counters as *_total series, gauges as plain
+// series, histograms as cumulative le-bucketed series with _sum/_count.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	snaps := r.Snapshots()
+	// Group by base name so each family gets exactly one TYPE line.
+	typed := make(map[string]bool)
+	writeType := func(base, kind string) {
+		if !typed[base] {
+			typed[base] = true
+			fmt.Fprintf(w, "# TYPE %s %s\n", base, kind)
+		}
+	}
+	// Snapshots are sorted by key, so families come out contiguous.
+	for _, s := range snaps {
+		base := baseName(s.Key)
+		switch s.Kind {
+		case "counter":
+			writeType(base, "counter")
+			fmt.Fprintf(w, "%s %s\n", s.Key, formatFloat(s.Value))
+		case "gauge":
+			writeType(base, "gauge")
+			fmt.Fprintf(w, "%s %s\n", s.Key, formatFloat(s.Value))
+		case "histogram":
+			writeType(base, "histogram")
+			name, labels := splitKey(s.Key)
+			for _, b := range s.Hist.Buckets {
+				fmt.Fprintf(w, "%s %d\n",
+					withLabels(name+"_bucket", labels, fmt.Sprintf(`le="%s"`, formatFloat(b.Upper))),
+					b.Cumulative)
+			}
+			fmt.Fprintf(w, "%s %d\n", withLabels(name+"_bucket", labels, `le="+Inf"`), s.Hist.Count)
+			fmt.Fprintf(w, "%s %s\n", withLabels(name+"_sum", labels, ""), formatFloat(s.Hist.Sum))
+			fmt.Fprintf(w, "%s %d\n", withLabels(name+"_count", labels, ""), s.Hist.Count)
+		}
+	}
+	return nil
+}
+
+// splitKey separates a key into base name and the inside of its label
+// block ("" when unlabeled).
+func splitKey(key string) (name, labels string) {
+	i := strings.IndexByte(key, '{')
+	if i < 0 {
+		return key, ""
+	}
+	return key[:i], strings.TrimSuffix(key[i+1:], "}")
+}
+
+// withLabels rebuilds name{labels,extra} from the pieces.
+func withLabels(name, labels, extra string) string {
+	switch {
+	case labels == "" && extra == "":
+		return name
+	case labels == "":
+		return name + "{" + extra + "}"
+	case extra == "":
+		return name + "{" + labels + "}"
+	default:
+		return name + "{" + labels + "," + extra + "}"
+	}
+}
+
+// formatFloat renders numbers the way Prometheus expects (integers stay
+// integral).
+func formatFloat(v float64) string {
+	if v == float64(int64(v)) {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+// WriteJSON renders the registry as a flat JSON object: counters and
+// gauges map to numbers, histograms to {count, sum, min, max, mean, p50,
+// p90, p95, p99} objects (expvar-style, but sorted and typed).
+func (r *Registry) WriteJSON(w io.Writer) error {
+	snaps := r.Snapshots()
+	out := make(map[string]any, len(snaps))
+	for _, s := range snaps {
+		switch s.Kind {
+		case "histogram":
+			out[s.Key] = map[string]any{
+				"count": s.Hist.Count,
+				"sum":   s.Hist.Sum,
+				"min":   s.Hist.Min,
+				"max":   s.Hist.Max,
+				"mean":  s.Hist.Mean,
+				"p50":   s.Hist.P50,
+				"p90":   s.Hist.P90,
+				"p95":   s.Hist.P95,
+				"p99":   s.Hist.P99,
+			}
+		default:
+			out[s.Key] = s.Value
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// WriteBreakdown prints a human-readable per-stage breakdown: every
+// histogram as a count/mean/p50/p95/p99/max row (durations rendered as
+// durations, value histograms as plain numbers), followed by non-zero
+// counters and gauges. This is what efdedup-bench appends to its figure
+// output so a run's latency profile rides along with its results.
+func (r *Registry) WriteBreakdown(w io.Writer) {
+	snaps := r.Snapshots()
+	var hists, scalars []Snapshot
+	for _, s := range snaps {
+		switch {
+		case s.Kind == "histogram" && s.Hist.Count > 0:
+			hists = append(hists, s)
+		case s.Kind != "histogram" && s.Value != 0:
+			scalars = append(scalars, s)
+		}
+	}
+	if len(hists) > 0 {
+		fmt.Fprintf(w, "%-52s %9s %10s %10s %10s %10s %10s\n",
+			"stage", "count", "mean", "p50", "p95", "p99", "max")
+		for _, s := range hists {
+			dur := strings.HasSuffix(baseName(s.Key), "_seconds")
+			fmt.Fprintf(w, "%-52s %9d %10s %10s %10s %10s %10s\n",
+				s.Key, s.Hist.Count,
+				formatCell(s.Hist.Mean, dur), formatCell(s.Hist.P50, dur),
+				formatCell(s.Hist.P95, dur), formatCell(s.Hist.P99, dur),
+				formatCell(s.Hist.Max, dur))
+		}
+	}
+	if len(scalars) > 0 {
+		fmt.Fprintln(w)
+		sort.Slice(scalars, func(i, j int) bool { return scalars[i].Key < scalars[j].Key })
+		for _, s := range scalars {
+			fmt.Fprintf(w, "%-52s %s\n", s.Key, formatFloat(s.Value))
+		}
+	}
+}
+
+// formatCell renders one breakdown cell: seconds-valued metrics as
+// rounded durations, everything else as plain numbers with bounded
+// precision.
+func formatCell(v float64, dur bool) string {
+	if !dur {
+		if v == float64(int64(v)) {
+			return fmt.Sprintf("%d", int64(v))
+		}
+		return fmt.Sprintf("%.4g", v)
+	}
+	d := time.Duration(v * float64(time.Second))
+	switch {
+	case d >= time.Second:
+		return d.Round(10 * time.Millisecond).String()
+	case d >= time.Millisecond:
+		return d.Round(10 * time.Microsecond).String()
+	default:
+		return d.Round(100 * time.Nanosecond).String()
+	}
+}
+
+// Handler returns an http.Handler serving the registry: Prometheus text
+// by default, JSON with ?format=json or an Accept: application/json
+// header.
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		wantJSON := req.URL.Query().Get("format") == "json" ||
+			strings.Contains(req.Header.Get("Accept"), "application/json")
+		if wantJSON {
+			w.Header().Set("Content-Type", "application/json")
+			_ = r.WriteJSON(w)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}
+
+// NewMux builds the observability mux every daemon mounts on
+// -metrics-addr: /metrics (Prometheus text, ?format=json for JSON),
+// /metrics.json, and the net/http/pprof suite under /debug/pprof/.
+func NewMux(r *Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", Handler(r))
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = r.WriteJSON(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// ListenAndServe serves the observability mux on addr until the listener
+// fails. Daemons run it in a goroutine:
+//
+//	go func() { log.Println(metrics.ListenAndServe(addr, metrics.Default())) }()
+func ListenAndServe(addr string, r *Registry) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("metrics: listen %s: %w", addr, err)
+	}
+	return Serve(l, r)
+}
+
+// Serve serves the observability mux on an existing listener.
+func Serve(l net.Listener, r *Registry) error {
+	srv := &http.Server{Handler: NewMux(r), ReadHeaderTimeout: 5 * time.Second}
+	return srv.Serve(l)
+}

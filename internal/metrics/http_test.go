@@ -1,0 +1,138 @@
+package metrics
+
+import (
+	"encoding/json"
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func populated() *Registry {
+	r := NewRegistry()
+	r.Counter("rpc_total", "method", "kv.get").Add(3)
+	r.Gauge("degraded").Set(1)
+	r.GaugeFunc("breaker_state", func() float64 { return 2 }, "addr", "kv-0")
+	h := r.DurationHistogram("rpc_seconds", "method", "kv.get")
+	h.ObserveDuration(5 * time.Millisecond)
+	h.ObserveDuration(10 * time.Millisecond)
+	r.Histogram("batch_size").Observe(32)
+	r.Histogram("batch_size").Observe(64)
+	return r
+}
+
+func TestWritePrometheusFormat(t *testing.T) {
+	var b strings.Builder
+	if err := populated().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE rpc_total counter",
+		`rpc_total{method="kv.get"} 3`,
+		"# TYPE degraded gauge",
+		"degraded 1",
+		`breaker_state{addr="kv-0"} 2`,
+		"# TYPE rpc_seconds histogram",
+		`rpc_seconds_bucket{method="kv.get",le="+Inf"} 2`,
+		`rpc_seconds_count{method="kv.get"} 2`,
+		"# TYPE batch_size histogram",
+		"batch_size_count 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteJSONShape(t *testing.T) {
+	var b strings.Builder
+	if err := populated().WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var out map[string]any
+	if err := json.Unmarshal([]byte(b.String()), &out); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, b.String())
+	}
+	if v, ok := out[`rpc_total{method="kv.get"}`]; !ok || v.(float64) != 3 {
+		t.Errorf("counter missing or wrong: %v", v)
+	}
+	hist, ok := out[`rpc_seconds{method="kv.get"}`].(map[string]any)
+	if !ok {
+		t.Fatalf("histogram missing: %v", out)
+	}
+	if hist["count"].(float64) != 2 {
+		t.Errorf("histogram count = %v, want 2", hist["count"])
+	}
+	for _, k := range []string{"p50", "p95", "p99", "mean", "max"} {
+		if _, ok := hist[k]; !ok {
+			t.Errorf("histogram missing %s", k)
+		}
+	}
+}
+
+func TestHandlerEndpointSmoke(t *testing.T) {
+	srv := httptest.NewServer(NewMux(populated()))
+	defer srv.Close()
+
+	get := func(path string) (string, string) {
+		t.Helper()
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != 200 {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		return string(body), resp.Header.Get("Content-Type")
+	}
+
+	body, ctype := get("/metrics")
+	if !strings.HasPrefix(ctype, "text/plain") {
+		t.Errorf("/metrics content type %q", ctype)
+	}
+	if !strings.Contains(body, "rpc_seconds_bucket") {
+		t.Errorf("/metrics missing histogram buckets:\n%s", body)
+	}
+
+	body, ctype = get("/metrics?format=json")
+	if !strings.HasPrefix(ctype, "application/json") {
+		t.Errorf("json content type %q", ctype)
+	}
+	if !strings.Contains(body, `"p99"`) {
+		t.Errorf("json output missing quantiles:\n%s", body)
+	}
+
+	body, _ = get("/metrics.json")
+	if !strings.Contains(body, `"count"`) {
+		t.Errorf("/metrics.json broken:\n%s", body)
+	}
+
+	// pprof is mounted.
+	body, _ = get("/debug/pprof/cmdline")
+	if len(body) == 0 {
+		t.Error("pprof cmdline empty")
+	}
+}
+
+func TestWriteBreakdown(t *testing.T) {
+	var b strings.Builder
+	populated().WriteBreakdown(&b)
+	out := b.String()
+	if !strings.Contains(out, "rpc_seconds") || !strings.Contains(out, "p99") {
+		t.Errorf("breakdown missing histogram table:\n%s", out)
+	}
+	if !strings.Contains(out, "rpc_total") {
+		t.Errorf("breakdown missing counters:\n%s", out)
+	}
+	// Duration cells render as durations, not raw seconds.
+	if !strings.Contains(out, "ms") {
+		t.Errorf("durations not humanized:\n%s", out)
+	}
+}

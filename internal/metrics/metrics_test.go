@@ -1,0 +1,164 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("requests_total")
+	c.Inc()
+	c.Add(4)
+	c.Add(-3) // ignored: counters are monotonic
+	if got := c.Value(); got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+	if r.Counter("requests_total") != c {
+		t.Error("same name returned a different counter instance")
+	}
+	g := r.Gauge("depth")
+	g.Set(7)
+	g.Add(-2)
+	if got := g.Value(); got != 5 {
+		t.Errorf("gauge = %d, want 5", got)
+	}
+}
+
+func TestNilInstrumentsAreNoOps(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	c.Inc()
+	c.Add(3)
+	g.Set(1)
+	h.Observe(1)
+	if c.Value() != 0 || g.Value() != 0 || h.Snapshot().Count != 0 {
+		t.Error("nil instruments not inert")
+	}
+	var sp Span
+	if sp.End() != 0 {
+		t.Error("zero Span.End not 0")
+	}
+}
+
+func TestKeyLabelsSortedAndEscaped(t *testing.T) {
+	a := Key("m", "b", "2", "a", "1")
+	b := Key("m", "a", "1", "b", "2")
+	if a != b {
+		t.Errorf("label order changed identity: %q vs %q", a, b)
+	}
+	if want := `m{a="1",b="2"}`; a != want {
+		t.Errorf("key = %q, want %q", a, want)
+	}
+	if got := Key("m", "k", `a"b\c`); got != `m{k="a\"b\\c"}` {
+		t.Errorf("escaping: %q", got)
+	}
+	if got := Key("m"); got != "m" {
+		t.Errorf("no labels: %q", got)
+	}
+}
+
+func TestLabeledMetricsAreDistinct(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("rpc_total", "method", "get").Add(2)
+	r.Counter("rpc_total", "method", "put").Add(3)
+	if got := r.Counter("rpc_total", "method", "get").Value(); got != 2 {
+		t.Errorf("get counter = %d, want 2", got)
+	}
+	if got := r.Counter("rpc_total", "method", "put").Value(); got != 3 {
+		t.Errorf("put counter = %d, want 3", got)
+	}
+}
+
+func TestGaugeFuncEvaluatedAtSnapshot(t *testing.T) {
+	r := NewRegistry()
+	v := 1.0
+	r.GaugeFunc("live", func() float64 { return v })
+	v = 42
+	found := false
+	for _, s := range r.Snapshots() {
+		if s.Key == "live" {
+			found = true
+			if s.Value != 42 {
+				t.Errorf("gauge func value = %g, want 42", s.Value)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("gauge func missing from snapshots")
+	}
+	// Re-registration replaces.
+	r.GaugeFunc("live", func() float64 { return 7 })
+	for _, s := range r.Snapshots() {
+		if s.Key == "live" && s.Value != 7 {
+			t.Errorf("replaced gauge func value = %g, want 7", s.Value)
+		}
+	}
+}
+
+func TestSpanRecordsIntoHistogram(t *testing.T) {
+	r := NewRegistry()
+	sp := r.StartSpan("stage_seconds")
+	time.Sleep(2 * time.Millisecond)
+	d := sp.End()
+	if d < 2*time.Millisecond {
+		t.Errorf("span duration %v < slept 2ms", d)
+	}
+	snap := r.DurationHistogram("stage_seconds").Snapshot()
+	if snap.Count != 1 {
+		t.Fatalf("histogram count = %d, want 1", snap.Count)
+	}
+	if snap.Max < 0.002 {
+		t.Errorf("recorded %gs, want >= 2ms", snap.Max)
+	}
+}
+
+func TestRegistryConcurrentAccess(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				r.Counter("c_total").Inc()
+				r.Histogram("h").Observe(int64(j))
+				r.Gauge("g").Set(int64(j))
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			r.Snapshots()
+		}
+	}()
+	wg.Wait()
+	<-done
+	if got := r.Counter("c_total").Value(); got != 8000 {
+		t.Errorf("counter = %d, want 8000", got)
+	}
+	if got := r.Histogram("h").Snapshot().Count; got != 8000 {
+		t.Errorf("histogram count = %d, want 8000", got)
+	}
+}
+
+func TestDefaultRegistryIsStable(t *testing.T) {
+	if Default() != Default() {
+		t.Fatal("Default() returned different registries")
+	}
+}
+
+func TestStringDump(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total").Inc()
+	r.Histogram("b").Observe(3)
+	s := r.String()
+	if !strings.Contains(s, "a_total: 1") || !strings.Contains(s, "b: count=1") {
+		t.Errorf("dump missing entries:\n%s", s)
+	}
+}
