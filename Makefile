@@ -2,12 +2,12 @@
 
 GO ?= go
 
-.PHONY: all build test race race-core bench figures figures-quick vet cover ci clean
+.PHONY: all build test race race-core bench figures figures-quick vet cover lint fuzz-short ci clean
 
 all: build test
 
 # What CI runs (.github/workflows/ci.yml).
-ci: build vet test race
+ci: build vet lint test race fuzz-short
 
 # Race-detect the resilience-critical packages only (quick local loop;
 # CI races the whole module).
@@ -28,6 +28,19 @@ race:
 
 cover:
 	$(GO) test -cover ./...
+
+# Project-specific static analysis (lint/): concurrency, determinism,
+# error-classification and metric-hygiene invariants. Fails on any
+# diagnostic. Also runs the linter's own analyzer test suites.
+lint:
+	$(GO) test ./lint/...
+	$(GO) run ./lint/cmd/efdedup-lint ./...
+
+# Short coverage-guided fuzz pass over the chunker invariants (the seed
+# corpus alone runs in every `make test`).
+fuzz-short:
+	$(GO) test ./internal/chunk -fuzz FuzzGearRoundTrip -fuzztime 10s
+	$(GO) test ./internal/chunk -fuzz FuzzFixedRoundTrip -fuzztime 10s
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

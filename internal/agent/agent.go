@@ -31,6 +31,10 @@ import (
 	"efdedup/internal/metrics"
 )
 
+// ErrConfig marks invalid agent assembly or a call that is illegal in the
+// configured dedup mode: caller mistakes, never transient.
+var ErrConfig = errors.New("agent: invalid configuration")
+
 // Mode selects the deduplication strategy.
 type Mode int
 
@@ -153,14 +157,14 @@ func New(cfg Config) (*Agent, error) {
 	switch cfg.Mode {
 	case ModeRing:
 		if cfg.Index == nil {
-			return nil, errors.New("agent: ring mode needs an index cluster")
+			return nil, fmt.Errorf("%w: ring mode needs an index cluster", ErrConfig)
 		}
 	case ModeCloudAssisted, ModeCloudOnly:
 	default:
-		return nil, fmt.Errorf("agent: unknown mode %d", int(cfg.Mode))
+		return nil, fmt.Errorf("%w: unknown mode %d", ErrConfig, int(cfg.Mode))
 	}
 	if cfg.Cloud == nil {
-		return nil, errors.New("agent: cloud client required")
+		return nil, fmt.Errorf("%w: cloud client required", ErrConfig)
 	}
 	if cfg.Chunker == nil {
 		fc, err := chunk.NewFixedChunker(chunk.DefaultFixedSize)
@@ -568,7 +572,7 @@ func (p *pipeline) lookup(batch []chunk.Chunk) ([]bool, error) {
 		// index dedup on upload (ModeCloudOnly semantics per batch).
 		return make([]bool, len(batch)), nil
 	default:
-		return nil, fmt.Errorf("agent: lookup in mode %s", a.cfg.Mode)
+		return nil, fmt.Errorf("%w: lookup in mode %s", ErrConfig, a.cfg.Mode)
 	}
 }
 

@@ -1,0 +1,134 @@
+package chunk
+
+import (
+	"bytes"
+	"testing"
+)
+
+// seedCorpus covers the boundary geometry of both chunkers: empty input,
+// sub-minimum input, inputs straddling the min/max cut points, long
+// repeated runs (worst case for a rolling hash: the gear hash never
+// changes, so only the max-size backstop fires) and shifted content.
+func seedCorpus(f *testing.F, min, max int) {
+	f.Add([]byte{})
+	f.Add([]byte("a"))
+	f.Add([]byte("hello, chunker"))
+	f.Add(bytes.Repeat([]byte{0x00}, max+1))
+	f.Add(bytes.Repeat([]byte{0xFF}, 3*max))
+	f.Add(bytes.Repeat([]byte("abc"), max))
+	f.Add(patterned(min - 1))
+	f.Add(patterned(min))
+	f.Add(patterned(min + 1))
+	f.Add(patterned(max - 1))
+	f.Add(patterned(max))
+	f.Add(patterned(max + 1))
+	f.Add(append([]byte("shift"), patterned(2*max)...))
+}
+
+// patterned returns n bytes of a position-dependent pattern, so equal-size
+// seeds are not equal-content seeds.
+func patterned(n int) []byte {
+	if n < 0 {
+		n = 0
+	}
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = byte(i*131 + i>>8)
+	}
+	return out
+}
+
+// checkChunks verifies the chunker contract on one (input, chunks) pair:
+// every chunk is within [min, max] except a possibly-short final chunk,
+// offsets are contiguous from zero, IDs match content, and Reassemble
+// reproduces the input byte for byte.
+func checkChunks(t *testing.T, input []byte, chunks []Chunk, min, max int) {
+	t.Helper()
+	for i, c := range chunks {
+		if len(c.Data) == 0 {
+			t.Fatalf("chunk %d is empty", i)
+		}
+		if len(c.Data) > max {
+			t.Fatalf("chunk %d has %d bytes, above max %d", i, len(c.Data), max)
+		}
+		if len(c.Data) < min && i != len(chunks)-1 {
+			t.Fatalf("non-final chunk %d has %d bytes, below min %d", i, len(c.Data), min)
+		}
+		if c.ID != Sum(c.Data) {
+			t.Fatalf("chunk %d ID does not match its content", i)
+		}
+	}
+	got, err := Reassemble(chunks)
+	if err != nil {
+		t.Fatalf("reassemble: %v", err)
+	}
+	if !bytes.Equal(got, input) {
+		t.Fatalf("round trip mismatch: got %d bytes, want %d", len(got), len(input))
+	}
+}
+
+// FuzzGearRoundTrip checks the CDC chunker's size and round-trip
+// invariants with a deliberately small geometry (64/256/1024) so the
+// fuzzer crosses min- and max-size boundaries with small inputs.
+func FuzzGearRoundTrip(f *testing.F) {
+	const (
+		min    = 64
+		target = 256
+		max    = 1024
+	)
+	g, err := NewGearChunker(min, target, max)
+	if err != nil {
+		f.Fatal(err)
+	}
+	seedCorpus(f, min, max)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		chunks, err := SplitBytes(g, data)
+		if err != nil {
+			t.Fatalf("split: %v", err)
+		}
+		checkChunks(t, data, chunks, min, max)
+		// Content-defined boundaries must be deterministic: the same
+		// bytes always cut at the same offsets.
+		again, err := SplitBytes(g, data)
+		if err != nil {
+			t.Fatalf("re-split: %v", err)
+		}
+		if len(again) != len(chunks) {
+			t.Fatalf("re-split produced %d chunks, first split %d", len(again), len(chunks))
+		}
+		for i := range chunks {
+			if again[i].ID != chunks[i].ID || again[i].Offset != chunks[i].Offset {
+				t.Fatalf("re-split chunk %d differs from first split", i)
+			}
+		}
+	})
+}
+
+// FuzzFixedRoundTrip checks the fixed chunker: every chunk is exactly the
+// configured size except a possibly-short last one, and reassembly
+// reproduces the input. The size itself is fuzzed alongside the data.
+func FuzzFixedRoundTrip(f *testing.F) {
+	f.Add(uint16(1), []byte{})
+	f.Add(uint16(1), []byte("abc"))
+	f.Add(uint16(7), patterned(50))
+	f.Add(uint16(64), patterned(64))
+	f.Add(uint16(64), patterned(65))
+	f.Add(uint16(4096), patterned(3*4096+17))
+	f.Fuzz(func(t *testing.T, rawSize uint16, data []byte) {
+		size := int(rawSize%4096) + 1
+		fc, err := NewFixedChunker(size)
+		if err != nil {
+			t.Fatalf("new fixed chunker: %v", err)
+		}
+		chunks, err := SplitBytes(fc, data)
+		if err != nil {
+			t.Fatalf("split: %v", err)
+		}
+		for i, c := range chunks {
+			if i != len(chunks)-1 && len(c.Data) != size {
+				t.Fatalf("non-final chunk %d has %d bytes, want exactly %d", i, len(c.Data), size)
+			}
+		}
+		checkChunks(t, data, chunks, size, size)
+	})
+}

@@ -112,13 +112,16 @@ func (c *Client) conn(ctx context.Context) (*transport.Client, error) {
 		return nil, fmt.Errorf("cloudstore: dial %s: %w", c.addr, err)
 	}
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if c.rpc != nil { // lost a redial race; keep the winner
+		winner := c.rpc
+		c.mu.Unlock()
 		raw.Close()
-		return c.rpc, nil
+		return winner, nil
 	}
-	c.rpc = transport.NewClient(raw)
-	return c.rpc, nil
+	rpc = transport.NewClient(raw)
+	c.rpc = rpc
+	c.mu.Unlock()
+	return rpc, nil
 }
 
 // drop discards a failed connection so the next attempt redials. Only the
@@ -187,7 +190,7 @@ func (c *Client) BatchUpload(ctx context.Context, chunks []chunk.Chunk) (stored 
 		return 0, err
 	}
 	if len(resp) != 4 {
-		return 0, errors.New("cloudstore: malformed batch upload response")
+		return 0, fmt.Errorf("%w: malformed batch upload response", ErrProto)
 	}
 	return int(binary.BigEndian.Uint32(resp)), nil
 }
@@ -204,7 +207,7 @@ func (c *Client) BatchHas(ctx context.Context, ids []chunk.ID) ([]bool, error) {
 		return nil, err
 	}
 	if len(resp) != len(ids) {
-		return nil, errors.New("cloudstore: malformed has response")
+		return nil, fmt.Errorf("%w: malformed has response", ErrProto)
 	}
 	out := make([]bool, len(ids))
 	for i, b := range resp {
@@ -217,7 +220,7 @@ func (c *Client) BatchHas(ctx context.Context, ids []chunk.ID) ([]bool, error) {
 // server chunks and deduplicates it and records a manifest under name.
 func (c *Client) UploadRaw(ctx context.Context, name string, data []byte) (storedChunks int, err error) {
 	if len(name) > 65535 {
-		return 0, errors.New("cloudstore: name too long")
+		return 0, fmt.Errorf("%w: name too long", ErrProto)
 	}
 	body := binary.BigEndian.AppendUint16(nil, uint16(len(name)))
 	body = append(body, name...)
@@ -227,7 +230,7 @@ func (c *Client) UploadRaw(ctx context.Context, name string, data []byte) (store
 		return 0, err
 	}
 	if len(resp) != 4 {
-		return 0, errors.New("cloudstore: malformed raw upload response")
+		return 0, fmt.Errorf("%w: malformed raw upload response", ErrProto)
 	}
 	return int(binary.BigEndian.Uint32(resp)), nil
 }
@@ -247,7 +250,7 @@ func (c *Client) GetChunk(ctx context.Context, id chunk.ID) ([]byte, error) {
 // PutManifest records the chunk sequence of a named file.
 func (c *Client) PutManifest(ctx context.Context, name string, ids []chunk.ID) error {
 	if len(name) > 65535 {
-		return errors.New("cloudstore: name too long")
+		return fmt.Errorf("%w: name too long", ErrProto)
 	}
 	body := binary.BigEndian.AppendUint16(nil, uint16(len(name)))
 	body = append(body, name...)
@@ -268,7 +271,7 @@ func (c *Client) GetManifest(ctx context.Context, name string) ([]chunk.ID, erro
 		return nil, err
 	}
 	if len(resp)%chunk.IDSize != 0 {
-		return nil, errors.New("cloudstore: malformed manifest response")
+		return nil, fmt.Errorf("%w: malformed manifest response", ErrProto)
 	}
 	ids := make([]chunk.ID, len(resp)/chunk.IDSize)
 	for i := range ids {
@@ -290,7 +293,7 @@ func (c *Client) Restore(ctx context.Context, name string) ([]byte, error) {
 			return nil, fmt.Errorf("cloudstore: restore %s chunk %d: %w", name, i, err)
 		}
 		if chunk.Sum(data) != id {
-			return nil, fmt.Errorf("cloudstore: restore %s chunk %d corrupt", name, i)
+			return nil, fmt.Errorf("%w: restore %s chunk %d", ErrCorrupt, name, i)
 		}
 		out = append(out, data...)
 	}
@@ -304,7 +307,7 @@ func (c *Client) FetchStats(ctx context.Context) (Stats, error) {
 		return Stats{}, err
 	}
 	if len(resp) != 40 {
-		return Stats{}, errors.New("cloudstore: malformed stats response")
+		return Stats{}, fmt.Errorf("%w: malformed stats response", ErrProto)
 	}
 	return Stats{
 		UniqueChunks: int64(binary.BigEndian.Uint64(resp[0:])),

@@ -42,6 +42,22 @@ const (
 // ErrNotFound is returned for missing chunks or manifests.
 var ErrNotFound = errors.New("cloudstore: not found")
 
+// ErrProto marks malformed or truncated request/response payloads:
+// decode failures that re-sending the same bytes cannot fix.
+var ErrProto = errors.New("cloudstore: protocol error")
+
+// ErrCorrupt marks integrity failures — stored or transmitted bytes no
+// longer hash to their chunk ID. Restore paths treat it as data loss,
+// not as a transient fault to retry.
+var ErrCorrupt = errors.New("cloudstore: corrupt data")
+
+// ErrConfig marks invalid store construction or disk addressing.
+var ErrConfig = errors.New("cloudstore: invalid configuration")
+
+// ErrDegraded marks operations refused because too few erasure-set
+// disks are up to guarantee durability.
+var ErrDegraded = errors.New("cloudstore: too few disks up")
+
 // Stats summarizes what the cloud has seen and stored.
 type Stats struct {
 	// UniqueChunks and UniqueBytes describe the deduplicated store.
@@ -217,13 +233,13 @@ func (s *Server) storeChunk(id chunk.ID, data []byte) bool {
 // upload body: 32-byte ID | payload. Verifies content addressing.
 func (s *Server) handleUpload(body []byte) ([]byte, error) {
 	if len(body) < chunk.IDSize {
-		return nil, errors.New("cloudstore: short upload")
+		return nil, fmt.Errorf("%w: short upload", ErrProto)
 	}
 	var id chunk.ID
 	copy(id[:], body[:chunk.IDSize])
 	data := body[chunk.IDSize:]
 	if chunk.Sum(data) != id {
-		return nil, errors.New("cloudstore: chunk content does not match its ID")
+		return nil, fmt.Errorf("%w: chunk content does not match its ID", ErrCorrupt)
 	}
 	fresh := s.storeChunk(id, data)
 	if fresh {
@@ -235,26 +251,26 @@ func (s *Server) handleUpload(body []byte) ([]byte, error) {
 // batch upload body: u32 count | (32-byte ID | u32 len | payload)*.
 func (s *Server) handleBatchUpload(body []byte) ([]byte, error) {
 	if len(body) < 4 {
-		return nil, errors.New("cloudstore: truncated batch upload")
+		return nil, fmt.Errorf("%w: truncated batch upload", ErrProto)
 	}
 	count := binary.BigEndian.Uint32(body)
 	src := body[4:]
 	stored := uint32(0)
 	for i := uint32(0); i < count; i++ {
 		if len(src) < chunk.IDSize+4 {
-			return nil, fmt.Errorf("cloudstore: truncated batch record %d", i)
+			return nil, fmt.Errorf("%w: truncated batch record %d", ErrProto, i)
 		}
 		var id chunk.ID
 		copy(id[:], src[:chunk.IDSize])
 		n := binary.BigEndian.Uint32(src[chunk.IDSize:])
 		src = src[chunk.IDSize+4:]
 		if uint32(len(src)) < n {
-			return nil, fmt.Errorf("cloudstore: truncated batch payload %d", i)
+			return nil, fmt.Errorf("%w: truncated batch payload %d", ErrProto, i)
 		}
 		data := src[:n]
 		src = src[n:]
 		if chunk.Sum(data) != id {
-			return nil, fmt.Errorf("cloudstore: batch record %d content mismatch", i)
+			return nil, fmt.Errorf("%w: batch record %d content mismatch", ErrCorrupt, i)
 		}
 		if s.storeChunk(id, data) {
 			stored++
@@ -266,13 +282,13 @@ func (s *Server) handleBatchUpload(body []byte) ([]byte, error) {
 // batchhas body: u32 count | (32-byte ID)*; response: one byte per ID.
 func (s *Server) handleBatchHas(body []byte) ([]byte, error) {
 	if len(body) < 4 {
-		return nil, errors.New("cloudstore: truncated has request")
+		return nil, fmt.Errorf("%w: truncated has request", ErrProto)
 	}
 	count := binary.BigEndian.Uint32(body)
 	src := body[4:]
 	// 64-bit math: count*IDSize overflows uint32 for hostile counts.
 	if uint64(len(src)) < uint64(count)*chunk.IDSize {
-		return nil, errors.New("cloudstore: truncated ID list")
+		return nil, fmt.Errorf("%w: truncated ID list", ErrProto)
 	}
 	out := make([]byte, count)
 	s.mu.RLock()
@@ -291,11 +307,11 @@ func (s *Server) handleBatchHas(body []byte) ([]byte, error) {
 // deduplicates; the response is u32 unique-chunks-stored.
 func (s *Server) handleUploadRaw(body []byte) ([]byte, error) {
 	if len(body) < 2 {
-		return nil, errors.New("cloudstore: truncated raw upload")
+		return nil, fmt.Errorf("%w: truncated raw upload", ErrProto)
 	}
 	nameLen := int(binary.BigEndian.Uint16(body))
 	if len(body) < 2+nameLen {
-		return nil, errors.New("cloudstore: truncated raw upload name")
+		return nil, fmt.Errorf("%w: truncated raw upload name", ErrProto)
 	}
 	name := string(body[2 : 2+nameLen])
 	payload := body[2+nameLen:]
@@ -331,7 +347,7 @@ func (s *Server) handleUploadRaw(body []byte) ([]byte, error) {
 
 func (s *Server) handleGetChunk(body []byte) ([]byte, error) {
 	if len(body) != chunk.IDSize {
-		return nil, errors.New("cloudstore: bad chunk ID length")
+		return nil, fmt.Errorf("%w: bad chunk ID length", ErrProto)
 	}
 	var id chunk.ID
 	copy(id[:], body)
@@ -350,16 +366,16 @@ func (s *Server) handleGetChunk(body []byte) ([]byte, error) {
 // putmanifest body: u16 name length | name | (32-byte ID)*.
 func (s *Server) handlePutManifest(body []byte) ([]byte, error) {
 	if len(body) < 2 {
-		return nil, errors.New("cloudstore: truncated manifest")
+		return nil, fmt.Errorf("%w: truncated manifest", ErrProto)
 	}
 	nameLen := int(binary.BigEndian.Uint16(body))
 	if len(body) < 2+nameLen {
-		return nil, errors.New("cloudstore: truncated manifest name")
+		return nil, fmt.Errorf("%w: truncated manifest name", ErrProto)
 	}
 	name := string(body[2 : 2+nameLen])
 	rest := body[2+nameLen:]
 	if len(rest)%chunk.IDSize != 0 {
-		return nil, errors.New("cloudstore: manifest ID list misaligned")
+		return nil, fmt.Errorf("%w: manifest ID list misaligned", ErrProto)
 	}
 	ids := make([]chunk.ID, len(rest)/chunk.IDSize)
 	for i := range ids {

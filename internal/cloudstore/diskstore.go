@@ -2,7 +2,6 @@ package cloudstore
 
 import (
 	"encoding/hex"
-	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -31,7 +30,7 @@ type DiskStore struct {
 // NewDiskStore creates (if needed) the directory layout under root.
 func NewDiskStore(root string) (*DiskStore, error) {
 	if root == "" {
-		return nil, errors.New("cloudstore: empty disk store root")
+		return nil, fmt.Errorf("%w: empty disk store root", ErrConfig)
 	}
 	for _, dir := range []string{root, filepath.Join(root, "chunks"), filepath.Join(root, "manifests")} {
 		if err := os.MkdirAll(dir, 0o755); err != nil {
@@ -98,7 +97,7 @@ func (d *DiskStore) GetChunk(id chunk.ID) ([]byte, error) {
 		return nil, err
 	}
 	if chunk.Sum(data) != id {
-		return nil, fmt.Errorf("cloudstore: chunk %s corrupt on disk", id)
+		return nil, fmt.Errorf("%w: chunk %s corrupt on disk", ErrCorrupt, id)
 	}
 	return data, nil
 }
@@ -130,7 +129,7 @@ func (d *DiskStore) GetManifest(name string) ([]chunk.ID, error) {
 		return nil, err
 	}
 	if len(data)%chunk.IDSize != 0 {
-		return nil, fmt.Errorf("cloudstore: manifest %q corrupt on disk", name)
+		return nil, fmt.Errorf("%w: manifest %q corrupt on disk", ErrCorrupt, name)
 	}
 	ids := make([]chunk.ID, len(data)/chunk.IDSize)
 	for i := range ids {

@@ -1,7 +1,6 @@
 package cloudstore
 
 import (
-	"errors"
 	"fmt"
 	"sync"
 
@@ -58,7 +57,7 @@ func (s *ShardedStore) Overhead() float64 { return s.codec.Overhead() }
 // and Put fails when fewer than k disks are up.
 func (s *ShardedStore) Put(id chunk.ID, data []byte) error {
 	if chunk.Sum(data) != id {
-		return errors.New("cloudstore: chunk content does not match its ID")
+		return fmt.Errorf("%w: chunk content does not match its ID", ErrCorrupt)
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -72,7 +71,7 @@ func (s *ShardedStore) Put(id chunk.ID, data []byte) error {
 		}
 	}
 	if up < s.codec.DataShards() {
-		return fmt.Errorf("cloudstore: only %d/%d disks up, need %d", up, len(s.disks), s.codec.DataShards())
+		return fmt.Errorf("%w: only %d/%d, need %d", ErrDegraded, up, len(s.disks), s.codec.DataShards())
 	}
 	shards, err := s.codec.Split(data)
 	if err != nil {
@@ -110,7 +109,7 @@ func (s *ShardedStore) Get(id chunk.ID) ([]byte, error) {
 		return nil, fmt.Errorf("cloudstore: reconstruct %s: %w", id, err)
 	}
 	if chunk.Sum(data) != id {
-		return nil, fmt.Errorf("cloudstore: reconstructed chunk %s fails verification", id)
+		return nil, fmt.Errorf("%w: reconstructed chunk %s fails verification", ErrCorrupt, id)
 	}
 	return data, nil
 }
@@ -136,7 +135,7 @@ func (s *ShardedStore) FailDisk(i int) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if i < 0 || i >= len(s.disks) {
-		return fmt.Errorf("cloudstore: disk %d out of range", i)
+		return fmt.Errorf("%w: disk %d out of range", ErrConfig, i)
 	}
 	s.failed[i] = true
 	s.disks[i] = make(map[chunk.ID][]byte)
@@ -149,7 +148,7 @@ func (s *ShardedStore) ReviveDisk(i int) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if i < 0 || i >= len(s.disks) {
-		return fmt.Errorf("cloudstore: disk %d out of range", i)
+		return fmt.Errorf("%w: disk %d out of range", ErrConfig, i)
 	}
 	if !s.failed[i] {
 		return nil

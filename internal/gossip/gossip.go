@@ -31,6 +31,10 @@ import (
 // methodExchange is the push-pull RPC.
 const methodExchange = "gossip.exchange"
 
+// ErrConfig marks invalid gossip node assembly: caller mistakes, never
+// transient.
+var ErrConfig = errors.New("gossip: invalid configuration")
+
 // Status of a peer as judged by the local failure detector.
 type Status int
 
@@ -122,10 +126,10 @@ type Node struct {
 // list and begins gossiping.
 func Start(cfg Config) (*Node, error) {
 	if cfg.Addr == "" {
-		return nil, errors.New("gossip: empty address")
+		return nil, fmt.Errorf("%w: empty address", ErrConfig)
 	}
 	if cfg.Network == nil {
-		return nil, errors.New("gossip: nil network")
+		return nil, fmt.Errorf("%w: nil network", ErrConfig)
 	}
 	if cfg.Interval <= 0 {
 		cfg.Interval = 200 * time.Millisecond
@@ -186,11 +190,14 @@ func (n *Node) Stop() {
 		<-n.done
 		n.server.Close()
 		n.mu.Lock()
-		for addr, cl := range n.clients {
-			cl.Close()
-			delete(n.clients, addr)
-		}
+		clients := n.clients
+		n.clients = make(map[string]*transport.Client)
 		n.mu.Unlock()
+		// Close outside the lock: a stalled peer conn must not block
+		// concurrent table reads.
+		for _, cl := range clients {
+			cl.Close()
+		}
 	})
 }
 

@@ -188,10 +188,10 @@ type hint struct {
 // NewCluster validates cfg and builds a coordinator.
 func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	if len(cfg.Members) == 0 {
-		return nil, errors.New("kvstore: cluster needs at least one member")
+		return nil, fmt.Errorf("%w: cluster needs at least one member", ErrConfig)
 	}
 	if cfg.Network == nil {
-		return nil, errors.New("kvstore: cluster needs a network")
+		return nil, fmt.Errorf("%w: cluster needs a network", ErrConfig)
 	}
 	if cfg.ReplicationFactor <= 0 {
 		cfg.ReplicationFactor = 2
@@ -233,13 +233,13 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	seen := make(map[string]bool, len(cfg.Members))
 	for _, m := range cfg.Members {
 		if seen[m] {
-			return nil, fmt.Errorf("kvstore: duplicate member %q", m)
+			return nil, fmt.Errorf("%w: duplicate member %q", ErrConfig, m)
 		}
 		seen[m] = true
 		ring.Add(m)
 	}
 	if cfg.LocalAddr != "" && !seen[cfg.LocalAddr] {
-		return nil, fmt.Errorf("kvstore: local address %q is not a member", cfg.LocalAddr)
+		return nil, fmt.Errorf("%w: local address %q is not a member", ErrConfig, cfg.LocalAddr)
 	}
 	reg := cfg.Metrics
 	if reg == nil {
@@ -286,10 +286,13 @@ func (c *Cluster) Close() error {
 		<-c.healthDone
 	}
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	for addr, cl := range c.clients {
+	clients := c.clients
+	c.clients = make(map[string]*transport.Client)
+	c.mu.Unlock()
+	// Close outside the lock: a Close can block on a stalled peer and
+	// must not freeze concurrent RPCs holding up c.mu.
+	for _, cl := range clients {
 		cl.Close()
-		delete(c.clients, addr)
 	}
 	return nil
 }
@@ -598,7 +601,7 @@ func (c *Cluster) BatchHas(ctx context.Context, keys [][]byte) ([]bool, error) {
 	for i, key := range keys {
 		reps := c.replicas(key)
 		if len(reps) == 0 {
-			return nil, errors.New("kvstore: empty ring")
+			return nil, fmt.Errorf("%w: empty ring", ErrNoQuorum)
 		}
 		target := reps[0]
 		if c.isDown(target) && len(reps) > 1 {
@@ -674,7 +677,7 @@ func (c *Cluster) hasWithFallback(ctx context.Context, key []byte, reps []string
 		}
 	}
 	if firstErr == nil {
-		firstErr = fmt.Errorf("kvstore: all replicas unreachable")
+		firstErr = fmt.Errorf("%w: all replicas unreachable", ErrNoQuorum)
 	}
 	return false, firstErr
 }
@@ -716,7 +719,7 @@ func (e *PartialWriteError) Unwrap() []error { return []error{ErrNoQuorum, e.Cau
 // batch as lost.
 func (c *Cluster) BatchPut(ctx context.Context, keys, values [][]byte) error {
 	if len(keys) != len(values) {
-		return fmt.Errorf("kvstore: %d keys but %d values", len(keys), len(values))
+		return fmt.Errorf("%w: %d keys but %d values", ErrConfig, len(keys), len(values))
 	}
 	type record struct {
 		idx int

@@ -17,13 +17,13 @@ import (
 // replicas (lookup fallback), so the operation is non-disruptive.
 func (c *Cluster) AddMember(addr string) error {
 	if addr == "" {
-		return fmt.Errorf("kvstore: empty member address")
+		return fmt.Errorf("%w: empty member address", ErrConfig)
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	for _, m := range c.cfg.Members {
 		if m == addr {
-			return fmt.Errorf("kvstore: member %q already present", addr)
+			return fmt.Errorf("%w: member %q already present", ErrConfig, addr)
 		}
 	}
 	c.cfg.Members = append(c.cfg.Members, addr)
@@ -45,10 +45,10 @@ func (c *Cluster) RemoveMember(addr string) error {
 		}
 	}
 	if found < 0 {
-		return fmt.Errorf("kvstore: member %q not found", addr)
+		return fmt.Errorf("%w: member %q not found", ErrConfig, addr)
 	}
 	if len(c.cfg.Members) == 1 {
-		return fmt.Errorf("kvstore: cannot remove the last member")
+		return fmt.Errorf("%w: cannot remove the last member", ErrConfig)
 	}
 	c.cfg.Members = append(c.cfg.Members[:found], c.cfg.Members[found+1:]...)
 	c.ring.Remove(addr)
@@ -103,14 +103,14 @@ type scannedEntry struct {
 // decodeScan parses a kv.scan response.
 func decodeScan(body []byte) ([]scannedEntry, error) {
 	if len(body) < 4 {
-		return nil, fmt.Errorf("kvstore: truncated scan response")
+		return nil, fmt.Errorf("%w: truncated scan response", ErrProto)
 	}
 	count := int(uint32(body[0])<<24 | uint32(body[1])<<16 | uint32(body[2])<<8 | uint32(body[3]))
 	src := body[4:]
 	// Each record costs at least 16 bytes (two length prefixes + version);
 	// reject counts the payload cannot hold before allocating.
 	if count > len(src)/16+1 {
-		return nil, fmt.Errorf("kvstore: scan count %d exceeds payload", count)
+		return nil, fmt.Errorf("%w: scan count %d exceeds payload", ErrProto, count)
 	}
 	out := make([]scannedEntry, 0, count)
 	for i := 0; i < count; i++ {

@@ -267,7 +267,7 @@ func (n *Node) handleBatchHas(body []byte) ([]byte, error) {
 // handleBatchPut stores a count-prefixed sequence of key+entry records.
 func (n *Node) handleBatchPut(body []byte) ([]byte, error) {
 	if len(body) < 4 {
-		return nil, errors.New("kvstore: truncated batch")
+		return nil, fmt.Errorf("%w: truncated batch", ErrProto)
 	}
 	count := binary.BigEndian.Uint32(body)
 	src := body[4:]
@@ -314,7 +314,7 @@ func (n *Node) handleStats([]byte) ([]byte, error) {
 
 func decodeStats(body []byte) (NodeStats, error) {
 	if len(body) != 40 {
-		return NodeStats{}, fmt.Errorf("kvstore: stats payload of %d bytes, want 40", len(body))
+		return NodeStats{}, fmt.Errorf("%w: stats payload of %d bytes, want 40", ErrProto, len(body))
 	}
 	return NodeStats{
 		Gets:    int64(binary.BigEndian.Uint64(body[0:])),

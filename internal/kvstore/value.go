@@ -26,6 +26,15 @@ import (
 // ErrNotFound is returned by reads of missing keys.
 var ErrNotFound = errors.New("kvstore: key not found")
 
+// ErrProto marks malformed or truncated wire payloads: the peer sent
+// bytes the protocol cannot decode, so the retry layer must not spend
+// budget re-sending the same frame.
+var ErrProto = errors.New("kvstore: protocol error")
+
+// ErrConfig marks invalid cluster assembly, membership changes or call
+// arguments: caller mistakes, never transient.
+var ErrConfig = errors.New("kvstore: invalid configuration")
+
 // Entry is one stored record.
 type Entry struct {
 	// Value is the payload.
@@ -46,11 +55,11 @@ func appendBytes(dst, b []byte) []byte {
 // readBytes consumes one length-prefixed blob.
 func readBytes(src []byte) (val, rest []byte, err error) {
 	if len(src) < 4 {
-		return nil, nil, errors.New("kvstore: truncated length prefix")
+		return nil, nil, fmt.Errorf("%w: truncated length prefix", ErrProto)
 	}
 	n := binary.BigEndian.Uint32(src)
 	if uint32(len(src)-4) < n {
-		return nil, nil, fmt.Errorf("kvstore: blob of %d bytes exceeds remaining %d", n, len(src)-4)
+		return nil, nil, fmt.Errorf("%w: blob of %d bytes exceeds remaining %d", ErrProto, n, len(src)-4)
 	}
 	return src[4 : 4+n], src[4+n:], nil
 }
@@ -70,7 +79,7 @@ func decodeEntry(src []byte) (key []byte, e Entry, rest []byte, err error) {
 		return nil, Entry{}, nil, err
 	}
 	if len(src) < 8 {
-		return nil, Entry{}, nil, errors.New("kvstore: truncated version")
+		return nil, Entry{}, nil, fmt.Errorf("%w: truncated version", ErrProto)
 	}
 	e.Version = binary.BigEndian.Uint64(src)
 	e.Value, rest, err = readBytes(src[8:])
@@ -92,7 +101,7 @@ func encodeKeyList(keys [][]byte) []byte {
 // decodeKeyList parses a count-prefixed list of keys.
 func decodeKeyList(src []byte) ([][]byte, error) {
 	if len(src) < 4 {
-		return nil, errors.New("kvstore: truncated key list")
+		return nil, fmt.Errorf("%w: truncated key list", ErrProto)
 	}
 	n := binary.BigEndian.Uint32(src)
 	src = src[4:]
@@ -100,7 +109,7 @@ func decodeKeyList(src []byte) ([][]byte, error) {
 	// not possibly fit the remaining bytes is corrupt (and must not drive
 	// the allocation below).
 	if uint64(n) > uint64(len(src))/4+1 {
-		return nil, fmt.Errorf("kvstore: key list count %d exceeds payload", n)
+		return nil, fmt.Errorf("%w: key list count %d exceeds payload", ErrProto, n)
 	}
 	keys := make([][]byte, 0, n)
 	for i := uint32(0); i < n; i++ {

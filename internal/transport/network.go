@@ -54,7 +54,7 @@ func (m *MemNetwork) Listen(addr string) (net.Listener, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if _, ok := m.listeners[addr]; ok {
-		return nil, fmt.Errorf("transport: address %q already in use", addr)
+		return nil, fmt.Errorf("%w: %q", ErrAddrInUse, addr)
 	}
 	l := &memListener{
 		net:    m,
@@ -72,7 +72,7 @@ func (m *MemNetwork) Dial(ctx context.Context, addr string) (net.Conn, error) {
 	l := m.listeners[addr]
 	m.mu.Unlock()
 	if l == nil {
-		return nil, fmt.Errorf("transport: dial %q: connection refused", addr)
+		return nil, fmt.Errorf("%w: dial %q", ErrRefused, addr)
 	}
 	client, server := net.Pipe()
 	select {
@@ -81,7 +81,7 @@ func (m *MemNetwork) Dial(ctx context.Context, addr string) (net.Conn, error) {
 	case <-l.closed:
 		client.Close()
 		server.Close()
-		return nil, fmt.Errorf("transport: dial %q: connection refused", addr)
+		return nil, fmt.Errorf("%w: dial %q", ErrRefused, addr)
 	case <-ctx.Done():
 		client.Close()
 		server.Close()

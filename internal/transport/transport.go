@@ -42,6 +42,18 @@ const (
 // ErrClientClosed is returned by Call after Close.
 var ErrClientClosed = errors.New("transport: client closed")
 
+// ErrProto marks malformed, truncated or over-limit frames: the peer is
+// speaking a different protocol (or corrupting data), so retrying the
+// same bytes cannot help and must not burn retry budget.
+var ErrProto = errors.New("transport: protocol error")
+
+// ErrRefused marks dials to an address nobody is listening on. It is
+// retryable: the peer may simply not have bound yet.
+var ErrRefused = errors.New("transport: connection refused")
+
+// ErrAddrInUse marks an attempt to bind an already-bound address.
+var ErrAddrInUse = errors.New("transport: address already in use")
+
 // RemoteError is an application error returned by the remote handler, as
 // opposed to a transport failure.
 type RemoteError struct {
@@ -70,7 +82,7 @@ func Retryable(err error) bool { return !IsRemoteError(err) }
 // writeFrame writes one length-prefixed frame. Callers must serialize.
 func writeFrame(w io.Writer, payload []byte) error {
 	if len(payload) > MaxFrameSize {
-		return fmt.Errorf("transport: frame of %d bytes exceeds limit", len(payload))
+		return fmt.Errorf("%w: frame of %d bytes exceeds limit", ErrProto, len(payload))
 	}
 	var hdr [4]byte
 	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
@@ -89,7 +101,7 @@ func readFrame(r io.Reader) ([]byte, error) {
 	}
 	n := binary.BigEndian.Uint32(hdr[:])
 	if n > MaxFrameSize {
-		return nil, fmt.Errorf("transport: frame of %d bytes exceeds limit", n)
+		return nil, fmt.Errorf("%w: frame of %d bytes exceeds limit", ErrProto, n)
 	}
 	payload := make([]byte, n)
 	if _, err := io.ReadFull(r, payload); err != nil {
@@ -116,7 +128,7 @@ func readFrame(r io.Reader) ([]byte, error) {
 //	... body
 func encodeRequest(id uint64, method string, body []byte) ([]byte, error) {
 	if len(method) > 255 {
-		return nil, fmt.Errorf("transport: method name %q too long", method)
+		return nil, fmt.Errorf("%w: method name %q too long", ErrProto, method)
 	}
 	buf := make([]byte, 0, 10+len(method)+len(body))
 	buf = append(buf, frameRequest)
@@ -129,12 +141,12 @@ func encodeRequest(id uint64, method string, body []byte) ([]byte, error) {
 
 func decodeRequest(p []byte) (id uint64, method string, body []byte, err error) {
 	if len(p) < 10 || p[0] != frameRequest {
-		return 0, "", nil, errors.New("transport: malformed request frame")
+		return 0, "", nil, fmt.Errorf("%w: malformed request frame", ErrProto)
 	}
 	id = binary.BigEndian.Uint64(p[1:9])
 	ml := int(p[9])
 	if len(p) < 10+ml {
-		return 0, "", nil, errors.New("transport: truncated request frame")
+		return 0, "", nil, fmt.Errorf("%w: truncated request frame", ErrProto)
 	}
 	return id, string(p[10 : 10+ml]), p[10+ml:], nil
 }
@@ -156,7 +168,7 @@ func encodeResponse(id uint64, body []byte, remoteErr string) []byte {
 
 func decodeResponse(p []byte) (id uint64, body []byte, remoteErr string, err error) {
 	if len(p) < 10 || p[0] != frameResponse {
-		return 0, nil, "", errors.New("transport: malformed response frame")
+		return 0, nil, "", fmt.Errorf("%w: malformed response frame", ErrProto)
 	}
 	id = binary.BigEndian.Uint64(p[1:9])
 	switch p[9] {
@@ -164,15 +176,15 @@ func decodeResponse(p []byte) (id uint64, body []byte, remoteErr string, err err
 		return id, p[10:], "", nil
 	case statusError:
 		if len(p) < 14 {
-			return 0, nil, "", errors.New("transport: truncated error frame")
+			return 0, nil, "", fmt.Errorf("%w: truncated error frame", ErrProto)
 		}
 		el := int(binary.BigEndian.Uint32(p[10:14]))
 		if len(p) < 14+el {
-			return 0, nil, "", errors.New("transport: truncated error frame")
+			return 0, nil, "", fmt.Errorf("%w: truncated error frame", ErrProto)
 		}
 		return id, nil, string(p[14 : 14+el]), nil
 	default:
-		return 0, nil, "", fmt.Errorf("transport: unknown status %d", p[9])
+		return 0, nil, "", fmt.Errorf("%w: unknown status %d", ErrProto, p[9])
 	}
 }
 
@@ -272,6 +284,7 @@ func (s *Server) serveConn(conn net.Conn) {
 			defer writeMu.Unlock()
 			// A write failure means the peer is gone; the read loop
 			// will terminate on its own.
+			//lint:ignore lockedio writeMu exists to serialize response frames on this conn; it guards the write itself
 			_ = writeFrame(conn, encodeResponse(id, respBody, errMsg))
 		}()
 	}
@@ -386,6 +399,7 @@ func (c *Client) Call(ctx context.Context, method string, body []byte) ([]byte, 
 		return nil, err
 	}
 	c.writeMu.Lock()
+	//lint:ignore lockedio writeMu exists to serialize request frames on this conn; it guards the write itself
 	err = writeFrame(c.conn, req)
 	c.writeMu.Unlock()
 	if err != nil {

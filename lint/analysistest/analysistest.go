@@ -1,0 +1,229 @@
+// Package analysistest runs an analyzer over fixture packages under
+// testdata/src and checks reported diagnostics against `// want`
+// expectations, mirroring golang.org/x/tools/go/analysis/analysistest.
+//
+// A fixture line carrying an expectation looks like:
+//
+//	conn.Write(b) // want `held across`
+//
+// where the backquoted (or double-quoted) fragment is a regexp that
+// must match the message of a diagnostic reported on that line.
+// Multiple fragments mean multiple diagnostics. Lines without a want
+// comment must stay silent; unmatched expectations fail the test.
+//
+// Fixture packages may import each other (directory layout under
+// testdata/src mirrors import paths) and the standard library; stdlib
+// export data is obtained from `go list -export`.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"efdedup/lint/analysis"
+	"efdedup/lint/internal/checker"
+	"efdedup/lint/internal/load"
+)
+
+// fixture is one package under testdata/src.
+type fixture struct {
+	path    string // import path (relative dir under testdata/src)
+	dir     string
+	files   []*ast.File
+	imports []string // fixture-internal imports only
+}
+
+// Run checks analyzer a against the fixture packages pkgPaths rooted
+// at testdata/src relative to the test's working directory.
+func Run(t *testing.T, a *analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	root, err := filepath.Abs(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	fixtures, externals, err := discover(fset, root, pkgPaths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exports, err := load.StdlibExports(".", externals)
+	if err != nil {
+		t.Fatalf("listing stdlib export data: %v", err)
+	}
+	imp := load.NewExportImporter(fset, exports)
+	imp.Overlay = make(map[string]*types.Package)
+
+	pkgs := make(map[string]*load.Package)
+	var typecheck func(path string) error
+	typecheck = func(path string) error {
+		if _, done := imp.Overlay[path]; done {
+			return nil
+		}
+		fx := fixtures[path]
+		for _, dep := range fx.imports {
+			if err := typecheck(dep); err != nil {
+				return err
+			}
+		}
+		info := load.NewInfo()
+		conf := types.Config{Importer: imp}
+		tpkg, err := conf.Check(fx.path, fset, fx.files, info)
+		if err != nil {
+			return fmt.Errorf("type-checking fixture %s: %v", fx.path, err)
+		}
+		imp.Overlay[path] = tpkg
+		pkgs[path] = &load.Package{PkgPath: fx.path, Dir: fx.dir, Files: fx.files, Types: tpkg, Info: info}
+		return nil
+	}
+	for path := range fixtures {
+		if err := typecheck(path); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	for _, path := range pkgPaths {
+		pkg := pkgs[path]
+		wants := collectWants(t, fset, pkg.Files)
+		diags, err := checker.Run([]*analysis.Analyzer{a}, []*load.Package{pkg}, fset)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		match(t, path, wants, diags)
+	}
+}
+
+// discover parses the requested fixture packages plus any fixture
+// packages they import (transitively), returning them along with the
+// sorted set of external (standard library) imports.
+func discover(fset *token.FileSet, root string, roots []string) (map[string]*fixture, []string, error) {
+	fixtures := make(map[string]*fixture)
+	externalSet := make(map[string]bool)
+	var visit func(path string) error
+	visit = func(path string) error {
+		if _, ok := fixtures[path]; ok {
+			return nil
+		}
+		dir := filepath.Join(root, filepath.FromSlash(path))
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			return fmt.Errorf("fixture package %s: %v", path, err)
+		}
+		fx := &fixture{path: path, dir: dir}
+		fixtures[path] = fx
+		for _, e := range entries {
+			if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+				continue
+			}
+			f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+			if err != nil {
+				return fmt.Errorf("parsing fixture %s/%s: %v", path, e.Name(), err)
+			}
+			fx.files = append(fx.files, f)
+			for _, spec := range f.Imports {
+				imp, err := strconv.Unquote(spec.Path.Value)
+				if err != nil {
+					return err
+				}
+				if _, statErr := os.Stat(filepath.Join(root, filepath.FromSlash(imp))); statErr == nil {
+					fx.imports = append(fx.imports, imp)
+					if err := visit(imp); err != nil {
+						return err
+					}
+				} else {
+					externalSet[imp] = true
+				}
+			}
+		}
+		if len(fx.files) == 0 {
+			return fmt.Errorf("fixture package %s: no Go files", path)
+		}
+		return nil
+	}
+	for _, path := range roots {
+		if err := visit(path); err != nil {
+			return nil, nil, err
+		}
+	}
+	externals := make([]string, 0, len(externalSet))
+	for imp := range externalSet {
+		externals = append(externals, imp)
+	}
+	return fixtures, externals, nil
+}
+
+// expectation is one `// want` fragment waiting for a diagnostic.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+var wantFragment = regexp.MustCompile("`([^`]*)`|\"((?:[^\"\\\\]|\\\\.)*)\"")
+
+// collectWants extracts want expectations from fixture comments.
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) []*expectation {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, "want ") {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				rest := strings.TrimPrefix(text, "want ")
+				frags := wantFragment.FindAllStringSubmatch(rest, -1)
+				if len(frags) == 0 {
+					t.Fatalf("%s:%d: malformed want comment %q", pos.Filename, pos.Line, c.Text)
+				}
+				for _, m := range frags {
+					lit := m[1]
+					if m[2] != "" {
+						lit = m[2]
+					}
+					re, err := regexp.Compile(lit)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, lit, err)
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// match pairs diagnostics with expectations 1:1 per line.
+func match(t *testing.T, pkg string, wants []*expectation, diags []checker.Diagnostic) {
+	t.Helper()
+	for _, d := range diags {
+		found := false
+		for _, w := range wants {
+			if !w.matched && w.file == d.Position.Filename && w.line == d.Position.Line && w.re.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: unexpected diagnostic at %s:%d: %s: %s",
+				pkg, d.Position.Filename, d.Position.Line, d.Analyzer, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s: no diagnostic at %s:%d matching %q", pkg, w.file, w.line, w.re)
+		}
+	}
+}

@@ -1,0 +1,67 @@
+// Package ctxfirst enforces the Go convention that context.Context is
+// the first parameter of any function that takes one.
+//
+// The daemons thread cancellation from shutdown handlers through the
+// cluster fan-out down to individual dials; a context buried mid-
+// signature is the kind that gets forgotten at a call site (passed
+// context.Background() "temporarily") and silently detaches a whole
+// subtree from shutdown. Position-zero makes the plumbing mechanical
+// and greppable.
+//
+// The analyzer inspects every function signature in the package —
+// declarations, literals, interface methods and function types — and
+// reports signatures where a context.Context parameter is not first.
+package ctxfirst
+
+import (
+	"go/ast"
+	"go/types"
+
+	"efdedup/lint/analysis"
+)
+
+// Analyzer is the ctxfirst pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxfirst",
+	Doc:  "reports function signatures where context.Context is not the first parameter",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			ft, ok := n.(*ast.FuncType)
+			if !ok || ft.Params == nil {
+				return true
+			}
+			// Flatten the parameter list: one entry per declared name
+			// (or per anonymous type).
+			argIndex := 0
+			for _, field := range ft.Params.List {
+				width := len(field.Names)
+				if width == 0 {
+					width = 1
+				}
+				if isContext(pass, field.Type) && argIndex > 0 {
+					pass.Reportf(field.Pos(), "context.Context should be the first parameter of a function")
+				}
+				argIndex += width
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func isContext(pass *analysis.Pass, expr ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[expr]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	named, ok := tv.Type.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}

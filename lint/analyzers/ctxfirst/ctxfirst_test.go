@@ -1,0 +1,12 @@
+package ctxfirst_test
+
+import (
+	"testing"
+
+	"efdedup/lint/analysistest"
+	"efdedup/lint/analyzers/ctxfirst"
+)
+
+func TestCtxFirst(t *testing.T) {
+	analysistest.Run(t, ctxfirst.Analyzer, "ctxuse")
+}

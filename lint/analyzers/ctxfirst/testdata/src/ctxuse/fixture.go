@@ -1,0 +1,31 @@
+// Fixture for the ctxfirst analyzer.
+package ctxuse
+
+import "context"
+
+func good(ctx context.Context, addr string) error { return nil }
+
+func goodOnly(ctx context.Context) {}
+
+func goodNone(addr string, n int) {}
+
+func bad(addr string, ctx context.Context) error { return nil } // want `context\.Context should be the first parameter`
+
+type dialer interface {
+	DialGood(ctx context.Context, addr string) error
+	DialBad(addr string, ctx context.Context) error // want `context\.Context should be the first parameter`
+}
+
+var goodLit = func(ctx context.Context, n int) {}
+
+var badLit = func(n int, ctx context.Context) {} // want `context\.Context should be the first parameter`
+
+var badType func(n int, ctx context.Context) // want `context\.Context should be the first parameter`
+
+var _ = good
+var _ = goodOnly
+var _ = goodNone
+var _ = bad
+var _ = goodLit
+var _ = badLit
+var _ = badType

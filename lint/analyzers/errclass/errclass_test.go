@@ -1,0 +1,12 @@
+package errclass_test
+
+import (
+	"testing"
+
+	"efdedup/lint/analysistest"
+	"efdedup/lint/analyzers/errclass"
+)
+
+func TestErrClass(t *testing.T) {
+	analysistest.Run(t, errclass.Analyzer, "efdedup/internal/kvstore", "other")
+}

@@ -1,0 +1,43 @@
+// Fixture for the errclass analyzer: this package path ends in
+// internal/kvstore, so it is a transport boundary.
+package kvstore
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Package-level sentinels are the classification mechanism — allowed.
+var (
+	ErrNotFound = errors.New("kvstore: key not found")
+	ErrProto    = errors.New("kvstore: protocol error")
+)
+
+func decode(b []byte) error {
+	if len(b) < 4 {
+		return errors.New("kvstore: truncated frame") // want `errors\.New inside a function`
+	}
+	if b[0] == 0 {
+		return fmt.Errorf("kvstore: zero tag at offset %d", 0) // want `fmt\.Errorf without %w`
+	}
+	if b[1] == 0 {
+		return fmt.Errorf("kvstore: bad tag %d: %w", b[1], ErrProto) // classified: ok
+	}
+	return nil
+}
+
+func get(key string) error {
+	if key == "" {
+		return ErrNotFound // sentinel return: ok
+	}
+	return fmt.Errorf("kvstore: get %q: %w", key, ErrNotFound) // ok
+}
+
+func dynamic(format string, err error) error {
+	return fmt.Errorf(format, err) // want `non-constant format string`
+}
+
+func ignored() error {
+	//lint:ignore errclass validation error that never crosses the wire
+	return errors.New("kvstore: odd key length")
+}

@@ -1,0 +1,15 @@
+// Fixture proving errclass only fires inside transport-boundary
+// packages: identical patterns here must stay silent.
+package other
+
+import (
+	"errors"
+	"fmt"
+)
+
+func decode(b []byte) error {
+	if len(b) < 4 {
+		return errors.New("other: truncated")
+	}
+	return fmt.Errorf("other: bad tag %d", b[0])
+}

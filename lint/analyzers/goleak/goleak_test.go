@@ -1,0 +1,12 @@
+package goleak_test
+
+import (
+	"testing"
+
+	"efdedup/lint/analysistest"
+	"efdedup/lint/analyzers/goleak"
+)
+
+func TestGoLeak(t *testing.T) {
+	analysistest.Run(t, goleak.Analyzer, "goroutine")
+}

@@ -1,0 +1,90 @@
+// Fixture for the goleak analyzer.
+package goroutine
+
+import (
+	"context"
+	"time"
+)
+
+type daemon struct {
+	stopc chan struct{}
+	work  chan int
+}
+
+func (d *daemon) badLiteral() {
+	go func() {
+		for { // want `no shutdown path`
+			time.Sleep(time.Millisecond)
+		}
+	}()
+}
+
+func (d *daemon) badNamed() {
+	go d.spin()
+}
+
+// spin never checks any signal and can never be joined.
+func (d *daemon) spin() {
+	for { // want `no shutdown path`
+		v := <-d.work
+		_ = v
+	}
+}
+
+func (d *daemon) goodSelect() {
+	go func() {
+		for {
+			select {
+			case v := <-d.work:
+				_ = v
+			case <-d.stopc:
+				return
+			}
+		}
+	}()
+}
+
+func (d *daemon) goodCtx(ctx context.Context) {
+	go func() {
+		for {
+			if ctx.Err() != nil {
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+}
+
+func (d *daemon) goodNamed() {
+	go d.loop()
+}
+
+func (d *daemon) loop() {
+	for {
+		select {
+		case v := <-d.work:
+			_ = v
+		case <-d.stopc:
+			return
+		}
+	}
+}
+
+// goodBounded: loops with a condition terminate on their own and are
+// not the analyzer's business.
+func (d *daemon) goodBounded(n int) {
+	go func() {
+		for i := 0; i < n; i++ {
+			_ = <-d.work
+		}
+	}()
+}
+
+func (d *daemon) goodIgnored() {
+	go func() {
+		//lint:ignore goleak process-lifetime sampler, dies with the process
+		for {
+			time.Sleep(time.Second)
+		}
+	}()
+}

@@ -1,0 +1,12 @@
+package lockedio_test
+
+import (
+	"testing"
+
+	"efdedup/lint/analysistest"
+	"efdedup/lint/analyzers/lockedio"
+)
+
+func TestLockedIO(t *testing.T) {
+	analysistest.Run(t, lockedio.Analyzer, "lockedio")
+}

@@ -1,0 +1,22 @@
+// Package transport is a fixture stub mirroring the shape of the real
+// efdedup/internal/transport frame client.
+package transport
+
+import (
+	"context"
+	"net"
+)
+
+// Client is a framed RPC client over one conn.
+type Client struct{ conn net.Conn }
+
+// NewClient wraps a conn; it performs no I/O itself.
+func NewClient(conn net.Conn) *Client { return &Client{conn: conn} }
+
+// Call performs a full RPC round trip.
+func (c *Client) Call(ctx context.Context, method string, body []byte) ([]byte, error) {
+	return nil, nil
+}
+
+// Close tears down the underlying conn.
+func (c *Client) Close() error { return c.conn.Close() }

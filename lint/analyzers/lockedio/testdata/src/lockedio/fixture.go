@@ -1,0 +1,132 @@
+// Fixture for the lockedio analyzer: network I/O under held mutexes
+// must be reported; lock-release-before-dial must stay silent.
+package lockedio
+
+import (
+	"context"
+	"net"
+	"sync"
+
+	"efdedup/internal/transport"
+)
+
+type node struct {
+	mu      sync.Mutex
+	rw      sync.RWMutex
+	conn    net.Conn
+	clients map[string]*transport.Client
+}
+
+func (n *node) badWrite(b []byte) {
+	n.mu.Lock()
+	n.conn.Write(b) // want `net\.Conn\.Write while n\.mu is held`
+	n.mu.Unlock()
+}
+
+func (n *node) badDeferDial(ctx context.Context) (net.Conn, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	var d net.Dialer
+	return d.DialContext(ctx, "tcp", "peer:1") // want `DialContext while n\.mu is held`
+}
+
+func (n *node) badRLockRead(b []byte) {
+	n.rw.RLock()
+	defer n.rw.RUnlock()
+	n.conn.Read(b) // want `net\.Conn\.Read while n\.rw is held`
+}
+
+func (n *node) badHelper(b []byte) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	writeAll(n.conn, b) // want `call passing net\.Conn while n\.mu is held`
+}
+
+func (n *node) badRPC(ctx context.Context, cl *transport.Client) {
+	n.mu.Lock()
+	cl.Call(ctx, "kv.get", nil) // want `transport\.Client\.Call while n\.mu is held`
+	n.mu.Unlock()
+}
+
+func (n *node) badCloseUnderLock() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for addr, cl := range n.clients {
+		cl.Close() // want `transport\.Client\.Close while n\.mu is held`
+		delete(n.clients, addr)
+	}
+}
+
+// goodReleaseBeforeDial is the discipline the analyzer enforces: the
+// lock guards only the table; the dial happens after release.
+func (n *node) goodReleaseBeforeDial(ctx context.Context) (net.Conn, error) {
+	n.mu.Lock()
+	cached := n.conn
+	n.mu.Unlock()
+	if cached != nil {
+		return cached, nil
+	}
+	return net.Dial("tcp", "peer:1")
+}
+
+// goodWrapUnderLock stores a client constructed from an already-dialed
+// conn; NewClient only wraps and is not I/O.
+func (n *node) goodWrapUnderLock(conn net.Conn) {
+	n.mu.Lock()
+	n.clients["peer"] = transport.NewClient(conn)
+	n.mu.Unlock()
+}
+
+// goodRelock: a second critical section after the I/O is fine.
+func (n *node) goodRelock(ctx context.Context) error {
+	n.mu.Lock()
+	n.conn = nil
+	n.mu.Unlock()
+	conn, err := net.Dial("tcp", "peer:1")
+	if err != nil {
+		return err
+	}
+	n.mu.Lock()
+	n.conn = conn
+	n.mu.Unlock()
+	return nil
+}
+
+// goodGoroutine: the literal's body is a separate sweep — it runs on
+// its own stack and does not inherit the parent's lock region.
+func (n *node) goodGoroutine(b []byte) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	go func() {
+		n.conn.Write(b)
+	}()
+}
+
+// goodAsyncClose: a call spawned with go does not block the lock
+// holder, so it is not held-across I/O.
+func (n *node) goodAsyncClose(cl *transport.Client) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	go cl.Close()
+}
+
+// goodBuiltins: builtin calls and conversions moving a conn around a
+// table are bookkeeping, not I/O.
+func (n *node) goodBuiltins(conns map[net.Conn]bool, c net.Conn) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(conns, c)
+	_ = net.Conn(c)
+}
+
+// goodIgnored shows the reasoned escape hatch.
+func (n *node) goodIgnored(b []byte) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	//lint:ignore lockedio test-only shim, conn is an in-memory pipe
+	n.conn.Write(b)
+}
+
+func writeAll(c net.Conn, b []byte) {
+	c.Write(b)
+}

@@ -1,0 +1,117 @@
+// Package metricname audits metric registrations against the
+// internal/metrics naming contract.
+//
+// The registry keys series by name plus label pairs and exports them
+// as Prometheus text. Two failure modes motivate the check. First,
+// a non-constant metric name (or label key) means series are minted at
+// runtime — the classic unbounded-cardinality leak: one series per
+// request address or per chunk ID will grow the registry without
+// bound and blow up every scrape. Second, names outside
+// lowercase_snake (Prometheus conventions) silently fork dashboards
+// ("kvstore_rpc_seconds" vs "kvstoreRPCSeconds").
+//
+// The analyzer inspects every call to a registration method on
+// internal/metrics.Registry (Counter, Gauge, GaugeFunc, Histogram,
+// DurationHistogram, StartSpan) and requires: a constant
+// lowercase_snake name, and constant lowercase_snake label KEYS (label
+// values may be dynamic — they are bounded by cluster membership, not
+// by request volume).
+package metricname
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"efdedup/lint/analysis"
+)
+
+// Analyzer is the metricname pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "metricname",
+	Doc:  "reports non-constant or non-lowercase_snake metric names and label keys registered with internal/metrics",
+	Run:  run,
+}
+
+// registration methods → index of the name argument and of the first
+// label argument.
+var registrationMethods = map[string]struct{ nameArg, labelStart int }{
+	"Counter":           {0, 1},
+	"Gauge":             {0, 1},
+	"GaugeFunc":         {0, 2},
+	"Histogram":         {0, 1},
+	"DurationHistogram": {0, 1},
+	"StartSpan":         {0, 1},
+}
+
+var snakeCase = regexp.MustCompile(`^[a-z][a-z0-9_]*$`)
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			spec, ok := registration(pass, call)
+			if !ok {
+				return true
+			}
+			if len(call.Args) <= spec.nameArg {
+				return true
+			}
+			checkConstSnake(pass, call.Args[spec.nameArg], "metric name")
+			if call.Ellipsis.IsValid() {
+				return true // labels splatted from a slice: keys not statically visible
+			}
+			for i := spec.labelStart; i < len(call.Args); i += 2 {
+				checkConstSnake(pass, call.Args[i], "label key")
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// registration matches method calls on internal/metrics.Registry.
+func registration(pass *analysis.Pass, call *ast.CallExpr) (struct{ nameArg, labelStart int }, bool) {
+	var zero struct{ nameArg, labelStart int }
+	fn, ok := pass.CalleeObject(call).(*types.Func)
+	if !ok {
+		return zero, false
+	}
+	spec, ok := registrationMethods[fn.Name()]
+	if !ok {
+		return zero, false
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return zero, false
+	}
+	rt := recv.Type()
+	if p, isPtr := rt.(*types.Pointer); isPtr {
+		rt = p.Elem()
+	}
+	named, ok := rt.(*types.Named)
+	if !ok {
+		return zero, false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || !strings.HasSuffix(obj.Pkg().Path(), "internal/metrics") || obj.Name() != "Registry" {
+		return zero, false
+	}
+	return spec, true
+}
+
+func checkConstSnake(pass *analysis.Pass, arg ast.Expr, what string) {
+	tv, ok := pass.TypesInfo.Types[arg]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		pass.Reportf(arg.Pos(), "%s must be a constant string; dynamic names mint unbounded metric cardinality", what)
+		return
+	}
+	if name := constant.StringVal(tv.Value); !snakeCase.MatchString(name) {
+		pass.Reportf(arg.Pos(), "%s %q is not lowercase_snake ([a-z][a-z0-9_]*)", what, name)
+	}
+}

@@ -1,0 +1,35 @@
+// Package metrics is a fixture stub mirroring the registration surface
+// of the real efdedup/internal/metrics registry.
+package metrics
+
+type Counter struct{}
+
+type Gauge struct{}
+
+type Histogram struct{}
+
+type Span struct{}
+
+// Registry keys series by name + label pairs.
+type Registry struct{}
+
+// Default returns the process registry.
+func Default() *Registry { return &Registry{} }
+
+// Counter registers a counter.
+func (r *Registry) Counter(name string, labels ...string) *Counter { return &Counter{} }
+
+// Gauge registers a gauge.
+func (r *Registry) Gauge(name string, labels ...string) *Gauge { return &Gauge{} }
+
+// GaugeFunc registers a computed gauge.
+func (r *Registry) GaugeFunc(name string, fn func() float64, labels ...string) {}
+
+// Histogram registers a histogram.
+func (r *Registry) Histogram(name string, labels ...string) *Histogram { return &Histogram{} }
+
+// DurationHistogram registers a nanosecond histogram.
+func (r *Registry) DurationHistogram(name string, labels ...string) *Histogram { return &Histogram{} }
+
+// StartSpan times a region into a histogram.
+func (r *Registry) StartSpan(name string, labels ...string) Span { return Span{} }

@@ -1,0 +1,30 @@
+// Fixture for the metricname analyzer.
+package metricuse
+
+import (
+	"fmt"
+
+	"efdedup/internal/metrics"
+)
+
+func register(addr string, shard int) {
+	reg := metrics.Default()
+
+	// Constant snake names with dynamic label VALUES are the approved
+	// shape: cardinality is bounded by cluster membership.
+	reg.Counter("kvstore_rpc_failures_total", "addr", addr)
+	reg.GaugeFunc("queue_depth", func() float64 { return 0 }, "addr", addr)
+	reg.DurationHistogram("agent_chunk_seconds")
+	reg.StartSpan("agent_upload_seconds", "addr", addr)
+
+	reg.Counter(fmt.Sprintf("shard_%d_total", shard)) // want `metric name must be a constant string`
+	reg.Gauge("BreakerState")                         // want `metric name "BreakerState" is not lowercase_snake`
+	reg.Histogram("rpc.seconds")                      // want `metric name "rpc\.seconds" is not lowercase_snake`
+	reg.Counter("retries_total", addr, "peer")        // want `label key must be a constant string`
+	reg.Gauge("hints_pending", "Addr", addr)          // want `label key "Addr" is not lowercase_snake`
+
+	// Splatted labels cannot be audited statically; the registry
+	// validates at runtime instead.
+	pairs := []string{"addr", addr}
+	reg.Counter("gossip_rounds_total", pairs...)
+}

@@ -1,0 +1,102 @@
+// Package nodeterm keeps the analytical core of the reproduction
+// bit-deterministic.
+//
+// Theorem 1's dedup-factor estimator, Algorithm 1's grid-search refit
+// and the SNOD2 partition solvers are validated by comparing runs: the
+// same inputs and the same seed must reproduce the same figures, or a
+// refit cannot be distinguished from a regression. Wall-clock reads
+// (time.Now/Since/Until) and the process-global math/rand source both
+// break that: results change run to run and under `go test -count=2`.
+// Randomness must arrive as an injected, seeded *rand.Rand and time as
+// an injected clock or an explicit parameter.
+//
+// In the packages listed in DeterministicPackages the analyzer reports
+// any use of time.Now/Since/Until and of math/rand (v1 or v2)
+// package-level functions. Constructors (rand.New, rand.NewSource,
+// rand.NewZipf, rand.NewPCG, rand.NewChaCha8) stay allowed — they are
+// how a seeded generator is built.
+package nodeterm
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"efdedup/lint/analysis"
+)
+
+// DeterministicPackages are the import-path suffixes that must stay
+// reproducible given fixed inputs and seeds.
+var DeterministicPackages = []string{
+	"internal/model",
+	"internal/sim",
+	"internal/estimate",
+	"internal/partition",
+}
+
+// Analyzer is the nodeterm pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "nodeterm",
+	Doc:  "reports wall-clock reads and global math/rand use in deterministic (model/sim/estimate/partition) packages",
+	Run:  run,
+}
+
+// allowedRandConstructors build seeded generators and are fine.
+var allowedRandConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true, "NewPCG": true, "NewChaCha8": true,
+}
+
+var bannedTimeFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+func run(pass *analysis.Pass) error {
+	if !deterministic(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[id].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			if fn.Type().(*types.Signature).Recv() != nil {
+				return true // methods (e.g. (*rand.Rand).Intn) are the fix, not the bug
+			}
+			switch fn.Pkg().Path() {
+			case "time":
+				if bannedTimeFuncs[fn.Name()] {
+					pass.Reportf(id.Pos(), "time.%s in a deterministic package; inject a clock (func() time.Time) or pass timestamps in", fn.Name())
+				}
+			case "math/rand", "math/rand/v2":
+				if !allowedRandConstructors[fn.Name()] {
+					pass.Reportf(id.Pos(), "global %s.%s in a deterministic package; inject a seeded *rand.Rand instead", pathBase(fn.Pkg().Path()), fn.Name())
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func deterministic(path string) bool {
+	for _, suffix := range DeterministicPackages {
+		if strings.HasSuffix(path, suffix) {
+			return true
+		}
+	}
+	return false
+}
+
+func pathBase(path string) string {
+	if i := strings.LastIndex(path, "/"); i >= 0 {
+		// math/rand/v2 reads better as rand/v2.
+		if strings.HasSuffix(path, "/v2") {
+			return "rand/v2"
+		}
+		return path[i+1:]
+	}
+	return path
+}

@@ -1,0 +1,12 @@
+package nodeterm_test
+
+import (
+	"testing"
+
+	"efdedup/lint/analysistest"
+	"efdedup/lint/analyzers/nodeterm"
+)
+
+func TestNoDeterm(t *testing.T) {
+	analysistest.Run(t, nodeterm.Analyzer, "efdedup/internal/model")
+}

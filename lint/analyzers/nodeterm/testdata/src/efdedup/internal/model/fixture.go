@@ -1,0 +1,43 @@
+// Fixture for the nodeterm analyzer: this package path ends in
+// internal/model, part of the deterministic analytical core.
+package model
+
+import (
+	"math/rand"
+	"time"
+)
+
+func jitter() float64 {
+	return rand.Float64() // want `global rand\.Float64`
+}
+
+func shuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `global rand\.Shuffle`
+}
+
+func stamp() time.Time {
+	return time.Now() // want `time\.Now`
+}
+
+func age(t time.Time) time.Duration {
+	return time.Since(t) // want `time\.Since`
+}
+
+// seeded construction and injected generators are the approved shape.
+func seeded(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+func draw(rng *rand.Rand) float64 {
+	return rng.Float64()
+}
+
+// durations and explicit timestamps stay fine — only clock reads vary.
+func span(start, end time.Time) time.Duration {
+	return end.Sub(start)
+}
+
+func ignored() time.Time {
+	//lint:ignore nodeterm diagnostic log stamp, not part of model output
+	return time.Now()
+}

@@ -1,0 +1,3 @@
+module efdedup/lint
+
+go 1.23

@@ -1,0 +1,131 @@
+// Package checker runs analyzers over loaded packages, honours
+// //lint:ignore suppression directives and renders diagnostics.
+package checker
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"io"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"efdedup/lint/analysis"
+	"efdedup/lint/internal/load"
+)
+
+// Diagnostic is a rendered finding.
+type Diagnostic struct {
+	Position token.Position
+	Analyzer string
+	Message  string
+}
+
+// Run applies every analyzer to every package and returns the
+// surviving (non-suppressed) diagnostics sorted by position.
+func Run(analyzers []*analysis.Analyzer, pkgs []*load.Package, fset *token.FileSet) ([]Diagnostic, error) {
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		ignores := collectIgnores(fset, pkg.Files)
+		for _, a := range analyzers {
+			pass := &analysis.Pass{
+				Analyzer:  a,
+				Fset:      fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+			}
+			pass.Report = func(d analysis.Diagnostic) {
+				pos := fset.Position(d.Pos)
+				if ignores.suppressed(a.Name, pos) {
+					return
+				}
+				out = append(out, Diagnostic{Position: pos, Analyzer: a.Name, Message: d.Message})
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %v", pkg.PkgPath, a.Name, err)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Position, out[j].Position
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return out[i].Analyzer < out[j].Analyzer
+	})
+	return out, nil
+}
+
+// Print writes diagnostics in file:line:col form, with paths relative
+// to dir when possible.
+func Print(w io.Writer, dir string, diags []Diagnostic) {
+	for _, d := range diags {
+		name := d.Position.Filename
+		if rel, err := filepath.Rel(dir, name); err == nil && !strings.HasPrefix(rel, "..") {
+			name = rel
+		}
+		fmt.Fprintf(w, "%s:%d:%d: %s: %s\n", name, d.Position.Line, d.Position.Column, d.Analyzer, d.Message)
+	}
+}
+
+// ignoreIndex maps filename → line → analyzer names suppressed there.
+type ignoreIndex map[string]map[int][]string
+
+// collectIgnores scans file comments for //lint:ignore directives.
+//
+// Syntax (staticcheck-compatible):
+//
+//	//lint:ignore analyzer1[,analyzer2] reason text
+//
+// The directive suppresses matching diagnostics reported on its own
+// line (trailing comment) or on the line immediately below (comment on
+// its own line above the offending statement). "all" matches every
+// analyzer. A directive without a reason is ignored — the reason is
+// the point.
+func collectIgnores(fset *token.FileSet, files []*ast.File) ignoreIndex {
+	idx := make(ignoreIndex)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				if !strings.HasPrefix(text, "lint:ignore ") {
+					continue
+				}
+				fields := strings.Fields(strings.TrimPrefix(text, "lint:ignore "))
+				if len(fields) < 2 {
+					continue // no reason given: directive not honoured
+				}
+				pos := fset.Position(c.Pos())
+				m := idx[pos.Filename]
+				if m == nil {
+					m = make(map[int][]string)
+					idx[pos.Filename] = m
+				}
+				m[pos.Line] = append(m[pos.Line], strings.Split(fields[0], ",")...)
+			}
+		}
+	}
+	return idx
+}
+
+// suppressed reports whether a diagnostic from analyzer at pos is
+// covered by a directive on its line or the line above.
+func (idx ignoreIndex) suppressed(analyzer string, pos token.Position) bool {
+	m := idx[pos.Filename]
+	if m == nil {
+		return false
+	}
+	for _, line := range []int{pos.Line, pos.Line - 1} {
+		for _, name := range m[line] {
+			if name == analyzer || name == "all" {
+				return true
+			}
+		}
+	}
+	return false
+}

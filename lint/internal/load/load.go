@@ -1,0 +1,186 @@
+// Package load type-checks Go packages for the linter without
+// golang.org/x/tools. It shells out to `go list -export -deps -json`
+// to obtain source file lists plus compiled export data for every
+// dependency (standard library included), then parses the target
+// packages with go/parser and type-checks them with go/types using the
+// gc export-data importer from the standard library. This is the same
+// strategy go/packages uses, minus the x/tools dependency.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// Package is one type-checked target package.
+type Package struct {
+	PkgPath string
+	Dir     string
+	Files   []*ast.File
+	Types   *types.Package
+	Info    *types.Info
+}
+
+// listedPackage mirrors the `go list -json` fields we consume.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Export     string
+	DepOnly    bool
+	Standard   bool
+	Incomplete bool
+	Error      *listError
+	DepsErrors []*listError
+}
+
+type listError struct {
+	Pos string
+	Err string
+}
+
+func (e *listError) String() string {
+	if e.Pos != "" {
+		return e.Pos + ": " + e.Err
+	}
+	return e.Err
+}
+
+// Load lists the packages matching patterns relative to dir,
+// type-checks every non-dependency match and returns them sorted by
+// import path. The returned FileSet is shared by all packages.
+func Load(fset *token.FileSet, dir string, patterns []string) ([]*Package, error) {
+	exports, targets, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	imp := NewExportImporter(fset, exports)
+	var out []*Package
+	for _, lp := range targets {
+		pkg, err := typecheck(fset, imp, lp)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// goList runs `go list -export -deps -json` and splits the result into
+// an importpath→export-file map (all packages) and the target set.
+func goList(dir string, patterns []string) (map[string]string, []*listedPackage, error) {
+	args := append([]string{"list", "-export", "-deps", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	stdout, err := cmd.Output()
+	if err != nil {
+		return nil, nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	exports := make(map[string]string)
+	var targets []*listedPackage
+	dec := json.NewDecoder(bytes.NewReader(stdout))
+	for {
+		lp := new(listedPackage)
+		if err := dec.Decode(lp); err != nil {
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			return nil, nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		if lp.Error != nil {
+			return nil, nil, fmt.Errorf("go list: %s: %s", lp.ImportPath, lp.Error)
+		}
+		if lp.Export != "" {
+			exports[lp.ImportPath] = lp.Export
+		}
+		if !lp.DepOnly {
+			targets = append(targets, lp)
+		}
+	}
+	return exports, targets, nil
+}
+
+// typecheck parses and type-checks one listed package from source.
+func typecheck(fset *token.FileSet, imp types.Importer, lp *listedPackage) (*Package, error) {
+	var files []*ast.File
+	for _, name := range lp.GoFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("parsing %s: %v", name, err)
+		}
+		files = append(files, f)
+	}
+	info := NewInfo()
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(lp.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %v", lp.ImportPath, err)
+	}
+	return &Package{PkgPath: lp.ImportPath, Dir: lp.Dir, Files: files, Types: tpkg, Info: info}, nil
+}
+
+// NewInfo allocates a types.Info with every map the analyzers consult.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}
+
+// ExportImporter resolves imports from compiled export data files, with
+// an optional overlay of already type-checked packages (used by
+// analysistest for fixture sibling packages).
+type ExportImporter struct {
+	gc      types.Importer
+	Overlay map[string]*types.Package
+}
+
+// NewExportImporter builds an importer over an importpath→export-file
+// map produced by `go list -export`.
+func NewExportImporter(fset *token.FileSet, exports map[string]string) *ExportImporter {
+	lookup := func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	return &ExportImporter{gc: importer.ForCompiler(fset, "gc", lookup)}
+}
+
+// Import implements types.Importer.
+func (e *ExportImporter) Import(path string) (*types.Package, error) {
+	if p, ok := e.Overlay[path]; ok {
+		return p, nil
+	}
+	return e.gc.Import(path)
+}
+
+// StdlibExports lists export data for the given standard-library
+// packages and their dependencies. dir is any directory inside a Go
+// module (go list needs one).
+func StdlibExports(dir string, pkgs []string) (map[string]string, error) {
+	if len(pkgs) == 0 {
+		return map[string]string{}, nil
+	}
+	exports, _, err := goList(dir, pkgs)
+	return exports, err
+}
