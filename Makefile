@@ -30,17 +30,24 @@ cover:
 	$(GO) test -cover ./...
 
 # Project-specific static analysis (lint/): concurrency, determinism,
+# interprocedural (lock order, lost errors, hot-path allocation),
 # error-classification and metric-hygiene invariants. Fails on any
-# diagnostic. Also runs the linter's own analyzer test suites.
+# diagnostic. One invocation covers the main module AND the lint module
+# itself (self-lint); the `go list` load is cached per run, so the
+# second pattern costs one typecheck, not a second list. Also runs the
+# linter's own analyzer test suites.
 lint:
 	$(GO) test ./lint/...
-	$(GO) run ./lint/cmd/efdedup-lint ./...
+	$(GO) run ./lint/cmd/efdedup-lint ./... ./lint/...
 
 # Short coverage-guided fuzz pass over the chunker invariants (the seed
-# corpus alone runs in every `make test`).
+# corpus alone runs in every `make test`), plus a one-iteration bench
+# smoke so bit-rot in the chunk benchmarks surfaces here, not in the
+# nightly full bench.
 fuzz-short:
 	$(GO) test ./internal/chunk -fuzz FuzzGearRoundTrip -fuzztime 10s
 	$(GO) test ./internal/chunk -fuzz FuzzFixedRoundTrip -fuzztime 10s
+	$(GO) test -bench=. -benchtime=1x ./internal/chunk
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

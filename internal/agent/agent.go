@@ -379,10 +379,14 @@ func (a *Agent) newPipeline(ctx context.Context, name string) *pipeline {
 func (p *pipeline) registerFresh(batch []chunk.Chunk) {
 	keys := make([][]byte, len(batch))
 	values := make([][]byte, len(batch))
+	// One owner-name conversion for the whole batch: BatchPut encodes
+	// values into the wire body without retaining or mutating them, so
+	// every entry can share the same backing bytes (hotalloc).
+	owner := []byte(p.a.cfg.Name)
 	for i, c := range batch {
 		id := c.ID
 		keys[i] = id[:]
-		values[i] = []byte(p.a.cfg.Name)
+		values[i] = owner
 	}
 	p.indexSem <- struct{}{}
 	p.indexWG.Add(1)

@@ -213,27 +213,40 @@ func (c *Cluster) KillNode(i int) error {
 	return c.kvNodes[i].Close()
 }
 
-// closeAgents tears down the current agents and index clients.
-func (c *Cluster) closeAgents() {
-	for _, idx := range c.indexes {
-		idx.Close()
-	}
-	for _, cl := range c.clients {
-		cl.Close()
-	}
+// detachAgentsLocked removes the current agent generation from the
+// cluster and returns it so the caller can close it after releasing
+// c.mu — index and cloud clients close network connections, which must
+// not happen under the testbed mutex (lockedio2).
+func (c *Cluster) detachAgentsLocked() (indexes []*kvstore.Cluster, clients []*cloudstore.Client) {
+	indexes, clients = c.indexes, c.clients
 	c.indexes = nil
 	c.clients = nil
 	c.agents = nil
+	return indexes, clients
+}
+
+// closeAgents tears down one detached agent generation.
+func closeAgents(indexes []*kvstore.Cluster, clients []*cloudstore.Client) {
+	for _, idx := range indexes {
+		idx.Close()
+	}
+	for _, cl := range clients {
+		cl.Close()
+	}
 }
 
 // ApplyPartition instantiates agents for the given D2-rings and mode. For
 // ring mode, each ring gets an independent distributed index spanning its
-// members' KV daemons; other modes ignore rings.
+// members' KV daemons; other modes ignore rings. The new generation is
+// dialed without holding c.mu and installed atomically at the end;
+// concurrent ApplyPartition calls are not supported (the testbed drives
+// partition changes sequentially).
 func (c *Cluster) ApplyPartition(rings [][]int, mode agent.Mode) error {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.closeAgents()
+	oldIndexes, oldClients := c.detachAgentsLocked()
 	c.rings = rings
+	c.mu.Unlock()
+	closeAgents(oldIndexes, oldClients)
 
 	chunker, err := chunk.NewFixedChunker(c.cfg.ChunkSize)
 	if err != nil {
@@ -264,15 +277,17 @@ func (c *Cluster) ApplyPartition(rings [][]int, mode agent.Mode) error {
 		}
 	}
 
+	var indexes []*kvstore.Cluster
+	var clients []*cloudstore.Client
 	agents := make([]*agent.Agent, len(c.cfg.Nodes))
 	for i, n := range c.cfg.Nodes {
 		view := c.topo.NetworkFor(n.Site, c.inner)
 		cloudClient, err := cloudstore.Dial(context.Background(), view, cloudAddr)
 		if err != nil {
-			c.closeAgents()
+			closeAgents(indexes, clients)
 			return fmt.Errorf("cluster: node %s dial cloud: %w", n.Name, err)
 		}
-		c.clients = append(c.clients, cloudClient)
+		clients = append(clients, cloudClient)
 
 		cfg := agent.Config{
 			Name:        n.Name,
@@ -290,20 +305,24 @@ func (c *Cluster) ApplyPartition(rings [][]int, mode agent.Mode) error {
 				Network:           view,
 			})
 			if err != nil {
-				c.closeAgents()
+				closeAgents(indexes, clients)
 				return fmt.Errorf("cluster: node %s index: %w", n.Name, err)
 			}
-			c.indexes = append(c.indexes, idx)
+			indexes = append(indexes, idx)
 			cfg.Index = idx
 		}
 		a, err := agent.New(cfg)
 		if err != nil {
-			c.closeAgents()
+			closeAgents(indexes, clients)
 			return fmt.Errorf("cluster: node %s agent: %w", n.Name, err)
 		}
 		agents[i] = a
 	}
+	c.mu.Lock()
 	c.agents = agents
+	c.indexes = indexes
+	c.clients = clients
+	c.mu.Unlock()
 	return nil
 }
 
@@ -453,11 +472,14 @@ func (c *Cluster) Run(ctx context.Context, file FileFunc, filesPerNode int) (Run
 	return res, nil
 }
 
-// Close tears down every service.
+// Close tears down every service. The agent generation is detached
+// under c.mu and closed outside it; kvNodes and cloud are set once at
+// construction and need no lock (matching their unlocked reads in Run).
 func (c *Cluster) Close() {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.closeAgents()
+	indexes, clients := c.detachAgentsLocked()
+	c.mu.Unlock()
+	closeAgents(indexes, clients)
 	for _, n := range c.kvNodes {
 		n.Close()
 	}

@@ -1,0 +1,41 @@
+package cluster
+
+import (
+	"context"
+	"testing"
+
+	"efdedup/internal/agent"
+)
+
+// TestFailedReapplyDetachesOldGeneration pins the ApplyPartition
+// teardown order: the old agent generation is detached and closed
+// before the new one is built, so a reapply that fails validation
+// leaves the cluster agent-less (Run refuses) instead of routing work
+// through agents whose index and cloud connections were torn down.
+func TestFailedReapplyDetachesOldGeneration(t *testing.T) {
+	c := smallCluster(t)
+	d := testDataset(t)
+	if err := c.ApplyPartition([][]int{{0, 1}, {2, 3}}, agent.ModeRing); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Run(context.Background(), d.File, 1); err != nil {
+		t.Fatal(err)
+	}
+
+	// Ring covers only half the nodes: rejected after the old
+	// generation was already detached.
+	if err := c.ApplyPartition([][]int{{0, 1}}, agent.ModeRing); err == nil {
+		t.Fatal("partial cover accepted")
+	}
+	if _, err := c.Run(context.Background(), d.File, 1); err == nil {
+		t.Fatal("Run succeeded against a detached agent generation")
+	}
+
+	// A subsequent valid partition fully recovers the cluster.
+	if err := c.ApplyPartition(nil, agent.ModeCloudAssisted); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Run(context.Background(), d.File, 1); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -139,6 +139,7 @@ func (f *Fabric) Register(addr, site string) {
 func (f *Fabric) Partition(fromSite, toSite string) {
 	f.mu.Lock()
 	f.cutSites[[2]string{fromSite, toSite}] = true
+	//lint:ignore lockedio2 matchingLocked only collects matching conns in memory; the resets happen via kill after Unlock
 	victims := f.matchingLocked(func(c *faultConn) bool {
 		return c.fromSite == fromSite && c.toSite == toSite
 	})
@@ -170,6 +171,7 @@ func (f *Fabric) HealBoth(a, b string) {
 func (f *Fabric) Isolate(addr string) {
 	f.mu.Lock()
 	f.cutNodes[addr] = true
+	//lint:ignore lockedio2 matchingLocked only collects matching conns in memory; the resets happen via kill after Unlock
 	victims := f.matchingLocked(func(c *faultConn) bool { return c.raddr == addr })
 	f.mu.Unlock()
 	kill(victims)
@@ -221,6 +223,7 @@ func (f *Fabric) Close() {
 		t.Stop()
 	}
 	f.timers = make(map[*time.Timer]bool)
+	//lint:ignore lockedio2 matchingLocked only collects matching conns in memory; the resets happen via kill after Unlock
 	victims := f.matchingLocked(func(*faultConn) bool { return true })
 	f.mu.Unlock()
 	kill(victims)

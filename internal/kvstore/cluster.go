@@ -534,7 +534,12 @@ func (c *Cluster) Get(ctx context.Context, key []byte) ([]byte, error) {
 			addr, e := r.addr, best.entry
 			go func() {
 				body := encodeEntry(nil, key, e)
-				_, _ = c.call(context.Background(), addr, methodPut, body)
+				if _, err := c.call(context.Background(), addr, methodPut, body); err != nil {
+					// A failed repair leaves the replica stale; park the
+					// entry as a hint so healthLoop re-delivers it once
+					// the replica answers pings again.
+					c.storeHint(addr, key, e)
+				}
 			}()
 		}
 	}
@@ -773,6 +778,7 @@ func (c *Cluster) BatchPut(ctx context.Context, keys, values [][]byte) error {
 	var failed [][]byte
 	for i, got := range acks {
 		if got < needed[i] {
+			//lint:ignore hotalloc failure path only: stays nil when every replica acks, so the fast path never allocates
 			failed = append(failed, keys[i])
 		}
 	}

@@ -1,0 +1,81 @@
+package kvstore
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"testing"
+	"time"
+
+	"efdedup/internal/transport"
+)
+
+// TestReadRepairFailureParksHint pins the read-repair failure path: when
+// the async repair put cannot reach the stale replica, the winning entry
+// must be parked as a hint (so healthLoop re-delivers it on recovery)
+// rather than silently dropped.
+func TestReadRepairFailureParksHint(t *testing.T) {
+	nw := transport.NewMemNetwork()
+
+	// Real node holding the fresh value.
+	addrs := testRing(t, nw, 1)
+
+	// Fake replica that answers reads with a stale version but refuses
+	// every put: the repair attempt fails while the node still looks
+	// alive (gets and pings succeed), so only storeHint preserves the
+	// repair.
+	staleBody := append(binary.BigEndian.AppendUint64(nil, 1), []byte("stale")...)
+	srv := transport.NewServer()
+	srv.Handle(methodGet, func([]byte) ([]byte, error) { return staleBody, nil })
+	srv.Handle(methodPing, func([]byte) ([]byte, error) { return nil, nil })
+	srv.Handle(methodPut, func([]byte) ([]byte, error) {
+		return nil, errors.New("disk full")
+	})
+	l, err := nw.Listen("kv-stale")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(l)
+	t.Cleanup(func() { srv.Close() })
+
+	c := testCluster(t, nw, ClusterConfig{
+		Members:           append(addrs, "kv-stale"),
+		ReplicationFactor: 2,
+		WriteConsistency:  One,
+		ReadConsistency:   All,
+	})
+	ctx := context.Background()
+
+	key := []byte("repair-hint")
+	fresh := Entry{Value: []byte("fresh"), Version: 7}
+	if _, err := c.call(ctx, addrs[0], methodPut, encodeEntry(nil, key, fresh)); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := c.Get(ctx, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "fresh" {
+		t.Fatalf("Get = %q, want fresh", got)
+	}
+
+	// The repair runs in a background goroutine; wait for its failure
+	// to park the hint.
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		c.mu.Lock()
+		parked := c.hints["kv-stale"]
+		c.mu.Unlock()
+		if len(parked) > 0 {
+			h := parked[0]
+			if string(h.key) != string(key) || string(h.e.Value) != "fresh" {
+				t.Fatalf("parked hint = key %q value %q, want %q/%q",
+					h.key, h.e.Value, key, "fresh")
+			}
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatal("failed read repair never parked a hint for the stale replica")
+}

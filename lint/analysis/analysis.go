@@ -14,6 +14,8 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+
+	"efdedup/lint/internal/summary"
 )
 
 // Analyzer describes one invariant checker.
@@ -37,8 +39,26 @@ type Pass struct {
 	Pkg       *types.Package
 	TypesInfo *types.Info
 
+	// Summaries is the module-wide interprocedural fact store: call
+	// graph plus per-function summaries over every loaded package (the
+	// whole universe, not just this pass's package). Built once per
+	// lint run by the driver; nil only if the driver opts out.
+	Summaries *summary.Set
+
 	// Report delivers one diagnostic. Filled in by the driver.
 	Report func(Diagnostic)
+}
+
+// InFiles reports whether pos falls inside one of this pass's files —
+// interprocedural analyzers use it to claim a module-wide finding for
+// exactly one package, so a cycle spanning packages is reported once.
+func (p *Pass) InFiles(pos token.Pos) bool {
+	for _, f := range p.Files {
+		if f.FileStart <= pos && pos < f.FileEnd {
+			return true
+		}
+	}
+	return false
 }
 
 // Diagnostic is one finding at a position.

@@ -25,6 +25,7 @@ import (
 	"os"
 	"path/filepath"
 	"regexp"
+	"sort"
 	"strconv"
 	"strings"
 	"testing"
@@ -90,10 +91,24 @@ func Run(t *testing.T, a *analysis.Analyzer, pkgPaths ...string) {
 		}
 	}
 
+	// The universe spans every discovered fixture package (in
+	// deterministic order) so interprocedural summaries see callees in
+	// dependency packages even when wants are only checked on the
+	// requested targets.
+	universePaths := make([]string, 0, len(pkgs))
+	for path := range pkgs {
+		universePaths = append(universePaths, path)
+	}
+	sort.Strings(universePaths)
+	universe := make([]*load.Package, 0, len(universePaths))
+	for _, path := range universePaths {
+		universe = append(universe, pkgs[path])
+	}
+
 	for _, path := range pkgPaths {
 		pkg := pkgs[path]
 		wants := collectWants(t, fset, pkg.Files)
-		diags, err := checker.Run([]*analysis.Analyzer{a}, []*load.Package{pkg}, fset)
+		diags, err := checker.RunScoped([]*analysis.Analyzer{a}, []*load.Package{pkg}, universe, fset)
 		if err != nil {
 			t.Fatalf("%s: %v", path, err)
 		}

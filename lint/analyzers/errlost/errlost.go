@@ -1,0 +1,236 @@
+// Package errlost finds errors that are silently lost:
+//
+//  1. A call whose callee (per its interprocedural summary) can return
+//     an error carrying kvstore.ErrNoQuorum or kvstore.PartialWriteError
+//     — the sentinels the whole retry/accounting machinery classifies on
+//     — discarded with a blank identifier, dropped as a bare statement,
+//     or lost behind go/defer. Losing one of these turns a partial
+//     quorum write into silent data-loss exposure.
+//  2. In transport-boundary packages (the same set errclass guards),
+//     any module-internal callee's error discarded with `_`.
+//  3. An error variable overwritten by a second assignment before any
+//     use — the first error was never checked.
+//
+// Rules 1 and 2 are interprocedural (they need callee summaries); rule
+// 3 is local flow analysis within one block.
+package errlost
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"efdedup/lint/analysis"
+	"efdedup/lint/analyzers/errclass"
+	"efdedup/lint/internal/callgraph"
+	"efdedup/lint/internal/summary"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "errlost",
+	Doc:  "no discarded errors that may carry quorum/partial-write sentinels; no error overwritten before use",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	boundary := false
+	for _, suffix := range errclass.TransportPackages {
+		if strings.HasSuffix(pass.Pkg.Path(), suffix) {
+			boundary = true
+			break
+		}
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch nn := n.(type) {
+			case *ast.AssignStmt:
+				checkBlankAssign(pass, boundary, nn)
+			case *ast.ExprStmt:
+				if call, ok := nn.X.(*ast.CallExpr); ok {
+					checkDroppedCall(pass, call, "dropped")
+				}
+			case *ast.GoStmt:
+				checkDroppedCall(pass, nn.Call, "lost in go statement")
+			case *ast.DeferStmt:
+				checkDroppedCall(pass, nn.Call, "lost in deferred call")
+			case *ast.BlockStmt:
+				checkOverwrites(pass, nn)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// sentinelChains returns the sentinel wrap chains the call's callee can
+// produce, or nil.
+func sentinelChains(pass *analysis.Pass, call *ast.CallExpr) map[string]*summary.WrapChain {
+	if pass.Summaries == nil {
+		return nil
+	}
+	fn, ok := pass.CalleeObject(call).(*types.Func)
+	if !ok {
+		return nil
+	}
+	return pass.Summaries.Sentinels(callgraph.FuncID(fn))
+}
+
+// calleeSummary returns the interprocedural summary of the call's
+// callee when it is a function defined in this module, else nil.
+func calleeSummary(pass *analysis.Pass, call *ast.CallExpr) *summary.FuncSummary {
+	if pass.Summaries == nil {
+		return nil
+	}
+	fn, ok := pass.CalleeObject(call).(*types.Func)
+	if !ok {
+		return nil
+	}
+	return pass.Summaries.ForFunc(fn)
+}
+
+// checkBlankAssign flags `_ = f()` / `v, _ := f()` where a blank in an
+// error result position loses a sentinel-carrying error (anywhere) or
+// any module-internal error (in transport-boundary packages).
+func checkBlankAssign(pass *analysis.Pass, boundary bool, as *ast.AssignStmt) {
+	if len(as.Rhs) != 1 {
+		return
+	}
+	call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[call]
+	if !ok {
+		return
+	}
+	blankErr := false
+	switch res := tv.Type.(type) {
+	case *types.Tuple:
+		for i := 0; i < res.Len() && i < len(as.Lhs); i++ {
+			if isBlank(as.Lhs[i]) && isErrorType(res.At(i).Type()) {
+				blankErr = true
+			}
+		}
+	default:
+		if len(as.Lhs) == 1 && isBlank(as.Lhs[0]) && isErrorType(tv.Type) {
+			blankErr = true
+		}
+	}
+	if !blankErr {
+		return
+	}
+	if chains := sentinelChains(pass, call); chains != nil {
+		reportSentinel(pass, as.Pos(), "discarded", chains)
+		return
+	}
+	if boundary {
+		if fs := calleeSummary(pass, call); fs != nil && fs.ReturnsError {
+			pass.Reportf(as.Pos(),
+				"error from %s discarded with _ in a transport-boundary package; handle it or annotate //lint:ignore errlost <reason>",
+				calleeName(call))
+		}
+	}
+}
+
+// checkDroppedCall flags statements that throw away every result of a
+// sentinel-carrying callee.
+func checkDroppedCall(pass *analysis.Pass, call *ast.CallExpr, how string) {
+	chains := sentinelChains(pass, call)
+	if chains == nil {
+		return
+	}
+	fs := calleeSummary(pass, call)
+	if fs == nil || !fs.ReturnsError {
+		return
+	}
+	reportSentinel(pass, call.Pos(), how, chains)
+}
+
+func reportSentinel(pass *analysis.Pass, pos token.Pos, how string, chains map[string]*summary.WrapChain) {
+	names := make([]string, 0, len(chains))
+	for name := range chains {
+		names = append(names, name)
+	}
+	// Deterministic order for stable diagnostics.
+	for i := 0; i < len(names); i++ {
+		for j := i + 1; j < len(names); j++ {
+			if names[j] < names[i] {
+				names[i], names[j] = names[j], names[i]
+			}
+		}
+	}
+	chain := chains[names[0]]
+	pass.Reportf(pos, "error %s may carry %s (wrapped in %s); classify with errors.Is before dropping",
+		how, strings.Join(names, ", "), strings.Join(chain.Chain, " → "))
+}
+
+// checkOverwrites reports error variables assigned and then reassigned
+// in the same block with no intervening use — the first error is never
+// checked. Any mention of the variable between the two assignments
+// (including a conditional write in a nested block) counts as a use.
+func checkOverwrites(pass *analysis.Pass, block *ast.BlockStmt) {
+	info := pass.TypesInfo
+	pending := make(map[types.Object]token.Pos)
+	for _, stmt := range block.List {
+		as, ok := stmt.(*ast.AssignStmt)
+		if !ok {
+			// Any appearance of a pending variable — a check, a use, a
+			// conditional reassignment — clears it.
+			clearUses(info, stmt, pending)
+			continue
+		}
+		for _, rhs := range as.Rhs {
+			clearUses(info, rhs, pending)
+		}
+		for _, lhs := range as.Lhs {
+			id, okID := lhs.(*ast.Ident)
+			if !okID || id.Name == "_" {
+				continue
+			}
+			obj := info.Defs[id]
+			if obj == nil {
+				obj = info.Uses[id]
+			}
+			if obj == nil || !isErrorType(obj.Type()) {
+				continue
+			}
+			if prev, live := pending[obj]; live {
+				pass.Reportf(id.Pos(), "%s overwritten before use: error assigned at line %d was never checked",
+					id.Name, pass.Fset.Position(prev).Line)
+			}
+			pending[obj] = id.Pos()
+		}
+	}
+}
+
+func clearUses(info *types.Info, n ast.Node, pending map[types.Object]token.Pos) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		if id, ok := m.(*ast.Ident); ok {
+			if obj := info.Uses[id]; obj != nil {
+				delete(pending, obj)
+			}
+		}
+		return true
+	})
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}
+
+func isErrorType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	return named.Obj().Name() == "error" && named.Obj().Pkg() == nil
+}
+
+func calleeName(call *ast.CallExpr) string {
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		return types.ExprString(sel)
+	}
+	return types.ExprString(call.Fun)
+}

@@ -1,0 +1,12 @@
+package errlost_test
+
+import (
+	"testing"
+
+	"efdedup/lint/analysistest"
+	"efdedup/lint/analyzers/errlost"
+)
+
+func TestErrLost(t *testing.T) {
+	analysistest.Run(t, errlost.Analyzer, "efdedup/internal/kvstore", "other")
+}

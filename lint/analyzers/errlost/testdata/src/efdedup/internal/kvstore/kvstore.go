@@ -1,0 +1,111 @@
+// Package kvstore mirrors the real index package's sentinel surface:
+// ErrNoQuorum and PartialWriteError are the two tracked sentinels, and
+// this import-path suffix is a transport boundary.
+package kvstore
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrNoQuorum is the tracked quorum sentinel.
+var ErrNoQuorum = errors.New("kvstore: no quorum")
+
+// PartialWriteError is the tracked partial-write sentinel type.
+type PartialWriteError struct{ Failed int }
+
+func (e *PartialWriteError) Error() string { return "kvstore: partial write" }
+
+// QuorumWrite wraps ErrNoQuorum with %w.
+func QuorumWrite() error {
+	return fmt.Errorf("write: %w", ErrNoQuorum)
+}
+
+// Partial constructs the sentinel type directly.
+func Partial() error {
+	return &PartialWriteError{Failed: 1}
+}
+
+// Outer forwards QuorumWrite's error, so the sentinel propagates
+// through its summary.
+func Outer() error {
+	if err := QuorumWrite(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Plain returns an error that carries no sentinel.
+func Plain() error {
+	return errors.New("plain")
+}
+
+func discardDirect() {
+	_ = QuorumWrite() // want `error discarded may carry kvstore\.ErrNoQuorum \(wrapped in kvstore\.QuorumWrite\)`
+}
+
+func discardTransitive() {
+	_ = Outer() // want `error discarded may carry kvstore\.ErrNoQuorum \(wrapped in kvstore\.Outer → kvstore\.QuorumWrite\)`
+}
+
+func discardPartial() {
+	_ = Partial() // want `error discarded may carry kvstore\.PartialWriteError`
+}
+
+func dropStatement() {
+	QuorumWrite() // want `error dropped may carry kvstore\.ErrNoQuorum`
+}
+
+func loseInGo() {
+	go QuorumWrite() // want `error lost in go statement may carry kvstore\.ErrNoQuorum`
+}
+
+func loseInDefer() {
+	defer QuorumWrite() // want `error lost in deferred call may carry kvstore\.ErrNoQuorum`
+}
+
+// In a transport-boundary package even a sentinel-free internal error
+// must not be blanked away.
+func discardPlain() {
+	_ = Plain() // want `error from Plain discarded with _ in a transport-boundary package`
+}
+
+// Lookup returns a value plus a sentinel-carrying error.
+func Lookup() (int, error) {
+	return 0, fmt.Errorf("lookup: %w", ErrNoQuorum)
+}
+
+func discardSecondResult() {
+	v, _ := Lookup() // want `error discarded may carry kvstore\.ErrNoQuorum`
+	_ = v
+}
+
+func overwritten() error {
+	err := Plain()
+	err = QuorumWrite() // want `err overwritten before use: error assigned at line \d+ was never checked`
+	return err
+}
+
+// checkedBetween uses the first error before reassigning: silent.
+func checkedBetween() error {
+	err := Plain()
+	if err != nil {
+		return err
+	}
+	err = QuorumWrite()
+	return err
+}
+
+// handled errors are silent everywhere.
+func handled() error {
+	if err := QuorumWrite(); err != nil {
+		return fmt.Errorf("flush: %w", err)
+	}
+	return nil
+}
+
+// A reasoned directive on the discard line suppresses the finding.
+func ignored() {
+	//lint:ignore errlost best-effort cache warm-up; a miss only costs a future re-upload
+	_ = QuorumWrite()
+}

@@ -1,0 +1,13 @@
+// Package other is not a transport boundary: only sentinel-carrying
+// discards are reported here.
+package other
+
+import "efdedup/internal/kvstore"
+
+func use() {
+	_ = kvstore.QuorumWrite() // want `error discarded may carry kvstore\.ErrNoQuorum`
+	_ = kvstore.Partial()     // want `error discarded may carry kvstore\.PartialWriteError`
+	_ = localPlain()          // silent: no sentinel, not a boundary package
+}
+
+func localPlain() error { return nil }

@@ -1,0 +1,289 @@
+// Package hotalloc flags per-iteration allocations inside loops of
+// functions reachable from the dedup pipeline roots — the code every
+// single chunk flows through. Vectorized-chunking literature
+// (Udayashankar & Al-Kiswany; Gregoriadis et al.) puts per-chunk
+// allocation overhead squarely between wire-speed and CPU-bound dedup,
+// so the hot path must not allocate per chunk when it can hoist.
+//
+// Roots are the agent pipeline entry points — Agent.ProcessStream /
+// Agent.ProcessBytes in the agent package and chunker Split methods in
+// the chunk package (this codebase's equivalents of the issue's
+// processFile/Next naming). Reachability follows synchronous calls,
+// go-spawned work (still on the per-chunk budget) and function-value
+// references (emit callbacks invoked once per chunk).
+//
+// Inside loop bodies of reachable functions the analyzer reports:
+//
+//   - fmt.Sprintf / Sprint / Sprintln (allocates + reflects)
+//   - []byte(string) and string([]byte) conversions (copy per iteration)
+//   - append to a slice declared unsized outside the loop (repeated
+//     growth; preallocate with make(len/cap))
+//   - maps allocated inside the loop (make or literal — churn)
+//
+// Each diagnostic carries the call path from the pipeline root so the
+// reader can judge how hot the loop really is.
+package hotalloc
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"efdedup/lint/analysis"
+	"efdedup/lint/internal/callgraph"
+	"efdedup/lint/internal/summary"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "hotalloc",
+	Doc:  "no per-iteration allocations in loops reachable from the agent pipeline roots",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	sums := pass.Summaries
+	if sums == nil {
+		return nil
+	}
+	reach := sums.ReachableFrom(rootIDs(sums), summary.ReachOptions{FollowAsync: true, FollowRefs: true})
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			path := reach.Path(callgraph.FuncID(fn))
+			if path == nil {
+				continue
+			}
+			checkFunc(pass, fd, strings.Join(path, " → "))
+		}
+	}
+	return nil
+}
+
+// rootIDs finds the pipeline entry points in the loaded universe.
+func rootIDs(sums *summary.Set) []string {
+	var roots []string
+	for id, fs := range sums.Funcs {
+		fn := fs.Node.Func
+		if fn.Pkg() == nil {
+			continue
+		}
+		name, pkg := fn.Name(), fn.Pkg().Path()
+		switch {
+		case (name == "ProcessStream" || name == "ProcessBytes") && pkgIs(pkg, "agent"):
+			roots = append(roots, id)
+		case name == "Split" && pkgIs(pkg, "chunk"):
+			roots = append(roots, id)
+		}
+	}
+	return roots
+}
+
+func pkgIs(path, base string) bool {
+	return path == base || strings.HasSuffix(path, "/"+base)
+}
+
+// checkFunc scans every loop in the function (including loops inside
+// nested function literals) for per-iteration allocations.
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl, hotPath string) {
+	unsized := unsizedSlices(pass.TypesInfo, fd.Body)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		var body *ast.BlockStmt
+		var loopPos, loopEnd token.Pos
+		switch loop := n.(type) {
+		case *ast.ForStmt:
+			body, loopPos, loopEnd = loop.Body, loop.Pos(), loop.End()
+		case *ast.RangeStmt:
+			body, loopPos, loopEnd = loop.Body, loop.Pos(), loop.End()
+		default:
+			return true
+		}
+		checkLoopBody(pass, body, loopPos, loopEnd, unsized, hotPath)
+		return true
+	})
+}
+
+func checkLoopBody(pass *analysis.Pass, body *ast.BlockStmt, loopPos, loopEnd token.Pos, unsized map[types.Object]token.Pos, hotPath string) {
+	info := pass.TypesInfo
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch nn := n.(type) {
+		case *ast.CallExpr:
+			if name, ok := fmtAlloc(pass, nn); ok {
+				pass.Reportf(nn.Pos(), "fmt.%s allocates per iteration; hot path: %s", name, hotPath)
+				return true
+			}
+			if desc, ok := byteStringConversion(info, nn); ok {
+				pass.Reportf(nn.Pos(), "%s conversion copies per iteration; hoist it out of the loop; hot path: %s", desc, hotPath)
+				return true
+			}
+			if ok := appendToUnsized(info, nn, unsized, loopPos, loopEnd); ok {
+				pass.Reportf(nn.Pos(), "append grows an unsized slice per iteration; preallocate with make(..., 0, n); hot path: %s", hotPath)
+				return true
+			}
+			if isMakeMap(info, nn) {
+				pass.Reportf(nn.Pos(), "map allocated per iteration; hoist and clear, or preallocate; hot path: %s", hotPath)
+			}
+		case *ast.CompositeLit:
+			if tv, ok := info.Types[nn]; ok {
+				if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+					pass.Reportf(nn.Pos(), "map literal allocated per iteration; hoist and clear, or preallocate; hot path: %s", hotPath)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// fmtAlloc matches the fmt formatters that allocate a fresh string per
+// call. fmt.Errorf is deliberately absent: inside a loop it sits on the
+// failure path, where wrapping is mandatory (errclass) and throughput
+// is already lost.
+func fmtAlloc(pass *analysis.Pass, call *ast.CallExpr) (string, bool) {
+	for _, name := range []string{"Sprintf", "Sprint", "Sprintln"} {
+		if pass.IsPkgFunc(call, "fmt", name) {
+			return name, true
+		}
+	}
+	return "", false
+}
+
+// byteStringConversion matches []byte(s) and string(b) conversions.
+func byteStringConversion(info *types.Info, call *ast.CallExpr) (string, bool) {
+	tv, ok := info.Types[call.Fun]
+	if !ok || !tv.IsType() || len(call.Args) != 1 {
+		return "", false
+	}
+	argTV, ok := info.Types[call.Args[0]]
+	if !ok || argTV.Type == nil {
+		return "", false
+	}
+	to, from := tv.Type.Underlying(), argTV.Type.Underlying()
+	if isByteSlice(to) && isString(from) {
+		return "[]byte(string)", true
+	}
+	if isString(to) && isByteSlice(from) {
+		return "string([]byte)", true
+	}
+	return "", false
+}
+
+func isByteSlice(t types.Type) bool {
+	s, ok := t.(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Byte
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// appendToUnsized matches append(x, ...) where x was declared with no
+// size outside the loop — the append grows across iterations.
+func appendToUnsized(info *types.Info, call *ast.CallExpr, unsized map[types.Object]token.Pos, loopPos, loopEnd token.Pos) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return false
+	}
+	if _, isBuiltin := info.Uses[id].(*types.Builtin); !isBuiltin {
+		return false
+	}
+	if len(call.Args) == 0 {
+		return false
+	}
+	dest, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := info.Uses[dest]
+	declPos, isUnsized := unsized[obj]
+	if !isUnsized {
+		return false
+	}
+	// A slice declared inside the loop restarts each iteration — its
+	// growth is bounded by one iteration's work, not the whole stream.
+	return declPos < loopPos || declPos > loopEnd
+}
+
+// unsizedSlices collects slice variables declared with no length or
+// capacity: `var x []T`, `x := []T{}`, or `x := make([]T, 0)`.
+func unsizedSlices(info *types.Info, body *ast.BlockStmt) map[types.Object]token.Pos {
+	out := make(map[types.Object]token.Pos)
+	record := func(id *ast.Ident) {
+		if obj := info.Defs[id]; obj != nil {
+			if _, isSlice := obj.Type().Underlying().(*types.Slice); isSlice {
+				out[obj] = id.Pos()
+			}
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch nn := n.(type) {
+		case *ast.ValueSpec:
+			if len(nn.Values) == 0 {
+				for _, id := range nn.Names {
+					record(id)
+				}
+			}
+		case *ast.AssignStmt:
+			if nn.Tok != token.DEFINE {
+				return true
+			}
+			for i, rhs := range nn.Rhs {
+				if i >= len(nn.Lhs) {
+					break
+				}
+				id, ok := nn.Lhs[i].(*ast.Ident)
+				if !ok {
+					continue
+				}
+				switch v := ast.Unparen(rhs).(type) {
+				case *ast.CompositeLit:
+					if len(v.Elts) == 0 {
+						record(id)
+					}
+				case *ast.CallExpr:
+					if fn, okFn := ast.Unparen(v.Fun).(*ast.Ident); okFn && fn.Name == "make" {
+						if _, isBuiltin := info.Uses[fn].(*types.Builtin); isBuiltin &&
+							len(v.Args) == 2 && isZeroLiteral(v.Args[1]) {
+							record(id)
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// isMakeMap matches make(map[...]...) calls.
+func isMakeMap(info *types.Info, call *ast.CallExpr) bool {
+	fn, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || fn.Name != "make" || len(call.Args) == 0 {
+		return false
+	}
+	if _, isBuiltin := info.Uses[fn].(*types.Builtin); !isBuiltin {
+		return false
+	}
+	tv, ok := info.Types[call.Args[0]]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isMap := tv.Type.Underlying().(*types.Map)
+	return isMap
+}
+
+func isZeroLiteral(e ast.Expr) bool {
+	lit, ok := ast.Unparen(e).(*ast.BasicLit)
+	return ok && lit.Kind == token.INT && lit.Value == "0"
+}

@@ -1,0 +1,18 @@
+package hotalloc_test
+
+import (
+	"testing"
+
+	"efdedup/lint/analysistest"
+	"efdedup/lint/analyzers/hotalloc"
+)
+
+func TestHotAllocAgent(t *testing.T) {
+	analysistest.Run(t, hotalloc.Analyzer, "pipe/agent")
+}
+
+// TestHotAllocChunk covers the Split root and ref-edge reachability of
+// emit callbacks.
+func TestHotAllocChunk(t *testing.T) {
+	analysistest.Run(t, hotalloc.Analyzer, "pipe/chunk")
+}

@@ -1,0 +1,72 @@
+// Package agent exercises hot-path allocation detection: ProcessStream
+// is a pipeline root, and everything it reaches — synchronously, via
+// goroutines, or not at all — bounds where loop allocations matter.
+package agent
+
+import "fmt"
+
+type Agent struct {
+	names []string
+	seen  map[string]bool
+}
+
+// ProcessStream is a pipeline root.
+func (a *Agent) ProcessStream(data [][]byte) {
+	a.register(data)
+	a.index(data)
+	a.sized(data)
+	_ = a.label(0)
+	go a.flush(data)
+}
+
+func (a *Agent) register(batches [][]byte) {
+	for _, b := range batches {
+		key := string(b) // want `string\(\[\]byte\) conversion copies per iteration`
+		a.seen[key] = true
+	}
+}
+
+// flush runs in a goroutine but still burns per-chunk budget: async
+// edges are followed.
+func (a *Agent) flush(batches [][]byte) {
+	for i := range batches {
+		a.names = append(a.names, fmt.Sprintf("batch-%d", i)) // want `fmt\.Sprintf allocates per iteration`
+	}
+}
+
+func (a *Agent) index(batches [][]byte) {
+	var ids []string
+	for _, b := range batches {
+		m := make(map[string]int) // want `map allocated per iteration`
+		m["n"] = len(b)
+		ids = append(ids, "x") // want `append grows an unsized slice per iteration`
+	}
+	_ = ids
+}
+
+// sized shows the approved shapes: preallocated capacity, and slices
+// scoped to one iteration.
+func (a *Agent) sized(batches [][]byte) {
+	out := make([]string, 0, len(batches))
+	for range batches {
+		tmp := []int{}
+		tmp = append(tmp, 1)
+		out = append(out, "x")
+		_ = tmp
+	}
+	_ = out
+}
+
+// label allocates, but outside any loop: silent even on the hot path.
+func (a *Agent) label(i int) string {
+	return fmt.Sprintf("agent-%d", i)
+}
+
+// orphan is unreachable from every pipeline root: its loop may
+// allocate freely.
+func orphan(batches [][]byte) {
+	for _, b := range batches {
+		_ = fmt.Sprintf("%d", len(b))
+		_ = string(b)
+	}
+}

@@ -1,0 +1,23 @@
+// Package chunk exercises the Split pipeline root and reachability
+// through function-value references (emit-callback style).
+package chunk
+
+type Splitter struct{ out []string }
+
+// Split is a pipeline root; it hands accumulate to forEach as a
+// function value, so accumulate is reachable via a ref edge.
+func (s *Splitter) Split(data [][]byte) {
+	forEach(data, s.accumulate)
+}
+
+func forEach(data [][]byte, f func([]byte)) {
+	for _, b := range data {
+		f(b)
+	}
+}
+
+func (s *Splitter) accumulate(b []byte) {
+	for i := 0; i < len(b); i++ {
+		s.out = append(s.out, string(b[i:])) // want `string\(\[\]byte\) conversion copies per iteration`
+	}
+}

@@ -1,0 +1,66 @@
+// Package lockedio2 extends lockedio across function boundaries: a
+// function that calls a helper while holding a mutex is flagged when
+// the helper's interprocedural summary transitively reaches network
+// I/O — net.Conn reads/writes, dials, or transport.Client Call/Close.
+// lockedio sees only I/O performed in the locked function itself; on an
+// edge link a blocked remote call inside a helper still stalls every
+// goroutine contending for the lock, which is exactly how a slow WAN
+// peer freezes a whole D2-ring index node.
+//
+// Direct I/O under a lock is lockedio's finding and is not re-reported
+// here: the summary classifies each call site as either I/O (lockedio
+// territory) or an ordinary call (this analyzer's), never both. Only
+// synchronous call chains count — I/O behind a `go` statement does not
+// run under the caller's lock.
+package lockedio2
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"efdedup/lint/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "lockedio2",
+	Doc:  "no mutex held across a call chain that reaches network I/O (interprocedural lockedio)",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	sums := pass.Summaries
+	if sums == nil {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			fs := sums.ForFunc(fn)
+			if fs == nil {
+				continue
+			}
+			for _, cul := range fs.CallsUnderLock {
+				if cul.CalleeID == "" {
+					continue
+				}
+				path := sums.ReachesIO(cul.CalleeID)
+				if path == nil {
+					continue
+				}
+				pass.Reportf(cul.Pos,
+					"mutex %s (locked at %s) held across call to %s, which reaches %s via %s",
+					cul.LockExpr, sums.FmtPos(cul.LockPos), cul.CalleeName,
+					path.Desc, strings.Join(path.Chain, " → "))
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,19 @@
+package lockedio2_test
+
+import (
+	"testing"
+
+	"efdedup/lint/analysistest"
+	"efdedup/lint/analyzers/lockedio2"
+)
+
+func TestLockedIO2(t *testing.T) {
+	analysistest.Run(t, lockedio2.Analyzer, "locked2")
+}
+
+// TestSuppression pins the //lint:ignore placement semantics for
+// interprocedural diagnostics: call-site directives suppress, callee
+// directives do not.
+func TestSuppression(t *testing.T) {
+	analysistest.Run(t, lockedio2.Analyzer, "suppress")
+}

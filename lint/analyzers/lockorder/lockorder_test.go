@@ -1,0 +1,19 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"efdedup/lint/analysistest"
+	"efdedup/lint/analyzers/lockorder"
+)
+
+func TestLockOrder(t *testing.T) {
+	analysistest.Run(t, lockorder.Analyzer, "locks")
+}
+
+// TestCrossPackage proves a cycle spanning two packages is found via
+// cross-package summaries and reported exactly once, in the package
+// holding the lexically smallest acquisition site.
+func TestCrossPackage(t *testing.T) {
+	analysistest.Run(t, lockorder.Analyzer, "cyc/a", "cyc/b")
+}

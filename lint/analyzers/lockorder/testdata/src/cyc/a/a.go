@@ -1,0 +1,31 @@
+// Package a closes a lock-order cycle whose locks live in two
+// packages: the edge to b.Mu goes through a callee defined in package
+// b, so detecting it needs cross-package summaries.
+package a
+
+import (
+	"sync"
+
+	"cyc/b"
+)
+
+type Front struct{ mu sync.Mutex }
+
+var f Front
+
+// AcquireBoth holds Front's mutex while a callee in package b acquires
+// b.Mu: edge (a.Front).mu → b.Mu.
+func AcquireBoth() {
+	f.mu.Lock()
+	b.LockMu() // want `potential deadlock: lock-order cycle \(a\.Front\)\.mu → b\.Mu → \(a\.Front\)\.mu; \(a\.Front\)\.mu held when b\.Mu acquired in a\.AcquireBoth via call to b\.LockMu .*; b\.Mu held when \(a\.Front\)\.mu acquired in a\.AcquireReverse`
+	f.mu.Unlock()
+}
+
+// AcquireReverse holds b.Mu while taking Front's mutex: the reverse
+// edge b.Mu → (a.Front).mu.
+func AcquireReverse() {
+	b.Mu.Lock()
+	f.mu.Lock()
+	f.mu.Unlock()
+	b.Mu.Unlock()
+}

@@ -1,0 +1,16 @@
+// Package b owns one lock of a cross-package lock-order cycle. The
+// cycle's anchor site lives in package a, so this package must stay
+// free of diagnostics.
+package b
+
+import "sync"
+
+// Mu is a package-level mutex; its module-wide identity is "b.Mu".
+var Mu sync.Mutex
+
+// LockMu acquires and releases Mu; callers holding other locks create
+// acquisition-order edges through this function's summary.
+func LockMu() {
+	Mu.Lock()
+	defer Mu.Unlock()
+}

@@ -1,18 +1,24 @@
 // Command efdedup-lint is the repository's invariant checker: a
 // multichecker running the custom analyzers that encode what the
 // compiler, go vet and -race cannot see — locks never held across
-// network I/O (lockedio), errors classifiable at transport boundaries
-// (errclass), a bit-deterministic model/sim/estimate/partition core
-// (nodeterm), bounded constant metric names (metricname), contexts in
-// first position (ctxfirst) and joinable goroutines (goleak).
+// network I/O, directly (lockedio) or through any call chain
+// (lockedio2), no mutex acquisition-order cycles anywhere in the module
+// (lockorder), errors classifiable at transport boundaries (errclass)
+// and never silently lost when they carry quorum sentinels (errlost), a
+// bit-deterministic model/sim/estimate/partition core (nodeterm),
+// bounded constant metric names (metricname), contexts in first
+// position (ctxfirst), joinable goroutines (goleak) and no per-chunk
+// allocations on the dedup pipeline hot path (hotalloc).
 //
 // Usage:
 //
-//	efdedup-lint [-run name[,name]] [-list] [packages]
+//	efdedup-lint [-run name[,name]] [-list] [-json] [-v] [packages]
 //
 // Packages default to ./... relative to the working directory. The
 // exit status is 0 when no diagnostics fire, 1 when any do, 2 on
-// loading failure. Suppress a finding with a reasoned directive:
+// loading failure. -json renders findings as a JSON array instead of
+// file:line:col text; -v reports load/analyze wall time on stderr.
+// Suppress a finding with a reasoned directive:
 //
 //	//lint:ignore lockedio held lock is test-only
 package main
@@ -23,12 +29,17 @@ import (
 	"go/token"
 	"os"
 	"strings"
+	"time"
 
 	"efdedup/lint/analysis"
 	"efdedup/lint/analyzers/ctxfirst"
 	"efdedup/lint/analyzers/errclass"
+	"efdedup/lint/analyzers/errlost"
 	"efdedup/lint/analyzers/goleak"
+	"efdedup/lint/analyzers/hotalloc"
 	"efdedup/lint/analyzers/lockedio"
+	"efdedup/lint/analyzers/lockedio2"
+	"efdedup/lint/analyzers/lockorder"
 	"efdedup/lint/analyzers/metricname"
 	"efdedup/lint/analyzers/nodeterm"
 	"efdedup/lint/internal/checker"
@@ -38,8 +49,12 @@ import (
 var all = []*analysis.Analyzer{
 	ctxfirst.Analyzer,
 	errclass.Analyzer,
+	errlost.Analyzer,
 	goleak.Analyzer,
+	hotalloc.Analyzer,
 	lockedio.Analyzer,
+	lockedio2.Analyzer,
+	lockorder.Analyzer,
 	metricname.Analyzer,
 	nodeterm.Analyzer,
 }
@@ -47,6 +62,8 @@ var all = []*analysis.Analyzer{
 func main() {
 	runList := flag.String("run", "", "comma-separated analyzer names to run (default: all)")
 	list := flag.Bool("list", false, "list analyzers and exit")
+	jsonOut := flag.Bool("json", false, "render diagnostics as a JSON array")
+	verbose := flag.Bool("v", false, "report load/analyze wall time on stderr")
 	flag.Parse()
 
 	if *list {
@@ -84,17 +101,31 @@ func main() {
 		os.Exit(2)
 	}
 	fset := token.NewFileSet()
-	pkgs, err := load.Load(fset, cwd, patterns)
+	pkgs, stats, err := load.LoadStats(fset, cwd, patterns)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "efdedup-lint: %v\n", err)
 		os.Exit(2)
 	}
+	analyzeStart := time.Now()
 	diags, err := checker.Run(analyzers, pkgs, fset)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "efdedup-lint: %v\n", err)
 		os.Exit(2)
 	}
-	checker.Print(os.Stdout, cwd, diags)
+	if *verbose {
+		fmt.Fprintf(os.Stderr, "efdedup-lint: %d packages: list %v, typecheck %v, analyze %v\n",
+			stats.Packages, stats.ListTime.Round(time.Millisecond),
+			stats.CheckTime.Round(time.Millisecond),
+			time.Since(analyzeStart).Round(time.Millisecond))
+	}
+	if *jsonOut {
+		if err := checker.PrintJSON(os.Stdout, cwd, diags); err != nil {
+			fmt.Fprintf(os.Stderr, "efdedup-lint: %v\n", err)
+			os.Exit(2)
+		}
+	} else {
+		checker.Print(os.Stdout, cwd, diags)
+	}
 	if len(diags) > 0 {
 		os.Exit(1)
 	}

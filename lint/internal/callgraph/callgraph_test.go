@@ -1,0 +1,130 @@
+package callgraph
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+
+	"efdedup/lint/internal/load"
+)
+
+// buildGraph type-checks one synthetic package (no imports) and builds
+// its call graph.
+func buildGraph(t *testing.T, src string) *Graph {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := load.NewInfo()
+	conf := types.Config{}
+	tpkg, err := conf.Check("p", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg := &load.Package{PkgPath: "p", Files: []*ast.File{f}, Types: tpkg, Info: info}
+	return Build(fset, []*load.Package{pkg})
+}
+
+// edges returns caller's outgoing edges keyed by callee ID.
+func edges(t *testing.T, g *Graph, caller string) map[string][]*Edge {
+	t.Helper()
+	n := g.Nodes[caller]
+	if n == nil {
+		t.Fatalf("no node %q; have %v", caller, ids(g))
+	}
+	out := make(map[string][]*Edge)
+	for _, e := range n.Out {
+		out[e.Callee.ID] = append(out[e.Callee.ID], e)
+	}
+	return out
+}
+
+func ids(g *Graph) []string {
+	var out []string
+	for _, n := range g.SortedNodes() {
+		out = append(out, n.ID)
+	}
+	return out
+}
+
+// TestInterfaceFallback pins the conservative interface-call
+// resolution: a call through an interface produces one labelled edge
+// per universe type implementing it — value receivers and pointer
+// receivers both — and none to non-implementers.
+func TestInterfaceFallback(t *testing.T) {
+	g := buildGraph(t, `package p
+
+type Doer interface{ Do() }
+
+type A struct{}
+
+func (A) Do() {}
+
+type B struct{}
+
+func (*B) Do() {}
+
+// C has a Do with the wrong shape: not an implementation.
+type C struct{}
+
+func (C) Do(int) {}
+
+func run(d Doer) { d.Do() }
+`)
+	out := edges(t, g, "p.run")
+	for _, want := range []string{"(p.A).Do", "(*p.B).Do"} {
+		es := out[want]
+		if len(es) != 1 {
+			t.Fatalf("edges run→%s = %d, want 1 (have %v)", want, len(es), out)
+		}
+		if es[0].Interface != "Doer.Do" {
+			t.Errorf("run→%s Interface label = %q, want %q", want, es[0].Interface, "Doer.Do")
+		}
+		if es[0].Ref || es[0].Async {
+			t.Errorf("run→%s flags = ref:%v async:%v, want call edge", want, es[0].Ref, es[0].Async)
+		}
+	}
+	if es := out["(p.C).Do"]; len(es) != 0 {
+		t.Errorf("run→(p.C).Do exists; C does not implement Doer")
+	}
+}
+
+// TestStaticAsyncRefEdges pins the three non-interface edge flavours:
+// a plain static call, a call under a go statement (async, including
+// inside the spawned literal), and a function value reference.
+func TestStaticAsyncRefEdges(t *testing.T) {
+	g := buildGraph(t, `package p
+
+func helper() {}
+
+func worker() {}
+
+func takes(f func()) { f() }
+
+func direct() { helper() }
+
+func spawns() {
+	go func() {
+		worker()
+	}()
+}
+
+func refs() { takes(worker) }
+`)
+	if es := edges(t, g, "p.direct")["p.helper"]; len(es) != 1 || es[0].Async || es[0].Ref {
+		t.Errorf("direct→helper = %+v, want one sync call edge", es)
+	}
+	if es := edges(t, g, "p.spawns")["p.worker"]; len(es) != 1 || !es[0].Async {
+		t.Errorf("spawns→worker = %+v, want one async edge", es)
+	}
+	if es := edges(t, g, "p.refs")["p.worker"]; len(es) != 1 || !es[0].Ref {
+		t.Errorf("refs→worker = %+v, want one ref edge", es)
+	}
+	if es := edges(t, g, "p.refs")["p.takes"]; len(es) != 1 || es[0].Ref {
+		t.Errorf("refs→takes = %+v, want one plain call edge", es)
+	}
+}

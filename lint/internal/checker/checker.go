@@ -3,6 +3,7 @@
 package checker
 
 import (
+	"encoding/json"
 	"fmt"
 	"go/ast"
 	"go/token"
@@ -13,6 +14,7 @@ import (
 
 	"efdedup/lint/analysis"
 	"efdedup/lint/internal/load"
+	"efdedup/lint/internal/summary"
 )
 
 // Diagnostic is a rendered finding.
@@ -25,9 +27,25 @@ type Diagnostic struct {
 // Run applies every analyzer to every package and returns the
 // surviving (non-suppressed) diagnostics sorted by position.
 func Run(analyzers []*analysis.Analyzer, pkgs []*load.Package, fset *token.FileSet) ([]Diagnostic, error) {
+	return RunScoped(analyzers, pkgs, pkgs, fset)
+}
+
+// RunScoped applies every analyzer to the target packages while
+// building the interprocedural summary store over the (usually larger)
+// universe, so cross-package facts — callee summaries, lock-order
+// edges, reachability — are visible even when diagnostics are only
+// wanted for a subset. Suppression directives are honoured wherever
+// the diagnostic lands, including files of non-target universe
+// packages (a module-wide finding may be anchored in a dependency).
+func RunScoped(analyzers []*analysis.Analyzer, targets, universe []*load.Package, fset *token.FileSet) ([]Diagnostic, error) {
+	sums := summary.Build(fset, universe)
+	var allFiles []*ast.File
+	for _, pkg := range universe {
+		allFiles = append(allFiles, pkg.Files...)
+	}
+	ignores := collectIgnores(fset, allFiles)
 	var out []Diagnostic
-	for _, pkg := range pkgs {
-		ignores := collectIgnores(fset, pkg.Files)
+	for _, pkg := range targets {
 		for _, a := range analyzers {
 			pass := &analysis.Pass{
 				Analyzer:  a,
@@ -35,6 +53,7 @@ func Run(analyzers []*analysis.Analyzer, pkgs []*load.Package, fset *token.FileS
 				Files:     pkg.Files,
 				Pkg:       pkg.Types,
 				TypesInfo: pkg.Info,
+				Summaries: sums,
 			}
 			pass.Report = func(d analysis.Diagnostic) {
 				pos := fset.Position(d.Pos)
@@ -71,6 +90,34 @@ func Print(w io.Writer, dir string, diags []Diagnostic) {
 		}
 		fmt.Fprintf(w, "%s:%d:%d: %s: %s\n", name, d.Position.Line, d.Position.Column, d.Analyzer, d.Message)
 	}
+}
+
+// PrintJSON writes diagnostics as a JSON array of findings, one object
+// per diagnostic, for machine consumers (editor integrations, the CI
+// problem matcher's JSON mode). Paths are relative to dir when
+// possible, matching the text renderer.
+func PrintJSON(w io.Writer, dir string, diags []Diagnostic) error {
+	type finding struct {
+		File     string `json:"file"`
+		Line     int    `json:"line"`
+		Column   int    `json:"column"`
+		Analyzer string `json:"analyzer"`
+		Message  string `json:"message"`
+	}
+	out := make([]finding, 0, len(diags))
+	for _, d := range diags {
+		name := d.Position.Filename
+		if rel, err := filepath.Rel(dir, name); err == nil && !strings.HasPrefix(rel, "..") {
+			name = rel
+		}
+		out = append(out, finding{
+			File: name, Line: d.Position.Line, Column: d.Position.Column,
+			Analyzer: d.Analyzer, Message: d.Message,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
 }
 
 // ignoreIndex maps filename → line → analyzer names suppressed there.

@@ -21,7 +21,10 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"sort"
 	"strings"
+	"sync"
+	"time"
 )
 
 // Package is one type-checked target package.
@@ -58,24 +61,83 @@ func (e *listError) String() string {
 	return e.Err
 }
 
+// Stats records where a Load spent its time, for `efdedup-lint -v`.
+type Stats struct {
+	// ListTime is the `go list -export` wall time (zero on cache hit).
+	ListTime time.Duration
+	// CheckTime covers parsing plus type-checking the target packages.
+	CheckTime time.Duration
+	// Packages is the number of type-checked target packages.
+	Packages int
+	// CacheHit reports whether the listing came from the in-process
+	// cache rather than a fresh `go list` invocation.
+	CacheHit bool
+}
+
 // Load lists the packages matching patterns relative to dir,
 // type-checks every non-dependency match and returns them sorted by
 // import path. The returned FileSet is shared by all packages.
 func Load(fset *token.FileSet, dir string, patterns []string) ([]*Package, error) {
-	exports, targets, err := goList(dir, patterns)
+	pkgs, _, err := LoadStats(fset, dir, patterns)
+	return pkgs, err
+}
+
+// LoadStats is Load plus timing information.
+func LoadStats(fset *token.FileSet, dir string, patterns []string) ([]*Package, *Stats, error) {
+	stats := &Stats{}
+	start := time.Now()
+	exports, targets, hit, err := goListCached(dir, patterns)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
+	stats.ListTime, stats.CacheHit = time.Since(start), hit
+	if hit {
+		stats.ListTime = 0
+	}
+	start = time.Now()
 	imp := NewExportImporter(fset, exports)
 	var out []*Package
 	for _, lp := range targets {
 		pkg, err := typecheck(fset, imp, lp)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		out = append(out, pkg)
 	}
-	return out, nil
+	stats.CheckTime, stats.Packages = time.Since(start), len(out)
+	return out, stats, nil
+}
+
+// listResult is one memoized `go list` invocation. A single lint run
+// (and a single analyzer test binary) may load the same pattern set
+// many times — once per analysistest fixture, or once per stdlib
+// export probe — and the listing is by far the slowest step, so it is
+// cached for the life of the process. Export-data files referenced by
+// the listing live in the build cache and outlive the process, so
+// reuse is safe as long as the source tree is not edited mid-run.
+type listResult struct {
+	exports map[string]string
+	targets []*listedPackage
+}
+
+var (
+	listMu    sync.Mutex
+	listCache = make(map[string]*listResult)
+)
+
+func goListCached(dir string, patterns []string) (map[string]string, []*listedPackage, bool, error) {
+	key := dir + "\x00" + strings.Join(patterns, "\x00")
+	listMu.Lock()
+	defer listMu.Unlock()
+	if r, ok := listCache[key]; ok {
+		return r.exports, r.targets, true, nil
+	}
+	exports, targets, err := goList(dir, patterns)
+	if err != nil {
+		return nil, nil, false, err
+	}
+	listCache[key] = &listResult{exports: exports, targets: targets}
+	return exports, targets, false, nil
 }
 
 // goList runs `go list -export -deps -json` and splits the result into
@@ -176,11 +238,15 @@ func (e *ExportImporter) Import(path string) (*types.Package, error) {
 
 // StdlibExports lists export data for the given standard-library
 // packages and their dependencies. dir is any directory inside a Go
-// module (go list needs one).
+// module (go list needs one). Results are memoized per process, so a
+// test binary running many fixtures with the same import set pays for
+// one `go list`.
 func StdlibExports(dir string, pkgs []string) (map[string]string, error) {
 	if len(pkgs) == 0 {
 		return map[string]string{}, nil
 	}
-	exports, _, err := goList(dir, pkgs)
+	sorted := append([]string(nil), pkgs...)
+	sort.Strings(sorted)
+	exports, _, _, err := goListCached(dir, sorted)
 	return exports, err
 }
