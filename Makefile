@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race race-core bench figures figures-quick vet cover lint fuzz-short ci clean
+.PHONY: all build test race race-core bench bench-agent bench-compare figures figures-quick vet cover lint fuzz-short ci clean
 
 all: build test
 
@@ -51,6 +51,18 @@ fuzz-short:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# One-iteration smoke of the end-to-end agent pipeline benchmark (also in
+# CI): catches bit-rot in the bench harness without paying for a real
+# measurement run.
+bench-agent:
+	$(GO) test -run '^$$' -bench '^BenchmarkAgentProcessStream$$' -benchtime=1x -cpu 1,4,8 ./internal/agent
+
+# Measure the agent pipeline and print a benchstat-style old/new/delta
+# table against BENCH_agent.json. `go run ./tools/benchcompare -update`
+# re-records the baseline.
+bench-compare:
+	$(GO) run ./tools/benchcompare
 
 # Regenerate every figure of the paper's evaluation at full size.
 figures:

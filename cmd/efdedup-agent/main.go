@@ -55,17 +55,19 @@ func parseMode(s string) (agent.Mode, error) {
 
 func run() error {
 	var (
-		modeFlag  = flag.String("mode", "ring", "dedup strategy: ring | cloud-assisted | cloud-only")
-		cloudAddr = flag.String("cloud", "127.0.0.1:7080", "central cloud store address")
-		ringList  = flag.String("ring", "", "comma-separated D2-ring index node addresses (ring mode)")
-		localAddr = flag.String("local", "", "this node's index address, preferred for lookups (ring mode)")
-		name      = flag.String("name", "agent", "agent name recorded in manifests")
-		chunkSize = flag.Int("chunk-size", chunk.DefaultFixedSize, "fixed chunk size in bytes")
-		cdc       = flag.Bool("cdc", false, "use content-defined (gear) chunking instead of fixed")
-		rf        = flag.Int("rf", 2, "index replication factor γ (ring mode)")
-		timeout     = flag.Duration("timeout", 10*time.Minute, "overall processing deadline")
-		metricsAddr = flag.String("metrics-addr", "", "serve /metrics and /debug/pprof/ on this address (empty disables)")
-		breakdown   = flag.Bool("breakdown", false, "print the per-stage latency breakdown after processing")
+		modeFlag       = flag.String("mode", "ring", "dedup strategy: ring | cloud-assisted | cloud-only")
+		cloudAddr      = flag.String("cloud", "127.0.0.1:7080", "central cloud store address")
+		ringList       = flag.String("ring", "", "comma-separated D2-ring index node addresses (ring mode)")
+		localAddr      = flag.String("local", "", "this node's index address, preferred for lookups (ring mode)")
+		name           = flag.String("name", "agent", "agent name recorded in manifests")
+		chunkSize      = flag.Int("chunk-size", chunk.DefaultFixedSize, "fixed chunk size in bytes")
+		cdc            = flag.Bool("cdc", false, "use content-defined (gear) chunking instead of fixed")
+		rf             = flag.Int("rf", 2, "index replication factor γ (ring mode)")
+		hashWorkers    = flag.Int("hash-workers", 0, "concurrent SHA-256 workers (0 = GOMAXPROCS, capped at physical cores)")
+		lookupInflight = flag.Int("lookup-inflight", 0, "overlapped index-lookup batches (0 = default)")
+		timeout        = flag.Duration("timeout", 10*time.Minute, "overall processing deadline")
+		metricsAddr    = flag.String("metrics-addr", "", "serve /metrics and /debug/pprof/ on this address (empty disables)")
+		breakdown      = flag.Bool("breakdown", false, "print the per-stage latency breakdown after processing")
 	)
 	flag.Parse()
 	if flag.NArg() == 0 {
@@ -104,7 +106,10 @@ func run() error {
 	}
 	defer cloud.Close()
 
-	cfg := agent.Config{Name: *name, Mode: mode, Chunker: chunker, Cloud: cloud}
+	cfg := agent.Config{
+		Name: *name, Mode: mode, Chunker: chunker, Cloud: cloud,
+		HashWorkers: *hashWorkers, LookupInflight: *lookupInflight,
+	}
 	if mode == agent.ModeRing {
 		members := strings.Split(*ringList, ",")
 		if len(members) == 0 || members[0] == "" {

@@ -30,13 +30,15 @@ func main() {
 
 func run() error {
 	var (
-		fig     = flag.String("fig", "all", "figure ID (fig2, fig3, fig5a..fig7b) or 'all'")
-		quick   = flag.Bool("quick", false, "shrink experiments to seconds (CI scale)")
-		seed    = flag.Int64("seed", 1, "workload/scenario seed")
-		outPath = flag.String("out", "", "also write results to this file")
-		verbose     = flag.Bool("v", true, "log per-point progress to stderr")
-		breakdown   = flag.Bool("breakdown", true, "append the per-stage latency breakdown from the metrics registry")
-		metricsAddr = flag.String("metrics-addr", "", "serve /metrics and /debug/pprof/ on this address while the bench runs")
+		fig            = flag.String("fig", "all", "figure ID (fig2, fig3, fig5a..fig7b) or 'all'")
+		quick          = flag.Bool("quick", false, "shrink experiments to seconds (CI scale)")
+		seed           = flag.Int64("seed", 1, "workload/scenario seed")
+		outPath        = flag.String("out", "", "also write results to this file")
+		verbose        = flag.Bool("v", true, "log per-point progress to stderr")
+		breakdown      = flag.Bool("breakdown", true, "append the per-stage latency breakdown from the metrics registry")
+		metricsAddr    = flag.String("metrics-addr", "", "serve /metrics and /debug/pprof/ on this address while the bench runs")
+		hashWorkers    = flag.Int("hash-workers", 0, "agents' concurrent SHA-256 workers (0 = agent default)")
+		lookupInflight = flag.Int("lookup-inflight", 0, "agents' overlapped index-lookup batches (0 = agent default)")
 	)
 	flag.Parse()
 
@@ -46,7 +48,10 @@ func run() error {
 		}()
 	}
 
-	cfg := experiments.Config{Quick: *quick, Seed: *seed}
+	cfg := experiments.Config{
+		Quick: *quick, Seed: *seed,
+		HashWorkers: *hashWorkers, LookupInflight: *lookupInflight,
+	}
 	if *verbose {
 		cfg.Log = os.Stderr
 	}

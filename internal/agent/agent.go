@@ -20,10 +20,9 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"runtime"
 	"sync"
 	"time"
-
-	"sync/atomic"
 
 	"efdedup/internal/chunk"
 	"efdedup/internal/cloudstore"
@@ -68,6 +67,12 @@ const (
 	DefaultUploadBatch = 64
 )
 
+// DefaultLookupInflight is the default number of overlapped index-lookup
+// batches. Edge index lookups are latency- rather than bandwidth-bound,
+// so a small window hides most of the RPC round trip without reordering
+// risk (delivery stays ordered regardless; see pipeline.go).
+const DefaultLookupInflight = 4
+
 // Config assembles an agent.
 type Config struct {
 	// Name identifies the agent (used in manifests).
@@ -84,6 +89,16 @@ type Config struct {
 	LookupBatch int
 	// UploadBatch is the number of chunks per cloud upload RPC.
 	UploadBatch int
+	// HashWorkers is the number of concurrent SHA-256 workers hashing
+	// chunks behind the chunker. Defaults to GOMAXPROCS. Results are
+	// delivered in stream order, so the manifest and Report are
+	// identical for any worker count.
+	HashWorkers int
+	// LookupInflight is how many index-lookup batches may be in flight
+	// at once before the pipeline backpressures the chunker. Defaults
+	// to DefaultLookupInflight. Like HashWorkers, it changes overlap,
+	// never results.
+	LookupInflight int
 	// StrictRing disables graceful degradation in ModeRing: ring index
 	// failures abort the stream instead of downgrading to cloud-assisted
 	// lookups. By default a ring outage costs dedup efficiency, never the
@@ -179,6 +194,14 @@ func New(cfg Config) (*Agent, error) {
 	if cfg.UploadBatch <= 0 {
 		cfg.UploadBatch = DefaultUploadBatch
 	}
+	if cfg.HashWorkers <= 0 {
+		// Workers beyond the physical cores only add scheduler churn
+		// (SHA-256 is pure CPU), so cap the default at both limits.
+		cfg.HashWorkers = min(runtime.GOMAXPROCS(0), runtime.NumCPU())
+	}
+	if cfg.LookupInflight <= 0 {
+		cfg.LookupInflight = DefaultLookupInflight
+	}
 	a := &Agent{cfg: cfg, met: newAgentMetrics(cfg.Mode)}
 	gaugeName := cfg.Name
 	if gaugeName == "" {
@@ -265,11 +288,7 @@ func (a *Agent) ProcessStream(ctx context.Context, name string, r io.Reader) (Re
 	}
 
 	p := a.newPipeline(ctx, name)
-	err := a.cfg.Chunker.Split(r, p.add)
-	if err == nil {
-		err = p.flushLookups()
-	}
-	rep, finishErr := p.finish(err)
+	rep, finishErr := p.finish(p.run(r))
 	if finishErr != nil {
 		// The manifest is only recorded below, after every chunk it
 		// references was durably uploaded; an aborted stream therefore
@@ -278,7 +297,7 @@ func (a *Agent) ProcessStream(ctx context.Context, name string, r io.Reader) (Re
 		return rep, finishErr
 	}
 	msp := metrics.StartTimer(a.met.manifestLat)
-	err = a.cfg.Cloud.PutManifest(ctx, name, p.manifest)
+	err := a.cfg.Cloud.PutManifest(ctx, name, p.manifest)
 	msp.End()
 	if err != nil {
 		return rep, fmt.Errorf("agent: manifest %s: %w", name, err)
@@ -287,297 +306,6 @@ func (a *Agent) ProcessStream(ctx context.Context, name string, r io.Reader) (Re
 	a.met.streamLat.ObserveDuration(rep.Duration)
 	a.accumulate(rep)
 	return rep, nil
-}
-
-// pipeline is the per-stream dedup state machine: it accumulates chunks
-// into lookup batches, suppresses intra-stream duplicates, queues unique
-// chunks onto an asynchronous upload worker (so WAN transfers overlap
-// index lookups) and registers fresh hashes in the ring index off the
-// critical path. A bounded queue and semaphore cap in-flight data.
-type pipeline struct {
-	a   *Agent
-	ctx context.Context
-
-	rep      Report
-	manifest []chunk.ID
-	seen     map[chunk.ID]bool
-	lastAdd  time.Time
-
-	lookupBuf     []chunk.Chunk
-	pendingUpload []chunk.Chunk
-
-	uploads   chan []chunk.Chunk
-	uploadErr chan error
-
-	// Written by the uploader goroutine, read by finish() after the
-	// uploader exits: only chunks the cloud acknowledged are counted, so
-	// Report.Uploaded* matches the store's contents even when a stream
-	// aborts mid-upload.
-	uploadedChunks atomic.Int64
-	uploadedBytes  atomic.Int64
-
-	indexWG          sync.WaitGroup
-	indexMu          sync.Mutex
-	indexErr         error
-	indexSem         chan struct{}
-	indexInsertFails atomic.Int64
-}
-
-func (a *Agent) newPipeline(ctx context.Context, name string) *pipeline {
-	p := &pipeline{
-		a:         a,
-		ctx:       ctx,
-		rep:       Report{Name: name},
-		seen:      make(map[chunk.ID]bool),
-		lastAdd:   time.Now(),
-		uploads:   make(chan []chunk.Chunk, 4),
-		uploadErr: make(chan error, 1),
-		indexSem:  make(chan struct{}, 4),
-	}
-	go func() {
-		defer close(p.uploadErr)
-		for batch := range p.uploads {
-			sp := metrics.StartTimer(a.met.uploadLat)
-			_, err := a.cfg.Cloud.BatchUpload(ctx, batch)
-			sp.End()
-			if err != nil {
-				p.uploadErr <- fmt.Errorf("agent: upload batch: %w", err)
-				// Drain remaining batches so the producer never blocks.
-				// Dropped batches are deliberately not counted: they
-				// never reached the cloud.
-				for range p.uploads {
-				}
-				return
-			}
-			var batchBytes int64
-			for _, c := range batch {
-				batchBytes += int64(len(c.Data))
-			}
-			p.uploadedChunks.Add(int64(len(batch)))
-			p.uploadedBytes.Add(batchBytes)
-			a.met.uploadedChunks.Add(int64(len(batch)))
-			a.met.uploadedBytes.Add(batchBytes)
-			a.met.uploadBatch.Observe(int64(len(batch)))
-			// Only now — with the batch durable in the cloud — are its
-			// hashes registered in the ring index. Registering at lookup
-			// time (the old behaviour) could advertise chunks that a
-			// mid-stream abort never uploaded, making peers skip uploads
-			// for data the cloud does not hold.
-			if a.cfg.Mode == ModeRing {
-				p.registerFresh(batch)
-			}
-		}
-	}()
-	return p
-}
-
-// registerFresh records the batch's hashes in the ring index, off the
-// critical path (our own later batches are covered by the local seen
-// set). Called from the uploader goroutine strictly after the batch was
-// acknowledged by the cloud, preserving the invariant that the index
-// never references a chunk the cloud lacks.
-func (p *pipeline) registerFresh(batch []chunk.Chunk) {
-	keys := make([][]byte, len(batch))
-	values := make([][]byte, len(batch))
-	// One owner-name conversion for the whole batch: BatchPut encodes
-	// values into the wire body without retaining or mutating them, so
-	// every entry can share the same backing bytes (hotalloc).
-	owner := []byte(p.a.cfg.Name)
-	for i, c := range batch {
-		id := c.ID
-		keys[i] = id[:]
-		values[i] = owner
-	}
-	p.indexSem <- struct{}{}
-	p.indexWG.Add(1)
-	go func() {
-		defer p.indexWG.Done()
-		defer func() { <-p.indexSem }()
-		sp := metrics.StartTimer(p.a.met.insertLat)
-		err := p.a.cfg.Index.BatchPut(p.ctx, keys, values)
-		sp.End()
-		if err == nil {
-			return
-		}
-		// A missed insert only costs future dedup hits (peers re-upload
-		// those chunks), so in degraded-tolerant mode it is counted, not
-		// fatal. Cancellation stays fatal so aborted streams abort.
-		if p.a.cfg.StrictRing || p.ctx.Err() != nil {
-			p.indexMu.Lock()
-			if p.indexErr == nil {
-				p.indexErr = fmt.Errorf("agent: index insert: %w", err)
-			}
-			p.indexMu.Unlock()
-			return
-		}
-		// A partial write names exactly the under-replicated keys; only
-		// those count as failures. Anything else loses the whole batch.
-		failed := int64(len(keys))
-		var partial *kvstore.PartialWriteError
-		if errors.As(err, &partial) {
-			failed = int64(len(partial.FailedKeys))
-		}
-		p.indexInsertFails.Add(failed)
-		p.a.met.insertFails.Add(failed)
-	}()
-}
-
-// add receives one chunk from the chunker, in stream order.
-func (p *pipeline) add(c chunk.Chunk) error {
-	// Time since the previous add returned is what the chunker spent
-	// reading, splitting and hashing this chunk (lookup flushes happen
-	// inside add, so they are excluded).
-	p.a.met.chunkProduce.ObserveDuration(time.Since(p.lastAdd))
-	defer func() { p.lastAdd = time.Now() }()
-	p.a.met.chunkBytes.Observe(int64(len(c.Data)))
-
-	p.manifest = append(p.manifest, c.ID)
-	p.rep.InputBytes += int64(len(c.Data))
-	p.rep.InputChunks++
-	if p.seen[c.ID] {
-		p.rep.DuplicateChunks++
-		p.a.met.dupChunks.Inc()
-		return nil
-	}
-	p.seen[c.ID] = true
-	p.lookupBuf = append(p.lookupBuf, c)
-	if len(p.lookupBuf) >= p.a.cfg.LookupBatch {
-		return p.flushLookups()
-	}
-	return nil
-}
-
-// flushLookups resolves the buffered chunks against the index and routes
-// the fresh ones to the uploader and (in ring mode) the ring index.
-func (p *pipeline) flushLookups() error {
-	if len(p.lookupBuf) == 0 {
-		return nil
-	}
-	batch := p.lookupBuf
-	p.lookupBuf = nil
-	sp := metrics.StartTimer(p.a.met.lookupLat)
-	known, err := p.lookup(batch)
-	sp.End()
-	p.a.met.lookupBatch.Observe(int64(len(batch)))
-	if err != nil {
-		return err
-	}
-	for i, c := range batch {
-		if known[i] {
-			p.rep.DuplicateChunks++
-			p.a.met.dupChunks.Inc()
-			continue
-		}
-		p.pendingUpload = append(p.pendingUpload, c)
-		if len(p.pendingUpload) >= p.a.cfg.UploadBatch {
-			p.queueUpload()
-		}
-	}
-	// Fresh hashes are registered in the ring index by the uploader, once
-	// their batch is durable in the cloud (see registerFresh).
-	return nil
-}
-
-// queueUpload hands the pending chunks to the asynchronous uploader.
-// Upload accounting happens in the uploader itself, on acknowledgement —
-// counting here (the old behaviour) credited chunks that a failed or
-// aborted upload never delivered, so Report could claim more than the
-// cloud held.
-func (p *pipeline) queueUpload() {
-	if len(p.pendingUpload) == 0 {
-		return
-	}
-	batch := make([]chunk.Chunk, len(p.pendingUpload))
-	copy(batch, p.pendingUpload)
-	p.uploads <- batch
-	p.pendingUpload = p.pendingUpload[:0]
-}
-
-// finish drains the pipeline and reports the first error among the given
-// stream error, upload failures and index failures.
-func (p *pipeline) finish(streamErr error) (Report, error) {
-	if streamErr == nil {
-		p.queueUpload()
-	}
-	close(p.uploads)
-	uploadFailure := <-p.uploadErr
-	p.indexWG.Wait()
-	p.rep.UploadedChunks = p.uploadedChunks.Load()
-	p.rep.UploadedBytes = p.uploadedBytes.Load()
-	p.rep.IndexInsertFailures = p.indexInsertFails.Load()
-	p.indexMu.Lock()
-	indexFailure := p.indexErr
-	p.indexMu.Unlock()
-	switch {
-	case streamErr != nil:
-		return p.rep, streamErr
-	case uploadFailure != nil:
-		return p.rep, uploadFailure
-	case indexFailure != nil:
-		return p.rep, indexFailure
-	}
-	return p.rep, nil
-}
-
-// lookup answers which chunks in the batch are already indexed.
-//
-// In ModeRing (without StrictRing) it walks a downgrade ladder instead of
-// failing the stream: ring index → cloud-assisted lookup → assume-fresh.
-// Every rung preserves correctness — a chunk wrongly treated as fresh is
-// re-deduplicated by the cloud's own index on upload — so ring outages
-// cost WAN bytes, never data. The ring is still tried first on every
-// batch: while its breakers are open those attempts fail fast, and the
-// first one that succeeds after an outage is the recovery transition.
-func (p *pipeline) lookup(batch []chunk.Chunk) ([]bool, error) {
-	a := p.a
-	switch a.cfg.Mode {
-	case ModeRing:
-		keys := make([][]byte, len(batch))
-		for i, c := range batch {
-			id := c.ID
-			keys[i] = id[:]
-		}
-		known, err := a.cfg.Index.BatchHas(p.ctx, keys)
-		if err == nil {
-			if a.noteRecovery() {
-				p.rep.Recoveries++
-				a.met.recoveries.Inc()
-			}
-			return known, nil
-		}
-		if p.ctx.Err() != nil || a.cfg.StrictRing {
-			return nil, fmt.Errorf("agent: ring lookup: %w", err)
-		}
-		if a.noteDowngrade() {
-			p.rep.Downgrades++
-			a.met.downgrades.Inc()
-		}
-		p.rep.DegradedLookups += int64(len(batch))
-		a.met.degradedLookups.Add(int64(len(batch)))
-		fallthrough
-	case ModeCloudAssisted:
-		ids := make([]chunk.ID, len(batch))
-		for i, c := range batch {
-			ids[i] = c.ID
-		}
-		known, err := a.cfg.Cloud.BatchHas(p.ctx, ids)
-		if err == nil {
-			return known, nil
-		}
-		if a.cfg.Mode == ModeCloudAssisted {
-			// The cloud is this mode's only index; nothing to fall back to
-			// but the uploader, which needs the same cloud anyway.
-			return nil, fmt.Errorf("agent: cloud lookup: %w", err)
-		}
-		if p.ctx.Err() != nil {
-			return nil, fmt.Errorf("agent: cloud lookup: %w", err)
-		}
-		// Bottom rung: assume every chunk fresh and let the cloud's own
-		// index dedup on upload (ModeCloudOnly semantics per batch).
-		return make([]bool, len(batch)), nil
-	default:
-		return nil, fmt.Errorf("%w: lookup in mode %s", ErrConfig, a.cfg.Mode)
-	}
 }
 
 func (a *Agent) accumulate(rep Report) {

@@ -18,6 +18,14 @@ type agentMetrics struct {
 	manifestLat  *metrics.Histogram // manifest put latency per stream
 	streamLat    *metrics.Histogram // end-to-end stream latency
 
+	// Stage occupancy for the concurrent pipeline: how busy each stage
+	// is right now, and how many lookup batches overlap in flight (the
+	// histogram shows whether LookupInflight headroom is actually used).
+	hashBusy           *metrics.Gauge     // hash workers currently hashing
+	lookupInflight     *metrics.Gauge     // lookup batches currently in flight
+	uploadQueue        *metrics.Gauge     // upload batches queued or uploading
+	lookupInflightHist *metrics.Histogram // in-flight batches observed at dispatch
+
 	uploadedChunks  *metrics.Counter
 	uploadedBytes   *metrics.Counter
 	dupChunks       *metrics.Counter
@@ -40,6 +48,11 @@ func newAgentMetrics(mode Mode) *agentMetrics {
 		insertLat:    reg.DurationHistogram("agent_index_insert_seconds", "mode", m),
 		manifestLat:  reg.DurationHistogram("agent_manifest_put_seconds", "mode", m),
 		streamLat:    reg.DurationHistogram("agent_stream_seconds", "mode", m),
+
+		hashBusy:           reg.Gauge("agent_hash_workers_busy", "mode", m),
+		lookupInflight:     reg.Gauge("agent_lookups_inflight", "mode", m),
+		uploadQueue:        reg.Gauge("agent_upload_queue_batches", "mode", m),
+		lookupInflightHist: reg.Histogram("agent_lookup_inflight_batches", "mode", m),
 
 		uploadedChunks:  reg.Counter("agent_uploaded_chunks_total", "mode", m),
 		uploadedBytes:   reg.Counter("agent_uploaded_bytes_total", "mode", m),

@@ -1,0 +1,622 @@
+package agent
+
+// The per-stream dedup pipeline, restructured as concurrent stages
+// connected by bounded channels (cf. the pipelined/parallel fingerprinting
+// designs of THR and P-Dedupe):
+//
+//	chunker (caller goroutine, SplitRaw)
+//	   │  hashOrder (FIFO, cap 2·HashWorkers+hashOrderSlack) + hashJobs (cap HashWorkers)
+//	   ▼
+//	hash workers ×HashWorkers — SHA-256 per chunk
+//	   ▼  ordered delivery: collector waits each hashOrder job's done token
+//	collector — manifest append, intra-stream dedup, lookup batching
+//	   │  lookupOrder (FIFO, cap LookupInflight) + lookupJobs (cap LookupInflight)
+//	   ▼
+//	lookup workers ×LookupInflight — ring/cloud BatchHas (downgrade ladder)
+//	   ▼  ordered delivery via lookupOrder done tokens
+//	router — duplicate suppression, upload batching
+//	   │  uploads (cap 4 batches)
+//	   ▼
+//	uploader — BatchUpload, acknowledged accounting, ring index registration
+//
+// Ordering guarantee: the collector and router consume their stages'
+// output strictly in stream order (jobs enter the FIFO channel before the
+// work channel and carry a done token), so the manifest, the seen-map
+// decisions, upload batch composition and Report counters are identical
+// to the sequential pipeline's, bit for bit, for any HashWorkers and
+// LookupInflight — only wall-clock overlap changes.
+//
+// Memory bound: chunk payloads live in the chunk-buffer arena and are
+// released exactly once — by the collector (intra-stream duplicate), the
+// router (index-known duplicate), the uploader (after the cloud acked or
+// failed the batch), or a draining stage after a fatal error. In-flight
+// payloads are capped by the channel bounds:
+//
+//	inflight chunks ≤ (2·HashWorkers+hashOrderSlack) + 1  — hash stage
+//	                + (LookupInflight+1)·LookupBatch       — lookup stage
+//	                + (uploadQueueDepth+2)·UploadBatch     — upload stage
+//
+// each at most one max-size chunk.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"efdedup/internal/chunk"
+	"efdedup/internal/kvstore"
+	"efdedup/internal/metrics"
+)
+
+// uploadQueueDepth is the upload channel's batch capacity (the +2 in the
+// memory bound: one batch accumulating in the router, one in the
+// uploader's hands).
+const uploadQueueDepth = 4
+
+// hashOrderSlack is extra hashOrder buffering beyond the hash workers'
+// own queue. It lets the chunker and the collector run in long bursts
+// instead of lockstep per-chunk handoffs — on machines where GOMAXPROCS
+// exceeds the physical cores, every handoff that blocks is a thread
+// switch, and a shallow FIFO was measurably the bottleneck.
+const hashOrderSlack = 62
+
+// hashJob carries one chunk from the chunker through a hash worker to
+// the ordered collector. done is buffered (capacity 1) and receives one
+// token when the ID is computed; jobs recycle through hashJobPool with
+// their done channel intact.
+type hashJob struct {
+	c    chunk.Chunk
+	done chan struct{}
+}
+
+var hashJobPool = sync.Pool{New: func() any { return &hashJob{done: make(chan struct{}, 1)} }}
+
+// lookupJob carries one lookup batch from the collector through a lookup
+// worker to the ordered router.
+type lookupJob struct {
+	batch []chunk.Chunk
+	known []bool
+	err   error
+	done  chan struct{}
+}
+
+var lookupJobPool = sync.Pool{New: func() any { return &lookupJob{done: make(chan struct{}, 1)} }}
+
+// releaseChunk returns a chunk payload to the chunk-buffer arena. Safe
+// for payloads that did not come from the arena (legacy Split chunkers
+// hand out fresh slices we own by contract; recycling them is allowed).
+func releaseChunk(c chunk.Chunk) { chunk.Raw{Data: c.Data}.Release() }
+
+// pipeline is one stream's staged state machine. The fields below are
+// partitioned by owning stage; cross-stage values are atomic and folded
+// into rep by finish(), which runs after every stage has exited.
+type pipeline struct {
+	a   *Agent
+	ctx context.Context
+
+	// Collector-owned (read by finish after the stage-exit chain).
+	rep        Report
+	manifest   []chunk.ID
+	seen       map[chunk.ID]bool
+	cur        *lookupJob
+	lastArrive time.Time
+
+	// Cross-stage counters.
+	dupChunks       atomic.Int64
+	degradedLookups atomic.Int64
+	downgrades      atomic.Int64
+	recoveries      atomic.Int64
+	lookupsInflight atomic.Int64
+
+	// inlineHash short-circuits the hash stage when it has exactly one
+	// worker: the chunker hashes in place, skipping two channel
+	// handoffs per chunk that buy no parallelism.
+	inlineHash bool
+
+	// stop is closed at the first fatal error: the chunker aborts and
+	// the downstream stages drain, releasing payloads unprocessed.
+	stop     chan struct{}
+	stopOnce sync.Once
+	fatalMu  sync.Mutex
+	fatalErr error
+
+	hashJobs  chan *hashJob
+	hashOrder chan *hashJob
+
+	lookupJobs  chan *lookupJob
+	lookupOrder chan *lookupJob
+
+	// Stage-exit joins: closed when the collector / router goroutine
+	// returns. finish waits on both — the uploadErr buffer alone is not
+	// a join point, because a failing uploader reports its error before
+	// the upstream stages have drained.
+	collectDone chan struct{}
+	routeDone   chan struct{}
+
+	// Router-owned.
+	pendingUpload []chunk.Chunk
+
+	uploads   chan []chunk.Chunk
+	uploadErr chan error
+
+	// Written by the uploader goroutine, read by finish() after the
+	// uploader exits: only chunks the cloud acknowledged are counted, so
+	// Report.Uploaded* matches the store's contents even when a stream
+	// aborts mid-upload.
+	uploadedChunks atomic.Int64
+	uploadedBytes  atomic.Int64
+
+	indexWG          sync.WaitGroup
+	indexMu          sync.Mutex
+	indexErr         error
+	indexSem         chan struct{}
+	indexInsertFails atomic.Int64
+}
+
+func (a *Agent) newPipeline(ctx context.Context, name string) *pipeline {
+	hw := a.cfg.HashWorkers
+	li := a.cfg.LookupInflight
+	p := &pipeline{
+		a:           a,
+		ctx:         ctx,
+		rep:         Report{Name: name},
+		seen:        make(map[chunk.ID]bool),
+		lastArrive:  time.Now(),
+		stop:        make(chan struct{}),
+		hashJobs:    make(chan *hashJob, hw),
+		hashOrder:   make(chan *hashJob, 2*hw+hashOrderSlack),
+		lookupJobs:  make(chan *lookupJob, li),
+		lookupOrder: make(chan *lookupJob, li),
+		collectDone: make(chan struct{}),
+		routeDone:   make(chan struct{}),
+		uploads:     make(chan []chunk.Chunk, uploadQueueDepth),
+		uploadErr:   make(chan error, 1),
+		indexSem:    make(chan struct{}, 4),
+	}
+	p.inlineHash = hw == 1
+	if !p.inlineHash {
+		for i := 0; i < hw; i++ {
+			go p.hashWorker()
+		}
+	}
+	go p.collect()
+	for i := 0; i < li; i++ {
+		go p.lookupWorker()
+	}
+	go p.route()
+	go p.upload()
+	return p
+}
+
+// fail records the first fatal error and flips the pipeline into drain
+// mode.
+func (p *pipeline) fail(err error) {
+	p.fatalMu.Lock()
+	if p.fatalErr == nil {
+		p.fatalErr = err
+	}
+	p.fatalMu.Unlock()
+	p.stopOnce.Do(func() { close(p.stop) })
+}
+
+func (p *pipeline) fatal() error {
+	p.fatalMu.Lock()
+	defer p.fatalMu.Unlock()
+	return p.fatalErr
+}
+
+func (p *pipeline) aborted() bool {
+	select {
+	case <-p.stop:
+		return true
+	default:
+		return false
+	}
+}
+
+// run drives the chunker. RawChunkers feed the hash workers unhashed
+// pooled payloads; legacy Chunkers arrive pre-hashed and skip the hash
+// stage (their jobs enter the FIFO with the done token pre-filled).
+func (p *pipeline) run(r io.Reader) error {
+	if rc, ok := p.a.cfg.Chunker.(chunk.RawChunker); ok {
+		return rc.SplitRaw(r, p.addRaw)
+	}
+	return p.a.cfg.Chunker.Split(r, p.addHashed)
+}
+
+// addRaw receives one unhashed chunk from the chunker, in stream order.
+// Ownership of the payload transfers to the hash stage.
+func (p *pipeline) addRaw(raw chunk.Raw) error {
+	if p.aborted() {
+		raw.Release()
+		return p.fatal()
+	}
+	job := hashJobPool.Get().(*hashJob)
+	job.c = chunk.Chunk{Offset: raw.Offset, Data: raw.Data}
+	if p.inlineHash {
+		job.c.ID = chunk.Sum(job.c.Data)
+		job.done <- struct{}{}
+		p.hashOrder <- job
+		return nil
+	}
+	// FIFO first: the collector must see jobs in stream order, and the
+	// order channel's bound is what caps in-flight chunks.
+	p.hashOrder <- job
+	p.hashJobs <- job
+	return nil
+}
+
+// addHashed receives one pre-hashed chunk from a legacy Chunker.
+func (p *pipeline) addHashed(c chunk.Chunk) error {
+	if p.aborted() {
+		return p.fatal()
+	}
+	job := hashJobPool.Get().(*hashJob)
+	job.c = c
+	job.done <- struct{}{}
+	p.hashOrder <- job
+	return nil
+}
+
+// hashWorker computes content IDs for unhashed jobs.
+func (p *pipeline) hashWorker() {
+	for job := range p.hashJobs {
+		p.a.met.hashBusy.Add(1)
+		job.c.ID = chunk.Sum(job.c.Data)
+		p.a.met.hashBusy.Add(-1)
+		job.done <- struct{}{}
+	}
+}
+
+// collect consumes hashed chunks in stream order: manifest append,
+// intra-stream duplicate suppression, lookup batching. It owns the
+// lookup stage's input channels and closes them on the way out.
+func (p *pipeline) collect() {
+	defer close(p.collectDone)
+	for job := range p.hashOrder {
+		<-job.done
+		c := job.c
+		job.c = chunk.Chunk{}
+		hashJobPool.Put(job)
+
+		p.a.met.chunkProduce.ObserveDuration(time.Since(p.lastArrive))
+		p.lastArrive = time.Now()
+		p.a.met.chunkBytes.Observe(int64(len(c.Data)))
+
+		p.manifest = append(p.manifest, c.ID)
+		p.rep.InputBytes += int64(len(c.Data))
+		p.rep.InputChunks++
+		if p.aborted() {
+			releaseChunk(c)
+			continue
+		}
+		if p.seen[c.ID] {
+			p.dupChunks.Add(1)
+			p.a.met.dupChunks.Inc()
+			releaseChunk(c)
+			continue
+		}
+		p.seen[c.ID] = true
+		if p.cur == nil {
+			p.cur = lookupJobPool.Get().(*lookupJob)
+		}
+		p.cur.batch = append(p.cur.batch, c)
+		if len(p.cur.batch) >= p.a.cfg.LookupBatch {
+			p.dispatchLookup()
+		}
+	}
+	if !p.aborted() {
+		p.dispatchLookup() // partial tail batch
+	} else if p.cur != nil {
+		for _, c := range p.cur.batch {
+			releaseChunk(c)
+		}
+		putLookupJob(p.cur)
+		p.cur = nil
+	}
+	close(p.lookupJobs)
+	close(p.lookupOrder)
+}
+
+// dispatchLookup hands the accumulating batch to the lookup workers,
+// keeping at most LookupInflight batches in flight (the order channel's
+// capacity provides the backpressure).
+func (p *pipeline) dispatchLookup() {
+	job := p.cur
+	if job == nil || len(job.batch) == 0 {
+		return
+	}
+	p.cur = nil
+	n := p.lookupsInflight.Add(1)
+	p.a.met.lookupInflight.Set(n)
+	p.a.met.lookupInflightHist.Observe(n)
+	p.lookupOrder <- job
+	p.lookupJobs <- job
+}
+
+// lookupWorker resolves batches against the index, walking the
+// downgrade ladder on ring failures.
+func (p *pipeline) lookupWorker() {
+	for job := range p.lookupJobs {
+		sp := metrics.StartTimer(p.a.met.lookupLat)
+		job.known, job.err = p.lookup(job.batch)
+		sp.End()
+		p.a.met.lookupBatch.Observe(int64(len(job.batch)))
+		p.a.met.lookupInflight.Set(p.lookupsInflight.Add(-1))
+		job.done <- struct{}{}
+	}
+}
+
+func putLookupJob(job *lookupJob) {
+	job.batch = job.batch[:0]
+	job.known = nil
+	job.err = nil
+	lookupJobPool.Put(job)
+}
+
+// route consumes resolved batches in stream order, suppresses
+// index-known duplicates and feeds the uploader. It owns the uploads
+// channel and closes it on the way out.
+func (p *pipeline) route() {
+	defer close(p.routeDone)
+	for job := range p.lookupOrder {
+		<-job.done
+		switch {
+		case job.err != nil:
+			p.fail(job.err)
+			fallthrough
+		case p.aborted():
+			for _, c := range job.batch {
+				releaseChunk(c)
+			}
+		default:
+			for i, c := range job.batch {
+				if job.known[i] {
+					p.dupChunks.Add(1)
+					p.a.met.dupChunks.Inc()
+					releaseChunk(c)
+					continue
+				}
+				p.pendingUpload = append(p.pendingUpload, c)
+				if len(p.pendingUpload) >= p.a.cfg.UploadBatch {
+					p.queueUpload()
+				}
+			}
+		}
+		putLookupJob(job)
+	}
+	if !p.aborted() {
+		p.queueUpload() // partial tail batch
+	} else {
+		for _, c := range p.pendingUpload {
+			releaseChunk(c)
+		}
+		p.pendingUpload = nil
+	}
+	close(p.uploads)
+}
+
+// queueUpload hands the pending chunks to the asynchronous uploader.
+// Upload accounting happens in the uploader itself, on acknowledgement —
+// counting here would credit chunks that a failed or aborted upload
+// never delivered, so Report could claim more than the cloud held.
+func (p *pipeline) queueUpload() {
+	if len(p.pendingUpload) == 0 {
+		return
+	}
+	batch := make([]chunk.Chunk, len(p.pendingUpload))
+	copy(batch, p.pendingUpload)
+	p.a.met.uploadQueue.Add(1)
+	p.uploads <- batch
+	p.pendingUpload = p.pendingUpload[:0]
+}
+
+// upload ships batches to the cloud. A batch's chunks are counted and
+// its hashes registered in the ring index only after the cloud
+// acknowledges it; payloads return to the arena either way.
+func (p *pipeline) upload() {
+	defer close(p.uploadErr)
+	for batch := range p.uploads {
+		p.a.met.uploadQueue.Add(-1)
+		sp := metrics.StartTimer(p.a.met.uploadLat)
+		_, err := p.a.cfg.Cloud.BatchUpload(p.ctx, batch)
+		sp.End()
+		if err != nil {
+			for _, c := range batch {
+				releaseChunk(c)
+			}
+			p.uploadErr <- fmt.Errorf("agent: upload batch: %w", err)
+			// Drain remaining batches so the producer never blocks.
+			// Dropped batches are deliberately not counted: they never
+			// reached the cloud.
+			for batch := range p.uploads {
+				p.a.met.uploadQueue.Add(-1)
+				for _, c := range batch {
+					releaseChunk(c)
+				}
+			}
+			return
+		}
+		var batchBytes int64
+		for _, c := range batch {
+			batchBytes += int64(len(c.Data))
+		}
+		p.uploadedChunks.Add(int64(len(batch)))
+		p.uploadedBytes.Add(batchBytes)
+		p.a.met.uploadedChunks.Add(int64(len(batch)))
+		p.a.met.uploadedBytes.Add(batchBytes)
+		p.a.met.uploadBatch.Observe(int64(len(batch)))
+		// Payloads are dead once the cloud acked the batch; only the
+		// content IDs flow on to the ring index.
+		for _, c := range batch {
+			releaseChunk(c)
+		}
+		// Only now — with the batch durable in the cloud — are its
+		// hashes registered in the ring index. Registering at lookup
+		// time could advertise chunks that a mid-stream abort never
+		// uploaded, making peers skip uploads for data the cloud does
+		// not hold.
+		if p.a.cfg.Mode == ModeRing {
+			p.registerFresh(batch)
+		}
+	}
+}
+
+// registerFresh records the batch's hashes in the ring index, off the
+// critical path (our own later batches are covered by the local seen
+// set). Called from the uploader goroutine strictly after the batch was
+// acknowledged by the cloud, preserving the invariant that the index
+// never references a chunk the cloud lacks.
+func (p *pipeline) registerFresh(batch []chunk.Chunk) {
+	keys := make([][]byte, len(batch))
+	values := make([][]byte, len(batch))
+	// One owner-name conversion for the whole batch: BatchPut encodes
+	// values into the wire body without retaining or mutating them, so
+	// every entry can share the same backing bytes (hotalloc).
+	owner := []byte(p.a.cfg.Name)
+	for i, c := range batch {
+		id := c.ID
+		keys[i] = id[:]
+		values[i] = owner
+	}
+	p.indexSem <- struct{}{}
+	p.indexWG.Add(1)
+	go func() {
+		defer p.indexWG.Done()
+		defer func() { <-p.indexSem }()
+		sp := metrics.StartTimer(p.a.met.insertLat)
+		err := p.a.cfg.Index.BatchPut(p.ctx, keys, values)
+		sp.End()
+		if err == nil {
+			return
+		}
+		// A missed insert only costs future dedup hits (peers re-upload
+		// those chunks), so in degraded-tolerant mode it is counted, not
+		// fatal. Cancellation stays fatal so aborted streams abort.
+		if p.a.cfg.StrictRing || p.ctx.Err() != nil {
+			p.indexMu.Lock()
+			if p.indexErr == nil {
+				p.indexErr = fmt.Errorf("agent: index insert: %w", err)
+			}
+			p.indexMu.Unlock()
+			return
+		}
+		// A partial write names exactly the under-replicated keys; only
+		// those count as failures. Anything else loses the whole batch.
+		failed := int64(len(keys))
+		var partial *kvstore.PartialWriteError
+		if errors.As(err, &partial) {
+			failed = int64(len(partial.FailedKeys))
+		}
+		p.indexInsertFails.Add(failed)
+		p.a.met.insertFails.Add(failed)
+	}()
+}
+
+// finish joins the stage-exit chain and reports the first error among
+// the stream error, fatal stage errors, upload failures and index
+// failures. The chain — chunker done → hash stage closed → collector
+// exits (closing the lookup stage) → router exits (closing uploads) →
+// uploader exits (closing uploadErr) — also sequences the memory model:
+// every stage's writes happen before finish reads them.
+func (p *pipeline) finish(streamErr error) (Report, error) {
+	if streamErr != nil {
+		p.fail(streamErr)
+	}
+	close(p.hashJobs)
+	close(p.hashOrder)
+	<-p.collectDone
+	<-p.routeDone
+	uploadFailure := <-p.uploadErr
+	p.indexWG.Wait()
+	p.rep.DuplicateChunks = p.dupChunks.Load()
+	p.rep.UploadedChunks = p.uploadedChunks.Load()
+	p.rep.UploadedBytes = p.uploadedBytes.Load()
+	p.rep.Downgrades = p.downgrades.Load()
+	p.rep.Recoveries = p.recoveries.Load()
+	p.rep.DegradedLookups = p.degradedLookups.Load()
+	p.rep.IndexInsertFailures = p.indexInsertFails.Load()
+	p.indexMu.Lock()
+	indexFailure := p.indexErr
+	p.indexMu.Unlock()
+	switch {
+	case streamErr != nil:
+		return p.rep, streamErr
+	case p.fatal() != nil:
+		// A stage failed (e.g. a lookup batch) after the chunker had
+		// already finished, so no stream error carried it here.
+		return p.rep, p.fatal()
+	case uploadFailure != nil:
+		return p.rep, uploadFailure
+	case indexFailure != nil:
+		return p.rep, indexFailure
+	}
+	return p.rep, nil
+}
+
+// lookup answers which chunks in the batch are already indexed.
+//
+// In ModeRing (without StrictRing) it walks a downgrade ladder instead of
+// failing the stream: ring index → cloud-assisted lookup → assume-fresh.
+// Every rung preserves correctness — a chunk wrongly treated as fresh is
+// re-deduplicated by the cloud's own index on upload — so ring outages
+// cost WAN bytes, never data. The ring is still tried first on every
+// batch: while its breakers are open those attempts fail fast, and the
+// first one that succeeds after an outage is the recovery transition.
+// Called concurrently by up to LookupInflight workers; all accounting is
+// atomic.
+func (p *pipeline) lookup(batch []chunk.Chunk) ([]bool, error) {
+	a := p.a
+	switch a.cfg.Mode {
+	case ModeRing:
+		keys := make([][]byte, len(batch))
+		for i := range batch {
+			id := batch[i].ID
+			keys[i] = id[:]
+		}
+		known, err := a.cfg.Index.BatchHas(p.ctx, keys)
+		if err == nil {
+			if a.noteRecovery() {
+				p.recoveries.Add(1)
+				a.met.recoveries.Inc()
+			}
+			return known, nil
+		}
+		if p.ctx.Err() != nil || a.cfg.StrictRing {
+			return nil, fmt.Errorf("agent: ring lookup: %w", err)
+		}
+		if a.noteDowngrade() {
+			p.downgrades.Add(1)
+			a.met.downgrades.Inc()
+		}
+		p.degradedLookups.Add(int64(len(batch)))
+		a.met.degradedLookups.Add(int64(len(batch)))
+		fallthrough
+	case ModeCloudAssisted:
+		ids := make([]chunk.ID, len(batch))
+		for i := range batch {
+			ids[i] = batch[i].ID
+		}
+		known, err := a.cfg.Cloud.BatchHas(p.ctx, ids)
+		if err == nil {
+			return known, nil
+		}
+		if a.cfg.Mode == ModeCloudAssisted {
+			// The cloud is this mode's only index; nothing to fall back to
+			// but the uploader, which needs the same cloud anyway.
+			return nil, fmt.Errorf("agent: cloud lookup: %w", err)
+		}
+		if p.ctx.Err() != nil {
+			return nil, fmt.Errorf("agent: cloud lookup: %w", err)
+		}
+		// Bottom rung: assume every chunk fresh and let the cloud's own
+		// index dedup on upload (ModeCloudOnly semantics per batch).
+		return make([]bool, len(batch)), nil
+	default:
+		return nil, fmt.Errorf("%w: lookup in mode %s", ErrConfig, a.cfg.Mode)
+	}
+}

@@ -15,7 +15,10 @@ type FixedChunker struct {
 	size int
 }
 
-var _ Chunker = (*FixedChunker)(nil)
+var (
+	_ Chunker    = (*FixedChunker)(nil)
+	_ RawChunker = (*FixedChunker)(nil)
+)
 
 // NewFixedChunker returns a chunker producing size-byte chunks. size must
 // be positive.
@@ -42,6 +45,32 @@ func (f *FixedChunker) Split(r io.Reader, emit func(Chunk) error) error {
 				return cbErr
 			}
 			offset += int64(n)
+		}
+		switch err {
+		case nil:
+			continue
+		case io.EOF, io.ErrUnexpectedEOF:
+			return nil
+		default:
+			return fmt.Errorf("chunk: read input: %w", err)
+		}
+	}
+}
+
+// SplitRaw implements RawChunker: same boundaries as Split, but the
+// payloads are pooled and unhashed (see Raw).
+func (f *FixedChunker) SplitRaw(r io.Reader, emit func(Raw) error) error {
+	var offset int64
+	for {
+		buf := getBuf(f.size)[:f.size]
+		n, err := io.ReadFull(r, buf)
+		if n > 0 {
+			if cbErr := emit(Raw{Offset: offset, Data: buf[:n]}); cbErr != nil {
+				return cbErr
+			}
+			offset += int64(n)
+		} else {
+			putBuf(buf)
 		}
 		switch err {
 		case nil:

@@ -1,7 +1,6 @@
 package chunk
 
 import (
-	"bufio"
 	"fmt"
 	"io"
 )
@@ -13,6 +12,9 @@ const (
 	DefaultGearTarget = 8 * 1024
 	DefaultGearMax    = 64 * 1024
 )
+
+// gearReadBlock is the size of the input block the scanner rolls over.
+const gearReadBlock = 64 * 1024
 
 // GearChunker is a content-defined chunker based on a gear rolling hash
 // (as in FastCDC). A boundary is declared whenever the rolling hash has its
@@ -27,7 +29,10 @@ type GearChunker struct {
 	table            [256]uint64
 }
 
-var _ Chunker = (*GearChunker)(nil)
+var (
+	_ Chunker    = (*GearChunker)(nil)
+	_ RawChunker = (*GearChunker)(nil)
+)
 
 // NewGearChunker returns a CDC chunker with the given minimum, average
 // (power of two) and maximum chunk sizes.
@@ -75,43 +80,101 @@ func gearTable() [256]uint64 {
 	return t
 }
 
-// Split implements Chunker.
+// Split implements Chunker. Payloads are freshly allocated copies the
+// caller owns (the documented Chunk contract); the dedup pipeline uses
+// SplitRaw instead to skip both the copy and the inline hash.
 func (g *GearChunker) Split(r io.Reader, emit func(Chunk) error) error {
-	br := bufio.NewReaderSize(r, 64*1024)
+	return g.SplitRaw(r, func(raw Raw) error {
+		data := make([]byte, len(raw.Data))
+		copy(data, raw.Data)
+		raw.Release()
+		return emit(Chunk{ID: Sum(data), Offset: raw.Offset, Data: data})
+	})
+}
+
+// SplitRaw implements RawChunker: it finds the same boundaries as Split
+// but emits pooled, unhashed payloads. The gear hash rolls over buffered
+// input blocks in a tight index loop — one table lookup, one shift-add
+// and two compares per byte, no per-byte reader or append calls — and
+// each chunk's bytes are copied into its arena buffer once per block
+// segment rather than once per byte.
+func (g *GearChunker) SplitRaw(r io.Reader, emit func(Raw) error) error {
 	var (
 		offset int64
-		buf    = make([]byte, 0, g.max)
 		hash   uint64
+		cur    = getBuf(g.max)
+		block  = make([]byte, gearReadBlock)
 	)
+	// flush emits cur as one chunk; ownership of the buffer moves to
+	// emit, so a fresh arena buffer replaces it.
 	flush := func() error {
-		if len(buf) == 0 {
-			return nil
-		}
-		data := make([]byte, len(buf))
-		copy(data, buf)
-		c := Chunk{ID: Sum(data), Offset: offset, Data: data}
-		offset += int64(len(data))
-		buf = buf[:0]
+		n := len(cur)
+		err := emit(Raw{Offset: offset, Data: cur})
+		offset += int64(n)
+		cur = getBuf(g.max)
 		hash = 0
-		return emit(c)
+		return err
 	}
+	table := &g.table
+	mask := g.mask
 	for {
-		b, err := br.ReadByte()
-		if err == io.EOF {
-			if fErr := flush(); fErr != nil {
-				return fErr
+		n, rdErr := r.Read(block)
+		seg := block[:n]
+		// start marks the beginning of the unconsumed tail of seg: bytes
+		// scanned past it belong to the current chunk but have not been
+		// copied into cur yet.
+		start := 0
+		for start < len(seg) {
+			// Absolute indices at which the current chunk reaches the
+			// minimum and maximum lengths: a boundary can only fire at
+			// i ≥ minI, and is forced at i == maxI. Splitting the scan at
+			// minI keeps the sub-minimum phase free of boundary tests —
+			// the same boundaries as the single-loop form, faster.
+			minI := start + g.min - len(cur) - 1
+			maxI := start + g.max - len(cur) - 1
+			i := start
+			if stop := min(minI, len(seg)); i < stop {
+				for ; i < stop; i++ {
+					hash = hash<<1 + table[seg[i]]
+				}
 			}
+			boundary := -1
+			stop := min(maxI, len(seg)-1)
+			for ; i <= stop; i++ {
+				hash = hash<<1 + table[seg[i]]
+				if hash&mask == 0 {
+					boundary = i
+					break
+				}
+			}
+			if boundary < 0 {
+				if stop != maxI {
+					break // segment exhausted mid-chunk
+				}
+				boundary = maxI // forced max-size boundary
+			}
+			cur = append(cur, seg[start:boundary+1]...)
+			start = boundary + 1
+			if err := flush(); err != nil {
+				putBuf(cur)
+				return err
+			}
+		}
+		cur = append(cur, seg[start:]...)
+		switch rdErr {
+		case nil:
+		case io.EOF:
+			if len(cur) > 0 {
+				if err := flush(); err != nil {
+					putBuf(cur)
+					return err
+				}
+			}
+			putBuf(cur)
 			return nil
-		}
-		if err != nil {
-			return fmt.Errorf("chunk: read input: %w", err)
-		}
-		buf = append(buf, b)
-		hash = (hash << 1) + g.table[b]
-		if len(buf) >= g.min && hash&g.mask == 0 || len(buf) >= g.max {
-			if fErr := flush(); fErr != nil {
-				return fErr
-			}
+		default:
+			putBuf(cur)
+			return fmt.Errorf("chunk: read input: %w", rdErr)
 		}
 	}
 }

@@ -1,0 +1,99 @@
+package chunk
+
+import (
+	"io"
+	"math/bits"
+	"sync"
+)
+
+// Buffer pooling for the raw-chunk path. SplitRaw hands out chunk
+// payloads backed by a size-classed sync.Pool arena instead of a fresh
+// make+copy per chunk, eliminating the dominant per-chunk allocation on
+// the dedup hot path. Pooling is an internal contract between the
+// chunkers and the agent pipeline: the public Chunk API is unchanged
+// (Split still hands out freshly allocated slices the caller owns), and
+// a Raw payload returns to the arena only through an explicit Release
+// once its chunk has been uploaded or deduplicated.
+
+// Raw is one chunk boundary before hashing: the payload and its stream
+// offset, but no content ID yet. Computing SHA-256 is the consumer's
+// job, which lets a pipeline fan hashing out across workers instead of
+// paying it on the chunker goroutine.
+//
+// Data is backed by the chunk buffer arena. The receiver of a Raw owns
+// it and must call Release exactly once when the payload is dead (after
+// upload, or on discovering it is a duplicate); after Release the slice
+// contents may be overwritten by a later chunk.
+type Raw struct {
+	// Offset is the byte offset of the chunk in the original stream.
+	Offset int64
+	// Data is the chunk payload, valid until Release.
+	Data []byte
+}
+
+// Release returns the payload's storage to the arena. The Raw (and any
+// Chunk aliasing its Data) must not be used afterwards.
+func (r Raw) Release() { putBuf(r.Data) }
+
+// RawChunker is implemented by chunkers that can emit unhashed chunks
+// with pooled payloads. Like Split, SplitRaw invokes emit in stream
+// order and stops on the callback's error; unlike Split, ownership of
+// each payload transfers to the callback (see Raw).
+type RawChunker interface {
+	SplitRaw(r io.Reader, emit func(Raw) error) error
+}
+
+// The arena: one sync.Pool per power-of-two capacity class. Chunk
+// geometries are known up front (a chunker's max size), so buffers are
+// allocated at the class ceiling and resliced; putBuf files a buffer
+// back under its capacity class. Classes below 512 B are not pooled —
+// no supported geometry produces them.
+const (
+	minPoolClass = 9  // 512 B
+	maxPoolClass = 26 // 64 MiB
+)
+
+var bufPools [maxPoolClass + 1]sync.Pool
+
+// poolClass returns the index of the smallest class holding n bytes, or
+// -1 when n is outside the pooled range.
+func poolClass(n int) int {
+	if n <= 0 || n > 1<<maxPoolClass {
+		return -1
+	}
+	c := bits.Len(uint(n - 1))
+	if c < minPoolClass {
+		c = minPoolClass
+	}
+	return c
+}
+
+// getBuf returns a zero-length buffer with capacity ≥ n, reusing a
+// pooled one when available.
+func getBuf(n int) []byte {
+	c := poolClass(n)
+	if c < 0 {
+		return make([]byte, 0, n)
+	}
+	if b, ok := bufPools[c].Get().(*[]byte); ok {
+		return (*b)[:0]
+	}
+	return make([]byte, 0, 1<<c)
+}
+
+// putBuf files b's storage back into its capacity class. Buffers whose
+// capacity is not an exact class size did not come from the arena (or
+// were resliced past recognition) and are dropped for the GC instead —
+// Release therefore tolerates foreign slices.
+func putBuf(b []byte) {
+	c := cap(b)
+	if c == 0 || c&(c-1) != 0 {
+		return
+	}
+	cls := bits.Len(uint(c - 1))
+	if cls < minPoolClass || cls > maxPoolClass {
+		return
+	}
+	full := b[:0:c]
+	bufPools[cls].Put(&full)
+}

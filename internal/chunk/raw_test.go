@@ -1,0 +1,205 @@
+package chunk
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+// rawEquivalence asserts SplitRaw finds byte-identical chunks (offsets,
+// lengths, content hashes) to Split on the same input.
+func rawEquivalence(t *testing.T, c interface {
+	Chunker
+	RawChunker
+}, data []byte) {
+	t.Helper()
+	want, err := SplitBytes(c, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []Chunk
+	err = c.SplitRaw(bytes.NewReader(data), func(r Raw) error {
+		// Copy before Release: the payload is only valid until then.
+		d := make([]byte, len(r.Data))
+		copy(d, r.Data)
+		r.Release()
+		got = append(got, Chunk{ID: Sum(d), Offset: r.Offset, Data: d})
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("SplitRaw produced %d chunks, Split produced %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Offset != want[i].Offset || got[i].ID != want[i].ID {
+			t.Fatalf("chunk %d diverges: raw (off=%d id=%s) vs split (off=%d id=%s)",
+				i, got[i].Offset, got[i].ID, want[i].Offset, want[i].ID)
+		}
+	}
+	if re, err := Reassemble(got); err != nil || !bytes.Equal(re, data) {
+		t.Fatalf("raw chunks do not reassemble to the input (err=%v)", err)
+	}
+}
+
+func TestGearSplitRawMatchesSplit(t *testing.T) {
+	g := NewDefaultGearChunker()
+	rng := rand.New(rand.NewSource(5))
+	for _, size := range []int{0, 1, 100, DefaultGearMin, DefaultGearMax,
+		DefaultGearMax + 1, 300*1024 + 7} {
+		data := make([]byte, size)
+		rng.Read(data)
+		rawEquivalence(t, g, data)
+	}
+	// Constant input maximizes max-size boundaries.
+	rawEquivalence(t, g, bytes.Repeat([]byte{0xAB}, 200*1024))
+}
+
+func TestGearSplitRawSmallGeometry(t *testing.T) {
+	g, err := NewGearChunker(64, 256, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(6))
+	data := make([]byte, 37*1024+13)
+	rng.Read(data)
+	rawEquivalence(t, g, data)
+}
+
+func TestFixedSplitRawMatchesSplit(t *testing.T) {
+	f, err := NewFixedChunker(4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	for _, size := range []int{0, 1, 4095, 4096, 4097, 100 * 1024} {
+		data := make([]byte, size)
+		rng.Read(data)
+		rawEquivalence(t, f, data)
+	}
+}
+
+// TestGearSplitRawChoppyReader feeds the scanner tiny irregular reads so
+// block refills land mid-chunk.
+func TestGearSplitRawChoppyReader(t *testing.T) {
+	g := NewDefaultGearChunker()
+	rng := rand.New(rand.NewSource(8))
+	data := make([]byte, 150*1024)
+	rng.Read(data)
+
+	want, err := SplitBytes(g, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []Chunk
+	err = g.SplitRaw(iotestChoppy{bytes.NewReader(data), rand.New(rand.NewSource(9))}, func(r Raw) error {
+		d := append([]byte(nil), r.Data...)
+		r.Release()
+		got = append(got, Chunk{ID: Sum(d), Offset: r.Offset, Data: d})
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("choppy reads changed chunking: %d vs %d chunks", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].ID != want[i].ID {
+			t.Fatalf("chunk %d diverges under choppy reads", i)
+		}
+	}
+}
+
+// iotestChoppy yields 1..97 bytes per read.
+type iotestChoppy struct {
+	r   *bytes.Reader
+	rng *rand.Rand
+}
+
+func (c iotestChoppy) Read(p []byte) (int, error) {
+	n := 1 + c.rng.Intn(97)
+	if n > len(p) {
+		n = len(p)
+	}
+	return c.r.Read(p[:n])
+}
+
+// TestSplitRawEmitError checks early-abort paths surface the callback
+// error and do not panic on buffer cleanup.
+func TestSplitRawEmitError(t *testing.T) {
+	g := NewDefaultGearChunker()
+	data := make([]byte, 256*1024)
+	rand.New(rand.NewSource(10)).Read(data)
+	boom := errors.New("boom")
+	calls := 0
+	err := g.SplitRaw(bytes.NewReader(data), func(r Raw) error {
+		r.Release()
+		calls++
+		if calls == 2 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("emit error not surfaced: %v", err)
+	}
+	if calls != 2 {
+		t.Fatalf("emit called %d times after abort, want 2", calls)
+	}
+}
+
+// TestSplitRawReadError: a failing reader surfaces its error.
+func TestSplitRawReadError(t *testing.T) {
+	g := NewDefaultGearChunker()
+	broken := errors.New("disk on fire")
+	var emitted int
+	err := g.SplitRaw(&failAfter{data: bytes.Repeat([]byte{1}, 200 * 1024), fail: broken}, func(r Raw) error {
+		r.Release()
+		emitted++
+		return nil
+	})
+	if !errors.Is(err, broken) {
+		t.Fatalf("read error not surfaced: %v", err)
+	}
+	if emitted == 0 {
+		t.Fatal("no chunks emitted before the failure")
+	}
+}
+
+type failAfter struct {
+	data []byte
+	fail error
+}
+
+func (f *failAfter) Read(p []byte) (int, error) {
+	if len(f.data) == 0 {
+		return 0, f.fail
+	}
+	n := copy(p, f.data)
+	f.data = f.data[n:]
+	return n, nil
+}
+
+func TestBufferPoolRoundTrip(t *testing.T) {
+	b := getBuf(DefaultGearMax)
+	if cap(b) < DefaultGearMax {
+		t.Fatalf("getBuf(%d) capacity %d", DefaultGearMax, cap(b))
+	}
+	if len(b) != 0 {
+		t.Fatalf("getBuf returned len %d, want 0", len(b))
+	}
+	putBuf(b)
+	// Foreign and degenerate slices must be tolerated.
+	putBuf(nil)
+	putBuf(make([]byte, 3))
+	Raw{Data: make([]byte, 10)}.Release()
+	if c := poolClass(0); c != -1 {
+		t.Fatalf("poolClass(0) = %d, want -1", c)
+	}
+	if c := poolClass(1 << 30); c != -1 {
+		t.Fatalf("poolClass(1<<30) = %d, want -1 (beyond pooled range)", c)
+	}
+}

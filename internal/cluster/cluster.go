@@ -72,6 +72,12 @@ type Config struct {
 	// LookupBatch/UploadBatch tune the agent pipeline.
 	LookupBatch int
 	UploadBatch int
+	// HashWorkers/LookupInflight tune the agents' pipeline concurrency:
+	// SHA-256 workers behind the chunker and overlapped index-lookup
+	// batches. Zero takes the agent defaults (GOMAXPROCS-capped workers,
+	// agent.DefaultLookupInflight).
+	HashWorkers    int
+	LookupInflight int
 	// StartStagger delays node i's processing by i×StartStagger during
 	// Run. Real data flows are not synchronized; without jitter,
 	// correlated nodes race each other's index inserts and upload the
@@ -290,12 +296,14 @@ func (c *Cluster) ApplyPartition(rings [][]int, mode agent.Mode) error {
 		clients = append(clients, cloudClient)
 
 		cfg := agent.Config{
-			Name:        n.Name,
-			Mode:        mode,
-			Chunker:     chunker,
-			Cloud:       cloudClient,
-			LookupBatch: c.cfg.LookupBatch,
-			UploadBatch: c.cfg.UploadBatch,
+			Name:           n.Name,
+			Mode:           mode,
+			Chunker:        chunker,
+			Cloud:          cloudClient,
+			LookupBatch:    c.cfg.LookupBatch,
+			UploadBatch:    c.cfg.UploadBatch,
+			HashWorkers:    c.cfg.HashWorkers,
+			LookupInflight: c.cfg.LookupInflight,
 		}
 		if mode == agent.ModeRing {
 			idx, err := kvstore.NewCluster(kvstore.ClusterConfig{

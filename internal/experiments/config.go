@@ -21,6 +21,10 @@ type Config struct {
 	Seed int64
 	// Log receives progress lines; nil discards them.
 	Log io.Writer
+	// HashWorkers/LookupInflight override the agents' pipeline
+	// concurrency in every testbed; zero keeps the agent defaults.
+	HashWorkers    int
+	LookupInflight int
 }
 
 func (c Config) logf(format string, args ...any) {

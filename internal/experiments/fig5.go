@@ -47,7 +47,7 @@ func runTestbed(cfg Config, pt testbedPoint, ds workload.Dataset, sys *model.Sys
 func runWith(cfg Config, pt testbedPoint, file cluster.FileFunc, rings [][]int, mode agent.Mode) (cluster.RunResult, error) {
 	runs := make([]cluster.RunResult, 0, cfg.repeats())
 	for rep := 0; rep < cfg.repeats(); rep++ {
-		res, err := runOnce(pt, file, rings, mode)
+		res, err := runOnce(cfg, pt, file, rings, mode)
 		if err != nil {
 			return cluster.RunResult{}, err
 		}
@@ -59,8 +59,10 @@ func runWith(cfg Config, pt testbedPoint, file cluster.FileFunc, rings [][]int, 
 	return runs[len(runs)/2], nil
 }
 
-func runOnce(pt testbedPoint, file cluster.FileFunc, rings [][]int, mode agent.Mode) (cluster.RunResult, error) {
+func runOnce(cfg Config, pt testbedPoint, file cluster.FileFunc, rings [][]int, mode agent.Mode) (cluster.RunResult, error) {
 	ccfg := testbedConfig(pt.nodes, pt.sites, pt.chunkSize, pt.interRTT, pt.wanRTT)
+	ccfg.HashWorkers = cfg.HashWorkers
+	ccfg.LookupInflight = cfg.LookupInflight
 	c, err := cluster.New(ccfg)
 	if err != nil {
 		return cluster.RunResult{}, err

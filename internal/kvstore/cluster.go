@@ -618,8 +618,10 @@ func (c *Cluster) BatchHas(ctx context.Context, keys [][]byte) ([]bool, error) {
 	// Issue all per-target probes concurrently: a batch's latency is one
 	// round trip to the slowest replica, not the sum over replicas.
 	var wg sync.WaitGroup
-	errs := make([]error, 1)
-	var errMu sync.Mutex
+	var (
+		errMu    sync.Mutex
+		firstErr error
+	)
 	c.mu.Lock()
 	localAddr := c.cfg.LocalAddr
 	c.mu.Unlock()
@@ -645,46 +647,80 @@ func (c *Cluster) BatchHas(ctx context.Context, keys [][]byte) ([]bool, error) {
 				}
 				return
 			}
-			// Per-key fallback through the remaining replicas.
-			for _, i := range idxs {
-				ok, ferr := c.hasWithFallback(ctx, keys[i], fallbacks[i], addr)
-				if ferr != nil {
-					errMu.Lock()
-					if errs[0] == nil {
-						errs[0] = ferr
-					}
-					errMu.Unlock()
-					return
+			// Batched fallback through the remaining replicas.
+			if ferr := c.batchHasFallback(ctx, keys, idxs, fallbacks, addr, out); ferr != nil {
+				errMu.Lock()
+				if firstErr == nil {
+					firstErr = ferr
 				}
-				out[i] = ok
+				errMu.Unlock()
 			}
 		}(addr, idxs)
 	}
 	wg.Wait()
-	if errs[0] != nil {
-		return nil, errs[0]
+	if firstErr != nil {
+		return nil, firstErr
 	}
 	return out, nil
 }
 
-func (c *Cluster) hasWithFallback(ctx context.Context, key []byte, reps []string, failed string) (bool, error) {
+// batchHasFallback re-resolves idxs after their preferred replica failed.
+// Instead of probing each key's backups one key at a time — one
+// single-key RPC per key, O(keys) serial round trips precisely when the
+// ring is degraded — the surviving keys are regrouped by their next
+// untried replica and probed with one batched RPC per node. Rounds
+// repeat on what remains: a round answers every key whose node responds
+// and marks the nodes that failed, so the next round regroups only the
+// leftovers against nodes not yet known dead. Terminates because every
+// round either empties pending or grows the dead set.
+func (c *Cluster) batchHasFallback(ctx context.Context, keys [][]byte, idxs []int, fallbacks [][]string, failed string, out []bool) error {
+	dead := map[string]bool{failed: true}
 	var firstErr error
-	for _, addr := range reps {
-		if addr == failed {
-			continue
+	pending := idxs
+	groups := make(map[string][]int)
+	for len(pending) > 0 {
+		clear(groups)
+		for _, i := range pending {
+			next := ""
+			for _, addr := range fallbacks[i] {
+				if !dead[addr] {
+					next = addr
+					break
+				}
+			}
+			if next == "" {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("%w: all replicas unreachable", ErrNoQuorum)
+				}
+				return firstErr
+			}
+			groups[next] = append(groups[next], i)
 		}
-		resp, err := c.call(ctx, addr, methodBatchHas, encodeKeyList([][]byte{key}))
-		if err == nil && len(resp) == 1 {
-			return resp[0] == 1, nil
+		remaining := make([]int, 0, len(pending))
+		for addr, g := range groups {
+			sub := make([][]byte, len(g))
+			for j, i := range g {
+				sub[j] = keys[i]
+			}
+			resp, err := c.call(ctx, addr, methodBatchHas, encodeKeyList(sub))
+			if err == nil && len(resp) == len(g) {
+				for j, i := range g {
+					out[i] = resp[j] == 1
+				}
+				continue
+			}
+			if err == nil {
+				err = fmt.Errorf("%w: batch-has response from %s has %d answers, want %d", ErrProto, addr, len(resp), len(g))
+			}
+			if firstErr == nil {
+				firstErr = err
+			}
+			dead[addr] = true
+			remaining = append(remaining, g...)
 		}
-		if firstErr == nil {
-			firstErr = err
-		}
+		pending = remaining
 	}
-	if firstErr == nil {
-		firstErr = fmt.Errorf("%w: all replicas unreachable", ErrNoQuorum)
-	}
-	return false, firstErr
+	return nil
 }
 
 // PartialWriteError reports a batch write that was only partially

@@ -19,6 +19,16 @@
 //   - append to a slice declared unsized outside the loop (repeated
 //     growth; preallocate with make(len/cap))
 //   - maps allocated inside the loop (make or literal — churn)
+//   - sync.Pool Get with no Put for the same pool reachable from the
+//     pipeline roots (a pool nothing returns to is a slow allocator:
+//     every Get falls through to New and the "recycled" objects just
+//     feed the GC)
+//
+// The pool rule matches Get and Put by module-wide pool identity —
+// "pkg.var" for package-level pools, "(pkg.Type).field" for struct
+// fields — so a Put in a different stage of the pipeline (the usual
+// shape: producer Gets, consumer Puts) clears the Get. Pools without a
+// stable identity (locals, parameters) are skipped.
 //
 // Each diagnostic carries the call path from the pipeline root so the
 // reader can judge how hot the loop really is.
@@ -47,6 +57,7 @@ func run(pass *analysis.Pass) error {
 		return nil
 	}
 	reach := sums.ReachableFrom(rootIDs(sums), summary.ReachOptions{FollowAsync: true, FollowRefs: true})
+	pooled := reachablePoolPuts(sums, reach)
 	for _, f := range pass.Files {
 		for _, decl := range f.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
@@ -61,10 +72,36 @@ func run(pass *analysis.Pass) error {
 			if path == nil {
 				continue
 			}
-			checkFunc(pass, fd, strings.Join(path, " → "))
+			checkFunc(pass, fd, pooled, strings.Join(path, " → "))
 		}
 	}
 	return nil
+}
+
+// reachablePoolPuts collects the module-wide identities of every
+// sync.Pool that some root-reachable function Puts into. The sweep
+// covers the whole loaded universe, not just the package under
+// analysis: the canonical pipeline shape Gets in one stage and Puts in
+// another, possibly across package boundaries.
+func reachablePoolPuts(sums *summary.Set, reach *summary.Reach) map[string]bool {
+	out := make(map[string]bool)
+	for id, fs := range sums.Funcs {
+		if reach.Path(id) == nil || fs.Node == nil || fs.Node.Decl == nil || fs.Node.Decl.Body == nil {
+			continue
+		}
+		info := fs.Node.Pkg.Info
+		ast.Inspect(fs.Node.Decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if ident, name, okOp := poolOp(info, call); okOp && name == "Put" && ident != "" {
+				out[ident] = true
+			}
+			return true
+		})
+	}
+	return out
 }
 
 // rootIDs finds the pipeline entry points in the loaded universe.
@@ -92,7 +129,7 @@ func pkgIs(path, base string) bool {
 
 // checkFunc scans every loop in the function (including loops inside
 // nested function literals) for per-iteration allocations.
-func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl, hotPath string) {
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl, pooled map[string]bool, hotPath string) {
 	unsized := unsizedSlices(pass.TypesInfo, fd.Body)
 	ast.Inspect(fd.Body, func(n ast.Node) bool {
 		var body *ast.BlockStmt
@@ -105,18 +142,22 @@ func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl, hotPath string) {
 		default:
 			return true
 		}
-		checkLoopBody(pass, body, loopPos, loopEnd, unsized, hotPath)
+		checkLoopBody(pass, body, loopPos, loopEnd, unsized, pooled, hotPath)
 		return true
 	})
 }
 
-func checkLoopBody(pass *analysis.Pass, body *ast.BlockStmt, loopPos, loopEnd token.Pos, unsized map[types.Object]token.Pos, hotPath string) {
+func checkLoopBody(pass *analysis.Pass, body *ast.BlockStmt, loopPos, loopEnd token.Pos, unsized map[types.Object]token.Pos, pooled map[string]bool, hotPath string) {
 	info := pass.TypesInfo
 	ast.Inspect(body, func(n ast.Node) bool {
 		switch nn := n.(type) {
 		case *ast.CallExpr:
 			if name, ok := fmtAlloc(pass, nn); ok {
 				pass.Reportf(nn.Pos(), "fmt.%s allocates per iteration; hot path: %s", name, hotPath)
+				return true
+			}
+			if ident, name, ok := poolOp(info, nn); ok && name == "Get" && ident != "" && !pooled[ident] {
+				pass.Reportf(nn.Pos(), "sync.Pool Get of %s per iteration but no Put for it is reachable from the pipeline roots — every Get allocates via New and the object leaks to GC; hot path: %s", ident, hotPath)
 				return true
 			}
 			if desc, ok := byteStringConversion(info, nn); ok {
@@ -286,4 +327,99 @@ func isMakeMap(info *types.Info, call *ast.CallExpr) bool {
 func isZeroLiteral(e ast.Expr) bool {
 	lit, ok := ast.Unparen(e).(*ast.BasicLit)
 	return ok && lit.Kind == token.INT && lit.Value == "0"
+}
+
+// poolOp matches (*sync.Pool).Get / Put calls, returning the pool's
+// module-wide identity (or "" when it has none) and the method name.
+func poolOp(info *types.Info, call *ast.CallExpr) (ident, name string, ok bool) {
+	sel, okSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !okSel {
+		return "", "", false
+	}
+	fn, okFn := calleeFunc(info, call)
+	if !okFn {
+		return "", "", false
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return "", "", false
+	}
+	named, okNamed := derefType(recv.Type()).(*types.Named)
+	if !okNamed || named.Obj().Pkg() == nil ||
+		named.Obj().Pkg().Path() != "sync" || named.Obj().Name() != "Pool" {
+		return "", "", false
+	}
+	if n := fn.Name(); n != "Get" && n != "Put" {
+		return "", "", false
+	}
+	return poolIdentity(info, sel.X), fn.Name(), true
+}
+
+// poolIdentity derives a module-wide identity for the pool receiver
+// expression, mirroring the lock identities the interprocedural
+// analyzers use: "pkg.var" for package-level pools (including elements
+// of package-level pool arrays, which share one identity), and
+// "(pkg.Type).field" for struct-field pools. Locals and parameters
+// yield "".
+func poolIdentity(info *types.Info, x ast.Expr) string {
+	switch e := ast.Unparen(x).(type) {
+	case *ast.IndexExpr:
+		// bufPools[c].Get(): the size-classed arena — identify by the
+		// backing array.
+		return poolIdentity(info, e.X)
+	case *ast.SelectorExpr:
+		if fieldSel, okSel := info.Selections[e]; okSel {
+			owner, okOwner := derefType(fieldSel.Recv()).(*types.Named)
+			if !okOwner || owner.Obj().Pkg() == nil {
+				return ""
+			}
+			return "(" + shortPkg(owner.Obj().Pkg().Path()) + "." + owner.Obj().Name() + ")." + e.Sel.Name
+		}
+		// Package-qualified var: pkg.Pool.
+		if obj := info.Uses[e.Sel]; obj != nil && isPackageLevel(obj) {
+			return shortPkg(obj.Pkg().Path()) + "." + obj.Name()
+		}
+		return ""
+	case *ast.Ident:
+		if obj := info.Uses[e]; obj != nil && isPackageLevel(obj) {
+			return shortPkg(obj.Pkg().Path()) + "." + obj.Name()
+		}
+		return ""
+	}
+	return ""
+}
+
+// calleeFunc resolves the called function or method object.
+func calleeFunc(info *types.Info, call *ast.CallExpr) (*types.Func, bool) {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, ok := info.Uses[fun].(*types.Func)
+		return fn, ok
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			fn, okFn := sel.Obj().(*types.Func)
+			return fn, okFn
+		}
+		fn, ok := info.Uses[fun.Sel].(*types.Func)
+		return fn, ok
+	}
+	return nil, false
+}
+
+func isPackageLevel(obj types.Object) bool {
+	return obj.Pkg() != nil && obj.Parent() == obj.Pkg().Scope()
+}
+
+func shortPkg(path string) string {
+	if i := strings.LastIndex(path, "/"); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}
+
+func derefType(t types.Type) types.Type {
+	if p, ok := t.(*types.Pointer); ok {
+		return p.Elem()
+	}
+	return t
 }

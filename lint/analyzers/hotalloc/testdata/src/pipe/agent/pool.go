@@ -1,0 +1,68 @@
+// pool.go exercises the sync.Pool Get/Put pairing rule: a Get in a
+// root-reachable loop is only fine when some root-reachable function —
+// anywhere in the pipeline — Puts back into the same pool.
+package agent
+
+import "sync"
+
+var (
+	// leakyPool: Get in a hot loop, no Put anywhere. Every Get is an
+	// allocation through New in disguise.
+	leakyPool = sync.Pool{New: func() any { return new([64]byte) }}
+	// cycledPool: Get in the producer, Put in a helper the pipeline
+	// reaches — the canonical recycle shape, silent.
+	cycledPool = sync.Pool{New: func() any { return new([64]byte) }}
+	// strandedPool: a Put exists, but only in a function no pipeline
+	// root reaches, so the hot-loop Get still leaks.
+	strandedPool = sync.Pool{New: func() any { return new([64]byte) }}
+	// classedPool: an indexed pool array (size-classed arena); element
+	// accesses share the array's identity.
+	classedPool [4]sync.Pool
+)
+
+// ProcessBytes is a pipeline root.
+func (a *Agent) ProcessBytes(batches [][]byte) {
+	a.leak(batches)
+	a.recycle(batches)
+	a.strand(batches)
+	a.classed(batches)
+	_ = grab()
+}
+
+func (a *Agent) leak(batches [][]byte) {
+	for range batches {
+		buf := leakyPool.Get().(*[64]byte) // want `sync\.Pool Get of agent\.leakyPool per iteration but no Put`
+		_ = buf
+	}
+}
+
+func (a *Agent) recycle(batches [][]byte) {
+	for range batches {
+		buf := cycledPool.Get().(*[64]byte)
+		a.release(buf)
+	}
+}
+
+func (a *Agent) release(buf *[64]byte) { cycledPool.Put(buf) }
+
+func (a *Agent) strand(batches [][]byte) {
+	for range batches {
+		_ = strandedPool.Get() // want `sync\.Pool Get of agent\.strandedPool per iteration but no Put`
+	}
+}
+
+// classed Gets from one size class and Puts into another; identity is
+// the backing array, so the pair still matches.
+func (a *Agent) classed(batches [][]byte) {
+	for i := range batches {
+		v := classedPool[i%4].Get()
+		classedPool[(i+1)%4].Put(v)
+	}
+}
+
+// grab allocates from the leaky pool outside any loop: one-shot, silent.
+func grab() any { return leakyPool.Get() }
+
+// unreachedRelease would balance strandedPool, but nothing on the
+// pipeline reaches it.
+func unreachedRelease(v any) { strandedPool.Put(v) }

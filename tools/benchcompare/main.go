@@ -1,0 +1,148 @@
+// Command benchcompare runs the end-to-end agent benchmark and compares
+// it against the committed baseline in BENCH_agent.json, printing a
+// benchstat-style old/new/delta table. With -update it rewrites the
+// baseline from the fresh run instead.
+//
+//	go run ./tools/benchcompare            # compare against baseline
+//	go run ./tools/benchcompare -update    # re-record the baseline
+//
+// The tool is deliberately stdlib-only and tolerant of missing CPU
+// points: a baseline recorded with -cpu 1,4,8 compares whatever subset
+// the fresh run produced.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/exec"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+type result struct {
+	CPU         int     `json:"cpu"`
+	NsPerOp     int64   `json:"ns_per_op"`
+	MBPerS      float64 `json:"mb_per_s"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+type baseline struct {
+	Benchmark string   `json:"benchmark"`
+	Package   string   `json:"package"`
+	Note      string   `json:"note"`
+	Results   []result `json:"results"`
+}
+
+// benchLine matches one `go test -bench -benchmem` result row, e.g.
+// BenchmarkAgentProcessStream-8  3  89116745 ns/op  376.52 MB/s  3187298 B/op  20156 allocs/op
+var benchLine = regexp.MustCompile(
+	`^(Benchmark\w+?)(?:-(\d+))?\s+\d+\s+(\d+(?:\.\d+)?) ns/op\s+(\d+(?:\.\d+)?) MB/s\s+(\d+) B/op\s+(\d+) allocs/op`)
+
+func main() {
+	log.SetFlags(0)
+	var (
+		bench     = flag.String("bench", "BenchmarkAgentProcessStream", "benchmark to run (anchored regexp)")
+		pkg       = flag.String("pkg", "./internal/agent", "package containing the benchmark")
+		cpus      = flag.String("cpu", "1,4,8", "GOMAXPROCS values, passed to -cpu")
+		benchtime = flag.String("benchtime", "5x", "passed to -benchtime")
+		file      = flag.String("baseline", "BENCH_agent.json", "baseline file")
+		update    = flag.Bool("update", false, "rewrite the baseline from this run instead of comparing")
+	)
+	flag.Parse()
+
+	fresh, err := runBench(*bench, *pkg, *cpus, *benchtime)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(fresh) == 0 {
+		log.Fatalf("no benchmark results parsed for %s in %s", *bench, *pkg)
+	}
+
+	if *update {
+		base := baseline{Benchmark: *bench, Package: *pkg, Results: fresh}
+		if old, err := readBaseline(*file); err == nil {
+			base.Note = old.Note // keep the recorded provenance note
+		}
+		buf, err := json.MarshalIndent(base, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(*file, append(buf, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("baseline %s updated (%d results)", *file, len(fresh))
+		return
+	}
+
+	base, err := readBaseline(*file)
+	if err != nil {
+		log.Fatalf("read baseline: %v (run with -update to record one)", err)
+	}
+	old := make(map[int]result, len(base.Results))
+	for _, r := range base.Results {
+		old[r.CPU] = r
+	}
+
+	fmt.Printf("%-8s %14s %14s %8s %14s %14s %8s\n",
+		"cpu", "old MB/s", "new MB/s", "delta", "old allocs", "new allocs", "delta")
+	for _, nw := range fresh {
+		o, ok := old[nw.CPU]
+		if !ok {
+			fmt.Printf("%-8d %14s %14.2f %8s\n", nw.CPU, "-", nw.MBPerS, "-")
+			continue
+		}
+		fmt.Printf("%-8d %14.2f %14.2f %+7.1f%% %14d %14d %+7.1f%%\n",
+			nw.CPU, o.MBPerS, nw.MBPerS, pct(o.MBPerS, nw.MBPerS),
+			o.AllocsPerOp, nw.AllocsPerOp, pct(float64(o.AllocsPerOp), float64(nw.AllocsPerOp)))
+	}
+}
+
+func pct(old, new float64) float64 {
+	if old == 0 {
+		return 0
+	}
+	return (new - old) / old * 100
+}
+
+func runBench(bench, pkg, cpus, benchtime string) ([]result, error) {
+	cmd := exec.Command("go", "test", "-run", "^$",
+		"-bench", "^"+bench+"$", "-benchtime", benchtime, "-cpu", cpus, "-benchmem", pkg)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		return nil, fmt.Errorf("bench run failed: %v\n%s", err, out)
+	}
+	var results []result
+	for _, line := range strings.Split(string(out), "\n") {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(line))
+		if m == nil {
+			continue
+		}
+		cpu := 1
+		if m[2] != "" {
+			cpu, _ = strconv.Atoi(m[2])
+		}
+		ns, _ := strconv.ParseFloat(m[3], 64)
+		mbs, _ := strconv.ParseFloat(m[4], 64)
+		bpo, _ := strconv.ParseInt(m[5], 10, 64)
+		apo, _ := strconv.ParseInt(m[6], 10, 64)
+		results = append(results, result{
+			CPU: cpu, NsPerOp: int64(ns), MBPerS: mbs, BytesPerOp: bpo, AllocsPerOp: apo,
+		})
+	}
+	return results, nil
+}
+
+func readBaseline(path string) (baseline, error) {
+	var b baseline
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return b, err
+	}
+	err = json.Unmarshal(buf, &b)
+	return b, err
+}
