@@ -2,12 +2,12 @@
 
 GO ?= go
 
-.PHONY: all build test race race-core bench bench-agent bench-compare figures figures-quick vet cover lint fuzz-short ci clean
+.PHONY: all build test race race-core bench bench-agent bench-compare figures figures-quick vet cover lint fuzz-short chaos ci clean
 
 all: build test
 
 # What CI runs (.github/workflows/ci.yml).
-ci: build vet lint test race fuzz-short
+ci: build vet lint test race fuzz-short chaos
 
 # Race-detect the resilience-critical packages only (quick local loop;
 # CI races the whole module).
@@ -40,14 +40,23 @@ lint:
 	$(GO) test ./lint/...
 	$(GO) run ./lint/cmd/efdedup-lint ./... ./lint/...
 
-# Short coverage-guided fuzz pass over the chunker invariants (the seed
-# corpus alone runs in every `make test`), plus a one-iteration bench
-# smoke so bit-rot in the chunk benchmarks surfaces here, not in the
-# nightly full bench.
+# Short coverage-guided fuzz pass over the chunker and WAL-replay
+# invariants (the seed corpora alone run in every `make test`), plus a
+# one-iteration bench smoke so bit-rot in the chunk benchmarks surfaces
+# here, not in the nightly full bench.
 fuzz-short:
 	$(GO) test ./internal/chunk -fuzz FuzzGearRoundTrip -fuzztime 10s
 	$(GO) test ./internal/chunk -fuzz FuzzFixedRoundTrip -fuzztime 10s
+	$(GO) test ./internal/kvstore -fuzz 'FuzzWALReplay$$' -fuzztime 10s
+	$(GO) test ./internal/kvstore -fuzz FuzzWALReplayRawBytes -fuzztime 10s
 	$(GO) test -bench=. -benchtime=1x ./internal/chunk
+
+# Crash/recovery suite under the race detector: kill-restart-rejoin
+# e2e (torn WAL tail, anti-entropy convergence, membership growth) plus
+# the WAL/snapshot durability and repair unit tests.
+chaos:
+	$(GO) test -race -count=2 -run 'TestDurableRingSurvivesKillRestartRejoin|TestAgentSurvives' ./internal/faultnet
+	$(GO) test -race -count=2 -run 'TestWAL|TestSnapshot|TestRepair|TestProbe' ./internal/kvstore
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

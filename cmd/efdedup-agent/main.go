@@ -65,6 +65,7 @@ func run() error {
 		rf             = flag.Int("rf", 2, "index replication factor γ (ring mode)")
 		hashWorkers    = flag.Int("hash-workers", 0, "concurrent SHA-256 workers (0 = GOMAXPROCS, capped at physical cores)")
 		lookupInflight = flag.Int("lookup-inflight", 0, "overlapped index-lookup batches (0 = default)")
+		repairEvery    = flag.Duration("repair-interval", 0, "background anti-entropy repair period for the ring index (0 disables; ring mode)")
 		timeout        = flag.Duration("timeout", 10*time.Minute, "overall processing deadline")
 		metricsAddr    = flag.String("metrics-addr", "", "serve /metrics and /debug/pprof/ on this address (empty disables)")
 		breakdown      = flag.Bool("breakdown", false, "print the per-stage latency breakdown after processing")
@@ -120,6 +121,7 @@ func run() error {
 			ReplicationFactor: *rf,
 			LocalAddr:         *localAddr,
 			Network:           nw,
+			RepairInterval:    *repairEvery,
 		})
 		if err != nil {
 			return err

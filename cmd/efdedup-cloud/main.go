@@ -31,9 +31,9 @@ func main() {
 
 func run() error {
 	var (
-		listen    = flag.String("listen", "127.0.0.1:7080", "address to serve the cloud protocol on")
-		chunkSize = flag.Int("chunk-size", chunk.DefaultFixedSize, "server-side chunk size for raw (cloud-only) uploads")
-		dataDir   = flag.String("dir", "", "persist chunks and manifests under this directory (survives restarts)")
+		listen      = flag.String("listen", "127.0.0.1:7080", "address to serve the cloud protocol on")
+		chunkSize   = flag.Int("chunk-size", chunk.DefaultFixedSize, "server-side chunk size for raw (cloud-only) uploads")
+		dataDir     = flag.String("dir", "", "persist chunks and manifests under this directory (survives restarts)")
 		statsEach   = flag.Duration("stats-interval", time.Minute, "how often to log store statistics (0 disables)")
 		metricsAddr = flag.String("metrics-addr", "", "serve /metrics and /debug/pprof/ on this address (empty disables)")
 	)

@@ -7,7 +7,11 @@
 //	efdedup-kvnode -listen 0.0.0.0:7070 [-wal /var/lib/efdedup/index.wal]
 //
 // The daemon serves the kv.* RPC protocol until interrupted. With -wal it
-// persists every write to an append-only log and replays it on restart.
+// persists every write to a crash-safe append-only log and recovers on
+// restart from the latest snapshot plus the WAL suffix. -wal-sync selects
+// the fsync policy (always | interval | off) and -snapshot-bytes bounds
+// the log by snapshotting and truncating it once it grows past the
+// threshold.
 package main
 
 import (
@@ -33,13 +37,23 @@ func main() {
 
 func run() error {
 	var (
-		listen      = flag.String("listen", "127.0.0.1:7070", "address to serve the index protocol on")
-		wal         = flag.String("wal", "", "optional write-ahead log path for durability across restarts")
-		gossipAddr  = flag.String("gossip", "", "optional gossip listen address (enables membership dissemination)")
-		gossipSeeds = flag.String("gossip-seeds", "", "comma-separated gossip addresses of existing ring members")
-		metricsAddr = flag.String("metrics-addr", "", "serve /metrics and /debug/pprof/ on this address (empty disables)")
+		listen       = flag.String("listen", "127.0.0.1:7070", "address to serve the index protocol on")
+		wal          = flag.String("wal", "", "optional write-ahead log path for durability across restarts")
+		walSync      = flag.String("wal-sync", "interval", "WAL fsync policy: always (fsync before ack), interval (group commit), off")
+		walSyncEvery = flag.Duration("wal-sync-interval", kvstore.DefaultSyncEvery, "group-commit interval under -wal-sync=interval")
+		snapshot     = flag.String("snapshot", "", "snapshot file path (default <wal>.snap)")
+		snapBytes    = flag.Int64("snapshot-bytes", kvstore.DefaultSnapshotBytes, "snapshot and truncate the WAL when it exceeds this size; negative disables")
+		snapEvery    = flag.Duration("snapshot-interval", 0, "additionally snapshot on this period (0 disables)")
+		gossipAddr   = flag.String("gossip", "", "optional gossip listen address (enables membership dissemination)")
+		gossipSeeds  = flag.String("gossip-seeds", "", "comma-separated gossip addresses of existing ring members")
+		metricsAddr  = flag.String("metrics-addr", "", "serve /metrics and /debug/pprof/ on this address (empty disables)")
 	)
 	flag.Parse()
+
+	syncPolicy, err := kvstore.ParseSyncPolicy(*walSync)
+	if err != nil {
+		return err
+	}
 
 	if *metricsAddr != "" {
 		go func() {
@@ -48,16 +62,29 @@ func run() error {
 		log.Printf("metrics on http://%s/metrics (pprof under /debug/pprof/)", *metricsAddr)
 	}
 
-	node, err := kvstore.NewNode(kvstore.NodeConfig{WALPath: *wal})
+	node, err := kvstore.NewNode(kvstore.NodeConfig{
+		WALPath:       *wal,
+		WALSync:       syncPolicy,
+		WALSyncEvery:  *walSyncEvery,
+		SnapshotPath:  *snapshot,
+		SnapshotBytes: *snapBytes,
+		SnapshotEvery: *snapEvery,
+	})
 	if err != nil {
 		return err
+	}
+	if *wal != "" {
+		if rs := node.RecoveryStats(); rs.Records > 0 || rs.Discarded() > 0 {
+			log.Printf("recovered %d WAL records (torn tail %dB, corrupt %dB discarded)",
+				rs.Records, rs.TornBytes, rs.CorruptBytes)
+		}
 	}
 	l, err := transport.TCPNetwork{}.Listen(*listen)
 	if err != nil {
 		return fmt.Errorf("listen %s: %w", *listen, err)
 	}
 	node.Serve(l)
-	log.Printf("efdedup-kvnode serving on %s (wal=%q)", l.Addr(), *wal)
+	log.Printf("efdedup-kvnode serving on %s (wal=%q sync=%s)", l.Addr(), *wal, syncPolicy)
 
 	if *gossipAddr != "" {
 		var seeds []string

@@ -156,7 +156,7 @@ func TestSplitRawReadError(t *testing.T) {
 	g := NewDefaultGearChunker()
 	broken := errors.New("disk on fire")
 	var emitted int
-	err := g.SplitRaw(&failAfter{data: bytes.Repeat([]byte{1}, 200 * 1024), fail: broken}, func(r Raw) error {
+	err := g.SplitRaw(&failAfter{data: bytes.Repeat([]byte{1}, 200*1024), fail: broken}, func(r Raw) error {
 		r.Release()
 		emitted++
 		return nil

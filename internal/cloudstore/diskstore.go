@@ -55,7 +55,9 @@ func (d *DiskStore) manifestPath(name string) string {
 	return filepath.Join(d.root, "manifests", escapeName(name))
 }
 
-// writeAtomic writes data to path via a temp file and rename.
+// writeAtomic writes data to path via a temp file, fsync and rename, so
+// a crash leaves either no file or a complete one — never a truncated
+// chunk the dedup index already points at.
 func writeAtomic(path string, data []byte) error {
 	dir := filepath.Dir(path)
 	if err := os.MkdirAll(dir, 0o755); err != nil {
@@ -67,6 +69,11 @@ func writeAtomic(path string, data []byte) error {
 	}
 	name := tmp.Name()
 	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(name)
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
 		tmp.Close()
 		os.Remove(name)
 		return err

@@ -83,6 +83,12 @@ type ClusterConfig struct {
 	// HeartbeatInterval enables background failure detection when
 	// positive.
 	HeartbeatInterval time.Duration
+	// RepairInterval enables background anti-entropy when positive: the
+	// coordinator periodically exchanges Merkle-style digests between
+	// replica pairs and streams only the differing entries, reconciling
+	// replicas that restarted from stale durable state or missed writes
+	// during a partition.
+	RepairInterval time.Duration
 	// Membership optionally supplies an external liveness view (e.g. a
 	// gossip node). When set, a peer judged not-alive is skipped the same
 	// way the built-in ping detector's down set is.
@@ -140,6 +146,9 @@ type Cluster struct {
 	stopHealth chan struct{}
 	healthDone chan struct{}
 
+	stopRepair chan struct{}
+	repairDone chan struct{}
+
 	remoteLookups atomic.Int64
 	localLookups  atomic.Int64
 
@@ -155,13 +164,18 @@ type clusterMetrics struct {
 	remote   *metrics.Counter              // lookups that crossed the network
 	hints    *metrics.Counter              // hinted writes queued
 	replays  *metrics.Counter              // hinted writes replayed
+
+	repairRounds   *metrics.Counter // completed anti-entropy sweeps
+	repairMismatch *metrics.Counter // replica pairs whose digests differed
+	repairPushed   *metrics.Counter // entries streamed during repair
+	repairFails    *metrics.Counter // replica pairs that failed to reconcile
 }
 
 // clientMethods are the RPC methods a coordinator issues (kv.ping is
 // covered too: health probes ride the same path).
 var clientMethods = []string{
 	methodGet, methodPut, methodPutNX, methodBatchHas, methodBatchPut,
-	methodScan, methodPing, methodStats,
+	methodScan, methodPing, methodStats, methodDigest, methodPull,
 }
 
 func newClusterMetrics(reg *metrics.Registry) clusterMetrics {
@@ -172,6 +186,11 @@ func newClusterMetrics(reg *metrics.Registry) clusterMetrics {
 		remote:   reg.Counter("kvstore_client_lookups_remote_total"),
 		hints:    reg.Counter("kvstore_client_hints_queued_total"),
 		replays:  reg.Counter("kvstore_client_hints_replayed_total"),
+
+		repairRounds:   reg.Counter("kvstore_repair_rounds_total"),
+		repairMismatch: reg.Counter("kvstore_repair_mismatches_total"),
+		repairPushed:   reg.Counter("kvstore_repair_entries_pushed_total"),
+		repairFails:    reg.Counter("kvstore_repair_pair_failures_total"),
 	}
 	for _, method := range clientMethods {
 		m.rpc[method] = reg.DurationHistogram("kvstore_client_rpc_seconds", "method", method)
@@ -276,14 +295,23 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		c.healthDone = make(chan struct{})
 		go c.healthLoop()
 	}
+	if cfg.RepairInterval > 0 {
+		c.stopRepair = make(chan struct{})
+		c.repairDone = make(chan struct{})
+		go c.repairLoop()
+	}
 	return c, nil
 }
 
-// Close tears down connections and stops the health loop.
+// Close tears down connections and stops the health and repair loops.
 func (c *Cluster) Close() error {
 	if c.stopHealth != nil {
 		close(c.stopHealth)
 		<-c.healthDone
+	}
+	if c.stopRepair != nil {
+		close(c.stopRepair)
+		<-c.repairDone
 	}
 	c.mu.Lock()
 	clients := c.clients

@@ -1,0 +1,385 @@
+package kvstore
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestParseSyncPolicy(t *testing.T) {
+	tests := []struct {
+		in   string
+		want SyncPolicy
+		err  bool
+	}{
+		{"always", SyncAlways, false},
+		{"interval", SyncInterval, false},
+		{"", SyncInterval, false},
+		{"off", SyncOff, false},
+		{"sometimes", 0, true},
+	}
+	for _, tt := range tests {
+		got, err := ParseSyncPolicy(tt.in)
+		if tt.err {
+			if !errors.Is(err, ErrConfig) {
+				t.Errorf("ParseSyncPolicy(%q) err = %v, want ErrConfig", tt.in, err)
+			}
+			continue
+		}
+		if err != nil || got != tt.want {
+			t.Errorf("ParseSyncPolicy(%q) = %v, %v, want %v", tt.in, got, err, tt.want)
+		}
+	}
+}
+
+// TestWALSyncAlwaysDurableBeforeAck proves the core crash-safety claim:
+// under SyncAlways an acknowledged append is on disk even if the process
+// dies without flushing (kill drops user-space buffers).
+func TestWALSyncAlwaysDurableBeforeAck(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "node.wal")
+	w, err := OpenWALOptions(WALOptions{Path: path, Sync: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := w.Append([]byte(fmt.Sprintf("k%d", i)), Entry{Value: []byte("v"), Version: uint64(i + 1)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.kill() // simulated SIGKILL: no flush, no fsync
+	stats, err := ReplayWAL(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Records != 3 {
+		t.Fatalf("replayed %d records after kill, want 3 (SyncAlways must be durable before ack)", stats.Records)
+	}
+}
+
+// TestWALSyncOffLosesBufferedOnKill is the counter-claim: without syncing,
+// a kill loses the buffered tail — which is why SyncOff is only safe when
+// replication covers the loss window.
+func TestWALSyncOffLosesBufferedOnKill(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "node.wal")
+	w, err := OpenWALOptions(WALOptions{Path: path, Sync: SyncOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append([]byte("k"), Entry{Value: []byte("v"), Version: 1}); err != nil {
+		t.Fatal(err)
+	}
+	w.kill()
+	stats, err := ReplayWAL(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Records != 0 {
+		t.Fatalf("replayed %d records, want 0 — kill must drop unflushed buffers", stats.Records)
+	}
+}
+
+// TestWALIntervalGroupCommit: the background flusher makes appends durable
+// within roughly one SyncEvery without any explicit Sync call.
+func TestWALIntervalGroupCommit(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "node.wal")
+	w, err := OpenWALOptions(WALOptions{Path: path, Sync: SyncInterval, SyncEvery: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append([]byte("k"), Entry{Value: []byte("v"), Version: 1}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		stats, err := ReplayWAL(path, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats.Records == 1 {
+			w.kill()
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatal("group commit never flushed the appended record")
+}
+
+// TestWALOpenTruncatesTornTail: a torn tail must be cut off on open so
+// post-crash appends extend the valid prefix and replay on the next start.
+func TestWALOpenTruncatesTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "node.wal")
+	w, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if err := w.Append([]byte(fmt.Sprintf("k%d", i)), Entry{Value: []byte("v"), Version: uint64(i + 1)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Tear the final record.
+	data, err := readFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := writeFile(path, data[:len(data)-5]); err != nil {
+		t.Fatal(err)
+	}
+	// Reopen (truncates) and append a post-crash record.
+	w2, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.Append([]byte("post"), Entry{Value: []byte("crash"), Version: 9}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var keys []string
+	stats, err := ReplayWAL(path, func(key []byte, e Entry) { keys = append(keys, string(key)) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Records != 4 || stats.Discarded() != 0 {
+		t.Fatalf("post-crash replay: %+v, want 4 clean records", stats)
+	}
+	if keys[3] != "post" {
+		t.Fatalf("post-crash append not replayed: %v", keys)
+	}
+}
+
+// TestWALReplayClassifiesCorruption: a bit-flip inside a complete record
+// counts as corruption, not a torn tail, and stops replay there.
+func TestWALReplayClassifiesCorruption(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "node.wal")
+	w, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var offsets []int64
+	for i := 0; i < 4; i++ {
+		if err := w.Append([]byte(fmt.Sprintf("k%d", i)), Entry{Value: []byte("v"), Version: uint64(i + 1)}); err != nil {
+			t.Fatal(err)
+		}
+		offsets = append(offsets, w.Size())
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := readFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a payload byte in the third record.
+	data[offsets[1]+10] ^= 0xff
+	if err := writeFile(path, data); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := ReplayWAL(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Records != 2 {
+		t.Fatalf("replayed %d records, want 2 (stop at corruption)", stats.Records)
+	}
+	if stats.CorruptBytes == 0 || stats.TornBytes != 0 {
+		t.Fatalf("bit flip misclassified: %+v, want CorruptBytes > 0", stats)
+	}
+	// The fourth record is intact but unreachable; it must be counted as
+	// discarded, and a node opening this log must truncate it away.
+	if stats.Discarded() != int64(len(data))-stats.Bytes {
+		t.Fatalf("discarded %d bytes, want %d", stats.Discarded(), int64(len(data))-stats.Bytes)
+	}
+}
+
+func TestWALClosedOperations(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "node.wal")
+	w, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("second Close = %v, want first result (nil)", err)
+	}
+	if err := w.Append([]byte("k"), Entry{}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Append after close = %v, want ErrClosed", err)
+	}
+	if err := w.Sync(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Sync after close = %v, want ErrClosed", err)
+	}
+	if err := w.Truncate(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Truncate after close = %v, want ErrClosed", err)
+	}
+}
+
+func TestSnapshotRecoversWithWALSuffix(t *testing.T) {
+	dir := t.TempDir()
+	walPath := filepath.Join(dir, "node.wal")
+
+	node, err := NewNode(NodeConfig{WALPath: walPath, WALSync: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	put := func(n *Node, k, v string, ver uint64) {
+		t.Helper()
+		if _, err := n.handlePut(encodeEntry(nil, []byte(k), Entry{Value: []byte(v), Version: ver})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 10; i++ {
+		put(node, fmt.Sprintf("pre%d", i), "v", uint64(i+1))
+	}
+	if err := node.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	if got := node.wal.Size(); got != 0 {
+		t.Fatalf("WAL size after snapshot = %d, want 0", got)
+	}
+	// Writes after the snapshot land only in the WAL suffix.
+	for i := 0; i < 5; i++ {
+		put(node, fmt.Sprintf("post%d", i), "v", uint64(100+i))
+	}
+	if err := node.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	node2, err := NewNode(NodeConfig{WALPath: walPath})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node2.Close()
+	if node2.Len() != 15 {
+		t.Fatalf("recovered %d entries, want 15 (10 snapshot + 5 WAL suffix)", node2.Len())
+	}
+	if rs := node2.RecoveryStats(); rs.Records != 5 || rs.Discarded() != 0 {
+		t.Fatalf("recovery stats %+v, want 5 clean WAL-suffix records", rs)
+	}
+	if e, ok := node2.localGet([]byte("post4")); !ok || !bytes.Equal(e.Value, []byte("v")) {
+		t.Fatal("WAL-suffix entry lost across restart")
+	}
+	if e, ok := node2.localGet([]byte("pre0")); !ok || e.Version != 1 {
+		t.Fatal("snapshot entry lost or re-versioned across restart")
+	}
+}
+
+func TestSnapshotCorruptionFailsLoudly(t *testing.T) {
+	dir := t.TempDir()
+	walPath := filepath.Join(dir, "node.wal")
+	node, err := NewNode(NodeConfig{WALPath: walPath})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := node.handlePut(encodeEntry(nil, []byte("k"), Entry{Value: []byte("v"), Version: 1})); err != nil {
+		t.Fatal(err)
+	}
+	if err := node.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	if err := node.Close(); err != nil {
+		t.Fatal(err)
+	}
+	snapPath := walPath + ".snap"
+	data, err := readFile(snapPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xff
+	if err := writeFile(snapPath, data); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewNode(NodeConfig{WALPath: walPath}); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("NewNode over corrupt snapshot = %v, want ErrCorrupt", err)
+	}
+}
+
+// TestWALBoundedUnderSustainedIngest: size-triggered snapshots must keep
+// the log from growing without bound while writes keep arriving.
+func TestWALBoundedUnderSustainedIngest(t *testing.T) {
+	dir := t.TempDir()
+	walPath := filepath.Join(dir, "node.wal")
+	const threshold = 8 << 10 // 8 KiB: many snapshots over the run
+	node, err := NewNode(NodeConfig{
+		WALPath:       walPath,
+		WALSync:       SyncOff, // bound the test's fsync count; durability is not under test here
+		SnapshotBytes: threshold,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Close()
+
+	var appended int64
+	for i := 0; i < 2000; i++ {
+		body := encodeEntry(nil, []byte(fmt.Sprintf("key-%d", i)), Entry{Value: bytes.Repeat([]byte("v"), 64), Version: uint64(i + 1)})
+		if _, err := node.handlePut(body); err != nil {
+			t.Fatal(err)
+		}
+		appended += int64(8 + len(body))
+	}
+	if appended < 4*threshold {
+		t.Fatalf("test bug: only %d bytes appended, need >> %d", appended, threshold)
+	}
+	// Snapshots run in the background; after ingest stops the log must
+	// settle below the threshold.
+	deadline := time.Now().Add(10 * time.Second)
+	for node.wal.Size() >= threshold {
+		if !time.Now().Before(deadline) {
+			t.Fatalf("WAL still %d bytes (threshold %d) after ingest stopped", node.wal.Size(), threshold)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if node.Len() != 2000 {
+		t.Fatalf("table has %d entries, want 2000", node.Len())
+	}
+	// And the bounded log still recovers the full table.
+	if err := node.Close(); err != nil {
+		t.Fatal(err)
+	}
+	node2, err := NewNode(NodeConfig{WALPath: walPath})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node2.Close()
+	if node2.Len() != 2000 {
+		t.Fatalf("recovered %d entries, want 2000", node2.Len())
+	}
+}
+
+// TestSnapshotTimer: a periodic snapshot loop truncates the WAL without
+// any size trigger.
+func TestSnapshotTimer(t *testing.T) {
+	dir := t.TempDir()
+	walPath := filepath.Join(dir, "node.wal")
+	node, err := NewNode(NodeConfig{
+		WALPath:       walPath,
+		SnapshotBytes: -1, // disable the size trigger; only the timer runs
+		SnapshotEvery: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Close()
+	if _, err := node.handlePut(encodeEntry(nil, []byte("k"), Entry{Value: []byte("v"), Version: 1})); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for node.wal.Size() != 0 {
+		if !time.Now().Before(deadline) {
+			t.Fatal("periodic snapshot never truncated the WAL")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if _, err := loadSnapshot(walPath + ".snap"); err != nil {
+		t.Fatalf("periodic snapshot unreadable: %v", err)
+	}
+}

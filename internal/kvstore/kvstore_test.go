@@ -497,19 +497,30 @@ func TestWALStopsAtCorruption(t *testing.T) {
 		t.Fatal(err)
 	}
 	count := 0
-	if err := ReplayWAL(walPath, func([]byte, Entry) { count++ }); err != nil {
+	stats, err := ReplayWAL(walPath, func([]byte, Entry) { count++ })
+	if err != nil {
 		t.Fatal(err)
 	}
-	if count != 5 {
-		t.Fatalf("replayed %d records, want 5", count)
+	if count != 5 || stats.Records != 5 {
+		t.Fatalf("replayed %d records (stats %+v), want 5", count, stats)
+	}
+	if stats.TornBytes == 0 {
+		t.Fatalf("torn tail not counted: %+v", stats)
+	}
+	if stats.CorruptBytes != 0 {
+		t.Fatalf("torn tail misclassified as corruption: %+v", stats)
 	}
 }
 
 func TestReplayMissingWAL(t *testing.T) {
-	if err := ReplayWAL(filepath.Join(t.TempDir(), "nope.wal"), func([]byte, Entry) {
+	stats, err := ReplayWAL(filepath.Join(t.TempDir(), "nope.wal"), func([]byte, Entry) {
 		t.Fatal("callback invoked for missing file")
-	}); err != nil {
+	})
+	if err != nil {
 		t.Fatal(err)
+	}
+	if stats != (ReplayStats{}) {
+		t.Fatalf("stats = %+v, want zero", stats)
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"efdedup/internal/metrics"
 	"efdedup/internal/transport"
@@ -22,6 +23,8 @@ const (
 	methodScan     = "kv.scan"
 	methodPing     = "kv.ping"
 	methodStats    = "kv.stats"
+	methodDigest   = "kv.digest"
+	methodPull     = "kv.pull"
 )
 
 // NodeStats counts operations served by a storage node.
@@ -33,11 +36,31 @@ type NodeStats struct {
 	Entries int64
 }
 
+// DefaultSnapshotBytes is the WAL size that triggers a snapshot +
+// truncation when NodeConfig.SnapshotBytes is zero.
+const DefaultSnapshotBytes = 8 << 20
+
 // NodeConfig configures a storage node.
 type NodeConfig struct {
-	// WALPath enables the write-ahead log when non-empty. The node
-	// replays the log on startup.
+	// WALPath enables durability when non-empty: the node recovers as
+	// snapshot-then-WAL-suffix on startup and logs every write.
 	WALPath string
+	// WALSync selects the log's fsync policy; the zero value is
+	// SyncInterval (group commit).
+	WALSync SyncPolicy
+	// WALSyncEvery is the group-commit interval under SyncInterval;
+	// defaults to DefaultSyncEvery.
+	WALSyncEvery time.Duration
+	// SnapshotPath overrides where table snapshots live. Defaults to
+	// WALPath + ".snap".
+	SnapshotPath string
+	// SnapshotBytes triggers a snapshot (and WAL truncation) whenever
+	// the log exceeds this size, keeping both recovery time and log
+	// size bounded under sustained ingest. 0 means DefaultSnapshotBytes;
+	// negative disables size-triggered snapshots.
+	SnapshotBytes int64
+	// SnapshotEvery additionally snapshots on a timer when positive.
+	SnapshotEvery time.Duration
 	// Metrics receives per-method serve-latency histograms and the
 	// entries gauge. Nil records into metrics.Default().
 	Metrics *metrics.Registry
@@ -49,37 +72,90 @@ type Node struct {
 	mu    sync.RWMutex
 	table map[string]Entry
 
-	wal *WAL
+	// putMu serializes the WAL-append + table-apply pair against
+	// snapshots: writers hold it shared, Snapshot holds it exclusively
+	// while it copies the table and truncates the log, so no
+	// acknowledged record can fall between a snapshot's table copy and
+	// the truncation. Lock order: putMu before mu.
+	putMu sync.RWMutex
+
+	wal       *WAL
+	snapPath  string
+	snapBytes int64
+	replay    ReplayStats
+
+	snapping atomic.Bool    // single-flight for size-triggered snapshots
+	snapWG   sync.WaitGroup // in-flight background snapshots
+	snapStop chan struct{}  // periodic snapshot loop shutdown
+	snapDone chan struct{}
 
 	gets, puts, hits, misses atomic.Int64
 
-	reg      *metrics.Registry
-	server   *transport.Server
-	listener net.Listener
-	serveErr chan error
+	reg       *metrics.Registry
+	snapFails *metrics.Counter
+	snaps     *metrics.Counter
+	server    *transport.Server
+	listener  net.Listener
+	serveErr  chan error
+	closeOnce sync.Once
+	closeErr  error
 }
 
-// NewNode creates a storage node, replaying the WAL when configured.
+// NewNode creates a storage node. With a WALPath it recovers durable
+// state as snapshot first, then the WAL suffix written after it, and
+// reports what the replay recovered and discarded via metrics and
+// RecoveryStats.
 func NewNode(cfg NodeConfig) (*Node, error) {
 	n := &Node{
 		table:    make(map[string]Entry),
 		serveErr: make(chan error, 1),
 	}
+	n.reg = cfg.Metrics
+	if n.reg == nil {
+		n.reg = metrics.Default()
+	}
+	n.snaps = n.reg.Counter("kvstore_node_snapshots_total")
+	n.snapFails = n.reg.Counter("kvstore_node_snapshot_failures_total")
 	if cfg.WALPath != "" {
-		if err := ReplayWAL(cfg.WALPath, func(key []byte, e Entry) {
-			n.applyPut(key, e)
-		}); err != nil {
+		n.snapPath = cfg.SnapshotPath
+		if n.snapPath == "" {
+			n.snapPath = cfg.WALPath + ".snap"
+		}
+		n.snapBytes = cfg.SnapshotBytes
+		if n.snapBytes == 0 {
+			n.snapBytes = DefaultSnapshotBytes
+		}
+		table, err := loadSnapshot(n.snapPath)
+		if err != nil {
 			return nil, err
 		}
-		wal, err := OpenWAL(cfg.WALPath)
+		if table != nil {
+			n.table = table
+		}
+		stats, err := ReplayWAL(cfg.WALPath, func(key []byte, e Entry) {
+			n.applyPut(key, e)
+		})
+		if err != nil {
+			return nil, err
+		}
+		n.replay = stats
+		n.reg.Counter("kvstore_wal_replay_records_total").Add(int64(stats.Records))
+		n.reg.Counter("kvstore_wal_replay_torn_bytes_total").Add(stats.TornBytes)
+		n.reg.Counter("kvstore_wal_replay_corrupt_bytes_total").Add(stats.CorruptBytes)
+		wal, err := OpenWALOptions(WALOptions{
+			Path:      cfg.WALPath,
+			Sync:      cfg.WALSync,
+			SyncEvery: cfg.WALSyncEvery,
+		})
 		if err != nil {
 			return nil, err
 		}
 		n.wal = wal
-	}
-	n.reg = cfg.Metrics
-	if n.reg == nil {
-		n.reg = metrics.Default()
+		if cfg.SnapshotEvery > 0 {
+			n.snapStop = make(chan struct{})
+			n.snapDone = make(chan struct{})
+			go n.snapshotLoop(cfg.SnapshotEvery)
+		}
 	}
 	n.server = transport.NewServer()
 	n.handle(methodGet, n.handleGet)
@@ -90,8 +166,13 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 	n.handle(methodScan, n.handleScan)
 	n.handle(methodPing, func([]byte) ([]byte, error) { return []byte("pong"), nil })
 	n.handle(methodStats, n.handleStats)
+	n.handle(methodDigest, n.handleDigest)
+	n.handle(methodPull, n.handlePull)
 	return n, nil
 }
+
+// RecoveryStats reports what the startup replay recovered and discarded.
+func (n *Node) RecoveryStats() ReplayStats { return n.replay }
 
 // handle registers a handler wrapped with serve-latency and failure
 // instrumentation — the server half of the paper's lookup-overhead V(P)
@@ -131,15 +212,105 @@ func (n *Node) Addr() string {
 	return n.listener.Addr().String()
 }
 
-// Close stops serving and closes the WAL.
+// Close stops serving, joins the snapshot loop and any in-flight
+// snapshot, then syncs and closes the WAL — exactly once; repeated
+// Closes return the first result.
 func (n *Node) Close() error {
-	err := n.server.Close()
-	if n.wal != nil {
-		if werr := n.wal.Close(); err == nil {
-			err = werr
+	n.shutdown(true)
+	return n.closeErr
+}
+
+// Kill simulates ungraceful process death for chaos tests: the server
+// stops, background loops are joined (an in-process test cannot tear a
+// goroutine mid-write), and the WAL is abandoned without flush or fsync,
+// dropping its user-space buffers exactly as SIGKILL would.
+func (n *Node) Kill() {
+	n.shutdown(false)
+}
+
+func (n *Node) shutdown(graceful bool) {
+	n.closeOnce.Do(func() {
+		err := n.server.Close()
+		if n.snapStop != nil {
+			close(n.snapStop)
+			<-n.snapDone
+		}
+		n.snapWG.Wait()
+		if n.wal != nil {
+			if graceful {
+				if werr := n.wal.Close(); err == nil {
+					err = werr
+				}
+			} else {
+				n.wal.kill()
+			}
+		}
+		n.closeErr = err
+	})
+}
+
+// snapshotLoop snapshots on a timer until Close.
+func (n *Node) snapshotLoop(every time.Duration) {
+	defer close(n.snapDone)
+	ticker := time.NewTicker(every)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			// Failures are counted; the loop's job is to keep trying.
+			//lint:ignore errlost failures recorded in kvstore_node_snapshot_failures_total; next tick retries
+			_ = n.Snapshot()
+		case <-n.snapStop:
+			return
 		}
 	}
-	return err
+}
+
+// maybeSnapshot triggers one background snapshot when the WAL has grown
+// past the configured threshold. Single-flight: the hot path pays one
+// atomic load while a snapshot is running.
+func (n *Node) maybeSnapshot() {
+	if n.wal == nil || n.snapBytes <= 0 || n.wal.Size() < n.snapBytes {
+		return
+	}
+	if !n.snapping.CompareAndSwap(false, true) {
+		return
+	}
+	n.snapWG.Add(1)
+	go func() {
+		defer n.snapWG.Done()
+		defer n.snapping.Store(false)
+		//lint:ignore errlost failures recorded in kvstore_node_snapshot_failures_total; the WAL keeps growing and the next put retries
+		_ = n.Snapshot()
+	}()
+}
+
+// Snapshot durably writes the current table and truncates the WAL, so
+// recovery replays snapshot + a short suffix instead of the full
+// history. Writers are paused for the duration (the table is small —
+// hashes, not chunks); reads are only blocked for the in-memory copy.
+func (n *Node) Snapshot() error {
+	if n.wal == nil {
+		return fmt.Errorf("%w: snapshots need a WAL-backed node", ErrConfig)
+	}
+	n.putMu.Lock()
+	defer n.putMu.Unlock()
+	n.mu.RLock()
+	table := make(map[string]Entry, len(n.table))
+	for k, e := range n.table {
+		table[k] = e
+	}
+	n.mu.RUnlock()
+	if _, err := writeSnapshot(n.snapPath, table); err != nil {
+		n.snapFails.Inc()
+		return err
+	}
+	if err := n.wal.Truncate(); err != nil {
+		n.snapFails.Inc()
+		return err
+	}
+	n.snaps.Inc()
+	return nil
 }
 
 // Stats returns a snapshot of operation counters.
@@ -204,22 +375,39 @@ func (n *Node) handlePut(body []byte) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
+	n.putMu.RLock()
 	if n.wal != nil {
 		if err := n.wal.Append(key, e); err != nil {
+			n.putMu.RUnlock()
 			return nil, err
 		}
 	}
 	n.applyPut(key, e)
+	n.putMu.RUnlock()
+	n.maybeSnapshot()
 	return nil, nil
 }
 
 // handlePutNX stores the entry only when the key is absent, returning a
-// single byte: 1 when the key already existed, 0 when stored.
+// single byte: 1 when the key already existed, 0 when stored. The log
+// append happens before the table insert — same order as handlePut — so
+// a crash between the two can lose an unacknowledged insert but never
+// acknowledge an unlogged one.
 func (n *Node) handlePutNX(body []byte) ([]byte, error) {
 	n.puts.Add(1)
 	key, e, _, err := decodeEntry(body)
 	if err != nil {
 		return nil, err
+	}
+	if _, exists := n.localGet(key); exists {
+		return []byte{1}, nil
+	}
+	n.putMu.RLock()
+	if n.wal != nil {
+		if err := n.wal.Append(key, e); err != nil {
+			n.putMu.RUnlock()
+			return nil, err
+		}
 	}
 	k := string(key)
 	n.mu.Lock()
@@ -228,14 +416,14 @@ func (n *Node) handlePutNX(body []byte) ([]byte, error) {
 		n.table[k] = e
 	}
 	n.mu.Unlock()
+	n.putMu.RUnlock()
 	if exists {
+		// Lost the race after the existence check: the WAL record is
+		// harmless — replay applies last-write-wins, and the stored
+		// entry's version beats or equals ours.
 		return []byte{1}, nil
 	}
-	if n.wal != nil {
-		if err := n.wal.Append(key, e); err != nil {
-			return nil, err
-		}
-	}
+	n.maybeSnapshot()
 	return []byte{0}, nil
 }
 
@@ -271,20 +459,25 @@ func (n *Node) handleBatchPut(body []byte) ([]byte, error) {
 	}
 	count := binary.BigEndian.Uint32(body)
 	src := body[4:]
+	n.putMu.RLock()
 	for i := uint32(0); i < count; i++ {
 		key, e, rest, err := decodeEntry(src)
 		if err != nil {
+			n.putMu.RUnlock()
 			return nil, fmt.Errorf("kvstore: batch record %d: %w", i, err)
 		}
 		if n.wal != nil {
 			if err := n.wal.Append(key, e); err != nil {
+				n.putMu.RUnlock()
 				return nil, err
 			}
 		}
 		n.applyPut(key, e)
 		src = rest
 	}
+	n.putMu.RUnlock()
 	n.puts.Add(int64(count))
+	n.maybeSnapshot()
 	return nil, nil
 }
 

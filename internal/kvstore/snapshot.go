@@ -1,0 +1,152 @@
+package kvstore
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// Snapshot file format: a CRC-framed dump of the in-memory table that,
+// together with the WAL suffix written after it, reconstructs a node's
+// exact pre-crash state. Layout:
+//
+//	8 bytes  magic "EFSNAP1\n"
+//	u32      record count
+//	repeated u32 length | u32 crc32(payload) | payload (encoded key+entry)
+//
+// A snapshot is written to a temp file, fsynced, then atomically renamed
+// over the previous one (and the directory fsynced), so a crash at any
+// point leaves either the old snapshot or the new one — never a partial
+// file. Corruption in a loaded snapshot is therefore real damage, not a
+// torn write, and recovery fails loudly instead of silently dropping the
+// index.
+
+// snapshotMagic identifies a snapshot file and its format version.
+var snapshotMagic = []byte("EFSNAP1\n")
+
+// writeSnapshot durably writes table to path via write-temp → fsync →
+// atomic rename, returning the file size.
+func writeSnapshot(path string, table map[string]Entry) (int64, error) {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return 0, fmt.Errorf("kvstore: write snapshot: %w", err)
+	}
+	cleanup := func(err error) (int64, error) {
+		_ = f.Close()
+		_ = os.Remove(tmp)
+		return 0, err
+	}
+	w := bufio.NewWriter(f)
+	if _, err := w.Write(snapshotMagic); err != nil {
+		return cleanup(fmt.Errorf("kvstore: write snapshot: %w", err))
+	}
+	var hdr [8]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(len(table)))
+	if _, err := w.Write(hdr[:4]); err != nil {
+		return cleanup(fmt.Errorf("kvstore: write snapshot: %w", err))
+	}
+	size := int64(len(snapshotMagic) + 4)
+	var payload []byte
+	for k, e := range table {
+		payload = encodeEntry(payload[:0], []byte(k), e)
+		binary.BigEndian.PutUint32(hdr[:4], uint32(len(payload)))
+		binary.BigEndian.PutUint32(hdr[4:], crc32.ChecksumIEEE(payload))
+		if _, err := w.Write(hdr[:]); err != nil {
+			return cleanup(fmt.Errorf("kvstore: write snapshot: %w", err))
+		}
+		if _, err := w.Write(payload); err != nil {
+			return cleanup(fmt.Errorf("kvstore: write snapshot: %w", err))
+		}
+		size += int64(8 + len(payload))
+	}
+	if err := w.Flush(); err != nil {
+		return cleanup(fmt.Errorf("kvstore: write snapshot: %w", err))
+	}
+	if err := f.Sync(); err != nil {
+		return cleanup(fmt.Errorf("kvstore: sync snapshot: %w", err))
+	}
+	if err := f.Close(); err != nil {
+		_ = os.Remove(tmp)
+		return 0, fmt.Errorf("kvstore: close snapshot: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		_ = os.Remove(tmp)
+		return 0, fmt.Errorf("kvstore: install snapshot: %w", err)
+	}
+	if err := syncDir(filepath.Dir(path)); err != nil {
+		return 0, err
+	}
+	return size, nil
+}
+
+// syncDir fsyncs a directory so a just-renamed file survives power loss.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("kvstore: sync snapshot dir: %w", err)
+	}
+	if err := d.Sync(); err != nil {
+		_ = d.Close()
+		return fmt.Errorf("kvstore: sync snapshot dir: %w", err)
+	}
+	if err := d.Close(); err != nil {
+		return fmt.Errorf("kvstore: sync snapshot dir: %w", err)
+	}
+	return nil
+}
+
+// loadSnapshot reads a snapshot into a fresh table. A missing file means
+// a fresh node (nil map, nil error); any framing, CRC or decode failure
+// is ErrCorrupt — snapshots are installed atomically, so damage is never
+// an expected crash artifact.
+func loadSnapshot(path string) (map[string]Entry, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("kvstore: load snapshot: %w", err)
+	}
+	defer f.Close()
+	r := bufio.NewReader(f)
+	magic := make([]byte, len(snapshotMagic))
+	if _, err := io.ReadFull(r, magic); err != nil || !bytes.Equal(magic, snapshotMagic) {
+		return nil, fmt.Errorf("%w: snapshot %s: bad magic", ErrCorrupt, path)
+	}
+	var cnt [4]byte
+	if _, err := io.ReadFull(r, cnt[:]); err != nil {
+		return nil, fmt.Errorf("%w: snapshot %s: truncated count", ErrCorrupt, path)
+	}
+	count := binary.BigEndian.Uint32(cnt[:])
+	table := make(map[string]Entry, count)
+	for i := uint32(0); i < count; i++ {
+		var hdr [8]byte
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			return nil, fmt.Errorf("%w: snapshot %s: truncated record %d", ErrCorrupt, path, i)
+		}
+		n := binary.BigEndian.Uint32(hdr[:4])
+		want := binary.BigEndian.Uint32(hdr[4:])
+		if n > maxWALRecord {
+			return nil, fmt.Errorf("%w: snapshot %s: record %d of %d bytes", ErrCorrupt, path, i, n)
+		}
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			return nil, fmt.Errorf("%w: snapshot %s: truncated record %d", ErrCorrupt, path, i)
+		}
+		if crc32.ChecksumIEEE(payload) != want {
+			return nil, fmt.Errorf("%w: snapshot %s: record %d crc mismatch", ErrCorrupt, path, i)
+		}
+		key, e, rest, err := decodeEntry(payload)
+		if err != nil || len(rest) != 0 {
+			return nil, fmt.Errorf("%w: snapshot %s: record %d undecodable", ErrCorrupt, path, i)
+		}
+		table[string(key)] = e
+	}
+	return table, nil
+}

@@ -35,6 +35,16 @@ var ErrProto = errors.New("kvstore: protocol error")
 // arguments: caller mistakes, never transient.
 var ErrConfig = errors.New("kvstore: invalid configuration")
 
+// ErrClosed marks operations against a closed WAL or node: callers raced
+// a shutdown, never transient.
+var ErrClosed = errors.New("kvstore: closed")
+
+// ErrCorrupt marks durable state (snapshot files) that fails its CRC or
+// framing checks. Unlike a torn WAL tail — an expected crash artifact
+// that is silently truncated — snapshot corruption means real damage,
+// and recovery surfaces it instead of serving a silently shrunken index.
+var ErrCorrupt = errors.New("kvstore: corrupt durable state")
+
 // Entry is one stored record.
 type Entry struct {
 	// Value is the payload.

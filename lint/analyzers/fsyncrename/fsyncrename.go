@@ -1,0 +1,151 @@
+// Package fsyncrename flags os.Rename calls that install a file written
+// in the same function without an intervening (*os.File).Sync.
+//
+// Write-temp → rename is this repository's atomic-install idiom (WAL
+// snapshots, cloud chunk files): the rename makes the new file visible
+// in one step. But rename only orders the *directory* update — the data
+// blocks behind it are still in the page cache unless they were fsynced
+// first. A crash after an unsynced rename can leave the destination as
+// an empty or truncated file, which for durable state (a snapshot the
+// WAL was truncated against) is silent data loss. The crash-recovery
+// tests fake kills above the filesystem, so only this analyzer sees the
+// missing fsync.
+//
+// Detection is a per-function positional sweep, like lockedio: file
+// writes ((*os.File) Write/WriteString/WriteAt/ReadFrom/Truncate,
+// os.WriteFile, and (*bufio.Writer) writes and Flush) and
+// (*os.File).Sync calls are collected in source order; an os.Rename
+// with a write after the last Sync is reported. Renames in functions
+// that wrote nothing (pure moves) are fine. Nested function literals
+// are swept separately, and deferred calls are ignored — a deferred
+// Sync runs after the rename, too late to order it.
+package fsyncrename
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"efdedup/lint/analysis"
+)
+
+// Analyzer is the fsyncrename pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "fsyncrename",
+	Doc:  "reports os.Rename of a file written in the same function without a preceding File.Sync (unsynced atomic install)",
+	Run:  run,
+}
+
+// event is one durability-relevant occurrence inside a function body.
+type event struct {
+	pos  token.Pos
+	kind int
+	desc string
+}
+
+const (
+	evWrite = iota
+	evSync
+	evRename
+)
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					sweep(pass, fn.Body)
+				}
+			case *ast.FuncLit:
+				sweep(pass, fn.Body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// sweep collects write/sync/rename events in source order (skipping
+// nested function literals and deferred calls) and reports renames whose
+// last write is not covered by a Sync.
+func sweep(pass *analysis.Pass, body *ast.BlockStmt) {
+	var events []event
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.FuncLit:
+			return false // separate sweep; run visits every literal
+		case *ast.DeferStmt:
+			// Deferred calls run at return — after any rename in the body.
+			return false
+		case *ast.CallExpr:
+			if ev, ok := classify(pass, node); ok {
+				events = append(events, ev)
+			}
+		}
+		return true
+	})
+
+	sort.Slice(events, func(i, j int) bool { return events[i].pos < events[j].pos })
+	var lastWrite, lastSync token.Pos
+	var lastDesc string
+	for _, ev := range events {
+		switch ev.kind {
+		case evWrite:
+			lastWrite = ev.pos
+			lastDesc = ev.desc
+		case evSync:
+			lastSync = ev.pos
+		case evRename:
+			if lastWrite != token.NoPos && lastWrite > lastSync {
+				pass.Reportf(ev.pos, "os.Rename after %s (line %d) without a File.Sync in between; fsync before renaming or a crash can install an empty file",
+					lastDesc, pass.Fset.Position(lastWrite).Line)
+			}
+		}
+	}
+}
+
+// classify decides whether a call writes file data, syncs it, or renames.
+func classify(pass *analysis.Pass, call *ast.CallExpr) (event, bool) {
+	if pass.IsPkgFunc(call, "os", "Rename") {
+		return event{pos: call.Pos(), kind: evRename}, true
+	}
+	if pass.IsPkgFunc(call, "os", "WriteFile") {
+		return event{pos: call.Pos(), kind: evWrite, desc: "os.WriteFile"}, true
+	}
+	fn, ok := pass.CalleeObject(call).(*types.Func)
+	if !ok {
+		return event{}, false
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return event{}, false
+	}
+	named, ok := deref(recv.Type()).(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return event{}, false
+	}
+	switch {
+	case named.Obj().Pkg().Path() == "os" && named.Obj().Name() == "File":
+		switch fn.Name() {
+		case "Sync":
+			return event{pos: call.Pos(), kind: evSync}, true
+		case "Write", "WriteString", "WriteAt", "ReadFrom", "Truncate":
+			return event{pos: call.Pos(), kind: evWrite, desc: "os.File." + fn.Name()}, true
+		}
+	case named.Obj().Pkg().Path() == "bufio" && named.Obj().Name() == "Writer":
+		switch fn.Name() {
+		case "Write", "WriteString", "WriteByte", "WriteRune", "ReadFrom", "Flush":
+			return event{pos: call.Pos(), kind: evWrite, desc: "bufio.Writer." + fn.Name()}, true
+		}
+	}
+	return event{}, false
+}
+
+func deref(t types.Type) types.Type {
+	if p, ok := t.(*types.Pointer); ok {
+		return p.Elem()
+	}
+	return t
+}

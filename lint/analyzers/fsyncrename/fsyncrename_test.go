@@ -1,0 +1,12 @@
+package fsyncrename_test
+
+import (
+	"testing"
+
+	"efdedup/lint/analysistest"
+	"efdedup/lint/analyzers/fsyncrename"
+)
+
+func TestFsyncRename(t *testing.T) {
+	analysistest.Run(t, fsyncrename.Analyzer, "fsyncrename")
+}

@@ -1,0 +1,127 @@
+// Fixture for the fsyncrename analyzer: renames installing freshly
+// written files must be preceded by a File.Sync; pure moves and properly
+// synced installs must stay silent.
+package fsyncrename
+
+import (
+	"bufio"
+	"os"
+)
+
+// badWriteRename: classic unsynced atomic install.
+func badWriteRename(path string, data []byte) error {
+	f, err := os.Create(path + ".tmp")
+	if err != nil {
+		return err
+	}
+	f.Write(data)
+	f.Close()
+	return os.Rename(path+".tmp", path) // want `os\.Rename after os\.File\.Write .* without a File\.Sync`
+}
+
+// goodWriteSyncRename: the idiom done right.
+func goodWriteSyncRename(path string, data []byte) error {
+	f, err := os.Create(path + ".tmp")
+	if err != nil {
+		return err
+	}
+	f.Write(data)
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	f.Close()
+	return os.Rename(path+".tmp", path)
+}
+
+// goodMoveOnly: renaming a file this function never wrote is a move, not
+// an install.
+func goodMoveOnly(from, to string) error {
+	return os.Rename(from, to)
+}
+
+// badWriteFileRename: os.WriteFile offers no fsync hook, so installing
+// its output via rename is always unsynced.
+func badWriteFileRename(path string, data []byte) error {
+	if err := os.WriteFile(path+".tmp", data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(path+".tmp", path) // want `os\.Rename after os\.WriteFile .* without a File\.Sync`
+}
+
+// badBufferedFlushRename: a bufio Flush moves bytes into the page cache,
+// not onto disk; it does not substitute for Sync.
+func badBufferedFlushRename(path string, data []byte) error {
+	f, err := os.Create(path + ".tmp")
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	w.Write(data)
+	w.Flush()
+	f.Close()
+	return os.Rename(path+".tmp", path) // want `os\.Rename after bufio\.Writer\.Flush .* without a File\.Sync`
+}
+
+// goodBufferedSyncRename: flush the buffer, then fsync, then rename.
+func goodBufferedSyncRename(path string, data []byte) error {
+	f, err := os.Create(path + ".tmp")
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	w.Write(data)
+	w.Flush()
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	f.Close()
+	return os.Rename(path+".tmp", path)
+}
+
+// badSyncThenWrite: a Sync before the final write covers nothing.
+func badSyncThenWrite(path string, data []byte) error {
+	f, err := os.Create(path + ".tmp")
+	if err != nil {
+		return err
+	}
+	f.Write(data)
+	f.Sync()
+	f.WriteString("trailer")
+	f.Close()
+	return os.Rename(path+".tmp", path) // want `os\.Rename after os\.File\.WriteString .* without a File\.Sync`
+}
+
+// badDeferredSync: a deferred Sync runs after the rename — too late.
+func badDeferredSync(path string, data []byte) error {
+	f, err := os.Create(path + ".tmp")
+	if err != nil {
+		return err
+	}
+	defer f.Sync()
+	f.Write(data)
+	return os.Rename(path+".tmp", path) // want `os\.Rename after os\.File\.Write .* without a File\.Sync`
+}
+
+// goodLiteralScopes: a write inside a nested function literal does not
+// taint the outer rename (separate sweeps).
+func goodLiteralScopes(path string, data []byte) error {
+	write := func(p string) {
+		f, _ := os.Create(p)
+		f.Write(data)
+		f.Sync()
+		f.Close()
+	}
+	write(path + ".tmp")
+	return os.Rename(path+".tmp", path)
+}
+
+// badTruncateRename: Truncate rewrites file state just like a write.
+func badTruncateRename(path string) error {
+	f, err := os.OpenFile(path+".tmp", os.O_RDWR, 0o644)
+	if err != nil {
+		return err
+	}
+	f.Truncate(0)
+	f.Close()
+	return os.Rename(path+".tmp", path) // want `os\.Rename after os\.File\.Truncate .* without a File\.Sync`
+}

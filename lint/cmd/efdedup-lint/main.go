@@ -7,8 +7,9 @@
 // and never silently lost when they carry quorum sentinels (errlost), a
 // bit-deterministic model/sim/estimate/partition core (nodeterm),
 // bounded constant metric names (metricname), contexts in first
-// position (ctxfirst), joinable goroutines (goleak) and no per-chunk
-// allocations on the dedup pipeline hot path (hotalloc).
+// position (ctxfirst), joinable goroutines (goleak), no per-chunk
+// allocations on the dedup pipeline hot path (hotalloc), and atomic
+// file installs fsynced before their rename (fsyncrename).
 //
 // Usage:
 //
@@ -35,6 +36,7 @@ import (
 	"efdedup/lint/analyzers/ctxfirst"
 	"efdedup/lint/analyzers/errclass"
 	"efdedup/lint/analyzers/errlost"
+	"efdedup/lint/analyzers/fsyncrename"
 	"efdedup/lint/analyzers/goleak"
 	"efdedup/lint/analyzers/hotalloc"
 	"efdedup/lint/analyzers/lockedio"
@@ -50,6 +52,7 @@ var all = []*analysis.Analyzer{
 	ctxfirst.Analyzer,
 	errclass.Analyzer,
 	errlost.Analyzer,
+	fsyncrename.Analyzer,
 	goleak.Analyzer,
 	hotalloc.Analyzer,
 	lockedio.Analyzer,
