@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race race-core bench bench-agent bench-compare figures figures-quick vet cover lint fuzz-short chaos ci clean
+.PHONY: all build test race race-core bench bench-agent bench-restore bench-compare bench-compare-restore figures figures-quick vet cover lint fuzz-short chaos ci clean
 
 all: build test
 
@@ -55,7 +55,7 @@ fuzz-short:
 # e2e (torn WAL tail, anti-entropy convergence, membership growth) plus
 # the WAL/snapshot durability and repair unit tests.
 chaos:
-	$(GO) test -race -count=2 -run 'TestDurableRingSurvivesKillRestartRejoin|TestAgentSurvives' ./internal/faultnet
+	$(GO) test -race -count=2 -run 'TestDurableRingSurvivesKillRestartRejoin|TestAgentSurvives|TestRestoreSurvives' ./internal/faultnet
 	$(GO) test -race -count=2 -run 'TestWAL|TestSnapshot|TestRepair|TestProbe' ./internal/kvstore
 
 bench:
@@ -67,11 +67,23 @@ bench:
 bench-agent:
 	$(GO) test -run '^$$' -bench '^BenchmarkAgentProcessStream$$' -benchtime=1x -cpu 1,4,8 ./internal/agent
 
+# One-iteration smoke of the container restore benchmarks (also in CI):
+# container pipeline vs serial chunk-by-chunk baseline over a
+# latency-shaped link.
+bench-restore:
+	$(GO) test -run '^$$' -bench '^BenchmarkCloudRestore(Serial)?$$' -benchtime=1x -cpu 4 ./internal/cloudstore
+
 # Measure the agent pipeline and print a benchstat-style old/new/delta
 # table against BENCH_agent.json. `go run ./tools/benchcompare -update`
 # re-records the baseline.
 bench-compare:
 	$(GO) run ./tools/benchcompare
+
+# Measure container vs serial restore throughput and compare against
+# BENCH_restore.json (same -update convention as bench-compare).
+bench-compare-restore:
+	$(GO) run ./tools/benchcompare -bench 'BenchmarkCloudRestore|BenchmarkCloudRestoreSerial' \
+		-pkg ./internal/cloudstore -cpu 1,4 -baseline BENCH_restore.json
 
 # Regenerate every figure of the paper's evaluation at full size.
 figures:

@@ -36,6 +36,10 @@ func run() error {
 		dataDir     = flag.String("dir", "", "persist chunks and manifests under this directory (survives restarts)")
 		statsEach   = flag.Duration("stats-interval", time.Minute, "how often to log store statistics (0 disables)")
 		metricsAddr = flag.String("metrics-addr", "", "serve /metrics and /debug/pprof/ on this address (empty disables)")
+
+		containerBytes = flag.Int("container-bytes", cloudstore.DefaultContainerBytes, "target sealed locality-container size")
+		dupFraction    = flag.Float64("dup-fraction", cloudstore.DefaultDupFraction, "selective-duplication byte budget as a fraction of unique bytes (0 disables repacking)")
+		sparseRefs     = flag.Int("sparse-ref-limit", cloudstore.DefaultSparseRefLimit, "a manifest referencing a container for at most this many chunks marks it fragmenting")
 	)
 	flag.Parse()
 
@@ -50,7 +54,13 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	srv, err := cloudstore.NewServer(cloudstore.Config{Chunker: chunker, Dir: *dataDir})
+	srv, err := cloudstore.NewServer(cloudstore.Config{
+		Chunker:        chunker,
+		Dir:            *dataDir,
+		ContainerBytes: *containerBytes,
+		DupFraction:    *dupFraction,
+		SparseRefLimit: *sparseRefs,
+	})
 	if err != nil {
 		return err
 	}
@@ -70,8 +80,8 @@ func run() error {
 				select {
 				case <-ticker.C:
 					s := srv.Stats()
-					log.Printf("stats: unique=%d chunks / %d bytes, logical=%d bytes, raw-uploads=%d, manifests=%d",
-						s.UniqueChunks, s.UniqueBytes, s.LogicalBytes, s.RawUploads, s.Manifests)
+					log.Printf("stats: unique=%d chunks / %d bytes, logical=%d bytes, raw-uploads=%d, manifests=%d, containers=%d (dup=%d bytes)",
+						s.UniqueChunks, s.UniqueBytes, s.LogicalBytes, s.RawUploads, s.Manifests, s.ContainersSealed, s.DuplicatedBytes)
 				case <-stop:
 					return
 				}

@@ -1,11 +1,14 @@
 // Command efdedup-restore downloads a stream previously deduplicated into
 // the central cloud store, reassembling it from its manifest and verifying
-// every chunk's content address.
+// every chunk's content address. The restore streams container-at-a-time
+// through a read-ahead cache — memory use is bounded by the cache, not the
+// file — and the output file is written atomically (temp file + rename),
+// so an interrupted restore never leaves a half-written file at -out.
 //
 // Usage:
 //
 //	efdedup-restore -cloud cloud:7080 -name edge-0/file-3 -out restored.bin
-//	efdedup-restore -cloud cloud:7080 -list            # (show store stats)
+//	efdedup-restore -cloud cloud:7080 -stats            # (show store stats)
 package main
 
 import (
@@ -14,6 +17,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"path/filepath"
 	"time"
 
 	"efdedup/internal/cloudstore"
@@ -33,6 +37,8 @@ func run() error {
 		out       = flag.String("out", "", "output path ('-' or empty writes to stdout)")
 		stats     = flag.Bool("stats", false, "print store statistics instead of restoring")
 		timeout   = flag.Duration("timeout", 5*time.Minute, "overall deadline")
+		readAhead = flag.Int("read-ahead", cloudstore.DefaultRestoreReadAhead, "parallel container fetches")
+		cacheCap  = flag.Int("cache-containers", cloudstore.DefaultRestoreCacheContainers, "read-ahead container cache capacity")
 	)
 	flag.Parse()
 
@@ -49,24 +55,66 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		fmt.Printf("unique chunks: %d (%d bytes)\nlogical bytes: %d\nraw uploads:   %d\nmanifests:     %d\n",
-			st.UniqueChunks, st.UniqueBytes, st.LogicalBytes, st.RawUploads, st.Manifests)
+		fmt.Printf("unique chunks: %d (%d bytes)\nlogical bytes: %d\nraw uploads:   %d\nmanifests:     %d\ncontainers:    %d sealed (%d duplicated bytes)\n",
+			st.UniqueChunks, st.UniqueBytes, st.LogicalBytes, st.RawUploads, st.Manifests, st.ContainersSealed, st.DuplicatedBytes)
 		return nil
 	}
 	if *name == "" {
 		return fmt.Errorf("need -name (or -stats); usage: efdedup-restore -name <manifest>")
 	}
-	data, err := client.Restore(ctx, *name)
+	opts := cloudstore.RestoreOptions{ReadAhead: *readAhead, CacheContainers: *cacheCap}
+
+	if *out == "" || *out == "-" {
+		_, err := client.RestoreTo(ctx, *name, os.Stdout, opts)
+		return err
+	}
+	st, err := restoreToFile(ctx, client, *name, *out, opts)
 	if err != nil {
 		return err
 	}
-	if *out == "" || *out == "-" {
-		_, err = os.Stdout.Write(data)
-		return err
-	}
-	if err := os.WriteFile(*out, data, 0o644); err != nil {
-		return err
-	}
-	log.Printf("restored %s: %d bytes, all chunks verified", *name, len(data))
+	log.Printf("restored %s: %d bytes in %d chunks, %d containers touched (cache %d hit / %d miss, %d fallback chunks), all chunks verified",
+		*name, st.Bytes, st.Chunks, st.ContainersTouched, st.CacheHits, st.CacheMisses, st.FallbackChunks)
 	return nil
+}
+
+// restoreToFile streams the restore into a temp file next to the target
+// and renames it into place only after every chunk verified, so -out is
+// either absent, the old file, or a complete verified restore.
+func restoreToFile(ctx context.Context, client *cloudstore.Client, name, out string, opts cloudstore.RestoreOptions) (cloudstore.RestoreStats, error) {
+	dir := filepath.Dir(out)
+	tmp, err := os.CreateTemp(dir, ".restore-*")
+	if err != nil {
+		return cloudstore.RestoreStats{}, err
+	}
+	tmpName := tmp.Name()
+	defer os.Remove(tmpName) // no-op after a successful rename
+
+	st, err := client.RestoreTo(ctx, name, tmp, opts)
+	if err != nil {
+		tmp.Close()
+		return st, err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return st, err
+	}
+	if err := tmp.Close(); err != nil {
+		return st, err
+	}
+	if err := os.Chmod(tmpName, 0o644); err != nil {
+		return st, err
+	}
+	if err := os.Rename(tmpName, out); err != nil {
+		return st, err
+	}
+	// Fsync the directory so the rename itself survives power loss.
+	df, err := os.Open(dir)
+	if err != nil {
+		return st, err
+	}
+	if err := df.Sync(); err != nil {
+		df.Close()
+		return st, err
+	}
+	return st, df.Close()
 }

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"strings"
 	"sync"
 
 	"efdedup/internal/chunk"
@@ -19,7 +20,8 @@ import (
 // without a registry lookup.
 var clientMethods = []string{
 	methodUpload, methodBatchUpload, methodBatchHas, methodUploadRaw,
-	methodGetChunk, methodPutManifest, methodGetManifest, methodStats,
+	methodGetChunk, methodGetChunks, methodGetRecipe, methodGetContainer,
+	methodPutManifest, methodGetManifest, methodStats,
 }
 
 // Dialer is the dial half of a transport network.
@@ -227,7 +229,7 @@ func (c *Client) UploadRaw(ctx context.Context, name string, data []byte) (store
 	body = append(body, data...)
 	resp, err := c.call(ctx, methodUploadRaw, body)
 	if err != nil {
-		return 0, err
+		return 0, classifyRemote(err)
 	}
 	if len(resp) != 4 {
 		return 0, fmt.Errorf("%w: malformed raw upload response", ErrProto)
@@ -258,7 +260,7 @@ func (c *Client) PutManifest(ctx context.Context, name string, ids []chunk.ID) e
 		body = append(body, id[:]...)
 	}
 	_, err := c.call(ctx, methodPutManifest, body)
-	return err
+	return classifyRemote(err)
 }
 
 // GetManifest returns the chunk sequence of a named file.
@@ -280,45 +282,49 @@ func (c *Client) GetManifest(ctx context.Context, name string) ([]chunk.ID, erro
 	return ids, nil
 }
 
-// Restore downloads and reassembles a named file, verifying every chunk.
-func (c *Client) Restore(ctx context.Context, name string) ([]byte, error) {
-	ids, err := c.GetManifest(ctx, name)
-	if err != nil {
-		return nil, err
-	}
-	var out []byte
-	for i, id := range ids {
-		data, err := c.GetChunk(ctx, id)
-		if err != nil {
-			return nil, fmt.Errorf("cloudstore: restore %s chunk %d: %w", name, i, err)
-		}
-		if chunk.Sum(data) != id {
-			return nil, fmt.Errorf("%w: restore %s chunk %d", ErrCorrupt, name, i)
-		}
-		out = append(out, data...)
-	}
-	return out, nil
-}
-
 // FetchStats retrieves the server's counters.
 func (c *Client) FetchStats(ctx context.Context) (Stats, error) {
 	resp, err := c.call(ctx, methodStats, nil)
 	if err != nil {
 		return Stats{}, err
 	}
-	if len(resp) != 40 {
+	if len(resp) != 56 {
 		return Stats{}, fmt.Errorf("%w: malformed stats response", ErrProto)
 	}
 	return Stats{
-		UniqueChunks: int64(binary.BigEndian.Uint64(resp[0:])),
-		UniqueBytes:  int64(binary.BigEndian.Uint64(resp[8:])),
-		LogicalBytes: int64(binary.BigEndian.Uint64(resp[16:])),
-		RawUploads:   int64(binary.BigEndian.Uint64(resp[24:])),
-		Manifests:    int64(binary.BigEndian.Uint64(resp[32:])),
+		UniqueChunks:     int64(binary.BigEndian.Uint64(resp[0:])),
+		UniqueBytes:      int64(binary.BigEndian.Uint64(resp[8:])),
+		LogicalBytes:     int64(binary.BigEndian.Uint64(resp[16:])),
+		RawUploads:       int64(binary.BigEndian.Uint64(resp[24:])),
+		Manifests:        int64(binary.BigEndian.Uint64(resp[32:])),
+		ContainersSealed: int64(binary.BigEndian.Uint64(resp[40:])),
+		DuplicatedBytes:  int64(binary.BigEndian.Uint64(resp[48:])),
 	}, nil
 }
 
 func isRemoteNotFound(err error) bool {
 	var remote *transport.RemoteError
 	return errors.As(err, &remote) && remote.Msg == ErrNotFound.Error()
+}
+
+// classifyRemote maps a server-side application error back onto the
+// package sentinels so callers can errors.Is across the RPC boundary:
+// remote not-found becomes ErrNotFound, and remote integrity failures
+// (whose messages carry the offending container) wrap ErrCorrupt.
+func classifyRemote(err error) error {
+	var remote *transport.RemoteError
+	if !errors.As(err, &remote) {
+		return err
+	}
+	if remote.Msg == ErrNotFound.Error() || strings.HasSuffix(remote.Msg, ": "+ErrNotFound.Error()) ||
+		strings.HasPrefix(remote.Msg, ErrNotFound.Error()+":") {
+		return fmt.Errorf("%w: %s", ErrNotFound, remote.Msg)
+	}
+	if strings.Contains(remote.Msg, ErrCorrupt.Error()) {
+		return fmt.Errorf("%w: %s", ErrCorrupt, remote.Msg)
+	}
+	if strings.Contains(remote.Msg, ErrProto.Error()) {
+		return fmt.Errorf("%w: %s", ErrProto, remote.Msg)
+	}
+	return err
 }

@@ -11,8 +11,11 @@
 //   - Cloud-only agents ship raw data (UploadRaw); the cloud chunks and
 //     deduplicates server-side.
 //
-// Manifests map a file name to its chunk sequence so any stored stream can
-// be restored and verified end to end.
+// Manifests map a file name to its chunk sequence so any stored stream
+// can be restored and verified end to end. On the read side, fresh
+// chunks are packed in upload order into locality-preserving containers
+// (container.go); restores fetch whole containers through a read-ahead
+// cache instead of one RPC per chunk.
 package cloudstore
 
 import (
@@ -29,14 +32,17 @@ import (
 
 // RPC method names served by the cloud store.
 const (
-	methodUpload      = "cloud.upload"
-	methodBatchUpload = "cloud.batchupload"
-	methodBatchHas    = "cloud.batchhas"
-	methodUploadRaw   = "cloud.uploadraw"
-	methodGetChunk    = "cloud.getchunk"
-	methodPutManifest = "cloud.putmanifest"
-	methodGetManifest = "cloud.getmanifest"
-	methodStats       = "cloud.stats"
+	methodUpload       = "cloud.upload"
+	methodBatchUpload  = "cloud.batchupload"
+	methodBatchHas     = "cloud.batchhas"
+	methodUploadRaw    = "cloud.uploadraw"
+	methodGetChunk     = "cloud.getchunk"
+	methodGetChunks    = "cloud.getchunks"
+	methodGetRecipe    = "cloud.getrecipe"
+	methodGetContainer = "cloud.getcontainer"
+	methodPutManifest  = "cloud.putmanifest"
+	methodGetManifest  = "cloud.getmanifest"
+	methodStats        = "cloud.stats"
 )
 
 // ErrNotFound is returned for missing chunks or manifests.
@@ -70,6 +76,12 @@ type Stats struct {
 	RawUploads int64
 	// Manifests counts stored file manifests.
 	Manifests int64
+	// ContainersSealed counts sealed locality containers.
+	ContainersSealed int64
+	// DuplicatedBytes counts selective-duplication bytes spent packing
+	// hot shared chunks near their new neighbours (capped by
+	// Config.DupFraction).
+	DuplicatedBytes int64
 }
 
 // Server is the central cloud store.
@@ -82,6 +94,8 @@ type Server struct {
 	disk      *DiskStore // nil for the in-memory store
 	stats     Stats
 
+	containers *containerStore
+
 	rpc      *transport.Server
 	listener net.Listener
 }
@@ -91,10 +105,24 @@ type Config struct {
 	// Chunker is used to split raw (cloud-only) uploads. Defaults to an
 	// 8 KiB fixed chunker, matching the edge agents.
 	Chunker chunk.Chunker
-	// Dir, when set, persists chunks and manifests under this directory
-	// (content-addressed files with atomic writes); the server rebuilds
-	// its index from disk on startup. Empty keeps everything in memory.
+	// Dir, when set, persists chunks, containers and manifests under
+	// this directory (content-addressed files with atomic writes); the
+	// server rebuilds its index from disk on startup. Empty keeps
+	// everything in memory.
 	Dir string
+	// ContainerBytes is the target sealed-container size. Defaults to
+	// DefaultContainerBytes (4 MiB).
+	ContainerBytes int
+	// DupFraction caps selective-duplication bytes at this fraction of
+	// the unique bytes packed into containers. Zero disables
+	// duplication entirely; the default is applied only when the field
+	// is negative-or-unset via DefaultConfig semantics — pass
+	// DefaultDupFraction explicitly to opt in.
+	DupFraction float64
+	// SparseRefLimit marks a container as fragmenting for a manifest
+	// that references it for at most this many chunks. Defaults to
+	// DefaultSparseRefLimit.
+	SparseRefLimit int
 }
 
 // NewServer builds an empty cloud store.
@@ -113,22 +141,41 @@ func NewServer(cfg Config) (*Server, error) {
 		manifests: make(map[string][]chunk.ID),
 		rpc:       transport.NewServer(),
 	}
+	startID := uint64(1)
 	if cfg.Dir != "" {
 		disk, err := NewDiskStore(cfg.Dir)
 		if err != nil {
 			return nil, err
 		}
 		s.disk = disk
-		// Rebuild the index and counters from what is already on disk.
+		// Rebuild the index and counters from what is already on disk:
+		// staged flat chunk files plus every chunk packed into a sealed
+		// container.
 		index, err := disk.LoadIndex()
 		if err != nil {
 			return nil, fmt.Errorf("cloudstore: rebuild index: %w", err)
+		}
+		loc, packedSizes, dupBytes, nextID, err := disk.LoadContainers()
+		if err != nil {
+			return nil, fmt.Errorf("cloudstore: rebuild containers: %w", err)
+		}
+		startID = nextID
+		var packedUnique int64
+		for id, size := range packedSizes {
+			packedUnique += size
+			if _, ok := index[id]; !ok {
+				index[id] = size
+			}
 		}
 		for id, size := range index {
 			s.chunks[id] = nil // presence marker; payload stays on disk
 			s.stats.UniqueChunks++
 			s.stats.UniqueBytes += size
 		}
+		s.stats.ContainersSealed = int64(startID - 1)
+		s.stats.DuplicatedBytes = dupBytes
+		s.containers = newContainerStore(disk, cfg.ContainerBytes, cfg.DupFraction, cfg.SparseRefLimit, startID)
+		s.containers.restoreLocators(loc, packedUnique, dupBytes)
 		names, err := disk.ManifestNames()
 		if err != nil {
 			return nil, fmt.Errorf("cloudstore: list manifests: %w", err)
@@ -141,12 +188,17 @@ func NewServer(cfg Config) (*Server, error) {
 			s.manifests[name] = ids
 			s.stats.Manifests++
 		}
+	} else {
+		s.containers = newContainerStore(nil, cfg.ContainerBytes, cfg.DupFraction, cfg.SparseRefLimit, startID)
 	}
 	s.handle(methodUpload, s.handleUpload)
 	s.handle(methodBatchUpload, s.handleBatchUpload)
 	s.handle(methodBatchHas, s.handleBatchHas)
 	s.handle(methodUploadRaw, s.handleUploadRaw)
 	s.handle(methodGetChunk, s.handleGetChunk)
+	s.handle(methodGetChunks, s.handleGetChunks)
+	s.handle(methodGetRecipe, s.handleGetRecipe)
+	s.handle(methodGetContainer, s.handleGetContainer)
 	s.handle(methodPutManifest, s.handlePutManifest)
 	s.handle(methodGetManifest, s.handleGetManifest)
 	s.handle(methodStats, s.handleStats)
@@ -194,27 +246,60 @@ func (s *Server) Addr() string {
 	return s.listener.Addr().String()
 }
 
-// Close stops the server.
-func (s *Server) Close() error { return s.rpc.Close() }
+// Close stops the server, sealing the open container so restarts serve
+// recent chunks with container locality immediately.
+func (s *Server) Close() error {
+	s.FlushContainers()
+	return s.rpc.Close()
+}
+
+// FlushContainers seals the open container regardless of fill level
+// (tests and benchmarks use it to make packing deterministic; Close
+// calls it on shutdown).
+func (s *Server) FlushContainers() {
+	s.containers.flush()
+	sealed, dup := s.containers.statsSnapshot()
+	s.mu.Lock()
+	s.stats.ContainersSealed = sealed
+	s.stats.DuplicatedBytes = dup
+	s.mu.Unlock()
+}
 
 // Stats returns a snapshot of the store's counters.
 func (s *Server) Stats() Stats {
 	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.stats
+	st := s.stats
+	s.mu.RUnlock()
+	st.ContainersSealed, st.DuplicatedBytes = s.containers.statsSnapshot()
+	return st
+}
+
+// validManifestName rejects names that cannot be stored or would alias
+// filesystem traversal entries. The empty name is rejected here; raw
+// uploads treat "" as "no manifest" and skip validation entirely.
+func validManifestName(name string) error {
+	switch name {
+	case "", ".", "..":
+		return fmt.Errorf("%w: invalid manifest name %q", ErrProto, name)
+	}
+	return nil
 }
 
 // storeChunk inserts data under its ID, returning whether it was new.
+// Durability order: the staged flat file first (the acknowledgement
+// hinges on it), then the in-memory index, then the locality container
+// (whose sealing supersedes the flat file).
 func (s *Server) storeChunk(id chunk.ID, data []byte) bool {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	s.stats.LogicalBytes += int64(len(data))
 	if _, ok := s.chunks[id]; ok {
+		s.mu.Unlock()
 		return false
 	}
 	if s.disk != nil {
 		if err := s.disk.PutChunk(id, data); err != nil {
 			// Persistence failure: do not record the chunk as stored.
+			s.mu.Unlock()
 			return false
 		}
 		s.chunks[id] = nil
@@ -225,7 +310,65 @@ func (s *Server) storeChunk(id chunk.ID, data []byte) bool {
 	}
 	s.stats.UniqueChunks++
 	s.stats.UniqueBytes += int64(len(data))
+	s.mu.Unlock()
+	s.containers.append(id, data, false)
 	return true
+}
+
+// chunkData reads one chunk payload from wherever its current copy
+// lives: the in-memory map, the staged flat file, or a sealed container.
+func (s *Server) chunkData(id chunk.ID) ([]byte, error) {
+	s.mu.RLock()
+	data, ok := s.chunks[id]
+	s.mu.RUnlock()
+	if !ok {
+		return nil, ErrNotFound
+	}
+	if data != nil || s.disk == nil {
+		if data == nil {
+			return nil, fmt.Errorf("%w: chunk %s lost from memory store", ErrCorrupt, id)
+		}
+		return data, nil
+	}
+	payload, err := s.disk.GetChunk(id)
+	if errors.Is(err, ErrNotFound) {
+		// The flat file was superseded by a sealed container copy.
+		return s.containers.readChunk(id)
+	}
+	return payload, err
+}
+
+// repackSparse applies bounded selective duplication after a manifest is
+// stored: chunks this manifest references in containers it touches only
+// sparsely are copied into the open container, so future restores of
+// this stream (and its successors) read dense containers instead of a
+// few chunks from each of many old ones.
+func (s *Server) repackSparse(ids []chunk.ID) {
+	if s.containers.dupFraction <= 0 || len(ids) == 0 {
+		return
+	}
+	sparse := s.containers.sparseContainers(ids)
+	if len(sparse) == 0 {
+		return
+	}
+	repacked := make(map[chunk.ID]bool)
+	for _, id := range ids {
+		if repacked[id] {
+			continue
+		}
+		loc, ok := s.containers.locate(id)
+		if !ok || !sparse[loc.Container] {
+			continue
+		}
+		data, err := s.chunkData(id)
+		if err != nil {
+			continue // unreadable copies are a restore-time problem, not a packing one
+		}
+		if !s.containers.append(id, data, true) {
+			return // duplication budget exhausted
+		}
+		repacked[id] = true
+	}
 }
 
 // --- handlers ----------------------------------------------------------
@@ -314,6 +457,11 @@ func (s *Server) handleUploadRaw(body []byte) ([]byte, error) {
 		return nil, fmt.Errorf("%w: truncated raw upload name", ErrProto)
 	}
 	name := string(body[2 : 2+nameLen])
+	if name != "" {
+		if err := validManifestName(name); err != nil {
+			return nil, err
+		}
+	}
 	payload := body[2+nameLen:]
 
 	var ids []chunk.ID
@@ -328,6 +476,14 @@ func (s *Server) handleUploadRaw(body []byte) ([]byte, error) {
 		}
 		ids = append(ids, c.ID)
 	}
+	// Durable-first: the manifest must hit disk before the in-memory
+	// catalog advertises it, or a failed write leaves the server claiming
+	// a manifest a restart will not have.
+	if s.disk != nil && name != "" {
+		if err := s.disk.PutManifest(name, ids); err != nil {
+			return nil, fmt.Errorf("cloudstore: persist manifest %q: %w", name, err)
+		}
+	}
 	s.mu.Lock()
 	s.stats.RawUploads++
 	if name != "" {
@@ -337,10 +493,8 @@ func (s *Server) handleUploadRaw(body []byte) ([]byte, error) {
 		s.manifests[name] = ids
 	}
 	s.mu.Unlock()
-	if s.disk != nil && name != "" {
-		if err := s.disk.PutManifest(name, ids); err != nil {
-			return nil, err
-		}
+	if name != "" {
+		s.repackSparse(ids)
 	}
 	return binary.BigEndian.AppendUint32(nil, stored), nil
 }
@@ -351,16 +505,65 @@ func (s *Server) handleGetChunk(body []byte) ([]byte, error) {
 	}
 	var id chunk.ID
 	copy(id[:], body)
+	return s.chunkData(id)
+}
+
+// getchunks body: u32 count | (32-byte ID)*; response: (u32 len |
+// payload)* in request order. The batched fallback for chunks that are
+// not (yet) in any sealed container.
+func (s *Server) handleGetChunks(body []byte) ([]byte, error) {
+	if len(body) < 4 {
+		return nil, fmt.Errorf("%w: truncated chunk list", ErrProto)
+	}
+	count := binary.BigEndian.Uint32(body)
+	src := body[4:]
+	if uint64(len(src)) < uint64(count)*chunk.IDSize {
+		return nil, fmt.Errorf("%w: truncated ID list", ErrProto)
+	}
+	var out []byte
+	for i := uint32(0); i < count; i++ {
+		var id chunk.ID
+		copy(id[:], src[i*chunk.IDSize:])
+		data, err := s.chunkData(id)
+		if err != nil {
+			return nil, fmt.Errorf("chunk %s: %w", id, err)
+		}
+		out = binary.BigEndian.AppendUint32(out, uint32(len(data)))
+		out = append(out, data...)
+	}
+	return out, nil
+}
+
+// getrecipe body: manifest name; response: u32 count | per chunk:
+// 32-byte ID | u64 container | u32 offset | u32 length. Container 0
+// means "no sealed copy" — the client falls back to getchunks.
+func (s *Server) handleGetRecipe(body []byte) ([]byte, error) {
 	s.mu.RLock()
-	data, ok := s.chunks[id]
+	ids, ok := s.manifests[string(body)]
 	s.mu.RUnlock()
 	if !ok {
 		return nil, ErrNotFound
 	}
-	if data == nil && s.disk != nil {
-		return s.disk.GetChunk(id)
+	out := make([]byte, 0, 4+len(ids)*(chunk.IDSize+16))
+	out = binary.BigEndian.AppendUint32(out, uint32(len(ids)))
+	for _, id := range ids {
+		out = append(out, id[:]...)
+		loc, _ := s.containers.locate(id) // zero value = fallback
+		out = binary.BigEndian.AppendUint64(out, loc.Container)
+		out = binary.BigEndian.AppendUint32(out, loc.Offset)
+		out = binary.BigEndian.AppendUint32(out, loc.Length)
 	}
-	return data, nil
+	return out, nil
+}
+
+// getcontainer body: u64 container ID; response: the container's raw
+// CRC-framed bytes. One RPC returns every chunk the container packs —
+// the batched unit of the restore path.
+func (s *Server) handleGetContainer(body []byte) ([]byte, error) {
+	if len(body) != 8 {
+		return nil, fmt.Errorf("%w: bad container ID length", ErrProto)
+	}
+	return s.containers.containerBytes(binary.BigEndian.Uint64(body))
 }
 
 // putmanifest body: u16 name length | name | (32-byte ID)*.
@@ -373,6 +576,9 @@ func (s *Server) handlePutManifest(body []byte) ([]byte, error) {
 		return nil, fmt.Errorf("%w: truncated manifest name", ErrProto)
 	}
 	name := string(body[2 : 2+nameLen])
+	if err := validManifestName(name); err != nil {
+		return nil, err
+	}
 	rest := body[2+nameLen:]
 	if len(rest)%chunk.IDSize != 0 {
 		return nil, fmt.Errorf("%w: manifest ID list misaligned", ErrProto)
@@ -381,17 +587,21 @@ func (s *Server) handlePutManifest(body []byte) ([]byte, error) {
 	for i := range ids {
 		copy(ids[i][:], rest[i*chunk.IDSize:])
 	}
+	// Durable-first, then memory: a manifest the disk refused must never
+	// be advertised from the in-memory catalog (the same ordering bug
+	// kvstore handlePutNX had — apply, then fail to log — in reverse).
+	if s.disk != nil {
+		if err := s.disk.PutManifest(name, ids); err != nil {
+			return nil, fmt.Errorf("cloudstore: persist manifest %q: %w", name, err)
+		}
+	}
 	s.mu.Lock()
 	if _, ok := s.manifests[name]; !ok {
 		s.stats.Manifests++
 	}
 	s.manifests[name] = ids
 	s.mu.Unlock()
-	if s.disk != nil {
-		if err := s.disk.PutManifest(name, ids); err != nil {
-			return nil, err
-		}
-	}
+	s.repackSparse(ids)
 	return nil, nil
 }
 
@@ -411,11 +621,13 @@ func (s *Server) handleGetManifest(body []byte) ([]byte, error) {
 
 func (s *Server) handleStats([]byte) ([]byte, error) {
 	st := s.Stats()
-	out := make([]byte, 0, 40)
+	out := make([]byte, 0, 56)
 	out = binary.BigEndian.AppendUint64(out, uint64(st.UniqueChunks))
 	out = binary.BigEndian.AppendUint64(out, uint64(st.UniqueBytes))
 	out = binary.BigEndian.AppendUint64(out, uint64(st.LogicalBytes))
 	out = binary.BigEndian.AppendUint64(out, uint64(st.RawUploads))
 	out = binary.BigEndian.AppendUint64(out, uint64(st.Manifests))
+	out = binary.BigEndian.AppendUint64(out, uint64(st.ContainersSealed))
+	out = binary.BigEndian.AppendUint64(out, uint64(st.DuplicatedBytes))
 	return out, nil
 }

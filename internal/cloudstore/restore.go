@@ -1,0 +1,501 @@
+package cloudstore
+
+// Client-side container restore pipeline.
+//
+// The old restore path issued one cloud.getchunk RPC per chunk and
+// buffered the whole file; restoring a 1 GiB VM image meant ~128k
+// serial round trips and 1 GiB of memory. The container path instead:
+//
+//  1. fetches the manifest's *recipe* (chunk IDs + container locators),
+//  2. groups consecutive recipe entries into runs — chunks that live in
+//     the same sealed container, or locator-less chunks batched for the
+//     getchunks fallback,
+//  3. fans the runs out to ReadAhead parallel fetchers that pull whole
+//     containers through a shared LRU cache (in-flight entries are
+//     pinned and deduplicated, so two runs touching one container cost
+//     one RPC),
+//  4. reassembles strictly in stream order into the caller's io.Writer,
+//     using the PR 5 FIFO + done-token ordered fan-out pattern.
+//
+// Memory is bounded by (cache capacity + in-flight runs) containers,
+// never by file size. Every payload is verified against its chunk ID
+// before a byte is written.
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+
+	"efdedup/internal/chunk"
+	"efdedup/internal/metrics"
+)
+
+// Restore pipeline defaults.
+const (
+	// DefaultRestoreReadAhead is how many container fetches run in
+	// parallel ahead of the reassembly cursor.
+	DefaultRestoreReadAhead = 4
+	// DefaultRestoreCacheContainers is the read-ahead cache capacity in
+	// containers (soft: pinned in-flight entries never evict).
+	DefaultRestoreCacheContainers = 8
+	// DefaultRestoreFallbackBatch caps how many locator-less chunks are
+	// fetched per cloud.getchunks fallback RPC.
+	DefaultRestoreFallbackBatch = 64
+)
+
+// RestoreOptions tunes the streaming restore pipeline. The zero value
+// picks the defaults above.
+type RestoreOptions struct {
+	// ReadAhead is the number of parallel container/fallback fetches.
+	ReadAhead int
+	// CacheContainers is the container cache capacity.
+	CacheContainers int
+	// FallbackBatch caps chunks per getchunks fallback RPC.
+	FallbackBatch int
+}
+
+func (o RestoreOptions) withDefaults() RestoreOptions {
+	if o.ReadAhead <= 0 {
+		o.ReadAhead = DefaultRestoreReadAhead
+	}
+	if o.CacheContainers <= 0 {
+		o.CacheContainers = DefaultRestoreCacheContainers
+	}
+	if o.FallbackBatch <= 0 {
+		o.FallbackBatch = DefaultRestoreFallbackBatch
+	}
+	return o
+}
+
+// RestoreStats reports what one streaming restore did.
+type RestoreStats struct {
+	// Bytes and Chunks are the reassembled stream totals.
+	Bytes  int64
+	Chunks int
+	// ContainersTouched is the number of distinct sealed containers the
+	// stream's recipe references — the fragmentation measure (a freshly
+	// packed stream touches few; a heavily deduplicated one, many).
+	ContainersTouched int
+	// CacheHits and CacheMisses count container-cache lookups; a miss is
+	// one cloud.getcontainer RPC.
+	CacheHits   int64
+	CacheMisses int64
+	// FallbackChunks counts chunks fetched via the batched getchunks
+	// path because no sealed container held them yet.
+	FallbackChunks int
+}
+
+// RecipeEntry is one chunk of a manifest's restore recipe: its content
+// address plus the sealed-container copy to read it from. A zero
+// Loc.Container means no sealed copy exists and the chunk must be
+// fetched individually.
+type RecipeEntry struct {
+	ID  chunk.ID
+	Loc Locator
+}
+
+// GetRecipe fetches the restore recipe of a named manifest.
+func (c *Client) GetRecipe(ctx context.Context, name string) ([]RecipeEntry, error) {
+	resp, err := c.call(ctx, methodGetRecipe, []byte(name))
+	if err != nil {
+		return nil, classifyRemote(err)
+	}
+	if len(resp) < 4 {
+		return nil, fmt.Errorf("%w: malformed recipe response", ErrProto)
+	}
+	count := int(binary.BigEndian.Uint32(resp))
+	resp = resp[4:]
+	const rec = chunk.IDSize + 16
+	if len(resp) != count*rec {
+		return nil, fmt.Errorf("%w: malformed recipe body", ErrProto)
+	}
+	out := make([]RecipeEntry, count)
+	for i := range out {
+		off := i * rec
+		copy(out[i].ID[:], resp[off:])
+		out[i].Loc.Container = binary.BigEndian.Uint64(resp[off+chunk.IDSize:])
+		out[i].Loc.Offset = binary.BigEndian.Uint32(resp[off+chunk.IDSize+8:])
+		out[i].Loc.Length = binary.BigEndian.Uint32(resp[off+chunk.IDSize+12:])
+	}
+	return out, nil
+}
+
+// GetContainer fetches a sealed container's raw CRC-framed bytes.
+func (c *Client) GetContainer(ctx context.Context, id uint64) ([]byte, error) {
+	resp, err := c.call(ctx, methodGetContainer, binary.BigEndian.AppendUint64(nil, id))
+	if err != nil {
+		return nil, classifyRemote(err)
+	}
+	return resp, nil
+}
+
+// GetChunks fetches many chunk payloads in one RPC, in request order.
+func (c *Client) GetChunks(ctx context.Context, ids []chunk.ID) ([][]byte, error) {
+	body := binary.BigEndian.AppendUint32(nil, uint32(len(ids)))
+	for _, id := range ids {
+		body = append(body, id[:]...)
+	}
+	resp, err := c.call(ctx, methodGetChunks, body)
+	if err != nil {
+		return nil, classifyRemote(err)
+	}
+	out := make([][]byte, 0, len(ids))
+	for len(out) < len(ids) {
+		if len(resp) < 4 {
+			return nil, fmt.Errorf("%w: truncated chunks response", ErrProto)
+		}
+		n := binary.BigEndian.Uint32(resp)
+		resp = resp[4:]
+		if uint32(len(resp)) < n {
+			return nil, fmt.Errorf("%w: truncated chunks payload", ErrProto)
+		}
+		out = append(out, resp[:n])
+		resp = resp[n:]
+	}
+	return out, nil
+}
+
+// --- read-ahead container cache ---------------------------------------
+
+// cacheEntry is one container in the cache. ready is closed once chunks
+// and err are set; refs pins the entry against eviction while fetchers
+// and extractors hold it.
+type cacheEntry struct {
+	id     uint64
+	ready  chan struct{}
+	chunks map[chunk.ID][]byte
+	err    error
+	refs   int
+}
+
+// containerCache is a per-restore LRU of parsed containers with
+// single-flight fetches: concurrent runs needing the same container
+// share one cloud.getcontainer RPC, and in-flight or pinned entries are
+// never evicted, so the memory bound is cap + in-flight containers.
+type containerCache struct {
+	client *Client
+	cap    int
+
+	mu      sync.Mutex
+	entries map[uint64]*cacheEntry
+	lru     []uint64 // least recently used first
+
+	hits, misses atomic.Int64
+}
+
+func newContainerCache(client *Client, capacity int) *containerCache {
+	return &containerCache{
+		client:  client,
+		cap:     capacity,
+		entries: make(map[uint64]*cacheEntry),
+	}
+}
+
+// touch moves id to the most-recently-used end of the LRU list.
+func (cc *containerCache) touch(id uint64) {
+	for i, v := range cc.lru {
+		if v == id {
+			cc.lru = append(append(cc.lru[:i:i], cc.lru[i+1:]...), id)
+			return
+		}
+	}
+	cc.lru = append(cc.lru, id)
+}
+
+// evictLocked drops ready, unpinned entries (LRU first) until the cache
+// is within capacity. Pinned entries make the cap soft by design.
+func (cc *containerCache) evictLocked() {
+	for len(cc.entries) > cc.cap {
+		victim := uint64(0)
+		idx := -1
+		for i, id := range cc.lru {
+			e := cc.entries[id]
+			if e == nil {
+				continue
+			}
+			select {
+			case <-e.ready:
+			default:
+				continue // still fetching
+			}
+			if e.refs == 0 {
+				victim, idx = id, i
+				break
+			}
+		}
+		if idx < 0 {
+			return // everything pinned or in flight
+		}
+		delete(cc.entries, victim)
+		cc.lru = append(cc.lru[:idx], cc.lru[idx+1:]...)
+	}
+}
+
+// get returns the parsed chunk map of a container, fetching it (once)
+// on a miss. The returned entry is pinned; callers must release it.
+func (cc *containerCache) get(ctx context.Context, id uint64) (*cacheEntry, error) {
+	cc.mu.Lock()
+	if e, ok := cc.entries[id]; ok {
+		e.refs++
+		cc.touch(id)
+		cc.mu.Unlock()
+		cc.hits.Add(1)
+		select {
+		case <-e.ready:
+		case <-ctx.Done():
+			cc.release(e)
+			return nil, ctx.Err()
+		}
+		if e.err != nil {
+			cc.release(e)
+			return nil, e.err
+		}
+		return e, nil
+	}
+	e := &cacheEntry{id: id, ready: make(chan struct{}), refs: 1}
+	cc.entries[id] = e
+	cc.touch(id)
+	cc.evictLocked()
+	cc.mu.Unlock()
+	cc.misses.Add(1)
+
+	data, err := cc.client.GetContainer(ctx, id)
+	if err == nil {
+		chunks := make(map[chunk.ID][]byte)
+		err = parseContainer(data, func(cid chunk.ID, _ uint32, payload []byte) error {
+			chunks[cid] = payload
+			return nil
+		})
+		if err != nil {
+			err = fmt.Errorf("container %d: %w", id, err)
+		}
+		e.chunks = chunks
+	}
+	e.err = err
+	close(e.ready)
+	if err != nil {
+		// Failed fetches are not cached: a later retry (or a different
+		// stream) refetches instead of replaying the error.
+		cc.mu.Lock()
+		if cc.entries[id] == e {
+			delete(cc.entries, id)
+			for i, v := range cc.lru {
+				if v == id {
+					cc.lru = append(cc.lru[:i], cc.lru[i+1:]...)
+					break
+				}
+			}
+		}
+		cc.mu.Unlock()
+		return nil, err
+	}
+	return e, nil
+}
+
+// release unpins an entry obtained from get.
+func (cc *containerCache) release(e *cacheEntry) {
+	cc.mu.Lock()
+	e.refs--
+	cc.evictLocked()
+	cc.mu.Unlock()
+}
+
+// --- ordered restore pipeline -----------------------------------------
+
+// restoreRun is one unit of restore work: a maximal run of consecutive
+// recipe entries served by a single container (or one fallback batch).
+// done is the ordering token: buffered so a fetcher can finish without a
+// rendezvous, closed-over by the assembler which consumes runs in FIFO
+// recipe order.
+type restoreRun struct {
+	entries   []RecipeEntry
+	container uint64 // 0 = getchunks fallback batch
+	payloads  [][]byte
+	err       error
+	done      chan struct{}
+}
+
+// planRuns groups a recipe into restore runs and counts the distinct
+// containers the stream touches.
+func planRuns(recipe []RecipeEntry, fallbackBatch int) (runs []*restoreRun, containers int) {
+	touched := make(map[uint64]bool)
+	for i := 0; i < len(recipe); {
+		j := i + 1
+		cid := recipe[i].Loc.Container
+		if cid == 0 {
+			for j < len(recipe) && recipe[j].Loc.Container == 0 && j-i < fallbackBatch {
+				j++
+			}
+		} else {
+			touched[cid] = true
+			for j < len(recipe) && recipe[j].Loc.Container == cid {
+				j++
+			}
+		}
+		runs = append(runs, &restoreRun{
+			entries:   recipe[i:j],
+			container: cid,
+			done:      make(chan struct{}),
+		})
+		i = j
+	}
+	return runs, len(touched)
+}
+
+// fetchRun materializes one run's payloads, verifying every chunk's
+// content address before it can reach the assembler.
+func (c *Client) fetchRun(ctx context.Context, cache *containerCache, run *restoreRun) error {
+	if run.container == 0 {
+		ids := make([]chunk.ID, len(run.entries))
+		for i, e := range run.entries {
+			ids[i] = e.ID
+		}
+		payloads, err := c.GetChunks(ctx, ids)
+		if err != nil {
+			return err
+		}
+		for i, p := range payloads {
+			if chunk.Sum(p) != ids[i] {
+				return fmt.Errorf("%w: chunk %s corrupt in transit", ErrCorrupt, ids[i])
+			}
+		}
+		run.payloads = payloads
+		return nil
+	}
+	entry, err := cache.get(ctx, run.container)
+	if err != nil {
+		return err
+	}
+	defer cache.release(entry)
+	payloads := make([][]byte, len(run.entries))
+	for i, e := range run.entries {
+		p, ok := entry.chunks[e.ID]
+		if !ok {
+			return fmt.Errorf("%w: chunk %s missing from container %d", ErrCorrupt, e.ID, run.container)
+		}
+		if chunk.Sum(p) != e.ID {
+			return fmt.Errorf("%w: chunk %s corrupt in container %d", ErrCorrupt, e.ID, run.container)
+		}
+		payloads[i] = p
+	}
+	run.payloads = payloads
+	return nil
+}
+
+// RestoreTo streams a named file into w, verifying every chunk, and
+// returns what it moved. Container fetches run ReadAhead-deep in
+// parallel through the LRU cache while reassembly stays strictly in
+// stream order; memory is bounded by the cache, not the file.
+func (c *Client) RestoreTo(ctx context.Context, name string, w io.Writer, opts RestoreOptions) (RestoreStats, error) {
+	opts = opts.withDefaults()
+	reg := metrics.Default()
+	bytesTotal := reg.Counter("cloud_restore_bytes_total")
+	chunksTotal := reg.Counter("cloud_restore_chunks_total")
+	hitsTotal := reg.Counter("cloud_restore_cache_hits_total")
+	missesTotal := reg.Counter("cloud_restore_cache_misses_total")
+	fallbackTotal := reg.Counter("cloud_restore_fallback_chunks_total")
+	streamLat := reg.DurationHistogram("cloud_restore_stream_seconds")
+	fragHist := reg.Histogram("cloud_restore_containers_per_stream")
+
+	sp := metrics.StartTimer(streamLat)
+	defer sp.End()
+
+	recipe, err := c.GetRecipe(ctx, name)
+	if err != nil {
+		return RestoreStats{}, fmt.Errorf("cloudstore: restore %s: %w", name, err)
+	}
+	runs, containers := planRuns(recipe, opts.FallbackBatch)
+	stats := RestoreStats{ContainersTouched: containers}
+	fragHist.Observe(int64(containers))
+	if len(runs) == 0 {
+		return stats, nil
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	cache := newContainerCache(c, opts.CacheContainers)
+	order := make(chan *restoreRun, opts.ReadAhead*2)
+	work := make(chan *restoreRun, opts.ReadAhead)
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // producer: FIFO order first, then the work queue
+		defer wg.Done()
+		defer close(order)
+		defer close(work)
+		for _, run := range runs {
+			select {
+			case order <- run:
+			case <-ctx.Done():
+				return
+			}
+			select {
+			case work <- run:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	for i := 0; i < opts.ReadAhead; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for run := range work {
+				run.err = c.fetchRun(ctx, cache, run)
+				close(run.done)
+			}
+		}()
+	}
+
+	// Assembler: strictly in recipe order. On any failure, cancel and
+	// fall through — the deferred wg.Wait tears the pipeline down
+	// (producer and fetchers all select on ctx).
+	defer wg.Wait()
+	for run := range order {
+		select {
+		case <-run.done:
+		case <-ctx.Done():
+			return stats, fmt.Errorf("cloudstore: restore %s: %w", name, ctx.Err())
+		}
+		if run.err != nil {
+			cancel()
+			return stats, fmt.Errorf("cloudstore: restore %s: %w", name, run.err)
+		}
+		for _, p := range run.payloads {
+			n, werr := w.Write(p)
+			if werr != nil {
+				cancel()
+				return stats, fmt.Errorf("cloudstore: restore %s: write: %w", name, werr)
+			}
+			stats.Bytes += int64(n)
+			stats.Chunks++
+		}
+		if run.container == 0 {
+			stats.FallbackChunks += len(run.entries)
+		}
+		run.payloads = nil // let the container page age out of memory
+	}
+
+	stats.CacheHits = cache.hits.Load()
+	stats.CacheMisses = cache.misses.Load()
+	bytesTotal.Add(stats.Bytes)
+	chunksTotal.Add(int64(stats.Chunks))
+	hitsTotal.Add(stats.CacheHits)
+	missesTotal.Add(stats.CacheMisses)
+	fallbackTotal.Add(int64(stats.FallbackChunks))
+	return stats, nil
+}
+
+// Restore downloads and reassembles a named file in memory. It is a
+// convenience wrapper over RestoreTo; large restores should stream.
+func (c *Client) Restore(ctx context.Context, name string) ([]byte, error) {
+	var buf bytes.Buffer
+	if _, err := c.RestoreTo(ctx, name, &buf, RestoreOptions{}); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}

@@ -1,24 +1,36 @@
-// Package fsyncrename flags os.Rename calls that install a file written
-// in the same function without an intervening (*os.File).Sync.
+// Package fsyncrename flags two holes in the write-temp → rename
+// atomic-install idiom (WAL snapshots, cloud chunk/container files):
 //
-// Write-temp → rename is this repository's atomic-install idiom (WAL
-// snapshots, cloud chunk files): the rename makes the new file visible
-// in one step. But rename only orders the *directory* update — the data
-// blocks behind it are still in the page cache unless they were fsynced
-// first. A crash after an unsynced rename can leave the destination as
-// an empty or truncated file, which for durable state (a snapshot the
-// WAL was truncated against) is silent data loss. The crash-recovery
-// tests fake kills above the filesystem, so only this analyzer sees the
-// missing fsync.
+//  1. os.Rename of a file written in the same function without an
+//     intervening (*os.File).Sync. Rename only orders the *directory*
+//     update — the data blocks behind it are still in the page cache
+//     unless they were fsynced first. A crash after an unsynced rename
+//     can leave the destination as an empty or truncated file, which for
+//     durable state (a snapshot the WAL was truncated against) is silent
+//     data loss.
+//
+//  2. A correctly synced install whose rename is not followed by a
+//     directory fsync. The rename lives in the parent directory's
+//     entries, and those are cached too: without fsyncing the directory
+//     a crash can forget the rename entirely, losing a file the caller
+//     was told is durable (a chunk the dedup index already points at).
+//     The dir fsync is either a literal (*os.File).Sync after the rename
+//     (open the dir, sync it) or a call to a same-package helper whose
+//     body contains a File.Sync (the `syncDir(dir)` idiom).
+//
+// The crash-recovery tests fake kills above the filesystem, so only this
+// analyzer sees the missing fsyncs.
 //
 // Detection is a per-function positional sweep, like lockedio: file
 // writes ((*os.File) Write/WriteString/WriteAt/ReadFrom/Truncate,
-// os.WriteFile, and (*bufio.Writer) writes and Flush) and
-// (*os.File).Sync calls are collected in source order; an os.Rename
-// with a write after the last Sync is reported. Renames in functions
-// that wrote nothing (pure moves) are fine. Nested function literals
-// are swept separately, and deferred calls are ignored — a deferred
-// Sync runs after the rename, too late to order it.
+// os.WriteFile, and (*bufio.Writer) writes and Flush), (*os.File).Sync
+// calls, dir-sync helper calls and os.Rename calls are collected in
+// source order. A rename with a write after the last Sync violates rule
+// 1; a synced install with no sync or helper event after the rename
+// violates rule 2. Renames in functions that wrote nothing (pure moves)
+// are fine. Nested function literals are swept separately, and deferred
+// calls are ignored — a deferred Sync runs after the rename, too late to
+// order it (but fine as a dir sync, which must come after).
 package fsyncrename
 
 import (
@@ -33,7 +45,7 @@ import (
 // Analyzer is the fsyncrename pass.
 var Analyzer = &analysis.Analyzer{
 	Name: "fsyncrename",
-	Doc:  "reports os.Rename of a file written in the same function without a preceding File.Sync (unsynced atomic install)",
+	Doc:  "reports os.Rename of a freshly written file without a preceding File.Sync, and synced installs missing the parent-directory fsync after the rename",
 	Run:  run,
 }
 
@@ -47,19 +59,21 @@ type event struct {
 const (
 	evWrite = iota
 	evSync
+	evHelperSync // call of a package-level helper that fsyncs (dir-sync idiom)
 	evRename
 )
 
 func run(pass *analysis.Pass) error {
+	helpers := dirSyncHelpers(pass)
 	for _, file := range pass.Files {
 		ast.Inspect(file, func(n ast.Node) bool {
 			switch fn := n.(type) {
 			case *ast.FuncDecl:
 				if fn.Body != nil {
-					sweep(pass, fn.Body)
+					sweep(pass, fn.Body, helpers)
 				}
 			case *ast.FuncLit:
-				sweep(pass, fn.Body)
+				sweep(pass, fn.Body, helpers)
 			}
 			return true
 		})
@@ -67,29 +81,78 @@ func run(pass *analysis.Pass) error {
 	return nil
 }
 
-// sweep collects write/sync/rename events in source order (skipping
-// nested function literals and deferred calls) and reports renames whose
-// last write is not covered by a Sync.
-func sweep(pass *analysis.Pass, body *ast.BlockStmt) {
+// dirSyncHelpers collects package-level functions whose body contains a
+// direct (*os.File).Sync call — the `syncDir` idiom. A call to one of
+// these after a rename counts as the parent-directory fsync. They do NOT
+// count as syncing the written file itself (rule 1): the helper syncs a
+// directory handle, not the temp file.
+func dirSyncHelpers(pass *analysis.Pass) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || fd.Recv != nil {
+				continue
+			}
+			syncs := false
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if call, ok := n.(*ast.CallExpr); ok && isFileMethod(pass, call, "Sync") {
+					syncs = true
+				}
+				return !syncs
+			})
+			if syncs {
+				if obj := pass.ObjectOf(fd.Name); obj != nil {
+					out[obj] = true
+				}
+			}
+		}
+	}
+	return out
+}
+
+// sweep collects events in source order (skipping nested function
+// literals; deferred calls are skipped except as dir syncs, which
+// legitimately run after the rename) and reports both rule violations.
+func sweep(pass *analysis.Pass, body *ast.BlockStmt, helpers map[types.Object]bool) {
 	var events []event
-	ast.Inspect(body, func(n ast.Node) bool {
+	var collect func(n ast.Node) bool
+	deferred := false
+	collect = func(n ast.Node) bool {
 		switch node := n.(type) {
 		case *ast.FuncLit:
 			return false // separate sweep; run visits every literal
 		case *ast.DeferStmt:
-			// Deferred calls run at return — after any rename in the body.
+			// Deferred calls run at return — after any rename in the
+			// body, so they cannot order a rename (rule 1) but they can
+			// still serve as the trailing dir fsync (rule 2).
+			deferred = true
+			ast.Inspect(node.Call, collect)
+			deferred = false
 			return false
 		case *ast.CallExpr:
-			if ev, ok := classify(pass, node); ok {
-				events = append(events, ev)
+			if ev, ok := classify(pass, node, helpers); ok {
+				switch {
+				case !deferred:
+					events = append(events, ev)
+				case ev.kind == evSync || ev.kind == evHelperSync:
+					// A deferred sync runs at return: it cannot order a
+					// rename (rule 1) but does serve as the trailing dir
+					// fsync (rule 2), effective at the function's end.
+					ev.kind = evHelperSync
+					ev.pos = body.End()
+					events = append(events, ev)
+				}
 			}
 		}
 		return true
-	})
+	}
+	ast.Inspect(body, collect)
 
 	sort.Slice(events, func(i, j int) bool { return events[i].pos < events[j].pos })
 	var lastWrite, lastSync token.Pos
 	var lastDesc string
+	var pendingDirSync []token.Pos // synced renames awaiting a dir fsync
 	for _, ev := range events {
 		switch ev.kind {
 		case evWrite:
@@ -97,22 +160,34 @@ func sweep(pass *analysis.Pass, body *ast.BlockStmt) {
 			lastDesc = ev.desc
 		case evSync:
 			lastSync = ev.pos
+			pendingDirSync = nil
+		case evHelperSync:
+			pendingDirSync = nil
 		case evRename:
 			if lastWrite != token.NoPos && lastWrite > lastSync {
 				pass.Reportf(ev.pos, "os.Rename after %s (line %d) without a File.Sync in between; fsync before renaming or a crash can install an empty file",
 					lastDesc, pass.Fset.Position(lastWrite).Line)
+			} else if lastWrite != token.NoPos {
+				pendingDirSync = append(pendingDirSync, ev.pos)
 			}
 		}
 	}
+	for _, pos := range pendingDirSync {
+		pass.Reportf(pos, "os.Rename installs a synced file but no directory fsync follows; fsync the parent directory (or call a syncDir-style helper) or a crash can forget the rename")
+	}
 }
 
-// classify decides whether a call writes file data, syncs it, or renames.
-func classify(pass *analysis.Pass, call *ast.CallExpr) (event, bool) {
+// classify decides whether a call writes file data, syncs it, renames,
+// or invokes a dir-sync helper.
+func classify(pass *analysis.Pass, call *ast.CallExpr, helpers map[types.Object]bool) (event, bool) {
 	if pass.IsPkgFunc(call, "os", "Rename") {
 		return event{pos: call.Pos(), kind: evRename}, true
 	}
 	if pass.IsPkgFunc(call, "os", "WriteFile") {
 		return event{pos: call.Pos(), kind: evWrite, desc: "os.WriteFile"}, true
+	}
+	if obj := pass.CalleeObject(call); obj != nil && helpers[obj] {
+		return event{pos: call.Pos(), kind: evHelperSync}, true
 	}
 	fn, ok := pass.CalleeObject(call).(*types.Func)
 	if !ok {
@@ -141,6 +216,20 @@ func classify(pass *analysis.Pass, call *ast.CallExpr) (event, bool) {
 		}
 	}
 	return event{}, false
+}
+
+// isFileMethod reports whether call is (*os.File).<name>.
+func isFileMethod(pass *analysis.Pass, call *ast.CallExpr, name string) bool {
+	fn, ok := pass.CalleeObject(call).(*types.Func)
+	if !ok || fn.Name() != name {
+		return false
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return false
+	}
+	named, ok := deref(recv.Type()).(*types.Named)
+	return ok && named.Obj().Pkg() != nil && named.Obj().Pkg().Path() == "os" && named.Obj().Name() == "File"
 }
 
 func deref(t types.Type) types.Type {

@@ -1,12 +1,25 @@
 // Fixture for the fsyncrename analyzer: renames installing freshly
-// written files must be preceded by a File.Sync; pure moves and properly
-// synced installs must stay silent.
+// written files must be preceded by a File.Sync (rule 1) and followed by
+// a parent-directory fsync (rule 2); pure moves and fully synced
+// installs must stay silent.
 package fsyncrename
 
 import (
 	"bufio"
 	"os"
+	"path/filepath"
 )
+
+// syncParent is the dir-sync helper idiom: package-level, contains a
+// direct File.Sync. Calls to it after a rename satisfy rule 2.
+func syncParent(dir string) error {
+	f, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return f.Sync()
+}
 
 // badWriteRename: classic unsynced atomic install.
 func badWriteRename(path string, data []byte) error {
@@ -19,7 +32,8 @@ func badWriteRename(path string, data []byte) error {
 	return os.Rename(path+".tmp", path) // want `os\.Rename after os\.File\.Write .* without a File\.Sync`
 }
 
-// goodWriteSyncRename: the idiom done right.
+// goodWriteSyncRename: the idiom done right end to end — file sync
+// before the rename, directory sync after it.
 func goodWriteSyncRename(path string, data []byte) error {
 	f, err := os.Create(path + ".tmp")
 	if err != nil {
@@ -30,7 +44,10 @@ func goodWriteSyncRename(path string, data []byte) error {
 		return err
 	}
 	f.Close()
-	return os.Rename(path+".tmp", path)
+	if err := os.Rename(path+".tmp", path); err != nil {
+		return err
+	}
+	return syncParent(filepath.Dir(path))
 }
 
 // goodMoveOnly: renaming a file this function never wrote is a move, not
@@ -62,7 +79,8 @@ func badBufferedFlushRename(path string, data []byte) error {
 	return os.Rename(path+".tmp", path) // want `os\.Rename after bufio\.Writer\.Flush .* without a File\.Sync`
 }
 
-// goodBufferedSyncRename: flush the buffer, then fsync, then rename.
+// goodBufferedSyncRename: flush the buffer, fsync the file, rename, then
+// fsync the directory.
 func goodBufferedSyncRename(path string, data []byte) error {
 	f, err := os.Create(path + ".tmp")
 	if err != nil {
@@ -75,7 +93,10 @@ func goodBufferedSyncRename(path string, data []byte) error {
 		return err
 	}
 	f.Close()
-	return os.Rename(path+".tmp", path)
+	if err := os.Rename(path+".tmp", path); err != nil {
+		return err
+	}
+	return syncParent(filepath.Dir(path))
 }
 
 // badSyncThenWrite: a Sync before the final write covers nothing.
@@ -124,4 +145,89 @@ func badTruncateRename(path string) error {
 	f.Truncate(0)
 	f.Close()
 	return os.Rename(path+".tmp", path) // want `os\.Rename after os\.File\.Truncate .* without a File\.Sync`
+}
+
+// badMissingDirSync: the file itself is synced, but nothing fsyncs the
+// parent directory after the rename — a crash can forget the install.
+func badMissingDirSync(path string, data []byte) error {
+	f, err := os.Create(path + ".tmp")
+	if err != nil {
+		return err
+	}
+	f.Write(data)
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	f.Close()
+	return os.Rename(path+".tmp", path) // want `os\.Rename installs a synced file but no directory fsync follows`
+}
+
+// goodInlineDirSync: the directory fsync written out longhand instead of
+// through a helper.
+func goodInlineDirSync(path string, data []byte) error {
+	f, err := os.Create(path + ".tmp")
+	if err != nil {
+		return err
+	}
+	f.Write(data)
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	f.Close()
+	if err := os.Rename(path+".tmp", path); err != nil {
+		return err
+	}
+	d, err := os.Open(filepath.Dir(path))
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// goodDeferredDirSync: a deferred directory Sync runs at return, after
+// the rename — a legitimate rule-2 discharge even though the defer is
+// written above the rename.
+func goodDeferredDirSync(dir, path string, data []byte) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Sync()
+	f, err := os.Create(path + ".tmp")
+	if err != nil {
+		return err
+	}
+	f.Write(data)
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	f.Close()
+	return os.Rename(path+".tmp", path)
+}
+
+// badTwoInstallsOneDirSync: the first rename is followed by a dir sync,
+// the second is not — only the second is reported.
+func badTwoInstallsOneDirSync(a, b string, data []byte) error {
+	f, err := os.Create(a + ".tmp")
+	if err != nil {
+		return err
+	}
+	f.Write(data)
+	f.Sync()
+	f.Close()
+	if err := os.Rename(a+".tmp", a); err != nil {
+		return err
+	}
+	if err := syncParent(filepath.Dir(a)); err != nil {
+		return err
+	}
+	g, err := os.Create(b + ".tmp")
+	if err != nil {
+		return err
+	}
+	g.Write(data)
+	g.Sync()
+	g.Close()
+	return os.Rename(b+".tmp", b) // want `os\.Rename installs a synced file but no directory fsync follows`
 }

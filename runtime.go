@@ -98,6 +98,10 @@ type (
 	CloudClient = cloudstore.Client
 	// CloudStats summarizes what the cloud stored.
 	CloudStats = cloudstore.Stats
+	// RestoreOptions tunes the streaming container-restore pipeline.
+	RestoreOptions = cloudstore.RestoreOptions
+	// RestoreStats reports what one streaming restore moved.
+	RestoreStats = cloudstore.RestoreStats
 )
 
 // NewCloudServer builds a central store.

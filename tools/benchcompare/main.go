@@ -1,14 +1,18 @@
-// Command benchcompare runs the end-to-end agent benchmark and compares
-// it against the committed baseline in BENCH_agent.json, printing a
-// benchstat-style old/new/delta table. With -update it rewrites the
-// baseline from the fresh run instead.
+// Command benchcompare runs a benchmark and compares it against a
+// committed baseline (BENCH_agent.json, BENCH_restore.json, ...),
+// printing a benchstat-style old/new/delta table. With -update it
+// rewrites the baseline from the fresh run instead.
 //
-//	go run ./tools/benchcompare            # compare against baseline
+//	go run ./tools/benchcompare            # compare agent bench vs baseline
 //	go run ./tools/benchcompare -update    # re-record the baseline
+//	go run ./tools/benchcompare -bench 'BenchmarkCloudRestore(Serial)?' \
+//	    -pkg ./internal/cloudstore -baseline BENCH_restore.json
 //
 // The tool is deliberately stdlib-only and tolerant of missing CPU
 // points: a baseline recorded with -cpu 1,4,8 compares whatever subset
-// the fresh run produced.
+// the fresh run produced. Result lines are parsed token-wise, so custom
+// b.ReportMetric units (e.g. containers/stream) are captured into an
+// "extra" map and compared alongside the standard columns.
 package main
 
 import (
@@ -18,17 +22,19 @@ import (
 	"log"
 	"os"
 	"os/exec"
-	"regexp"
+	"sort"
 	"strconv"
 	"strings"
 )
 
 type result struct {
-	CPU         int     `json:"cpu"`
-	NsPerOp     int64   `json:"ns_per_op"`
-	MBPerS      float64 `json:"mb_per_s"`
-	BytesPerOp  int64   `json:"bytes_per_op"`
-	AllocsPerOp int64   `json:"allocs_per_op"`
+	Name        string             `json:"name,omitempty"`
+	CPU         int                `json:"cpu"`
+	NsPerOp     int64              `json:"ns_per_op"`
+	MBPerS      float64            `json:"mb_per_s"`
+	BytesPerOp  int64              `json:"bytes_per_op"`
+	AllocsPerOp int64              `json:"allocs_per_op"`
+	Extra       map[string]float64 `json:"extra,omitempty"`
 }
 
 type baseline struct {
@@ -37,11 +43,6 @@ type baseline struct {
 	Note      string   `json:"note"`
 	Results   []result `json:"results"`
 }
-
-// benchLine matches one `go test -bench -benchmem` result row, e.g.
-// BenchmarkAgentProcessStream-8  3  89116745 ns/op  376.52 MB/s  3187298 B/op  20156 allocs/op
-var benchLine = regexp.MustCompile(
-	`^(Benchmark\w+?)(?:-(\d+))?\s+\d+\s+(\d+(?:\.\d+)?) ns/op\s+(\d+(?:\.\d+)?) MB/s\s+(\d+) B/op\s+(\d+) allocs/op`)
 
 func main() {
 	log.SetFlags(0)
@@ -83,23 +84,52 @@ func main() {
 	if err != nil {
 		log.Fatalf("read baseline: %v (run with -update to record one)", err)
 	}
-	old := make(map[int]result, len(base.Results))
+	old := make(map[string]result, len(base.Results))
 	for _, r := range base.Results {
-		old[r.CPU] = r
+		old[key(r.Name, r.CPU)] = r
 	}
 
-	fmt.Printf("%-8s %14s %14s %8s %14s %14s %8s\n",
-		"cpu", "old MB/s", "new MB/s", "delta", "old allocs", "new allocs", "delta")
+	fmt.Printf("%-34s %-4s %12s %12s %8s %12s %12s %8s\n",
+		"benchmark", "cpu", "old MB/s", "new MB/s", "delta", "old allocs", "new allocs", "delta")
 	for _, nw := range fresh {
-		o, ok := old[nw.CPU]
+		o, ok := old[key(nw.Name, nw.CPU)]
 		if !ok {
-			fmt.Printf("%-8d %14s %14.2f %8s\n", nw.CPU, "-", nw.MBPerS, "-")
+			// Baselines recorded before names were stored carry "".
+			o, ok = old[key("", nw.CPU)]
+		}
+		if !ok {
+			fmt.Printf("%-34s %-4d %12s %12.2f %8s\n", nw.Name, nw.CPU, "-", nw.MBPerS, "-")
 			continue
 		}
-		fmt.Printf("%-8d %14.2f %14.2f %+7.1f%% %14d %14d %+7.1f%%\n",
-			nw.CPU, o.MBPerS, nw.MBPerS, pct(o.MBPerS, nw.MBPerS),
-			o.AllocsPerOp, nw.AllocsPerOp, pct(float64(o.AllocsPerOp), float64(nw.AllocsPerOp)))
+		fmt.Printf("%-34s %-4d %12.2f %12.2f %+7.1f%% %12d %12d %+7.1f%%%s\n",
+			nw.Name, nw.CPU, o.MBPerS, nw.MBPerS, pct(o.MBPerS, nw.MBPerS),
+			o.AllocsPerOp, nw.AllocsPerOp, pct(float64(o.AllocsPerOp), float64(nw.AllocsPerOp)),
+			extraDelta(o.Extra, nw.Extra))
 	}
+}
+
+func key(name string, cpu int) string { return name + "/" + strconv.Itoa(cpu) }
+
+// extraDelta renders custom-metric comparisons (units sorted for a
+// stable table), e.g. "  containers/stream 31.0->9.0".
+func extraDelta(old, nw map[string]float64) string {
+	if len(nw) == 0 {
+		return ""
+	}
+	units := make([]string, 0, len(nw))
+	for u := range nw {
+		units = append(units, u)
+	}
+	sort.Strings(units)
+	var sb strings.Builder
+	for _, u := range units {
+		if o, ok := old[u]; ok {
+			fmt.Fprintf(&sb, "  %s %.1f->%.1f", u, o, nw[u])
+		} else {
+			fmt.Fprintf(&sb, "  %s %.1f", u, nw[u])
+		}
+	}
+	return sb.String()
 }
 
 func pct(old, new float64) float64 {
@@ -111,30 +141,65 @@ func pct(old, new float64) float64 {
 
 func runBench(bench, pkg, cpus, benchtime string) ([]result, error) {
 	cmd := exec.Command("go", "test", "-run", "^$",
-		"-bench", "^"+bench+"$", "-benchtime", benchtime, "-cpu", cpus, "-benchmem", pkg)
+		"-bench", "^("+bench+")$", "-benchtime", benchtime, "-cpu", cpus, "-benchmem", pkg)
 	out, err := cmd.CombinedOutput()
 	if err != nil {
 		return nil, fmt.Errorf("bench run failed: %v\n%s", err, out)
 	}
 	var results []result
 	for _, line := range strings.Split(string(out), "\n") {
-		m := benchLine.FindStringSubmatch(strings.TrimSpace(line))
-		if m == nil {
-			continue
+		if r, ok := parseBenchLine(strings.TrimSpace(line)); ok {
+			results = append(results, r)
 		}
-		cpu := 1
-		if m[2] != "" {
-			cpu, _ = strconv.Atoi(m[2])
-		}
-		ns, _ := strconv.ParseFloat(m[3], 64)
-		mbs, _ := strconv.ParseFloat(m[4], 64)
-		bpo, _ := strconv.ParseInt(m[5], 10, 64)
-		apo, _ := strconv.ParseInt(m[6], 10, 64)
-		results = append(results, result{
-			CPU: cpu, NsPerOp: int64(ns), MBPerS: mbs, BytesPerOp: bpo, AllocsPerOp: apo,
-		})
 	}
 	return results, nil
+}
+
+// parseBenchLine parses one `go test -bench` result row token-wise:
+//
+//	BenchmarkCloudRestore-8  5  21063202 ns/op  912.42 MB/s  9.000 containers/stream  123456 B/op  789 allocs/op
+//
+// Known units fill the fixed fields; anything else (b.ReportMetric
+// output) lands in Extra keyed by its unit.
+func parseBenchLine(line string) (result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return result{}, false
+	}
+	name, cpu := fields[0], 1
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if n, err := strconv.Atoi(name[i+1:]); err == nil {
+			cpu, name = n, name[:i]
+		}
+	}
+	if _, err := strconv.Atoi(fields[1]); err != nil {
+		return result{}, false // second token must be the iteration count
+	}
+	r := result{Name: name, CPU: cpu}
+	seen := false
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return result{}, false
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			r.NsPerOp = int64(val)
+			seen = true
+		case "MB/s":
+			r.MBPerS = val
+		case "B/op":
+			r.BytesPerOp = int64(val)
+		case "allocs/op":
+			r.AllocsPerOp = int64(val)
+		default:
+			if r.Extra == nil {
+				r.Extra = make(map[string]float64)
+			}
+			r.Extra[unit] = val
+		}
+	}
+	return r, seen
 }
 
 func readBaseline(path string) (baseline, error) {
