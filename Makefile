@@ -35,7 +35,10 @@ cover:
 # diagnostic. One invocation covers the main module AND the lint module
 # itself (self-lint); the `go list` load is cached per run, so the
 # second pattern costs one typecheck, not a second list. Also runs the
-# linter's own analyzer test suites.
+# linter's own analyzer test suites. The on-disk listing cache (keyed
+# on go.sum + source content) is shared between the test step, the lint
+# step, and repeat runs.
+lint: export EFDEDUP_LINT_LISTCACHE ?= $(CURDIR)/.lint-listcache
 lint:
 	$(GO) test ./lint/...
 	$(GO) run ./lint/cmd/efdedup-lint ./... ./lint/...
@@ -75,15 +78,19 @@ bench-restore:
 
 # Measure the agent pipeline and print a benchstat-style old/new/delta
 # table against BENCH_agent.json. `go run ./tools/benchcompare -update`
-# re-records the baseline.
+# re-records the baseline. MAX_REGRESS gates the run: beyond that
+# percent of MB/s lost or allocs/op gained, the target exits non-zero.
+MAX_REGRESS ?= 10
 bench-compare:
-	$(GO) run ./tools/benchcompare
+	$(GO) run ./tools/benchcompare -max-regress $(MAX_REGRESS)
 
 # Measure container vs serial restore throughput and compare against
-# BENCH_restore.json (same -update convention as bench-compare).
+# BENCH_restore.json (same -update and -max-regress conventions as
+# bench-compare).
 bench-compare-restore:
 	$(GO) run ./tools/benchcompare -bench 'BenchmarkCloudRestore|BenchmarkCloudRestoreSerial' \
-		-pkg ./internal/cloudstore -cpu 1,4 -baseline BENCH_restore.json
+		-pkg ./internal/cloudstore -cpu 1,4 -baseline BENCH_restore.json \
+		-max-regress $(MAX_REGRESS)
 
 # Regenerate every figure of the paper's evaluation at full size.
 figures:

@@ -11,7 +11,9 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"net"
 	"os"
 	"os/signal"
 	"syscall"
@@ -27,6 +29,18 @@ func main() {
 	if err := run(); err != nil {
 		log.Fatal(err)
 	}
+}
+
+// listenOrClose binds addr, closing owner when the bind fails: the
+// daemon exits on that path and nothing else would release the owner's
+// container writer and disk state.
+func listenOrClose(network transport.Network, addr string, owner io.Closer) (net.Listener, error) {
+	l, err := network.Listen(addr)
+	if err != nil {
+		owner.Close()
+		return nil, fmt.Errorf("listen %s: %w", addr, err)
+	}
+	return l, nil
 }
 
 func run() error {
@@ -64,9 +78,9 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	l, err := transport.TCPNetwork{}.Listen(*listen)
+	l, err := listenOrClose(transport.TCPNetwork{}, *listen, srv)
 	if err != nil {
-		return fmt.Errorf("listen %s: %w", *listen, err)
+		return err
 	}
 	srv.Serve(l)
 	log.Printf("efdedup-cloud serving on %s (chunk-size=%d, dir=%q)", l.Addr(), *chunkSize, *dataDir)

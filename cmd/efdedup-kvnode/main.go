@@ -17,7 +17,9 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"net"
 	"os"
 	"os/signal"
 	"strings"
@@ -33,6 +35,18 @@ func main() {
 	if err := run(); err != nil {
 		log.Fatal(err)
 	}
+}
+
+// listenOrClose binds addr, closing owner when the bind fails: the
+// daemon exits on that path and nothing else would release the owner's
+// WAL, snapshot timer and gossip state.
+func listenOrClose(network transport.Network, addr string, owner io.Closer) (net.Listener, error) {
+	l, err := network.Listen(addr)
+	if err != nil {
+		owner.Close()
+		return nil, fmt.Errorf("listen %s: %w", addr, err)
+	}
+	return l, nil
 }
 
 func run() error {
@@ -79,9 +93,9 @@ func run() error {
 				rs.Records, rs.TornBytes, rs.CorruptBytes)
 		}
 	}
-	l, err := transport.TCPNetwork{}.Listen(*listen)
+	l, err := listenOrClose(transport.TCPNetwork{}, *listen, node)
 	if err != nil {
-		return fmt.Errorf("listen %s: %w", *listen, err)
+		return err
 	}
 	node.Serve(l)
 	log.Printf("efdedup-kvnode serving on %s (wal=%q sync=%s)", l.Addr(), *wal, syncPolicy)

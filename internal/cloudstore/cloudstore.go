@@ -478,23 +478,26 @@ func (s *Server) handleUploadRaw(body []byte) ([]byte, error) {
 	}
 	// Durable-first: the manifest must hit disk before the in-memory
 	// catalog advertises it, or a failed write leaves the server claiming
-	// a manifest a restart will not have.
-	if s.disk != nil && name != "" {
-		if err := s.disk.PutManifest(name, ids); err != nil {
-			return nil, fmt.Errorf("cloudstore: persist manifest %q: %w", name, err)
-		}
-	}
-	s.mu.Lock()
-	s.stats.RawUploads++
+	// a manifest a restart will not have. One named block keeps the
+	// persist and the catalog update on the same guarded path.
 	if name != "" {
+		if s.disk != nil {
+			if err := s.disk.PutManifest(name, ids); err != nil {
+				return nil, fmt.Errorf("cloudstore: persist manifest %q: %w", name, err)
+			}
+		}
+		s.mu.Lock()
+		s.stats.RawUploads++
 		if _, ok := s.manifests[name]; !ok {
 			s.stats.Manifests++
 		}
 		s.manifests[name] = ids
-	}
-	s.mu.Unlock()
-	if name != "" {
+		s.mu.Unlock()
 		s.repackSparse(ids)
+	} else {
+		s.mu.Lock()
+		s.stats.RawUploads++
+		s.mu.Unlock()
 	}
 	return binary.BigEndian.AppendUint32(nil, stored), nil
 }

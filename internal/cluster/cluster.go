@@ -13,6 +13,8 @@ package cluster
 import (
 	"context"
 	"fmt"
+	"io"
+	"net"
 	"sync"
 	"time"
 
@@ -104,6 +106,18 @@ type Cluster struct {
 	rings   [][]int
 }
 
+// listenOrClose binds addr on the given network view, closing owner
+// when the bind fails — the service being wired up is not yet tracked
+// by the Cluster, so no other path would release it.
+func listenOrClose(network transport.Network, addr string, owner io.Closer) (net.Listener, error) {
+	l, err := network.Listen(addr)
+	if err != nil {
+		owner.Close()
+		return nil, fmt.Errorf("cluster: listen %s: %w", addr, err)
+	}
+	return l, nil
+}
+
 // New builds and starts the deployment's always-on services (KV daemons
 // and the cloud store). Call ApplyPartition before Run.
 func New(cfg Config) (*Cluster, error) {
@@ -164,7 +178,7 @@ func New(cfg Config) (*Cluster, error) {
 	if err != nil {
 		return nil, err
 	}
-	cl, err := c.topo.NetworkFor(CloudSite, c.inner).Listen(cloudAddr)
+	cl, err := listenOrClose(c.topo.NetworkFor(CloudSite, c.inner), cloudAddr, cloud)
 	if err != nil {
 		return nil, err
 	}
@@ -179,7 +193,9 @@ func New(cfg Config) (*Cluster, error) {
 			return nil, err
 		}
 		addr := "kv-" + n.Name
-		l, err := c.topo.NetworkFor(n.Site, c.inner).Listen(addr)
+		// node is not in c.kvNodes yet, so c.Close() cannot reach it;
+		// a failed bind must release it here.
+		l, err := listenOrClose(c.topo.NetworkFor(n.Site, c.inner), addr, node)
 		if err != nil {
 			c.Close()
 			return nil, err

@@ -1,0 +1,37 @@
+package cluster
+
+import (
+	"testing"
+
+	"efdedup/internal/transport"
+)
+
+type closeRecorder struct{ closed bool }
+
+func (c *closeRecorder) Close() error { c.closed = true; return nil }
+
+// A service whose bind fails during New is not yet tracked by the
+// Cluster, so listenOrClose must release it on the spot.
+func TestListenOrCloseReleasesOwnerOnFailure(t *testing.T) {
+	m := transport.NewMemNetwork()
+	if _, err := m.Listen("busy"); err != nil {
+		t.Fatalf("pre-occupy address: %v", err)
+	}
+	rec := &closeRecorder{}
+	if _, err := listenOrClose(m, "busy", rec); err == nil {
+		t.Fatal("expected an error listening on an occupied address")
+	}
+	if !rec.closed {
+		t.Fatal("owner was not closed after the listen failure")
+	}
+
+	ok := &closeRecorder{}
+	l, err := listenOrClose(m, "free", ok)
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	defer l.Close()
+	if ok.closed {
+		t.Fatal("owner was closed on a successful listen")
+	}
+}

@@ -59,7 +59,7 @@ func (m *MemNetwork) Listen(addr string) (net.Listener, error) {
 	l := &memListener{
 		net:    m,
 		addr:   memAddr(addr),
-		accept: make(chan net.Conn),
+		accept: make(chan net.Conn, acceptBacklog),
 		closed: make(chan struct{}),
 	}
 	m.listeners[addr] = l
@@ -77,7 +77,18 @@ func (m *MemNetwork) Dial(ctx context.Context, addr string) (net.Conn, error) {
 	client, server := net.Pipe()
 	select {
 	case l.accept <- server:
-		return client, nil
+		// When close raced the enqueue, the select above may have
+		// picked the send even though closed was also ready — and the
+		// Close-side drain may already have run, stranding the conn in
+		// the backlog with no reader. Re-check and refuse.
+		select {
+		case <-l.closed:
+			client.Close()
+			server.Close()
+			return nil, fmt.Errorf("%w: dial %q", ErrRefused, addr)
+		default:
+			return client, nil
+		}
 	case <-l.closed:
 		client.Close()
 		server.Close()
@@ -94,6 +105,12 @@ func (m *MemNetwork) remove(addr string) {
 	delete(m.listeners, addr)
 	m.mu.Unlock()
 }
+
+// acceptBacklog is the pending-connection queue depth, the fabric's
+// equivalent of the kernel's listen(2) backlog. Without it every Dial
+// blocked until the server got around to Accept, so a busy accept loop
+// head-of-line-blocked all of its dialers.
+const acceptBacklog = 16
 
 type memAddr string
 
@@ -121,6 +138,16 @@ func (l *memListener) Close() error {
 	l.closeOnce.Do(func() {
 		close(l.closed)
 		l.net.remove(string(l.addr))
+		// Drain connections parked in the backlog so their peers see
+		// a closed pipe instead of hanging on a conn nobody accepts.
+		for {
+			select {
+			case c := <-l.accept:
+				c.Close()
+			default:
+				return
+			}
+		}
 	})
 	return nil
 }

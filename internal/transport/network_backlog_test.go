@@ -1,0 +1,124 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// Dial must not block waiting for the server's Accept: the listener
+// carries a backlog, like a kernel listen queue. Before the backlog
+// existed, every one of these dials hung until the context expired.
+func TestMemNetworkDialBacklog(t *testing.T) {
+	m := NewMemNetwork()
+	l, err := m.Listen("svc")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	defer l.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	const pending = 4
+	for i := 0; i < pending; i++ {
+		c, err := m.Dial(ctx, "svc")
+		if err != nil {
+			t.Fatalf("dial %d with no Accept running: %v", i, err)
+		}
+		defer c.Close()
+	}
+	// The queued connections are then accepted in dial order.
+	for i := 0; i < pending; i++ {
+		c, err := l.Accept()
+		if err != nil {
+			t.Fatalf("accept %d: %v", i, err)
+		}
+		c.Close()
+	}
+}
+
+// Closing the listener drains the backlog and closes the queued server
+// halves, so their dialers see a dead pipe instead of hanging forever.
+func TestMemListenerCloseDrainsBacklog(t *testing.T) {
+	m := NewMemNetwork()
+	l, err := m.Listen("svc")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	c, err := m.Dial(ctx, "svc")
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer c.Close()
+	if err := l.Close(); err != nil {
+		t.Fatalf("close listener: %v", err)
+	}
+	// The drain closed the server half, so the client reads EOF
+	// immediately instead of hanging on a conn nobody will accept.
+	buf := make([]byte, 1)
+	if _, err := c.Read(buf); err != io.EOF {
+		t.Fatalf("read from drained conn: got %v, want io.EOF", err)
+	}
+}
+
+// A Call whose conn is stuck in the backlog (nobody accepting, so the
+// pipe has no reader) must still honor its context: the send used to
+// block forever because only the response wait watched ctx.
+func TestCallContextInterruptsBlockedWrite(t *testing.T) {
+	m := NewMemNetwork()
+	l, err := m.Listen("svc")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	defer l.Close()
+	conn, err := m.Dial(context.Background(), "svc")
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	cl := NewClient(conn)
+	defer cl.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err = cl.Call(ctx, "ping", []byte("x"))
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Call on an unread conn: err = %v, want deadline exceeded", err)
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Fatalf("Call took %v to honor a 100ms context", d)
+	}
+}
+
+// Server.Close racing ahead of Serve used to strand backlogged conns:
+// Close had no listener to close yet, and Serve returned without
+// draining. Serve must close the listener itself in that case.
+func TestServeAfterCloseDrainsBacklog(t *testing.T) {
+	m := NewMemNetwork()
+	l, err := m.Listen("svc")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	c, err := m.Dial(context.Background(), "svc")
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer c.Close()
+
+	srv := NewServer()
+	if err := srv.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if err := srv.Serve(l); !errors.Is(err, net.ErrClosed) {
+		t.Fatalf("Serve after Close: err = %v, want net.ErrClosed", err)
+	}
+	buf := make([]byte, 1)
+	if _, err := c.Read(buf); err != io.EOF {
+		t.Fatalf("read from stranded conn: got %v, want io.EOF", err)
+	}
+}

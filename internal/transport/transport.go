@@ -21,7 +21,11 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 )
+
+// aLongTimeAgo unblocks an in-flight Write when its context fires.
+var aLongTimeAgo = time.Unix(1, 0)
 
 // MaxFrameSize bounds a single frame (1 GiB) to catch protocol corruption
 // before it turns into an enormous allocation.
@@ -224,6 +228,10 @@ func (s *Server) Serve(l net.Listener) error {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
+		// Close ran before this listener was registered, so it could
+		// not close it; do so here or conns already sitting in the
+		// accept backlog would stay open (and unread) forever.
+		l.Close()
 		return net.ErrClosed
 	}
 	s.listener = l
@@ -399,11 +407,25 @@ func (c *Client) Call(ctx context.Context, method string, body []byte) ([]byte, 
 		return nil, err
 	}
 	c.writeMu.Lock()
+	// The send itself must honor ctx: a peer that stopped reading (full
+	// TCP send buffer, or an in-memory conn still in the accept
+	// backlog) blocks Write indefinitely, and the select below only
+	// covers the response wait. Clear first in case a previous
+	// interrupted call left the poisoned deadline behind.
+	//lint:ignore lockedio setting a deadline is local conn state, not blocking wire I/O
+	c.conn.SetWriteDeadline(time.Time{})
+	stop := context.AfterFunc(ctx, func() {
+		c.conn.SetWriteDeadline(aLongTimeAgo)
+	})
 	//lint:ignore lockedio writeMu exists to serialize request frames on this conn; it guards the write itself
 	err = writeFrame(c.conn, req)
+	stop()
 	c.writeMu.Unlock()
 	if err != nil {
 		c.abandon(id)
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return nil, ctxErr
+		}
 		return nil, fmt.Errorf("transport: send %s: %w", method, err)
 	}
 

@@ -15,6 +15,7 @@ import (
 	"go/token"
 	"go/types"
 
+	"efdedup/lint/internal/cfg"
 	"efdedup/lint/internal/summary"
 )
 
@@ -44,6 +45,12 @@ type Pass struct {
 	// whole universe, not just this pass's package). Built once per
 	// lint run by the driver; nil only if the driver opts out.
 	Summaries *summary.Set
+
+	// CFGs memoizes per-function control-flow graphs across analyzers
+	// and passes: the path-sensitive checkers (resleak, durafirst,
+	// ctxcancel) ask it for the same function bodies, and the graph is
+	// built once per lint run. Nil only if the driver opts out.
+	CFGs *cfg.Store
 
 	// Report delivers one diagnostic. Filled in by the driver.
 	Report func(Diagnostic)

@@ -1,0 +1,246 @@
+// Package chanbound flags unbuffered channels created in
+// pipeline-reachable code. The dedup pipeline is a chain of staged
+// queues (hash → lookup → route → upload); an unbuffered channel in
+// that chain gives a stage zero slack, so one slow consumer
+// head-of-line-blocks every stage upstream of it — the exact failure
+// the paper's staged design exists to avoid. Data channels must carry
+// an explicit capacity chosen for the stage's burst tolerance.
+//
+// Scope is the pipeline's packages: agent and kvstore, plus transport
+// — the wire between them, where the unbuffered-accept backpressure
+// bug actually lived (an in-memory listener whose accept channel had
+// no backlog, so Dial blocked until the server got around to Accept).
+// Reachability starts from the pipeline entry points of each leg
+// (agent ProcessStream/ProcessBytes, chunker Split, store Serve,
+// transport Listen/Dial) and follows synchronous calls, go-spawned
+// stages, and function-value references via Pass.Summaries.
+//
+// Close-only signal channels are exempt: `make(chan struct{})` whose
+// owning variable or field is never the target of a send anywhere in
+// the package is a pure close-broadcast (stop/done), and buffering one
+// would change nothing. A chan struct{} that IS sent to is a handoff
+// and gets flagged like any data channel. The scan is package-wide,
+// not module-wide — all such fields here are unexported, so sends
+// cannot hide in another package.
+package chanbound
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"efdedup/lint/analysis"
+	"efdedup/lint/internal/callgraph"
+	"efdedup/lint/internal/summary"
+)
+
+// Analyzer is the chanbound pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "chanbound",
+	Doc:  "channels in pipeline-reachable code must have explicit capacity; close-only struct{} signals exempt",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	if pass.Summaries == nil || !scopedPkg(pass.Pkg.Path()) {
+		return nil
+	}
+	reach := pass.Summaries.ReachableFrom(rootIDs(pass.Summaries),
+		summary.ReachOptions{FollowAsync: true, FollowRefs: true})
+	sent := sentObjects(pass)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			path := reach.Path(callgraph.FuncID(fn))
+			if path == nil {
+				continue
+			}
+			checkFunc(pass, fd, sent, strings.Join(path, " → "))
+		}
+	}
+	return nil
+}
+
+func scopedPkg(path string) bool {
+	switch shortPkg(path) {
+	case "agent", "kvstore", "transport":
+		return true
+	}
+	return false
+}
+
+// rootIDs finds the pipeline entry points of each leg in the loaded
+// universe.
+func rootIDs(sums *summary.Set) []string {
+	var roots []string
+	for id, fs := range sums.Funcs {
+		fn := fs.Node.Func
+		if fn.Pkg() == nil {
+			continue
+		}
+		name, pkg := fn.Name(), fn.Pkg().Path()
+		switch {
+		case (name == "ProcessStream" || name == "ProcessBytes") && pkgIs(pkg, "agent"):
+			roots = append(roots, id)
+		case name == "Split" && pkgIs(pkg, "chunk"):
+			roots = append(roots, id)
+		case name == "Serve" && (pkgIs(pkg, "kvstore") || pkgIs(pkg, "cloudstore")):
+			roots = append(roots, id)
+		case (name == "Listen" || name == "Dial") && pkgIs(pkg, "transport"):
+			roots = append(roots, id)
+		}
+	}
+	return roots
+}
+
+func pkgIs(path, base string) bool {
+	return path == base || strings.HasSuffix(path, "/"+base)
+}
+
+// checkFunc reports capacity-less make(chan T) in the function body,
+// including inside its function literals (a stage goroutine is as
+// reachable as its spawner).
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl, sent map[types.Object]bool, hotPath string) {
+	info := pass.TypesInfo
+	handled := map[*ast.CallExpr]bool{}
+	decide := func(call *ast.CallExpr, ch *types.Chan, owner types.Object) {
+		if isEmptyStruct(ch.Elem()) {
+			if owner == nil || !sent[owner] {
+				return // close-only signal: buffering changes nothing
+			}
+			pass.Reportf(call.Pos(), "unbuffered chan struct%s is sent to — it is a handoff, not a close-only signal; give it a capacity (reachable via %s)", "{}", hotPath)
+			return
+		}
+		pass.Reportf(call.Pos(), "unbuffered %s in pipeline-reachable code: a slow consumer stalls every stage upstream; size it explicitly with make(..., n) (reachable via %s)",
+			types.TypeString(ch, types.RelativeTo(pass.Pkg)), hotPath)
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			if len(x.Lhs) != len(x.Rhs) {
+				return true
+			}
+			for i, rhs := range x.Rhs {
+				call, ch, hasCap := makeChan(info, rhs)
+				if call == nil || hasCap {
+					continue
+				}
+				handled[call] = true
+				decide(call, ch, lhsObject(info, x.Lhs[i]))
+			}
+		case *ast.ValueSpec:
+			for i, v := range x.Values {
+				call, ch, hasCap := makeChan(info, v)
+				if call == nil || hasCap || i >= len(x.Names) {
+					continue
+				}
+				handled[call] = true
+				decide(call, ch, info.Defs[x.Names[i]])
+			}
+		case *ast.KeyValueExpr:
+			call, ch, hasCap := makeChan(info, x.Value)
+			if call == nil || hasCap {
+				return true
+			}
+			handled[call] = true
+			var owner types.Object
+			if key, ok := x.Key.(*ast.Ident); ok {
+				owner = info.Uses[key]
+			}
+			decide(call, ch, owner)
+		case *ast.CallExpr:
+			call, ch, hasCap := makeChan(info, x)
+			if call == nil || hasCap || handled[call] {
+				return true
+			}
+			// No owner to track: a struct{} rendezvous stays exempt,
+			// anything else is an unbounded data channel.
+			decide(call, ch, nil)
+		}
+		return true
+	})
+}
+
+// sentObjects collects every variable or field that is the target of a
+// channel send anywhere in the package under analysis.
+func sentObjects(pass *analysis.Pass) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			send, ok := n.(*ast.SendStmt)
+			if !ok {
+				return true
+			}
+			if obj := chanObject(pass.TypesInfo, send.Chan); obj != nil {
+				out[obj] = true
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// chanObject resolves the variable or field a channel expression names.
+func chanObject(info *types.Info, e ast.Expr) types.Object {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if o := info.Uses[x]; o != nil {
+			return o
+		}
+		return info.Defs[x]
+	case *ast.SelectorExpr:
+		return info.Uses[x.Sel]
+	}
+	return nil
+}
+
+func lhsObject(info *types.Info, e ast.Expr) types.Object {
+	return chanObject(info, e)
+}
+
+// makeChan matches make(chan T[, cap]) and reports whether a capacity
+// argument is present.
+func makeChan(info *types.Info, e ast.Expr) (*ast.CallExpr, *types.Chan, bool) {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return nil, nil, false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "make" {
+		return nil, nil, false
+	}
+	if _, isBuiltin := info.Uses[id].(*types.Builtin); !isBuiltin {
+		return nil, nil, false
+	}
+	if len(call.Args) == 0 {
+		return nil, nil, false
+	}
+	tv, ok := info.Types[call.Args[0]]
+	if !ok || !tv.IsType() {
+		return nil, nil, false
+	}
+	ch, ok := tv.Type.Underlying().(*types.Chan)
+	if !ok {
+		return nil, nil, false
+	}
+	return call, ch, len(call.Args) >= 2
+}
+
+func isEmptyStruct(t types.Type) bool {
+	st, ok := t.Underlying().(*types.Struct)
+	return ok && st.NumFields() == 0
+}
+
+func shortPkg(path string) string {
+	if i := strings.LastIndex(path, "/"); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}

@@ -1,0 +1,12 @@
+package chanbound_test
+
+import (
+	"testing"
+
+	"efdedup/lint/analysistest"
+	"efdedup/lint/analyzers/chanbound"
+)
+
+func TestChanBound(t *testing.T) {
+	analysistest.Run(t, chanbound.Analyzer, "pipe2/agent")
+}

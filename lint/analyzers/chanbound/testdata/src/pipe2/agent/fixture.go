@@ -1,0 +1,73 @@
+// Fixtures for the chanbound analyzer: channels in pipeline-reachable
+// code need explicit capacity; close-only struct{} signals are exempt.
+package agent
+
+type Agent struct {
+	stop chan struct{} // close-only: exempt
+	ping chan struct{} // sent to below: a handoff, flagged at make
+}
+
+// ProcessStream is a pipeline root.
+func (a *Agent) ProcessStream(data []byte) error {
+	// Unbuffered data channel feeding the stage goroutine.
+	jobs := make(chan []byte) // want `unbuffered chan \[\]byte in pipeline-reachable code`
+
+	// Close-only local signal with a deferred close: exempt.
+	done := make(chan struct{})
+	defer close(done)
+
+	// Bounded stage queue: fine.
+	out := make(chan []byte, 8)
+
+	go func() {
+		for j := range jobs {
+			out <- j
+		}
+	}()
+
+	// Field channels: stop is only ever closed (exempt), ping is sent
+	// to in notify (flagged as a handoff).
+	a.stop = make(chan struct{})
+	a.ping = make(chan struct{}) // want `unbuffered chan struct\{\} is sent to`
+
+	jobs <- data
+	close(jobs)
+	select {
+	case <-out:
+	case <-done:
+	}
+	return nil
+}
+
+// ProcessBytes is the other root; the reasoned directive suppresses.
+func (a *Agent) ProcessBytes(data []byte) error {
+	//lint:ignore chanbound rendezvous handoff: sender must observe receipt
+	sync := make(chan []byte)
+	go func() { <-sync }()
+	sync <- data
+	return a.drain()
+}
+
+// drain is reachable one call down from the root.
+func (a *Agent) drain() error {
+	acks := make(chan int) // want `unbuffered chan int in pipeline-reachable code`
+	go func() { acks <- 1 }()
+	<-acks
+	return nil
+}
+
+func (a *Agent) notify() {
+	a.ping <- struct{}{}
+}
+
+func (a *Agent) shutdown() {
+	close(a.stop)
+}
+
+// offline is not reachable from any pipeline root: out of scope even
+// with an unbuffered data channel.
+func offline() {
+	ch := make(chan int)
+	go func() { ch <- 1 }()
+	<-ch
+}

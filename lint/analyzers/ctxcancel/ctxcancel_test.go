@@ -1,0 +1,12 @@
+package ctxcancel_test
+
+import (
+	"testing"
+
+	"efdedup/lint/analysistest"
+	"efdedup/lint/analyzers/ctxcancel"
+)
+
+func TestCtxCancel(t *testing.T) {
+	analysistest.Run(t, ctxcancel.Analyzer, "ctxcancel")
+}

@@ -1,0 +1,108 @@
+// Fixtures for the ctxcancel analyzer: every cancel func must be
+// called on every path, with escape and nil-guard exemptions.
+package ctxcancel
+
+import (
+	"context"
+	"errors"
+	"time"
+)
+
+var errBad = errors.New("bad")
+
+func work(ctx context.Context) error { return ctx.Err() }
+
+// --- positives -------------------------------------------------------
+
+// No cancel call at all.
+func leakPlain(ctx context.Context) error {
+	ctx, cancel := context.WithCancel(ctx) // want `cancel function from context\.WithCancel is not called on every path`
+	_ = cancel
+	return work(ctx)
+}
+
+// The early error return misses the cancel registered after it.
+func leakBeforeDefer(ctx context.Context, ok bool) error {
+	ctx, cancel := context.WithTimeout(ctx, time.Second) // want `cancel function from context\.WithTimeout is not called on every path`
+	if !ok {
+		return errBad // cancel not yet deferred
+	}
+	defer cancel()
+	return work(ctx)
+}
+
+// One arm cancels, the other forgets.
+func leakOneArm(ctx context.Context, ok bool) error {
+	ctx, cancel := context.WithDeadline(ctx, time.Now()) // want `cancel function from context\.WithDeadline is not called on every path`
+	if ok {
+		cancel()
+		return nil
+	}
+	return work(ctx)
+}
+
+// Discarding the cancel func is an immediate, unconditional leak.
+func leakDiscarded(ctx context.Context) error {
+	cctx, _ := context.WithCancel(ctx) // want `cancel function from context\.WithCancel is discarded`
+	return work(cctx)
+}
+
+// --- negatives -------------------------------------------------------
+
+// The idiom: defer cancel right after acquiring.
+func cleanDefer(ctx context.Context) error {
+	ctx, cancel := context.WithTimeout(ctx, time.Second)
+	defer cancel()
+	return work(ctx)
+}
+
+// Explicit cancel on every arm.
+func cleanBothArms(ctx context.Context, ok bool) error {
+	ctx, cancel := context.WithCancel(ctx)
+	if ok {
+		cancel()
+		return nil
+	}
+	err := work(ctx)
+	cancel()
+	return err
+}
+
+// The conditional-timeout idiom from the retry loop: the nil guard
+// proves there is nothing to cancel on the no-timeout arm.
+func cleanConditionalTimeout(ctx context.Context, timeout time.Duration) error {
+	actx := ctx
+	var cancel context.CancelFunc
+	if timeout > 0 {
+		actx, cancel = context.WithTimeout(ctx, timeout)
+	}
+	err := work(actx)
+	if cancel != nil {
+		cancel()
+	}
+	return err
+}
+
+// Returning the cancel transfers the obligation to the caller.
+func cleanEscapeReturn(ctx context.Context) (context.Context, context.CancelFunc) {
+	ctx, cancel := context.WithCancel(ctx)
+	return ctx, cancel
+}
+
+// A goroutine capturing the cancel owns it now.
+func cleanEscapeGoroutine(ctx context.Context, done chan struct{}) error {
+	ctx, cancel := context.WithCancel(ctx)
+	go func() {
+		<-done
+		cancel()
+	}()
+	return work(ctx)
+}
+
+// Suppression: the reasoned directive silences the finding.
+func suppressed(ctx context.Context) error {
+	//lint:ignore ctxcancel process-lifetime context, cancelled by exit
+	ctx, cancel := context.WithCancel(ctx)
+	_ = cancel
+	return work(ctx)
+}

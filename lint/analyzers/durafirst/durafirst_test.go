@@ -1,0 +1,12 @@
+package durafirst_test
+
+import (
+	"testing"
+
+	"efdedup/lint/analysistest"
+	"efdedup/lint/analyzers/durafirst"
+)
+
+func TestDuraFirst(t *testing.T) {
+	analysistest.Run(t, durafirst.Analyzer, "dura/kvstore")
+}

@@ -1,0 +1,169 @@
+// Fixtures for the durafirst analyzer: in handler methods, the
+// mutex-guarded receiver mutation must be dominated by the durable
+// call on every path that acks success.
+package kvstore
+
+import (
+	"errors"
+	"sync"
+)
+
+var errRejected = errors.New("rejected")
+
+// WAL and DiskStore mirror the real durability facilities by name —
+// the analyzer matches (*WAL).Append and (*DiskStore).Put*.
+type WAL struct{}
+
+func (w *WAL) Append(rec []byte) error { return nil }
+
+type DiskStore struct{}
+
+func (d *DiskStore) PutChunk(id string, b []byte) error { return nil }
+
+type nodeStats struct{ puts int }
+
+type Node struct {
+	mu      sync.Mutex
+	wal     *WAL
+	disk    *DiskStore
+	table   map[string][]byte
+	puts    int
+	scratch []byte
+	stats   nodeStats
+}
+
+func (n *Node) applyPut(k string, v []byte) {
+	n.mu.Lock()
+	n.table[k] = v
+	n.mu.Unlock()
+}
+
+func (n *Node) persist(v []byte) error { return n.wal.Append(v) }
+
+// --- positives -------------------------------------------------------
+
+// The PR6 bug shape: apply to the table, then log. A crash between the
+// two acks state the WAL never saw.
+func (n *Node) handleDirty(k string, v []byte) ([]byte, error) {
+	n.mu.Lock()
+	n.table[k] = v // want `mutated before the durable write`
+	n.mu.Unlock()
+	if err := n.wal.Append(v); err != nil {
+		return nil, err
+	}
+	return v, nil
+}
+
+// Only the fast arm forgets the ordering.
+func (n *Node) handleOneArm(k string, v []byte, fast bool) ([]byte, error) {
+	if fast {
+		n.mu.Lock()
+		n.table[k] = v // want `mutated before the durable write`
+		n.mu.Unlock()
+		return v, nil
+	}
+	if err := n.wal.Append(v); err != nil {
+		return nil, err
+	}
+	n.mu.Lock()
+	n.table[k] = v
+	n.mu.Unlock()
+	return v, nil
+}
+
+// The mutation hides one call level down; the callee summary surfaces
+// it at the call site.
+func (n *Node) handleViaApply(k string, v []byte) ([]byte, error) {
+	n.applyPut(k, v) // want `mutated before the durable write`
+	if err := n.wal.Append(v); err != nil {
+		return nil, err
+	}
+	return v, nil
+}
+
+// Deferred unlock holds the mutex to function end; the mutation is
+// still guarded, and there is no durable call at all.
+func (n *Node) handleDeferDirty(k string, v []byte) ([]byte, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.table[k] = v // want `mutated before the durable write`
+	return v, nil
+}
+
+// --- negatives -------------------------------------------------------
+
+// Correct order: log first, then apply.
+func (n *Node) handleClean(k string, v []byte) ([]byte, error) {
+	if err := n.wal.Append(v); err != nil {
+		return nil, err
+	}
+	n.mu.Lock()
+	n.table[k] = v
+	n.puts++
+	n.mu.Unlock()
+	return v, nil
+}
+
+// In-memory-only configuration: the nil-guard arm has no facility to
+// order against, so both arms are clean.
+func (n *Node) handleNilGuard(k string, v []byte) ([]byte, error) {
+	if n.wal != nil {
+		if err := n.wal.Append(v); err != nil {
+			return nil, err
+		}
+	}
+	n.mu.Lock()
+	n.table[k] = v
+	n.mu.Unlock()
+	return v, nil
+}
+
+// The durable call hides one level down too.
+func (n *Node) handleViaPersist(k string, v []byte) ([]byte, error) {
+	if err := n.persist(v); err != nil {
+		return nil, err
+	}
+	n.mu.Lock()
+	n.table[k] = v
+	n.mu.Unlock()
+	return v, nil
+}
+
+// A path that never acks success owes no durability ordering.
+func (n *Node) handleReject(k string) ([]byte, error) {
+	n.mu.Lock()
+	delete(n.table, k)
+	n.mu.Unlock()
+	return nil, errRejected
+}
+
+// Unguarded writes are a different analyzer's concern.
+func (n *Node) handleUnlocked(k string, v []byte) ([]byte, error) {
+	n.scratch = v
+	return v, nil
+}
+
+// Observability counters are not ack-promised state: updating them
+// before the durable write is exempt.
+func (n *Node) handleStatsFirst(k string, v []byte) ([]byte, error) {
+	n.mu.Lock()
+	n.stats.puts++
+	n.mu.Unlock()
+	if err := n.wal.Append(v); err != nil {
+		return nil, err
+	}
+	n.mu.Lock()
+	n.table[k] = v
+	n.mu.Unlock()
+	return v, nil
+}
+
+// Suppression: the reasoned directive silences the finding.
+func (n *Node) handleSuppressed(k string, v []byte) ([]byte, error) {
+	n.mu.Lock()
+	//lint:ignore durafirst replay path; durability handled by the caller
+	n.table[k] = v
+	n.mu.Unlock()
+	_ = n.wal.Append(v)
+	return v, nil
+}

@@ -17,6 +17,49 @@ func (a *Agent) ProcessStream(data [][]byte) {
 	a.sized(data)
 	_ = a.label(0)
 	go a.flush(data)
+	a.trace(data)
+	a.viaInterface(data)
+}
+
+type flusher interface {
+	flushAll([][]byte)
+	resetAll()
+}
+
+type baseFlusher struct{ lines []string }
+
+func (b *baseFlusher) flushAll(batches [][]byte) {
+	for i := range batches {
+		b.lines = append(b.lines, fmt.Sprintf("flush-%d", i)) // want `fmt\.Sprintf allocates per iteration`
+	}
+}
+
+type resetter struct{}
+
+func (resetter) resetAll() {}
+
+// embedFlusher implements flusher only through its embedded parts, so
+// reaching flushAll requires the interface fallback to follow promoted
+// methods.
+type embedFlusher struct {
+	*baseFlusher
+	resetter
+}
+
+func (a *Agent) viaInterface(batches [][]byte) {
+	var f flusher = embedFlusher{baseFlusher: &baseFlusher{}}
+	f.flushAll(batches)
+}
+
+// trace: the directive above a multi-line statement covers every line
+// of it, including the Sprintf on the continuation line.
+func (a *Agent) trace(batches [][]byte) {
+	for i := range batches {
+		//lint:ignore hotalloc trace lines are formatted per batch by design
+		a.names = append(a.names,
+			fmt.Sprintf("trace-%d", i),
+		)
+	}
 }
 
 func (a *Agent) register(batches [][]byte) {

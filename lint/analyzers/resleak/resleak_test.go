@@ -1,0 +1,12 @@
+package resleak_test
+
+import (
+	"testing"
+
+	"efdedup/lint/analysistest"
+	"efdedup/lint/analyzers/resleak"
+)
+
+func TestResleak(t *testing.T) {
+	analysistest.Run(t, resleak.Analyzer, "resleak")
+}

@@ -11,15 +11,25 @@
 // allocations on the dedup pipeline hot path (hotalloc), and atomic
 // file installs fsynced before their rename (fsyncrename).
 //
+// Four analyzers are path-sensitive, built on the CFG + dataflow layer
+// (lint/internal/cfg, lint/internal/dataflow): resources must reach
+// Close on every path (resleak), context cancel funcs must be called
+// on every path (ctxcancel), store handlers must make state durable
+// before mutating memory on success paths (durafirst), and
+// pipeline-reachable channels must carry explicit capacity
+// (chanbound).
+//
 // Usage:
 //
-//	efdedup-lint [-run name[,name]] [-list] [-json] [-v] [packages]
+//	efdedup-lint [-run name[,name]] [-list] [-json] [-sarif file] [-v] [packages]
 //
 // Packages default to ./... relative to the working directory. The
 // exit status is 0 when no diagnostics fire, 1 when any do, 2 on
 // loading failure. -json renders findings as a JSON array instead of
-// file:line:col text; -v reports load/analyze wall time on stderr.
-// Suppress a finding with a reasoned directive:
+// file:line:col text; -sarif additionally writes a SARIF 2.1.0 log to
+// the given file (use "-" for stdout) for code-scanning upload; -v
+// reports load/analyze wall time plus per-analyzer wall time on
+// stderr. Suppress a finding with a reasoned directive:
 //
 //	//lint:ignore lockedio held lock is test-only
 package main
@@ -33,7 +43,10 @@ import (
 	"time"
 
 	"efdedup/lint/analysis"
+	"efdedup/lint/analyzers/chanbound"
+	"efdedup/lint/analyzers/ctxcancel"
 	"efdedup/lint/analyzers/ctxfirst"
+	"efdedup/lint/analyzers/durafirst"
 	"efdedup/lint/analyzers/errclass"
 	"efdedup/lint/analyzers/errlost"
 	"efdedup/lint/analyzers/fsyncrename"
@@ -44,12 +57,16 @@ import (
 	"efdedup/lint/analyzers/lockorder"
 	"efdedup/lint/analyzers/metricname"
 	"efdedup/lint/analyzers/nodeterm"
+	"efdedup/lint/analyzers/resleak"
 	"efdedup/lint/internal/checker"
 	"efdedup/lint/internal/load"
 )
 
 var all = []*analysis.Analyzer{
+	chanbound.Analyzer,
+	ctxcancel.Analyzer,
 	ctxfirst.Analyzer,
+	durafirst.Analyzer,
 	errclass.Analyzer,
 	errlost.Analyzer,
 	fsyncrename.Analyzer,
@@ -60,13 +77,15 @@ var all = []*analysis.Analyzer{
 	lockorder.Analyzer,
 	metricname.Analyzer,
 	nodeterm.Analyzer,
+	resleak.Analyzer,
 }
 
 func main() {
 	runList := flag.String("run", "", "comma-separated analyzer names to run (default: all)")
 	list := flag.Bool("list", false, "list analyzers and exit")
 	jsonOut := flag.Bool("json", false, "render diagnostics as a JSON array")
-	verbose := flag.Bool("v", false, "report load/analyze wall time on stderr")
+	sarifOut := flag.String("sarif", "", "also write a SARIF 2.1.0 log to this file (\"-\" for stdout)")
+	verbose := flag.Bool("v", false, "report load/analyze wall time and per-analyzer wall time on stderr")
 	flag.Parse()
 
 	if *list {
@@ -110,7 +129,7 @@ func main() {
 		os.Exit(2)
 	}
 	analyzeStart := time.Now()
-	diags, err := checker.Run(analyzers, pkgs, fset)
+	diags, timings, err := checker.RunScopedTimed(analyzers, pkgs, pkgs, fset)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "efdedup-lint: %v\n", err)
 		os.Exit(2)
@@ -120,6 +139,25 @@ func main() {
 			stats.Packages, stats.ListTime.Round(time.Millisecond),
 			stats.CheckTime.Round(time.Millisecond),
 			time.Since(analyzeStart).Round(time.Millisecond))
+		for _, tm := range timings {
+			fmt.Fprintf(os.Stderr, "efdedup-lint:   %-12s %v\n", tm.Analyzer, tm.Elapsed.Round(time.Millisecond))
+		}
+	}
+	if *sarifOut != "" {
+		w := os.Stdout
+		if *sarifOut != "-" {
+			f, err := os.Create(*sarifOut)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "efdedup-lint: %v\n", err)
+				os.Exit(2)
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := checker.PrintSARIF(w, cwd, analyzers, diags); err != nil {
+			fmt.Fprintf(os.Stderr, "efdedup-lint: %v\n", err)
+			os.Exit(2)
+		}
 	}
 	if *jsonOut {
 		if err := checker.PrintJSON(os.Stdout, cwd, diags); err != nil {

@@ -324,10 +324,16 @@ func newImplIndex(pkgs []*load.Package) *implIndex {
 				continue
 			}
 			named, ok := tn.Type().(*types.Named)
-			if !ok || named.NumMethods() == 0 {
+			if !ok {
 				continue
 			}
 			if types.IsInterface(named) {
+				continue
+			}
+			// NumMethods counts declared methods only; a type whose
+			// whole method set is promoted from embedded fields still
+			// implements interfaces, so index by the method set.
+			if types.NewMethodSet(types.NewPointer(named)).Len() == 0 {
 				continue
 			}
 			key := tn.Pkg().Path() + "." + tn.Name()

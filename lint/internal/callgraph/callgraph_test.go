@@ -93,6 +93,48 @@ func run(d Doer) { d.Do() }
 	}
 }
 
+// TestInterfaceFallbackViaEmbedding pins resolution when the
+// implementation's method is promoted from an embedded type. The
+// interface needs two methods, each supplied by a different embedded
+// part, so only the embedder implements it — the edge must land on the
+// embedded type's method, the body that actually runs.
+func TestInterfaceFallbackViaEmbedding(t *testing.T) {
+	g := buildGraph(t, `package p
+
+type Doer interface {
+	Do()
+	Undo()
+}
+
+type base struct{}
+
+func (*base) Do() {}
+
+type undoer struct{}
+
+func (undoer) Undo() {}
+
+// E implements Doer only through its embedded parts.
+type E struct {
+	*base
+	undoer
+}
+
+func run(d Doer) { d.Do() }
+`)
+	out := edges(t, g, "p.run")
+	es := out["(*p.base).Do"]
+	if len(es) != 1 {
+		t.Fatalf("edges run→(*p.base).Do = %d, want 1 (have %v)", len(es), out)
+	}
+	if es[0].Interface != "Doer.Do" {
+		t.Errorf("Interface label = %q, want %q", es[0].Interface, "Doer.Do")
+	}
+	if es[0].Ref || es[0].Async {
+		t.Errorf("flags = ref:%v async:%v, want plain call edge", es[0].Ref, es[0].Async)
+	}
+}
+
 // TestStaticAsyncRefEdges pins the three non-interface edge flavours:
 // a plain static call, a call under a go statement (async, including
 // inside the spawned literal), and a function value reference.

@@ -1,0 +1,623 @@
+// Package cfg builds intraprocedural control-flow graphs over go/ast
+// function bodies, without x/tools. Each CFG is a list of basic blocks
+// holding the statements (and branch-condition expressions) that
+// execute straight-line, connected by edges that optionally carry the
+// governing branch condition — an edge out of `if err != nil` knows
+// both the condition expression and whether it was taken on the true
+// or false arm, which lets dataflow clients refine facts per branch
+// (kill a "file is open" fact on the open-failed arm).
+//
+// Structured control flow is covered in full: if/else, for (all three
+// clauses), range, switch (with fallthrough), type switch, select,
+// labeled break/continue, goto, and defer/return/panic. Returns do not
+// share one exit: every return (and the implicit fall-off-the-end
+// return) gets its own chain of synthetic defer blocks replaying the
+// defers registered on paths reaching it, last-in first-out, so a
+// `defer f.Close()` kills a leak only on returns the registration
+// precedes — the early `return err` before the defer still sees the
+// file open. Defer registration at a join is the union of the incoming
+// paths' registrations (a may-approximation: a defer registered on
+// only one arm appears on the joined exit chain; this can mask — never
+// invent — a missing-cleanup finding and is the standard trade against
+// false positives).
+//
+// Terminating statements — panic, os.Exit, log.Fatal*, runtime.Goexit,
+// and testing's t.Fatal* — end their path without an exit edge:
+// "on all paths" invariants (close/cancel before returning) follow the
+// x/tools lostcancel convention of not charging abnormal exits.
+package cfg
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// BlockKind distinguishes synthetic blocks from source blocks.
+type BlockKind int
+
+const (
+	// KindBody blocks hold source statements.
+	KindBody BlockKind = iota
+	// KindDefer blocks model the execution of one registered defer on
+	// the way out of the function; Block.Defer names the registration.
+	KindDefer
+	// KindExit is the single synthetic exit block (normal returns only).
+	KindExit
+)
+
+// Block is one basic block.
+type Block struct {
+	Index int
+	Kind  BlockKind
+	// Nodes are the statements and branch-condition expressions that
+	// execute unconditionally once the block is entered, in order.
+	// Condition expressions of if/for/switch headers appear as the
+	// block's last node; a RangeStmt or SelectStmt comm case appears as
+	// a node so clients can see its receives and definitions. Function
+	// literal bodies are NOT inlined — they get their own CFGs.
+	Nodes []ast.Node
+	Succs []*Edge
+	Preds []*Edge
+	// Defer is the registration this KindDefer block replays.
+	Defer *ast.DeferStmt
+}
+
+// Edge connects two blocks, optionally refined by a branch condition:
+// the edge is taken when Cond evaluates to !Negate. Cond is nil for
+// unconditional edges and for switch/select dispatch.
+type Edge struct {
+	From, To *Block
+	Cond     ast.Expr
+	Negate   bool
+}
+
+// CFG is the control-flow graph of one function body. Blocks[0] is the
+// entry block; Exit is the synthetic normal-return block.
+type CFG struct {
+	Blocks []*Block
+	Exit   *Block
+}
+
+// New builds the CFG of fn, which must be an *ast.FuncDecl or
+// *ast.FuncLit. A nil body (declaration without definition) yields a
+// two-block entry→exit graph.
+func New(fn ast.Node) *CFG {
+	var body *ast.BlockStmt
+	switch f := fn.(type) {
+	case *ast.FuncDecl:
+		body = f.Body
+	case *ast.FuncLit:
+		body = f.Body
+	default:
+		panic(fmt.Sprintf("cfg.New: not a function node: %T", fn))
+	}
+	b := &builder{
+		cfg:    &CFG{},
+		labels: make(map[string]*Block),
+	}
+	entry := b.newBlock(KindBody)
+	b.cfg.Exit = b.newBlock(KindExit)
+	b.cur = entry
+	if body != nil {
+		b.stmtList(body.List)
+	}
+	// Fall off the end: the implicit return.
+	b.ret()
+	return b.cfg
+}
+
+// builder carries the in-progress graph plus the flow state: the block
+// under construction, the defers registered on the current path, and
+// the targets break/continue/goto resolve against.
+type builder struct {
+	cfg *CFG
+	// cur is the block receiving statements; nil after a terminator
+	// (the next statement is unreachable and opens a fresh orphan
+	// block so labels inside dead code still resolve).
+	cur    *Block
+	defers []*ast.DeferStmt
+
+	breaks    []*Block // innermost-last break targets (loops, switch, select)
+	continues []*Block // innermost-last continue targets (loops only)
+	labels    map[string]*Block
+	// labeledBreak / labeledContinue resolve `break L` / `continue L`.
+	labeledBreak    map[string]*Block
+	labeledContinue map[string]*Block
+	// pendingLabel is set while processing the statement a label names,
+	// so the loop/switch it labels can register labeled targets.
+	pendingLabel string
+}
+
+func (b *builder) newBlock(kind BlockKind) *Block {
+	blk := &Block{Index: len(b.cfg.Blocks), Kind: kind}
+	b.cfg.Blocks = append(b.cfg.Blocks, blk)
+	return blk
+}
+
+func (b *builder) edge(from, to *Block, cond ast.Expr, negate bool) {
+	e := &Edge{From: from, To: to, Cond: cond, Negate: negate}
+	from.Succs = append(from.Succs, e)
+	to.Preds = append(to.Preds, e)
+}
+
+// ensure makes sure statements have a block to land in; statements
+// after a terminator open an orphan (unreachable) block.
+func (b *builder) ensure() *Block {
+	if b.cur == nil {
+		b.cur = b.newBlock(KindBody)
+	}
+	return b.cur
+}
+
+func (b *builder) add(n ast.Node) { b.ensure().Nodes = append(b.cur.Nodes, n) }
+
+// ret terminates the current path through a fresh defer chain into the
+// exit block. Each return site owns its chain, so only the defers
+// registered before it apply.
+func (b *builder) ret() {
+	if b.cur == nil {
+		return
+	}
+	for i := len(b.defers) - 1; i >= 0; i-- {
+		d := b.newBlock(KindDefer)
+		d.Defer = b.defers[i]
+		d.Nodes = []ast.Node{b.defers[i].Call}
+		b.edge(b.cur, d, nil, false)
+		b.cur = d
+	}
+	b.edge(b.cur, b.cfg.Exit, nil, false)
+	b.cur = nil
+}
+
+// mergeDefers unions defer registrations flowing into a join, keeping
+// first-seen order for deterministic chains.
+func mergeDefers(paths ...[]*ast.DeferStmt) []*ast.DeferStmt {
+	var out []*ast.DeferStmt
+	seen := make(map[*ast.DeferStmt]bool)
+	for _, p := range paths {
+		for _, d := range p {
+			if !seen[d] {
+				seen[d] = true
+				out = append(out, d)
+			}
+		}
+	}
+	return out
+}
+
+func (b *builder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *builder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+
+	case *ast.LabeledStmt:
+		// The label block is the target of `goto L` (possibly created
+		// by a forward goto) and of `continue L` on loops.
+		lb, ok := b.labels[s.Label.Name]
+		if !ok {
+			lb = b.newBlock(KindBody)
+			b.labels[s.Label.Name] = lb
+		}
+		if b.cur != nil {
+			b.edge(b.cur, lb, nil, false)
+		}
+		b.cur = lb
+		b.pendingLabel = s.Label.Name
+		b.stmt(s.Stmt)
+		b.pendingLabel = ""
+
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.ret()
+
+	case *ast.BranchStmt:
+		b.branch(s)
+
+	case *ast.DeferStmt:
+		b.add(s)
+		b.defers = append(b.defers, s)
+
+	case *ast.IfStmt:
+		b.ifStmt(s)
+
+	case *ast.ForStmt:
+		b.forStmt(s)
+
+	case *ast.RangeStmt:
+		b.rangeStmt(s)
+
+	case *ast.SwitchStmt:
+		b.switchStmt(s)
+
+	case *ast.TypeSwitchStmt:
+		b.typeSwitchStmt(s)
+
+	case *ast.SelectStmt:
+		b.selectStmt(s)
+
+	case *ast.ExprStmt:
+		b.add(s)
+		if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok && terminates(call) {
+			b.cur = nil // abnormal exit: no edge, facts are not charged
+		}
+
+	default:
+		// Assignments, declarations, go, send, inc/dec, empty: plain
+		// nodes with no control effect at this level.
+		b.add(s)
+	}
+}
+
+// branch handles break/continue/goto; fallthrough is consumed by
+// switchStmt and is a no-op here.
+func (b *builder) branch(s *ast.BranchStmt) {
+	target := func(labeled map[string]*Block, stack []*Block) *Block {
+		if s.Label != nil {
+			return labeled[s.Label.Name]
+		}
+		if len(stack) > 0 {
+			return stack[len(stack)-1]
+		}
+		return nil
+	}
+	switch s.Tok {
+	case token.BREAK:
+		if t := target(b.labeledBreak, b.breaks); t != nil && b.cur != nil {
+			b.add(s)
+			b.edge(b.cur, t, nil, false)
+		}
+		b.cur = nil
+	case token.CONTINUE:
+		if t := target(b.labeledContinue, b.continues); t != nil && b.cur != nil {
+			b.add(s)
+			b.edge(b.cur, t, nil, false)
+		}
+		b.cur = nil
+	case token.GOTO:
+		lb, ok := b.labels[s.Label.Name]
+		if !ok {
+			lb = b.newBlock(KindBody) // forward goto: label not seen yet
+			b.labels[s.Label.Name] = lb
+		}
+		if b.cur != nil {
+			b.add(s)
+			b.edge(b.cur, lb, nil, false)
+		}
+		b.cur = nil
+	}
+}
+
+func (b *builder) ifStmt(s *ast.IfStmt) {
+	if s.Init != nil {
+		b.add(s.Init)
+	}
+	b.add(s.Cond)
+	head := b.ensure()
+	before := b.defers
+
+	thenB := b.newBlock(KindBody)
+	b.edge(head, thenB, s.Cond, false)
+	b.cur, b.defers = thenB, before
+	b.stmtList(s.Body.List)
+	thenEnd, thenDefers := b.cur, b.defers
+
+	var elseEnd *Block
+	elseDefers := before
+	if s.Else != nil {
+		elseB := b.newBlock(KindBody)
+		b.edge(head, elseB, s.Cond, true)
+		b.cur, b.defers = elseB, before
+		b.stmt(s.Else)
+		elseEnd, elseDefers = b.cur, b.defers
+	}
+
+	join := b.newBlock(KindBody)
+	if s.Else == nil {
+		b.edge(head, join, s.Cond, true)
+	} else if elseEnd != nil {
+		b.edge(elseEnd, join, nil, false)
+	}
+	if thenEnd != nil {
+		b.edge(thenEnd, join, nil, false)
+	}
+	b.cur = join
+	b.defers = mergeDefers(thenDefers, elseDefers)
+	if s.Else != nil && thenEnd == nil && elseEnd == nil {
+		b.cur = nil // both arms terminated; join is dead
+	}
+}
+
+func (b *builder) forStmt(s *ast.ForStmt) {
+	label := b.pendingLabel
+	b.pendingLabel = ""
+	if s.Init != nil {
+		b.add(s.Init)
+	}
+	header := b.newBlock(KindBody)
+	if b.cur != nil {
+		b.edge(b.cur, header, nil, false)
+	}
+	after := b.newBlock(KindBody)
+
+	body := b.newBlock(KindBody)
+	if s.Cond != nil {
+		header.Nodes = append(header.Nodes, s.Cond)
+		b.edge(header, body, s.Cond, false)
+		b.edge(header, after, s.Cond, true)
+	} else {
+		b.edge(header, body, nil, false)
+	}
+
+	// continue goes to the post statement when there is one.
+	contTarget := header
+	var post *Block
+	if s.Post != nil {
+		post = b.newBlock(KindBody)
+		post.Nodes = append(post.Nodes, s.Post)
+		b.edge(post, header, nil, false)
+		contTarget = post
+	}
+
+	before := b.defers
+	b.pushLoop(label, after, contTarget)
+	b.cur, b.defers = body, before
+	b.stmtList(s.Body.List)
+	if b.cur != nil {
+		b.edge(b.cur, contTarget, nil, false)
+	}
+	bodyDefers := b.defers
+	b.popLoop(label)
+
+	b.cur = after
+	if len(after.Preds) == 0 {
+		b.cur = nil // `for { ... }` with no break: code after is dead
+	}
+	b.defers = mergeDefers(before, bodyDefers)
+}
+
+func (b *builder) rangeStmt(s *ast.RangeStmt) {
+	label := b.pendingLabel
+	b.pendingLabel = ""
+	header := b.newBlock(KindBody)
+	// The header holds the ranged expression and the key/value
+	// definitions — never the RangeStmt itself, whose subtree would
+	// drag the whole loop body into the header for any client that
+	// inspects block nodes recursively.
+	header.Nodes = append(header.Nodes, s.X)
+	if s.Key != nil {
+		header.Nodes = append(header.Nodes, s.Key)
+	}
+	if s.Value != nil {
+		header.Nodes = append(header.Nodes, s.Value)
+	}
+	if b.cur != nil {
+		b.edge(b.cur, header, nil, false)
+	}
+	after := b.newBlock(KindBody)
+	body := b.newBlock(KindBody)
+	b.edge(header, body, nil, false)
+	b.edge(header, after, nil, false)
+
+	before := b.defers
+	b.pushLoop(label, after, header)
+	b.cur, b.defers = body, before
+	b.stmtList(s.Body.List)
+	if b.cur != nil {
+		b.edge(b.cur, header, nil, false)
+	}
+	bodyDefers := b.defers
+	b.popLoop(label)
+
+	b.cur = after
+	b.defers = mergeDefers(before, bodyDefers)
+}
+
+func (b *builder) switchStmt(s *ast.SwitchStmt) {
+	label := b.pendingLabel
+	b.pendingLabel = ""
+	if s.Init != nil {
+		b.add(s.Init)
+	}
+	if s.Tag != nil {
+		b.add(s.Tag)
+	}
+	head := b.ensure()
+	join := b.newBlock(KindBody)
+	b.pushSwitch(label, join)
+	before := b.defers
+
+	// Build every clause block first so fallthrough can reach forward.
+	var clauses []*ast.CaseClause
+	var bodies []*Block
+	hasDefault := false
+	for _, c := range s.Body.List {
+		cc := c.(*ast.CaseClause)
+		clauses = append(clauses, cc)
+		blk := b.newBlock(KindBody)
+		for _, e := range cc.List {
+			blk.Nodes = append(blk.Nodes, e)
+		}
+		b.edge(head, blk, nil, false)
+		bodies = append(bodies, blk)
+		if cc.List == nil {
+			hasDefault = true
+		}
+	}
+	deferPaths := [][]*ast.DeferStmt{}
+	if !hasDefault {
+		b.edge(head, join, nil, false)
+		deferPaths = append(deferPaths, before)
+	}
+	for i, cc := range clauses {
+		b.cur, b.defers = bodies[i], before
+		// A trailing fallthrough transfers to the next clause body.
+		body := cc.Body
+		fall := false
+		if n := len(body); n > 0 {
+			if br, ok := body[n-1].(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH {
+				body, fall = body[:n-1], true
+			}
+		}
+		b.stmtList(body)
+		if b.cur != nil {
+			if fall && i+1 < len(bodies) {
+				b.edge(b.cur, bodies[i+1], nil, false)
+			} else {
+				b.edge(b.cur, join, nil, false)
+				deferPaths = append(deferPaths, b.defers)
+			}
+		}
+	}
+	b.popSwitch(label)
+	b.cur = join
+	b.defers = mergeDefers(deferPaths...)
+	if len(join.Preds) == 0 {
+		b.cur = nil // every clause terminated and a default exists
+	}
+}
+
+func (b *builder) typeSwitchStmt(s *ast.TypeSwitchStmt) {
+	label := b.pendingLabel
+	b.pendingLabel = ""
+	if s.Init != nil {
+		b.add(s.Init)
+	}
+	b.add(s.Assign)
+	head := b.ensure()
+	join := b.newBlock(KindBody)
+	b.pushSwitch(label, join)
+	before := b.defers
+
+	hasDefault := false
+	deferPaths := [][]*ast.DeferStmt{}
+	for _, c := range s.Body.List {
+		cc := c.(*ast.CaseClause)
+		if cc.List == nil {
+			hasDefault = true
+		}
+		blk := b.newBlock(KindBody)
+		b.edge(head, blk, nil, false)
+		b.cur, b.defers = blk, before
+		b.stmtList(cc.Body)
+		if b.cur != nil {
+			b.edge(b.cur, join, nil, false)
+			deferPaths = append(deferPaths, b.defers)
+		}
+	}
+	if !hasDefault {
+		b.edge(head, join, nil, false)
+		deferPaths = append(deferPaths, before)
+	}
+	b.popSwitch(label)
+	b.cur = join
+	b.defers = mergeDefers(deferPaths...)
+	if len(join.Preds) == 0 {
+		b.cur = nil
+	}
+}
+
+func (b *builder) selectStmt(s *ast.SelectStmt) {
+	label := b.pendingLabel
+	b.pendingLabel = ""
+	head := b.ensure()
+	join := b.newBlock(KindBody)
+	b.pushSwitch(label, join)
+	before := b.defers
+
+	deferPaths := [][]*ast.DeferStmt{}
+	for _, c := range s.Body.List {
+		cc := c.(*ast.CommClause)
+		blk := b.newBlock(KindBody)
+		if cc.Comm != nil {
+			blk.Nodes = append(blk.Nodes, cc.Comm)
+		}
+		b.edge(head, blk, nil, false)
+		b.cur, b.defers = blk, before
+		b.stmtList(cc.Body)
+		if b.cur != nil {
+			b.edge(b.cur, join, nil, false)
+			deferPaths = append(deferPaths, b.defers)
+		}
+	}
+	b.popSwitch(label)
+	b.cur = join
+	b.defers = mergeDefers(deferPaths...)
+	if len(s.Body.List) == 0 || len(join.Preds) == 0 {
+		b.cur = nil // select{} blocks forever; or every case terminated
+	}
+}
+
+func (b *builder) pushLoop(label string, brk, cont *Block) {
+	b.breaks = append(b.breaks, brk)
+	b.continues = append(b.continues, cont)
+	if label != "" {
+		if b.labeledBreak == nil {
+			b.labeledBreak = make(map[string]*Block)
+			b.labeledContinue = make(map[string]*Block)
+		}
+		b.labeledBreak[label] = brk
+		b.labeledContinue[label] = cont
+	}
+}
+
+func (b *builder) popLoop(label string) {
+	b.breaks = b.breaks[:len(b.breaks)-1]
+	b.continues = b.continues[:len(b.continues)-1]
+	if label != "" {
+		delete(b.labeledBreak, label)
+		delete(b.labeledContinue, label)
+	}
+}
+
+func (b *builder) pushSwitch(label string, brk *Block) {
+	b.breaks = append(b.breaks, brk)
+	if label != "" {
+		if b.labeledBreak == nil {
+			b.labeledBreak = make(map[string]*Block)
+			b.labeledContinue = make(map[string]*Block)
+		}
+		b.labeledBreak[label] = brk
+	}
+}
+
+func (b *builder) popSwitch(label string) {
+	b.breaks = b.breaks[:len(b.breaks)-1]
+	if label != "" {
+		delete(b.labeledBreak, label)
+	}
+}
+
+// terminates matches calls that never return normally. The check is
+// syntactic (panic is a builtin identifier; os.Exit/log.Fatal* are
+// selector spellings) — shadowing these names would defeat it, which
+// this codebase never does.
+func terminates(call *ast.CallExpr) bool {
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fn.Name == "panic"
+	case *ast.SelectorExpr:
+		x, ok := ast.Unparen(fn.X).(*ast.Ident)
+		if !ok {
+			return false
+		}
+		switch {
+		case x.Name == "os" && fn.Sel.Name == "Exit":
+			return true
+		case x.Name == "log" && strings.HasPrefix(fn.Sel.Name, "Fatal"):
+			return true
+		case x.Name == "runtime" && fn.Sel.Name == "Goexit":
+			return true
+		case (x.Name == "t" || x.Name == "b") && (strings.HasPrefix(fn.Sel.Name, "Fatal") || fn.Sel.Name == "Skip" || fn.Sel.Name == "SkipNow" || fn.Sel.Name == "Skipf"):
+			return true
+		}
+	}
+	return false
+}

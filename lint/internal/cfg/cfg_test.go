@@ -1,0 +1,496 @@
+package cfg
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// build parses src (a file fragment containing one function named f)
+// and returns its CFG plus the fileset.
+func build(t *testing.T, src string) (*CFG, *token.FileSet) {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "x.go", "package p\n"+src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	for _, d := range file.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == "f" {
+			return New(fd), fset
+		}
+	}
+	t.Fatal("no func f in source")
+	return nil, nil
+}
+
+// nodeLines renders a block's nodes as their source line numbers.
+func nodeLines(fset *token.FileSet, b *Block) []int {
+	var out []int
+	for _, n := range b.Nodes {
+		out = append(out, fset.Position(n.Pos()).Line)
+	}
+	return out
+}
+
+// reachable walks forward from the entry block.
+func reachable(g *CFG) map[*Block]bool {
+	seen := map[*Block]bool{}
+	var walk func(b *Block)
+	walk = func(b *Block) {
+		if seen[b] {
+			return
+		}
+		seen[b] = true
+		for _, e := range b.Succs {
+			walk(e.To)
+		}
+	}
+	if len(g.Blocks) > 0 {
+		walk(g.Blocks[0])
+	}
+	return seen
+}
+
+func TestIfElseCondEdges(t *testing.T) {
+	g, _ := build(t, `
+func f(x int) int {
+	if x > 0 {
+		x++
+	} else {
+		x--
+	}
+	return x
+}`)
+	head := g.Blocks[0]
+	if len(head.Succs) != 2 {
+		t.Fatalf("entry has %d succs, want 2", len(head.Succs))
+	}
+	var sawTrue, sawFalse bool
+	for _, e := range head.Succs {
+		if e.Cond == nil {
+			t.Fatalf("if edge lost its condition")
+		}
+		if e.Negate {
+			sawFalse = true
+		} else {
+			sawTrue = true
+		}
+	}
+	if !sawTrue || !sawFalse {
+		t.Fatalf("want one true and one negated edge, got true=%v false=%v", sawTrue, sawFalse)
+	}
+	if len(g.Exit.Preds) != 1 {
+		t.Fatalf("exit preds = %d, want 1 (single return through the join)", len(g.Exit.Preds))
+	}
+}
+
+func TestIfNoElseFalseEdgeToJoin(t *testing.T) {
+	g, _ := build(t, `
+func f(x int) int {
+	if x > 0 {
+		x++
+	}
+	return x
+}`)
+	head := g.Blocks[0]
+	var neg *Edge
+	for _, e := range head.Succs {
+		if e.Negate {
+			neg = e
+		}
+	}
+	if neg == nil {
+		t.Fatal("missing negated fall-through edge")
+	}
+	// The negated edge must reach the return without passing the body.
+	if len(neg.To.Succs) != 1 || neg.To.Succs[0].To != g.Exit {
+		t.Fatalf("false edge does not lead to the return block")
+	}
+}
+
+// The load-bearing defer property: a return before the registration
+// exits without the defer block, a return after it exits through it.
+func TestPerReturnDeferChains(t *testing.T) {
+	g, _ := build(t, `
+func f(ok bool) error {
+	r := open()
+	if !ok {
+		return errFail
+	}
+	defer r.Close()
+	use(r)
+	return nil
+}`)
+	if len(g.Exit.Preds) != 2 {
+		t.Fatalf("exit preds = %d, want 2", len(g.Exit.Preds))
+	}
+	var deferChains, plain int
+	for _, e := range g.Exit.Preds {
+		if e.From.Kind == KindDefer {
+			deferChains++
+		} else {
+			plain++
+		}
+	}
+	if deferChains != 1 || plain != 1 {
+		t.Fatalf("want exactly one return through the defer chain and one without; got %d defer, %d plain", deferChains, plain)
+	}
+}
+
+func TestDeferChainOrderLIFO(t *testing.T) {
+	g, _ := build(t, `
+func f() {
+	defer first()
+	defer second()
+}`)
+	// Implicit return: body -> defer(second) -> defer(first) -> exit.
+	if len(g.Exit.Preds) != 1 {
+		t.Fatalf("exit preds = %d, want 1", len(g.Exit.Preds))
+	}
+	last := g.Exit.Preds[0].From
+	if last.Kind != KindDefer {
+		t.Fatalf("block before exit is %v, want defer block", last.Kind)
+	}
+	call := last.Nodes[0].(*ast.CallExpr)
+	if name := call.Fun.(*ast.Ident).Name; name != "first" {
+		t.Fatalf("outermost defer executed last should be first(), got %s()", name)
+	}
+	prev := last.Preds[0].From
+	if prev.Kind != KindDefer {
+		t.Fatalf("expected a second defer block, got %v", prev.Kind)
+	}
+	if name := prev.Nodes[0].(*ast.CallExpr).Fun.(*ast.Ident).Name; name != "second" {
+		t.Fatalf("innermost defer should run first, got %s()", name)
+	}
+}
+
+func TestForLoopShape(t *testing.T) {
+	g, fset := build(t, `
+func f(n int) int {
+	s := 0
+	for i := 0; i < n; i++ {
+		s += i
+	}
+	return s
+}`)
+	// Find the header: the block whose node list ends with the i<n cond
+	// and that has a negated edge (loop exit) plus a plain edge (body).
+	var header *Block
+	for _, b := range g.Blocks {
+		for _, e := range b.Succs {
+			if e.Cond != nil && e.Negate {
+				header = b
+			}
+		}
+	}
+	if header == nil {
+		t.Fatal("no loop header with a negated exit edge")
+	}
+	// The body must flow through the post block back into the header.
+	found := false
+	for _, e := range header.Preds {
+		if lines := nodeLines(fset, e.From); len(lines) == 1 && containsIncDec(e.From) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no back edge through the post (i++) block")
+	}
+}
+
+func containsIncDec(b *Block) bool {
+	for _, n := range b.Nodes {
+		if _, ok := n.(*ast.IncDecStmt); ok {
+			return true
+		}
+	}
+	return false
+}
+
+func TestRangeBreakContinue(t *testing.T) {
+	g, _ := build(t, `
+func f(xs []int) int {
+	s := 0
+	for _, x := range xs {
+		if x < 0 {
+			continue
+		}
+		if x > 100 {
+			break
+		}
+		s += x
+	}
+	return s
+}`)
+	seen := reachable(g)
+	if !seen[g.Exit] {
+		t.Fatal("exit unreachable")
+	}
+	// Every reachable non-exit block must reach the exit (no stuck paths).
+	for b := range seen {
+		if b == g.Exit {
+			continue
+		}
+		sub := map[*Block]bool{}
+		var walk func(x *Block)
+		walk = func(x *Block) {
+			if sub[x] {
+				return
+			}
+			sub[x] = true
+			for _, e := range x.Succs {
+				walk(e.To)
+			}
+		}
+		walk(b)
+		if !sub[g.Exit] {
+			t.Fatalf("block %d cannot reach exit", b.Index)
+		}
+	}
+}
+
+func TestSwitchFallthroughAndDefault(t *testing.T) {
+	g, _ := build(t, `
+func f(x int) int {
+	switch x {
+	case 1:
+		x++
+		fallthrough
+	case 2:
+		x += 2
+	default:
+		x = 0
+	}
+	return x
+}`)
+	// With a default present the header must NOT have a direct edge to
+	// the join: some clause always runs.
+	head := g.Blocks[0]
+	for _, e := range head.Succs {
+		for _, e2 := range e.To.Succs {
+			_ = e2
+		}
+	}
+	if len(head.Succs) != 3 {
+		t.Fatalf("switch header fans out to %d clauses, want 3", len(head.Succs))
+	}
+	// fallthrough: the case-1 block must have an edge into the case-2
+	// block, not only into the join.
+	var case1 *Block
+	for _, e := range head.Succs {
+		for _, n := range e.To.Nodes {
+			if lit, ok := n.(*ast.BasicLit); ok && lit.Value == "1" {
+				case1 = e.To
+			}
+		}
+	}
+	if case1 == nil {
+		t.Fatal("case 1 block not found")
+	}
+	fallsInto := false
+	for _, e := range case1.Succs {
+		for _, n := range e.To.Nodes {
+			if lit, ok := n.(*ast.BasicLit); ok && lit.Value == "2" {
+				fallsInto = true
+			}
+		}
+	}
+	if !fallsInto {
+		t.Fatal("fallthrough edge into the next clause is missing")
+	}
+}
+
+func TestSwitchWithoutDefaultSkipsClauses(t *testing.T) {
+	g, _ := build(t, `
+func f(x int) int {
+	switch x {
+	case 1:
+		return 10
+	}
+	return x
+}`)
+	// No default: the header needs a direct edge to the join (x != 1).
+	head := g.Blocks[0]
+	direct := false
+	for _, e := range head.Succs {
+		if len(e.To.Nodes) == 0 || !isCaseExprBlock(e.To) {
+			direct = true
+		}
+	}
+	if !direct {
+		t.Fatal("missing header→join edge for the no-case-matched path")
+	}
+	if len(g.Exit.Preds) != 2 {
+		t.Fatalf("exit preds = %d, want 2 (case return + trailing return)", len(g.Exit.Preds))
+	}
+}
+
+func isCaseExprBlock(b *Block) bool {
+	for _, n := range b.Nodes {
+		if _, ok := n.(*ast.BasicLit); ok {
+			return true
+		}
+	}
+	return false
+}
+
+func TestSelectBlocksAndJoins(t *testing.T) {
+	g, _ := build(t, `
+func f(a, b chan int) int {
+	select {
+	case x := <-a:
+		return x
+	case <-b:
+	}
+	return 0
+}`)
+	head := g.Blocks[0]
+	if len(head.Succs) != 2 {
+		t.Fatalf("select fans out to %d comm clauses, want 2", len(head.Succs))
+	}
+	if len(g.Exit.Preds) != 2 {
+		t.Fatalf("exit preds = %d, want 2", len(g.Exit.Preds))
+	}
+}
+
+func TestGotoForwardAndBackward(t *testing.T) {
+	g, _ := build(t, `
+func f(x int) int {
+loop:
+	x--
+	if x > 0 {
+		goto loop
+	}
+	if x < -10 {
+		goto done
+	}
+	x = 0
+done:
+	return x
+}`)
+	seen := reachable(g)
+	if !seen[g.Exit] {
+		t.Fatal("exit unreachable through labels")
+	}
+	// The backward goto must create a cycle: some reachable block has a
+	// successor with a smaller index (the back edge).
+	back := false
+	for b := range seen {
+		for _, e := range b.Succs {
+			if e.To.Index < b.Index && e.To.Kind == KindBody {
+				back = true
+			}
+		}
+	}
+	if !back {
+		t.Fatal("no back edge for `goto loop`")
+	}
+}
+
+func TestLabeledBreak(t *testing.T) {
+	g, _ := build(t, `
+func f(m [][]int) int {
+outer:
+	for _, row := range m {
+		for _, v := range row {
+			if v == 0 {
+				break outer
+			}
+		}
+	}
+	return 1
+}`)
+	if !reachable(g)[g.Exit] {
+		t.Fatal("exit unreachable")
+	}
+}
+
+func TestPanicAndExitTerminatePaths(t *testing.T) {
+	g, _ := build(t, `
+func f(x int) int {
+	if x < 0 {
+		panic("neg")
+	}
+	if x == 0 {
+		os.Exit(1)
+	}
+	return x
+}`)
+	// Only the normal return reaches the exit block: panics and
+	// os.Exit are not charged against all-paths invariants.
+	if len(g.Exit.Preds) != 1 {
+		t.Fatalf("exit preds = %d, want 1", len(g.Exit.Preds))
+	}
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			if es, ok := n.(*ast.ExprStmt); ok {
+				if call, ok := es.X.(*ast.CallExpr); ok {
+					if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+						if len(b.Succs) != 0 {
+							t.Fatalf("panic block has %d succs, want 0", len(b.Succs))
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestInfiniteLoopNoExitEdge(t *testing.T) {
+	g, _ := build(t, `
+func f(c chan int) {
+	for {
+		<-c
+	}
+}`)
+	if len(g.Exit.Preds) != 0 {
+		t.Fatalf("exit preds = %d, want 0 for an infinite loop", len(g.Exit.Preds))
+	}
+}
+
+func TestFuncLitNotInlined(t *testing.T) {
+	g, _ := build(t, `
+func f() {
+	go func() {
+		return
+	}()
+	done()
+}`)
+	// The literal's return must not add an exit edge to the outer CFG.
+	if len(g.Exit.Preds) != 1 {
+		t.Fatalf("exit preds = %d, want 1 (the literal's return is separate)", len(g.Exit.Preds))
+	}
+}
+
+func TestStoreMemoizes(t *testing.T) {
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "x.go", "package p\nfunc f() {}\n", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fd := file.Decls[0].(*ast.FuncDecl)
+	s := NewStore()
+	if a, b := s.For(fd), s.For(fd); a != b {
+		t.Fatal("Store.For rebuilt the CFG for the same function node")
+	}
+}
+
+func TestTerminatesSpellings(t *testing.T) {
+	for _, src := range []string{"panic(1)", "os.Exit(2)", "log.Fatalf(\"x\")", "runtime.Goexit()", "t.Fatal(\"y\")"} {
+		file, err := parser.ParseFile(token.NewFileSet(), "x.go", "package p\nfunc f() { "+src+" }\n", 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		call := file.Decls[0].(*ast.FuncDecl).Body.List[0].(*ast.ExprStmt).X.(*ast.CallExpr)
+		if !terminates(call) {
+			t.Errorf("terminates(%s) = false, want true", src)
+		}
+	}
+	file, _ := parser.ParseFile(token.NewFileSet(), "x.go", "package p\nfunc f() { fmt.Println(1) }\n", 0)
+	call := file.Decls[0].(*ast.FuncDecl).Body.List[0].(*ast.ExprStmt).X.(*ast.CallExpr)
+	if terminates(call) {
+		t.Error("terminates(fmt.Println) = true, want false")
+	}
+}

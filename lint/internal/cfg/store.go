@@ -1,0 +1,33 @@
+package cfg
+
+import (
+	"go/ast"
+	"sync"
+)
+
+// Store memoizes per-function CFGs for the life of one lint run. The
+// driver hands one Store to every pass (analysis.Pass.CFGs), so four
+// path-sensitive analyzers visiting the same function body pay for one
+// graph construction, not four.
+type Store struct {
+	mu   sync.Mutex
+	cfgs map[ast.Node]*CFG
+}
+
+// NewStore allocates an empty store.
+func NewStore() *Store {
+	return &Store{cfgs: make(map[ast.Node]*CFG)}
+}
+
+// For returns the (possibly cached) CFG of fn, an *ast.FuncDecl or
+// *ast.FuncLit.
+func (s *Store) For(fn ast.Node) *CFG {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if g, ok := s.cfgs[fn]; ok {
+		return g
+	}
+	g := New(fn)
+	s.cfgs[fn] = g
+	return g
+}

@@ -11,8 +11,10 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"time"
 
 	"efdedup/lint/analysis"
+	"efdedup/lint/internal/cfg"
 	"efdedup/lint/internal/load"
 	"efdedup/lint/internal/summary"
 )
@@ -30,6 +32,13 @@ func Run(analyzers []*analysis.Analyzer, pkgs []*load.Package, fset *token.FileS
 	return RunScoped(analyzers, pkgs, pkgs, fset)
 }
 
+// Timing is one analyzer's wall time summed over every target package,
+// for `efdedup-lint -v` — slow analyzers should be visible, not felt.
+type Timing struct {
+	Analyzer string
+	Elapsed  time.Duration
+}
+
 // RunScoped applies every analyzer to the target packages while
 // building the interprocedural summary store over the (usually larger)
 // universe, so cross-package facts — callee summaries, lock-order
@@ -38,12 +47,21 @@ func Run(analyzers []*analysis.Analyzer, pkgs []*load.Package, fset *token.FileS
 // the diagnostic lands, including files of non-target universe
 // packages (a module-wide finding may be anchored in a dependency).
 func RunScoped(analyzers []*analysis.Analyzer, targets, universe []*load.Package, fset *token.FileSet) ([]Diagnostic, error) {
+	diags, _, err := RunScopedTimed(analyzers, targets, universe, fset)
+	return diags, err
+}
+
+// RunScopedTimed is RunScoped plus per-analyzer wall time, ordered
+// slowest first.
+func RunScopedTimed(analyzers []*analysis.Analyzer, targets, universe []*load.Package, fset *token.FileSet) ([]Diagnostic, []Timing, error) {
 	sums := summary.Build(fset, universe)
+	cfgs := cfg.NewStore()
 	var allFiles []*ast.File
 	for _, pkg := range universe {
 		allFiles = append(allFiles, pkg.Files...)
 	}
 	ignores := collectIgnores(fset, allFiles)
+	elapsed := make(map[string]time.Duration, len(analyzers))
 	var out []Diagnostic
 	for _, pkg := range targets {
 		for _, a := range analyzers {
@@ -54,6 +72,7 @@ func RunScoped(analyzers []*analysis.Analyzer, targets, universe []*load.Package
 				Pkg:       pkg.Types,
 				TypesInfo: pkg.Info,
 				Summaries: sums,
+				CFGs:      cfgs,
 			}
 			pass.Report = func(d analysis.Diagnostic) {
 				pos := fset.Position(d.Pos)
@@ -62,11 +81,19 @@ func RunScoped(analyzers []*analysis.Analyzer, targets, universe []*load.Package
 				}
 				out = append(out, Diagnostic{Position: pos, Analyzer: a.Name, Message: d.Message})
 			}
-			if err := a.Run(pass); err != nil {
-				return nil, fmt.Errorf("%s: %s: %v", pkg.PkgPath, a.Name, err)
+			start := time.Now()
+			err := a.Run(pass)
+			elapsed[a.Name] += time.Since(start)
+			if err != nil {
+				return nil, nil, fmt.Errorf("%s: %s: %v", pkg.PkgPath, a.Name, err)
 			}
 		}
 	}
+	timings := make([]Timing, 0, len(elapsed))
+	for _, a := range analyzers {
+		timings = append(timings, Timing{Analyzer: a.Name, Elapsed: elapsed[a.Name]})
+	}
+	sort.Slice(timings, func(i, j int) bool { return timings[i].Elapsed > timings[j].Elapsed })
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i].Position, out[j].Position
 		if a.Filename != b.Filename {
@@ -77,7 +104,7 @@ func RunScoped(analyzers []*analysis.Analyzer, targets, universe []*load.Package
 		}
 		return out[i].Analyzer < out[j].Analyzer
 	})
-	return out, nil
+	return out, timings, nil
 }
 
 // Print writes diagnostics in file:line:col form, with paths relative
@@ -131,12 +158,16 @@ type ignoreIndex map[string]map[int][]string
 //
 // The directive suppresses matching diagnostics reported on its own
 // line (trailing comment) or on the line immediately below (comment on
-// its own line above the offending statement). "all" matches every
-// analyzer. A directive without a reason is ignored — the reason is
-// the point.
+// its own line above the offending statement). When the annotated
+// statement spans multiple lines — a multi-line composite literal, a
+// wrapped call — the directive covers the statement's whole extent, so
+// a diagnostic anchored three lines into the literal is still
+// suppressed. "all" matches every analyzer. A directive without a
+// reason is ignored — the reason is the point.
 func collectIgnores(fset *token.FileSet, files []*ast.File) ignoreIndex {
 	idx := make(ignoreIndex)
 	for _, f := range files {
+		fileIdx := make(map[int][]string)
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
 				text := strings.TrimPrefix(c.Text, "//")
@@ -148,16 +179,59 @@ func collectIgnores(fset *token.FileSet, files []*ast.File) ignoreIndex {
 					continue // no reason given: directive not honoured
 				}
 				pos := fset.Position(c.Pos())
-				m := idx[pos.Filename]
-				if m == nil {
-					m = make(map[int][]string)
-					idx[pos.Filename] = m
-				}
-				m[pos.Line] = append(m[pos.Line], strings.Split(fields[0], ",")...)
+				fileIdx[pos.Line] = append(fileIdx[pos.Line], strings.Split(fields[0], ",")...)
 			}
 		}
+		if len(fileIdx) == 0 {
+			continue
+		}
+		extendToStatements(fset, f, fileIdx)
+		idx[fset.Position(f.Pos()).Filename] = fileIdx
 	}
 	return idx
+}
+
+// extendToStatements widens directive coverage over multi-line
+// statements: a directive whose own line (trailing form) or next line
+// (line-above form) starts a statement or declaration spec covers
+// every line of that node. Only statements and var/const specs extend
+// — never whole function declarations, so a stray directive above a
+// func cannot silence its body.
+func extendToStatements(fset *token.FileSet, f *ast.File, fileIdx map[int][]string) {
+	// Snapshot the directive lines: extension must key off the raw
+	// directives, not off lines added by other extensions.
+	raw := make(map[int][]string, len(fileIdx))
+	for line, names := range fileIdx {
+		raw[line] = names
+	}
+	extend := func(n ast.Node) {
+		start := fset.Position(n.Pos()).Line
+		end := fset.Position(n.End()).Line
+		if end <= start {
+			return
+		}
+		var names []string
+		names = append(names, raw[start]...)   // trailing directive on the first line
+		names = append(names, raw[start-1]...) // directive on its own line above
+		if len(names) == 0 {
+			return
+		}
+		for line := start + 1; line <= end; line++ {
+			fileIdx[line] = append(fileIdx[line], names...)
+		}
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n.(type) {
+		// Only statements without nested blocks extend: a directive
+		// above an if/for would otherwise silence an arbitrarily large
+		// body. Multi-line composite literals, wrapped calls and var
+		// specs are the shapes the directive legitimately annotates.
+		case *ast.AssignStmt, *ast.ExprStmt, *ast.ReturnStmt, *ast.DeclStmt,
+			*ast.GoStmt, *ast.DeferStmt, *ast.SendStmt, *ast.ValueSpec:
+			extend(n)
+		}
+		return true
+	})
 }
 
 // suppressed reports whether a diagnostic from analyzer at pos is

@@ -1,0 +1,175 @@
+// Package dataflow is a small fixed-point solver over cfg graphs: a
+// worklist iteration of a client-supplied transfer function until the
+// per-block facts stabilise. The fact type is a type parameter; the
+// client supplies the lattice (bottom, join, equality) as funcs, which
+// keeps map-valued and struct-valued fact domains equally cheap to
+// plug in. May-analyses join with set union, must-analyses with
+// intersection — the solver does not care, it only iterates.
+//
+// Facts can be refined per edge: when Analysis.FlowEdge is non-nil it
+// runs on every edge before the join, with the edge's branch condition
+// available (cfg.Edge.Cond/Negate). That is the path-sensitivity hook:
+// resleak kills a "file open" fact on the err != nil arm of the open,
+// ctxcancel kills a "cancel outstanding" fact on the cancel == nil
+// arm, durafirst treats the wal == nil arm as durability-exempt.
+package dataflow
+
+import (
+	"efdedup/lint/internal/cfg"
+)
+
+// Direction orients the analysis.
+type Direction int
+
+const (
+	Forward Direction = iota
+	Backward
+)
+
+// Analysis describes one dataflow problem over a CFG.
+type Analysis[S any] struct {
+	Dir Direction
+	// Bottom is the no-information value every block starts from; Join
+	// must treat it as an identity element.
+	Bottom func() S
+	Join   func(a, b S) S
+	Equal  func(a, b S) bool
+	// Boundary seeds the entry block (Forward) or exit block
+	// (Backward). The zero S is used when nil.
+	Boundary func() S
+	// Transfer maps a block's incoming fact to its outgoing fact
+	// (Forward: In→Out; Backward: Out→In). It must not mutate in.
+	Transfer func(b *cfg.Block, in S) S
+	// FlowEdge optionally refines the fact crossing an edge; nil means
+	// identity. It must not mutate the fact it is given.
+	FlowEdge func(e *cfg.Edge, fact S) S
+}
+
+// Result holds the fixed point: the fact at block entry and exit, in
+// execution order regardless of analysis direction.
+type Result[S any] struct {
+	In, Out map[*cfg.Block]S
+}
+
+// Solve iterates to a fixed point and returns the per-block facts.
+// Blocks unreachable from the boundary keep Bottom.
+func Solve[S any](g *cfg.CFG, a Analysis[S]) *Result[S] {
+	res := &Result[S]{
+		In:  make(map[*cfg.Block]S, len(g.Blocks)),
+		Out: make(map[*cfg.Block]S, len(g.Blocks)),
+	}
+	for _, b := range g.Blocks {
+		res.In[b] = a.Bottom()
+		res.Out[b] = a.Bottom()
+	}
+	boundary := a.Bottom
+	if a.Boundary != nil {
+		boundary = a.Boundary
+	}
+
+	// inEdges / outFacts select the direction: for Backward the roles
+	// of In/Out and Preds/Succs swap and iteration runs in reverse.
+	var seed *cfg.Block
+	if a.Dir == Forward {
+		if len(g.Blocks) == 0 {
+			return res
+		}
+		seed = g.Blocks[0]
+		res.In[seed] = boundary()
+	} else {
+		seed = g.Exit
+		if seed == nil {
+			return res
+		}
+		res.Out[seed] = boundary()
+	}
+
+	work := make([]*cfg.Block, 0, len(g.Blocks))
+	inWork := make(map[*cfg.Block]bool, len(g.Blocks))
+	push := func(b *cfg.Block) {
+		if !inWork[b] {
+			inWork[b] = true
+			work = append(work, b)
+		}
+	}
+	// Seed only blocks reachable from the boundary (following Succs
+	// forward, Preds backward): dead code must not generate facts — a
+	// statement after an unconditional return cannot leak a fact into
+	// the exit.
+	var seedReach func(b *cfg.Block)
+	seen := make(map[*cfg.Block]bool, len(g.Blocks))
+	seedReach = func(b *cfg.Block) {
+		if seen[b] {
+			return
+		}
+		seen[b] = true
+		push(b)
+		if a.Dir == Forward {
+			for _, e := range b.Succs {
+				seedReach(e.To)
+			}
+		} else {
+			for _, e := range b.Preds {
+				seedReach(e.From)
+			}
+		}
+	}
+	seedReach(seed)
+
+	for len(work) > 0 {
+		b := work[0]
+		work = work[1:]
+		inWork[b] = false
+
+		if a.Dir == Forward {
+			in := res.In[b]
+			if b != seed || len(b.Preds) > 0 {
+				acc := a.Bottom()
+				if b == seed {
+					acc = a.Join(acc, boundary())
+				}
+				for _, e := range b.Preds {
+					f := res.Out[e.From]
+					if a.FlowEdge != nil {
+						f = a.FlowEdge(e, f)
+					}
+					acc = a.Join(acc, f)
+				}
+				in = acc
+				res.In[b] = in
+			}
+			out := a.Transfer(b, in)
+			if !a.Equal(out, res.Out[b]) {
+				res.Out[b] = out
+				for _, e := range b.Succs {
+					push(e.To)
+				}
+			}
+		} else {
+			out := res.Out[b]
+			if b != seed || len(b.Succs) > 0 {
+				acc := a.Bottom()
+				if b == seed {
+					acc = a.Join(acc, boundary())
+				}
+				for _, e := range b.Succs {
+					f := res.In[e.To]
+					if a.FlowEdge != nil {
+						f = a.FlowEdge(e, f)
+					}
+					acc = a.Join(acc, f)
+				}
+				out = acc
+				res.Out[b] = out
+			}
+			in := a.Transfer(b, out)
+			if !a.Equal(in, res.In[b]) {
+				res.In[b] = in
+				for _, e := range b.Preds {
+					push(e.From)
+				}
+			}
+		}
+	}
+	return res
+}

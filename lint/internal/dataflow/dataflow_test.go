@@ -1,0 +1,256 @@
+package dataflow
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+
+	"efdedup/lint/internal/cfg"
+)
+
+func buildCFG(t *testing.T, src string) *cfg.CFG {
+	t.Helper()
+	file, err := parser.ParseFile(token.NewFileSet(), "x.go", "package p\n"+src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	for _, d := range file.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == "f" {
+			return cfg.New(fd)
+		}
+	}
+	t.Fatal("no func f")
+	return nil
+}
+
+// facts is a tiny set lattice keyed by string.
+type facts map[string]bool
+
+func setLattice() (func() facts, func(a, b facts) facts, func(a, b facts) bool) {
+	bottom := func() facts { return facts{} }
+	join := func(a, b facts) facts {
+		out := facts{}
+		for k := range a {
+			out[k] = true
+		}
+		for k := range b {
+			out[k] = true
+		}
+		return out
+	}
+	equal := func(a, b facts) bool {
+		if len(a) != len(b) {
+			return false
+		}
+		for k := range a {
+			if !b[k] {
+				return false
+			}
+		}
+		return true
+	}
+	return bottom, join, equal
+}
+
+// assigned returns the names assigned (with :=) in a block.
+func assigned(b *cfg.Block) []string {
+	var out []string
+	for _, n := range b.Nodes {
+		if as, ok := n.(*ast.AssignStmt); ok {
+			for _, lhs := range as.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok {
+					out = append(out, id.Name)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// TestForwardMayReachesJoin: a fact generated on one arm of a branch
+// must survive (may-analysis) into the join and the exit.
+func TestForwardMayReachesJoin(t *testing.T) {
+	g := buildCFG(t, `
+func f(ok bool) {
+	if ok {
+		x := 1
+		_ = x
+	}
+	done()
+}`)
+	bottom, join, equal := setLattice()
+	res := Solve(g, Analysis[facts]{
+		Dir:    Forward,
+		Bottom: bottom, Join: join, Equal: equal,
+		Transfer: func(b *cfg.Block, in facts) facts {
+			out := join(in, facts{})
+			for _, name := range assigned(b) {
+				out[name] = true
+			}
+			return out
+		},
+	})
+	if !res.In[g.Exit]["x"] {
+		t.Fatal("fact from the taken arm did not reach the exit (join lost it)")
+	}
+}
+
+// TestEdgeRefinementKillsFact: FlowEdge drops the fact on the negated
+// arm, so it must be absent there but present on the other arm.
+func TestEdgeRefinementKillsFact(t *testing.T) {
+	g := buildCFG(t, `
+func f(err error) {
+	x := 1
+	if err != nil {
+		a()
+	} else {
+		b()
+	}
+	done()
+}`)
+	bottom, join, equal := setLattice()
+	res := Solve(g, Analysis[facts]{
+		Dir:    Forward,
+		Bottom: bottom, Join: join, Equal: equal,
+		Transfer: func(b *cfg.Block, in facts) facts {
+			out := join(in, facts{})
+			for _, name := range assigned(b) {
+				out[name] = true
+			}
+			return out
+		},
+		FlowEdge: func(e *cfg.Edge, f facts) facts {
+			// Kill every fact on the true arm of the condition.
+			if e.Cond != nil && !e.Negate {
+				return facts{}
+			}
+			return f
+		},
+	})
+	// Find the two branch targets.
+	head := g.Blocks[0]
+	var onTrue, onFalse *cfg.Block
+	for _, e := range head.Succs {
+		if e.Cond == nil {
+			continue
+		}
+		if e.Negate {
+			onFalse = e.To
+		} else {
+			onTrue = e.To
+		}
+	}
+	if onTrue == nil || onFalse == nil {
+		t.Fatal("branch edges not found")
+	}
+	if res.In[onTrue]["x"] {
+		t.Fatal("fact survived the killing edge")
+	}
+	if !res.In[onFalse]["x"] {
+		t.Fatal("fact lost on the non-killing edge")
+	}
+	// The join unions both arms: the fact flows around through the
+	// false arm and must be live at exit.
+	if !res.In[g.Exit]["x"] {
+		t.Fatal("fact missing at exit")
+	}
+}
+
+// TestLoopFixpoint: facts generated in a loop body must stabilise and
+// be visible after the loop (the back edge feeds the header).
+func TestLoopFixpoint(t *testing.T) {
+	g := buildCFG(t, `
+func f(n int) {
+	for i := 0; i < n; i++ {
+		y := i
+		_ = y
+	}
+	done()
+}`)
+	bottom, join, equal := setLattice()
+	res := Solve(g, Analysis[facts]{
+		Dir:    Forward,
+		Bottom: bottom, Join: join, Equal: equal,
+		Transfer: func(b *cfg.Block, in facts) facts {
+			out := join(in, facts{})
+			for _, name := range assigned(b) {
+				out[name] = true
+			}
+			return out
+		},
+	})
+	if !res.In[g.Exit]["y"] {
+		t.Fatal("loop-generated fact did not flow around the back edge to the exit")
+	}
+	if !res.In[g.Exit]["i"] {
+		t.Fatal("init fact lost")
+	}
+}
+
+// TestBackwardUse: a backward may-analysis propagating "name is used
+// later" — the entry block must see uses from the last block.
+func TestBackwardUse(t *testing.T) {
+	g := buildCFG(t, `
+func f(a int) {
+	b := a
+	_ = b
+	sink(a)
+}`)
+	bottom, join, equal := setLattice()
+	res := Solve(g, Analysis[facts]{
+		Dir:    Backward,
+		Bottom: bottom, Join: join, Equal: equal,
+		Transfer: func(b *cfg.Block, out facts) facts {
+			in := join(out, facts{})
+			for _, n := range b.Nodes {
+				ast.Inspect(n, func(x ast.Node) bool {
+					if call, ok := x.(*ast.CallExpr); ok {
+						for _, arg := range call.Args {
+							if id, ok := arg.(*ast.Ident); ok {
+								in[id.Name] = true
+							}
+						}
+					}
+					return true
+				})
+			}
+			return in
+		},
+	})
+	entry := g.Blocks[0]
+	if !res.In[entry]["a"] {
+		t.Fatal("backward analysis did not carry the use of `a` to the entry")
+	}
+}
+
+// TestUnreachableStaysBottom: code after a return keeps the bottom
+// fact — the solver must not invent facts for dead blocks.
+func TestUnreachableStaysBottom(t *testing.T) {
+	g := buildCFG(t, `
+func f() {
+	x := 1
+	_ = x
+	return
+	y := 2
+	_ = y
+}`)
+	bottom, join, equal := setLattice()
+	res := Solve(g, Analysis[facts]{
+		Dir:    Forward,
+		Bottom: bottom, Join: join, Equal: equal,
+		Transfer: func(b *cfg.Block, in facts) facts {
+			out := join(in, facts{})
+			for _, name := range assigned(b) {
+				out[name] = true
+			}
+			return out
+		},
+	})
+	if res.In[g.Exit]["y"] {
+		t.Fatal("fact from unreachable code leaked into the exit")
+	}
+	if !res.In[g.Exit]["x"] {
+		t.Fatal("reachable fact lost")
+	}
+}

@@ -1,0 +1,110 @@
+package load
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// resetListCache empties the in-process memo so a second goListCached
+// call must consult the disk layer, as a separate process would.
+func resetListCache() {
+	listMu.Lock()
+	defer listMu.Unlock()
+	listCache = make(map[string]*listResult)
+}
+
+// The disk cache replays a listing across processes: the first call
+// writes it, and a fresh process (simulated by clearing the in-memory
+// memo) hits it without re-running `go list`.
+func TestDiskListCacheRoundTrip(t *testing.T) {
+	cacheDir := t.TempDir()
+	t.Setenv(CacheEnv, cacheDir)
+	resetListCache()
+	defer resetListCache()
+
+	moduleDir, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	patterns := []string{"./internal/load"}
+
+	exports1, targets1, hit, err := goListCached(moduleDir, patterns)
+	if err != nil {
+		t.Fatalf("first listing: %v", err)
+	}
+	if hit {
+		t.Fatal("first listing reported a cache hit")
+	}
+	entries, err := os.ReadDir(cacheDir)
+	if err != nil || len(entries) == 0 {
+		t.Fatalf("no cache file written (entries=%v, err=%v)", entries, err)
+	}
+
+	resetListCache()
+	exports2, targets2, hit, err := goListCached(moduleDir, patterns)
+	if err != nil {
+		t.Fatalf("second listing: %v", err)
+	}
+	if !hit {
+		t.Fatal("second listing missed the disk cache")
+	}
+	if len(exports2) != len(exports1) || len(targets2) != len(targets1) {
+		t.Fatalf("replayed listing differs: %d/%d exports, %d/%d targets",
+			len(exports2), len(exports1), len(targets2), len(targets1))
+	}
+	for _, lp := range targets2 {
+		if !strings.HasSuffix(lp.ImportPath, "internal/load") {
+			t.Errorf("unexpected target %q", lp.ImportPath)
+		}
+	}
+}
+
+// A source edit changes the content-hashed key, so the stale entry is
+// simply never consulted again.
+func TestDiskListCacheKeyTracksContent(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte("module x\n\ngo 1.23\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	src := filepath.Join(dir, "x.go")
+	if err := os.WriteFile(src, []byte("package x\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	k1, err := listCacheKey(dir, []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(src, []byte("package x // edited\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	k2, err := listCacheKey(dir, []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k1 == k2 {
+		t.Fatal("key unchanged after a source edit")
+	}
+	k3, err := listCacheKey(dir, []string{"./x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k3 == k2 {
+		t.Fatal("key unchanged across different patterns")
+	}
+}
+
+// A cached listing whose export-data files vanished (build cache
+// trimmed) is rejected, falling back to a fresh `go list`.
+func TestDiskListCacheRejectsStaleExports(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "entry.json")
+	gone := filepath.Join(t.TempDir(), "no-such-export.a")
+	writeListCache(path, &listResult{
+		exports: map[string]string{"fmt": gone},
+		targets: []*listedPackage{{ImportPath: "x"}},
+	})
+	if _, err := readListCache(path); err == nil {
+		t.Fatal("stale entry accepted")
+	}
+}

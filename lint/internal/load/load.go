@@ -9,6 +9,8 @@ package load
 
 import (
 	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -18,9 +20,11 @@ import (
 	"go/token"
 	"go/types"
 	"io"
+	"io/fs"
 	"os"
 	"os/exec"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
@@ -125,6 +129,13 @@ var (
 	listCache = make(map[string]*listResult)
 )
 
+// CacheEnv names the environment variable that, when set to a
+// directory, persists `go list -export` listings across processes. CI
+// sets it so the analyzer-test step and the self-lint step (and every
+// fixture-loading test binary in between) share one listing per
+// pattern set instead of re-running the slowest part of a lint pass.
+const CacheEnv = "EFDEDUP_LINT_LISTCACHE"
+
 func goListCached(dir string, patterns []string) (map[string]string, []*listedPackage, bool, error) {
 	key := dir + "\x00" + strings.Join(patterns, "\x00")
 	listMu.Lock()
@@ -132,12 +143,110 @@ func goListCached(dir string, patterns []string) (map[string]string, []*listedPa
 	if r, ok := listCache[key]; ok {
 		return r.exports, r.targets, true, nil
 	}
+	var diskPath string
+	if cacheDir := os.Getenv(CacheEnv); cacheDir != "" {
+		if k, err := listCacheKey(dir, patterns); err == nil {
+			diskPath = filepath.Join(cacheDir, k+".json")
+			if r, err := readListCache(diskPath); err == nil {
+				listCache[key] = r
+				return r.exports, r.targets, true, nil
+			}
+		}
+	}
 	exports, targets, err := goList(dir, patterns)
 	if err != nil {
 		return nil, nil, false, err
 	}
-	listCache[key] = &listResult{exports: exports, targets: targets}
+	r := &listResult{exports: exports, targets: targets}
+	listCache[key] = r
+	if diskPath != "" {
+		writeListCache(diskPath, r) // best effort: a miss next run is safe
+	}
 	return exports, targets, false, nil
+}
+
+// listCacheKey hashes everything a listing depends on: the toolchain,
+// the request, and the content of every source/module file under dir
+// (go list ignores testdata, but hashing it too only invalidates more
+// eagerly, never stales). Content hashes rather than mtimes, so a
+// fresh CI checkout still hits a restored cache.
+func listCacheKey(dir string, patterns []string) (string, error) {
+	h := sha256.New()
+	fmt.Fprintf(h, "v1\x00%s\x00%s\x00%s\x00", runtime.Version(), dir, strings.Join(patterns, "\x00"))
+	var files []string
+	err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if path != dir && strings.HasPrefix(d.Name(), ".") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		switch name := d.Name(); {
+		case strings.HasSuffix(name, ".go"),
+			name == "go.mod", name == "go.sum", name == "go.work", name == "go.work.sum":
+			files = append(files, path)
+		}
+		return nil
+	})
+	if err != nil {
+		return "", err
+	}
+	sort.Strings(files)
+	for _, path := range files {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return "", err
+		}
+		rel, _ := filepath.Rel(dir, path)
+		fmt.Fprintf(h, "%s\x00%d\x00", filepath.ToSlash(rel), len(data))
+		h.Write(data)
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// readListCache loads a persisted listing, verifying every export-data
+// file it references still exists (they live in the Go build cache,
+// which can be trimmed independently of ours).
+func readListCache(path string) (*listResult, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var e cacheEntry
+	if err := json.Unmarshal(data, &e); err != nil {
+		return nil, err
+	}
+	for _, file := range e.Exports {
+		if _, err := os.Stat(file); err != nil {
+			return nil, fmt.Errorf("stale export data %s: %w", file, err)
+		}
+	}
+	return &listResult{exports: e.Exports, targets: e.Targets}, nil
+}
+
+func writeListCache(path string, r *listResult) {
+	data, err := json.Marshal(cacheEntry{Exports: r.exports, Targets: r.targets})
+	if err != nil {
+		return
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return
+	}
+	//lint:ignore fsyncrename cache entry: a torn install fails JSON decoding and reads as a miss
+	os.Rename(tmp, path)
+}
+
+// cacheEntry is the on-disk form of one listing.
+type cacheEntry struct {
+	Exports map[string]string
+	Targets []*listedPackage
 }
 
 // goList runs `go list -export -deps -json` and splits the result into

@@ -51,8 +51,9 @@ func main() {
 		pkg       = flag.String("pkg", "./internal/agent", "package containing the benchmark")
 		cpus      = flag.String("cpu", "1,4,8", "GOMAXPROCS values, passed to -cpu")
 		benchtime = flag.String("benchtime", "5x", "passed to -benchtime")
-		file      = flag.String("baseline", "BENCH_agent.json", "baseline file")
-		update    = flag.Bool("update", false, "rewrite the baseline from this run instead of comparing")
+		file       = flag.String("baseline", "BENCH_agent.json", "baseline file")
+		update     = flag.Bool("update", false, "rewrite the baseline from this run instead of comparing")
+		maxRegress = flag.Float64("max-regress", 0, "exit non-zero when MB/s drops or allocs/op rises by more than this percent vs the baseline (0 disables; CI uses 10)")
 	)
 	flag.Parse()
 
@@ -106,6 +107,48 @@ func main() {
 			o.AllocsPerOp, nw.AllocsPerOp, pct(float64(o.AllocsPerOp), float64(nw.AllocsPerOp)),
 			extraDelta(o.Extra, nw.Extra))
 	}
+
+	if *maxRegress > 0 {
+		regs := regressions(old, fresh, *maxRegress)
+		if len(regs) > 0 {
+			fmt.Println()
+			for _, r := range regs {
+				fmt.Println("REGRESSION:", r)
+			}
+			os.Exit(1)
+		}
+	}
+}
+
+// regressions lists comparisons beyond maxPct: throughput lost or
+// allocations gained relative to the baseline. Fresh results with no
+// baseline row are skipped — a new benchmark cannot regress. Benchmark
+// noise is absorbed by the threshold, not averaged away, so CI should
+// pair this with a benchtime long enough to settle.
+func regressions(old map[string]result, fresh []result, maxPct float64) []string {
+	var out []string
+	for _, nw := range fresh {
+		o, ok := old[key(nw.Name, nw.CPU)]
+		if !ok {
+			o, ok = old[key("", nw.CPU)]
+		}
+		if !ok {
+			continue
+		}
+		if o.MBPerS > 0 {
+			if drop := -pct(o.MBPerS, nw.MBPerS); drop > maxPct {
+				out = append(out, fmt.Sprintf("%s (cpu=%d): MB/s %.2f -> %.2f (-%.1f%%, limit %.1f%%)",
+					nw.Name, nw.CPU, o.MBPerS, nw.MBPerS, drop, maxPct))
+			}
+		}
+		if o.AllocsPerOp > 0 {
+			if rise := pct(float64(o.AllocsPerOp), float64(nw.AllocsPerOp)); rise > maxPct {
+				out = append(out, fmt.Sprintf("%s (cpu=%d): allocs/op %d -> %d (+%.1f%%, limit %.1f%%)",
+					nw.Name, nw.CPU, o.AllocsPerOp, nw.AllocsPerOp, rise, maxPct))
+			}
+		}
+	}
+	return out
 }
 
 func key(name string, cpu int) string { return name + "/" + strconv.Itoa(cpu) }

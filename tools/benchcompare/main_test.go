@@ -1,0 +1,88 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func baselineMap(rs ...result) map[string]result {
+	m := make(map[string]result, len(rs))
+	for _, r := range rs {
+		m[key(r.Name, r.CPU)] = r
+	}
+	return m
+}
+
+func TestRegressionsGate(t *testing.T) {
+	old := baselineMap(
+		result{Name: "BenchmarkAgent", CPU: 4, MBPerS: 1000, AllocsPerOp: 100},
+		result{Name: "BenchmarkRestore", CPU: 4, MBPerS: 500, AllocsPerOp: 50},
+	)
+
+	t.Run("within threshold passes", func(t *testing.T) {
+		fresh := []result{
+			{Name: "BenchmarkAgent", CPU: 4, MBPerS: 950, AllocsPerOp: 105},
+			{Name: "BenchmarkRestore", CPU: 4, MBPerS: 540, AllocsPerOp: 48},
+		}
+		if regs := regressions(old, fresh, 10); len(regs) != 0 {
+			t.Fatalf("unexpected regressions: %v", regs)
+		}
+	})
+
+	t.Run("throughput drop beyond threshold fails", func(t *testing.T) {
+		fresh := []result{{Name: "BenchmarkAgent", CPU: 4, MBPerS: 850, AllocsPerOp: 100}}
+		regs := regressions(old, fresh, 10)
+		if len(regs) != 1 {
+			t.Fatalf("regressions = %v, want one MB/s entry", regs)
+		}
+		if !strings.Contains(regs[0], "MB/s 1000.00 -> 850.00") {
+			t.Errorf("message %q does not name the throughput drop", regs[0])
+		}
+	})
+
+	t.Run("alloc rise beyond threshold fails", func(t *testing.T) {
+		fresh := []result{{Name: "BenchmarkRestore", CPU: 4, MBPerS: 500, AllocsPerOp: 60}}
+		regs := regressions(old, fresh, 10)
+		if len(regs) != 1 || !strings.Contains(regs[0], "allocs/op 50 -> 60") {
+			t.Fatalf("regressions = %v, want one allocs entry", regs)
+		}
+	})
+
+	t.Run("both dimensions report independently", func(t *testing.T) {
+		fresh := []result{{Name: "BenchmarkAgent", CPU: 4, MBPerS: 700, AllocsPerOp: 200}}
+		if regs := regressions(old, fresh, 10); len(regs) != 2 {
+			t.Fatalf("regressions = %v, want both MB/s and allocs entries", regs)
+		}
+	})
+
+	t.Run("new benchmark without baseline is skipped", func(t *testing.T) {
+		fresh := []result{{Name: "BenchmarkBrandNew", CPU: 4, MBPerS: 1}}
+		if regs := regressions(old, fresh, 10); len(regs) != 0 {
+			t.Fatalf("new benchmark flagged: %v", regs)
+		}
+	})
+
+	t.Run("legacy unnamed baseline rows still gate", func(t *testing.T) {
+		legacy := baselineMap(result{Name: "", CPU: 8, MBPerS: 400, AllocsPerOp: 10})
+		fresh := []result{{Name: "BenchmarkAgent", CPU: 8, MBPerS: 300, AllocsPerOp: 10}}
+		if regs := regressions(legacy, fresh, 10); len(regs) != 1 {
+			t.Fatalf("regressions = %v, want the legacy row matched by CPU", regs)
+		}
+	})
+}
+
+func TestParseBenchLineExtraMetrics(t *testing.T) {
+	r, ok := parseBenchLine("BenchmarkCloudRestore-8  5  21063202 ns/op  912.42 MB/s  9.000 containers/stream  123456 B/op  789 allocs/op")
+	if !ok {
+		t.Fatal("line not parsed")
+	}
+	if r.Name != "BenchmarkCloudRestore" || r.CPU != 8 || r.MBPerS != 912.42 || r.AllocsPerOp != 789 {
+		t.Fatalf("parsed %+v", r)
+	}
+	if r.Extra["containers/stream"] != 9 {
+		t.Fatalf("extra metric lost: %+v", r.Extra)
+	}
+	if _, ok := parseBenchLine("ok  	efdedup/internal/agent	1.2s"); ok {
+		t.Fatal("non-benchmark line parsed")
+	}
+}
