@@ -2,12 +2,12 @@
 
 GO ?= go
 
-.PHONY: all build test race race-core bench bench-agent bench-restore bench-compare bench-compare-restore figures figures-quick vet cover lint fuzz-short chaos ci clean
+.PHONY: all build test race race-core bench bench-agent bench-restore bench-compare bench-compare-restore figures figures-quick vet cover lint wire-lock wire-lock-check fuzz-short chaos ci clean
 
 all: build test
 
 # What CI runs (.github/workflows/ci.yml).
-ci: build vet lint test race fuzz-short chaos
+ci: build vet lint wire-lock-check test race fuzz-short chaos
 
 # Race-detect the resilience-critical packages only (quick local loop;
 # CI races the whole module).
@@ -43,15 +43,35 @@ lint:
 	$(GO) test ./lint/...
 	$(GO) run ./lint/cmd/efdedup-lint ./... ./lint/...
 
-# Short coverage-guided fuzz pass over the chunker and WAL-replay
-# invariants (the seed corpora alone run in every `make test`), plus a
-# one-iteration bench smoke so bit-rot in the chunk benchmarks surfaces
-# here, not in the nightly full bench.
+# Regenerate lint/wire.lock from the code: the wirelock analyzer (and
+# wire-lock-check in CI) fail when the RPC surface or a codec layout
+# drifts from the checked-in file, so every wire-format change is an
+# explicit `make wire-lock` + review of the diff.
+wire-lock:
+	$(GO) run ./lint/cmd/efdedup-lint -write-wire-lock lint/wire.lock ./...
+
+# Fail with a readable diff when lint/wire.lock is stale.
+wire-lock-check:
+	@$(GO) run ./lint/cmd/efdedup-lint -write-wire-lock .wire.lock.tmp ./... 2>/dev/null
+	@diff -u lint/wire.lock .wire.lock.tmp \
+		|| { rm -f .wire.lock.tmp; \
+		     echo "lint/wire.lock is stale: the wire format changed. Review the diff above, then run 'make wire-lock'."; \
+		     exit 1; }
+	@rm -f .wire.lock.tmp
+
+# Short coverage-guided fuzz pass over the chunker, WAL-replay and wire
+# codec invariants (the seed corpora alone run in every `make test`),
+# plus a one-iteration bench smoke so bit-rot in the chunk benchmarks
+# surfaces here, not in the nightly full bench.
 fuzz-short:
 	$(GO) test ./internal/chunk -fuzz FuzzGearRoundTrip -fuzztime 10s
 	$(GO) test ./internal/chunk -fuzz FuzzFixedRoundTrip -fuzztime 10s
 	$(GO) test ./internal/kvstore -fuzz 'FuzzWALReplay$$' -fuzztime 10s
 	$(GO) test ./internal/kvstore -fuzz FuzzWALReplayRawBytes -fuzztime 10s
+	$(GO) test ./internal/kvstore -fuzz 'FuzzKVCodecs$$' -fuzztime 10s
+	$(GO) test ./internal/kvstore -fuzz 'FuzzRepairCodecs$$' -fuzztime 10s
+	$(GO) test ./internal/cloudstore -fuzz 'FuzzCloudCodecs$$' -fuzztime 10s
+	$(GO) test ./internal/gossip -fuzz 'FuzzGossipTable$$' -fuzztime 10s
 	$(GO) test -bench=. -benchtime=1x ./internal/chunk
 
 # Crash/recovery suite under the race detector: kill-restart-rejoin

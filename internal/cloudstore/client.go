@@ -169,10 +169,7 @@ func (c *Client) call(ctx context.Context, method string, body []byte) ([]byte, 
 
 // Upload stores one chunk, returning whether the cloud had not seen it.
 func (c *Client) Upload(ctx context.Context, ck chunk.Chunk) (fresh bool, err error) {
-	body := make([]byte, 0, chunk.IDSize+len(ck.Data))
-	body = append(body, ck.ID[:]...)
-	body = append(body, ck.Data...)
-	resp, err := c.call(ctx, methodUpload, body)
+	resp, err := c.call(ctx, methodUpload, encodeChunkFrame(ck))
 	if err != nil {
 		return false, err
 	}
@@ -181,13 +178,7 @@ func (c *Client) Upload(ctx context.Context, ck chunk.Chunk) (fresh bool, err er
 
 // BatchUpload stores many chunks in one RPC and returns how many were new.
 func (c *Client) BatchUpload(ctx context.Context, chunks []chunk.Chunk) (stored int, err error) {
-	body := binary.BigEndian.AppendUint32(nil, uint32(len(chunks)))
-	for _, ck := range chunks {
-		body = append(body, ck.ID[:]...)
-		body = binary.BigEndian.AppendUint32(body, uint32(len(ck.Data)))
-		body = append(body, ck.Data...)
-	}
-	resp, err := c.call(ctx, methodBatchUpload, body)
+	resp, err := c.call(ctx, methodBatchUpload, encodeChunkList(chunks))
 	if err != nil {
 		return 0, err
 	}
@@ -200,11 +191,7 @@ func (c *Client) BatchUpload(ctx context.Context, chunks []chunk.Chunk) (stored 
 // BatchHas asks the cloud's global index which of the given chunk IDs it
 // already stores (the cloud-assisted lookup path).
 func (c *Client) BatchHas(ctx context.Context, ids []chunk.ID) ([]bool, error) {
-	body := binary.BigEndian.AppendUint32(nil, uint32(len(ids)))
-	for _, id := range ids {
-		body = append(body, id[:]...)
-	}
-	resp, err := c.call(ctx, methodBatchHas, body)
+	resp, err := c.call(ctx, methodBatchHas, encodeIDList(ids))
 	if err != nil {
 		return nil, err
 	}
@@ -221,12 +208,10 @@ func (c *Client) BatchHas(ctx context.Context, ids []chunk.ID) ([]bool, error) {
 // UploadRaw ships an entire stream to the cloud (cloud-only mode); the
 // server chunks and deduplicates it and records a manifest under name.
 func (c *Client) UploadRaw(ctx context.Context, name string, data []byte) (storedChunks int, err error) {
-	if len(name) > 65535 {
-		return 0, fmt.Errorf("%w: name too long", ErrProto)
+	body, err := encodeNamedBlob(name, data)
+	if err != nil {
+		return 0, err
 	}
-	body := binary.BigEndian.AppendUint16(nil, uint16(len(name)))
-	body = append(body, name...)
-	body = append(body, data...)
 	resp, err := c.call(ctx, methodUploadRaw, body)
 	if err != nil {
 		return 0, classifyRemote(err)
@@ -251,15 +236,11 @@ func (c *Client) GetChunk(ctx context.Context, id chunk.ID) ([]byte, error) {
 
 // PutManifest records the chunk sequence of a named file.
 func (c *Client) PutManifest(ctx context.Context, name string, ids []chunk.ID) error {
-	if len(name) > 65535 {
-		return fmt.Errorf("%w: name too long", ErrProto)
+	body, err := encodeNamedBlob(name, encodeManifestIDs(ids))
+	if err != nil {
+		return err
 	}
-	body := binary.BigEndian.AppendUint16(nil, uint16(len(name)))
-	body = append(body, name...)
-	for _, id := range ids {
-		body = append(body, id[:]...)
-	}
-	_, err := c.call(ctx, methodPutManifest, body)
+	_, err = c.call(ctx, methodPutManifest, body)
 	return classifyRemote(err)
 }
 
@@ -272,12 +253,9 @@ func (c *Client) GetManifest(ctx context.Context, name string) ([]chunk.ID, erro
 		}
 		return nil, err
 	}
-	if len(resp)%chunk.IDSize != 0 {
-		return nil, fmt.Errorf("%w: malformed manifest response", ErrProto)
-	}
-	ids := make([]chunk.ID, len(resp)/chunk.IDSize)
-	for i := range ids {
-		copy(ids[i][:], resp[i*chunk.IDSize:])
+	ids, err := decodeManifestIDs(resp)
+	if err != nil {
+		return nil, fmt.Errorf("cloudstore: manifest response: %w", err)
 	}
 	return ids, nil
 }
@@ -288,18 +266,7 @@ func (c *Client) FetchStats(ctx context.Context) (Stats, error) {
 	if err != nil {
 		return Stats{}, err
 	}
-	if len(resp) != 56 {
-		return Stats{}, fmt.Errorf("%w: malformed stats response", ErrProto)
-	}
-	return Stats{
-		UniqueChunks:     int64(binary.BigEndian.Uint64(resp[0:])),
-		UniqueBytes:      int64(binary.BigEndian.Uint64(resp[8:])),
-		LogicalBytes:     int64(binary.BigEndian.Uint64(resp[16:])),
-		RawUploads:       int64(binary.BigEndian.Uint64(resp[24:])),
-		Manifests:        int64(binary.BigEndian.Uint64(resp[32:])),
-		ContainersSealed: int64(binary.BigEndian.Uint64(resp[40:])),
-		DuplicatedBytes:  int64(binary.BigEndian.Uint64(resp[48:])),
-	}, nil
+	return decodeStats(resp)
 }
 
 func isRemoteNotFound(err error) bool {

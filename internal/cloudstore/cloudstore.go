@@ -375,12 +375,10 @@ func (s *Server) repackSparse(ids []chunk.ID) {
 
 // upload body: 32-byte ID | payload. Verifies content addressing.
 func (s *Server) handleUpload(body []byte) ([]byte, error) {
-	if len(body) < chunk.IDSize {
-		return nil, fmt.Errorf("%w: short upload", ErrProto)
+	id, data, err := decodeChunkFrame(body)
+	if err != nil {
+		return nil, err
 	}
-	var id chunk.ID
-	copy(id[:], body[:chunk.IDSize])
-	data := body[chunk.IDSize:]
 	if chunk.Sum(data) != id {
 		return nil, fmt.Errorf("%w: chunk content does not match its ID", ErrCorrupt)
 	}
@@ -393,29 +391,16 @@ func (s *Server) handleUpload(body []byte) ([]byte, error) {
 
 // batch upload body: u32 count | (32-byte ID | u32 len | payload)*.
 func (s *Server) handleBatchUpload(body []byte) ([]byte, error) {
-	if len(body) < 4 {
-		return nil, fmt.Errorf("%w: truncated batch upload", ErrProto)
+	chunks, err := decodeChunkList(body)
+	if err != nil {
+		return nil, err
 	}
-	count := binary.BigEndian.Uint32(body)
-	src := body[4:]
 	stored := uint32(0)
-	for i := uint32(0); i < count; i++ {
-		if len(src) < chunk.IDSize+4 {
-			return nil, fmt.Errorf("%w: truncated batch record %d", ErrProto, i)
-		}
-		var id chunk.ID
-		copy(id[:], src[:chunk.IDSize])
-		n := binary.BigEndian.Uint32(src[chunk.IDSize:])
-		src = src[chunk.IDSize+4:]
-		if uint32(len(src)) < n {
-			return nil, fmt.Errorf("%w: truncated batch payload %d", ErrProto, i)
-		}
-		data := src[:n]
-		src = src[n:]
-		if chunk.Sum(data) != id {
+	for i, ck := range chunks {
+		if chunk.Sum(ck.Data) != ck.ID {
 			return nil, fmt.Errorf("%w: batch record %d content mismatch", ErrCorrupt, i)
 		}
-		if s.storeChunk(id, data) {
+		if s.storeChunk(ck.ID, ck.Data) {
 			stored++
 		}
 	}
@@ -424,20 +409,13 @@ func (s *Server) handleBatchUpload(body []byte) ([]byte, error) {
 
 // batchhas body: u32 count | (32-byte ID)*; response: one byte per ID.
 func (s *Server) handleBatchHas(body []byte) ([]byte, error) {
-	if len(body) < 4 {
-		return nil, fmt.Errorf("%w: truncated has request", ErrProto)
+	ids, err := decodeIDList(body)
+	if err != nil {
+		return nil, err
 	}
-	count := binary.BigEndian.Uint32(body)
-	src := body[4:]
-	// 64-bit math: count*IDSize overflows uint32 for hostile counts.
-	if uint64(len(src)) < uint64(count)*chunk.IDSize {
-		return nil, fmt.Errorf("%w: truncated ID list", ErrProto)
-	}
-	out := make([]byte, count)
+	out := make([]byte, len(ids))
 	s.mu.RLock()
-	for i := uint32(0); i < count; i++ {
-		var id chunk.ID
-		copy(id[:], src[i*chunk.IDSize:])
+	for i, id := range ids {
 		if _, ok := s.chunks[id]; ok {
 			out[i] = 1
 		}
@@ -449,20 +427,15 @@ func (s *Server) handleBatchHas(body []byte) ([]byte, error) {
 // uploadraw body: u16 name length | name | payload. The server chunks and
 // deduplicates; the response is u32 unique-chunks-stored.
 func (s *Server) handleUploadRaw(body []byte) ([]byte, error) {
-	if len(body) < 2 {
-		return nil, fmt.Errorf("%w: truncated raw upload", ErrProto)
+	name, payload, err := decodeNamedBlob(body)
+	if err != nil {
+		return nil, err
 	}
-	nameLen := int(binary.BigEndian.Uint16(body))
-	if len(body) < 2+nameLen {
-		return nil, fmt.Errorf("%w: truncated raw upload name", ErrProto)
-	}
-	name := string(body[2 : 2+nameLen])
 	if name != "" {
 		if err := validManifestName(name); err != nil {
 			return nil, err
 		}
 	}
-	payload := body[2+nameLen:]
 
 	var ids []chunk.ID
 	stored := uint32(0)
@@ -515,26 +488,19 @@ func (s *Server) handleGetChunk(body []byte) ([]byte, error) {
 // payload)* in request order. The batched fallback for chunks that are
 // not (yet) in any sealed container.
 func (s *Server) handleGetChunks(body []byte) ([]byte, error) {
-	if len(body) < 4 {
-		return nil, fmt.Errorf("%w: truncated chunk list", ErrProto)
+	ids, err := decodeIDList(body)
+	if err != nil {
+		return nil, err
 	}
-	count := binary.BigEndian.Uint32(body)
-	src := body[4:]
-	if uint64(len(src)) < uint64(count)*chunk.IDSize {
-		return nil, fmt.Errorf("%w: truncated ID list", ErrProto)
-	}
-	var out []byte
-	for i := uint32(0); i < count; i++ {
-		var id chunk.ID
-		copy(id[:], src[i*chunk.IDSize:])
+	payloads := make([][]byte, 0, len(ids))
+	for _, id := range ids {
 		data, err := s.chunkData(id)
 		if err != nil {
 			return nil, fmt.Errorf("chunk %s: %w", id, err)
 		}
-		out = binary.BigEndian.AppendUint32(out, uint32(len(data)))
-		out = append(out, data...)
+		payloads = append(payloads, data)
 	}
-	return out, nil
+	return encodeChunkData(payloads), nil
 }
 
 // getrecipe body: manifest name; response: u32 count | per chunk:
@@ -547,16 +513,12 @@ func (s *Server) handleGetRecipe(body []byte) ([]byte, error) {
 	if !ok {
 		return nil, ErrNotFound
 	}
-	out := make([]byte, 0, 4+len(ids)*(chunk.IDSize+16))
-	out = binary.BigEndian.AppendUint32(out, uint32(len(ids)))
-	for _, id := range ids {
-		out = append(out, id[:]...)
-		loc, _ := s.containers.locate(id) // zero value = fallback
-		out = binary.BigEndian.AppendUint64(out, loc.Container)
-		out = binary.BigEndian.AppendUint32(out, loc.Offset)
-		out = binary.BigEndian.AppendUint32(out, loc.Length)
+	entries := make([]RecipeEntry, len(ids))
+	for i, id := range ids {
+		entries[i].ID = id
+		entries[i].Loc, _ = s.containers.locate(id) // zero value = fallback
 	}
-	return out, nil
+	return encodeRecipe(entries), nil
 }
 
 // getcontainer body: u64 container ID; response: the container's raw
@@ -571,24 +533,16 @@ func (s *Server) handleGetContainer(body []byte) ([]byte, error) {
 
 // putmanifest body: u16 name length | name | (32-byte ID)*.
 func (s *Server) handlePutManifest(body []byte) ([]byte, error) {
-	if len(body) < 2 {
-		return nil, fmt.Errorf("%w: truncated manifest", ErrProto)
+	name, rest, err := decodeNamedBlob(body)
+	if err != nil {
+		return nil, err
 	}
-	nameLen := int(binary.BigEndian.Uint16(body))
-	if len(body) < 2+nameLen {
-		return nil, fmt.Errorf("%w: truncated manifest name", ErrProto)
-	}
-	name := string(body[2 : 2+nameLen])
 	if err := validManifestName(name); err != nil {
 		return nil, err
 	}
-	rest := body[2+nameLen:]
-	if len(rest)%chunk.IDSize != 0 {
-		return nil, fmt.Errorf("%w: manifest ID list misaligned", ErrProto)
-	}
-	ids := make([]chunk.ID, len(rest)/chunk.IDSize)
-	for i := range ids {
-		copy(ids[i][:], rest[i*chunk.IDSize:])
+	ids, err := decodeManifestIDs(rest)
+	if err != nil {
+		return nil, fmt.Errorf("manifest %q: %w", name, err)
 	}
 	// Durable-first, then memory: a manifest the disk refused must never
 	// be advertised from the in-memory catalog (the same ordering bug
@@ -615,22 +569,9 @@ func (s *Server) handleGetManifest(body []byte) ([]byte, error) {
 	if !ok {
 		return nil, ErrNotFound
 	}
-	out := make([]byte, 0, len(ids)*chunk.IDSize)
-	for _, id := range ids {
-		out = append(out, id[:]...)
-	}
-	return out, nil
+	return encodeManifestIDs(ids), nil
 }
 
 func (s *Server) handleStats([]byte) ([]byte, error) {
-	st := s.Stats()
-	out := make([]byte, 0, 56)
-	out = binary.BigEndian.AppendUint64(out, uint64(st.UniqueChunks))
-	out = binary.BigEndian.AppendUint64(out, uint64(st.UniqueBytes))
-	out = binary.BigEndian.AppendUint64(out, uint64(st.LogicalBytes))
-	out = binary.BigEndian.AppendUint64(out, uint64(st.RawUploads))
-	out = binary.BigEndian.AppendUint64(out, uint64(st.Manifests))
-	out = binary.BigEndian.AppendUint64(out, uint64(st.ContainersSealed))
-	out = binary.BigEndian.AppendUint64(out, uint64(st.DuplicatedBytes))
-	return out, nil
+	return encodeStats(s.Stats()), nil
 }

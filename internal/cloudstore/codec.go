@@ -1,0 +1,256 @@
+package cloudstore
+
+// Wire codecs for the cloud RPC surface. Every body format is a named
+// encode/decode pair used by both the client and the server handlers,
+// so the codecpair analyzer can check the two sides against each other
+// and wire.lock pins the layouts. Decoders never trust input sizes:
+// counts are validated against the remaining bytes in 64-bit
+// arithmetic before any allocation, truncation is an ErrProto, and
+// returned slices alias the request body (callers copy if they retain).
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"efdedup/internal/chunk"
+)
+
+// encodeChunkFrame builds an upload body: 32-byte ID | payload.
+func encodeChunkFrame(ck chunk.Chunk) []byte {
+	body := make([]byte, 0, chunk.IDSize+len(ck.Data))
+	body = append(body, ck.ID[:]...)
+	body = append(body, ck.Data...)
+	return body
+}
+
+// decodeChunkFrame splits an upload body into ID and payload.
+func decodeChunkFrame(body []byte) (chunk.ID, []byte, error) {
+	var id chunk.ID
+	if len(body) < chunk.IDSize {
+		return id, nil, fmt.Errorf("%w: chunk frame of %d bytes lacks an ID", ErrProto, len(body))
+	}
+	copy(id[:], body)
+	return id, body[chunk.IDSize:], nil
+}
+
+// encodeChunkList builds a batch upload body:
+// u32 count | (32-byte ID | u32 len | payload)*.
+func encodeChunkList(chunks []chunk.Chunk) []byte {
+	body := binary.BigEndian.AppendUint32(nil, uint32(len(chunks)))
+	for _, ck := range chunks {
+		body = append(body, ck.ID[:]...)
+		body = binary.BigEndian.AppendUint32(body, uint32(len(ck.Data)))
+		body = append(body, ck.Data...)
+	}
+	return body
+}
+
+// decodeChunkList parses a batch upload body. Chunk payloads alias the
+// input.
+func decodeChunkList(body []byte) ([]chunk.Chunk, error) {
+	if len(body) < 4 {
+		return nil, fmt.Errorf("%w: truncated chunk list", ErrProto)
+	}
+	count := binary.BigEndian.Uint32(body)
+	src := body[4:]
+	// Each record costs at least a header; reject counts the payload
+	// cannot hold before allocating count slots.
+	if uint64(count) > uint64(len(src))/(chunk.IDSize+4) {
+		return nil, fmt.Errorf("%w: chunk count %d exceeds what %d bytes can hold", ErrProto, count, len(src))
+	}
+	out := make([]chunk.Chunk, 0, count)
+	for i := uint32(0); i < count; i++ {
+		if len(src) < chunk.IDSize+4 {
+			return nil, fmt.Errorf("%w: truncated chunk record %d", ErrProto, i)
+		}
+		var ck chunk.Chunk
+		copy(ck.ID[:], src[:chunk.IDSize])
+		n := binary.BigEndian.Uint32(src[chunk.IDSize:])
+		src = src[chunk.IDSize+4:]
+		if uint64(len(src)) < uint64(n) {
+			return nil, fmt.Errorf("%w: chunk payload %d of %d bytes exceeds remaining %d", ErrProto, i, n, len(src))
+		}
+		ck.Data = src[:n]
+		src = src[n:]
+		out = append(out, ck)
+	}
+	if len(src) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes after %d chunk records", ErrProto, len(src), count)
+	}
+	return out, nil
+}
+
+// encodeIDList builds a batchhas/getchunks request:
+// u32 count | (32-byte ID)*.
+func encodeIDList(ids []chunk.ID) []byte {
+	body := binary.BigEndian.AppendUint32(nil, uint32(len(ids)))
+	for _, id := range ids {
+		body = append(body, id[:]...)
+	}
+	return body
+}
+
+// decodeIDList parses an ID list; the body must hold exactly count IDs.
+func decodeIDList(body []byte) ([]chunk.ID, error) {
+	if len(body) < 4 {
+		return nil, fmt.Errorf("%w: truncated ID list", ErrProto)
+	}
+	count := binary.BigEndian.Uint32(body)
+	src := body[4:]
+	// 64-bit math: count*IDSize overflows uint32 for hostile counts.
+	if uint64(len(src)) != uint64(count)*chunk.IDSize {
+		return nil, fmt.Errorf("%w: ID list of %d bytes does not hold %d IDs", ErrProto, len(src), count)
+	}
+	ids := make([]chunk.ID, count)
+	for i := range ids {
+		copy(ids[i][:], src[:chunk.IDSize])
+		src = src[chunk.IDSize:]
+	}
+	return ids, nil
+}
+
+// encodeNamedBlob builds an uploadraw/putmanifest body:
+// u16 name length | name | payload.
+func encodeNamedBlob(name string, payload []byte) ([]byte, error) {
+	if len(name) > 65535 {
+		return nil, fmt.Errorf("%w: name too long", ErrProto)
+	}
+	body := binary.BigEndian.AppendUint16(nil, uint16(len(name)))
+	body = append(body, name...)
+	body = append(body, payload...)
+	return body, nil
+}
+
+// decodeNamedBlob splits a named-blob body into name and payload.
+func decodeNamedBlob(body []byte) (string, []byte, error) {
+	if len(body) < 2 {
+		return "", nil, fmt.Errorf("%w: truncated name header", ErrProto)
+	}
+	nameLen := int(binary.BigEndian.Uint16(body))
+	if len(body) < 2+nameLen {
+		return "", nil, fmt.Errorf("%w: name of %d bytes exceeds body", ErrProto, nameLen)
+	}
+	return string(body[2 : 2+nameLen]), body[2+nameLen:], nil
+}
+
+// encodeManifestIDs builds a getmanifest response (and the ID suffix of
+// a putmanifest body): a bare 32-byte ID concatenation.
+func encodeManifestIDs(ids []chunk.ID) []byte {
+	out := make([]byte, 0, len(ids)*chunk.IDSize)
+	for _, id := range ids {
+		out = append(out, id[:]...)
+	}
+	return out
+}
+
+// decodeManifestIDs parses an ID concatenation.
+func decodeManifestIDs(body []byte) ([]chunk.ID, error) {
+	if len(body)%chunk.IDSize != 0 {
+		return nil, fmt.Errorf("%w: ID list of %d bytes misaligned", ErrProto, len(body))
+	}
+	ids := make([]chunk.ID, len(body)/chunk.IDSize)
+	for i := range ids {
+		copy(ids[i][:], body[i*chunk.IDSize:])
+	}
+	return ids, nil
+}
+
+// encodeRecipe builds a getrecipe response: u32 count | per chunk:
+// 32-byte ID | u64 container | u32 offset | u32 length.
+func encodeRecipe(entries []RecipeEntry) []byte {
+	out := make([]byte, 0, 4+len(entries)*(chunk.IDSize+16))
+	out = binary.BigEndian.AppendUint32(out, uint32(len(entries)))
+	for _, e := range entries {
+		out = append(out, e.ID[:]...)
+		out = binary.BigEndian.AppendUint64(out, e.Loc.Container)
+		out = binary.BigEndian.AppendUint32(out, e.Loc.Offset)
+		out = binary.BigEndian.AppendUint32(out, e.Loc.Length)
+	}
+	return out
+}
+
+// decodeRecipe parses a getrecipe response; the body must hold exactly
+// count records.
+func decodeRecipe(body []byte) ([]RecipeEntry, error) {
+	if len(body) < 4 {
+		return nil, fmt.Errorf("%w: truncated recipe", ErrProto)
+	}
+	count := binary.BigEndian.Uint32(body)
+	src := body[4:]
+	const rec = chunk.IDSize + 16
+	if uint64(len(src)) != uint64(count)*rec {
+		return nil, fmt.Errorf("%w: recipe of %d bytes does not hold %d records", ErrProto, len(src), count)
+	}
+	out := make([]RecipeEntry, count)
+	for i := range out {
+		copy(out[i].ID[:], src[:chunk.IDSize])
+		out[i].Loc.Container = binary.BigEndian.Uint64(src[chunk.IDSize:])
+		out[i].Loc.Offset = binary.BigEndian.Uint32(src[chunk.IDSize+8:])
+		out[i].Loc.Length = binary.BigEndian.Uint32(src[chunk.IDSize+12:])
+		src = src[rec:]
+	}
+	return out, nil
+}
+
+// encodeChunkData builds a getchunks response: (u32 len | payload)* in
+// request order. The count travels in the request, not the response.
+func encodeChunkData(payloads [][]byte) []byte {
+	var out []byte
+	for _, data := range payloads {
+		out = binary.BigEndian.AppendUint32(out, uint32(len(data)))
+		out = append(out, data...)
+	}
+	return out
+}
+
+// decodeChunkData parses a getchunks response of exactly count
+// payloads, which alias the input.
+func decodeChunkData(body []byte, count int) ([][]byte, error) {
+	out := make([][]byte, 0, count)
+	for len(out) < count {
+		if len(body) < 4 {
+			return nil, fmt.Errorf("%w: truncated chunk data header at record %d", ErrProto, len(out))
+		}
+		n := binary.BigEndian.Uint32(body)
+		body = body[4:]
+		if uint64(len(body)) < uint64(n) {
+			return nil, fmt.Errorf("%w: chunk data %d of %d bytes exceeds remaining %d", ErrProto, len(out), n, len(body))
+		}
+		out = append(out, body[:n])
+		body = body[n:]
+	}
+	if len(body) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes after %d chunk payloads", ErrProto, len(body), count)
+	}
+	return out, nil
+}
+
+// encodeStats builds a stats response: seven u64 counters in the order
+// decodeStats reads them back.
+func encodeStats(st Stats) []byte {
+	out := make([]byte, 0, 56)
+	out = binary.BigEndian.AppendUint64(out, uint64(st.UniqueChunks))
+	out = binary.BigEndian.AppendUint64(out, uint64(st.UniqueBytes))
+	out = binary.BigEndian.AppendUint64(out, uint64(st.LogicalBytes))
+	out = binary.BigEndian.AppendUint64(out, uint64(st.RawUploads))
+	out = binary.BigEndian.AppendUint64(out, uint64(st.Manifests))
+	out = binary.BigEndian.AppendUint64(out, uint64(st.ContainersSealed))
+	out = binary.BigEndian.AppendUint64(out, uint64(st.DuplicatedBytes))
+	return out
+}
+
+// decodeStats parses a stats response.
+func decodeStats(body []byte) (Stats, error) {
+	if len(body) != 56 {
+		return Stats{}, fmt.Errorf("%w: stats payload of %d bytes, want 56", ErrProto, len(body))
+	}
+	return Stats{
+		UniqueChunks:     int64(binary.BigEndian.Uint64(body[0:])),
+		UniqueBytes:      int64(binary.BigEndian.Uint64(body[8:])),
+		LogicalBytes:     int64(binary.BigEndian.Uint64(body[16:])),
+		RawUploads:       int64(binary.BigEndian.Uint64(body[24:])),
+		Manifests:        int64(binary.BigEndian.Uint64(body[32:])),
+		ContainersSealed: int64(binary.BigEndian.Uint64(body[40:])),
+		DuplicatedBytes:  int64(binary.BigEndian.Uint64(body[48:])),
+	}, nil
+}

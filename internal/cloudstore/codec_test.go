@@ -1,0 +1,190 @@
+package cloudstore
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"testing"
+
+	"efdedup/internal/chunk"
+)
+
+func codecChunk(data string) chunk.Chunk {
+	return chunk.Chunk{ID: chunk.Sum([]byte(data)), Data: []byte(data)}
+}
+
+func TestChunkFrameRoundTrip(t *testing.T) {
+	ck := codecChunk("frame payload")
+	id, data, err := decodeChunkFrame(encodeChunkFrame(ck))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if id != ck.ID || !bytes.Equal(data, ck.Data) {
+		t.Fatal("round trip mutated the chunk")
+	}
+	if _, _, err := decodeChunkFrame(make([]byte, chunk.IDSize-1)); !errors.Is(err, ErrProto) {
+		t.Fatalf("short frame not rejected: %v", err)
+	}
+}
+
+func TestChunkListRoundTrip(t *testing.T) {
+	in := []chunk.Chunk{codecChunk("a"), codecChunk("bb"), {ID: chunk.Sum(nil)}}
+	out, err := decodeChunkList(encodeChunkList(in))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("got %d chunks, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if out[i].ID != in[i].ID || !bytes.Equal(out[i].Data, in[i].Data) {
+			t.Fatalf("chunk %d mutated", i)
+		}
+	}
+}
+
+// TestChunkListHostile pins the count/length validation: counts the
+// payload cannot hold are rejected before allocation, payload lengths
+// are compared in 64-bit arithmetic, and trailing bytes are an error.
+func TestChunkListHostile(t *testing.T) {
+	valid := encodeChunkList([]chunk.Chunk{codecChunk("x")})
+
+	overflow := binary.BigEndian.AppendUint32(nil, 1)
+	overflow = append(overflow, make([]byte, chunk.IDSize)...)
+	overflow = binary.BigEndian.AppendUint32(overflow, 1<<32-8) // wraps IDSize+4+n in 32-bit
+	overflow = append(overflow, make([]byte, 8)...)
+
+	cases := map[string][]byte{
+		"empty":           nil,
+		"count too large": binary.BigEndian.AppendUint32(nil, 1<<30),
+		"truncated":       valid[:len(valid)-1],
+		"overflow length": overflow,
+		"trailing":        append(append([]byte{}, valid...), 1),
+	}
+	for name, payload := range cases {
+		t.Run(name, func(t *testing.T) {
+			if _, err := decodeChunkList(payload); !errors.Is(err, ErrProto) {
+				t.Fatalf("hostile chunk list not rejected with ErrProto: %v", err)
+			}
+		})
+	}
+}
+
+func TestIDListRoundTrip(t *testing.T) {
+	in := []chunk.ID{chunk.Sum([]byte("1")), chunk.Sum([]byte("2"))}
+	out, err := decodeIDList(encodeIDList(in))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if len(out) != 2 || out[0] != in[0] || out[1] != in[1] {
+		t.Fatal("round trip mutated the IDs")
+	}
+	// A count of 2^27 would ask for 2^32 bytes: the exact-length check in
+	// 64-bit arithmetic must reject it rather than wrap.
+	huge := binary.BigEndian.AppendUint32(nil, 1<<27)
+	if _, err := decodeIDList(huge); !errors.Is(err, ErrProto) {
+		t.Fatalf("hostile count not rejected: %v", err)
+	}
+	if _, err := decodeIDList(encodeIDList(in)[:10]); !errors.Is(err, ErrProto) {
+		t.Fatalf("truncated list not rejected: %v", err)
+	}
+}
+
+func TestNamedBlobRoundTrip(t *testing.T) {
+	body, err := encodeNamedBlob("backup/2026-08.img", []byte("payload"))
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	name, payload, err := decodeNamedBlob(body)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if name != "backup/2026-08.img" || string(payload) != "payload" {
+		t.Fatalf("round trip gave %q / %q", name, payload)
+	}
+	if _, err := encodeNamedBlob(string(make([]byte, 70000)), nil); !errors.Is(err, ErrProto) {
+		t.Fatalf("oversized name not rejected: %v", err)
+	}
+	if _, _, err := decodeNamedBlob([]byte{0}); !errors.Is(err, ErrProto) {
+		t.Fatalf("short header not rejected: %v", err)
+	}
+	if _, _, err := decodeNamedBlob([]byte{0xFF, 0xFF, 'x'}); !errors.Is(err, ErrProto) {
+		t.Fatalf("truncated name not rejected: %v", err)
+	}
+}
+
+func TestManifestIDsRoundTrip(t *testing.T) {
+	in := []chunk.ID{chunk.Sum([]byte("m1")), chunk.Sum([]byte("m2")), chunk.Sum([]byte("m3"))}
+	out, err := decodeManifestIDs(encodeManifestIDs(in))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if len(out) != 3 || out[0] != in[0] || out[2] != in[2] {
+		t.Fatal("round trip mutated the IDs")
+	}
+	if _, err := decodeManifestIDs(make([]byte, chunk.IDSize+1)); !errors.Is(err, ErrProto) {
+		t.Fatalf("misaligned list not rejected: %v", err)
+	}
+}
+
+func TestRecipeRoundTrip(t *testing.T) {
+	in := []RecipeEntry{
+		{ID: chunk.Sum([]byte("r1")), Loc: Locator{Container: 3, Offset: 128, Length: 512}},
+		{ID: chunk.Sum([]byte("r2"))}, // zero locator = fallback
+	}
+	out, err := decodeRecipe(encodeRecipe(in))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if len(out) != 2 || out[0] != in[0] || out[1] != in[1] {
+		t.Fatalf("round trip mutated the recipe: %v", out)
+	}
+	huge := binary.BigEndian.AppendUint32(nil, 1<<27) // 2^27 * 48 bytes claimed
+	if _, err := decodeRecipe(huge); !errors.Is(err, ErrProto) {
+		t.Fatalf("hostile count not rejected: %v", err)
+	}
+	if _, err := decodeRecipe(encodeRecipe(in)[:20]); !errors.Is(err, ErrProto) {
+		t.Fatalf("truncated recipe not rejected: %v", err)
+	}
+}
+
+func TestChunkDataRoundTrip(t *testing.T) {
+	in := [][]byte{[]byte("one"), nil, []byte("three")}
+	out, err := decodeChunkData(encodeChunkData(in), len(in))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if len(out) != 3 || string(out[0]) != "one" || len(out[1]) != 0 || string(out[2]) != "three" {
+		t.Fatalf("round trip mutated the payloads: %q", out)
+	}
+	// The old client-side loop compared uint32(len(resp)) < n: a length
+	// near 2^32 wrapped the check and panicked on the reslice.
+	overflow := binary.BigEndian.AppendUint32(nil, 1<<32-2)
+	overflow = append(overflow, make([]byte, 8)...)
+	if _, err := decodeChunkData(overflow, 1); !errors.Is(err, ErrProto) {
+		t.Fatalf("overflow length not rejected: %v", err)
+	}
+	if _, err := decodeChunkData(encodeChunkData(in), 4); !errors.Is(err, ErrProto) {
+		t.Fatalf("short response not rejected: %v", err)
+	}
+	if _, err := decodeChunkData(encodeChunkData(in), 2); !errors.Is(err, ErrProto) {
+		t.Fatalf("trailing payload not rejected: %v", err)
+	}
+}
+
+func TestStatsRoundTrip(t *testing.T) {
+	in := Stats{
+		UniqueChunks: 1, UniqueBytes: 2, LogicalBytes: 3, RawUploads: 4,
+		Manifests: 5, ContainersSealed: 6, DuplicatedBytes: 7,
+	}
+	out, err := decodeStats(encodeStats(in))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if out != in {
+		t.Fatalf("round trip mutated stats: %+v", out)
+	}
+	if _, err := decodeStats(make([]byte, 55)); !errors.Is(err, ErrProto) {
+		t.Fatalf("short stats not rejected: %v", err)
+	}
+}

@@ -108,7 +108,7 @@ func parseContainer(data []byte, fn func(id chunk.ID, off uint32, payload []byte
 		n := binary.BigEndian.Uint32(data[off+chunk.IDSize:])
 		crc := binary.BigEndian.Uint32(data[off+chunk.IDSize+4:])
 		off += containerRecordHeader
-		if uint32(len(data)-off) < n {
+		if uint64(len(data)-off) < uint64(n) {
 			return fmt.Errorf("%w: truncated container payload for chunk %s", ErrCorrupt, id)
 		}
 		payload := data[off : off+int(n)]

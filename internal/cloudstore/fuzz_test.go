@@ -1,6 +1,11 @@
 package cloudstore
 
-import "testing"
+import (
+	"errors"
+	"testing"
+
+	"efdedup/internal/chunk"
+)
 
 // FuzzHandlers throws arbitrary request bodies at every cloud-store RPC
 // handler: none may panic, regardless of input.
@@ -23,6 +28,9 @@ func FuzzHandlers(f *testing.F) {
 			srv.handleBatchHas,
 			srv.handleUploadRaw,
 			srv.handleGetChunk,
+			srv.handleGetChunks,
+			srv.handleGetRecipe,
+			srv.handleGetContainer,
 			srv.handlePutManifest,
 			srv.handleGetManifest,
 			srv.handleStats,
@@ -30,5 +38,48 @@ func FuzzHandlers(f *testing.F) {
 		for _, h := range handlers {
 			_, _ = h(body) // must not panic
 		}
+	})
+}
+
+// FuzzCloudCodecs drives every cloud.* body decoder with arbitrary
+// bytes: each must either decode or return ErrProto — never panic, and
+// never size an allocation from an unvalidated wire count.
+func FuzzCloudCodecs(f *testing.F) {
+	ck := chunk.Chunk{ID: chunk.Sum([]byte("seed")), Data: []byte("seed")}
+	f.Add([]byte{})
+	f.Add(encodeChunkFrame(ck))
+	f.Add(encodeChunkList([]chunk.Chunk{ck}))
+	f.Add(encodeIDList([]chunk.ID{ck.ID}))
+	if blob, err := encodeNamedBlob("name", []byte("payload")); err == nil {
+		f.Add(blob)
+	}
+	f.Add(encodeManifestIDs([]chunk.ID{ck.ID}))
+	f.Add(encodeRecipe([]RecipeEntry{{ID: ck.ID, Loc: Locator{Container: 1, Offset: 2, Length: 3}}}))
+	f.Add(encodeChunkData([][]byte{[]byte("one"), []byte("two")}))
+	f.Add(encodeStats(Stats{UniqueChunks: 1}))
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0, 0, 0, 0}) // hostile count prefix
+	f.Fuzz(func(t *testing.T, data []byte) {
+		check := func(what string, err error) {
+			t.Helper()
+			if err != nil && !errors.Is(err, ErrProto) {
+				t.Fatalf("%s returned unclassified error: %v", what, err)
+			}
+		}
+		_, _, err := decodeChunkFrame(data)
+		check("decodeChunkFrame", err)
+		_, err = decodeChunkList(data)
+		check("decodeChunkList", err)
+		_, err = decodeIDList(data)
+		check("decodeIDList", err)
+		_, _, err = decodeNamedBlob(data)
+		check("decodeNamedBlob", err)
+		_, err = decodeManifestIDs(data)
+		check("decodeManifestIDs", err)
+		_, err = decodeRecipe(data)
+		check("decodeRecipe", err)
+		_, err = decodeChunkData(data, 3)
+		check("decodeChunkData", err)
+		_, err = decodeStats(data)
+		check("decodeStats", err)
 	})
 }

@@ -104,22 +104,9 @@ func (c *Client) GetRecipe(ctx context.Context, name string) ([]RecipeEntry, err
 	if err != nil {
 		return nil, classifyRemote(err)
 	}
-	if len(resp) < 4 {
-		return nil, fmt.Errorf("%w: malformed recipe response", ErrProto)
-	}
-	count := int(binary.BigEndian.Uint32(resp))
-	resp = resp[4:]
-	const rec = chunk.IDSize + 16
-	if len(resp) != count*rec {
-		return nil, fmt.Errorf("%w: malformed recipe body", ErrProto)
-	}
-	out := make([]RecipeEntry, count)
-	for i := range out {
-		off := i * rec
-		copy(out[i].ID[:], resp[off:])
-		out[i].Loc.Container = binary.BigEndian.Uint64(resp[off+chunk.IDSize:])
-		out[i].Loc.Offset = binary.BigEndian.Uint32(resp[off+chunk.IDSize+8:])
-		out[i].Loc.Length = binary.BigEndian.Uint32(resp[off+chunk.IDSize+12:])
+	out, err := decodeRecipe(resp)
+	if err != nil {
+		return nil, fmt.Errorf("cloudstore: recipe response: %w", err)
 	}
 	return out, nil
 }
@@ -135,26 +122,13 @@ func (c *Client) GetContainer(ctx context.Context, id uint64) ([]byte, error) {
 
 // GetChunks fetches many chunk payloads in one RPC, in request order.
 func (c *Client) GetChunks(ctx context.Context, ids []chunk.ID) ([][]byte, error) {
-	body := binary.BigEndian.AppendUint32(nil, uint32(len(ids)))
-	for _, id := range ids {
-		body = append(body, id[:]...)
-	}
-	resp, err := c.call(ctx, methodGetChunks, body)
+	resp, err := c.call(ctx, methodGetChunks, encodeIDList(ids))
 	if err != nil {
 		return nil, classifyRemote(err)
 	}
-	out := make([][]byte, 0, len(ids))
-	for len(out) < len(ids) {
-		if len(resp) < 4 {
-			return nil, fmt.Errorf("%w: truncated chunks response", ErrProto)
-		}
-		n := binary.BigEndian.Uint32(resp)
-		resp = resp[4:]
-		if uint32(len(resp)) < n {
-			return nil, fmt.Errorf("%w: truncated chunks payload", ErrProto)
-		}
-		out = append(out, resp[:n])
-		resp = resp[n:]
+	out, err := decodeChunkData(resp, len(ids))
+	if err != nil {
+		return nil, fmt.Errorf("cloudstore: chunks response: %w", err)
 	}
 	return out, nil
 }

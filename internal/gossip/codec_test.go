@@ -1,0 +1,107 @@
+package gossip
+
+import (
+	"encoding/binary"
+	"errors"
+	"testing"
+	"time"
+
+	"efdedup/internal/transport"
+)
+
+// TestDecodeTableRoundTrip checks that a node's own encoded table
+// decodes back to the same addr→heartbeat pairs.
+func TestDecodeTableRoundTrip(t *testing.T) {
+	nw := transport.NewMemNetwork()
+	n, err := Start(Config{Addr: "rt", Network: nw, Interval: time.Hour})
+	if err != nil {
+		t.Fatalf("start: %v", err)
+	}
+	defer n.Stop()
+	n.mu.Lock()
+	n.table["peer-a"] = entry{heartbeat: 7, updated: time.Now()}
+	n.table["peer-b"] = entry{heartbeat: 42, updated: time.Now()}
+	n.mu.Unlock()
+
+	entries, err := decodeTable(n.encodeTable())
+	if err != nil {
+		t.Fatalf("decode own table: %v", err)
+	}
+	got := make(map[string]uint64, len(entries))
+	for _, e := range entries {
+		got[e.addr] = e.heartbeat
+	}
+	if got["peer-a"] != 7 || got["peer-b"] != 42 || got["rt"] != 1 {
+		t.Fatalf("round trip lost entries: %v", got)
+	}
+}
+
+// TestDecodeTableHostile pins the decoder fixes: the old code compared
+// lengths in 32-bit arithmetic (an address length near 2^32 wrapped the
+// bound and panicked on the slice) and silently dropped truncated or
+// trailing input with a bare return.
+func TestDecodeTableHostile(t *testing.T) {
+	overflow := binary.BigEndian.AppendUint32(nil, 1)           // count
+	overflow = binary.BigEndian.AppendUint32(overflow, 1<<32-4) // addr length that wraps 4+al+8 in 32-bit
+	overflow = append(overflow, make([]byte, 8)...)             // enough filler to pass the count sanity check
+
+	valid := binary.BigEndian.AppendUint32(nil, 1)
+	valid = binary.BigEndian.AppendUint32(valid, 4)
+	valid = append(valid, "peer"...)
+	valid = binary.BigEndian.AppendUint64(valid, 9)
+
+	cases := map[string][]byte{
+		"empty":           nil,
+		"short header":    {0, 0},
+		"count too large": binary.BigEndian.AppendUint32(nil, 5),
+		"overflow length": overflow,
+		"truncated entry": valid[:len(valid)-3],
+		"trailing bytes":  append(append([]byte{}, valid...), 0xFF),
+	}
+	for name, payload := range cases {
+		t.Run(name, func(t *testing.T) {
+			entries, err := decodeTable(payload)
+			if err == nil {
+				t.Fatalf("hostile payload decoded to %v", entries)
+			}
+			if !errors.Is(err, ErrProto) {
+				t.Fatalf("error does not wrap ErrProto: %v", err)
+			}
+		})
+	}
+	if _, err := decodeTable(valid); err != nil {
+		t.Fatalf("valid payload rejected: %v", err)
+	}
+}
+
+// FuzzGossipTable drives the exchange-table decoder with arbitrary
+// bytes: decode or ErrProto, never a panic.
+func FuzzGossipTable(f *testing.F) {
+	seed := binary.BigEndian.AppendUint32(nil, 1)
+	seed = binary.BigEndian.AppendUint32(seed, 4)
+	seed = append(seed, "peer"...)
+	seed = binary.BigEndian.AppendUint64(seed, 9)
+	f.Add(seed)
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 2, 0xFF, 0xFF, 0xFF, 0xFF, 0, 0, 0, 0, 0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if _, err := decodeTable(data); err != nil && !errors.Is(err, ErrProto) {
+			t.Fatalf("decodeTable returned unclassified error: %v", err)
+		}
+	})
+}
+
+// TestHandleExchangeRejectsMalformed checks the handler propagates a
+// decode error instead of acking a payload it dropped (the old
+// mergeTable returned nil on malformed input).
+func TestHandleExchangeRejectsMalformed(t *testing.T) {
+	nw := transport.NewMemNetwork()
+	n, err := Start(Config{Addr: "strict", Network: nw, Interval: time.Hour})
+	if err != nil {
+		t.Fatalf("start: %v", err)
+	}
+	defer n.Stop()
+	if _, err := n.handleExchange([]byte{1, 2}); !errors.Is(err, ErrProto) {
+		t.Fatalf("malformed exchange not rejected with ErrProto: %v", err)
+	}
+}

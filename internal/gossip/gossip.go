@@ -35,6 +35,10 @@ const methodExchange = "gossip.exchange"
 // transient.
 var ErrConfig = errors.New("gossip: invalid configuration")
 
+// ErrProto marks malformed exchange payloads: a peer (or the wire)
+// produced bytes that do not parse as a heartbeat table.
+var ErrProto = errors.New("gossip: protocol error")
+
 // Status of a peer as judged by the local failure detector.
 type Status int
 
@@ -345,9 +349,13 @@ func (n *Node) call(ctx context.Context, addr string, body []byte) ([]byte, erro
 	return resp, nil
 }
 
-// handleExchange merges the caller's table and answers with ours.
+// handleExchange merges the caller's table and answers with ours. A
+// malformed table is rejected outright — answering normally would ack
+// a payload we dropped on the floor.
 func (n *Node) handleExchange(body []byte) ([]byte, error) {
-	n.mergeTable(body)
+	if err := n.mergeTable(body); err != nil {
+		return nil, err
+	}
 	return n.encodeTable(), nil
 }
 
@@ -364,36 +372,68 @@ func (n *Node) encodeTable() []byte {
 	return out
 }
 
-// mergeTable folds a received table into ours: higher heartbeats win and
-// refresh the local timestamp.
-func (n *Node) mergeTable(body []byte) {
-	if len(body) < 4 {
-		return
+// tableEntry is one decoded (address, heartbeat) pair.
+type tableEntry struct {
+	addr      string
+	heartbeat uint64
+}
+
+// decodeTable parses a serialized table: u32 count, then per entry a
+// u32 address length, the address bytes and a u64 heartbeat. Every
+// size is validated in 64-bit arithmetic before use — the old 32-bit
+// comparison wrapped for address lengths near 2^32 and panicked on the
+// following slice — and truncated or trailing input is a protocol
+// error rather than a silently dropped suffix.
+func decodeTable(src []byte) ([]tableEntry, error) {
+	if len(src) < 4 {
+		return nil, fmt.Errorf("%w: table of %d bytes lacks a count", ErrProto, len(src))
 	}
-	count := binary.BigEndian.Uint32(body)
-	src := body[4:]
+	count := binary.BigEndian.Uint32(src)
+	src = src[4:]
+	if uint64(count) > uint64(len(src))/12 {
+		return nil, fmt.Errorf("%w: count %d exceeds what %d bytes can hold", ErrProto, count, len(src))
+	}
+	entries := make([]tableEntry, 0, count)
+	for i := uint32(0); i < count; i++ {
+		if len(src) < 4 {
+			return nil, fmt.Errorf("%w: entry %d lacks an address length", ErrProto, i)
+		}
+		al := uint64(binary.BigEndian.Uint32(src))
+		if uint64(len(src)) < 4+al+8 {
+			return nil, fmt.Errorf("%w: entry %d of %d bytes exceeds remaining %d", ErrProto, i, 12+al, len(src))
+		}
+		addr := string(src[4 : 4+al])
+		hb := binary.BigEndian.Uint64(src[4+al:])
+		src = src[4+al+8:]
+		entries = append(entries, tableEntry{addr: addr, heartbeat: hb})
+	}
+	if len(src) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes after %d entries", ErrProto, len(src), count)
+	}
+	return entries, nil
+}
+
+// mergeTable folds a received table into ours: higher heartbeats win and
+// refresh the local timestamp. Malformed payloads are rejected whole —
+// a partial merge would make convergence depend on where the
+// corruption sits.
+func (n *Node) mergeTable(body []byte) error {
+	entries, err := decodeTable(body)
+	if err != nil {
+		return err
+	}
 	now := time.Now()
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	for i := uint32(0); i < count; i++ {
-		if len(src) < 4 {
-			return
-		}
-		al := binary.BigEndian.Uint32(src)
-		src = src[4:]
-		if uint32(len(src)) < al+8 {
-			return
-		}
-		addr := string(src[:al])
-		hb := binary.BigEndian.Uint64(src[al : al+8])
-		src = src[al+8:]
-		if addr == n.cfg.Addr {
+	for _, te := range entries {
+		if te.addr == n.cfg.Addr {
 			continue // we are the authority on ourselves
 		}
-		e, ok := n.table[addr]
-		if !ok || hb > e.heartbeat {
-			n.table[addr] = entry{heartbeat: hb, updated: now}
+		e, ok := n.table[te.addr]
+		if !ok || te.heartbeat > e.heartbeat {
+			n.table[te.addr] = entry{heartbeat: te.heartbeat, updated: now}
 			n.merges.Inc()
 		}
 	}
+	return nil
 }

@@ -3,6 +3,7 @@ package kvstore
 import (
 	"bytes"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"os"
@@ -181,6 +182,63 @@ func FuzzWALReplayRawBytes(f *testing.F) {
 		if stats.Bytes+stats.Discarded() != int64(len(data)) {
 			t.Fatalf("prefix %d + discarded %d != file size %d", stats.Bytes, stats.Discarded(), len(data))
 		}
+	})
+}
+
+// protoOrNil fails the fuzz run when a decoder returns an error outside
+// the protocol-error taxonomy: hostile bytes must map to ErrProto (or
+// ErrCorrupt), never to a panic or an unclassified error.
+func protoOrNil(t *testing.T, what string, err error) {
+	t.Helper()
+	if err != nil && !errors.Is(err, ErrProto) && !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("%s returned unclassified error: %v", what, err)
+	}
+}
+
+// FuzzKVCodecs drives every kv.* body decoder with one arbitrary input:
+// each must either decode or return ErrProto — never panic, never size
+// an allocation from an unvalidated wire count.
+func FuzzKVCodecs(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(encodeEntry(nil, []byte("key"), Entry{Version: 3, Value: []byte("value")}))
+	f.Add(encodeKeyList([][]byte{[]byte("a"), []byte("b")}))
+	f.Add(encodeScan(map[string]Entry{"k": {Version: 1, Value: []byte("v")}}))
+	f.Add(encodeStats(NodeStats{Gets: 1, Puts: 2, Hits: 3, Misses: 4, Entries: 5}))
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0, 0, 0, 0}) // hostile length prefix
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, _, err := readBytes(data)
+		protoOrNil(t, "readBytes", err)
+		_, _, _, err = decodeEntry(data)
+		protoOrNil(t, "decodeEntry", err)
+		_, err = decodeKeyList(data)
+		protoOrNil(t, "decodeKeyList", err)
+		_, err = decodeScan(data)
+		protoOrNil(t, "decodeScan", err)
+		_, err = decodeStats(data)
+		protoOrNil(t, "decodeStats", err)
+	})
+}
+
+// FuzzRepairCodecs drives the anti-entropy (kv.digest / kv.pull) body
+// decoders with arbitrary bytes.
+func FuzzRepairCodecs(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(encodeDigestReq(3, 64, []string{"a:1", "b:1"}, []string{"a:1"}))
+	var want bucketSet
+	want.add(7)
+	want.add(200)
+	f.Add(encodePullReq(3, 64, []string{"a:1"}, []string{"a:1"}, want))
+	f.Add(encodeDigestResp([digestBuckets]bucketDigest{}))
+	f.Add([]byte{0, 0, 0, 4, 0, 0, 0, 4, 0xFF, 0xFF, 0xFF, 0xFF}) // hostile member count
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, _, err := decodeDigestReq(data)
+		protoOrNil(t, "decodeDigestReq", err)
+		_, _, err = readBytesList(data)
+		protoOrNil(t, "readBytesList", err)
+		_, err = decodeDigestResp(data)
+		protoOrNil(t, "decodeDigestResp", err)
+		_, _, err = decodePullReq(data)
+		protoOrNil(t, "decodePullReq", err)
 	})
 }
 

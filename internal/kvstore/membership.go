@@ -2,6 +2,7 @@ package kvstore
 
 import (
 	"context"
+	"encoding/binary"
 	"fmt"
 )
 
@@ -105,7 +106,7 @@ func decodeScan(body []byte) ([]scannedEntry, error) {
 	if len(body) < 4 {
 		return nil, fmt.Errorf("%w: truncated scan response", ErrProto)
 	}
-	count := int(uint32(body[0])<<24 | uint32(body[1])<<16 | uint32(body[2])<<8 | uint32(body[3]))
+	count := int(binary.BigEndian.Uint32(body))
 	src := body[4:]
 	// Each record costs at least 16 bytes (two length prefixes + version);
 	// reject counts the payload cannot hold before allocating.

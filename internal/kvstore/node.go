@@ -487,22 +487,33 @@ func (n *Node) handleBatchPut(body []byte) ([]byte, error) {
 func (n *Node) handleScan([]byte) ([]byte, error) {
 	n.mu.RLock()
 	defer n.mu.RUnlock()
-	out := binary.BigEndian.AppendUint32(nil, uint32(len(n.table)))
-	for k, e := range n.table {
+	return encodeScan(n.table), nil
+}
+
+// encodeScan serializes a table snapshot as the count-prefixed record
+// sequence decodeScan consumes.
+func encodeScan(table map[string]Entry) []byte {
+	out := binary.BigEndian.AppendUint32(nil, uint32(len(table)))
+	for k, e := range table {
 		out = encodeEntry(out, []byte(k), e)
 	}
-	return out, nil
+	return out
 }
 
 func (n *Node) handleStats([]byte) ([]byte, error) {
-	s := n.Stats()
+	return encodeStats(n.Stats()), nil
+}
+
+// encodeStats serializes node counters as the five u64 words
+// decodeStats reads back.
+func encodeStats(s NodeStats) []byte {
 	out := make([]byte, 0, 40)
 	out = binary.BigEndian.AppendUint64(out, uint64(s.Gets))
 	out = binary.BigEndian.AppendUint64(out, uint64(s.Puts))
 	out = binary.BigEndian.AppendUint64(out, uint64(s.Hits))
 	out = binary.BigEndian.AppendUint64(out, uint64(s.Misses))
 	out = binary.BigEndian.AppendUint64(out, uint64(s.Entries))
-	return out, nil
+	return out
 }
 
 func decodeStats(body []byte) (NodeStats, error) {

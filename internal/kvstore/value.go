@@ -68,7 +68,7 @@ func readBytes(src []byte) (val, rest []byte, err error) {
 		return nil, nil, fmt.Errorf("%w: truncated length prefix", ErrProto)
 	}
 	n := binary.BigEndian.Uint32(src)
-	if uint32(len(src)-4) < n {
+	if uint64(len(src)-4) < uint64(n) {
 		return nil, nil, fmt.Errorf("%w: blob of %d bytes exceeds remaining %d", ErrProto, n, len(src)-4)
 	}
 	return src[4 : 4+n], src[4+n:], nil

@@ -1,0 +1,58 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// TestHandlerPanicRecovered injects a panicking handler and checks that
+// the panic comes back to the caller as a statusError response naming
+// ErrProto, and that the same connection keeps serving afterwards.
+func TestHandlerPanicRecovered(t *testing.T) {
+	for name, nw := range networks(t) {
+		t.Run(name, func(t *testing.T) {
+			s := NewServer()
+			s.Handle("echo", func(body []byte) ([]byte, error) { return body, nil })
+			s.Handle("explode", func(body []byte) ([]byte, error) {
+				var p []byte
+				_ = p[7] // index out of range: the classic unguarded decoder read
+				return nil, nil
+			})
+			l, err := nw.Listen("srv")
+			if err != nil {
+				l, err = nw.Listen("127.0.0.1:0")
+				if err != nil {
+					t.Fatalf("listen: %v", err)
+				}
+			}
+			go s.Serve(l) //nolint:errcheck // returns on Close
+			t.Cleanup(func() { s.Close() })
+
+			c := dial(t, nw, l.Addr().String())
+			ctx := context.Background()
+
+			_, err = c.Call(ctx, "explode", []byte("hostile"))
+			if err == nil {
+				t.Fatal("call to panicking handler succeeded")
+			}
+			var remote *RemoteError
+			if !errors.As(err, &remote) {
+				t.Fatalf("want RemoteError, got %T: %v", err, err)
+			}
+			if !strings.Contains(remote.Msg, "handler panic") || !strings.Contains(remote.Msg, ErrProto.Error()) {
+				t.Fatalf("panic error does not carry ErrProto context: %q", remote.Msg)
+			}
+
+			// The connection must survive the panic.
+			resp, err := c.Call(ctx, "echo", []byte("still alive"))
+			if err != nil {
+				t.Fatalf("echo after panic: %v", err)
+			}
+			if string(resp) != "still alive" {
+				t.Fatalf("echo after panic returned %q", resp)
+			}
+		})
+	}
+}

@@ -284,9 +284,10 @@ func (s *Server) serveConn(conn net.Conn) {
 			var errMsg string
 			if fn == nil {
 				errMsg = fmt.Sprintf("unknown method %q", method)
-			} else if respBody, err = fn(body); err != nil {
-				errMsg = err.Error()
-				respBody = nil
+			} else if resp, herr := dispatch(fn, body); herr != nil {
+				errMsg = herr.Error()
+			} else {
+				respBody = resp
 			}
 			writeMu.Lock()
 			defer writeMu.Unlock()
@@ -296,6 +297,21 @@ func (s *Server) serveConn(conn net.Conn) {
 			_ = writeFrame(conn, encodeResponse(id, respBody, errMsg))
 		}()
 	}
+}
+
+// dispatch invokes a handler, converting a panic into an error so one
+// malformed request cannot take down the process: the panic travels
+// back to the caller as a statusError response wrapping ErrProto (a
+// handler panic on hostile bytes is a protocol violation the decoder
+// failed to reject) and the connection keeps serving.
+func dispatch(fn HandlerFunc, body []byte) (resp []byte, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			resp = nil
+			err = fmt.Errorf("%w: handler panic: %v", ErrProto, r)
+		}
+	}()
+	return fn(body)
 }
 
 // Close stops accepting, closes every connection and waits for in-flight

@@ -17,6 +17,7 @@ import (
 
 	"efdedup/lint/internal/cfg"
 	"efdedup/lint/internal/summary"
+	"efdedup/lint/internal/wire"
 )
 
 // Analyzer describes one invariant checker.
@@ -51,6 +52,13 @@ type Pass struct {
 	// ctxcancel) ask it for the same function bodies, and the graph is
 	// built once per lint run. Nil only if the driver opts out.
 	CFGs *cfg.Store
+
+	// Wire is the module-wide RPC surface and symbolic codec layouts
+	// (registrations, call sites, extracted field layouts) built once
+	// per lint run over the universe. The wire-protocol analyzers
+	// (rpcpair, codecpair, lenguard, wirelock) consume it; nil only if
+	// the driver opts out.
+	Wire *wire.Index
 
 	// Report delivers one diagnostic. Filled in by the driver.
 	Report func(Diagnostic)

@@ -1,0 +1,103 @@
+// Package codecpair checks encode/decode function pairs field-for-field
+// against each other using the symbolic wire layouts extracted by
+// lint/internal/wire. A pair is two functions in one package whose
+// names share a suffix under the codec prefixes (encode/append/marshal
+// vs decode/read/parse/unmarshal): encodeEntry pairs with decodeEntry,
+// appendBytes with readBytes, (*Node).encodeTable with decodeTable.
+//
+// When both sides extract to a structured layout, any field-level
+// disagreement — width, prefix size, list element shape, extra or
+// missing fields — is reported with both layouts printed, so the
+// diagnostic shows the wire formats side by side instead of making the
+// reader re-derive them. Functions the extractor cannot fully follow
+// stay opaque past the extracted prefix and are compared only over the
+// prefix both sides agree on, so unrecognized code is silence, never a
+// false mismatch.
+package codecpair
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"efdedup/lint/analysis"
+	"efdedup/lint/internal/wire"
+)
+
+// Analyzer detects asymmetric encode/decode pairs.
+var Analyzer = &analysis.Analyzer{
+	Name: "codecpair",
+	Doc:  "encode/decode pairs must agree on the wire layout field-for-field",
+	Run:  run,
+}
+
+var (
+	encPrefixes = []string{"encode", "append", "marshal"}
+	decPrefixes = []string{"decode", "read", "parse", "unmarshal"}
+)
+
+// candidate is one codec-named function declared in this pass.
+type candidate struct {
+	fid  string
+	name string
+	pos  token.Pos
+}
+
+func run(pass *analysis.Pass) error {
+	ix := pass.Wire
+	if ix == nil {
+		return nil
+	}
+	encs := make(map[string][]candidate)
+	decs := make(map[string][]candidate)
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			c := candidate{fid: fn.FullName(), name: fd.Name.Name, pos: fd.Name.Pos()}
+			if suf, ok := trimAnyPrefix(fd.Name.Name, encPrefixes); ok {
+				encs[suf] = append(encs[suf], c)
+			}
+			if suf, ok := trimAnyPrefix(fd.Name.Name, decPrefixes); ok {
+				decs[suf] = append(decs[suf], c)
+			}
+		}
+	}
+	for suf, ds := range decs {
+		es := encs[suf]
+		// Ambiguous suffixes (two encoders named encodeX and appendX)
+		// have no well-defined pairing; stay silent.
+		if len(es) != 1 || len(ds) != 1 {
+			continue
+		}
+		enc := ix.Layout(es[0].fid, wire.Encode)
+		dec := ix.Layout(ds[0].fid, wire.Decode)
+		if enc == nil || dec == nil || len(enc.Fields) == 0 || len(dec.Fields) == 0 {
+			continue
+		}
+		if msg := wire.Compare(enc, dec); msg != "" {
+			pass.Reportf(ds[0].pos, "wire layout mismatch between %s and %s: %s (encoder layout: %s; decoder layout: %s)",
+				es[0].name, ds[0].name, msg, enc, dec)
+		}
+	}
+	return nil
+}
+
+// trimAnyPrefix strips the first matching codec prefix, returning the
+// lowercased remainder. A bare prefix name ("read") is not a codec.
+func trimAnyPrefix(name string, prefixes []string) (string, bool) {
+	lower := strings.ToLower(name)
+	for _, p := range prefixes {
+		if strings.HasPrefix(lower, p) && len(name) > len(p) {
+			return lower[len(p):], true
+		}
+	}
+	return "", false
+}

@@ -1,0 +1,12 @@
+package codecpair_test
+
+import (
+	"testing"
+
+	"efdedup/lint/analysistest"
+	"efdedup/lint/analyzers/codecpair"
+)
+
+func TestCodecPair(t *testing.T) {
+	analysistest.Run(t, codecpair.Analyzer, "codecpair")
+}

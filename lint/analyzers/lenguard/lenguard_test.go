@@ -1,0 +1,12 @@
+package lenguard_test
+
+import (
+	"testing"
+
+	"efdedup/lint/analysistest"
+	"efdedup/lint/analyzers/lenguard"
+)
+
+func TestLenguard(t *testing.T) {
+	analysistest.Run(t, lenguard.Analyzer, "lenguard")
+}

@@ -1,0 +1,63 @@
+// Package rpcpair checks the two halves of the RPC surface against
+// each other, module-wide: every Client.Call with a constant method
+// name must resolve to exactly one production Server.Handle
+// registration, and every registration must have at least one caller.
+// A call with no registration is a guaranteed runtime "unknown method"
+// error; a duplicate registration makes dispatch order-dependent; a
+// registration nobody calls is dead protocol surface that still has to
+// be kept wire-compatible.
+//
+// Sites are resolved through wrapper functions ((*Node).handle,
+// (*Cluster).call, ...) by the wire index, and only production code is
+// loaded, so a method exercised solely by tests is still dead surface.
+package rpcpair
+
+import (
+	"efdedup/lint/analysis"
+	"efdedup/lint/internal/wire"
+)
+
+// Analyzer detects unpaired RPC registrations and calls.
+var Analyzer = &analysis.Analyzer{
+	Name: "rpcpair",
+	Doc:  "RPC calls must pair with exactly one registration, and registrations must have callers",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	ix := pass.Wire
+	if ix == nil {
+		return nil
+	}
+	regs := make(map[string]int)
+	calls := make(map[string]int)
+	for _, s := range ix.Sites {
+		switch s.Kind {
+		case wire.Registration:
+			regs[s.Method]++
+		case wire.Call:
+			calls[s.Method]++
+		}
+	}
+	// Each site is claimed by the pass owning its file, so module-wide
+	// facts are reported exactly once per site.
+	for _, s := range ix.Sites {
+		if !pass.InFiles(s.Pos) {
+			continue
+		}
+		switch s.Kind {
+		case wire.Call:
+			if regs[s.Method] == 0 {
+				pass.Reportf(s.Pos, "RPC method %q is called here but never registered with any transport Server.Handle: dispatch will fail at runtime", s.Method)
+			}
+		case wire.Registration:
+			if n := regs[s.Method]; n > 1 {
+				pass.Reportf(s.Pos, "RPC method %q is registered %d times across the module; dispatch must resolve to exactly one handler", s.Method, n)
+			}
+			if calls[s.Method] == 0 {
+				pass.Reportf(s.Pos, "RPC method %q is registered but never called from production code: dead protocol surface (remove the handler or wire up the client)", s.Method)
+			}
+		}
+	}
+	return nil
+}

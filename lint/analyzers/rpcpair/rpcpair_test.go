@@ -1,0 +1,12 @@
+package rpcpair_test
+
+import (
+	"testing"
+
+	"efdedup/lint/analysistest"
+	"efdedup/lint/analyzers/rpcpair"
+)
+
+func TestRPCPair(t *testing.T) {
+	analysistest.Run(t, rpcpair.Analyzer, "rpcpair")
+}

@@ -1,0 +1,48 @@
+// Fixtures for the rpcpair analyzer: calls must resolve to exactly one
+// registration, registrations must have callers, and sites flow through
+// wrapper functions.
+package rpcpair
+
+import "transport"
+
+type app struct {
+	srv *transport.Server
+	cl  *transport.Client
+}
+
+// handle is a wrapper: the wire index discovers by fixpoint that its
+// first string parameter is a method name, so the constant-method calls
+// below count as registration sites while this forwarding call does
+// not.
+func (a *app) handle(method string, h transport.Handler) {
+	a.srv.Handle(method, h)
+}
+
+// call is the client-side wrapper.
+func (a *app) call(method string, body []byte) ([]byte, error) {
+	return a.cl.Call(method, body)
+}
+
+func echo(body []byte) ([]byte, error) { return body, nil }
+
+// --- positives -------------------------------------------------------
+
+func register(a *app) {
+	a.handle("rpc.get", echo)
+	a.handle("rpc.dead", echo) // want `registered but never called`
+	a.handle("rpc.dup", echo)  // want `registered 2 times`
+	a.srv.Handle("rpc.dup", echo) // want `registered 2 times`
+}
+
+func invoke(a *app) {
+	_, _ = a.call("rpc.get", nil)
+	_, _ = a.call("rpc.missing", nil) // want `never registered`
+	_, _ = a.cl.Call("rpc.dup", nil)
+}
+
+// --- negatives -------------------------------------------------------
+
+// A dynamic method name is not a site: no constant to pair.
+func dynamic(a *app, m string) {
+	_, _ = a.call(m, nil)
+}

@@ -1,0 +1,20 @@
+// Package transport is a structural stub of the real transport layer:
+// the wire index recognizes Server.Handle / Client.Call by shape (a
+// method on a type of that name in a package named transport), so
+// fixtures can exercise the RPC analyzers without the real module.
+package transport
+
+// Handler serves one request body.
+type Handler func(body []byte) ([]byte, error)
+
+// Server is the dispatch side.
+type Server struct{}
+
+// Handle registers h for method.
+func (s *Server) Handle(method string, h Handler) {}
+
+// Client is the calling side.
+type Client struct{}
+
+// Call invokes method remotely.
+func (c *Client) Call(method string, body []byte) ([]byte, error) { return nil, nil }

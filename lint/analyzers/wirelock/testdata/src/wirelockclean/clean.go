@@ -1,0 +1,31 @@
+// Fixture for the wirelock analyzer: the wire.lock beside this file
+// matches the code exactly, so the analyzer stays silent.
+package wirelockclean
+
+import (
+	"encoding/binary"
+	"errors"
+
+	"transport"
+)
+
+var errProto = errors.New("proto")
+
+func register(s *transport.Server) {
+	s.Handle("clean.put", func(b []byte) ([]byte, error) { return b, nil })
+}
+
+func invoke(c *transport.Client) {
+	_, _ = c.Call("clean.put", nil)
+}
+
+func encodeItem(dst []byte, v uint64) []byte {
+	return binary.BigEndian.AppendUint64(dst, v)
+}
+
+func decodeItem(src []byte) (uint64, error) {
+	if len(src) < 8 {
+		return 0, errProto
+	}
+	return binary.BigEndian.Uint64(src), nil
+}

@@ -1,0 +1,16 @@
+package wirelock_test
+
+import (
+	"testing"
+
+	"efdedup/lint/analysistest"
+	"efdedup/lint/analyzers/wirelock"
+)
+
+func TestWirelockStale(t *testing.T) {
+	analysistest.Run(t, wirelock.Analyzer, "wirelockstale")
+}
+
+func TestWirelockClean(t *testing.T) {
+	analysistest.Run(t, wirelock.Analyzer, "wirelockclean")
+}

@@ -11,17 +11,28 @@
 // allocations on the dedup pipeline hot path (hotalloc), and atomic
 // file installs fsynced before their rename (fsyncrename).
 //
-// Four analyzers are path-sensitive, built on the CFG + dataflow layer
+// Five analyzers are path-sensitive, built on the CFG + dataflow layer
 // (lint/internal/cfg, lint/internal/dataflow): resources must reach
 // Close on every path (resleak), context cancel funcs must be called
 // on every path (ctxcancel), store handlers must make state durable
-// before mutating memory on success paths (durafirst), and
+// before mutating memory on success paths (durafirst),
 // pipeline-reachable channels must carry explicit capacity
-// (chanbound).
+// (chanbound), and wire-decoder reads must be guarded by 64-bit
+// remaining-length checks (lenguard).
+//
+// Four analyzers check wire-protocol conformance on the shared
+// lint/internal/wire index of RPC sites and symbolically extracted
+// codec layouts: every constant Client.Call method must be registered
+// by exactly one Server.Handle and vice versa (rpcpair), each
+// encodeX/decodeX pair must agree field-for-field (codecpair), decoder
+// bounds must hold on every path (lenguard), and the whole surface
+// must match the checked-in lint/wire.lock schema lockfile (wirelock;
+// regenerate with -write-wire-lock or `make wire-lock`).
 //
 // Usage:
 //
-//	efdedup-lint [-run name[,name]] [-list] [-json] [-sarif file] [-v] [packages]
+//	efdedup-lint [-run name[,name]] [-list] [-json] [-sarif file] [-v]
+//	             [-write-wire-lock file] [packages]
 //
 // Packages default to ./... relative to the working directory. The
 // exit status is 0 when no diagnostics fire, 1 when any do, 2 on
@@ -29,7 +40,9 @@
 // file:line:col text; -sarif additionally writes a SARIF 2.1.0 log to
 // the given file (use "-" for stdout) for code-scanning upload; -v
 // reports load/analyze wall time plus per-analyzer wall time on
-// stderr. Suppress a finding with a reasoned directive:
+// stderr; -write-wire-lock regenerates the schema lockfile from the
+// loaded packages and exits without running analyzers. Suppress a
+// finding with a reasoned directive:
 //
 //	//lint:ignore lockedio held lock is test-only
 package main
@@ -44,6 +57,7 @@ import (
 
 	"efdedup/lint/analysis"
 	"efdedup/lint/analyzers/chanbound"
+	"efdedup/lint/analyzers/codecpair"
 	"efdedup/lint/analyzers/ctxcancel"
 	"efdedup/lint/analyzers/ctxfirst"
 	"efdedup/lint/analyzers/durafirst"
@@ -52,18 +66,23 @@ import (
 	"efdedup/lint/analyzers/fsyncrename"
 	"efdedup/lint/analyzers/goleak"
 	"efdedup/lint/analyzers/hotalloc"
+	"efdedup/lint/analyzers/lenguard"
 	"efdedup/lint/analyzers/lockedio"
 	"efdedup/lint/analyzers/lockedio2"
 	"efdedup/lint/analyzers/lockorder"
 	"efdedup/lint/analyzers/metricname"
 	"efdedup/lint/analyzers/nodeterm"
 	"efdedup/lint/analyzers/resleak"
+	"efdedup/lint/analyzers/rpcpair"
+	"efdedup/lint/analyzers/wirelock"
 	"efdedup/lint/internal/checker"
 	"efdedup/lint/internal/load"
+	"efdedup/lint/internal/wire"
 )
 
 var all = []*analysis.Analyzer{
 	chanbound.Analyzer,
+	codecpair.Analyzer,
 	ctxcancel.Analyzer,
 	ctxfirst.Analyzer,
 	durafirst.Analyzer,
@@ -72,12 +91,15 @@ var all = []*analysis.Analyzer{
 	fsyncrename.Analyzer,
 	goleak.Analyzer,
 	hotalloc.Analyzer,
+	lenguard.Analyzer,
 	lockedio.Analyzer,
 	lockedio2.Analyzer,
 	lockorder.Analyzer,
 	metricname.Analyzer,
 	nodeterm.Analyzer,
 	resleak.Analyzer,
+	rpcpair.Analyzer,
+	wirelock.Analyzer,
 }
 
 func main() {
@@ -86,6 +108,7 @@ func main() {
 	jsonOut := flag.Bool("json", false, "render diagnostics as a JSON array")
 	sarifOut := flag.String("sarif", "", "also write a SARIF 2.1.0 log to this file (\"-\" for stdout)")
 	verbose := flag.Bool("v", false, "report load/analyze wall time and per-analyzer wall time on stderr")
+	writeWireLock := flag.String("write-wire-lock", "", "regenerate the wire-protocol schema lockfile at this path and exit (\"-\" for stdout)")
 	flag.Parse()
 
 	if *list {
@@ -127,6 +150,22 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "efdedup-lint: %v\n", err)
 		os.Exit(2)
+	}
+	if *writeWireLock != "" {
+		ix := wire.BuildIndex(fset, pkgs)
+		lock := wire.NewLock(ix, wirelock.LintModulePrefix)
+		data := lock.Format()
+		if *writeWireLock == "-" {
+			os.Stdout.Write(data)
+			return
+		}
+		if err := os.WriteFile(*writeWireLock, data, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "efdedup-lint: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "efdedup-lint: wrote %s (%d methods, %d layouts)\n",
+			*writeWireLock, len(lock.Methods), len(lock.Layouts))
+		return
 	}
 	analyzeStart := time.Now()
 	diags, timings, err := checker.RunScopedTimed(analyzers, pkgs, pkgs, fset)

@@ -17,6 +17,7 @@ import (
 	"efdedup/lint/internal/cfg"
 	"efdedup/lint/internal/load"
 	"efdedup/lint/internal/summary"
+	"efdedup/lint/internal/wire"
 )
 
 // Diagnostic is a rendered finding.
@@ -56,6 +57,7 @@ func RunScoped(analyzers []*analysis.Analyzer, targets, universe []*load.Package
 func RunScopedTimed(analyzers []*analysis.Analyzer, targets, universe []*load.Package, fset *token.FileSet) ([]Diagnostic, []Timing, error) {
 	sums := summary.Build(fset, universe)
 	cfgs := cfg.NewStore()
+	wireIx := wire.BuildIndex(fset, universe)
 	var allFiles []*ast.File
 	for _, pkg := range universe {
 		allFiles = append(allFiles, pkg.Files...)
@@ -73,6 +75,7 @@ func RunScopedTimed(analyzers []*analysis.Analyzer, targets, universe []*load.Pa
 				TypesInfo: pkg.Info,
 				Summaries: sums,
 				CFGs:      cfgs,
+				Wire:      wireIx,
 			}
 			pass.Report = func(d analysis.Diagnostic) {
 				pos := fset.Position(d.Pos)

@@ -1,0 +1,764 @@
+package wire
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+
+	"efdedup/lint/internal/load"
+)
+
+// extractDecode interprets a decoder: a function consuming its first
+// []byte parameter through fixed-width reads
+// (binary.BigEndian.UintN(src[a:])), indexed bytes (src[c]), varints,
+// length-var-bounded slices (src[4:4+n]), helper splices and
+// count-bounded loops. Validation guards — `if len(src) < k { return
+// err }` — are skipped, but reads inside their conditions (magic-byte
+// checks like p[0] != frameRequest) still count as consumed fields.
+func extractDecode(ex *Extractor, src *funcSrc) *Layout {
+	stream := firstByteSliceParam(src.pkg.Info, src.decl)
+	if stream == nil {
+		return nil // no []byte input: not a decoder
+	}
+	sc := &decScope{
+		ex: ex, pkg: src.pkg,
+		stream:      stream,
+		exp:         zeroOffset(),
+		lens:        make(map[types.Object]Kind),
+		lenFieldIdx: make(map[types.Object]int),
+		widthVars:   make(map[types.Object]bool),
+		rest:        -1,
+	}
+	sc.run(src.decl.Body.List)
+	if len(sc.fields) == 0 && sc.rest < 0 && sc.opaque == "" {
+		return nil // never touched the input: not a decoder
+	}
+	return &Layout{
+		FuncID:       src.fn.FullName(),
+		Dir:          Decode,
+		Fields:       sc.fields,
+		Opaque:       sc.opaque != "",
+		OpaqueReason: sc.opaque,
+		RestResult:   sc.rest,
+	}
+}
+
+// offset is a symbolic stream position: a constant plus a multiset of
+// length variables consumed since the last rebase.
+type offset struct {
+	c    int
+	vars map[types.Object]int
+}
+
+func zeroOffset() offset { return offset{vars: make(map[types.Object]int)} }
+
+func (o offset) clone() offset {
+	out := offset{c: o.c, vars: make(map[types.Object]int, len(o.vars))}
+	for k, v := range o.vars {
+		out.vars[k] = v
+	}
+	return out
+}
+
+func (o offset) addConst(c int) offset {
+	out := o.clone()
+	out.c += c
+	return out
+}
+
+func (o offset) addVar(v types.Object) offset {
+	out := o.clone()
+	out.vars[v]++
+	return out
+}
+
+func (o offset) nonZeroVars() int {
+	n := 0
+	for _, v := range o.vars {
+		if v != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+func (o offset) equal(p offset) bool {
+	if o.c != p.c || o.nonZeroVars() != p.nonZeroVars() {
+		return false
+	}
+	for k, v := range o.vars {
+		if v != 0 && p.vars[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+func (o offset) isZero() bool { return o.c == 0 && o.nonZeroVars() == 0 }
+
+// subsetOf reports whether every variable in o occurs in p at least as
+// often (a partial order used to sort reads found in one statement).
+func (o offset) subsetOf(p offset) bool {
+	for k, v := range o.vars {
+		if v > p.vars[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// parseOffset decomposes an additive index expression (10+ml, 4+n) into
+// a symbolic offset. ok=false for anything the model cannot represent
+// (products of variables, calls, ...).
+func parseOffset(info *types.Info, e ast.Expr) (offset, bool) {
+	if e == nil {
+		return zeroOffset(), true
+	}
+	if c, ok := intConst(info, e); ok {
+		o := zeroOffset()
+		o.c = int(c)
+		return o, true
+	}
+	e = peelConversions(info, e)
+	if bin, ok := e.(*ast.BinaryExpr); ok && bin.Op.String() == "+" {
+		a, okA := parseOffset(info, bin.X)
+		b, okB := parseOffset(info, bin.Y)
+		if !okA || !okB {
+			return offset{}, false
+		}
+		out := a.clone()
+		out.c += b.c
+		for k, v := range b.vars {
+			out.vars[k] += v
+		}
+		return out, true
+	}
+	if obj := identObj(info, e); obj != nil {
+		o := zeroOffset()
+		o.vars[obj] = 1
+		return o, true
+	}
+	return offset{}, false
+}
+
+// read is one extracted consumption of stream bytes.
+type read struct {
+	off    offset
+	field  Field
+	lenVar types.Object // KBytes: the variable bounding the blob
+	width  int          // fixed widths; 0 for var-width fields
+	// openResult marks an unbounded S[a:] appearing directly as a
+	// return result: the unconsumed remainder handed to the caller.
+	openResult int // result index, -1 otherwise
+}
+
+type decScope struct {
+	ex     *Extractor
+	pkg    *load.Package
+	stream types.Object
+	exp    offset
+	// lens tracks integer variables assigned from a single prefix read,
+	// lenFieldIdx the index of the field that read emitted — when the
+	// bounded slice follows immediately, prefix and blob fuse into one
+	// KBytes field (mirroring the encode side's pending mechanism).
+	lens        map[types.Object]Kind
+	lenFieldIdx map[types.Object]int
+	// widthVars holds the byte-width results of binary.Uvarint, the only
+	// legal reslice amounts while needRebase is set.
+	widthVars map[types.Object]bool
+	fields    []Field
+	rest      int
+	opaque    string
+	done      bool
+	// needRebase is set after a var-width varint read: the position is
+	// unknowable until the code reslices past it.
+	needRebase bool
+}
+
+func (sc *decScope) info() *types.Info { return sc.pkg.Info }
+
+func (sc *decScope) fail(reason string) {
+	if sc.opaque == "" {
+		sc.opaque = reason
+	}
+	sc.done = true
+}
+
+func (sc *decScope) rebaseTo(v types.Object) {
+	sc.stream = v
+	sc.exp = zeroOffset()
+	sc.needRebase = false
+}
+
+func (sc *decScope) run(stmts []ast.Stmt) {
+	for _, s := range stmts {
+		if sc.done {
+			return
+		}
+		sc.stmt(s)
+	}
+}
+
+func (sc *decScope) stmt(s ast.Stmt) {
+	switch st := s.(type) {
+	case *ast.AssignStmt:
+		sc.assign(st)
+	case *ast.ReturnStmt:
+		sc.ret(st)
+	case *ast.IfStmt:
+		sc.ifStmt(st)
+	case *ast.SwitchStmt:
+		// The tag read (switch p[9]) is part of the format; the clause
+		// bodies diverge, so the layout is opaque from there on.
+		if st.Tag != nil {
+			sc.applyReads(st.Tag, nil)
+		}
+		sc.fail("branchy layout (switch)")
+	case *ast.ForStmt:
+		sc.loop(st, st.Body, nil)
+	case *ast.RangeStmt:
+		sc.loop(st, st.Body, st.X)
+	case *ast.ExprStmt:
+		if call, ok := ast.Unparen(st.X).(*ast.CallExpr); ok && sc.copyStmt(call) {
+			return
+		}
+		if mentions(sc.info(), st, sc.stream) {
+			sc.fail("unrecognized stream use")
+		}
+	case *ast.DeclStmt:
+		if mentions(sc.info(), st, sc.stream) {
+			sc.fail("unrecognized stream declaration")
+		}
+	default:
+		if mentions(sc.info(), s, sc.stream) {
+			sc.fail("unrecognized statement")
+		}
+	}
+}
+
+// ifStmt skips validation guards (all-return bodies), consuming any
+// stream reads in the condition, and fails on real branching.
+func (sc *decScope) ifStmt(st *ast.IfStmt) {
+	if st.Init != nil {
+		sc.stmt(st.Init)
+		if sc.done {
+			return
+		}
+	}
+	if st.Else == nil && allReturns(st.Body) {
+		if sc.applyReads(st.Cond, nil) {
+			return
+		}
+		sc.fail("unrecognized guard condition")
+		return
+	}
+	if mentions(sc.info(), st, sc.stream) {
+		sc.fail("conditional layout")
+	}
+}
+
+func (sc *decScope) assign(st *ast.AssignStmt) {
+	info := sc.info()
+	// Rebase / stream aliasing: src = src[k:], src := body[4:], src = rest.
+	if len(st.Lhs) == 1 && len(st.Rhs) == 1 {
+		lhs := identObj(info, st.Lhs[0])
+		rhs := ast.Unparen(st.Rhs[0])
+		if lhs != nil && isByteSlice(lhs.Type()) {
+			if sl, ok := rhs.(*ast.SliceExpr); ok && sl.High == nil && sl.Max == nil &&
+				identObj(info, sl.X) == sc.stream {
+				if sc.needRebase {
+					// src = src[w:] after a varint: w must be the width
+					// result of binary.Uvarint.
+					if v := identObj(info, peelConversions(info, sl.Low)); v != nil && sc.widthVars[v] {
+						sc.rebaseTo(lhs)
+						return
+					}
+					sc.fail("varint width not resliced")
+					return
+				}
+				off, okOff := parseOffset(info, sl.Low)
+				if !okOff {
+					sc.fail("unparseable reslice offset")
+					return
+				}
+				if !off.equal(sc.exp) {
+					sc.fail("reslice past unread bytes")
+					return
+				}
+				sc.rebaseTo(lhs)
+				return
+			}
+			if rid := identObj(info, rhs); rid != nil && rid == sc.stream && sc.exp.isZero() {
+				sc.rebaseTo(lhs)
+				return
+			}
+		}
+	}
+	if len(st.Rhs) == 1 {
+		if call, ok := ast.Unparen(st.Rhs[0]).(*ast.CallExpr); ok {
+			// v, w := binary.Uvarint(src): a varint read whose byte width
+			// lands in w.
+			if len(st.Lhs) == 2 {
+				if name, _, okBin := binaryCall(info, call); okBin &&
+					(name == "Uvarint" || name == "Varint") && len(call.Args) == 1 {
+					off, okArg := sc.streamArg(call.Args[0])
+					if !okArg || !off.equal(sc.exp) {
+						sc.fail("varint read at unexpected offset")
+						return
+					}
+					sc.fields = append(sc.fields, Field{Kind: KVarint})
+					if v := identObj(info, st.Lhs[0]); v != nil {
+						sc.lens[v] = KVarint
+						sc.lenFieldIdx[v] = len(sc.fields) - 1
+					}
+					if w := identObj(info, st.Lhs[1]); w != nil {
+						sc.widthVars[w] = true
+					}
+					sc.needRebase = true
+					return
+				}
+			}
+			// Helper splice: v, rest, err := decodeHelper(src).
+			if sc.spliceCall(st, call) {
+				return
+			}
+		}
+	}
+	// Generic field reads, registering single-integer length variables.
+	var lenTarget types.Object
+	if len(st.Lhs) == 1 {
+		lenTarget = identObj(info, st.Lhs[0])
+	}
+	before := len(sc.fields)
+	handled := true
+	for _, rhs := range st.Rhs {
+		if !sc.applyReads(rhs, nil) {
+			handled = false
+			break
+		}
+	}
+	if handled {
+		if lenTarget != nil && len(sc.fields) == before+1 {
+			switch sc.fields[before].Kind {
+			case KU8, KU16, KU32, KU64:
+				sc.lens[lenTarget] = sc.fields[before].Kind
+				sc.lenFieldIdx[lenTarget] = before
+			}
+		}
+		return
+	}
+	if mentions(info, st, sc.stream) {
+		sc.fail("unrecognized stream assignment")
+	}
+}
+
+// spliceCall handles multi-result helper decoders:
+//
+//	key, src, err = readBytes(src)
+//	req, rest, err := decodeDigestReq(src)
+//
+// The helper's fields splice in and the stream rebases to the variable
+// holding the helper's rest result.
+func (sc *decScope) spliceCall(st *ast.AssignStmt, call *ast.CallExpr) bool {
+	info := sc.info()
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil || len(call.Args) == 0 {
+		return false
+	}
+	// The first argument must be the stream; check that first so a
+	// non-stream call falls through to the generic read path.
+	arg := ast.Unparen(call.Args[0])
+	var argOff offset
+	switch a := arg.(type) {
+	case *ast.Ident:
+		if identObj(info, arg) != sc.stream {
+			return false
+		}
+		argOff = zeroOffset()
+	case *ast.SliceExpr:
+		if identObj(info, a.X) != sc.stream || a.High != nil {
+			return false
+		}
+		off, ok := parseOffset(info, a.Low)
+		if !ok {
+			return false
+		}
+		argOff = off
+	default:
+		return false
+	}
+	sub := sc.ex.Layout(fn.FullName(), Decode)
+	if sub == nil {
+		return false
+	}
+	if !argOff.equal(sc.exp) {
+		sc.fail("helper consumes unread prefix")
+		return true
+	}
+	if sub.Opaque {
+		sc.fail("opaque helper: " + sub.OpaqueReason)
+		return true
+	}
+	sc.fields = append(sc.fields, sub.Fields...)
+	if sub.RestResult >= 0 && sub.RestResult < len(st.Lhs) && len(st.Lhs) == resultCount(fn) {
+		if rest := identObj(info, st.Lhs[sub.RestResult]); rest != nil {
+			sc.rebaseTo(rest)
+			return true
+		}
+	}
+	// Helper consumed the remainder (or its rest result is dropped):
+	// the stream position is no longer tracked.
+	sc.stream = nil
+	sc.exp = zeroOffset()
+	return true
+}
+
+func resultCount(fn *types.Func) int {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return 0
+	}
+	return sig.Results().Len()
+}
+
+// loop extracts a count-bounded repetition, fusing it with the integer
+// count field read just before it.
+func (sc *decScope) loop(stmt ast.Stmt, body *ast.BlockStmt, rangeX ast.Expr) {
+	if !mentions(sc.info(), stmt, sc.stream) {
+		return // computational loop, not part of the layout
+	}
+	if rangeX != nil && identObj(sc.info(), rangeX) == sc.stream {
+		sc.fail("unstructured byte loop")
+		return
+	}
+	if !sc.exp.isZero() {
+		sc.fail("loop over partially-read stream")
+		return
+	}
+	sub := &decScope{
+		ex: sc.ex, pkg: sc.pkg,
+		stream:      sc.stream,
+		exp:         zeroOffset(),
+		lens:        sc.lens,
+		lenFieldIdx: sc.lenFieldIdx,
+		widthVars:   sc.widthVars,
+		rest:        -1,
+	}
+	sub.run(body.List)
+	if sub.opaque != "" {
+		sc.fail("loop body: " + sub.opaque)
+		return
+	}
+	if len(sub.fields) == 0 {
+		return
+	}
+	if len(sc.fields) == 0 {
+		sc.fail("repeated fields without a count prefix")
+		return
+	}
+	last := sc.fields[len(sc.fields)-1]
+	switch last.Kind {
+	case KU8, KU16, KU32, KU64, KVarint:
+	default:
+		sc.fail("repeated fields without a count prefix")
+		return
+	}
+	sc.fields[len(sc.fields)-1] = Field{Kind: KList, Prefix: last.Kind, Elem: sub.fields}
+	// The loop consumed a variable amount; the body's final stream
+	// binding carries on at position zero.
+	sc.stream = sub.stream
+	sc.exp = zeroOffset()
+}
+
+// copyStmt handles copy(dst[:], stream) and copy(dst[:], stream[a:b])
+// fixed-array consumption. The dst array's size bounds the copy, so a
+// bounded source must cover at least that many bytes for the model to
+// know exactly n came off the stream.
+func (sc *decScope) copyStmt(call *ast.CallExpr) bool {
+	info := sc.info()
+	if !isBuiltin(info, call, "copy") || len(call.Args) != 2 {
+		return false
+	}
+	dst, src := ast.Unparen(call.Args[0]), ast.Unparen(call.Args[1])
+	sl, ok := dst.(*ast.SliceExpr)
+	if !ok || sl.Low != nil || sl.High != nil {
+		return false
+	}
+	n, ok := byteArrayLen(typeOf(info, sl.X))
+	if !ok {
+		return false
+	}
+	off, ok := sc.streamArg(src)
+	if !ok || !off.equal(sc.exp) {
+		return false
+	}
+	if ssl, isSlice := src.(*ast.SliceExpr); isSlice && ssl.High != nil {
+		high, okH := parseOffset(info, ssl.High)
+		if !okH {
+			return false
+		}
+		length := high.clone()
+		length.c -= off.c
+		for k, v := range off.vars {
+			length.vars[k] -= v
+		}
+		if length.nonZeroVars() != 0 || length.c < n {
+			return false
+		}
+	}
+	sc.fields = append(sc.fields, Field{Kind: KArray, Size: n})
+	sc.exp = sc.exp.addConst(n)
+	return true
+}
+
+func (sc *decScope) ret(st *ast.ReturnStmt) {
+	for i, res := range st.Results {
+		// A bare stream result is the unconsumed remainder.
+		if obj := identObj(sc.info(), res); obj != nil && obj == sc.stream {
+			if sc.exp.isZero() {
+				sc.rest = i
+				continue
+			}
+			sc.fail("stream returned mid-field")
+			return
+		}
+		idx := i
+		if !sc.applyReads(res, &idx) {
+			sc.fail("unrecognized stream return")
+			return
+		}
+	}
+	sc.done = true
+}
+
+// applyReads collects every stream read inside e (in offset order),
+// checks contiguity against the expected position and emits fields.
+// resultIdx, when non-nil, marks e as the resultIdx-th return result so
+// an unbounded remainder slice becomes the rest result instead of a
+// field. Returns false when e contains stream uses the read model
+// cannot represent.
+func (sc *decScope) applyReads(e ast.Expr, resultIdx *int) bool {
+	if sc.needRebase && mentions(sc.info(), e, sc.stream) {
+		return false
+	}
+	reads, ok := sc.collect(e, resultIdx)
+	if !ok {
+		return false
+	}
+	sort.SliceStable(reads, func(i, j int) bool {
+		a, b := reads[i].off, reads[j].off
+		if a.subsetOf(b) && !b.subsetOf(a) {
+			return true
+		}
+		if b.subsetOf(a) && !a.subsetOf(b) {
+			return false
+		}
+		return a.c < b.c
+	})
+	for _, r := range reads {
+		if r.openResult >= 0 {
+			if r.off.equal(sc.exp) {
+				sc.rest = r.openResult
+				continue
+			}
+			return false
+		}
+		// Re-reads of already-consumed bytes (validation re-checks) are
+		// fine; only genuinely new territory must be contiguous.
+		if r.width > 0 {
+			end := r.off.addConst(r.width)
+			if end.subsetOf(sc.exp) && end.c <= sc.exp.c && !r.off.equal(sc.exp) {
+				continue
+			}
+		}
+		if !r.off.equal(sc.exp) {
+			return false
+		}
+		if r.field.Kind == KBytes && r.lenVar != nil && len(sc.fields) > 0 &&
+			sc.lenFieldIdx[r.lenVar] == len(sc.fields)-1 {
+			// The length prefix read just before fuses with its blob:
+			// n := Uint32(src); ... src[4:4+n] → one bytes32 field.
+			sc.fields[len(sc.fields)-1] = r.field
+		} else {
+			sc.fields = append(sc.fields, r.field)
+		}
+		switch {
+		case r.field.Kind == KVarint:
+			sc.needRebase = true
+		case r.lenVar != nil:
+			sc.exp = sc.exp.addVar(r.lenVar)
+		default:
+			sc.exp = sc.exp.addConst(r.width)
+		}
+	}
+	return true
+}
+
+// collect gathers stream reads from an expression tree without
+// double-counting nested operands.
+func (sc *decScope) collect(e ast.Expr, resultIdx *int) ([]read, bool) {
+	info := sc.info()
+	var reads []read
+	bad := false
+	topLevel := ast.Unparen(e)
+
+	var walk func(x ast.Expr)
+	walk = func(x ast.Expr) {
+		if bad || x == nil {
+			return
+		}
+		x = ast.Unparen(x)
+		switch n := x.(type) {
+		case *ast.CallExpr:
+			if _, kind, ok := binaryCall(info, n); ok && len(n.Args) >= 1 {
+				if r, ok := sc.streamArg(n.Args[0]); ok {
+					if kind == KVarint {
+						reads = append(reads, read{off: r, field: Field{Kind: KVarint}, openResult: -1})
+					} else {
+						reads = append(reads, read{off: r, field: Field{Kind: kind}, width: kindBytes(kind), openResult: -1})
+					}
+					return
+				}
+			}
+			if isBuiltin(info, n, "len") || isBuiltin(info, n, "cap") {
+				return // length checks are not data reads
+			}
+			if isConversion(info, n) && len(n.Args) == 1 {
+				// string(p[10:10+ml]), int(p[9]), string(body), ...
+				arg := ast.Unparen(n.Args[0])
+				if id := identObj(info, arg); id != nil && id == sc.stream {
+					// Whole-stream conversion: the unprefixed tail.
+					reads = append(reads, read{off: zeroOffset(), field: Field{Kind: KTail}, openResult: -1})
+					return
+				}
+				walk(n.Args[0])
+				return
+			}
+			// Any other call taking the raw stream is beyond the model.
+			for _, a := range n.Args {
+				if id := identObj(info, ast.Unparen(a)); id != nil && id == sc.stream {
+					bad = true
+					return
+				}
+				walk(a)
+			}
+		case *ast.IndexExpr:
+			if identObj(info, n.X) == sc.stream {
+				off, ok := parseOffset(info, n.Index)
+				if !ok {
+					bad = true
+					return
+				}
+				reads = append(reads, read{off: off, field: Field{Kind: KU8}, width: 1, openResult: -1})
+				return
+			}
+			walk(n.X)
+			walk(n.Index)
+		case *ast.SliceExpr:
+			if identObj(info, n.X) == sc.stream {
+				r, ok := sc.sliceRead(n, resultIdx, topLevel)
+				if !ok {
+					bad = true
+					return
+				}
+				reads = append(reads, r)
+				return
+			}
+			walk(n.X)
+			walk(n.Low)
+			walk(n.High)
+		case *ast.Ident:
+			if identObj(info, n) == sc.stream {
+				bad = true // raw stream use in an unmodeled context
+			}
+		case *ast.BinaryExpr:
+			walk(n.X)
+			walk(n.Y)
+		case *ast.UnaryExpr:
+			walk(n.X)
+		case *ast.StarExpr:
+			walk(n.X)
+		case *ast.SelectorExpr:
+			walk(n.X)
+		case *ast.CompositeLit:
+			for _, el := range n.Elts {
+				if kv, ok := el.(*ast.KeyValueExpr); ok {
+					walk(kv.Value)
+				} else {
+					walk(el)
+				}
+			}
+		case *ast.KeyValueExpr:
+			walk(n.Value)
+		default:
+			if mentions(info, x, sc.stream) {
+				bad = true
+			}
+		}
+	}
+	walk(e)
+	return reads, !bad
+}
+
+// streamArg decodes a read argument over the stream — S, S[a:], S[a:b]
+// — returning the read offset.
+func (sc *decScope) streamArg(e ast.Expr) (offset, bool) {
+	info := sc.info()
+	e = ast.Unparen(e)
+	if id := identObj(info, e); id != nil && id == sc.stream {
+		return zeroOffset(), true
+	}
+	if sl, ok := e.(*ast.SliceExpr); ok && identObj(info, sl.X) == sc.stream {
+		return parseOffset(info, sl.Low)
+	}
+	return offset{}, false
+}
+
+// sliceRead classifies a bounded slice of the stream into a
+// bytes/array/rest read.
+func (sc *decScope) sliceRead(sl *ast.SliceExpr, resultIdx *int, topLevel ast.Expr) (read, bool) {
+	info := sc.info()
+	low, ok := parseOffset(info, sl.Low)
+	if !ok {
+		return read{}, false
+	}
+	if sl.High == nil {
+		// Unbounded remainder: only meaningful directly as a return
+		// result (the decoder handing back the rest).
+		if resultIdx != nil && topLevel == sl {
+			return read{off: low, openResult: *resultIdx}, true
+		}
+		return read{}, false
+	}
+	high, ok := parseOffset(info, sl.High)
+	if !ok {
+		return read{}, false
+	}
+	// Length = high − low.
+	length := high.clone()
+	length.c -= low.c
+	for k, v := range low.vars {
+		length.vars[k] -= v
+	}
+	switch {
+	case length.nonZeroVars() == 0 && length.c >= 0:
+		return read{off: low, field: Field{Kind: KArray, Size: length.c}, width: length.c, openResult: -1}, true
+	case length.nonZeroVars() == 1 && length.c == 0:
+		var lv types.Object
+		for k, v := range length.vars {
+			if v == 0 {
+				continue
+			}
+			if v != 1 {
+				return read{}, false
+			}
+			lv = k
+		}
+		kind, tracked := sc.lens[lv]
+		if !tracked {
+			return read{}, false
+		}
+		return read{off: low, field: Field{Kind: KBytes, Prefix: kind}, lenVar: lv, openResult: -1}, true
+	}
+	return read{}, false
+}

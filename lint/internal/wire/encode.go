@@ -1,0 +1,403 @@
+package wire
+
+import (
+	"go/ast"
+	"go/types"
+
+	"efdedup/lint/internal/load"
+)
+
+// extractEncode interprets a builder-style encoder: a function that
+// grows a []byte with append / binary.BigEndian.AppendUintN /
+// binary.AppendUvarint / helper splices, or fills a fixed make([]byte,
+// N) with sequential binary.PutUintN writes.
+func extractEncode(ex *Extractor, src *funcSrc) *Layout {
+	sc := &encScope{ex: ex, pkg: src.pkg}
+	sc.run(src.decl.Body.List)
+	sc.flushPending()
+	if sc.builder == nil && !sc.putMode && len(sc.fields) == 0 {
+		return nil // no byte-building found: not an encoder
+	}
+	return &Layout{
+		FuncID:       src.fn.FullName(),
+		Dir:          Encode,
+		Fields:       sc.fields,
+		Opaque:       sc.opaque != "",
+		OpaqueReason: sc.opaque,
+		RestResult:   -1,
+	}
+}
+
+// pendingInt is an integer write not yet committed: it may turn out to
+// be the length prefix of the blob appended next, or the count prefix
+// of the loop that follows.
+type pendingInt struct {
+	kind Kind
+	// lenOf is the canonical operand of len(...) when the written value
+	// is a blob length, "" otherwise.
+	lenOf string
+}
+
+type encScope struct {
+	ex      *Extractor
+	pkg     *load.Package
+	builder types.Object
+	fields  []Field
+	pending *pendingInt
+	opaque  string
+	done    bool
+
+	// putMode handles make([]byte, N) + sequential PutUintN writes.
+	putMode bool
+	putOff  int
+}
+
+func (sc *encScope) info() *types.Info { return sc.pkg.Info }
+
+func (sc *encScope) fail(reason string) {
+	if sc.opaque == "" {
+		sc.opaque = reason
+	}
+	sc.done = true
+}
+
+func (sc *encScope) flushPending() {
+	if sc.pending != nil {
+		sc.fields = append(sc.fields, Field{Kind: sc.pending.kind})
+		sc.pending = nil
+	}
+}
+
+func (sc *encScope) emit(f Field) {
+	sc.flushPending()
+	sc.fields = append(sc.fields, f)
+}
+
+func (sc *encScope) run(stmts []ast.Stmt) {
+	for _, s := range stmts {
+		if sc.done {
+			return
+		}
+		sc.stmt(s)
+	}
+}
+
+func (sc *encScope) stmt(s ast.Stmt) {
+	switch st := s.(type) {
+	case *ast.AssignStmt:
+		sc.assign(st)
+	case *ast.ReturnStmt:
+		sc.ret(st)
+	case *ast.IfStmt:
+		// Validation guards (and any other branch) that never touch the
+		// builder are not part of the wire format.
+		if !mentions(sc.info(), st, sc.builder) {
+			return
+		}
+		sc.fail("conditional layout")
+	case *ast.ForStmt:
+		sc.loop(st, st.Body)
+	case *ast.RangeStmt:
+		sc.loop(st, st.Body)
+	case *ast.ExprStmt:
+		if call, ok := ast.Unparen(st.X).(*ast.CallExpr); ok && sc.putMode {
+			if sc.putCall(call) {
+				return
+			}
+		}
+		if mentions(sc.info(), st, sc.builder) {
+			sc.fail("unrecognized builder use")
+		}
+	default:
+		if mentions(sc.info(), s, sc.builder) {
+			sc.fail("unrecognized statement")
+		}
+	}
+}
+
+func (sc *encScope) assign(st *ast.AssignStmt) {
+	if len(st.Lhs) == 1 && len(st.Rhs) == 1 {
+		lhs := identObj(sc.info(), st.Lhs[0])
+		rhs := ast.Unparen(st.Rhs[0])
+		if call, ok := rhs.(*ast.CallExpr); ok {
+			// make([]byte, 0, cap) starts an append builder;
+			// make([]byte, N) starts a PutUintN builder.
+			if isBuiltin(sc.info(), call, "make") && len(call.Args) >= 2 && lhs != nil &&
+				sc.builder == nil && isByteSlice(lhs.Type()) {
+				if n, ok := intConst(sc.info(), call.Args[1]); ok && n == 0 {
+					sc.builder = lhs
+					return
+				}
+				if len(call.Args) == 2 {
+					sc.builder = lhs
+					sc.putMode = true
+					return
+				}
+			}
+			if sc.builderOp(lhs, call) {
+				return
+			}
+		}
+	}
+	if mentions(sc.info(), st, sc.builder) {
+		sc.fail("unrecognized builder assignment")
+	}
+}
+
+// builderOp interprets builder = <op>(builder, ...) chains. Returns
+// false when the call is not a recognized builder operation.
+func (sc *encScope) builderOp(lhs types.Object, call *ast.CallExpr) bool {
+	root, ok := sc.evalChain(call)
+	if !ok {
+		return false
+	}
+	if sc.done {
+		return true
+	}
+	// Establish or check the builder identity.
+	switch {
+	case sc.builder == nil:
+		if lhs == nil {
+			sc.fail("builder result discarded")
+			return true
+		}
+		if root != nil && root != lhs {
+			sc.fail("builder root/assignee mismatch")
+			return true
+		}
+		sc.builder = lhs
+	case lhs != sc.builder || (root != nil && root != sc.builder):
+		sc.fail("second byte builder")
+	}
+	return true
+}
+
+// evalChain evaluates a (possibly nested) builder call, emitting its
+// fields, and returns the root object the chain started from (nil for
+// literal-nil roots). ok=false means the expression is not a builder
+// operation at all.
+func (sc *encScope) evalChain(e ast.Expr) (types.Object, bool) {
+	e = ast.Unparen(e)
+	if id, ok := e.(*ast.Ident); ok {
+		if id.Name == "nil" {
+			return nil, true
+		}
+		return identObj(sc.info(), e), true
+	}
+	call, ok := e.(*ast.CallExpr)
+	if !ok || len(call.Args) == 0 {
+		return nil, false
+	}
+	info := sc.info()
+	switch {
+	case isBuiltin(info, call, "append"):
+		root, ok := sc.evalChain(call.Args[0])
+		if !ok {
+			return nil, false
+		}
+		sc.appendArgs(call)
+		return root, true
+	default:
+		name, kind, isBin := binaryCall(info, call)
+		if isBin && len(call.Args) == 2 {
+			switch name {
+			case "AppendUint16", "AppendUint32", "AppendUint64", "AppendUvarint", "AppendVarint":
+				root, ok := sc.evalChain(call.Args[0])
+				if !ok {
+					return nil, false
+				}
+				sc.intWrite(kind, call.Args[1])
+				return root, true
+			}
+		}
+		// Helper splice: a loaded function taking the builder first and
+		// returning the grown slice (appendBytes), or a sibling encoder
+		// producing a fresh prefix (encodePullReq → encodeDigestReq).
+		fn := calleeFunc(info, call)
+		if fn == nil {
+			return nil, false
+		}
+		sub := sc.ex.Layout(fn.FullName(), Encode)
+		if sub == nil {
+			return nil, false
+		}
+		sc.splice(sub)
+		// Only a dst-style helper (first parameter []byte) continues the
+		// caller's builder chain; other helpers start a fresh slice.
+		sig, _ := fn.Type().(*types.Signature)
+		if sig != nil && sig.Params().Len() > 0 && isByteSlice(sig.Params().At(0).Type()) {
+			root, ok := sc.evalChain(call.Args[0])
+			if !ok {
+				sc.fail("unrecognized helper builder argument")
+				return nil, true
+			}
+			return root, true
+		}
+		return nil, true
+	}
+}
+
+// splice inlines a helper's extracted fields.
+func (sc *encScope) splice(sub *Layout) {
+	sc.flushPending()
+	sc.fields = append(sc.fields, sub.Fields...)
+	if sub.Opaque {
+		sc.fail("opaque helper: " + sub.OpaqueReason)
+	}
+}
+
+// intWrite handles one fixed-width (or varint) integer write.
+func (sc *encScope) intWrite(kind Kind, arg ast.Expr) {
+	sc.flushPending()
+	p := &pendingInt{kind: kind}
+	if op, ok := lenOperand(sc.info(), arg); ok {
+		p.lenOf = canon(op)
+	}
+	sc.pending = p
+}
+
+// appendArgs interprets the value arguments of append(builder, ...).
+func (sc *encScope) appendArgs(call *ast.CallExpr) {
+	info := sc.info()
+	args := call.Args[1:]
+	if call.Ellipsis.IsValid() {
+		// append(b, data...): a blob. With a matching pending length
+		// prefix it is length-prefixed bytes; a fixed-size array slice
+		// is a fixed field; anything else is the unprefixed tail.
+		if len(args) != 1 {
+			sc.fail("unrecognized variadic append")
+			return
+		}
+		data := ast.Unparen(args[0])
+		if sl, ok := data.(*ast.SliceExpr); ok && sl.Low == nil && sl.High == nil {
+			if n, isArr := byteArrayLen(typeOf(info, sl.X)); isArr {
+				sc.emit(Field{Kind: KArray, Size: n})
+				return
+			}
+		}
+		if sc.pending != nil && sc.pending.lenOf != "" && sc.pending.lenOf == canonData(info, data) {
+			k := sc.pending.kind
+			sc.pending = nil
+			sc.fields = append(sc.fields, Field{Kind: KBytes, Prefix: k})
+			return
+		}
+		sc.emit(Field{Kind: KTail})
+		return
+	}
+	// Byte-at-a-time appends.
+	for _, a := range args {
+		if op, ok := lenOperand(info, a); ok {
+			sc.flushPending()
+			sc.pending = &pendingInt{kind: KU8, lenOf: canon(op)}
+			continue
+		}
+		sc.emit(Field{Kind: KU8})
+	}
+}
+
+// canonData canonicalizes a blob operand, looking through []byte(x)
+// style conversions so `append(out, []byte(m)...)` matches the
+// `uint32(len(m))` prefix written before it.
+func canonData(info *types.Info, e ast.Expr) string {
+	return canon(peelConversions(info, e))
+}
+
+// loop extracts a repeated element and folds it into the pending count
+// prefix.
+func (sc *encScope) loop(stmt ast.Stmt, body *ast.BlockStmt) {
+	if !mentions(sc.info(), stmt, sc.builder) {
+		return // computational loop, not part of the layout
+	}
+	sub := &encScope{ex: sc.ex, pkg: sc.pkg, builder: sc.builder}
+	sub.run(body.List)
+	sub.flushPending()
+	if sub.opaque != "" {
+		sc.fail("loop body: " + sub.opaque)
+		return
+	}
+	if len(sub.fields) == 0 {
+		return
+	}
+	if sc.pending == nil {
+		sc.fail("repeated fields without a count prefix")
+		return
+	}
+	k := sc.pending.kind
+	sc.pending = nil
+	sc.fields = append(sc.fields, Field{Kind: KList, Prefix: k, Elem: sub.fields})
+}
+
+// putCall interprets binary.BigEndian.PutUintN(builder[off:...], v)
+// writes against a make([]byte, N) builder.
+func (sc *encScope) putCall(call *ast.CallExpr) bool {
+	info := sc.info()
+	name, kind, ok := binaryCall(info, call)
+	if !ok || len(call.Args) != 2 {
+		return false
+	}
+	switch name {
+	case "PutUint16", "PutUint32", "PutUint64":
+	default:
+		return false
+	}
+	dst := ast.Unparen(call.Args[0])
+	off := 0
+	switch d := dst.(type) {
+	case *ast.Ident:
+		if identObj(info, d) != sc.builder {
+			return false
+		}
+	case *ast.SliceExpr:
+		if identObj(info, d.X) != sc.builder {
+			return false
+		}
+		if d.Low != nil {
+			n, isConst := intConst(info, d.Low)
+			if !isConst {
+				sc.fail("non-constant PutUint offset")
+				return true
+			}
+			off = int(n)
+		}
+	default:
+		return false
+	}
+	if off != sc.putOff {
+		sc.fail("non-sequential PutUint offsets")
+		return true
+	}
+	sc.emit(Field{Kind: kind})
+	sc.putOff += kindBytes(kind)
+	return true
+}
+
+func (sc *encScope) ret(st *ast.ReturnStmt) {
+	for _, res := range st.Results {
+		res = ast.Unparen(res)
+		if obj := identObj(sc.info(), res); obj != nil && obj == sc.builder {
+			continue
+		}
+		if call, ok := res.(*ast.CallExpr); ok {
+			if root, handled := sc.evalChain(call); handled {
+				if sc.builder != nil && root != nil && root != sc.builder {
+					sc.fail("returned a different builder")
+					return
+				}
+				continue
+			}
+		}
+		if mentions(sc.info(), res, sc.builder) {
+			sc.fail("unrecognized builder return")
+			return
+		}
+	}
+	sc.flushPending()
+	sc.done = true
+}
+
+func typeOf(info *types.Info, e ast.Expr) types.Type {
+	if tv, ok := info.Types[e]; ok {
+		return tv.Type
+	}
+	return nil
+}

@@ -1,0 +1,279 @@
+package wire
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+
+	"efdedup/lint/internal/load"
+)
+
+// Extractor lowers codec function bodies into abstract layouts, with
+// memoization so helper splices (encodeEntry calling appendBytes,
+// decodeScan calling decodeEntry) are extracted once.
+type Extractor struct {
+	funcs   map[string]*funcSrc
+	layouts map[extractKey]*Layout
+	inwork  map[extractKey]bool
+}
+
+type funcSrc struct {
+	decl *ast.FuncDecl
+	pkg  *load.Package
+	fn   *types.Func
+}
+
+type extractKey struct {
+	fid string
+	dir Dir
+}
+
+// NewExtractor indexes every declared function in pkgs for extraction
+// and helper-splice resolution.
+func NewExtractor(pkgs []*load.Package) *Extractor {
+	ex := &Extractor{
+		funcs:   make(map[string]*funcSrc),
+		layouts: make(map[extractKey]*Layout),
+		inwork:  make(map[extractKey]bool),
+	}
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				fid := obj.FullName()
+				if _, dup := ex.funcs[fid]; !dup {
+					ex.funcs[fid] = &funcSrc{decl: fd, pkg: pkg, fn: obj}
+				}
+			}
+		}
+	}
+	return ex
+}
+
+// Layout extracts (or returns the memoized) layout of the function with
+// the given FuncID in the given direction. Returns nil when the
+// function is unknown or structurally not a codec (no builder found, no
+// []byte input).
+func (ex *Extractor) Layout(fid string, dir Dir) *Layout {
+	key := extractKey{fid, dir}
+	if l, ok := ex.layouts[key]; ok {
+		return l
+	}
+	src, ok := ex.funcs[fid]
+	if !ok || ex.inwork[key] {
+		return nil
+	}
+	ex.inwork[key] = true
+	var l *Layout
+	if dir == Encode {
+		l = extractEncode(ex, src)
+	} else {
+		l = extractDecode(ex, src)
+	}
+	delete(ex.inwork, key)
+	ex.layouts[key] = l
+	return l
+}
+
+// ---------------------------------------------------------------------
+// Shared expression helpers
+// ---------------------------------------------------------------------
+
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			fn, _ := sel.Obj().(*types.Func)
+			return fn
+		}
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+func isBuiltin(info *types.Info, call *ast.CallExpr, name string) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, ok = info.Uses[id].(*types.Builtin)
+	return ok
+}
+
+// isConversion reports whether the call is a type conversion.
+func isConversion(info *types.Info, call *ast.CallExpr) bool {
+	tv, ok := info.Types[call.Fun]
+	return ok && tv.IsType()
+}
+
+// binaryWidth maps an encoding/binary function name to a fixed-width
+// kind; varints map to KVarint.
+func binaryWidth(name string) (Kind, bool) {
+	switch name {
+	case "Uint16", "AppendUint16", "PutUint16":
+		return KU16, true
+	case "Uint32", "AppendUint32", "PutUint32":
+		return KU32, true
+	case "Uint64", "AppendUint64", "PutUint64":
+		return KU64, true
+	case "Uvarint", "AppendUvarint", "PutUvarint", "Varint", "AppendVarint", "PutVarint":
+		return KVarint, true
+	}
+	return KInvalid, false
+}
+
+// binaryCall classifies calls into the encoding/binary package (either
+// package functions or ByteOrder methods on binary.BigEndian /
+// binary.LittleEndian).
+func binaryCall(info *types.Info, call *ast.CallExpr) (name string, kind Kind, ok bool) {
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "encoding/binary" {
+		return "", KInvalid, false
+	}
+	k, ok := binaryWidth(fn.Name())
+	if !ok {
+		return "", KInvalid, false
+	}
+	return fn.Name(), k, true
+}
+
+func kindBytes(k Kind) int {
+	switch k {
+	case KU8:
+		return 1
+	case KU16:
+		return 2
+	case KU32:
+		return 4
+	case KU64:
+		return 8
+	}
+	return 0
+}
+
+func intConst(info *types.Info, e ast.Expr) (int64, bool) {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.Int {
+		return 0, false
+	}
+	return constant.Int64Val(tv.Value)
+}
+
+func isByteSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Uint8)
+}
+
+func byteArrayLen(t types.Type) (int, bool) {
+	a, ok := t.Underlying().(*types.Array)
+	if !ok {
+		return 0, false
+	}
+	b, ok := a.Elem().Underlying().(*types.Basic)
+	if !ok || (b.Kind() != types.Byte && b.Kind() != types.Uint8) {
+		return 0, false
+	}
+	return int(a.Len()), true
+}
+
+func identObj(info *types.Info, e ast.Expr) types.Object {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if o := info.Defs[id]; o != nil {
+		return o
+	}
+	return info.Uses[id]
+}
+
+// mentions reports whether node references obj.
+func mentions(info *types.Info, node ast.Node, obj types.Object) bool {
+	if obj == nil || node == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(node, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok {
+			if info.Uses[id] == obj || info.Defs[id] == obj {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// peelConversions strips nested type conversions: int(uint32(x)) → x.
+func peelConversions(info *types.Info, e ast.Expr) ast.Expr {
+	for {
+		e = ast.Unparen(e)
+		call, ok := e.(*ast.CallExpr)
+		if !ok || len(call.Args) != 1 || !isConversion(info, call) {
+			return e
+		}
+		e = call.Args[0]
+	}
+}
+
+// lenOperand decodes (a conversion of) len(E), returning E.
+func lenOperand(info *types.Info, e ast.Expr) (ast.Expr, bool) {
+	e = peelConversions(info, e)
+	call, ok := e.(*ast.CallExpr)
+	if !ok || len(call.Args) != 1 || !isBuiltin(info, call, "len") {
+		return nil, false
+	}
+	return call.Args[0], true
+}
+
+// canon is the canonical spelling of an expression, used to match a
+// length-prefix write with the blob append that follows it.
+func canon(e ast.Expr) string { return types.ExprString(ast.Unparen(e)) }
+
+// allReturns reports whether every statement in the block is a return —
+// the shape of a validation guard body.
+func allReturns(body *ast.BlockStmt) bool {
+	if body == nil || len(body.List) == 0 {
+		return false
+	}
+	for _, s := range body.List {
+		if _, ok := s.(*ast.ReturnStmt); !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// firstByteSliceParam returns the object of the first []byte parameter.
+func firstByteSliceParam(info *types.Info, fd *ast.FuncDecl) types.Object {
+	if fd.Type.Params == nil {
+		return nil
+	}
+	for _, field := range fd.Type.Params.List {
+		for _, name := range field.Names {
+			obj := info.Defs[name]
+			if obj != nil && isByteSlice(obj.Type()) {
+				return obj
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,232 @@
+// Package wire extracts symbolic wire layouts from the module's
+// hand-rolled codec functions and indexes the RPC surface (method
+// registrations and call sites). It is the substrate of the
+// protocol-conformance analyzers (rpcpair, codecpair, lenguard,
+// wirelock): the store's collaborative index only works if every edge
+// agent, KV node and the cloud store agree byte-for-byte on the frame
+// format, and nothing in the type system checks that — encode and
+// decode are two independent pieces of straight-line byte shuffling.
+//
+// The extractor walks encode/decode function bodies as a small abstract
+// interpreter and lowers the sequence of fixed-width writes
+// (binary.BigEndian.AppendUint32/PutUint64/...), varints,
+// length-prefixed blobs and count-prefixed lists into an abstract
+// field-layout per function. Extraction is best-effort by design: the
+// first construct the interpreter does not recognize marks the layout
+// opaque from that point, and consumers compare only the trusted
+// prefix — an unrecognized codec produces silence, never a false
+// mismatch.
+package wire
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Kind classifies one abstract wire field.
+type Kind int
+
+const (
+	// KInvalid is the zero Kind; no extracted field carries it.
+	KInvalid Kind = iota
+	// KU8..KU64 are big-endian fixed-width unsigned integers.
+	KU8
+	KU16
+	KU32
+	KU64
+	// KVarint is an unsigned LEB128 varint (binary.AppendUvarint).
+	KVarint
+	// KBytes is a length-prefixed blob; Field.Prefix holds the width of
+	// the length prefix.
+	KBytes
+	// KArray is a fixed-size byte array (Field.Size bytes), e.g. a
+	// 32-byte content hash.
+	KArray
+	// KList is a count-prefixed repetition of Field.Elem; Field.Prefix
+	// holds the width of the count prefix.
+	KList
+	// KTail is the unprefixed remainder of the payload.
+	KTail
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KU8:
+		return "u8"
+	case KU16:
+		return "u16"
+	case KU32:
+		return "u32"
+	case KU64:
+		return "u64"
+	case KVarint:
+		return "varint"
+	case KBytes:
+		return "bytes"
+	case KArray:
+		return "array"
+	case KList:
+		return "list"
+	case KTail:
+		return "tail"
+	}
+	return "invalid"
+}
+
+// prefixDigits renders the width of a bytes/list prefix for layout
+// strings: bytes8/bytes16/bytes32/bytes64 or bytesv (varint).
+func prefixDigits(k Kind) string {
+	switch k {
+	case KU8:
+		return "8"
+	case KU16:
+		return "16"
+	case KU32:
+		return "32"
+	case KU64:
+		return "64"
+	case KVarint:
+		return "v"
+	}
+	return "?"
+}
+
+// Field is one abstract wire field.
+type Field struct {
+	Kind Kind
+	// Prefix is the width of the length/count prefix (KBytes, KList).
+	Prefix Kind
+	// Size is the byte size of a KArray field.
+	Size int
+	// Elem is the element layout of a KList field.
+	Elem []Field
+}
+
+// String renders the canonical single-token form used in layout strings
+// and in wire.lock: u8 u16 u32 u64 varint bytes32 array16 tail
+// list32<u64 | bytes32>.
+func (f Field) String() string {
+	switch f.Kind {
+	case KBytes:
+		return "bytes" + prefixDigits(f.Prefix)
+	case KArray:
+		return fmt.Sprintf("array%d", f.Size)
+	case KList:
+		elems := make([]string, len(f.Elem))
+		for i, e := range f.Elem {
+			elems[i] = e.String()
+		}
+		return "list" + prefixDigits(f.Prefix) + "<" + strings.Join(elems, " | ") + ">"
+	}
+	return f.Kind.String()
+}
+
+// Equal reports structural equality (order, width, prefix kind, element
+// layout).
+func (f Field) Equal(g Field) bool {
+	if f.Kind != g.Kind || f.Prefix != g.Prefix || f.Size != g.Size || len(f.Elem) != len(g.Elem) {
+		return false
+	}
+	for i := range f.Elem {
+		if !f.Elem[i].Equal(g.Elem[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Dir distinguishes the two interpreter modes.
+type Dir int
+
+const (
+	// Encode layouts come from functions that build a []byte.
+	Encode Dir = iota
+	// Decode layouts come from functions that consume a []byte.
+	Decode
+)
+
+func (d Dir) String() string {
+	if d == Encode {
+		return "encode"
+	}
+	return "decode"
+}
+
+// Layout is the extracted abstract layout of one codec function.
+type Layout struct {
+	// FuncID is the stable cross-package key (types.Func.FullName).
+	FuncID string
+	Dir    Dir
+	// Fields is the trusted extracted prefix of the wire format.
+	Fields []Field
+	// Opaque marks extraction that stopped before the end of the
+	// function: Fields is a prefix, and everything after it is unknown.
+	Opaque bool
+	// OpaqueReason says what stopped extraction (diagnostics only).
+	OpaqueReason string
+	// RestResult is the index of the decode function's result that
+	// returns the unconsumed remainder of the input for the caller to
+	// keep parsing (-1 when the function consumes the whole payload).
+	// A rest result matches either a trailing KTail on the encode side
+	// (the remainder is a payload field) or nothing (the decoder is a
+	// splice helper).
+	RestResult int
+}
+
+// String renders the layout: "u32 | list32<bytes32> | tail", with a
+// trailing "?" marking an opaque suffix and "; rest" marking a
+// rest-returning decoder.
+func (l *Layout) String() string {
+	parts := make([]string, 0, len(l.Fields)+1)
+	for _, f := range l.Fields {
+		parts = append(parts, f.String())
+	}
+	if l.Opaque {
+		parts = append(parts, "?")
+	}
+	s := strings.Join(parts, " | ")
+	if s == "" {
+		s = "empty"
+	}
+	if l.RestResult >= 0 {
+		s += " ; rest"
+	}
+	return s
+}
+
+// Compare checks two layouts of one encode/decode pair field-for-field
+// over the prefix both sides extracted. It returns a human-readable
+// description of the first disagreement, or "" when the layouts are
+// consistent. A decoder's rest result absorbs a trailing KTail on the
+// encode side (the encoder's unprefixed remainder is exactly what the
+// decoder hands back).
+func Compare(enc, dec *Layout) string {
+	ef, df := enc.Fields, dec.Fields
+	// A trailing encode-side tail pairs with the decoder returning the
+	// remainder instead of materializing a field.
+	if dec.RestResult >= 0 && len(ef) == len(df)+1 && ef[len(ef)-1].Kind == KTail {
+		ef = ef[:len(ef)-1]
+	}
+	n := min(len(ef), len(df))
+	for i := 0; i < n; i++ {
+		if !ef[i].Equal(df[i]) {
+			return fmt.Sprintf("field %d: encoder writes %s, decoder reads %s", i+1, ef[i], df[i])
+		}
+	}
+	// Length disagreement only counts when the shorter side is fully
+	// extracted — an opaque suffix can hide any number of fields.
+	if len(ef) > n && !dec.Opaque {
+		return fmt.Sprintf("encoder writes %d field(s) the decoder never reads (first extra: %s)", len(ef)-n, ef[n])
+	}
+	if len(df) > n && !enc.Opaque {
+		return fmt.Sprintf("decoder reads %d field(s) the encoder never writes (first extra: %s)", len(df)-n, df[n])
+	}
+	return ""
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,66 @@
+package wire
+
+import (
+	"go/token"
+	"sort"
+	"testing"
+
+	"efdedup/lint/internal/load"
+)
+
+// TestProductionLayouts extracts the real module's codecs and pins the
+// layouts the lockfile will carry. A failure here means either a wire
+// format change (update the expectations and `make wire-lock`) or an
+// extractor regression.
+func TestProductionLayouts(t *testing.T) {
+	fset := token.NewFileSet()
+	pkgs, err := load.Load(fset, "../../..", []string{"efdedup/..."})
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	ix := BuildIndex(fset, pkgs)
+
+	want := map[string]string{
+		LayoutKey(Encode, "efdedup/internal/kvstore.appendBytes"):   "bytes32",
+		LayoutKey(Decode, "efdedup/internal/kvstore.readBytes"):     "bytes32 ; rest",
+		LayoutKey(Encode, "efdedup/internal/kvstore.encodeEntry"):   "bytes32 | u64 | bytes32",
+		LayoutKey(Decode, "efdedup/internal/kvstore.decodeEntry"):   "bytes32 | u64 | bytes32 ; rest",
+		LayoutKey(Encode, "efdedup/internal/kvstore.encodeKeyList"): "list32<bytes32>",
+		LayoutKey(Decode, "efdedup/internal/kvstore.decodeKeyList"): "list32<bytes32>",
+		LayoutKey(Decode, "efdedup/internal/kvstore.readBytesList"): "list32<bytes32> ; rest",
+		LayoutKey(Encode, "efdedup/internal/transport.encodeRequest"): "u8 | u64 | bytes8 | tail",
+		LayoutKey(Decode, "efdedup/internal/transport.decodeRequest"): "u8 | u64 | bytes8 ; rest",
+	}
+	got := make(map[string]string)
+	for fid, l := range ix.Encodes {
+		got[LayoutKey(Encode, fid)] = l.String()
+	}
+	for fid, l := range ix.Decodes {
+		got[LayoutKey(Decode, fid)] = l.String()
+	}
+	for k, w := range want {
+		if g, ok := got[k]; !ok {
+			t.Errorf("%s: not extracted", k)
+		} else if g != w {
+			t.Errorf("%s = %q, want %q", k, g, w)
+		}
+	}
+
+	methods := ix.Methods()
+	if len(methods) < 22 {
+		t.Errorf("only %d RPC methods indexed: %v", len(methods), methods)
+	}
+
+	// Dump the full surface when verbose, for lockfile review.
+	if testing.Verbose() {
+		keys := make([]string, 0, len(got))
+		for k := range got {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			t.Logf("%s = %s", k, got[k])
+		}
+		t.Logf("methods: %v", methods)
+	}
+}
