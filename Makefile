@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race race-core bench bench-agent bench-restore bench-compare bench-compare-restore figures figures-quick vet cover lint wire-lock wire-lock-check fuzz-short chaos ci clean
+.PHONY: all build test race race-core bench bench-agent bench-ingest bench-restore bench-compare bench-compare-ingest bench-compare-restore figures figures-quick vet cover lint wire-lock wire-lock-check fuzz-short chaos ci clean
 
 all: build test
 
@@ -66,6 +66,7 @@ wire-lock-check:
 fuzz-short:
 	$(GO) test ./internal/chunk -fuzz FuzzGearRoundTrip -fuzztime 10s
 	$(GO) test ./internal/chunk -fuzz FuzzFixedRoundTrip -fuzztime 10s
+	$(GO) test ./internal/chunk -fuzz FuzzGearVectorizedEquivalence -fuzztime 10s
 	$(GO) test ./internal/kvstore -fuzz 'FuzzWALReplay$$' -fuzztime 10s
 	$(GO) test ./internal/kvstore -fuzz FuzzWALReplayRawBytes -fuzztime 10s
 	$(GO) test ./internal/kvstore -fuzz 'FuzzKVCodecs$$' -fuzztime 10s
@@ -90,6 +91,11 @@ bench:
 bench-agent:
 	$(GO) test -run '^$$' -bench '^BenchmarkAgentProcessStream$$' -benchtime=1x -cpu 1,4,8 ./internal/agent
 
+# One-iteration smoke of the shared-scheduler multi-stream benchmark
+# (also in CI): all three fan-outs, single GOMAXPROCS point.
+bench-ingest:
+	$(GO) test -run '^$$' -bench '^BenchmarkAgentConcurrentStreams$$' -benchtime=1x -cpu 1 ./internal/agent
+
 # One-iteration smoke of the container restore benchmarks (also in CI):
 # container pipeline vs serial chunk-by-chunk baseline over a
 # latency-shaped link.
@@ -107,6 +113,15 @@ bench-compare:
 # Measure container vs serial restore throughput and compare against
 # BENCH_restore.json (same -update and -max-regress conventions as
 # bench-compare).
+# Same comparison for the multi-stream ingest benchmark against
+# BENCH_ingest.json (same -update flow as bench-compare).
+# Single GOMAXPROCS point: on the 1-physical-core CI container the
+# -cpu 4/8 rows only oversubscribe that core and swing ±30% run to run,
+# which would make the regression gate pure noise.
+bench-compare-ingest:
+	$(GO) run ./tools/benchcompare -bench BenchmarkAgentConcurrentStreams \
+		-baseline BENCH_ingest.json -cpu 1 -benchtime 5x -max-regress $(MAX_REGRESS)
+
 bench-compare-restore:
 	$(GO) run ./tools/benchcompare -bench 'BenchmarkCloudRestore|BenchmarkCloudRestoreSerial' \
 		-pkg ./internal/cloudstore -cpu 1,4 -baseline BENCH_restore.json \

@@ -24,6 +24,7 @@ import (
 	"log"
 	"os"
 	"strings"
+	"sync"
 	"time"
 
 	"efdedup/internal/agent"
@@ -63,8 +64,10 @@ func run() error {
 		chunkSize      = flag.Int("chunk-size", chunk.DefaultFixedSize, "fixed chunk size in bytes")
 		cdc            = flag.Bool("cdc", false, "use content-defined (gear) chunking instead of fixed")
 		rf             = flag.Int("rf", 2, "index replication factor γ (ring mode)")
-		hashWorkers    = flag.Int("hash-workers", 0, "concurrent SHA-256 workers (0 = GOMAXPROCS, capped at physical cores)")
-		lookupInflight = flag.Int("lookup-inflight", 0, "overlapped index-lookup batches (0 = default)")
+		hashWorkers    = flag.Int("hash-workers", 0, "concurrent SHA-256 workers shared by all streams (0 = GOMAXPROCS, capped at physical cores)")
+		lookupInflight = flag.Int("lookup-inflight", 0, "overlapped index-lookup batches shared by all streams (0 = default)")
+		maxStreams     = flag.Int("max-streams", 0, "concurrent streams admitted into the agent; extra files queue (0 = default, negative = unlimited)")
+		arenaBudget    = flag.Int64("arena-budget", 0, "chunk payload bytes admitted across all streams (0 = default 256 MiB, negative = unlimited)")
 		repairEvery    = flag.Duration("repair-interval", 0, "background anti-entropy repair period for the ring index (0 disables; ring mode)")
 		timeout        = flag.Duration("timeout", 10*time.Minute, "overall processing deadline")
 		metricsAddr    = flag.String("metrics-addr", "", "serve /metrics and /debug/pprof/ on this address (empty disables)")
@@ -110,6 +113,7 @@ func run() error {
 	cfg := agent.Config{
 		Name: *name, Mode: mode, Chunker: chunker, Cloud: cloud,
 		HashWorkers: *hashWorkers, LookupInflight: *lookupInflight,
+		MaxStreams: *maxStreams, ArenaBudgetBytes: *arenaBudget,
 	}
 	if mode == agent.ModeRing {
 		members := strings.Split(*ringList, ",")
@@ -134,19 +138,39 @@ func run() error {
 		return err
 	}
 
+	// Files fan out concurrently; the agent's MaxStreams gate queues the
+	// overflow, so the launch loop needs no pacing of its own.
+	var (
+		wg       sync.WaitGroup
+		errMu    sync.Mutex
+		firstErr error
+	)
 	for _, path := range flag.Args() {
-		f, err := os.Open(path)
-		if err != nil {
-			return err
-		}
-		rep, err := a.ProcessStream(ctx, path, f)
-		f.Close()
-		if err != nil {
-			return fmt.Errorf("process %s: %w", path, err)
-		}
-		log.Printf("%s: %d bytes, %d chunks, %d dup, %d uploaded (%d bytes), ratio %.2f, %.1f MB/s",
-			path, rep.InputBytes, rep.InputChunks, rep.DuplicateChunks,
-			rep.UploadedChunks, rep.UploadedBytes, rep.DedupRatio(), rep.Throughput()/1e6)
+		wg.Add(1)
+		go func(path string) {
+			defer wg.Done()
+			f, err := os.Open(path)
+			if err == nil {
+				var rep agent.Report
+				rep, err = a.ProcessStream(ctx, path, f)
+				f.Close()
+				if err == nil {
+					log.Printf("%s: %d bytes, %d chunks, %d dup, %d uploaded (%d bytes), ratio %.2f, %.1f MB/s",
+						path, rep.InputBytes, rep.InputChunks, rep.DuplicateChunks,
+						rep.UploadedChunks, rep.UploadedBytes, rep.DedupRatio(), rep.Throughput()/1e6)
+					return
+				}
+			}
+			errMu.Lock()
+			if firstErr == nil {
+				firstErr = fmt.Errorf("process %s: %w", path, err)
+			}
+			errMu.Unlock()
+		}(path)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return firstErr
 	}
 	tot := a.Totals()
 	log.Printf("total: %d bytes in, %d uploaded, overall ratio %.2f",

@@ -15,13 +15,13 @@
 package agent
 
 import (
-	"bytes"
 	"context"
 	"errors"
 	"fmt"
 	"io"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"efdedup/internal/chunk"
@@ -73,6 +73,19 @@ const (
 // risk (delivery stays ordered regardless; see pipeline.go).
 const DefaultLookupInflight = 4
 
+// DefaultMaxStreams is the default cap on concurrent ProcessStream
+// calls per agent; calls beyond it queue FIFO at admission. An edge
+// node fronts many clients, but each admitted stream pins pipeline
+// channels and a collector/router/uploader trio, so admission — not
+// goroutine count — is the knob that bounds per-node footprint.
+const DefaultMaxStreams = 64
+
+// DefaultArenaBudget is the default agent-wide cap on chunk payload
+// bytes resident in pipelines (see Config.ArenaBudgetBytes): enough to
+// keep every default-sized pool busy, small enough that a burst of
+// streams backpressures chunkers instead of growing RSS.
+const DefaultArenaBudget = 256 << 20
+
 // Config assembles an agent.
 type Config struct {
 	// Name identifies the agent (used in manifests).
@@ -104,6 +117,17 @@ type Config struct {
 	// lookups. By default a ring outage costs dedup efficiency, never the
 	// backup — the cloud re-deduplicates whatever the edge over-sends.
 	StrictRing bool
+	// MaxStreams caps concurrent ProcessStream calls; excess callers
+	// block FIFO at admission (agent_stream_admission_wait_seconds
+	// observes the wait). Defaults to DefaultMaxStreams; negative means
+	// unlimited.
+	MaxStreams int
+	// ArenaBudgetBytes caps the chunk payload bytes resident across all
+	// of the agent's pipelines: each chunk's capacity is acquired before
+	// it enters the pipeline and credited back when the payload retires,
+	// so aggregate ingest memory is bounded regardless of stream count.
+	// Defaults to DefaultArenaBudget; negative disables the budget.
+	ArenaBudgetBytes int64
 }
 
 // Report summarizes one processed stream.
@@ -155,13 +179,28 @@ func (r Report) DedupRatio() float64 {
 	return float64(r.InputBytes) / float64(r.UploadedBytes)
 }
 
-// Agent is a single edge node's dedup pipeline. Safe for sequential use;
-// create one agent per concurrent stream.
+// Agent is a single edge node's dedup pipeline. Safe for concurrent
+// use: any number of goroutines may call ProcessStream/ProcessBytes on
+// one agent — MaxStreams are admitted at a time, and all admitted
+// streams share the agent's scheduler pools and arena byte budget.
 type Agent struct {
 	cfg Config
 	met *agentMetrics
 
-	total Report // cumulative across streams
+	// sched is the shared ingest scheduler: hash/lookup worker pools and
+	// the arena byte budget, serving every concurrent stream.
+	sched *scheduler
+	// streamSem is the MaxStreams admission semaphore (nil = unlimited).
+	// Blocked senders on a channel are served FIFO, so admission order
+	// is arrival order.
+	streamSem chan struct{}
+
+	// activeStreams backs the agent_streams_active gauge: admitted
+	// streams currently processing (all modes, cloud-only included).
+	activeStreams atomic.Int64
+
+	totalMu sync.Mutex
+	total   Report // cumulative across streams
 
 	mu       sync.Mutex
 	degraded bool // ring lookups currently downgraded
@@ -202,7 +241,17 @@ func New(cfg Config) (*Agent, error) {
 	if cfg.LookupInflight <= 0 {
 		cfg.LookupInflight = DefaultLookupInflight
 	}
+	if cfg.MaxStreams == 0 {
+		cfg.MaxStreams = DefaultMaxStreams
+	}
+	if cfg.ArenaBudgetBytes == 0 {
+		cfg.ArenaBudgetBytes = DefaultArenaBudget
+	}
 	a := &Agent{cfg: cfg, met: newAgentMetrics(cfg.Mode)}
+	a.sched = newScheduler(cfg.HashWorkers, cfg.LookupInflight, cfg.ArenaBudgetBytes, a.met)
+	if cfg.MaxStreams > 0 {
+		a.streamSem = make(chan struct{}, cfg.MaxStreams)
+	}
 	gaugeName := cfg.Name
 	if gaugeName == "" {
 		gaugeName = cfg.Mode.String()
@@ -248,11 +297,54 @@ func (a *Agent) noteRecovery() bool {
 }
 
 // Totals returns cumulative counters across all processed streams.
-func (a *Agent) Totals() Report { return a.total }
+func (a *Agent) Totals() Report {
+	a.totalMu.Lock()
+	defer a.totalMu.Unlock()
+	return a.total
+}
 
-// ProcessBytes deduplicates an in-memory stream. See ProcessStream.
+// admit claims a MaxStreams seat, blocking FIFO behind earlier callers.
+// The wait — near zero while seats are free — is observed into the
+// admission histogram so saturation shows up as a latency shift there
+// before it shows up in stream latency.
+func (a *Agent) admit(ctx context.Context) error {
+	if a.streamSem != nil {
+		sp := metrics.StartTimer(a.met.admissionWait)
+		select {
+		case a.streamSem <- struct{}{}:
+		case <-ctx.Done():
+			sp.End()
+			return fmt.Errorf("agent: stream admission: %w", ctx.Err())
+		}
+		sp.End()
+	}
+	a.met.streamsActive.Set(a.activeStreams.Add(1))
+	return nil
+}
+
+// leave returns an admitted stream's seat.
+func (a *Agent) leave() {
+	a.met.streamsActive.Set(a.activeStreams.Add(-1))
+	if a.streamSem != nil {
+		<-a.streamSem
+	}
+}
+
+// ProcessBytes deduplicates an in-memory stream. It follows ProcessStream's
+// contract, but when the chunker supports zero-copy scanning
+// (chunk.RawBytesChunker) the pipeline works directly on data — no read
+// copy, no arena copy — which is the fastest ingest path.
 func (a *Agent) ProcessBytes(ctx context.Context, name string, data []byte) (Report, error) {
-	return a.ProcessStream(ctx, name, bytes.NewReader(data))
+	start := time.Now()
+	if err := a.admit(ctx); err != nil {
+		return Report{}, err
+	}
+	defer a.leave()
+	if a.cfg.Mode == ModeCloudOnly {
+		return a.rawUpload(ctx, name, data, start)
+	}
+	p := a.newPipeline(ctx, name)
+	return a.finishStream(ctx, p, p.runBytes(data), start)
 }
 
 // ProcessStream deduplicates r under the agent's mode, records a manifest
@@ -261,34 +353,53 @@ func (a *Agent) ProcessBytes(ctx context.Context, name string, data []byte) (Rep
 // bounded by the in-flight lookup and upload batches regardless of stream
 // size. Cloud-only mode buffers the stream (it is shipped in one raw
 // upload, mirroring the paper's strategy of sending data unmodified).
+//
+// Any number of goroutines may call ProcessStream concurrently: up to
+// Config.MaxStreams are admitted at once and share the agent's hash and
+// lookup pools round-robin under the arena byte budget, so adding
+// streams raises utilization, not footprint.
 func (a *Agent) ProcessStream(ctx context.Context, name string, r io.Reader) (Report, error) {
 	start := time.Now()
+	if err := a.admit(ctx); err != nil {
+		return Report{}, err
+	}
+	defer a.leave()
 
 	if a.cfg.Mode == ModeCloudOnly {
 		data, err := io.ReadAll(r)
 		if err != nil {
 			return Report{}, fmt.Errorf("agent: read stream %s: %w", name, err)
 		}
-		rep := Report{Name: name}
-		sp := metrics.StartTimer(a.met.uploadLat)
-		stored, err := a.cfg.Cloud.UploadRaw(ctx, name, data)
-		sp.End()
-		if err != nil {
-			return rep, fmt.Errorf("agent: raw upload %s: %w", name, err)
-		}
-		rep.InputBytes = int64(len(data))
-		rep.UploadedBytes = int64(len(data)) // all bytes cross the WAN
-		rep.UploadedChunks = int64(stored)
-		rep.Duration = time.Since(start)
-		a.met.uploadedChunks.Add(rep.UploadedChunks)
-		a.met.uploadedBytes.Add(rep.UploadedBytes)
-		a.met.streamLat.ObserveDuration(rep.Duration)
-		a.accumulate(rep)
-		return rep, nil
+		return a.rawUpload(ctx, name, data, start)
 	}
 
 	p := a.newPipeline(ctx, name)
-	rep, finishErr := p.finish(p.run(r))
+	return a.finishStream(ctx, p, p.run(r), start)
+}
+
+// rawUpload ships one buffered stream unmodified (ModeCloudOnly).
+func (a *Agent) rawUpload(ctx context.Context, name string, data []byte, start time.Time) (Report, error) {
+	rep := Report{Name: name}
+	sp := metrics.StartTimer(a.met.uploadLat)
+	stored, err := a.cfg.Cloud.UploadRaw(ctx, name, data)
+	sp.End()
+	if err != nil {
+		return rep, fmt.Errorf("agent: raw upload %s: %w", name, err)
+	}
+	rep.InputBytes = int64(len(data))
+	rep.UploadedBytes = int64(len(data)) // all bytes cross the WAN
+	rep.UploadedChunks = int64(stored)
+	rep.Duration = time.Since(start)
+	a.met.uploadedChunks.Add(rep.UploadedChunks)
+	a.met.uploadedBytes.Add(rep.UploadedBytes)
+	a.met.streamLat.ObserveDuration(rep.Duration)
+	a.accumulate(rep)
+	return rep, nil
+}
+
+// finishStream joins the pipeline and records the stream's manifest.
+func (a *Agent) finishStream(ctx context.Context, p *pipeline, runErr error, start time.Time) (Report, error) {
+	rep, finishErr := p.finish(runErr)
 	if finishErr != nil {
 		// The manifest is only recorded below, after every chunk it
 		// references was durably uploaded; an aborted stream therefore
@@ -297,10 +408,10 @@ func (a *Agent) ProcessStream(ctx context.Context, name string, r io.Reader) (Re
 		return rep, finishErr
 	}
 	msp := metrics.StartTimer(a.met.manifestLat)
-	err := a.cfg.Cloud.PutManifest(ctx, name, p.manifest)
+	err := a.cfg.Cloud.PutManifest(ctx, rep.Name, p.manifest)
 	msp.End()
 	if err != nil {
-		return rep, fmt.Errorf("agent: manifest %s: %w", name, err)
+		return rep, fmt.Errorf("agent: manifest %s: %w", rep.Name, err)
 	}
 	rep.Duration = time.Since(start)
 	a.met.streamLat.ObserveDuration(rep.Duration)
@@ -309,6 +420,8 @@ func (a *Agent) ProcessStream(ctx context.Context, name string, r io.Reader) (Re
 }
 
 func (a *Agent) accumulate(rep Report) {
+	a.totalMu.Lock()
+	defer a.totalMu.Unlock()
 	a.total.InputBytes += rep.InputBytes
 	a.total.InputChunks += rep.InputChunks
 	a.total.DuplicateChunks += rep.DuplicateChunks

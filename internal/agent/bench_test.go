@@ -4,7 +4,10 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"sort"
+	"sync"
 	"testing"
+	"time"
 
 	"efdedup/internal/chunk"
 	"efdedup/internal/cloudstore"
@@ -118,5 +121,85 @@ func BenchmarkAgentProcessStream(b *testing.B) {
 		if rep.UploadedChunks != 0 {
 			b.Fatalf("warm stream uploaded %d chunks, want 0", rep.UploadedChunks)
 		}
+	}
+}
+
+// BenchmarkAgentConcurrentStreams measures aggregate multi-stream ingest
+// through ONE agent's shared scheduler: 128 tasks of 1 MiB each, fanned
+// out over 1, 16 or 128 concurrent streams. The work volume is constant,
+// only the concurrency changes, so aggregate MB/s shows how well the
+// shared hash/lookup pools convert extra streams into extra cores, and
+// the reported p50/p99 per-stream latency shows what fairness costs the
+// tail. Data is warm (uploaded once outside the timer), matching the
+// steady-state dedup workload of BenchmarkAgentProcessStream.
+func BenchmarkAgentConcurrentStreams(b *testing.B) {
+	const (
+		tasks    = 128
+		taskSize = 1 << 20
+	)
+	for _, streams := range []int{1, 16, 128} {
+		b.Run(fmt.Sprintf("streams=%d", streams), func(b *testing.B) {
+			tb := newBenchTestbed(b, 3)
+			a := tb.ringAgent(b, Config{
+				Chunker:    chunk.NewDefaultGearChunker(),
+				MaxStreams: streams,
+			})
+
+			inputs := make([][]byte, tasks)
+			rng := rand.New(rand.NewSource(7))
+			ctx := context.Background()
+			for i := range inputs {
+				inputs[i] = make([]byte, taskSize)
+				rng.Read(inputs[i])
+				if _, err := a.ProcessBytes(ctx, fmt.Sprintf("warm-%d", i), inputs[i]); err != nil {
+					b.Fatal(err)
+				}
+			}
+
+			lats := make([]time.Duration, 0, tasks*b.N)
+			b.SetBytes(tasks * taskSize)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var (
+					wg sync.WaitGroup
+					mu sync.Mutex
+				)
+				next := make(chan int, tasks)
+				for t := 0; t < tasks; t++ {
+					next <- t
+				}
+				close(next)
+				for w := 0; w < streams; w++ {
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						for t := range next {
+							start := time.Now()
+							rep, err := a.ProcessBytes(ctx, fmt.Sprintf("run-%d", t), inputs[t])
+							el := time.Since(start)
+							if err != nil {
+								b.Error(err)
+								return
+							}
+							if rep.UploadedChunks != 0 {
+								b.Errorf("warm stream uploaded %d chunks", rep.UploadedChunks)
+								return
+							}
+							mu.Lock()
+							lats = append(lats, el)
+							mu.Unlock()
+						}
+					}()
+				}
+				wg.Wait()
+			}
+			b.StopTimer()
+			sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+			if n := len(lats); n > 0 {
+				b.ReportMetric(float64(lats[n/2].Microseconds())/1000, "p50-ms")
+				b.ReportMetric(float64(lats[n*99/100].Microseconds())/1000, "p99-ms")
+			}
+		})
 	}
 }

@@ -26,6 +26,13 @@ type agentMetrics struct {
 	uploadQueue        *metrics.Gauge     // upload batches queued or uploading
 	lookupInflightHist *metrics.Histogram // in-flight batches observed at dispatch
 
+	// Multi-stream ingest: admission and memory backpressure. A rising
+	// admissionWait means MaxStreams is the bottleneck; arenaInuse
+	// pinned at ArenaBudgetBytes means the byte budget is.
+	streamsActive *metrics.Gauge     // admitted streams currently processing
+	admissionWait *metrics.Histogram // time blocked on the MaxStreams seat
+	arenaInuse    *metrics.Gauge     // chunk payload bytes admitted to pipelines
+
 	uploadedChunks  *metrics.Counter
 	uploadedBytes   *metrics.Counter
 	dupChunks       *metrics.Counter
@@ -53,6 +60,10 @@ func newAgentMetrics(mode Mode) *agentMetrics {
 		lookupInflight:     reg.Gauge("agent_lookups_inflight", "mode", m),
 		uploadQueue:        reg.Gauge("agent_upload_queue_batches", "mode", m),
 		lookupInflightHist: reg.Histogram("agent_lookup_inflight_batches", "mode", m),
+
+		streamsActive: reg.Gauge("agent_streams_active", "mode", m),
+		admissionWait: reg.DurationHistogram("agent_stream_admission_wait_seconds", "mode", m),
+		arenaInuse:    reg.Gauge("agent_arena_bytes_inuse", "mode", m),
 
 		uploadedChunks:  reg.Counter("agent_uploaded_chunks_total", "mode", m),
 		uploadedBytes:   reg.Counter("agent_uploaded_bytes_total", "mode", m),

@@ -4,41 +4,53 @@ package agent
 // connected by bounded channels (cf. the pipelined/parallel fingerprinting
 // designs of THR and P-Dedupe):
 //
-//	chunker (caller goroutine, SplitRaw)
-//	   │  hashOrder (FIFO, cap 2·HashWorkers+hashOrderSlack) + hashJobs (cap HashWorkers)
+//	chunker (caller goroutine, SplitRaw / SplitRawBytes)
+//	   │  hashOrder (FIFO, cap 2·HashWorkers+hashOrderSlack) + shared hash pool
 //	   ▼
-//	hash workers ×HashWorkers — SHA-256 per chunk
+//	shared hash pool ×HashWorkers per agent — SHA-256 per chunk
 //	   ▼  ordered delivery: collector waits each hashOrder job's done token
 //	collector — manifest append, intra-stream dedup, lookup batching
-//	   │  lookupOrder (FIFO, cap LookupInflight) + lookupJobs (cap LookupInflight)
+//	   │  lookupOrder (FIFO, cap LookupInflight) + shared lookup pool
 //	   ▼
-//	lookup workers ×LookupInflight — ring/cloud BatchHas (downgrade ladder)
+//	shared lookup pool ×LookupInflight per agent — BatchHas (downgrade ladder)
 //	   ▼  ordered delivery via lookupOrder done tokens
 //	router — duplicate suppression, upload batching
 //	   │  uploads (cap 4 batches)
 //	   ▼
 //	uploader — BatchUpload, acknowledged accounting, ring index registration
 //
+// The hash and lookup stages are served by the agent's shared scheduler
+// (scheduler.go): the pools are sized once per agent and drained
+// round-robin across every active stream, so N concurrent ProcessStream
+// calls share HashWorkers + LookupInflight workers instead of spawning
+// N× that many goroutines.
+//
 // Ordering guarantee: the collector and router consume their stages'
-// output strictly in stream order (jobs enter the FIFO channel before the
-// work channel and carry a done token), so the manifest, the seen-map
-// decisions, upload batch composition and Report counters are identical
-// to the sequential pipeline's, bit for bit, for any HashWorkers and
-// LookupInflight — only wall-clock overlap changes.
+// output strictly in stream order (jobs enter the FIFO channel before
+// the shared pool's queue and carry a done token), so the manifest, the
+// seen-map decisions, upload batch composition and Report counters are
+// identical to the sequential pipeline's, bit for bit, for any
+// HashWorkers and LookupInflight and any stream interleaving — only
+// wall-clock overlap changes.
 //
 // Memory bound: chunk payloads live in the chunk-buffer arena and are
 // released exactly once — by the collector (intra-stream duplicate), the
 // router (index-known duplicate), the uploader (after the cloud acked or
-// failed the batch), or a draining stage after a fatal error. In-flight
-// payloads are capped by the channel bounds:
+// failed the batch), or a draining stage after a fatal error. Per-stream
+// in-flight payloads are capped by the channel bounds:
 //
 //	inflight chunks ≤ (2·HashWorkers+hashOrderSlack) + 1  — hash stage
 //	                + (LookupInflight+1)·LookupBatch       — lookup stage
 //	                + (uploadQueueDepth+2)·UploadBatch     — upload stage
 //
-// each at most one max-size chunk.
+// each at most one max-size chunk — and the agent-wide total is capped
+// in bytes by Config.ArenaBudgetBytes: every payload's capacity is
+// acquired from the scheduler's byte budget before it enters hashOrder
+// and released with the payload, so aggregate pipeline memory stays
+// bounded no matter how many streams are admitted.
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
@@ -86,10 +98,17 @@ type lookupJob struct {
 
 var lookupJobPool = sync.Pool{New: func() any { return &lookupJob{done: make(chan struct{}, 1)} }}
 
-// releaseChunk returns a chunk payload to the chunk-buffer arena. Safe
-// for payloads that did not come from the arena (legacy Split chunkers
-// hand out fresh slices we own by contract; recycling them is allowed).
-func releaseChunk(c chunk.Chunk) { chunk.Raw{Data: c.Data}.Release() }
+// release returns a chunk payload to the chunk-buffer arena and credits
+// its bytes back to the agent's admission budget. Safe for payloads
+// that did not come from the arena (legacy Split chunkers hand out
+// fresh slices we own by contract, SplitRawBytes hands out aliases the
+// arena refuses); the budget charge is symmetric with admission either
+// way. Each payload is released exactly once (see the memory bound
+// above), so the credit cannot double-count.
+func (p *pipeline) release(c chunk.Chunk) {
+	chunk.Raw{Data: c.Data}.Release()
+	p.a.sched.budget.release(int64(cap(c.Data)))
+}
 
 // pipeline is one stream's staged state machine. The fields below are
 // partitioned by owning stage; cross-stage values are atomic and folded
@@ -112,9 +131,14 @@ type pipeline struct {
 	recoveries      atomic.Int64
 	lookupsInflight atomic.Int64
 
-	// inlineHash short-circuits the hash stage when it has exactly one
-	// worker: the chunker hashes in place, skipping two channel
-	// handoffs per chunk that buy no parallelism.
+	// slot is this stream's seat in the agent's shared scheduler.
+	slot *streamSlot
+
+	// inlineHash short-circuits the hash stage when the pool has exactly
+	// one worker: the chunker hashes in place, skipping two handoffs per
+	// chunk that buy no parallelism. (With concurrent streams this hashes
+	// on each stream's own goroutine — the degenerate one-worker budget
+	// is per-stream, which only matters on a one-core box.)
 	inlineHash bool
 
 	// stop is closed at the first fatal error: the chunker aborts and
@@ -124,10 +148,7 @@ type pipeline struct {
 	fatalMu  sync.Mutex
 	fatalErr error
 
-	hashJobs  chan *hashJob
-	hashOrder chan *hashJob
-
-	lookupJobs  chan *lookupJob
+	hashOrder   chan *hashJob
 	lookupOrder chan *lookupJob
 
 	// Stage-exit joins: closed when the collector / router goroutine
@@ -167,9 +188,7 @@ func (a *Agent) newPipeline(ctx context.Context, name string) *pipeline {
 		seen:        make(map[chunk.ID]bool),
 		lastArrive:  time.Now(),
 		stop:        make(chan struct{}),
-		hashJobs:    make(chan *hashJob, hw),
 		hashOrder:   make(chan *hashJob, 2*hw+hashOrderSlack),
-		lookupJobs:  make(chan *lookupJob, li),
 		lookupOrder: make(chan *lookupJob, li),
 		collectDone: make(chan struct{}),
 		routeDone:   make(chan struct{}),
@@ -178,15 +197,10 @@ func (a *Agent) newPipeline(ctx context.Context, name string) *pipeline {
 		indexSem:    make(chan struct{}, 4),
 	}
 	p.inlineHash = hw == 1
-	if !p.inlineHash {
-		for i := 0; i < hw; i++ {
-			go p.hashWorker()
-		}
-	}
+	// Hash and lookup work go to the agent's shared pools; only the
+	// stream-ordered stage drivers are per-pipeline goroutines.
+	p.slot = a.sched.attach(p)
 	go p.collect()
-	for i := 0; i < li; i++ {
-		go p.lookupWorker()
-	}
 	go p.route()
 	go p.upload()
 	return p
@@ -218,7 +232,7 @@ func (p *pipeline) aborted() bool {
 	}
 }
 
-// run drives the chunker. RawChunkers feed the hash workers unhashed
+// run drives the chunker. RawChunkers feed the hash pool unhashed
 // pooled payloads; legacy Chunkers arrive pre-hashed and skip the hash
 // stage (their jobs enter the FIFO with the done token pre-filled).
 func (p *pipeline) run(r io.Reader) error {
@@ -228,13 +242,27 @@ func (p *pipeline) run(r io.Reader) error {
 	return p.a.cfg.Chunker.Split(r, p.addHashed)
 }
 
+// runBytes drives the chunker over an in-memory stream, using the
+// zero-copy scanner when the chunker offers one (payloads then alias
+// data, which outlives the pipeline — ProcessBytes holds it until
+// finish has joined every stage).
+func (p *pipeline) runBytes(data []byte) error {
+	if bc, ok := p.a.cfg.Chunker.(chunk.RawBytesChunker); ok {
+		return bc.SplitRawBytes(data, p.addRaw)
+	}
+	return p.run(bytes.NewReader(data))
+}
+
 // addRaw receives one unhashed chunk from the chunker, in stream order.
-// Ownership of the payload transfers to the hash stage.
+// Ownership of the payload transfers to the hash stage. The payload's
+// bytes are admitted against the agent-wide budget here — before the
+// FIFO — so a stream blocked on admission holds no pipeline slots.
 func (p *pipeline) addRaw(raw chunk.Raw) error {
 	if p.aborted() {
 		raw.Release()
 		return p.fatal()
 	}
+	p.a.sched.budget.acquire(int64(cap(raw.Data)))
 	job := hashJobPool.Get().(*hashJob)
 	job.c = chunk.Chunk{Offset: raw.Offset, Data: raw.Data}
 	if p.inlineHash {
@@ -244,9 +272,9 @@ func (p *pipeline) addRaw(raw chunk.Raw) error {
 		return nil
 	}
 	// FIFO first: the collector must see jobs in stream order, and the
-	// order channel's bound is what caps in-flight chunks.
+	// order channel's bound is what caps this stream's in-flight chunks.
 	p.hashOrder <- job
-	p.hashJobs <- job
+	p.a.sched.submitHash(p.slot, job)
 	return nil
 }
 
@@ -255,21 +283,12 @@ func (p *pipeline) addHashed(c chunk.Chunk) error {
 	if p.aborted() {
 		return p.fatal()
 	}
+	p.a.sched.budget.acquire(int64(cap(c.Data)))
 	job := hashJobPool.Get().(*hashJob)
 	job.c = c
 	job.done <- struct{}{}
 	p.hashOrder <- job
 	return nil
-}
-
-// hashWorker computes content IDs for unhashed jobs.
-func (p *pipeline) hashWorker() {
-	for job := range p.hashJobs {
-		p.a.met.hashBusy.Add(1)
-		job.c.ID = chunk.Sum(job.c.Data)
-		p.a.met.hashBusy.Add(-1)
-		job.done <- struct{}{}
-	}
 }
 
 // collect consumes hashed chunks in stream order: manifest append,
@@ -291,13 +310,13 @@ func (p *pipeline) collect() {
 		p.rep.InputBytes += int64(len(c.Data))
 		p.rep.InputChunks++
 		if p.aborted() {
-			releaseChunk(c)
+			p.release(c)
 			continue
 		}
 		if p.seen[c.ID] {
 			p.dupChunks.Add(1)
 			p.a.met.dupChunks.Inc()
-			releaseChunk(c)
+			p.release(c)
 			continue
 		}
 		p.seen[c.ID] = true
@@ -313,18 +332,17 @@ func (p *pipeline) collect() {
 		p.dispatchLookup() // partial tail batch
 	} else if p.cur != nil {
 		for _, c := range p.cur.batch {
-			releaseChunk(c)
+			p.release(c)
 		}
 		putLookupJob(p.cur)
 		p.cur = nil
 	}
-	close(p.lookupJobs)
 	close(p.lookupOrder)
 }
 
-// dispatchLookup hands the accumulating batch to the lookup workers,
-// keeping at most LookupInflight batches in flight (the order channel's
-// capacity provides the backpressure).
+// dispatchLookup hands the accumulating batch to the shared lookup
+// pool, keeping at most LookupInflight of this stream's batches in
+// flight (the order channel's capacity provides the backpressure).
 func (p *pipeline) dispatchLookup() {
 	job := p.cur
 	if job == nil || len(job.batch) == 0 {
@@ -335,20 +353,7 @@ func (p *pipeline) dispatchLookup() {
 	p.a.met.lookupInflight.Set(n)
 	p.a.met.lookupInflightHist.Observe(n)
 	p.lookupOrder <- job
-	p.lookupJobs <- job
-}
-
-// lookupWorker resolves batches against the index, walking the
-// downgrade ladder on ring failures.
-func (p *pipeline) lookupWorker() {
-	for job := range p.lookupJobs {
-		sp := metrics.StartTimer(p.a.met.lookupLat)
-		job.known, job.err = p.lookup(job.batch)
-		sp.End()
-		p.a.met.lookupBatch.Observe(int64(len(job.batch)))
-		p.a.met.lookupInflight.Set(p.lookupsInflight.Add(-1))
-		job.done <- struct{}{}
-	}
+	p.a.sched.submitLookup(p.slot, job)
 }
 
 func putLookupJob(job *lookupJob) {
@@ -371,14 +376,14 @@ func (p *pipeline) route() {
 			fallthrough
 		case p.aborted():
 			for _, c := range job.batch {
-				releaseChunk(c)
+				p.release(c)
 			}
 		default:
 			for i, c := range job.batch {
 				if job.known[i] {
 					p.dupChunks.Add(1)
 					p.a.met.dupChunks.Inc()
-					releaseChunk(c)
+					p.release(c)
 					continue
 				}
 				p.pendingUpload = append(p.pendingUpload, c)
@@ -393,7 +398,7 @@ func (p *pipeline) route() {
 		p.queueUpload() // partial tail batch
 	} else {
 		for _, c := range p.pendingUpload {
-			releaseChunk(c)
+			p.release(c)
 		}
 		p.pendingUpload = nil
 	}
@@ -427,7 +432,7 @@ func (p *pipeline) upload() {
 		sp.End()
 		if err != nil {
 			for _, c := range batch {
-				releaseChunk(c)
+				p.release(c)
 			}
 			p.uploadErr <- fmt.Errorf("agent: upload batch: %w", err)
 			// Drain remaining batches so the producer never blocks.
@@ -436,7 +441,7 @@ func (p *pipeline) upload() {
 			for batch := range p.uploads {
 				p.a.met.uploadQueue.Add(-1)
 				for _, c := range batch {
-					releaseChunk(c)
+					p.release(c)
 				}
 			}
 			return
@@ -453,7 +458,7 @@ func (p *pipeline) upload() {
 		// Payloads are dead once the cloud acked the batch; only the
 		// content IDs flow on to the ring index.
 		for _, c := range batch {
-			releaseChunk(c)
+			p.release(c)
 		}
 		// Only now — with the batch durable in the cloud — are its
 		// hashes registered in the ring index. Registering at lookup
@@ -527,12 +532,15 @@ func (p *pipeline) finish(streamErr error) (Report, error) {
 	if streamErr != nil {
 		p.fail(streamErr)
 	}
-	close(p.hashJobs)
 	close(p.hashOrder)
 	<-p.collectDone
 	<-p.routeDone
 	uploadFailure := <-p.uploadErr
 	p.indexWG.Wait()
+	// Stages have joined, so every submitted job was popped and answered
+	// (the collector/router awaited each done token): the slot's queues
+	// are empty and the seat can be returned.
+	p.a.sched.detach(p.slot)
 	p.rep.DuplicateChunks = p.dupChunks.Load()
 	p.rep.UploadedChunks = p.uploadedChunks.Load()
 	p.rep.UploadedBytes = p.uploadedBytes.Load()

@@ -1,6 +1,7 @@
 package chunk
 
 import (
+	"bytes"
 	"math/rand"
 	"testing"
 )
@@ -85,4 +86,40 @@ func mustFixedB(b *testing.B, size int) *FixedChunker {
 		b.Fatal(err)
 	}
 	return c
+}
+
+// BenchmarkGearSplitRaw isolates the boundary scanner (no SHA, no
+// caller copy) in its three forms: the pre-acceleration reference loop,
+// the vectorized streaming scanner, and the zero-copy bytes scanner.
+func BenchmarkGearSplitRaw(b *testing.B) {
+	data := benchData(4 << 20)
+	c := NewDefaultGearChunker()
+	discard := func(r Raw) error {
+		r.Release()
+		return nil
+	}
+	b.Run("reference", func(b *testing.B) {
+		b.SetBytes(int64(len(data)))
+		for i := 0; i < b.N; i++ {
+			if err := c.splitRawReference(bytes.NewReader(data), discard); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("vectorized", func(b *testing.B) {
+		b.SetBytes(int64(len(data)))
+		for i := 0; i < b.N; i++ {
+			if err := c.SplitRaw(bytes.NewReader(data), discard); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("zerocopy", func(b *testing.B) {
+		b.SetBytes(int64(len(data)))
+		for i := 0; i < b.N; i++ {
+			if err := c.SplitRawBytes(data, discard); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }

@@ -2,6 +2,7 @@ package chunk
 
 import (
 	"bytes"
+	"io"
 	"testing"
 )
 
@@ -99,6 +100,112 @@ func FuzzGearRoundTrip(f *testing.F) {
 		for i := range chunks {
 			if again[i].ID != chunks[i].ID || again[i].Offset != chunks[i].Offset {
 				t.Fatalf("re-split chunk %d differs from first split", i)
+			}
+		}
+	})
+}
+
+// chopReader serves at most chop bytes per Read, forcing the streaming
+// scanners through arbitrary segment breaks.
+type chopReader struct {
+	data []byte
+	chop int
+}
+
+func (c *chopReader) Read(p []byte) (int, error) {
+	if len(c.data) == 0 {
+		return 0, io.EOF
+	}
+	n := min(len(p), c.chop, len(c.data))
+	copy(p, c.data[:n])
+	c.data = c.data[n:]
+	return n, nil
+}
+
+// span is one emitted chunk's identity for boundary comparison.
+type span struct {
+	off int64
+	n   int
+}
+
+// rawSpans runs one raw scanner and collects its boundary sequence.
+func rawSpans(t *testing.T, label string, split func(emit func(Raw) error) error) []span {
+	t.Helper()
+	var out []span
+	if err := split(func(r Raw) error {
+		out = append(out, span{r.Offset, len(r.Data)})
+		r.Release()
+		return nil
+	}); err != nil {
+		t.Fatalf("%s: %v", label, err)
+	}
+	return out
+}
+
+// FuzzGearVectorizedEquivalence is the differential oracle for the
+// accelerated scanners: SplitRaw (skip-ahead + word-at-a-time) under
+// both unchopped and arbitrarily chopped reads, and the zero-copy
+// SplitRawBytes, must all reproduce splitRawReference's boundaries
+// bit-identically. Geometries cover the fuzz-friendly 64/256/1024, a
+// minimum below the 64-byte hash window (skip-ahead can never fire),
+// non-power-of-two min/max, and window-straddling cut points.
+func FuzzGearVectorizedEquivalence(f *testing.F) {
+	geoms := [...][3]int{
+		{64, 256, 1024},
+		{16, 64, 256},   // min < gearWindow: pure roll, no skip
+		{100, 256, 700}, // non-power-of-two min/max
+		{512, 2048, 4096},
+	}
+	for _, d := range [][]byte{
+		{},
+		[]byte("a"),
+		bytes.Repeat([]byte{0x00}, 3*1024),
+		bytes.Repeat([]byte("abc"), 1024),
+		patterned(63),
+		patterned(64),
+		patterned(65),
+		patterned(1023),
+		patterned(1024),
+		patterned(1025),
+		patterned(5000),
+	} {
+		for g := range geoms {
+			f.Add(d, uint16(1), uint8(g))
+			f.Add(d, uint16(63), uint8(g))
+			f.Add(d, uint16(4096), uint8(g))
+		}
+	}
+	f.Fuzz(func(t *testing.T, data []byte, rawChop uint16, geomSel uint8) {
+		geom := geoms[int(geomSel)%len(geoms)]
+		g, err := NewGearChunker(geom[0], geom[1], geom[2])
+		if err != nil {
+			t.Fatal(err)
+		}
+		chop := int(rawChop%4096) + 1
+		want := rawSpans(t, "reference", func(emit func(Raw) error) error {
+			return g.splitRawReference(bytes.NewReader(data), emit)
+		})
+		for _, c := range []struct {
+			label string
+			spans []span
+		}{
+			{"SplitRaw", rawSpans(t, "SplitRaw", func(emit func(Raw) error) error {
+				return g.SplitRaw(bytes.NewReader(data), emit)
+			})},
+			{"SplitRaw/chopped", rawSpans(t, "SplitRaw/chopped", func(emit func(Raw) error) error {
+				return g.SplitRaw(&chopReader{data: data, chop: chop}, emit)
+			})},
+			{"SplitRawBytes", rawSpans(t, "SplitRawBytes", func(emit func(Raw) error) error {
+				return g.SplitRawBytes(data, emit)
+			})},
+		} {
+			if len(c.spans) != len(want) {
+				t.Fatalf("%s: %d chunks, reference %d (chop=%d geom=%v)", c.label, len(c.spans), len(want), chop, geom)
+			}
+			for i := range want {
+				if c.spans[i] != want[i] {
+					t.Fatalf("%s: chunk %d = %+v, reference %+v (chop=%d geom=%v)", c.label, i, c.spans[i], want[i], chop, geom)
+				}
 			}
 		}
 	})

@@ -1,6 +1,7 @@
 package chunk
 
 import (
+	"encoding/binary"
 	"fmt"
 	"io"
 )
@@ -30,8 +31,9 @@ type GearChunker struct {
 }
 
 var (
-	_ Chunker    = (*GearChunker)(nil)
-	_ RawChunker = (*GearChunker)(nil)
+	_ Chunker         = (*GearChunker)(nil)
+	_ RawChunker      = (*GearChunker)(nil)
+	_ RawBytesChunker = (*GearChunker)(nil)
 )
 
 // NewGearChunker returns a CDC chunker with the given minimum, average
@@ -92,12 +94,106 @@ func (g *GearChunker) Split(r io.Reader, emit func(Chunk) error) error {
 	})
 }
 
+// gearWindow is the effective rolling-hash window in bytes. Each step
+// shifts the accumulator left by one bit, so a byte's contribution is
+// fully shifted out of the uint64 after 64 more bytes: the hash at any
+// position depends on exactly the 64 bytes ending there. Two scanner
+// properties follow and the accelerated paths below exploit both:
+//
+//   - Skip-ahead (SeqCDC): no boundary test fires before the chunk
+//     reaches the minimum size, and the hash at the first tested
+//     position depends only on the 63 bytes preceding it. Everything
+//     earlier in the sub-minimum region is copied, never rolled.
+//   - Self-correction: rolling 64 bytes from ANY starting accumulator
+//     reaches the same value as a full roll (the stale state is shifted
+//     out), so a reset to zero at windowStart = firstTest-63 is exact.
+const gearWindow = 64
+
+// gearRoll advances the hash over seg[i:stop) with no boundary tests,
+// eight bytes per iteration: one bounds-checked word load replaces
+// eight bounds-checked byte loads, and the table indices are masked
+// constants the compiler proves in range.
+func gearRoll(table *[256]uint64, seg []byte, i, stop int, hash uint64) uint64 {
+	for ; i+8 <= stop; i += 8 {
+		w := binary.LittleEndian.Uint64(seg[i:])
+		hash = hash<<1 + table[w&0xff]
+		hash = hash<<1 + table[w>>8&0xff]
+		hash = hash<<1 + table[w>>16&0xff]
+		hash = hash<<1 + table[w>>24&0xff]
+		hash = hash<<1 + table[w>>32&0xff]
+		hash = hash<<1 + table[w>>40&0xff]
+		hash = hash<<1 + table[w>>48&0xff]
+		hash = hash<<1 + table[w>>56]
+	}
+	for ; i < stop; i++ {
+		hash = hash<<1 + table[seg[i]]
+	}
+	return hash
+}
+
+// gearFind scans seg[i..stop] testing every position, eight bytes per
+// word load with the hash update chain fully unrolled. It returns the
+// first index whose hash has the mask bits clear (with the hash at that
+// index), or -1 and the hash at stop. The per-position test is the same
+// single-mask compare as the reference scanner, so boundaries are
+// bit-identical; the unrolling only removes per-byte loop and load
+// overhead. The eight not-taken branches per word predict perfectly on
+// real data (a boundary is a 1-in-target event).
+func gearFind(table *[256]uint64, mask uint64, seg []byte, i, stop int, hash uint64) (int, uint64) {
+	for ; i+7 <= stop; i += 8 {
+		w := binary.LittleEndian.Uint64(seg[i:])
+		h := hash<<1 + table[w&0xff]
+		if h&mask == 0 {
+			return i, h
+		}
+		h = h<<1 + table[w>>8&0xff]
+		if h&mask == 0 {
+			return i + 1, h
+		}
+		h = h<<1 + table[w>>16&0xff]
+		if h&mask == 0 {
+			return i + 2, h
+		}
+		h = h<<1 + table[w>>24&0xff]
+		if h&mask == 0 {
+			return i + 3, h
+		}
+		h = h<<1 + table[w>>32&0xff]
+		if h&mask == 0 {
+			return i + 4, h
+		}
+		h = h<<1 + table[w>>40&0xff]
+		if h&mask == 0 {
+			return i + 5, h
+		}
+		h = h<<1 + table[w>>48&0xff]
+		if h&mask == 0 {
+			return i + 6, h
+		}
+		h = h<<1 + table[w>>56]
+		if h&mask == 0 {
+			return i + 7, h
+		}
+		hash = h
+	}
+	for ; i <= stop; i++ {
+		hash = hash<<1 + table[seg[i]]
+		if hash&mask == 0 {
+			return i, hash
+		}
+	}
+	return -1, hash
+}
+
 // SplitRaw implements RawChunker: it finds the same boundaries as Split
-// but emits pooled, unhashed payloads. The gear hash rolls over buffered
-// input blocks in a tight index loop — one table lookup, one shift-add
-// and two compares per byte, no per-byte reader or append calls — and
-// each chunk's bytes are copied into its arena buffer once per block
-// segment rather than once per byte.
+// but emits pooled, unhashed payloads. The scanner is the accelerated
+// form of the reference loop (kept as splitRawReference for
+// differential testing): the sub-minimum region is skipped rather than
+// hashed — only its last gearWindow-1 bytes can influence a boundary
+// decision — and both the roll and the boundary scan consume the
+// segment eight bytes per word load (gearRoll/gearFind). Boundaries are
+// bit-identical to the reference for any input and any read chopping;
+// FuzzGearVectorizedEquivalence holds that bar.
 func (g *GearChunker) SplitRaw(r io.Reader, emit func(Raw) error) error {
 	var (
 		offset int64
@@ -127,26 +223,30 @@ func (g *GearChunker) SplitRaw(r io.Reader, emit func(Raw) error) error {
 		for start < len(seg) {
 			// Absolute indices at which the current chunk reaches the
 			// minimum and maximum lengths: a boundary can only fire at
-			// i ≥ minI, and is forced at i == maxI. Splitting the scan at
-			// minI keeps the sub-minimum phase free of boundary tests —
-			// the same boundaries as the single-loop form, faster.
+			// i ≥ minI, and is forced at i == maxI.
 			minI := start + g.min - len(cur) - 1
 			maxI := start + g.max - len(cur) - 1
 			i := start
-			if stop := min(minI, len(seg)); i < stop {
-				for ; i < stop; i++ {
-					hash = hash<<1 + table[seg[i]]
-				}
-			}
-			boundary := -1
-			stop := min(maxI, len(seg)-1)
-			for ; i <= stop; i++ {
-				hash = hash<<1 + table[seg[i]]
-				if hash&mask == 0 {
-					boundary = i
+			// Skip-ahead: bytes before minI-(gearWindow-1) cannot affect
+			// the hash at any tested position. If the window start lies
+			// beyond this segment, the whole tail is copied unrolled; the
+			// stale hash is harmless — the next segment either resets it
+			// at its own window start or rolls ≥ gearWindow bytes before
+			// the first test, shifting the stale state out (see
+			// gearWindow).
+			if skip := minI - (gearWindow - 1); i < skip {
+				if skip >= len(seg) {
 					break
 				}
+				i, hash = skip, 0
 			}
+			if rollStop := min(minI, len(seg)); i < rollStop {
+				hash = gearRoll(table, seg, i, rollStop, hash)
+				i = rollStop
+			}
+			stop := min(maxI, len(seg)-1)
+			boundary, h := gearFind(table, mask, seg, i, stop, hash)
+			hash = h
 			if boundary < 0 {
 				if stop != maxI {
 					break // segment exhausted mid-chunk
@@ -177,4 +277,60 @@ func (g *GearChunker) SplitRaw(r io.Reader, emit func(Raw) error) error {
 			return fmt.Errorf("chunk: read input: %w", rdErr)
 		}
 	}
+}
+
+// SplitRawBytes implements RawBytesChunker: the same boundaries as
+// SplitRaw over an in-memory buffer, with zero copies — each emitted
+// payload aliases data directly. With the whole input visible there are
+// no segment breaks to carry hash state across, so every chunk scans as
+// skip → roll(≤ gearWindow-1 bytes) → word-at-a-time boundary test.
+//
+// Aliased payloads must never enter the buffer arena: putBuf pools any
+// slice whose capacity is an exact power-of-two class, and a pooled
+// alias would let a later chunk scribble over the caller's bytes. Every
+// emitted slice therefore gets its capacity pinched to a non-class
+// value (there is always a spare byte to extend over, except for a
+// final chunk of exact power-of-two length, which is copied into a real
+// arena buffer — a ~0.01% case).
+func (g *GearChunker) SplitRawBytes(data []byte, emit func(Raw) error) error {
+	table := &g.table
+	mask := g.mask
+	start := 0
+	for start < len(data) {
+		minI := start + g.min - 1
+		maxI := start + g.max - 1
+		i := start
+		if skip := minI - (gearWindow - 1); i < skip {
+			i = skip
+		}
+		var hash uint64
+		if rollStop := min(minI, len(data)); i < rollStop {
+			hash = gearRoll(table, data, i, rollStop, hash)
+			i = rollStop
+		}
+		stop := min(maxI, len(data)-1)
+		boundary, _ := gearFind(table, mask, data, i, stop, hash)
+		end := boundary + 1
+		if boundary < 0 {
+			if stop != maxI {
+				end = len(data) // final short chunk
+			} else {
+				end = maxI + 1 // forced max-size boundary
+			}
+		}
+		payload := data[start:end:end]
+		if n := end - start; n&(n-1) == 0 && n >= 1<<minPoolClass {
+			if end < len(data) {
+				payload = data[start : end : end+1] // pinch cap off the class
+			} else {
+				buf := getBuf(n) // no spare byte: copy the tail chunk
+				payload = append(buf, data[start:end]...)
+			}
+		}
+		if err := emit(Raw{Offset: int64(start), Data: payload}); err != nil {
+			return err
+		}
+		start = end
+	}
+	return nil
 }

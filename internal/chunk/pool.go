@@ -43,6 +43,16 @@ type RawChunker interface {
 	SplitRaw(r io.Reader, emit func(Raw) error) error
 }
 
+// RawBytesChunker is the zero-copy variant of RawChunker for callers
+// whose input is already in memory: emitted payloads alias data rather
+// than arena buffers, so the caller must keep data alive and unmodified
+// until every emitted Raw has been Released. Release remains safe on
+// aliased payloads — their capacities are deliberately kept off the
+// arena's size classes so putBuf drops them (see SplitRawBytes).
+type RawBytesChunker interface {
+	SplitRawBytes(data []byte, emit func(Raw) error) error
+}
+
 // The arena: one sync.Pool per power-of-two capacity class. Chunk
 // geometries are known up front (a chunker's max size), so buffers are
 // allocated at the class ceiling and resliced; putBuf files a buffer

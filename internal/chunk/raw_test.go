@@ -203,3 +203,100 @@ func TestBufferPoolRoundTrip(t *testing.T) {
 		t.Fatalf("poolClass(1<<30) = %d, want -1 (beyond pooled range)", c)
 	}
 }
+
+// TestSplitRawBytesZeroCopyAndPoolSafety pins the aliasing contract of
+// the zero-copy path: payloads alias the input where possible, but no
+// aliased payload may carry an arena-class capacity (power of two in
+// the pooled range), or Release would file caller memory into the pool.
+// All-zero input never fires a content boundary, so every chunk is a
+// forced max-size cut — the worst case, since max is a pool class.
+func TestSplitRawBytesZeroCopyAndPoolSafety(t *testing.T) {
+	g, err := NewGearChunker(64, 256, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, 3*1024)
+	var raws []Raw
+	if err := g.SplitRawBytes(data, func(r Raw) error {
+		raws = append(raws, r)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(raws) != 3 {
+		t.Fatalf("got %d chunks, want 3 forced max-size cuts", len(raws))
+	}
+	for i, r := range raws {
+		if len(r.Data) != 1024 {
+			t.Fatalf("chunk %d has %d bytes, want 1024", i, len(r.Data))
+		}
+		// Writing through the payload reveals aliasing.
+		r.Data[0] = 0xEE
+		aliased := data[int(r.Offset)] == 0xEE
+		data[int(r.Offset)] = 0
+		if i < len(raws)-1 {
+			if !aliased {
+				t.Fatalf("chunk %d was copied, want zero-copy alias", i)
+			}
+			if c := cap(r.Data); c&(c-1) == 0 {
+				t.Fatalf("aliased chunk %d has pool-class capacity %d", i, c)
+			}
+		} else {
+			// Final chunk has no spare byte to pinch the cap over, so it
+			// must be a real arena copy.
+			if aliased {
+				t.Fatal("final power-of-two chunk aliases the input but is pool-eligible")
+			}
+		}
+	}
+	for _, r := range raws {
+		r.Release()
+	}
+	// After releasing everything, no arena buffer may alias the input:
+	// drain the relevant class and write through every buffer.
+	pristine := make([]byte, len(data))
+	bufs := make([][]byte, 64)
+	for i := range bufs {
+		b := getBuf(1024)[:1024]
+		for j := range b {
+			b[j] = 0xAA
+		}
+		bufs[i] = b
+	}
+	if !bytes.Equal(data, pristine) {
+		t.Fatal("arena handed out a buffer aliasing caller data")
+	}
+	for _, b := range bufs {
+		putBuf(b)
+	}
+}
+
+// TestSplitRawBytesMatchesSplit checks the zero-copy path against the
+// hashing chunker on content-rich input (natural boundaries, short tail).
+func TestSplitRawBytesMatchesSplit(t *testing.T) {
+	g := NewDefaultGearChunker()
+	rng := rand.New(rand.NewSource(11))
+	for _, size := range []int{0, 1, DefaultGearMin - 1, DefaultGearMax + 1, 300*1024 + 7} {
+		data := make([]byte, size)
+		rng.Read(data)
+		want, err := SplitBytes(g, data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got []Chunk
+		if err := g.SplitRawBytes(data, func(r Raw) error {
+			got = append(got, Chunk{ID: Sum(r.Data), Offset: r.Offset, Data: r.Data})
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("size %d: SplitRawBytes produced %d chunks, Split produced %d", size, len(got), len(want))
+		}
+		for i := range want {
+			if got[i].Offset != want[i].Offset || got[i].ID != want[i].ID {
+				t.Fatalf("size %d: chunk %d diverges", size, i)
+			}
+		}
+	}
+}

@@ -26,6 +26,7 @@ func Registry() []struct {
 		{"fig7b", Fig7b},
 		{"ext-cdc", ExtChunking},
 		{"ext-erasure", ExtErasure},
+		{"ext-ingest", ExtIngest},
 	}
 }
 

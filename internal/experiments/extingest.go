@@ -1,0 +1,162 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"efdedup/internal/agent"
+	"efdedup/internal/chunk"
+	"efdedup/internal/cloudstore"
+	"efdedup/internal/kvstore"
+	"efdedup/internal/transport"
+)
+
+// ExtIngest measures what the shared multi-stream scheduler buys an edge
+// node fronting many clients (PAPER.md §III says millions; the testbed
+// scales that to stream counts): aggregate dedup throughput and the
+// p99/p50 per-stream latency ratio as concurrency grows on ONE agent.
+// Per-call worker pools would multiply goroutines with streams; the
+// shared pools keep CPU at HashWorkers and memory at ArenaBudgetBytes
+// no matter the fan-out, so throughput should hold flat (single core)
+// or scale (many cores) while the fairness policy keeps p99/p50 small.
+func ExtIngest(cfg Config) (*Figure, error) {
+	streamCounts := []int{1, 4, 16, 64}
+	tasks, taskBytes := 128, 1<<20
+	if cfg.Quick {
+		streamCounts = []int{1, 8}
+		tasks, taskBytes = 16, 256<<10
+	}
+
+	nw := transport.NewMemNetwork()
+	srv, err := cloudstore.NewServer(cloudstore.Config{})
+	if err != nil {
+		return nil, err
+	}
+	defer srv.Close()
+	l, err := nw.Listen("cloud")
+	if err != nil {
+		return nil, err
+	}
+	srv.Serve(l)
+
+	var kvAddrs []string
+	for i := 0; i < 3; i++ {
+		node, err := kvstore.NewNode(kvstore.NodeConfig{})
+		if err != nil {
+			return nil, err
+		}
+		defer node.Close()
+		addr := fmt.Sprintf("kv-%d", i)
+		lk, err := nw.Listen(addr)
+		if err != nil {
+			return nil, err
+		}
+		node.Serve(lk)
+		kvAddrs = append(kvAddrs, addr)
+	}
+	idx, err := kvstore.NewCluster(kvstore.ClusterConfig{
+		Members:           kvAddrs,
+		ReplicationFactor: 2,
+		LocalAddr:         kvAddrs[0],
+		Network:           nw,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer idx.Close()
+	ctx := context.Background()
+	cl, err := cloudstore.Dial(ctx, nw, "cloud")
+	if err != nil {
+		return nil, err
+	}
+	defer cl.Close()
+
+	a, err := agent.New(agent.Config{
+		Name: "ingest", Mode: agent.ModeRing,
+		Index: idx, Cloud: cl,
+		Chunker:          chunk.NewDefaultGearChunker(),
+		HashWorkers:      cfg.HashWorkers,
+		LookupInflight:   cfg.LookupInflight,
+		MaxStreams:       cfg.MaxStreams,
+		ArenaBudgetBytes: cfg.ArenaBudgetBytes,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Warm every task's content once so the measured runs are the
+	// steady-state dedup workload (no upload traffic in the timings).
+	rng := rand.New(rand.NewSource(cfg.seed()))
+	inputs := make([][]byte, tasks)
+	for i := range inputs {
+		inputs[i] = make([]byte, taskBytes)
+		rng.Read(inputs[i])
+		if _, err := a.ProcessBytes(ctx, fmt.Sprintf("warm-%d", i), inputs[i]); err != nil {
+			return nil, err
+		}
+	}
+
+	agg := Series{Name: "aggregate MB/s"}
+	tail := Series{Name: "p99/p50 latency"}
+	fig := &Figure{
+		ID:     "ext-ingest",
+		Title:  "Multi-stream ingest through one agent's shared scheduler",
+		XLabel: "concurrent streams",
+		YLabel: "aggregate MB/s · p99/p50 per-stream latency",
+	}
+	for _, streams := range streamCounts {
+		lats := make([]time.Duration, 0, tasks)
+		var (
+			wg sync.WaitGroup
+			mu sync.Mutex
+		)
+		next := make(chan int, tasks)
+		for t := 0; t < tasks; t++ {
+			next <- t
+		}
+		close(next)
+		start := time.Now()
+		var firstErr error
+		for w := 0; w < streams; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for t := range next {
+					s0 := time.Now()
+					_, err := a.ProcessBytes(ctx, fmt.Sprintf("run-%d", t), inputs[t])
+					el := time.Since(s0)
+					mu.Lock()
+					if err != nil && firstErr == nil {
+						firstErr = err
+					}
+					lats = append(lats, el)
+					mu.Unlock()
+				}
+			}()
+		}
+		wg.Wait()
+		if firstErr != nil {
+			return nil, firstErr
+		}
+		wall := time.Since(start)
+		mbps := float64(tasks*taskBytes) / 1e6 / wall.Seconds()
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		p50, p99 := lats[len(lats)/2], lats[len(lats)*99/100]
+		ratio := float64(p99) / float64(p50)
+		cfg.logf("ext-ingest streams=%d: %.1f MB/s aggregate, p50=%s p99=%s (x%.1f)",
+			streams, mbps, p50.Round(time.Microsecond), p99.Round(time.Microsecond), ratio)
+		agg.X = append(agg.X, float64(streams))
+		agg.Y = append(agg.Y, mbps)
+		tail.X = append(tail.X, float64(streams))
+		tail.Y = append(tail.Y, ratio)
+	}
+	fig.Series = []Series{agg, tail}
+	fig.Notes = append(fig.Notes, fmt.Sprintf(
+		"aggregate throughput %.1f MB/s at %d streams vs %.1f MB/s at 1 (shared pools bound CPU and arena memory as fan-out grows)",
+		agg.Y[len(agg.Y)-1], streamCounts[len(streamCounts)-1], agg.Y[0]))
+	return fig, nil
+}

@@ -19,6 +19,8 @@ func (a *Agent) ProcessStream(data [][]byte) {
 	go a.flush(data)
 	a.trace(data)
 	a.viaInterface(data)
+	a.dispatch(&sched{})
+	a.drain(&sched{})
 }
 
 type flusher interface {

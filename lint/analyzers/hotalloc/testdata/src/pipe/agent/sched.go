@@ -1,0 +1,55 @@
+// sched.go pins the shared-scheduler dispatch shape: popping jobs off
+// per-stream queues is on the per-chunk budget (every hashed chunk
+// passes through it), so building per-job labels, state maps, or
+// regrowing an unsized backlog inside the dispatch loop is exactly the
+// churn the analyzer exists to catch.
+package agent
+
+import "fmt"
+
+type schedJob struct{ payload []byte }
+
+type schedSlot struct {
+	queue []schedJob
+	name  string
+}
+
+type sched struct {
+	ready   []*schedSlot
+	backlog []schedJob
+}
+
+// dispatch is reachable from the ProcessStream root; its loop runs once
+// per queued chunk.
+func (a *Agent) dispatch(s *sched) {
+	for len(s.ready) > 0 {
+		slot := s.ready[0]
+		s.ready = s.ready[1:]
+		job := slot.queue[0]
+		slot.queue = slot.queue[1:]
+		tag := fmt.Sprintf("%s-%d", slot.name, len(slot.queue)) // want `fmt\.Sprintf allocates per iteration`
+		state := map[string]bool{tag: true}                     // want `map literal allocated per iteration`
+		_ = state
+		s.backlog = append(s.backlog, job)
+		if len(slot.queue) > 0 {
+			s.ready = append(s.ready, slot)
+		}
+	}
+}
+
+// drain shows the approved shape for the same work: identity tags are
+// integers, per-job state lives in reused fields, and the ready list is
+// recycled in place — nothing allocates per iteration.
+func (a *Agent) drain(s *sched) {
+	for len(s.ready) > 0 {
+		slot := s.ready[0]
+		s.ready[0] = nil
+		s.ready = s.ready[1:]
+		job := slot.queue[0]
+		slot.queue = slot.queue[1:]
+		_ = job
+		if len(slot.queue) > 0 {
+			s.ready = append(s.ready, slot)
+		}
+	}
+}

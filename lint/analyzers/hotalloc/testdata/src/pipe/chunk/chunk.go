@@ -8,6 +8,7 @@ type Splitter struct{ out []string }
 // function value, so accumulate is reachable via a ref edge.
 func (s *Splitter) Split(data [][]byte) {
 	forEach(data, s.accumulate)
+	forEach(data, s.scan)
 }
 
 func forEach(data [][]byte, f func([]byte)) {

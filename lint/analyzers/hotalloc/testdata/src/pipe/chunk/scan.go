@@ -1,0 +1,65 @@
+// scan.go pins the vectorized-scanner shape: a word-at-a-time gear
+// loop does unsafe-free byte loads, shifts and table lookups — none of
+// which allocate — so the analyzer must stay silent on it even though
+// it is the hottest loop any pipeline root reaches.
+package chunk
+
+import "encoding/binary"
+
+var gearTable [256]uint64
+
+// scanWords is the SeqCDC-style inner loop: one 8-byte load per
+// iteration, eight unrolled shift-add steps, boundary tests on the
+// rolled hash. Reachable from Split via the emit-callback chain.
+func scanWords(seg []byte, hash uint64, mask uint64) (int, uint64) {
+	i := 0
+	for ; i+8 <= len(seg); i += 8 {
+		w := binary.LittleEndian.Uint64(seg[i:])
+		hash = hash<<1 + gearTable[w&0xff]
+		if hash&mask == 0 {
+			return i + 1, hash
+		}
+		hash = hash<<1 + gearTable[w>>8&0xff]
+		if hash&mask == 0 {
+			return i + 2, hash
+		}
+		hash = hash<<1 + gearTable[w>>16&0xff]
+		if hash&mask == 0 {
+			return i + 3, hash
+		}
+		hash = hash<<1 + gearTable[w>>24&0xff]
+		if hash&mask == 0 {
+			return i + 4, hash
+		}
+		hash = hash<<1 + gearTable[w>>32&0xff]
+		if hash&mask == 0 {
+			return i + 5, hash
+		}
+		hash = hash<<1 + gearTable[w>>40&0xff]
+		if hash&mask == 0 {
+			return i + 6, hash
+		}
+		hash = hash<<1 + gearTable[w>>48&0xff]
+		if hash&mask == 0 {
+			return i + 7, hash
+		}
+		hash = hash<<1 + gearTable[w>>56]
+		if hash&mask == 0 {
+			return i + 8, hash
+		}
+	}
+	// Byte tail: same rolls without the word load. Still allocation-free.
+	for ; i < len(seg); i++ {
+		hash = hash<<1 + gearTable[seg[i]]
+		if hash&mask == 0 {
+			return i + 1, hash
+		}
+	}
+	return -1, hash
+}
+
+// scan wires scanWords into the Split-reachable callback chain.
+func (s *Splitter) scan(b []byte) {
+	cut, _ := scanWords(b, 0, 0x1fff)
+	_ = cut
+}
